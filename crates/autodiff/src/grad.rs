@@ -1,0 +1,124 @@
+//! The reverse sweep and the adjoint container.
+
+use crate::tape::{Tape, Var};
+
+/// Adjoints (`∂out/∂node`) of every node on the tape at the moment
+/// [`Var::backward`] was called. Detached from the tape, so the tape may be
+/// cleared or extended afterwards.
+pub struct Gradients {
+    adjoints: Vec<f64>,
+}
+
+impl Gradients {
+    pub(crate) fn compute(tape: &Tape, output: u32) -> Gradients {
+        let nodes = tape.nodes.borrow();
+        let n = nodes.len();
+        let mut adjoints = vec![0.0; n];
+        adjoints[output as usize] = 1.0;
+        // Nodes appear after their parents, so one reverse pass suffices.
+        for i in (0..=output as usize).rev() {
+            let a = adjoints[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = &nodes[i];
+            for k in 0..node.n_parents as usize {
+                adjoints[node.parents[k] as usize] += a * node.partials[k];
+            }
+        }
+        Gradients { adjoints }
+    }
+
+    /// Adjoint with respect to `v`: `∂out/∂v`.
+    ///
+    /// # Panics
+    /// If `v` was recorded after `backward()` was called (its index is out of
+    /// range for this snapshot).
+    pub fn wrt(&self, v: Var<'_>) -> f64 {
+        self.adjoints[v.index()]
+    }
+
+    /// Adjoint by raw tape index.
+    pub fn by_index(&self, idx: usize) -> f64 {
+        self.adjoints[idx]
+    }
+
+    /// Gradient vector with respect to a slice of variables (typically the
+    /// leaves created with [`Tape::vars`]).
+    pub fn wrt_slice(&self, vars: &[Var<'_>]) -> Vec<f64> {
+        vars.iter().map(|&v| self.wrt(v)).collect()
+    }
+
+    /// Number of adjoints captured.
+    pub fn len(&self) -> usize {
+        self.adjoints.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.adjoints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{finite_grad, Tape};
+
+    #[test]
+    fn gradient_of_composite() {
+        // f(x, y) = tanh(x·y) + x/y at (0.7, 1.3)
+        let t = Tape::new();
+        let x = t.var(0.7);
+        let y = t.var(1.3);
+        let f = (x * y).tanh() + x / y;
+        let g = f.backward();
+        let fd = finite_grad(|p| (p[0] * p[1]).tanh() + p[0] / p[1], &[0.7, 1.3], 1e-6);
+        assert!((g.wrt(x) - fd[0]).abs() < 1e-5);
+        assert!((g.wrt(y) - fd[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unused_leaf_has_zero_gradient() {
+        let t = Tape::new();
+        let x = t.var(1.0);
+        let y = t.var(2.0);
+        let f = x * 3.0;
+        let g = f.backward();
+        assert_eq!(g.wrt(y), 0.0);
+        assert_eq!(g.wrt(x), 3.0);
+    }
+
+    #[test]
+    fn wrt_slice_matches_individual() {
+        let t = Tape::new();
+        let vs = t.vars(&[1.0, 2.0, 3.0]);
+        let f = vs[0] * vs[1] + vs[2].powi(2);
+        let g = f.backward();
+        let gs = g.wrt_slice(&vs);
+        assert_eq!(gs, vec![2.0, 1.0, 6.0]);
+    }
+
+    #[test]
+    fn backward_mid_tape_ignores_later_nodes() {
+        let t = Tape::new();
+        let x = t.var(2.0);
+        let f = x * x; // recorded
+        let _later = x * 100.0; // also recorded, after f
+        let g = f.backward();
+        assert_eq!(g.wrt(x), 4.0);
+    }
+
+    #[test]
+    fn deep_chain() {
+        // f = ((((x+1)+1)...+1) * 2 repeatedly — checks long tapes.
+        let t = Tape::new();
+        let x = t.var(0.0);
+        let mut v = x;
+        for _ in 0..1000 {
+            v = v + 1.0;
+        }
+        let g = v.backward();
+        assert_eq!(v.value(), 1000.0);
+        assert_eq!(g.wrt(x), 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The Dragster paper uses PyTorch `autograd` to differentiate the DAG
+//! throughput composition `f_t(y)` with respect to per-operator service
+//! capacities in order to identify bottleneck operators (Section 3.2).
+//! This crate is the from-scratch Rust substitute: a classic Wengert-list
+//! (tape) reverse-mode AD over scalar expressions.
+//!
+//! # Design
+//!
+//! * A [`Tape`] is an append-only arena of nodes. Each node records up to two
+//!   parent indices together with the *local partial derivatives* computed
+//!   eagerly during the forward pass, so the backward sweep is a single
+//!   reverse iteration accumulating adjoints.
+//! * A [`Var`] is a lightweight `(tape, index, value)` handle implementing
+//!   the usual operator overloads, so model code reads like plain arithmetic.
+//! * Non-smooth primitives (`min`, `max`, `abs`, `relu`) propagate a
+//!   subgradient, matching what PyTorch does and what the online saddle
+//!   point algorithm requires for the `min(α·y, h(ē))` truncation of Eq. (4).
+//!
+//! # Example
+//!
+//! ```
+//! use dragster_autodiff::Tape;
+//!
+//! let tape = Tape::new();
+//! let x = tape.var(3.0);
+//! let y = tape.var(2.0);
+//! let z = (x * y + x.tanh()).min(y * 10.0);
+//! let grads = z.backward();
+//! assert!((grads.wrt(x) - (2.0 + (1.0 - 3.0f64.tanh().powi(2)))).abs() < 1e-12);
+//! ```
+
+mod grad;
+mod ops;
+mod tape;
+
+pub use grad::Gradients;
+pub use ops::{dot, sum, weighted_min};
+pub use tape::{Tape, Var};
+
+/// Convenience: numerically differentiate `f` at `x` with central differences.
+///
+/// Used by tests and as a cross-check utility; `h` is the step size (a good
+/// default is `1e-6 * (1.0 + x.abs())`).
+pub fn finite_diff<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> f64 {
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Numerically compute the gradient of a multivariate function with central
+/// differences. `f` receives the full point; one coordinate is perturbed at a
+/// time.
+pub fn finite_grad<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], h: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = f(&xp);
+        xp[i] = orig - h;
+        let fm = f(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_diff_of_square() {
+        let d = finite_diff(|x| x * x, 3.0, 1e-6);
+        assert!((d - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_grad_of_dot() {
+        let g = finite_grad(|x| x[0] * 2.0 + x[1] * 3.0, &[1.0, 1.0], 1e-6);
+        assert!((g[0] - 2.0).abs() < 1e-6);
+        assert!((g[1] - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,365 @@
+//! Operator overloads and transcendental primitives for [`Var`].
+
+use crate::tape::Var;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+// ---------------------------------------------------------------------------
+// Var ∘ Var
+// ---------------------------------------------------------------------------
+
+impl<'t> Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        self.binary(rhs, self.val + rhs.val, 1.0, 1.0)
+    }
+}
+
+impl<'t> Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        self.binary(rhs, self.val - rhs.val, 1.0, -1.0)
+    }
+}
+
+impl<'t> Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        self.binary(rhs, self.val * rhs.val, rhs.val, self.val)
+    }
+}
+
+impl<'t> Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        let inv = 1.0 / rhs.val;
+        self.binary(rhs, self.val * inv, inv, -self.val * inv * inv)
+    }
+}
+
+impl<'t> Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        self.unary(-self.val, -1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Var ∘ f64 and f64 ∘ Var
+// ---------------------------------------------------------------------------
+
+impl<'t> Add<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: f64) -> Var<'t> {
+        self.unary(self.val + rhs, 1.0)
+    }
+}
+
+impl<'t> Add<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        rhs + self
+    }
+}
+
+impl<'t> Sub<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: f64) -> Var<'t> {
+        self.unary(self.val - rhs, 1.0)
+    }
+}
+
+impl<'t> Sub<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        rhs.unary(self - rhs.val, -1.0)
+    }
+}
+
+impl<'t> Mul<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: f64) -> Var<'t> {
+        self.unary(self.val * rhs, rhs)
+    }
+}
+
+impl<'t> Mul<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        rhs * self
+    }
+}
+
+impl<'t> Div<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: f64) -> Var<'t> {
+        self * (1.0 / rhs)
+    }
+}
+
+impl<'t> Div<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        let inv = 1.0 / rhs.val;
+        rhs.unary(self * inv, -self * inv * inv)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transcendental / non-smooth primitives
+// ---------------------------------------------------------------------------
+
+impl<'t> Var<'t> {
+    /// Hyperbolic tangent — the paper's example concave throughput function
+    /// (Eq. 2c).
+    pub fn tanh(self) -> Var<'t> {
+        let t = self.val.tanh();
+        self.unary(t, 1.0 - t * t)
+    }
+
+    /// Natural exponential.
+    pub fn exp(self) -> Var<'t> {
+        let e = self.val.exp();
+        self.unary(e, e)
+    }
+
+    /// Natural logarithm. Undefined for non-positive input (propagates NaN,
+    /// as `f64::ln` does).
+    pub fn ln(self) -> Var<'t> {
+        self.unary(self.val.ln(), 1.0 / self.val)
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Var<'t> {
+        let s = self.val.sqrt();
+        self.unary(s, 0.5 / s)
+    }
+
+    /// Integer power.
+    pub fn powi(self, n: i32) -> Var<'t> {
+        self.unary(self.val.powi(n), n as f64 * self.val.powi(n - 1))
+    }
+
+    /// Real power (base must be positive for a meaningful derivative).
+    pub fn powf(self, p: f64) -> Var<'t> {
+        self.unary(self.val.powf(p), p * self.val.powf(p - 1.0))
+    }
+
+    /// Pointwise minimum. Subgradient: picks the branch attaining the min;
+    /// ties route the full gradient to `self` (a valid subgradient choice).
+    /// This is the truncation primitive of Eq. (4):
+    /// `e = min(α·y, h(ē))`.
+    pub fn min(self, rhs: Var<'t>) -> Var<'t> {
+        if self.val <= rhs.val {
+            self.binary(rhs, self.val, 1.0, 0.0)
+        } else {
+            self.binary(rhs, rhs.val, 0.0, 1.0)
+        }
+    }
+
+    /// Pointwise maximum (subgradient; ties route to `self`).
+    pub fn max(self, rhs: Var<'t>) -> Var<'t> {
+        if self.val >= rhs.val {
+            self.binary(rhs, self.val, 1.0, 0.0)
+        } else {
+            self.binary(rhs, rhs.val, 0.0, 1.0)
+        }
+    }
+
+    /// `min` against a constant.
+    pub fn min_c(self, c: f64) -> Var<'t> {
+        if self.val <= c {
+            self.unary(self.val, 1.0)
+        } else {
+            self.unary(c, 0.0)
+        }
+    }
+
+    /// `max` against a constant.
+    pub fn max_c(self, c: f64) -> Var<'t> {
+        if self.val >= c {
+            self.unary(self.val, 1.0)
+        } else {
+            self.unary(c, 0.0)
+        }
+    }
+
+    /// Absolute value; subgradient 0 at the kink.
+    pub fn abs(self) -> Var<'t> {
+        let d = if self.val > 0.0 {
+            1.0
+        } else if self.val < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        self.unary(self.val.abs(), d)
+    }
+
+    /// Rectified linear: `max(x, 0)`.
+    pub fn relu(self) -> Var<'t> {
+        self.max_c(0.0)
+    }
+
+    /// Smooth (log-sum-exp) approximation of `min`, useful when the
+    /// saddle-point inner maximization benefits from a differentiable
+    /// surrogate of the Eq. (4) truncation. `beta > 0` controls sharpness;
+    /// as `beta → ∞` this approaches the exact min from below.
+    pub fn soft_min(self, rhs: Var<'t>, beta: f64) -> Var<'t> {
+        // -1/β · ln(exp(-β a) + exp(-β b)), computed stably around the min.
+        let m = self.min(rhs);
+        let a = (self - m) * (-beta);
+        let b = (rhs - m) * (-beta);
+        m - (a.exp() + b.exp()).ln() / beta
+    }
+}
+
+/// Sum a slice of variables. Returns `None` for an empty slice (an empty sum
+/// has no tape to attach a zero constant to).
+pub fn sum<'t>(vars: &[Var<'t>]) -> Option<Var<'t>> {
+    let mut it = vars.iter().copied();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, v| acc + v))
+}
+
+/// Inner product of variables with constant weights (Eq. 2a's
+/// `k⃗ · ē`). Panics if lengths differ; returns `None` when empty.
+pub fn dot<'t>(vars: &[Var<'t>], weights: &[f64]) -> Option<Var<'t>> {
+    assert_eq!(vars.len(), weights.len(), "dot length mismatch");
+    let mut it = vars.iter().copied().zip(weights.iter().copied());
+    let (v0, w0) = it.next()?;
+    Some(it.fold(v0 * w0, |acc, (v, w)| acc + v * w))
+}
+
+/// Minimum over a weighted slice (Eq. 2b's `min(k⃗ ∘ ē)`).
+pub fn weighted_min<'t>(vars: &[Var<'t>], weights: &[f64]) -> Option<Var<'t>> {
+    assert_eq!(vars.len(), weights.len(), "weighted_min length mismatch");
+    let mut it = vars.iter().copied().zip(weights.iter().copied());
+    let (v0, w0) = it.next()?;
+    Some(it.fold(v0 * w0, |acc, (v, w)| acc.min(v * w)))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{finite_diff, Tape};
+
+    #[test]
+    fn add_sub_mul_div() {
+        let t = Tape::new();
+        let x = t.var(3.0);
+        let y = t.var(4.0);
+        let z = (x + y) * (x - y) / y; // (x²−y²)/y
+        assert!((z.value() - (9.0 - 16.0) / 4.0).abs() < 1e-12);
+        let g = z.backward();
+        // ∂/∂x = 2x/y = 1.5 ; ∂/∂y = (−2y·y − (x²−y²))/y² = −2 − (x²−y²)/y²
+        assert!((g.wrt(x) - 1.5).abs() < 1e-12);
+        assert!((g.wrt(y) - (-2.0 - (9.0 - 16.0) / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_ops_all_directions() {
+        let t = Tape::new();
+        let x = t.var(2.0);
+        let z = 1.0 + (3.0 * x - 1.0) / 2.0 - (4.0 - x) + 6.0 / x;
+        // z = 1 + (3x−1)/2 − 4 + x + 6/x ; dz/dx = 1.5 + 1 − 6/x²
+        let g = z.backward();
+        assert!((g.wrt(x) - (1.5 + 1.0 - 6.0 / 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tanh_exp_ln_sqrt_pow_match_finite_diff() {
+        for x0 in [0.3, 1.1, 2.7] {
+            let t = Tape::new();
+            let x = t.var(x0);
+            let z = x.tanh() + x.exp() * 0.01 + x.ln() + x.sqrt() + x.powi(3) * 0.1 + x.powf(1.7);
+            let g = z.backward().wrt(x);
+            let fd = finite_diff(
+                |v| v.tanh() + v.exp() * 0.01 + v.ln() + v.sqrt() + v.powi(3) * 0.1 + v.powf(1.7),
+                x0,
+                1e-6,
+            );
+            assert!((g - fd).abs() < 1e-5, "x0={x0} ad={g} fd={fd}");
+        }
+    }
+
+    #[test]
+    fn min_max_pick_active_branch() {
+        let t = Tape::new();
+        let x = t.var(2.0);
+        let y = t.var(5.0);
+        let lo = x.min(y);
+        let hi = x.max(y);
+        assert_eq!(lo.value(), 2.0);
+        assert_eq!(hi.value(), 5.0);
+        let gl = lo.backward();
+        assert_eq!(gl.wrt(x), 1.0);
+        assert_eq!(gl.wrt(y), 0.0);
+        let gh = hi.backward();
+        assert_eq!(gh.wrt(x), 0.0);
+        assert_eq!(gh.wrt(y), 1.0);
+    }
+
+    #[test]
+    fn min_c_max_c_abs_relu() {
+        let t = Tape::new();
+        let x = t.var(-1.5);
+        assert_eq!(x.min_c(0.0).value(), -1.5);
+        assert_eq!(x.max_c(0.0).value(), 0.0);
+        assert_eq!(x.abs().value(), 1.5);
+        assert_eq!(x.abs().backward().wrt(x), -1.0);
+        assert_eq!(x.relu().backward().wrt(x), 0.0);
+        let y = t.var(2.0);
+        assert_eq!(y.relu().backward().wrt(y), 1.0);
+    }
+
+    #[test]
+    fn abs_at_zero_has_zero_subgradient() {
+        let t = Tape::new();
+        let x = t.var(0.0);
+        assert_eq!(x.abs().backward().wrt(x), 0.0);
+    }
+
+    #[test]
+    fn soft_min_approaches_min() {
+        let t = Tape::new();
+        let x = t.var(2.0);
+        let y = t.var(3.0);
+        let sm = x.soft_min(y, 50.0);
+        assert!((sm.value() - 2.0).abs() < 1e-3);
+        // gradient mostly routed to the smaller argument
+        let g = sm.backward();
+        assert!(g.wrt(x) > 0.99);
+        assert!(g.wrt(y) < 0.01);
+    }
+
+    #[test]
+    fn helpers_sum_dot_weighted_min() {
+        let t = Tape::new();
+        let vs = t.vars(&[1.0, 2.0, 3.0]);
+        let s = super::sum(&vs).unwrap();
+        assert_eq!(s.value(), 6.0);
+        let d = super::dot(&vs, &[1.0, 0.5, 2.0]).unwrap();
+        assert_eq!(d.value(), 1.0 + 1.0 + 6.0);
+        let m = super::weighted_min(&vs, &[5.0, 1.0, 1.0]).unwrap();
+        assert_eq!(m.value(), 2.0);
+        let g = m.backward();
+        assert_eq!(g.wrt(vs[1]), 1.0);
+        assert_eq!(g.wrt(vs[0]), 0.0);
+    }
+
+    #[test]
+    fn empty_helpers_return_none() {
+        assert!(super::sum(&[]).is_none());
+        assert!(super::dot(&[], &[]).is_none());
+        assert!(super::weighted_min(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates() {
+        // z = w + w where w = x², so dz/dx = 4x.
+        let t = Tape::new();
+        let x = t.var(3.0);
+        let w = x * x;
+        let z = w + w;
+        assert_eq!(z.backward().wrt(x), 12.0);
+    }
+}

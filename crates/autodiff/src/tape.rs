@@ -1,0 +1,206 @@
+//! The tape (Wengert list) and variable handle.
+
+use std::cell::RefCell;
+
+/// One recorded operation. Parents store the tape indices of the inputs and
+/// the local partial derivative of this node's value with respect to each.
+/// Leaf variables have `n_parents == 0`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Node {
+    pub parents: [u32; 2],
+    pub partials: [f64; 2],
+    pub n_parents: u8,
+}
+
+impl Node {
+    pub(crate) fn leaf() -> Self {
+        Node {
+            parents: [0, 0],
+            partials: [0.0, 0.0],
+            n_parents: 0,
+        }
+    }
+
+    pub(crate) fn unary(parent: u32, partial: f64) -> Self {
+        Node {
+            parents: [parent, 0],
+            partials: [partial, 0.0],
+            n_parents: 1,
+        }
+    }
+
+    pub(crate) fn binary(p0: u32, d0: f64, p1: u32, d1: f64) -> Self {
+        Node {
+            parents: [p0, p1],
+            partials: [d0, d1],
+            n_parents: 2,
+        }
+    }
+}
+
+/// An append-only arena recording every scalar operation performed through
+/// [`Var`] handles. Cheap to create; reuse one tape per gradient evaluation
+/// and call [`Tape::clear`] between evaluations to avoid reallocation.
+///
+/// The tape is single-threaded by construction (`RefCell`); the Dragster
+/// controller differentiates one DAG per decision slot, which is a
+/// microsecond-scale operation — parallelism lives at the experiment level.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Tape {
+            nodes: RefCell::new(Vec::with_capacity(256)),
+        }
+    }
+
+    /// Create an empty tape with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Tape {
+            nodes: RefCell::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Number of nodes currently recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no node has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every recorded node, invalidating all outstanding [`Var`]s.
+    /// Keeps the allocation.
+    pub fn clear(&self) {
+        self.nodes.borrow_mut().clear();
+    }
+
+    /// Record a new leaf (independent) variable with value `v`.
+    pub fn var(&self, v: f64) -> Var<'_> {
+        let idx = self.push(Node::leaf());
+        Var {
+            tape: self,
+            idx,
+            val: v,
+        }
+    }
+
+    /// Record a constant. Constants are leaves too — their adjoint is simply
+    /// never read — but keeping them on the tape keeps the node indexing
+    /// uniform.
+    pub fn constant(&self, v: f64) -> Var<'_> {
+        self.var(v)
+    }
+
+    /// Record a batch of leaf variables.
+    pub fn vars(&self, vs: &[f64]) -> Vec<Var<'_>> {
+        vs.iter().map(|&v| self.var(v)).collect()
+    }
+
+    pub(crate) fn push(&self, node: Node) -> u32 {
+        let mut nodes = self.nodes.borrow_mut();
+        let idx = nodes.len();
+        assert!(idx < u32::MAX as usize, "tape overflow");
+        nodes.push(node);
+        idx as u32
+    }
+}
+
+/// A handle to one scalar value on a [`Tape`]. `Copy`, so expressions can
+/// reuse sub-terms freely; the recorded graph is a DAG.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) idx: u32,
+    pub(crate) val: f64,
+}
+
+impl<'t> Var<'t> {
+    /// The forward value of this expression.
+    pub fn value(self) -> f64 {
+        self.val
+    }
+
+    /// Tape index (stable for the lifetime of the tape; used as a key by
+    /// [`crate::Gradients`]).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+
+    pub(crate) fn unary(self, val: f64, partial: f64) -> Var<'t> {
+        let idx = self.tape.push(Node::unary(self.idx, partial));
+        Var {
+            tape: self.tape,
+            idx,
+            val,
+        }
+    }
+
+    pub(crate) fn binary(self, rhs: Var<'t>, val: f64, d_self: f64, d_rhs: f64) -> Var<'t> {
+        debug_assert!(
+            std::ptr::eq(self.tape, rhs.tape),
+            "vars from different tapes"
+        );
+        let idx = self
+            .tape
+            .push(Node::binary(self.idx, d_self, rhs.idx, d_rhs));
+        Var {
+            tape: self.tape,
+            idx,
+            val,
+        }
+    }
+
+    /// Run the reverse sweep seeded with `∂out/∂out = 1` and return the
+    /// adjoints of every node recorded so far.
+    pub fn backward(self) -> crate::Gradients {
+        crate::Gradients::compute(self.tape, self.idx)
+    }
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var[{}]={}", self.idx, self.val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tape_records_leaves() {
+        let t = Tape::new();
+        let a = t.var(1.0);
+        let b = t.var(2.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(a.value(), 1.0);
+        assert_eq!(b.value(), 2.0);
+    }
+
+    #[test]
+    fn clear_resets_indices() {
+        let t = Tape::new();
+        let _ = t.var(1.0);
+        t.clear();
+        assert!(t.is_empty());
+        let a = t.var(5.0);
+        assert_eq!(a.index(), 0);
+    }
+
+    #[test]
+    fn vars_batch() {
+        let t = Tape::new();
+        let vs = t.vars(&[1.0, 2.0, 3.0]);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[2].value(), 3.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: reverse-mode gradients agree with central finite
+//! differences on randomly generated expressions.
+
+use dragster_autodiff::{finite_grad, Tape};
+use proptest::prelude::*;
+
+/// A tiny expression language we can evaluate both through the tape and as
+/// plain f64 arithmetic.
+#[derive(Clone, Debug)]
+enum Expr {
+    Leaf(usize),
+    Const(f64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Tanh(Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, xs: &[f64]) -> f64 {
+        match self {
+            Expr::Leaf(i) => xs[*i],
+            Expr::Const(c) => *c,
+            Expr::Add(a, b) => a.eval(xs) + b.eval(xs),
+            Expr::Sub(a, b) => a.eval(xs) - b.eval(xs),
+            Expr::Mul(a, b) => a.eval(xs) * b.eval(xs),
+            Expr::Tanh(a) => a.eval(xs).tanh(),
+            Expr::Min(a, b) => a.eval(xs).min(b.eval(xs)),
+            Expr::Max(a, b) => a.eval(xs).max(b.eval(xs)),
+        }
+    }
+
+    fn trace<'t>(
+        &self,
+        tape: &'t Tape,
+        leaves: &[dragster_autodiff::Var<'t>],
+    ) -> dragster_autodiff::Var<'t> {
+        match self {
+            Expr::Leaf(i) => leaves[*i],
+            Expr::Const(c) => tape.constant(*c),
+            Expr::Add(a, b) => a.trace(tape, leaves) + b.trace(tape, leaves),
+            Expr::Sub(a, b) => a.trace(tape, leaves) - b.trace(tape, leaves),
+            Expr::Mul(a, b) => a.trace(tape, leaves) * b.trace(tape, leaves),
+            Expr::Tanh(a) => a.trace(tape, leaves).tanh(),
+            Expr::Min(a, b) => a.trace(tape, leaves).min(b.trace(tape, leaves)),
+            Expr::Max(a, b) => a.trace(tape, leaves).max(b.trace(tape, leaves)),
+        }
+    }
+
+    /// Distance from the point `xs` to the nearest min/max tie — finite
+    /// differences are invalid near kinks, so tests skip those points.
+    fn kink_margin(&self, xs: &[f64]) -> f64 {
+        match self {
+            Expr::Leaf(_) | Expr::Const(_) => f64::INFINITY,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.kink_margin(xs).min(b.kink_margin(xs))
+            }
+            Expr::Tanh(a) => a.kink_margin(xs),
+            Expr::Min(a, b) | Expr::Max(a, b) => {
+                let gap = (a.eval(xs) - b.eval(xs)).abs();
+                gap.min(a.kink_margin(xs)).min(b.kink_margin(xs))
+            }
+        }
+    }
+}
+
+fn arb_expr(n_leaves: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..n_leaves).prop_map(Expr::Leaf),
+        (-2.0..2.0f64).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Tanh(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn gradient_matches_finite_difference(
+        expr in arb_expr(3),
+        xs in proptest::collection::vec(-1.5..1.5f64, 3),
+    ) {
+        // Skip points too close to a min/max tie: the subgradient choice and
+        // the central difference legitimately disagree there.
+        prop_assume!(expr.kink_margin(&xs) > 1e-3);
+
+        let tape = Tape::new();
+        let leaves = tape.vars(&xs);
+        let out = expr.trace(&tape, &leaves);
+        prop_assert!((out.value() - expr.eval(&xs)).abs() < 1e-9);
+
+        let grads = out.backward();
+        let ad: Vec<f64> = grads.wrt_slice(&leaves);
+        let fd = finite_grad(|p| expr.eval(p), &xs, 1e-5);
+        for (i, (a, f)) in ad.iter().zip(fd.iter()).enumerate() {
+            let scale = 1.0 + a.abs().max(f.abs());
+            prop_assert!(
+                (a - f).abs() / scale < 1e-3,
+                "coord {i}: ad={a} fd={f} expr={expr:?} xs={xs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_value_is_pure(expr in arb_expr(2), xs in proptest::collection::vec(-1.0..1.0f64, 2)) {
+        // Tracing the same expression twice on fresh tapes yields identical
+        // values (the tape has no hidden state).
+        let t1 = Tape::new();
+        let v1 = expr.trace(&t1, &t1.vars(&xs)).value();
+        let t2 = Tape::new();
+        let v2 = expr.trace(&t2, &t2.vars(&xs)).value();
+        prop_assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn linearity_of_backward(a in -2.0..2.0f64, b in -2.0..2.0f64, x0 in -1.0..1.0f64) {
+        // d(a·g + b·h)/dx == a·dg/dx + b·dh/dx with g = x², h = tanh x.
+        let t = Tape::new();
+        let x = t.var(x0);
+        let g = x * x;
+        let h = x.tanh();
+        let combo = g * a + h * b;
+        let dg = 2.0 * x0;
+        let dh = 1.0 - x0.tanh().powi(2);
+        let got = combo.backward().wrt(x);
+        prop_assert!((got - (a * dg + b * dh)).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,225 @@
+//! Dhalion — the rule-based state of the art the paper compares against.
+//!
+//! The paper summarizes the policy it runs (Section 6.1):
+//!
+//! > *"Dhalion linearly increases the number of tasks for an operator
+//! > suffering from the backpressure and removes the idle one if its CPU
+//! > utilization is lower than a threshold."*
+//!
+//! and Figure 4(d) adds: *"at each time slot, Dhalion selects one operator
+//! to adjust its configuration"*. Faithfully to Dhalion's
+//! symptom → diagnosis → resolution pipeline, each slot:
+//!
+//! 1. **Symptom**: operators reporting backpressure (buffer growth or
+//!    sustained saturation — what Heron derives from stream-manager
+//!    metrics).
+//! 2. **Diagnosis**: the most backpressured operator (largest buffer) is
+//!    under-provisioned.
+//! 3. **Resolution**: add `scale_step` task(s) to it. If nothing is
+//!    backpressured, remove one task from the most idle operator whose CPU
+//!    utilization is below `idle_threshold` (scale-down rule).
+//!
+//! Dhalion has no model and no memory: recurring load patterns trigger the
+//! same linear search every time — exactly the weakness Figure 6/Table 2
+//! exposes ("Dhalion always takes 40 minutes to do so").
+
+use dragster_sim::{Autoscaler, Deployment, SlotMetrics};
+
+/// Tunables of the rule pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DhalionConfig {
+    /// Tasks added to a backpressured operator per adjustment (the paper's
+    /// "linearly increases" — 1).
+    pub scale_step: usize,
+    /// CPU utilization below which a task is considered removable.
+    pub idle_threshold: f64,
+    /// Per-operator task ceiling.
+    pub max_tasks: usize,
+    /// Pod budget, if the experiment imposes one.
+    pub budget_pods: Option<usize>,
+}
+
+impl Default for DhalionConfig {
+    fn default() -> Self {
+        DhalionConfig {
+            scale_step: 1,
+            idle_threshold: 0.5,
+            max_tasks: 10,
+            budget_pods: None,
+        }
+    }
+}
+
+/// The Dhalion policy state.
+pub struct Dhalion {
+    cfg: DhalionConfig,
+}
+
+impl Dhalion {
+    pub fn new(cfg: DhalionConfig) -> Dhalion {
+        Dhalion { cfg }
+    }
+}
+
+impl Default for Dhalion {
+    fn default() -> Self {
+        Dhalion::new(DhalionConfig::default())
+    }
+}
+
+impl Autoscaler for Dhalion {
+    fn name(&self) -> String {
+        "Dhalion".into()
+    }
+
+    fn decide(&mut self, _t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment {
+        let mut next = current.clone();
+
+        // Symptom detection: the most backpressured operator.
+        let worst_bp = metrics
+            .operators
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.backpressure)
+            .max_by(|a, b| {
+                a.1.buffer_tuples
+                    .total_cmp(&b.1.buffer_tuples)
+                    .then(a.1.cpu_util.total_cmp(&b.1.cpu_util))
+            });
+
+        if let Some((i, _)) = worst_bp {
+            // Resolution: linear scale-up of the diagnosed operator.
+            let headroom_ok = self
+                .cfg
+                .budget_pods
+                .is_none_or(|b| next.total_pods() + self.cfg.scale_step <= b);
+            if next.tasks[i] < self.cfg.max_tasks && headroom_ok {
+                next.tasks[i] = (next.tasks[i] + self.cfg.scale_step).min(self.cfg.max_tasks);
+                return next;
+            }
+            // At the ceiling/budget: Dhalion has no further rule — it keeps
+            // the configuration (the Fig. 4d stuck-at-non-optimal case).
+            return next;
+        }
+
+        // No backpressure anywhere: scale-down rule. Remove one task from
+        // the most idle operator below the threshold.
+        let most_idle = metrics
+            .operators
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| o.cpu_util < self.cfg.idle_threshold && next.tasks[*i] > 1)
+            .min_by(|a, b| a.1.cpu_util.total_cmp(&b.1.cpu_util));
+        if let Some((i, _)) = most_idle {
+            next.tasks[i] -= 1;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_sim::OperatorMetrics;
+
+    fn op(name: &str, bp: bool, util: f64, buffer: f64) -> OperatorMetrics {
+        OperatorMetrics {
+            name: name.into(),
+            tasks: 2,
+            input_rate: 100.0,
+            input_rates: vec![100.0],
+            output_rate: 90.0,
+            offered_load: 100.0,
+            cpu_util: util,
+            capacity_sample: 120.0,
+            buffer_tuples: buffer,
+            latency_estimate_secs: buffer / 90.0,
+            backpressure: bp,
+        }
+    }
+
+    fn slot(ops: Vec<OperatorMetrics>) -> SlotMetrics {
+        SlotMetrics {
+            t: 0,
+            sim_time_secs: 600.0,
+            throughput: 90.0,
+            processed_tuples: 54000.0,
+            dropped_tuples: 0.0,
+            cost_dollars: 0.1,
+            pods: ops.iter().map(|o| o.tasks).sum(),
+            source_rates: vec![100.0],
+            reconfigured: false,
+            pause_secs: 0.0,
+            operators: ops,
+        }
+    }
+
+    #[test]
+    fn scales_up_most_backpressured() {
+        let mut d = Dhalion::default();
+        let m = slot(vec![op("a", true, 1.0, 500.0), op("b", true, 1.0, 9000.0)]);
+        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        assert_eq!(next.tasks, vec![2, 3]);
+    }
+
+    #[test]
+    fn adjusts_one_operator_per_slot() {
+        let mut d = Dhalion::default();
+        let m = slot(vec![op("a", true, 1.0, 500.0), op("b", true, 1.0, 400.0)]);
+        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        let moved: usize = next
+            .tasks
+            .iter()
+            .zip([2usize, 2])
+            .map(|(a, b)| a.abs_diff(b))
+            .sum();
+        assert_eq!(moved, 1);
+    }
+
+    #[test]
+    fn scales_down_idle_operator() {
+        let mut d = Dhalion::default();
+        let m = slot(vec![op("a", false, 0.2, 0.0), op("b", false, 0.8, 0.0)]);
+        let next = d.decide(0, &m, &Deployment { tasks: vec![3, 3] });
+        assert_eq!(next.tasks, vec![2, 3]);
+    }
+
+    #[test]
+    fn keeps_configuration_when_stable() {
+        let mut d = Dhalion::default();
+        let m = slot(vec![op("a", false, 0.7, 0.0), op("b", false, 0.8, 0.0)]);
+        let next = d.decide(0, &m, &Deployment { tasks: vec![3, 3] });
+        assert_eq!(next.tasks, vec![3, 3]);
+    }
+
+    #[test]
+    fn never_drops_below_one_task() {
+        let mut d = Dhalion::default();
+        let m = slot(vec![op("a", false, 0.01, 0.0)]);
+        let next = d.decide(0, &m, &Deployment { tasks: vec![1] });
+        assert_eq!(next.tasks, vec![1]);
+    }
+
+    #[test]
+    fn respects_budget_and_gets_stuck() {
+        let mut d = Dhalion::new(DhalionConfig {
+            budget_pods: Some(4),
+            ..Default::default()
+        });
+        let m = slot(vec![op("a", false, 0.9, 0.0), op("b", true, 1.0, 9000.0)]);
+        // already at budget: cannot add the needed task — stays put
+        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        assert_eq!(next.tasks, vec![2, 2]);
+    }
+
+    #[test]
+    fn respects_task_ceiling() {
+        let mut d = Dhalion::new(DhalionConfig {
+            max_tasks: 3,
+            ..Default::default()
+        });
+        let m = slot(vec![op("a", true, 1.0, 9000.0)]);
+        let next = d.decide(0, &m, &Deployment { tasks: vec![3] });
+        assert_eq!(next.tasks, vec![3]);
+    }
+}

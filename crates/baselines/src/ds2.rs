@@ -1,0 +1,175 @@
+//! DS2 — the linear rate-based scaling controller of Kalavri et al.
+//! (OSDI'18), discussed in the paper's Related Work: *"a dynamic scaling
+//! controller which linearly increases/decreases the number of executors in
+//! each operator based on the processing rate of upstreams."*
+//!
+//! DS2's model: measure each operator's *true* per-instance processing
+//! rate (the rate one task sustains when busy) and the rate it *must*
+//! sustain (its offered load), then jump directly to
+//! `parallelism = ⌈ offered / per-instance-rate ⌉` for every operator at
+//! once. With accurate rates this converges in one step ("three steps is
+//! all you need" in practice, due to measurement error); its weakness —
+//! which motivates Dragster — is the assumed *linear* capacity model: with
+//! contention or saturation the linear extrapolation systematically
+//! overshoots or undershoots.
+
+use dragster_sim::{Autoscaler, Deployment, SlotMetrics};
+
+/// DS2 tunables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ds2Config {
+    /// Per-operator task ceiling.
+    pub max_tasks: usize,
+    /// Pod budget, if any (DS2 itself is budget-unaware; we clamp).
+    pub budget_pods: Option<usize>,
+    /// Safety factor on the computed parallelism (DS2 deployments
+    /// typically over-provision slightly, e.g. 1.1).
+    pub headroom: f64,
+}
+
+impl Default for Ds2Config {
+    fn default() -> Self {
+        Ds2Config {
+            max_tasks: 10,
+            budget_pods: None,
+            headroom: 1.1,
+        }
+    }
+}
+
+/// The DS2 policy.
+pub struct Ds2 {
+    cfg: Ds2Config,
+}
+
+impl Ds2 {
+    pub fn new(cfg: Ds2Config) -> Ds2 {
+        Ds2 { cfg }
+    }
+}
+
+impl Default for Ds2 {
+    fn default() -> Self {
+        Ds2::new(Ds2Config::default())
+    }
+}
+
+impl Autoscaler for Ds2 {
+    fn name(&self) -> String {
+        "DS2".into()
+    }
+
+    fn decide(&mut self, _t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment {
+        let mut tasks = Vec::with_capacity(current.len());
+        for (i, om) in metrics.operators.iter().enumerate() {
+            // True per-instance rate: the observed capacity sample divided
+            // by the current task count (DS2 derives this from useful-time
+            // metrics; Eq. 8's sample is the same quantity here).
+            let per_instance = if om.capacity_sample > 1e-9 {
+                om.capacity_sample / current.tasks[i] as f64
+            } else {
+                0.0
+            };
+            let want = if per_instance > 1e-9 {
+                (om.offered_load * self.cfg.headroom / per_instance).ceil() as usize
+            } else {
+                current.tasks[i]
+            };
+            tasks.push(want.clamp(1, self.cfg.max_tasks));
+        }
+        let d = Deployment { tasks };
+        dragster_sim::harness::project_to_budget(d, self.cfg.budget_pods)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_sim::OperatorMetrics;
+
+    fn op(offered: f64, cap_sample: f64) -> OperatorMetrics {
+        OperatorMetrics {
+            name: "op".into(),
+            tasks: 2,
+            input_rate: offered,
+            input_rates: vec![offered],
+            output_rate: cap_sample.min(offered),
+            offered_load: offered,
+            cpu_util: 0.9,
+            capacity_sample: cap_sample,
+            buffer_tuples: 0.0,
+            latency_estimate_secs: 0.0,
+            backpressure: offered > cap_sample,
+        }
+    }
+
+    fn slot(ops: Vec<OperatorMetrics>) -> SlotMetrics {
+        SlotMetrics {
+            t: 0,
+            sim_time_secs: 600.0,
+            throughput: 100.0,
+            processed_tuples: 6e4,
+            dropped_tuples: 0.0,
+            cost_dollars: 0.1,
+            pods: 4,
+            source_rates: vec![100.0],
+            reconfigured: false,
+            pause_secs: 0.0,
+            operators: ops,
+        }
+    }
+
+    #[test]
+    fn jumps_to_required_parallelism() {
+        let mut ds2 = Ds2::new(Ds2Config {
+            headroom: 1.0,
+            ..Default::default()
+        });
+        // 2 tasks sustain 200 ⇒ 100/instance; offered 450 ⇒ need 5.
+        let m = slot(vec![op(450.0, 200.0)]);
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2] });
+        assert_eq!(next.tasks, vec![5]);
+    }
+
+    #[test]
+    fn scales_down_in_one_step() {
+        let mut ds2 = Ds2::new(Ds2Config {
+            headroom: 1.0,
+            ..Default::default()
+        });
+        // 8 tasks sustain 800 ⇒ offered 90 needs 1.
+        let m = slot(vec![op(90.0, 800.0)]);
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![8] });
+        assert_eq!(next.tasks, vec![1]);
+    }
+
+    #[test]
+    fn headroom_rounds_up() {
+        let mut ds2 = Ds2::default(); // headroom 1.1
+                                      // need exactly 4 instances; headroom pushes to 5
+        let m = slot(vec![op(400.0, 200.0)]);
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2] });
+        assert_eq!(next.tasks, vec![5]);
+    }
+
+    #[test]
+    fn clamps_to_ceiling_and_budget() {
+        let mut ds2 = Ds2::new(Ds2Config {
+            max_tasks: 10,
+            budget_pods: Some(7),
+            headroom: 1.0,
+        });
+        let m = slot(vec![op(5000.0, 100.0), op(5000.0, 100.0)]);
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        assert!(next.total_pods() <= 7);
+        assert!(next.tasks.iter().all(|&t| t >= 1));
+    }
+
+    #[test]
+    fn keeps_tasks_when_no_signal() {
+        let mut ds2 = Ds2::default();
+        let m = slot(vec![op(100.0, 0.0)]); // no capacity sample
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![3] });
+        assert_eq!(next.tasks, vec![3]);
+    }
+}

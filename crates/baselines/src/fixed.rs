@@ -1,0 +1,106 @@
+//! Trivial policies: static (never reconfigure) and uniform-random.
+//! They anchor the regret experiments — random incurs linear regret,
+//! static incurs linear regret whenever the load moves.
+
+use dragster_sim::{Autoscaler, Deployment, Rng, SlotMetrics};
+
+/// Never changes the deployment.
+pub struct StaticScaler;
+
+impl Autoscaler for StaticScaler {
+    fn name(&self) -> String {
+        "Static".into()
+    }
+
+    fn decide(&mut self, _t: usize, _m: &SlotMetrics, current: &Deployment) -> Deployment {
+        current.clone()
+    }
+}
+
+/// Picks a uniformly random feasible deployment every slot.
+pub struct RandomScaler {
+    rng: Rng,
+    pub max_tasks: usize,
+    pub budget_pods: Option<usize>,
+}
+
+impl RandomScaler {
+    pub fn new(seed: u64, max_tasks: usize, budget_pods: Option<usize>) -> RandomScaler {
+        RandomScaler {
+            rng: Rng::new(seed),
+            max_tasks,
+            budget_pods,
+        }
+    }
+}
+
+impl Autoscaler for RandomScaler {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn decide(&mut self, _t: usize, _m: &SlotMetrics, current: &Deployment) -> Deployment {
+        let tasks: Vec<usize> = (0..current.len())
+            .map(|_| 1 + self.rng.below(self.max_tasks))
+            .collect();
+        dragster_sim::harness::project_to_budget(Deployment { tasks }, self.budget_pods)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_metrics() -> SlotMetrics {
+        SlotMetrics {
+            t: 0,
+            sim_time_secs: 0.0,
+            throughput: 0.0,
+            processed_tuples: 0.0,
+            dropped_tuples: 0.0,
+            cost_dollars: 0.0,
+            pods: 0,
+            source_rates: vec![],
+            reconfigured: false,
+            pause_secs: 0.0,
+            operators: vec![],
+        }
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let mut s = StaticScaler;
+        let d = Deployment { tasks: vec![3, 7] };
+        assert_eq!(s.decide(0, &dummy_metrics(), &d), d);
+        assert_eq!(s.name(), "Static");
+    }
+
+    #[test]
+    fn random_is_feasible_and_varies() {
+        let mut r = RandomScaler::new(1, 10, Some(12));
+        let d = Deployment {
+            tasks: vec![1, 1, 1],
+        };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let next = r.decide(0, &dummy_metrics(), &d);
+            assert!(next.total_pods() <= 12);
+            assert!(next.tasks.iter().all(|&t| (1..=10).contains(&t)));
+            seen.insert(next.tasks.clone());
+        }
+        assert!(seen.len() > 5, "random policy not varying: {}", seen.len());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let d = Deployment { tasks: vec![1, 1] };
+        let mut a = RandomScaler::new(9, 10, None);
+        let mut b = RandomScaler::new(9, 10, None);
+        for _ in 0..10 {
+            assert_eq!(
+                a.decide(0, &dummy_metrics(), &d),
+                b.decide(0, &dummy_metrics(), &d)
+            );
+        }
+    }
+}

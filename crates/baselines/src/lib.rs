@@ -1,0 +1,20 @@
+//! Baseline autoscalers Dragster is evaluated against.
+//!
+//! * [`dhalion`] — the paper's comparator (Section 6.1): the rule-based
+//!   self-regulation policy of Twitter Heron's Dhalion [Floratou et al.,
+//!   VLDB'17], reimplemented from the rules the paper states: linearly add
+//!   a task to a backpressured operator; remove an idle task when CPU
+//!   utilization falls below a threshold.
+//! * [`ds2`] — the DS2 linear scaling controller [Kalavri et al., OSDI'18]
+//!   discussed in Related Work: sets each operator's parallelism from its
+//!   observed per-instance true processing rate in one step.
+//! * [`fixed`] — static and uniformly-random policies, used as sanity
+//!   anchors in regret experiments.
+
+pub mod dhalion;
+pub mod ds2;
+pub mod fixed;
+
+pub use dhalion::{Dhalion, DhalionConfig};
+pub use ds2::{Ds2, Ds2Config};
+pub use fixed::{RandomScaler, StaticScaler};

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the autodiff tape: the gradient of the
+//! Yahoo DAG's throughput function (the bottleneck-identification
+//! primitive) and raw tape throughput on deep chains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dragster_autodiff::Tape;
+use dragster_dag::throughput_grad;
+use dragster_workloads::yahoo_benchmark;
+use std::hint::black_box;
+
+fn bench_dag_gradient(c: &mut Criterion) {
+    let y = yahoo_benchmark();
+    let caps = vec![1.0e5; 6];
+    c.bench_function("throughput_grad_yahoo", |b| {
+        b.iter(|| {
+            black_box(throughput_grad(
+                black_box(&y.app.topology),
+                black_box(&y.high_rate),
+                black_box(&caps),
+            ))
+        });
+    });
+}
+
+fn bench_tape_chain(c: &mut Criterion) {
+    c.bench_function("tape_chain_1000_ops", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let x = tape.var(0.5);
+            let mut v = x;
+            for i in 0..1000 {
+                v = (v * 1.0001 + 0.001).min(tape.constant(2.0 + i as f64));
+            }
+            let g = v.backward();
+            black_box(g.wrt(x))
+        });
+    });
+}
+
+fn bench_tape_reuse(c: &mut Criterion) {
+    // clearing and reusing one tape vs allocating fresh — validates the
+    // reuse advice in the tape docs
+    c.bench_function("tape_cleared_reuse_100_ops", |b| {
+        let tape = Tape::with_capacity(256);
+        b.iter(|| {
+            tape.clear();
+            let x = tape.var(1.2);
+            let mut v = x;
+            for _ in 0..100 {
+                v = v.tanh() + 0.1;
+            }
+            black_box(v.backward().wrt(x))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dag_gradient, bench_tape_chain, bench_tape_reuse
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the controller path: the full per-slot
+//! decision (observe → dual/primal → GP update → UCB + projection) and its
+//! pieces — the saddle-point inner solve and the exact budget projection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragster_core::{project_acquisition, Dragster, DragsterConfig, TargetSolver};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{Autoscaler, ClusterConfig, Deployment, FluidSim, NoiseConfig};
+use dragster_workloads::{word_count, yahoo_benchmark, Workload};
+use std::hint::black_box;
+
+fn warmed_controller(
+    w: &Workload,
+    slots: usize,
+) -> (Dragster, dragster_sim::SlotMetrics, Deployment) {
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        42,
+        Deployment::uniform(w.n_operators(), 1),
+    );
+    let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let mut last = None;
+    for t in 0..slots {
+        let m = sim.run_slot(&w.high_rate);
+        let next = d.decide(t, &m, sim.deployment());
+        last = Some((m, sim.deployment().clone()));
+        sim.reconfigure(next).expect("feasible");
+    }
+    let (m, cur) = last.expect("ran at least one slot");
+    (d, m, cur)
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dragster_decide_slot");
+    for w in [word_count(), yahoo_benchmark()] {
+        let (mut d, m, cur) = warmed_controller(&w, 10);
+        g.bench_with_input(BenchmarkId::from_parameter(&w.name), &w.name, |b, _| {
+            b.iter(|| black_box(d.decide(black_box(11), black_box(&m), black_box(&cur))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_saddle_solve(c: &mut Criterion) {
+    let y = yahoo_benchmark();
+    let solver = TargetSolver::default();
+    let lambda = vec![0.3; 6];
+    let offered = vec![1.0e5; 6];
+    let start = vec![5.0e4; 6];
+    c.bench_function("saddle_solve_yahoo", |b| {
+        b.iter(|| {
+            black_box(solver.solve(
+                black_box(&y.app.topology),
+                black_box(&y.high_rate),
+                &offered,
+                &lambda,
+                &start,
+                4.0e5,
+            ))
+        });
+    });
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let tables: Vec<Vec<f64>> = (0..6)
+        .map(|i| {
+            (0..10)
+                .map(|x| ((i * 7 + x * 3) % 13) as f64 / 13.0)
+                .collect()
+        })
+        .collect();
+    c.bench_function("budget_projection_dp_6x10", |b| {
+        b.iter(|| black_box(project_acquisition(black_box(&tables), black_box(30))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decide, bench_saddle_solve, bench_projection
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the GP stack: incremental posterior
+//! updates (the per-slot controller cost) and batch posterior queries over
+//! the 10-point configuration grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragster_gp::{information_gain, GpRegressor, SquaredExp};
+use std::hint::black_box;
+
+fn observe_n(n: usize) -> GpRegressor<SquaredExp> {
+    let mut gp = GpRegressor::new(SquaredExp::new(3.0), 0.01);
+    for t in 0..n {
+        let x = (t % 10 + 1) as f64;
+        gp.observe(&[x], x * 0.08 + (t as f64 * 0.37).sin() * 0.01);
+    }
+    gp
+}
+
+fn bench_incremental_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_observe_incremental");
+    for &n in &[10usize, 50, 200, 500] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // The rebuild cost is excluded by iter_batched.
+            b.iter_batched(
+                || observe_n(n),
+                |mut gp| {
+                    gp.observe(black_box(&[5.0]), black_box(0.42));
+                    gp
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_posterior_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_posterior_grid10");
+    for &n in &[10usize, 100, 500] {
+        let gp = observe_n(n);
+        let grid: Vec<Vec<f64>> = (1..=10).map(|x| vec![x as f64]).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(gp.posterior_batch(black_box(&grid))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_information_gain(c: &mut Criterion) {
+    let k = SquaredExp::new(3.0);
+    let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10 + 1) as f64]).collect();
+    c.bench_function("information_gain_100pts", |b| {
+        b.iter(|| black_box(information_gain(&k, black_box(&xs), 0.01)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_incremental_observe, bench_posterior_grid, bench_information_gain
+}
+criterion_main!(benches);

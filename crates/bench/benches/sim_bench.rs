@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the simulators: fluid decision slots
+//! per workload and DES event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{ClusterConfig, Deployment, DesSim, FluidSim, NoiseConfig};
+use dragster_workloads::{word_count, yahoo_benchmark, Workload};
+use std::hint::black_box;
+
+fn fresh_sim(w: &Workload) -> FluidSim {
+    FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        42,
+        Deployment::uniform(w.n_operators(), 5),
+    )
+}
+
+fn bench_fluid_slot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_run_slot");
+    for w in [word_count(), yahoo_benchmark()] {
+        let mut sim = fresh_sim(&w);
+        let rate = w.high_rate.clone();
+        g.bench_with_input(BenchmarkId::from_parameter(&w.name), &w.name, |b, _| {
+            b.iter(|| black_box(sim.run_slot(black_box(&rate))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_des_run(c: &mut Criterion) {
+    let w = word_count();
+    c.bench_function("des_wordcount_600s", |b| {
+        b.iter(|| {
+            let des = DesSim::new(w.app.clone(), Deployment::uniform(2, 5), 1.0);
+            black_box(des.run(black_box(&w.high_rate), 600.0, 60.0))
+        });
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let y = yahoo_benchmark();
+    c.bench_function("oracle_greedy_yahoo", |b| {
+        b.iter(|| {
+            black_box(dragster_core::greedy_optimal(
+                black_box(&y.app),
+                black_box(&y.high_rate),
+                10,
+                Some(30),
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fluid_slot, bench_des_run, bench_oracle
+}
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Ablations over the design choices DESIGN.md calls out: the UCB
+//! exploration weight β, the GP kernel, the dual step γ₀, the observation
+//! noise level, and the deficit weight of the tracking acquisition. Each
+//! sweep runs WordCount-high and reports convergence time plus processed
+//! tuples.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin ablations
+//! ```
+
+use dragster_bench::report::Table;
+use dragster_bench::runner::write_json;
+use dragster_core::{greedy_optimal, AcquisitionKind, Dragster, DragsterConfig, UcbConfig};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{
+    run_experiment, ClusterConfig, ConstantArrival, Deployment, FluidSim, NoiseConfig,
+};
+use dragster_workloads::word_count;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Clone, Serialize)]
+struct AblationRow {
+    sweep: String,
+    setting: String,
+    convergence_minutes: Option<f64>,
+    total_tuples_e9: f64,
+    reconfigurations: usize,
+}
+
+fn run_with(cfg: DragsterConfig, noise: NoiseConfig, seeds: &[u64]) -> (Option<f64>, f64, usize) {
+    let w = word_count();
+    let slots = 40;
+    let (_, f_opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let opt = vec![f_opt; slots];
+    // medians over seeds
+    let mut convs = Vec::new();
+    let mut tuples = Vec::new();
+    let mut reconfs = Vec::new();
+    for &seed in seeds {
+        let mut sim = FluidSim::new(
+            w.app.clone(),
+            ClusterConfig::default(),
+            SimConfig::default(),
+            noise,
+            seed,
+            Deployment::uniform(2, 1),
+        );
+        let mut scaler = Dragster::new(w.app.topology.clone(), cfg);
+        let mut arr = ConstantArrival(w.high_rate.clone());
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, slots);
+        convs.push(
+            trace
+                .convergence_minutes(&opt, 0.1, 0..slots, 600.0)
+                .unwrap_or(slots as f64 * 10.0),
+        );
+        tuples.push(trace.total_processed());
+        reconfs.push(trace.slots.iter().filter(|s| s.reconfigured).count());
+    }
+    convs.sort_by(f64::total_cmp);
+    tuples.sort_by(f64::total_cmp);
+    reconfs.sort_unstable();
+    let conv = convs[convs.len() / 2];
+    (
+        if conv >= 400.0 { None } else { Some(conv) },
+        tuples[tuples.len() / 2],
+        reconfs[reconfs.len() / 2],
+    )
+}
+
+fn main() {
+    let seeds = [11u64, 42, 77];
+    let base = DragsterConfig::saddle_point();
+    let mut jobs: Vec<(String, String, DragsterConfig, NoiseConfig)> = Vec::new();
+
+    // β scale (exploration weight)
+    for bs in [0.0, 0.01, 0.05, 0.2, 1.0] {
+        jobs.push((
+            "beta_scale".into(),
+            format!("{bs}"),
+            DragsterConfig {
+                ucb: UcbConfig {
+                    beta_scale: bs,
+                    ..base.ucb
+                },
+                ..base
+            },
+            NoiseConfig::default(),
+        ));
+    }
+    // kernel length scale
+    for l in [0.5, 1.5, 3.0, 6.0] {
+        jobs.push((
+            "length_scale".into(),
+            format!("{l}"),
+            DragsterConfig {
+                ucb: UcbConfig {
+                    length_scale: l,
+                    ..base.ucb
+                },
+                ..base
+            },
+            NoiseConfig::default(),
+        ));
+    }
+    // dual step γ₀
+    for g in [0.1, 1.0, 5.0] {
+        jobs.push((
+            "gamma0".into(),
+            format!("{g}"),
+            DragsterConfig { gamma0: g, ..base },
+            NoiseConfig::default(),
+        ));
+    }
+    // deficit weight (1.0 = the paper's symmetric acquisition)
+    for dw in [1.0, 2.0, 3.0, 6.0] {
+        jobs.push((
+            "deficit_weight".into(),
+            format!("{dw}"),
+            DragsterConfig {
+                ucb: UcbConfig {
+                    deficit_weight: dw,
+                    ..base.ucb
+                },
+                ..base
+            },
+            NoiseConfig::default(),
+        ));
+    }
+    // sequential-bottleneck restriction (paper narrative) vs joint argmax
+    for (label, k) in [("joint (all ops)", None), ("top-1 bottleneck", Some(1))] {
+        jobs.push((
+            "adjust_scope".into(),
+            label.into(),
+            DragsterConfig {
+                max_adjust_per_slot: k,
+                ..base
+            },
+            NoiseConfig::default(),
+        ));
+    }
+    // acquisition family (extended UCB = paper; Thompson = BO alternative)
+    for (label, kind) in [
+        ("extended-ucb", AcquisitionKind::ExtendedUcb),
+        ("thompson", AcquisitionKind::Thompson),
+    ] {
+        jobs.push((
+            "acquisition".into(),
+            label.into(),
+            DragsterConfig {
+                ucb: UcbConfig {
+                    acquisition: kind,
+                    ..base.ucb
+                },
+                ..base
+            },
+            NoiseConfig::default(),
+        ));
+    }
+    // cloud-noise level
+    for (label, cj, co) in [
+        ("none", 0.0, 0.0),
+        ("default", 0.03, 0.05),
+        ("heavy", 0.10, 0.15),
+    ] {
+        jobs.push((
+            "cloud_noise".into(),
+            label.into(),
+            base,
+            NoiseConfig {
+                capacity_jitter_std: cj,
+                cpu_observation_std: co,
+                ..NoiseConfig::none()
+            },
+        ));
+    }
+
+    let rows: Vec<AblationRow> = jobs
+        .par_iter()
+        .map(|(sweep, setting, cfg, noise)| {
+            let (conv, tuples, reconfs) = run_with(*cfg, *noise, &seeds);
+            AblationRow {
+                sweep: sweep.clone(),
+                setting: setting.clone(),
+                convergence_minutes: conv,
+                total_tuples_e9: tuples / 1e9,
+                reconfigurations: reconfs,
+            }
+        })
+        .collect();
+
+    println!(
+        "=== Ablations (WordCount-high, median of {} seeds) ===\n",
+        seeds.len()
+    );
+    let mut table = Table::new(&[
+        "sweep",
+        "setting",
+        "convergence (min)",
+        "tuples (1e9)",
+        "reconfigs",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.sweep.clone(),
+            r.setting.clone(),
+            r.convergence_minutes
+                .map_or("—".into(), |m| format!("{m:.0}")),
+            format!("{:.2}", r.total_tuples_e9),
+            r.reconfigurations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    write_json(
+        "ablations",
+        "Hyper-parameter sweeps on WordCount-high",
+        &rows,
+    );
+}

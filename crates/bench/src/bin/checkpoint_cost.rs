@@ -1,0 +1,99 @@
+//! Section 3.1 / 6.4's side claim: the checkpoint stop-adjust-resume
+//! mechanism "may sacrifice 5 % processing time, \[but\] can achieve 5X–6X
+//! improvement in application throughput".
+//!
+//! We run WordCount under the Figure-6 load pattern three ways:
+//! * Dragster with the normal 30 s pause per reconfiguration;
+//! * Dragster with free (0 s) reconfiguration — the upper bound;
+//! * a static never-reconfigure baseline (what you get if you refuse to
+//!   pay the checkpoint cost at all, provisioned for the low phase).
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin checkpoint_cost
+//! ```
+
+use dragster_bench::runner::{make_scaler, write_json, Scheme};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{run_experiment, ClusterConfig, Deployment, FluidSim, NoiseConfig};
+use dragster_workloads::{word_count, SquareWave};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CheckpointRow {
+    setup: String,
+    total_tuples: f64,
+    pause_fraction_pct: f64,
+}
+
+fn main() {
+    let w = word_count();
+    let slots = 100;
+    let mk_arrival = || SquareWave {
+        high: w.high_rate.clone(),
+        low: w.low_rate.clone(),
+        half_period_slots: 20,
+    };
+
+    let mut rows = Vec::new();
+    for (setup, pause, scheme, initial_tasks) in [
+        ("Dragster + 30s checkpoint", 30.0, Scheme::DragsterSaddle, 1),
+        ("Dragster + free reconfig", 0.0, Scheme::DragsterSaddle, 1),
+        // static sized for the low phase — the no-elasticity strawman the
+        // 5X-6X claim compares against
+        ("static (low-phase sizing)", 30.0, Scheme::Static, 1),
+        // reconfigures nearly every slot: the worst-case ~5 % pause tax
+        ("random (reconfig every slot)", 30.0, Scheme::Random, 1),
+    ] {
+        let cluster = ClusterConfig {
+            reconfig_pause_secs: pause,
+            ..Default::default()
+        };
+        let mut sim = FluidSim::new(
+            w.app.clone(),
+            cluster,
+            SimConfig::default(),
+            NoiseConfig::default(),
+            42,
+            Deployment::uniform(w.n_operators(), initial_tasks),
+        );
+        let mut scaler = make_scaler(scheme, &w.app, None, 42);
+        let mut arrival = mk_arrival();
+        let trace = run_experiment(&mut sim, scaler.as_mut(), &mut arrival, slots);
+        let paused: f64 = trace.slots.iter().map(|s| s.pause_secs).sum();
+        let total_secs = slots as f64 * SimConfig::default().slot_secs;
+        rows.push(CheckpointRow {
+            setup: setup.into(),
+            total_tuples: trace.total_processed(),
+            pause_fraction_pct: paused / total_secs * 100.0,
+        });
+    }
+
+    println!("=== Checkpoint-cost experiment (Sections 3.1 / 6.4) ===\n");
+    for r in &rows {
+        println!(
+            "{:<28} {:>7.2}e9 tuples, {:>4.1} % of time paused",
+            r.setup,
+            r.total_tuples / 1e9,
+            r.pause_fraction_pct
+        );
+    }
+    let with = rows[0].total_tuples;
+    let free = rows[1].total_tuples;
+    let stat = rows[2].total_tuples;
+    println!(
+        "\nDragster's pauses sacrifice {:.1} % of tuples vs free reconfig; \
+         reconfiguring every slot would pause {:.1} % of time (paper's ~5 % worst case)",
+        (1.0 - with / free) * 100.0,
+        rows[3].pause_fraction_pct
+    );
+    println!(
+        "elasticity buys {:.1}x the throughput of the static low-sized deployment (paper: 5X–6X)",
+        with / stat
+    );
+
+    write_json(
+        "checkpoint_cost",
+        "Cost and benefit of checkpoint-based reconfiguration",
+        &rows,
+    );
+}

@@ -1,0 +1,157 @@
+//! Figure 5: convergence time (minutes) of the three schemes across the
+//! 11-workload suite (5 Nexmark applications × 2 rates + Yahoo), sorted by
+//! operator count. Also reports the per-group speedups the paper quotes
+//! (Section 6.3): saddle point ≈ 1.64× (one operator) / 2.67× (two) /
+//! 2.2× (Yahoo); online gradient ≈ 1.38× / 1.81× / 1.6×.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin fig5
+//! ```
+
+use dragster_bench::report::Table;
+use dragster_bench::runner::{run_scheme, write_json, Scheme, ALL_SCHEMES};
+use dragster_sim::{ArrivalProcess, ConstantArrival, Deployment, NoiseConfig};
+use dragster_workloads::figure5_suite;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig5Row {
+    workload: String,
+    operators: usize,
+    scheme: String,
+    convergence_minutes: Option<f64>,
+    convergence_slot: Option<usize>,
+}
+
+fn main() {
+    let suite = figure5_suite();
+    let slots = 40;
+
+    // (workload, scheme, seed) grid, embarrassingly parallel over rayon;
+    // we report the median over seeds (the cloud noise makes individual
+    // runs vary by a slot or two).
+    const SEEDS: [u64; 5] = [11, 23, 42, 77, 1234];
+    let jobs: Vec<(usize, Scheme, u64)> = (0..suite.len())
+        .flat_map(|wi| {
+            ALL_SCHEMES
+                .iter()
+                .flat_map(move |&s| SEEDS.iter().map(move |&seed| (wi, s, seed)))
+        })
+        .collect();
+    let raw: Vec<Fig5Row> = jobs
+        .par_iter()
+        .map(|&(wi, scheme, seed)| {
+            let (w, rate, label) = &suite[wi];
+            let mut factory = {
+                let rate = rate.clone();
+                move || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>
+            };
+            let run = run_scheme(
+                scheme,
+                &w.app,
+                &mut factory,
+                slots,
+                None,
+                NoiseConfig::default(),
+                seed,
+                Deployment::uniform(w.n_operators(), 1),
+            );
+            Fig5Row {
+                workload: label.clone(),
+                operators: w.n_operators(),
+                scheme: run.scheme,
+                convergence_minutes: run.convergence_minutes,
+                convergence_slot: run.convergence_slot,
+            }
+        })
+        .collect();
+    // median over seeds per (workload, scheme); a run that never converged
+    // counts as the full horizon.
+    let mut rows: Vec<Fig5Row> = Vec::new();
+    for (w, _, label) in &suite {
+        for scheme in ALL_SCHEMES {
+            let mut vals: Vec<f64> = raw
+                .iter()
+                .filter(|r| &r.workload == label && r.scheme == scheme.label())
+                .map(|r| r.convergence_minutes.unwrap_or(slots as f64 * 10.0))
+                .collect();
+            vals.sort_by(f64::total_cmp);
+            let med = vals[vals.len() / 2];
+            rows.push(Fig5Row {
+                workload: label.clone(),
+                operators: w.n_operators(),
+                scheme: scheme.label().into(),
+                convergence_minutes: Some(med),
+                convergence_slot: Some((med / 10.0) as usize),
+            });
+        }
+    }
+    rows.sort_by(|a, b| {
+        (a.operators, &a.workload, &a.scheme).cmp(&(b.operators, &b.workload, &b.scheme))
+    });
+
+    println!("=== Figure 5 — convergence time under the 11-workload suite ===\n");
+    let mut table = Table::new(&[
+        "workload",
+        "ops",
+        "Dhalion (min)",
+        "saddle pt (min)",
+        "online gd (min)",
+    ]);
+    let fmt = |m: &Option<f64>| m.map_or("—".to_string(), |v| format!("{v:.0}"));
+    let by = |rows: &[Fig5Row], wl: &str, s: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.workload == wl && r.scheme == s)
+            .and_then(|r| r.convergence_minutes)
+    };
+    let mut labels: Vec<(String, usize)> = rows
+        .iter()
+        .map(|r| (r.workload.clone(), r.operators))
+        .collect();
+    labels.dedup();
+    for (wl, ops) in &labels {
+        table.row(vec![
+            wl.clone(),
+            ops.to_string(),
+            fmt(&by(&rows, wl, "Dhalion")),
+            fmt(&by(&rows, wl, "Dragster saddle point")),
+            fmt(&by(&rows, wl, "Dragster online gradient")),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Speedup aggregation by operator-count group, like Section 6.3.
+    println!("--- speedups vs Dhalion (geometric mean per group; paper values in comments) ---");
+    for (group, ops_filter) in [
+        ("1-operator", 1usize),
+        ("2-operator", 2),
+        ("Yahoo (6 ops)", 6),
+    ] {
+        for scheme in ["Dragster saddle point", "Dragster online gradient"] {
+            let ratios: Vec<f64> = labels
+                .iter()
+                .filter(|(_, o)| *o == ops_filter)
+                .filter_map(|(wl, _)| {
+                    let d = by(&rows, wl, "Dhalion")?;
+                    let s = by(&rows, wl, scheme)?;
+                    Some(d / s)
+                })
+                .collect();
+            if ratios.is_empty() {
+                continue;
+            }
+            let gm = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            println!("{group:>14} {scheme}: {gm:.2}x speedup");
+        }
+    }
+    println!(
+        "\n(paper: saddle 1.64x/2.67x/2.2x and gradient 1.38x/1.81x/1.6x for 1-op/2-op/Yahoo)"
+    );
+
+    write_json(
+        "fig5",
+        "Convergence time for 11 workloads x 3 schemes",
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 6: streaming throughput of WordCount over 1000 minutes while the
+//! offered load flips between high and low every 200 minutes, for the
+//! three schemes. The printed series shows the checkpoint dips ("every 10
+//! minutes, throughput curves temporarily decrease") and how quickly each
+//! scheme re-converges after each flip.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin fig6
+//! ```
+
+use dragster_bench::experiments::workload_change_experiment;
+use dragster_bench::report::ascii_series;
+use dragster_bench::runner::write_json;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6Series {
+    scheme: String,
+    throughput: Vec<f64>,
+    optimal: Vec<f64>,
+    pods: Vec<usize>,
+}
+
+fn main() {
+    let exp = workload_change_experiment(42);
+    println!(
+        "=== Figure 6 — WordCount throughput under load flips every {} min ({} min total) ===\n",
+        exp.phase_slots * 10,
+        exp.slots * 10
+    );
+    let mut series = Vec::new();
+    for run in &exp.runs {
+        print!("{}", ascii_series(&run.scheme, &run.throughput, 100));
+        series.push(Fig6Series {
+            scheme: run.scheme.clone(),
+            throughput: run.throughput.clone(),
+            optimal: run.optimal_throughput.clone(),
+            pods: run.trace.slots.iter().map(|s| s.pods).collect(),
+        });
+    }
+    print!(
+        "{}",
+        ascii_series("(oracle optimal)", &exp.runs[0].optimal_throughput, 100)
+    );
+    println!("\npods allocated over time:");
+    for run in &exp.runs {
+        let pods: Vec<f64> = run.trace.slots.iter().map(|s| s.pods as f64).collect();
+        print!("{}", ascii_series(&run.scheme, &pods, 100));
+    }
+    println!(
+        "\ntotals over {} minutes: {}",
+        exp.slots * 10,
+        exp.runs
+            .iter()
+            .map(|r| format!(
+                "{}: {:.2}e9 tuples / ${:.1}",
+                r.scheme,
+                r.total_tuples / 1e9,
+                r.total_cost
+            ))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+
+    write_json(
+        "fig6",
+        "WordCount throughput timeline under 200-minute load flips, 3 schemes",
+        &series,
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 7: streaming throughput of the Yahoo streaming benchmark (six
+//! operators, 10⁶ joint configurations) over 600 minutes, with the input
+//! rate scaled up at 300 minutes without notifying the system.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin fig7
+//! ```
+
+use dragster_bench::experiments::yahoo_experiment;
+use dragster_bench::report::ascii_series;
+use dragster_bench::runner::write_json;
+use dragster_sim::fluid::SimConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig7Series {
+    scheme: String,
+    throughput: Vec<f64>,
+    optimal: Vec<f64>,
+    pods: Vec<usize>,
+    convergence_minutes_initial: Option<f64>,
+    convergence_minutes_after_step: Option<f64>,
+}
+
+fn main() {
+    let exp = yahoo_experiment(42);
+    println!(
+        "=== Figure 7 — Yahoo benchmark throughput; input rate steps up at {} min ===\n",
+        exp.step_slot * 10
+    );
+    let slot_secs = SimConfig::default().slot_secs;
+    let mut series = Vec::new();
+    for run in &exp.runs {
+        print!("{}", ascii_series(&run.scheme, &run.throughput, 100));
+        let initial = run.trace.convergence_minutes(
+            &run.optimal_throughput,
+            0.1,
+            0..exp.step_slot,
+            slot_secs,
+        );
+        let after = run.trace.convergence_minutes(
+            &run.optimal_throughput,
+            0.1,
+            exp.step_slot..exp.slots,
+            slot_secs,
+        );
+        series.push(Fig7Series {
+            scheme: run.scheme.clone(),
+            throughput: run.throughput.clone(),
+            optimal: run.optimal_throughput.clone(),
+            pods: run.trace.slots.iter().map(|s| s.pods).collect(),
+            convergence_minutes_initial: initial,
+            convergence_minutes_after_step: after,
+        });
+    }
+    print!(
+        "{}",
+        ascii_series("(oracle optimal)", &exp.runs[0].optimal_throughput, 100)
+    );
+
+    println!("\nconvergence (paper: Dhalion 240 min initial / 90 after the step; Dragster saddle 110 / 30):");
+    for s in &series {
+        println!(
+            "{:<28} initial {:>4} min, after step {:>4} min",
+            s.scheme,
+            s.convergence_minutes_initial
+                .map_or("—".into(), |m| format!("{m:.0}")),
+            s.convergence_minutes_after_step
+                .map_or("—".into(), |m| format!("{m:.0}")),
+        );
+    }
+
+    write_json(
+        "fig7",
+        "Yahoo benchmark throughput timeline with an input step at 300 min",
+        &series,
+    );
+}

@@ -1,0 +1,120 @@
+//! The paper's abstract claims, regenerated in one run:
+//!
+//! * 1.8×–2.2× speed-up in converging to the optimal configuration;
+//! * 20.0 %–25.8 % gain in tuple-processing goodput;
+//! * 14.6 %–15.6 % cost-savings for processing the same number of tuples.
+//!
+//! Speedups aggregate Figure-5-style convergence across the suite; goodput
+//! and cost come from the Figure-6 workload-change run (Table 2) — the
+//! same provenance as the paper's abstract.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin headline
+//! ```
+
+use dragster_bench::experiments::workload_change_experiment;
+use dragster_bench::runner::{run_scheme, write_json, Scheme, ALL_SCHEMES};
+use dragster_sim::{ArrivalProcess, ConstantArrival, Deployment, NoiseConfig};
+use dragster_workloads::figure5_suite;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Headline {
+    speedup_saddle: f64,
+    speedup_gradient: f64,
+    goodput_gain_saddle_pct: f64,
+    goodput_gain_gradient_pct: f64,
+    cost_savings_saddle_pct: f64,
+    cost_savings_gradient_pct: f64,
+}
+
+fn main() {
+    // --- convergence speedups over the suite (median of seeds) ---
+    const SEEDS: [u64; 3] = [11, 42, 1234];
+    let suite = figure5_suite();
+    let jobs: Vec<(usize, Scheme, u64)> = (0..suite.len())
+        .flat_map(|wi| {
+            ALL_SCHEMES
+                .iter()
+                .flat_map(move |&s| SEEDS.iter().map(move |&seed| (wi, s, seed)))
+        })
+        .collect();
+    let conv: Vec<(usize, Scheme, f64)> = jobs
+        .par_iter()
+        .map(|&(wi, scheme, seed)| {
+            let (w, rate, _) = &suite[wi];
+            let mut factory = {
+                let rate = rate.clone();
+                move || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>
+            };
+            let run = run_scheme(
+                scheme,
+                &w.app,
+                &mut factory,
+                40,
+                None,
+                NoiseConfig::default(),
+                seed,
+                Deployment::uniform(w.n_operators(), 1),
+            );
+            (wi, scheme, run.convergence_minutes.unwrap_or(400.0))
+        })
+        .collect();
+    let median = |wi: usize, s: Scheme| -> f64 {
+        let mut v: Vec<f64> = conv
+            .iter()
+            .filter(|(i, sc, _)| *i == wi && *sc == s)
+            .map(|(_, _, m)| *m)
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let speedup = |s: Scheme| -> f64 {
+        let ratios: Vec<f64> = (0..suite.len())
+            .map(|wi| median(wi, Scheme::Dhalion) / median(wi, s))
+            .collect();
+        (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+    };
+    let sp_saddle = speedup(Scheme::DragsterSaddle);
+    let sp_grad = speedup(Scheme::DragsterOgd);
+
+    // --- goodput & cost from the workload-change run ---
+    let exp = workload_change_experiment(42);
+    let dh = &exp.runs[0];
+    let saddle = &exp.runs[1];
+    let grad = &exp.runs[2];
+    let goodput =
+        |r: &dragster_bench::runner::SchemeRun| (r.total_tuples / dh.total_tuples - 1.0) * 100.0;
+    let savings = |r: &dragster_bench::runner::SchemeRun| {
+        (1.0 - r.cost_per_billion / dh.cost_per_billion) * 100.0
+    };
+
+    println!("=== Headline claims (paper abstract) ===\n");
+    println!(
+        "convergence speedup vs Dhalion : saddle {sp_saddle:.2}x, gradient {sp_grad:.2}x  (paper: 1.8x–2.2x)"
+    );
+    println!(
+        "goodput gain vs Dhalion        : saddle {:+.1} %, gradient {:+.1} %  (paper: +20.0 %–25.8 %)",
+        goodput(saddle),
+        goodput(grad)
+    );
+    println!(
+        "cost savings vs Dhalion        : saddle {:+.1} %, gradient {:+.1} %  (paper: 14.6 %–15.6 %)",
+        savings(saddle),
+        savings(grad)
+    );
+
+    write_json(
+        "headline",
+        "Abstract-level aggregate claims",
+        &Headline {
+            speedup_saddle: sp_saddle,
+            speedup_gradient: sp_grad,
+            goodput_gain_saddle_pct: goodput(saddle),
+            goodput_gain_gradient_pct: goodput(grad),
+            cost_savings_saddle_pct: savings(saddle),
+            cost_savings_gradient_pct: savings(grad),
+        },
+    );
+}

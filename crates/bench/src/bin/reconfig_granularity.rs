@@ -1,0 +1,127 @@
+//! Section 3.1's Cameo remark, quantified: "Dragster can also take
+//! advantage of a faster, more dynamic reconfiguration mechanism, such as
+//! Cameo, to perform at shorter time intervals." We sweep the actuation
+//! mechanism (Flink checkpoint ≈ 30 s pause / Storm rebalance ≈ 10 s /
+//! Cameo ≈ 2 s) × decision-slot length (10 / 5 / 2 min) on the Figure-6
+//! square-wave workload and report processed tuples + time lost to pauses.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin reconfig_granularity
+//! ```
+
+use dragster_bench::report::Table;
+use dragster_bench::runner::write_json;
+use dragster_core::{Dragster, DragsterConfig};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{run_experiment, ClusterConfig, Deployment, FluidSim, NoiseConfig};
+use dragster_workloads::{word_count, SquareWave};
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GranRow {
+    mechanism: String,
+    pause_secs: f64,
+    slot_minutes: f64,
+    total_tuples_e9: f64,
+    pause_pct: f64,
+    mean_fraction_of_optimal: f64,
+}
+
+fn main() {
+    let total_minutes = 1000.0;
+    let mechanisms = [
+        ("Flink checkpoint", ClusterConfig::flink_on_k8s()),
+        ("Storm rebalance", ClusterConfig::storm_rebalance()),
+        ("Cameo", ClusterConfig::cameo()),
+    ];
+    let slot_minutes = [10.0, 5.0, 2.0];
+
+    let jobs: Vec<(usize, f64)> = (0..mechanisms.len())
+        .flat_map(|m| slot_minutes.iter().map(move |&s| (m, s)))
+        .collect();
+    let rows: Vec<GranRow> = jobs
+        .par_iter()
+        .map(|&(mi, slot_min)| {
+            let w = word_count();
+            let (name, cluster) = (mechanisms[mi].0, mechanisms[mi].1);
+            let slots = (total_minutes / slot_min) as usize;
+            let phase_slots = (200.0 / slot_min) as usize;
+            let sim_cfg = SimConfig {
+                slot_secs: slot_min * 60.0,
+                tick_secs: (slot_min * 60.0 / 60.0).max(2.0),
+                ..Default::default()
+            };
+            let mut sim = FluidSim::new(
+                w.app.clone(),
+                cluster,
+                sim_cfg,
+                NoiseConfig::default(),
+                42,
+                Deployment::uniform(2, 1),
+            );
+            let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+            let mut arrival = SquareWave {
+                high: w.high_rate.clone(),
+                low: w.low_rate.clone(),
+                half_period_slots: phase_slots,
+            };
+            let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, slots);
+            let paused: f64 = trace.slots.iter().map(|s| s.pause_secs).sum();
+            // mean fraction of the oracle optimum, per slot
+            let mut arrival2 = SquareWave {
+                high: w.high_rate.clone(),
+                low: w.low_rate.clone(),
+                half_period_slots: phase_slots,
+            };
+            let frac: f64 = (0..slots)
+                .map(|t| {
+                    let r = dragster_sim::ArrivalProcess::rates(&mut arrival2, t);
+                    let (_, opt) = dragster_core::greedy_optimal(&w.app, &r, 10, None);
+                    trace.ideal_throughput[t] / opt.max(1e-9)
+                })
+                .sum::<f64>()
+                / slots as f64;
+            GranRow {
+                mechanism: name.into(),
+                pause_secs: cluster.reconfig_pause_secs,
+                slot_minutes: slot_min,
+                total_tuples_e9: trace.total_processed() / 1e9,
+                pause_pct: paused / (total_minutes * 60.0) * 100.0,
+                mean_fraction_of_optimal: frac,
+            }
+        })
+        .collect();
+
+    println!("=== Reconfiguration granularity (Cameo remark, §3.1) — WordCount square wave, 1000 min ===\n");
+    let mut table = Table::new(&[
+        "mechanism",
+        "pause (s)",
+        "slot (min)",
+        "tuples (1e9)",
+        "pause time (%)",
+        "mean frac. optimal",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.mechanism.clone(),
+            format!("{:.0}", r.pause_secs),
+            format!("{:.0}", r.slot_minutes),
+            format!("{:.2}", r.total_tuples_e9),
+            format!("{:.2}", r.pause_pct),
+            format!("{:.3}", r.mean_fraction_of_optimal),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "shorter decision intervals track the moving optimum more tightly (mean fraction\n\
+         of optimal rises), and a cheaper actuation mechanism shrinks the pause tax —\n\
+         quantifying §3.1's remark that Dragster benefits from Cameo-style reconfiguration."
+    );
+
+    write_json(
+        "reconfig_granularity",
+        "Actuation mechanism x decision interval sweep",
+        &rows,
+    );
+}

@@ -1,0 +1,89 @@
+//! Table 2: per-200-minute-phase convergence time, processed tuples, and
+//! cost per billion tuples for the Figure-6 run (WordCount under load
+//! flips). The paper's headline cost claim comes from the low phases:
+//! Dragster scales deeper than Dhalion's idle-CPU rule, yielding
+//! "14.6 %–15.6 % cost-savings".
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin table2
+//! ```
+
+use dragster_bench::experiments::{phase_metrics, workload_change_experiment};
+use dragster_bench::report::Table;
+use dragster_bench::runner::write_json;
+
+fn main() {
+    let exp = workload_change_experiment(42);
+    let phases: Vec<_> = exp
+        .runs
+        .iter()
+        .map(|r| phase_metrics(r, exp.phase_slots))
+        .collect();
+    let n_phases = phases[0].len();
+
+    println!("=== Table 2 — WordCount under workload changes (phases of 200 min) ===\n");
+    let mut header = vec!["metric / scheme".to_string()];
+    for (p, ph) in phases[0].iter().enumerate().take(n_phases) {
+        header.push(format!(
+            "{}-{} min ({})",
+            p * 200,
+            (p + 1) * 200,
+            ph.offered
+        ));
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&hdr);
+
+    for (metric, fmt) in [
+        ("Convergence time (min)", 0usize),
+        ("# processed tuples (1e9)", 1),
+        ("Cost per 1e9 tuples ($)", 2),
+    ] {
+        for (run, ph) in exp.runs.iter().zip(phases.iter()) {
+            let mut cells = vec![format!("{metric}: {}", run.scheme)];
+            for p in ph {
+                cells.push(match fmt {
+                    0 => p
+                        .convergence_minutes
+                        .map_or("—".into(), |m| format!("{m:.0}")),
+                    1 => format!("{:.2}", p.processed_tuples / 1e9),
+                    _ => format!("{:.1}", p.cost_per_billion),
+                });
+            }
+            table.row(cells);
+        }
+    }
+    println!("{}", table.render());
+
+    // Aggregates the paper quotes from this experiment.
+    let dhalion = &exp.runs[0];
+    assert_eq!(dhalion.scheme, "Dhalion");
+    for run in &exp.runs[1..] {
+        let goodput_gain = (run.total_tuples / dhalion.total_tuples - 1.0) * 100.0;
+        let cost_savings = (1.0 - run.cost_per_billion / dhalion.cost_per_billion) * 100.0;
+        println!(
+            "{}: {goodput_gain:+.1} % tuples processed vs Dhalion (paper: +20.0–25.8 %), \
+             {cost_savings:+.1} % cost-per-tuple savings (paper: 14.6–15.6 %)",
+            run.scheme
+        );
+    }
+    // Low-phase cost comparison (where the savings come from).
+    let low_cost = |ph: &[dragster_bench::experiments::PhaseMetrics]| {
+        let xs: Vec<f64> = ph
+            .iter()
+            .filter(|p| p.offered == "low")
+            .map(|p| p.cost_per_billion)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    println!();
+    for (run, ph) in exp.runs.iter().zip(phases.iter()) {
+        println!(
+            "{}: mean low-phase cost {:.1} $/1e9 tuples",
+            run.scheme,
+            low_cost(ph)
+        );
+    }
+
+    write_json("table2", "Per-phase metrics for the Fig.6 run", &phases);
+}

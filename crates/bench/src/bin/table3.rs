@@ -1,0 +1,93 @@
+//! Table 3: Yahoo streaming benchmark over the first 300 minutes —
+//! convergence time, processing rate before convergence, and cost per
+//! billion tuples, for the three schemes.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin table3
+//! ```
+
+use dragster_bench::experiments::yahoo_experiment;
+use dragster_bench::report::Table;
+use dragster_bench::runner::write_json;
+use dragster_sim::fluid::SimConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Row {
+    scheme: String,
+    convergence_minutes: Option<f64>,
+    proc_rate_before_convergence: f64,
+    cost_per_billion: f64,
+}
+
+fn main() {
+    let exp = yahoo_experiment(42);
+    let slot_secs = SimConfig::default().slot_secs;
+    let window = 0..exp.step_slot; // the paper's Table 3 covers 300 minutes
+
+    println!("=== Table 3 — Yahoo benchmark, first 300 minutes ===\n");
+    let mut rows = Vec::new();
+    for run in &exp.runs {
+        let conv_slot = run
+            .trace
+            .convergence_slot(&run.optimal_throughput, 0.1, window.clone());
+        let conv_min =
+            run.trace
+                .convergence_minutes(&run.optimal_throughput, 0.1, window.clone(), slot_secs);
+        // Mean processing rate over the fixed 300-minute window — the
+        // paper's prose metric ("processes 11.2 %–14.9 % more tuples …
+        // within 300 minutes"); a per-scheme before-convergence window
+        // would make the fastest scheme look worst (its only
+        // pre-convergence slot is the cold start).
+        let _ = conv_slot;
+        let rate_before =
+            run.throughput[..exp.step_slot].iter().sum::<f64>() / exp.step_slot as f64;
+        // cost per billion over the 300-minute window
+        let tuples: f64 = run.trace.slots[window.clone()]
+            .iter()
+            .map(|s| s.processed_tuples)
+            .sum();
+        let cost: f64 = run.trace.slots[window.clone()]
+            .iter()
+            .map(|s| s.cost_dollars)
+            .sum();
+        rows.push(Table3Row {
+            scheme: run.scheme.clone(),
+            convergence_minutes: conv_min,
+            proc_rate_before_convergence: rate_before,
+            cost_per_billion: cost / (tuples / 1e9),
+        });
+    }
+
+    let mut table = Table::new(&[
+        "scheme",
+        "Convergence time (min)",
+        "Proc. rate b4 conv. (1e5/s)",
+        "Cost per 1e9 tuples ($)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.scheme.clone(),
+            r.convergence_minutes
+                .map_or("—".into(), |m| format!("{m:.0}")),
+            format!("{:.2}", r.proc_rate_before_convergence / 1e5),
+            format!("{:.1}", r.cost_per_billion),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(paper: Dhalion 240 min / 1.93e5 / $120.4; saddle 110 / 2.15 / 115.8; gradient 150 / 2.22 / 115.8)"
+    );
+
+    let dh = &rows[0];
+    for r in &rows[1..] {
+        println!(
+            "{}: {:+.1} % proc-rate before convergence vs Dhalion (paper: 11.2–14.9 %), {:+.1} % cost savings (paper: ~4.2 %)",
+            r.scheme,
+            (r.proc_rate_before_convergence / dh.proc_rate_before_convergence - 1.0) * 100.0,
+            (1.0 - r.cost_per_billion / dh.cost_per_billion) * 100.0,
+        );
+    }
+
+    write_json("table3", "Yahoo benchmark 300-minute metrics", &rows);
+}

@@ -1,0 +1,191 @@
+//! Full experiment definitions shared between binaries (Figure 6 and
+//! Table 2 slice the same run; Figure 7 and Table 3 likewise).
+
+use crate::runner::{run_scheme, Scheme, SchemeRun, ALL_SCHEMES};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{ArrivalProcess, Deployment, NoiseConfig};
+use dragster_workloads::{word_count, yahoo_benchmark, SquareWave, StepAt, Workload};
+use serde::Serialize;
+
+/// Section 6.4: WordCount under a load flip every 200 minutes (20 slots),
+/// 1000 minutes (100 slots) total.
+pub struct WorkloadChangeRun {
+    pub workload: Workload,
+    pub slots: usize,
+    pub phase_slots: usize,
+    pub runs: Vec<SchemeRun>,
+}
+
+/// Run the Figure-6 / Table-2 experiment for all three schemes.
+pub fn workload_change_experiment(seed: u64) -> WorkloadChangeRun {
+    let w = word_count();
+    let slots = 100;
+    let phase_slots = 20;
+    let runs = ALL_SCHEMES
+        .iter()
+        .map(|&s| {
+            let hi = w.high_rate.clone();
+            let lo = w.low_rate.clone();
+            let mut factory = move || {
+                Box::new(SquareWave {
+                    high: hi.clone(),
+                    low: lo.clone(),
+                    half_period_slots: phase_slots,
+                }) as Box<dyn ArrivalProcess>
+            };
+            run_scheme(
+                s,
+                &w.app,
+                &mut factory,
+                slots,
+                None,
+                NoiseConfig::default(),
+                seed,
+                Deployment::uniform(w.n_operators(), 1),
+            )
+        })
+        .collect();
+    WorkloadChangeRun {
+        workload: w,
+        slots,
+        phase_slots,
+        runs,
+    }
+}
+
+/// Per-phase metrics for Table 2.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseMetrics {
+    pub scheme: String,
+    pub phase: usize,
+    pub offered: &'static str,
+    /// Minutes from phase start until within 10 % of the phase optimum
+    /// (stable for the phase remainder). `None` = never converged.
+    pub convergence_minutes: Option<f64>,
+    pub processed_tuples: f64,
+    pub cost_dollars: f64,
+    pub cost_per_billion: f64,
+}
+
+/// Slice one scheme's run into the five 200-minute phases of Table 2.
+pub fn phase_metrics(run: &SchemeRun, phase_slots: usize) -> Vec<PhaseMetrics> {
+    let slot_secs = SimConfig::default().slot_secs;
+    let n_phases = run.throughput.len() / phase_slots;
+    (0..n_phases)
+        .map(|p| {
+            let range = p * phase_slots..(p + 1) * phase_slots;
+            let conv = run.trace.convergence_minutes(
+                &run.optimal_throughput,
+                0.1,
+                range.clone(),
+                slot_secs,
+            );
+            let tuples: f64 = run.trace.slots[range.clone()]
+                .iter()
+                .map(|s| s.processed_tuples)
+                .sum();
+            let cost: f64 = run.trace.slots[range.clone()]
+                .iter()
+                .map(|s| s.cost_dollars)
+                .sum();
+            PhaseMetrics {
+                scheme: run.scheme.clone(),
+                phase: p,
+                offered: if p % 2 == 0 { "high" } else { "low" },
+                convergence_minutes: conv,
+                processed_tuples: tuples,
+                cost_dollars: cost,
+                cost_per_billion: if tuples > 0.0 {
+                    cost / (tuples / 1e9)
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+/// Section 6.5: Yahoo benchmark, 600 minutes (60 slots), starting at 75 %
+/// of the high rate and scaled up to the full high rate at 300 minutes
+/// (slot 30) without notifying the system.
+pub struct YahooRun {
+    pub workload: Workload,
+    pub slots: usize,
+    pub step_slot: usize,
+    pub runs: Vec<SchemeRun>,
+}
+
+/// Run the Figure-7 / Table-3 experiment for all three schemes.
+pub fn yahoo_experiment(seed: u64) -> YahooRun {
+    let w = yahoo_benchmark();
+    let slots = 60;
+    let step_slot = 30;
+    let runs = ALL_SCHEMES
+        .iter()
+        .map(|&s| {
+            let before: Vec<f64> = w.high_rate.iter().map(|r| r * 0.75).collect();
+            let hi = w.high_rate.clone();
+            let mut factory = move || {
+                Box::new(StepAt {
+                    at: step_slot,
+                    before: before.clone(),
+                    after: hi.clone(),
+                }) as Box<dyn ArrivalProcess>
+            };
+            run_scheme(
+                s,
+                &w.app,
+                &mut factory,
+                slots,
+                None,
+                NoiseConfig::default(),
+                seed,
+                Deployment::uniform(w.n_operators(), 1),
+            )
+        })
+        .collect();
+    YahooRun {
+        workload: w,
+        slots,
+        step_slot,
+        runs,
+    }
+}
+
+/// Find the Dhalion run among a scheme set (panics if missing — the
+/// experiments always include it).
+pub fn dhalion_run(runs: &[SchemeRun]) -> &SchemeRun {
+    runs.iter()
+        .find(|r| r.scheme == Scheme::Dhalion.label())
+        .expect("Dhalion is part of every comparison")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_sim::ConstantArrival;
+
+    #[test]
+    fn phase_metrics_slice_correctly() {
+        // tiny synthetic run: 4 slots, phases of 2
+        let w = word_count();
+        let rate = w.high_rate.clone();
+        let mut factory = || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>;
+        let run = run_scheme(
+            Scheme::Static,
+            &w.app,
+            &mut factory,
+            4,
+            None,
+            NoiseConfig::none(),
+            1,
+            Deployment::uniform(2, 5),
+        );
+        let phases = phase_metrics(&run, 2);
+        assert_eq!(phases.len(), 2);
+        let total: f64 = phases.iter().map(|p| p.processed_tuples).sum();
+        assert!((total - run.total_tuples).abs() < 1.0);
+        assert_eq!(phases[0].offered, "high");
+        assert_eq!(phases[1].offered, "low");
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared machinery for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation (Section 6).
+//!
+//! Each binary in `src/bin/` prints the same rows/series the paper reports
+//! and writes machine-readable JSON under `results/`. See DESIGN.md's
+//! per-experiment index for the mapping.
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{ascii_heatmap, ascii_series, Table};
+pub use runner::{
+    make_scaler, run_scheme, write_json, ExperimentOutput, Scheme, SchemeRun, ALL_SCHEMES,
+};

@@ -1,0 +1,179 @@
+//! Plain-text reporting: ASCII tables, time series and heatmaps so each
+//! experiment binary prints something directly comparable to the paper's
+//! figures.
+
+/// A simple left-aligned ASCII table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let sep: String = width
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<w$} ", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a numeric series as a compact ASCII sparkline block with axis
+/// labels (one char per sample, 8 height levels).
+pub fn ascii_series(name: &str, series: &[f64], width: usize) -> String {
+    if series.is_empty() {
+        return format!("{name}: (empty)\n");
+    }
+    let max = series.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+    let min = series.iter().copied().fold(f64::MAX, f64::min).min(0.0);
+    let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    // Downsample to at most `width` points by bucket-averaging.
+    let n = series.len();
+    let buckets = width.min(n).max(1);
+    let mut line = String::new();
+    for b in 0..buckets {
+        let lo = b * n / buckets;
+        let hi = ((b + 1) * n / buckets).max(lo + 1);
+        let avg: f64 = series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let frac = ((avg - min) / (max - min).max(1e-12)).clamp(0.0, 1.0);
+        let idx = ((frac * (glyphs.len() as f64 - 1.0)).round()) as usize;
+        line.push(glyphs[idx]);
+    }
+    format!("{name:<28} |{line}|  max={max:.3e}\n")
+}
+
+/// Render a 2-D grid of values (e.g. the Figure-4 throughput landscape
+/// over Shuffle × Map tasks) as an ASCII heatmap with a marked trajectory.
+/// `grid[i][j]` is the value at x=i+1, y=j+1; `path` marks visited cells
+/// with the visit order (mod 10).
+pub fn ascii_heatmap(grid: &[Vec<f64>], path: &[(usize, usize)]) -> String {
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let max = grid
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let nx = grid.len();
+    let ny = grid.first().map_or(0, |r| r.len());
+    let mut mark = std::collections::HashMap::new();
+    for (k, &(x, y)) in path.iter().enumerate() {
+        mark.entry((x, y)).or_insert(k);
+    }
+    let mut out = String::new();
+    out.push_str("   y = Map tasks →  (digits: visit order mod 10, shading: throughput)\n");
+    for j in (0..ny).rev() {
+        out.push_str(&format!("{:>2} ", j + 1));
+        for (i, _) in grid.iter().enumerate().take(nx) {
+            if let Some(&k) = mark.get(&(i + 1, j + 1)) {
+                out.push_str(&format!("{}", k % 10));
+            } else {
+                let frac = (grid[i][j] / max).clamp(0.0, 1.0);
+                let idx = (frac * (shades.len() as f64 - 1.0)).round() as usize;
+                out.push(shades[idx]);
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("    ");
+    for i in 0..nx {
+        out.push_str(&format!("{}", (i + 1) % 10));
+    }
+    out.push_str("  x = Shuffle tasks →\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["scheme", "minutes"]);
+        t.row(vec!["Dhalion".into(), "140".into()]);
+        t.row(vec!["Dragster saddle point".into(), "70".into()]);
+        let s = t.render();
+        assert!(s.contains("Dhalion"));
+        assert!(s.contains("Dragster saddle point"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all rows same width
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_checks_arity() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn series_renders_fixed_width() {
+        let s = ascii_series(
+            "throughput",
+            &(0..100).map(|i| i as f64).collect::<Vec<_>>(),
+            40,
+        );
+        assert!(s.contains("throughput"));
+        assert!(s.contains("max="));
+    }
+
+    #[test]
+    fn series_handles_empty_and_flat() {
+        assert!(ascii_series("x", &[], 10).contains("empty"));
+        let flat = ascii_series("x", &[5.0; 20], 10);
+        assert!(!flat.is_empty());
+    }
+
+    #[test]
+    fn heatmap_marks_path() {
+        let grid = vec![vec![1.0; 10]; 10];
+        let s = ascii_heatmap(&grid, &[(1, 1), (5, 5)]);
+        assert!(s.contains('0'));
+        assert!(s.contains('1'));
+        assert!(s.contains("Shuffle"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Scheme construction and experiment execution shared by all binaries.
+
+use dragster_baselines::{Dhalion, DhalionConfig, Ds2, Ds2Config, RandomScaler, StaticScaler};
+use dragster_core::{greedy_optimal, Dragster, DragsterConfig, InnerAlgo};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{
+    run_experiment, Application, ArrivalProcess, Autoscaler, ClusterConfig, Deployment, FluidSim,
+    NoiseConfig, Trace,
+};
+use serde::Serialize;
+
+/// The autoscaling schemes under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    Dhalion,
+    DragsterSaddle,
+    DragsterOgd,
+    Ds2,
+    Static,
+    Random,
+}
+
+/// The paper's three compared schemes (Section 6.1), in its plotting order.
+pub const ALL_SCHEMES: [Scheme; 3] = [Scheme::Dhalion, Scheme::DragsterSaddle, Scheme::DragsterOgd];
+
+impl Scheme {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Dhalion => "Dhalion",
+            Scheme::DragsterSaddle => "Dragster saddle point",
+            Scheme::DragsterOgd => "Dragster online gradient",
+            Scheme::Ds2 => "DS2",
+            Scheme::Static => "Static",
+            Scheme::Random => "Random",
+        }
+    }
+}
+
+/// Instantiate an autoscaler for a topology under an optional pod budget.
+pub fn make_scaler(
+    scheme: Scheme,
+    app: &Application,
+    budget_pods: Option<usize>,
+    seed: u64,
+) -> Box<dyn Autoscaler> {
+    match scheme {
+        Scheme::Dhalion => Box::new(Dhalion::new(DhalionConfig {
+            budget_pods,
+            ..Default::default()
+        })),
+        Scheme::DragsterSaddle => Box::new(Dragster::new(
+            app.topology.clone(),
+            DragsterConfig {
+                budget_pods,
+                ..DragsterConfig::saddle_point()
+            },
+        )),
+        Scheme::DragsterOgd => Box::new(Dragster::new(
+            app.topology.clone(),
+            DragsterConfig {
+                budget_pods,
+                inner: InnerAlgo::GradientDescent,
+                ..DragsterConfig::gradient_descent()
+            },
+        )),
+        Scheme::Ds2 => Box::new(Ds2::new(Ds2Config {
+            budget_pods,
+            ..Default::default()
+        })),
+        Scheme::Static => Box::new(StaticScaler),
+        Scheme::Random => Box::new(RandomScaler::new(seed, 10, budget_pods)),
+    }
+}
+
+/// The result of one scheme's run plus derived paper metrics.
+#[derive(Clone, Debug, Serialize)]
+pub struct SchemeRun {
+    pub scheme: String,
+    /// Per-slot measured throughput (tuples/s).
+    pub throughput: Vec<f64>,
+    /// Per-slot deployed-configuration oracle throughput.
+    pub ideal_throughput: Vec<f64>,
+    /// Per-slot oracle-optimal throughput (same arrival).
+    pub optimal_throughput: Vec<f64>,
+    /// Per-slot deployments (task vectors).
+    pub deployments: Vec<Vec<usize>>,
+    pub total_tuples: f64,
+    pub total_cost: f64,
+    pub cost_per_billion: f64,
+    /// Convergence slot index (within-10 %-of-optimal, stable), if reached.
+    pub convergence_slot: Option<usize>,
+    /// Convergence time in minutes.
+    pub convergence_minutes: Option<f64>,
+    #[serde(skip)]
+    pub trace: Trace,
+}
+
+/// Run one scheme for `slots` decision slots and compute the paper
+/// metrics. The oracle series is computed per slot from the arrival
+/// process (`arrival` is called twice — once for the oracle, once live —
+/// so it must be deterministic in `t`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheme(
+    scheme: Scheme,
+    app: &Application,
+    arrival_factory: &mut dyn FnMut() -> Box<dyn ArrivalProcess>,
+    slots: usize,
+    budget_pods: Option<usize>,
+    noise: NoiseConfig,
+    seed: u64,
+    initial: Deployment,
+) -> SchemeRun {
+    let cluster = ClusterConfig {
+        budget_pods,
+        ..Default::default()
+    };
+    let mut sim = FluidSim::new(
+        app.clone(),
+        cluster,
+        SimConfig::default(),
+        noise,
+        seed,
+        initial,
+    );
+    let mut scaler = make_scaler(scheme, app, budget_pods, seed);
+    let mut arrival = arrival_factory();
+    let trace = run_experiment(&mut sim, scaler.as_mut(), &mut *arrival, slots);
+
+    // Oracle series from a fresh copy of the arrival process.
+    let mut arrival2 = arrival_factory();
+    let rates: Vec<Vec<f64>> = (0..slots).map(|t| arrival2.rates(t)).collect();
+    let optimal: Vec<f64> = rates
+        .iter()
+        .map(|r| greedy_optimal(app, r, 10, budget_pods).1)
+        .collect();
+
+    let slot_secs = SimConfig::default().slot_secs;
+    let convergence_slot = trace.convergence_slot(&optimal, 0.1, 0..slots);
+    let convergence_minutes = trace.convergence_minutes(&optimal, 0.1, 0..slots, slot_secs);
+
+    SchemeRun {
+        scheme: scheme.label().into(),
+        throughput: trace.slots.iter().map(|s| s.throughput).collect(),
+        ideal_throughput: trace.ideal_throughput.clone(),
+        optimal_throughput: optimal,
+        deployments: trace.deployments.iter().map(|d| d.tasks.clone()).collect(),
+        total_tuples: trace.total_processed(),
+        total_cost: trace.total_cost(),
+        cost_per_billion: trace.cost_per_billion_tuples(),
+        convergence_slot,
+        convergence_minutes,
+        trace,
+    }
+}
+
+/// Experiment output envelope written to `results/<name>.json`.
+#[derive(Serialize)]
+pub struct ExperimentOutput<T: Serialize> {
+    pub experiment: String,
+    pub description: String,
+    pub data: T,
+}
+
+/// Write an experiment's JSON next to the repo (under `results/`).
+pub fn write_json<T: Serialize>(name: &str, description: &str, data: &T) {
+    let out = ExperimentOutput {
+        experiment: name.to_string(),
+        description: description.to_string(),
+        data,
+    };
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(&out) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_sim::ConstantArrival;
+    use dragster_workloads::word_count;
+
+    #[test]
+    fn all_schemes_instantiate() {
+        let w = word_count();
+        for s in [
+            Scheme::Dhalion,
+            Scheme::DragsterSaddle,
+            Scheme::DragsterOgd,
+            Scheme::Ds2,
+            Scheme::Static,
+            Scheme::Random,
+        ] {
+            let sc = make_scaler(s, &w.app, Some(12), 1);
+            assert!(!sc.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn run_scheme_produces_consistent_series() {
+        let w = word_count();
+        let rate = w.high_rate.clone();
+        let mut factory = || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>;
+        let run = run_scheme(
+            Scheme::DragsterSaddle,
+            &w.app,
+            &mut factory,
+            8,
+            None,
+            NoiseConfig::none(),
+            1,
+            Deployment::uniform(2, 1),
+        );
+        assert_eq!(run.throughput.len(), 8);
+        assert_eq!(run.optimal_throughput.len(), 8);
+        assert_eq!(run.deployments.len(), 8);
+        assert!(run.total_tuples > 0.0);
+        assert!(run.total_cost > 0.0);
+        assert!(run.cost_per_billion.is_finite());
+        // optimal dominates ideal everywhere
+        for (o, i) in run
+            .optimal_throughput
+            .iter()
+            .zip(run.ideal_throughput.iter())
+        {
+            assert!(o + 1e-6 >= *i);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let w = word_count();
+        let rate = w.high_rate.clone();
+        let mut factory = || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>;
+        let a = run_scheme(
+            Scheme::Dhalion,
+            &w.app,
+            &mut factory,
+            5,
+            None,
+            NoiseConfig::default(),
+            7,
+            Deployment::uniform(2, 1),
+        );
+        let b = run_scheme(
+            Scheme::Dhalion,
+            &w.app,
+            &mut factory,
+            5,
+            None,
+            NoiseConfig::default(),
+            7,
+            Deployment::uniform(2, 1),
+        );
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.deployments, b.deployments);
+    }
+}

@@ -1,0 +1,147 @@
+//! Theorem-1 bound evaluation: plug a run's constants into the Eq. 19/20
+//! expressions so experiments and tests can check the *measured* dynamic
+//! fit and regret against the *theoretical* ceiling.
+//!
+//! ```text
+//! Fit_T ≤ M^{2/3} H (1 + H/2ε) + H√T/ε + M √(8 T β_T Γ_T / log(1+σ⁻²))
+//! Reg_T ≤ √T (G²/2 + V(y*)) + H (M + (2+MH)/2ε)·Fit_T
+//!         + G M √(8 T β_T Γ_T / log(1+σ⁻²))
+//! ```
+//!
+//! All quantities are in *H-normalized* units (capacities divided by the
+//! throughput-function upper bound `H`), which is how the proof treats
+//! them; callers normalize their measurements the same way.
+
+use dragster_gp::{beta_t, se_gamma_bound};
+
+/// The constants of Theorem 1 for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct Theorem1Constants {
+    /// Number of operators `M`.
+    pub m: usize,
+    /// Horizon `T` in slots.
+    pub t: usize,
+    /// Configuration dimension `d` (1 for the task-count-only setting).
+    pub d: usize,
+    /// Joint configuration-space size `|X|` (for `β_T`).
+    pub n_configs: usize,
+    /// Slater slack ε as a fraction of `H` (Assumption 1): how much spare
+    /// capacity the richest configuration has beyond the peak load.
+    pub epsilon: f64,
+    /// GP observation-noise variance σ² in normalized units.
+    pub sigma2: f64,
+    /// Confidence parameter δ ∈ (1, ∞).
+    pub delta: f64,
+    /// Gradient bound `G` of `|∂f/∂y_i|` (≤ max selectivity product; 1 for
+    /// non-amplifying pipelines).
+    pub g: f64,
+    /// Accumulated optimum variation `V(y*) = Σ‖y*_{t+1} − y*_t‖`
+    /// (Assumption 2), in normalized units.
+    pub v_star: f64,
+}
+
+impl Theorem1Constants {
+    /// The GP-UCB term `M √(8 T β_T Γ_T / log(1+σ⁻²))` shared by both
+    /// bounds.
+    pub fn gp_term(&self) -> f64 {
+        let beta = beta_t(self.n_configs.max(1), self.t.max(1), self.delta);
+        let gamma = se_gamma_bound(self.t, self.d);
+        self.m as f64 * (8.0 * self.t as f64 * beta * gamma / (1.0 + 1.0 / self.sigma2).ln()).sqrt()
+    }
+
+    /// The Eq. 19 dynamic-fit ceiling (H-normalized, i.e. with H = 1).
+    pub fn fit_bound(&self) -> f64 {
+        let m = self.m as f64;
+        let t = self.t as f64;
+        m.powf(2.0 / 3.0) * (1.0 + 1.0 / (2.0 * self.epsilon))
+            + t.sqrt() / self.epsilon
+            + self.gp_term()
+    }
+
+    /// The Eq. 20 dynamic-regret ceiling (H-normalized), given the
+    /// realized fit (pass the `fit_bound()` for the a-priori version).
+    pub fn regret_bound(&self, fit: f64) -> f64 {
+        let m = self.m as f64;
+        let t = self.t as f64;
+        t.sqrt() * (self.g * self.g / 2.0 + self.v_star)
+            + (m + (2.0 + m) / (2.0 * self.epsilon)) * fit
+            + self.g * self.gp_term()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts(t: usize) -> Theorem1Constants {
+        Theorem1Constants {
+            m: 2,
+            t,
+            d: 1,
+            n_configs: 100,
+            epsilon: 0.1,
+            sigma2: 0.01,
+            delta: 2.0,
+            g: 1.0,
+            v_star: 1.0,
+        }
+    }
+
+    #[test]
+    fn bounds_are_positive_and_grow_with_t() {
+        let b10 = consts(10).fit_bound();
+        let b100 = consts(100).fit_bound();
+        let b1000 = consts(1000).fit_bound();
+        assert!(b10 > 0.0);
+        assert!(b100 > b10 && b1000 > b100);
+    }
+
+    #[test]
+    fn fit_bound_is_sublinear_in_t() {
+        // bound/T must shrink as T grows (sub-linearity)
+        let r100 = consts(100).fit_bound() / 100.0;
+        let r10k = consts(10_000).fit_bound() / 10_000.0;
+        assert!(r10k < r100, "{r10k} !< {r100}");
+    }
+
+    #[test]
+    fn regret_bound_exceeds_gp_term() {
+        let c = consts(200);
+        let fit = c.fit_bound();
+        assert!(c.regret_bound(fit) > c.gp_term());
+    }
+
+    #[test]
+    fn tighter_slater_slack_raises_the_bound() {
+        let loose = Theorem1Constants {
+            epsilon: 0.5,
+            ..consts(100)
+        };
+        let tight = Theorem1Constants {
+            epsilon: 0.05,
+            ..consts(100)
+        };
+        assert!(tight.fit_bound() > loose.fit_bound());
+    }
+
+    #[test]
+    fn more_operators_raise_the_bound() {
+        let small = consts(100);
+        let big = Theorem1Constants {
+            m: 6,
+            n_configs: 1_000_000,
+            ..consts(100)
+        };
+        assert!(big.fit_bound() > small.fit_bound());
+    }
+
+    #[test]
+    fn higher_dimension_raises_gamma_term() {
+        let d1 = consts(500);
+        let d3 = Theorem1Constants {
+            d: 3,
+            ..consts(500)
+        };
+        assert!(d3.gp_term() > d1.gp_term());
+    }
+}

@@ -1,0 +1,583 @@
+//! The assembled Dragster controller (Algorithm 2).
+//!
+//! Per decision slot:
+//!
+//! 1. **Observe** (line 3): source rates, per-operator offered loads and
+//!    the Eq.-8 capacity samples from [`SlotMetrics`].
+//! 2. **Dual + primal** (line 4): update the multipliers λ (Eq. 15) with
+//!    the observed constraint values, then compute the target capacity
+//!    vector `y_t` — either the saddle-point full maximization (Eq. 14) or
+//!    one OGD step (Eq. 16).
+//! 3. **GP update** (line 5): feed each operator's capacity sample to its
+//!    GP (Eq. 17 posterior refresh).
+//! 4. **Select + deploy** (line 6): per-operator extended-UCB acquisition
+//!    tables, exact budget projection `Π_X`, return the next deployment.
+
+use crate::ogd::OgdState;
+use crate::saddle::{SaddleState, TargetSolver};
+use crate::ucb::{AcquisitionKind, OperatorGp, UcbConfig};
+use dragster_dag::learned::{HObservation, SelectivityEstimator};
+use dragster_dag::{analysis, Topology};
+use dragster_sim::{Autoscaler, Deployment, SlotMetrics};
+
+/// Which level-1 algorithm computes the capacity targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerAlgo {
+    /// Eq. 14: full maximization of the last slot's Lagrangian.
+    SaddlePoint,
+    /// Eq. 16: a single projected gradient step per slot.
+    GradientDescent,
+}
+
+/// All Dragster hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DragsterConfig {
+    pub inner: InnerAlgo,
+    pub ucb: UcbConfig,
+    /// Dual step scale γ₀ (Theorem 1 uses γ_t = 1/√t ⇒ γ₀ = 1).
+    pub gamma0: f64,
+    /// OGD step size as a fraction of the capacity box.
+    pub eta: f64,
+    /// Multiplier on the capacity target handed to the UCB level —
+    /// a little headroom absorbs cloud noise (e.g. 1.05).
+    pub target_headroom: f64,
+    /// Pod budget `B` of Eq. 9d, if any.
+    pub budget_pods: Option<usize>,
+    /// Inner-solver iterations (saddle point).
+    pub solver_iters: usize,
+    /// Theorem-2 mode: ignore the provided throughput-function parameters
+    /// and learn the per-operator selectivities online from unsaturated
+    /// observations ([`SelectivityEstimator`]). The DAG *structure* is
+    /// still taken from the provided topology.
+    pub learn_h: bool,
+    /// Restrict each slot's reconfiguration to the `k` most-bottlenecked
+    /// operators (largest |target − estimated capacity| gap) — the paper's
+    /// sequential "identify the bottleneck operator and adjust its
+    /// configuration" narrative (Section 3, Figure 1). `None` adjusts all
+    /// operators jointly (Eq. 18's joint argmax); the `ablations` bench
+    /// compares the two.
+    pub max_adjust_per_slot: Option<usize>,
+}
+
+impl Default for DragsterConfig {
+    fn default() -> Self {
+        DragsterConfig {
+            inner: InnerAlgo::SaddlePoint,
+            ucb: UcbConfig::default(),
+            gamma0: 1.0,
+            eta: 0.15,
+            target_headroom: 1.08,
+            budget_pods: None,
+            solver_iters: 300,
+            learn_h: false,
+            max_adjust_per_slot: None,
+        }
+    }
+}
+
+impl DragsterConfig {
+    /// Saddle-point variant with defaults.
+    pub fn saddle_point() -> DragsterConfig {
+        DragsterConfig::default()
+    }
+
+    /// Online-gradient-descent variant with defaults.
+    pub fn gradient_descent() -> DragsterConfig {
+        DragsterConfig {
+            inner: InnerAlgo::GradientDescent,
+            ..Default::default()
+        }
+    }
+}
+
+/// The Dragster autoscaler. Construct with the application topology (the
+/// paper provides the exact throughput function to the controller —
+/// Section 6.1 "We provide the exact throughput function and capacity
+/// splitting weight") and plug into
+/// [`run_experiment`](dragster_sim::run_experiment).
+pub struct Dragster {
+    topo: Topology,
+    /// Theorem-2 online estimator (Some iff `cfg.learn_h`).
+    estimator: Option<SelectivityEstimator>,
+    cfg: DragsterConfig,
+    solver: TargetSolver,
+    gps: Vec<OperatorGp>,
+    saddle: SaddleState,
+    ogd: Option<OgdState>,
+    /// Last computed capacity targets (diagnostics).
+    last_targets: Vec<f64>,
+    /// RNG for the Thompson acquisition (fixed seed: decisions are
+    /// deterministic given the same observation stream).
+    rng: dragster_sim::Rng,
+    t: usize,
+}
+
+impl Dragster {
+    pub fn new(topo: Topology, cfg: DragsterConfig) -> Dragster {
+        let m = topo.n_operators();
+        let gps = (0..m).map(|_| OperatorGp::new(cfg.ucb)).collect();
+        let estimator = if cfg.learn_h {
+            Some(SelectivityEstimator::new(topo.clone(), 1.0))
+        } else {
+            None
+        };
+        Dragster {
+            solver: TargetSolver {
+                iters: cfg.solver_iters,
+                ..Default::default()
+            },
+            saddle: SaddleState::new(m, cfg.gamma0),
+            ogd: None,
+            gps,
+            last_targets: vec![0.0; m],
+            rng: dragster_sim::Rng::new(0x5EED),
+            estimator,
+            topo,
+            cfg,
+            t: 0,
+        }
+    }
+
+    /// The throughput-function view the controller currently works with:
+    /// the provided topology (Theorem 1) or the learned one (Theorem 2).
+    pub fn working_topology(&self) -> Topology {
+        match &self.estimator {
+            Some(est) => est.materialize(),
+            None => self.topo.clone(),
+        }
+    }
+
+    /// Borrow the Theorem-2 estimator (None in exact-h mode).
+    pub fn estimator(&self) -> Option<&SelectivityEstimator> {
+        self.estimator.as_ref()
+    }
+
+    /// The most recent capacity targets `y_t` (diagnostics/reporting).
+    pub fn last_targets(&self) -> &[f64] {
+        &self.last_targets
+    }
+
+    /// Current dual variables λ.
+    pub fn lambda(&self) -> &[f64] {
+        &self.saddle.lambda
+    }
+
+    /// Borrow the per-operator GPs (e.g. to inspect posterior capacity
+    /// estimates in reports).
+    pub fn operator_gps(&self) -> &[OperatorGp] {
+        &self.gps
+    }
+
+    /// Operators ranked by current throughput-gradient (the paper's
+    /// bottleneck view): computed at the *estimated* achieved capacities.
+    pub fn bottleneck_ranking(
+        &self,
+        source_rates: &[f64],
+        current: &Deployment,
+    ) -> Vec<(usize, f64)> {
+        let caps: Vec<f64> = (0..self.gps.len())
+            .map(|i| self.gps[i].capacity_estimate(current.tasks[i]).max(1e-6))
+            .collect();
+        analysis::rank_bottlenecks(&self.topo, source_rates, &caps)
+    }
+
+    /// The joint configuration-space size `|X| = K^M`, saturating.
+    fn joint_space(&self) -> usize {
+        let k = self.cfg.ucb.max_tasks;
+        let m = self.topo.n_operators() as u32;
+        k.checked_pow(m).unwrap_or(usize::MAX / 2)
+    }
+
+    /// The controller's current *belief* about the application: the known
+    /// topology plus per-operator capacity tables from the GP posterior
+    /// means (monotone-ized — capacity models are non-decreasing by
+    /// assumption). Operators with no data yet fall back to a unit-linear
+    /// placeholder, which yields balanced allocations until samples arrive.
+    fn estimated_application(&self, structure: &Topology) -> dragster_sim::Application {
+        let k = self.cfg.ucb.max_tasks;
+        let models = self
+            .gps
+            .iter()
+            .map(|gp| {
+                if gp.is_empty() {
+                    return dragster_sim::CapacityModel::Linear { per_task: 1.0 };
+                }
+                let mut levels: Vec<f64> = (1..=k).map(|x| gp.capacity_estimate(x)).collect();
+                let mut run_max = 1e-6_f64;
+                for l in levels.iter_mut() {
+                    run_max = run_max.max(*l);
+                    *l = run_max;
+                }
+                dragster_sim::CapacityModel::Table { levels }
+            })
+            .collect();
+        dragster_sim::Application::new(structure.clone(), models)
+            .expect("monotone-ized tables always validate")
+    }
+
+    /// Restrict targets to the capacity region achievable within the pod
+    /// budget: Eq. 14's domain 𝒴 is the image of the feasible
+    /// configuration set (Eq. 9d), which the controller evaluates through
+    /// its GP capacity beliefs. Without this, overload targets are
+    /// unreachable and the tracking acquisition cannot trade capacity
+    /// between operators (the DAG-balancing behaviour of Fig. 4d–f).
+    fn cap_targets_to_budget(
+        &self,
+        working: &Topology,
+        targets: &mut [f64],
+        rates: &[f64],
+        budget: usize,
+    ) {
+        let est = self.estimated_application(working);
+        let (x_star, _) =
+            crate::oracle::greedy_optimal(&est, rates, self.cfg.ucb.max_tasks, Some(budget));
+        let feasible = est.true_capacities(&x_star.tasks);
+        for (t, f) in targets.iter_mut().zip(feasible.iter()) {
+            *t = t.min(*f);
+        }
+    }
+}
+
+impl Autoscaler for Dragster {
+    fn name(&self) -> String {
+        match self.cfg.inner {
+            InnerAlgo::SaddlePoint => "Dragster saddle point".into(),
+            InnerAlgo::GradientDescent => "Dragster online gradient".into(),
+        }
+    }
+
+    fn decide(&mut self, _t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment {
+        self.t += 1;
+        let m = self.topo.n_operators();
+        let rates = &metrics.source_rates;
+
+        // ---- line 3: observe; line 5: GP posterior update (Eq. 17). ----
+        let mut l_values = vec![0.0; m];
+        for (i, om) in metrics.operators.iter().enumerate() {
+            if om.output_rate > 1e-9 {
+                self.gps[i].observe(current.tasks[i], om.capacity_sample);
+            }
+            // Constraint value l_i = offered − capacity (Eq. 11), using the
+            // observed capacity sample as the capacity estimate.
+            l_values[i] = om.offered_load - om.capacity_sample;
+            // Theorem-2 mode: refine the h estimates with clean
+            // observations — skip slots where the operator was saturated
+            // (output reflects y_i, not h, per Eq. 4) or draining backlog
+            // (output exceeds h(input) while the buffer empties).
+            if let Some(est) = self.estimator.as_mut() {
+                let draining = om.buffer_tuples > om.input_rate * 10.0;
+                if !om.backpressure && om.cpu_util < 0.95 && om.output_rate > 1e-9 && !draining {
+                    est.ingest(&HObservation {
+                        operator: i,
+                        inputs: om.input_rates.clone(),
+                        output: om.output_rate,
+                    });
+                }
+            }
+        }
+        let working = self.working_topology();
+
+        // ---- line 4: dual update (Eq. 15) + target capacities. ----
+        self.saddle.dual_update(&l_values);
+        let h_bound = analysis::throughput_upper_bound(&working, rates);
+        let y_max = (1.5 * h_bound).max(1e-6);
+        let mut targets = match self.cfg.inner {
+            InnerAlgo::SaddlePoint => {
+                let warm: Vec<f64> = if self.last_targets.iter().all(|&y| y == 0.0) {
+                    metrics.capacity_samples()
+                } else {
+                    self.last_targets.clone()
+                };
+                self.solver.solve(
+                    &working,
+                    rates,
+                    &metrics.offered_loads(),
+                    &self.saddle.lambda,
+                    &warm,
+                    y_max,
+                )
+            }
+            InnerAlgo::GradientDescent => {
+                if self.ogd.is_none() {
+                    self.ogd = Some(OgdState::new(metrics.capacity_samples(), self.cfg.eta));
+                }
+                let ogd = self.ogd.as_mut().expect("initialized above");
+                ogd.step(
+                    &self.solver,
+                    &working,
+                    rates,
+                    &metrics.offered_loads(),
+                    &self.saddle.lambda,
+                    y_max,
+                )
+            }
+        };
+        if let Some(b) = self.cfg.budget_pods {
+            self.cap_targets_to_budget(&working, &mut targets, rates, b.max(m));
+        }
+        self.last_targets = targets.clone();
+
+        // ---- line 6: extended GP-UCB selection (Eq. 18) + projection. ----
+        let beta = self.cfg.ucb.beta(self.joint_space(), self.t);
+        let rng = &mut self.rng;
+        let tables: Vec<Vec<f64>> = (0..m)
+            .map(|i| {
+                let target = targets[i] * self.cfg.target_headroom;
+                match self.cfg.ucb.acquisition {
+                    AcquisitionKind::ExtendedUcb => self.gps[i].acquisition_table(target, beta),
+                    AcquisitionKind::Thompson => {
+                        self.gps[i].thompson_table(target, || rng.gaussian())
+                    }
+                }
+            })
+            .collect();
+        let budget = self
+            .cfg
+            .budget_pods
+            .unwrap_or(m * self.cfg.ucb.max_tasks)
+            .max(m);
+        let mut tasks = crate::projection::project_acquisition(&tables, budget);
+        // Sequential-bottleneck mode: freeze all but the k operators whose
+        // capacity targets are furthest from their current estimates.
+        if let Some(k) = self.cfg.max_adjust_per_slot {
+            let mut gaps: Vec<(usize, f64)> = (0..m)
+                .map(|i| {
+                    let cur = self.gps[i].capacity_estimate(current.tasks[i]);
+                    let scale = self.gps[i].scale().max(1e-9);
+                    (i, (targets[i] - cur).abs() / scale)
+                })
+                .collect();
+            gaps.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let adjustable: std::collections::HashSet<usize> =
+                gaps.iter().take(k).map(|(i, _)| *i).collect();
+            for (i, t) in tasks.iter_mut().enumerate() {
+                if !adjustable.contains(&i) {
+                    *t = current.tasks[i];
+                }
+            }
+            // freezing can re-violate the budget; project the frozen plan
+            let d = Deployment { tasks };
+            return dragster_sim::harness::project_to_budget(d, self.cfg.budget_pods);
+        }
+        Deployment { tasks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_sim::{
+        run_experiment, Application, CapacityModel, ClusterConfig, ConstantArrival, FluidSim,
+        NoiseConfig,
+    };
+
+    fn wordcount_app() -> Application {
+        let topo = dragster_dag::TopologyBuilder::new()
+            .source("src")
+            .operator("map")
+            .operator("shuffle")
+            .sink("out")
+            .edge("src", "map")
+            .edge("map", "shuffle")
+            .edge("shuffle", "out")
+            .build()
+            .unwrap();
+        Application::new(
+            topo,
+            vec![
+                CapacityModel::Contended {
+                    per_task: 120.0,
+                    contention: 0.04,
+                },
+                CapacityModel::Contended {
+                    per_task: 80.0,
+                    contention: 0.04,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn make_sim(app: Application, budget: Option<usize>, seed: u64) -> FluidSim {
+        FluidSim::new(
+            app,
+            ClusterConfig {
+                budget_pods: budget,
+                ..Default::default()
+            },
+            dragster_sim::fluid::SimConfig::default(),
+            NoiseConfig::default(),
+            seed,
+            Deployment::uniform(2, 1),
+        )
+    }
+
+    #[test]
+    fn names_differ_by_variant() {
+        let app = wordcount_app();
+        let d1 = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let d2 = Dragster::new(app.topology.clone(), DragsterConfig::gradient_descent());
+        assert_eq!(d1.name(), "Dragster saddle point");
+        assert_eq!(d2.name(), "Dragster online gradient");
+    }
+
+    #[test]
+    fn converges_near_optimal_without_budget() {
+        let app = wordcount_app();
+        let mut sim = make_sim(app.clone(), None, 7);
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let mut arr = ConstantArrival(vec![400.0]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 25);
+        let (_, opt) = crate::oracle::greedy_optimal(&app, &[400.0], 10, None);
+        // the last slots must run within 10 % of optimal
+        let tail = trace.ideal_throughput[20..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            tail >= 0.9 * opt,
+            "failed to converge: tail ideal {tail} vs opt {opt}"
+        );
+    }
+
+    #[test]
+    fn converges_under_budget_and_respects_it() {
+        let app = wordcount_app();
+        let budget = 8;
+        let mut sim = make_sim(app.clone(), Some(budget), 3);
+        let cfg = DragsterConfig {
+            budget_pods: Some(budget),
+            ..DragsterConfig::saddle_point()
+        };
+        let mut scaler = Dragster::new(app.topology.clone(), cfg);
+        let mut arr = ConstantArrival(vec![2000.0]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 25);
+        for d in &trace.deployments {
+            assert!(d.total_pods() <= budget, "budget violated: {d}");
+        }
+        let (_, opt) = crate::oracle::greedy_optimal(&app, &[2000.0], 10, Some(budget));
+        let tail = trace.ideal_throughput[20..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(tail >= 0.88 * opt, "tail {tail} vs budgeted opt {opt}");
+    }
+
+    #[test]
+    fn scales_down_when_load_drops() {
+        let app = wordcount_app();
+        let mut sim = make_sim(app.clone(), None, 11);
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let mut arr = |t: usize| vec![if t < 15 { 800.0 } else { 150.0 }];
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 30);
+        let pods_high = trace.deployments[14].total_pods();
+        let pods_low = trace.deployments[29].total_pods();
+        assert!(
+            pods_low < pods_high,
+            "no scale-down: {pods_high} → {pods_low}"
+        );
+    }
+
+    #[test]
+    fn gradient_descent_variant_also_converges() {
+        let app = wordcount_app();
+        let mut sim = make_sim(app.clone(), None, 5);
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::gradient_descent());
+        let mut arr = ConstantArrival(vec![400.0]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 35);
+        let (_, opt) = crate::oracle::greedy_optimal(&app, &[400.0], 10, None);
+        let tail = trace.ideal_throughput[30..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(tail >= 0.9 * opt, "OGD tail {tail} vs opt {opt}");
+    }
+
+    #[test]
+    fn working_topology_is_identity_in_exact_mode() {
+        let app = wordcount_app();
+        let d = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let w = d.working_topology();
+        // same throughput function as the provided topology
+        let f1 = dragster_dag::throughput(&app.topology, &[100.0], &[50.0, 50.0]);
+        let f2 = dragster_dag::throughput(&w, &[100.0], &[50.0, 50.0]);
+        assert_eq!(f1, f2);
+        assert!(d.estimator().is_none());
+    }
+
+    #[test]
+    fn learn_h_mode_starts_pessimistic_then_learns() {
+        let app = wordcount_app();
+        let mut sim = make_sim(app.clone(), None, 13);
+        let cfg = DragsterConfig {
+            learn_h: true,
+            ..DragsterConfig::saddle_point()
+        };
+        let mut scaler = Dragster::new(app.topology.clone(), cfg);
+        let mut arr = ConstantArrival(vec![400.0]);
+        let _ = run_experiment(&mut sim, &mut scaler, &mut arr, 25);
+        let est = scaler.estimator().expect("learn_h");
+        // WordCount is pass-through (selectivity 1): learned ≈ 1
+        let err = est.max_relative_error(&app.topology);
+        assert!(err < 0.1, "h error {err}, weights {:?}", est.weights());
+    }
+
+    #[test]
+    fn thompson_variant_still_respects_budget() {
+        let app = wordcount_app();
+        let budget = 8;
+        let mut sim = make_sim(app.clone(), Some(budget), 17);
+        let cfg = DragsterConfig {
+            budget_pods: Some(budget),
+            ucb: crate::ucb::UcbConfig {
+                acquisition: crate::ucb::AcquisitionKind::Thompson,
+                ..Default::default()
+            },
+            ..DragsterConfig::saddle_point()
+        };
+        let mut scaler = Dragster::new(app.topology.clone(), cfg);
+        let mut arr = ConstantArrival(vec![2000.0]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 10);
+        for d in &trace.deployments {
+            assert!(d.total_pods() <= budget);
+        }
+    }
+
+    #[test]
+    fn sequential_bottleneck_changes_at_most_k_operators() {
+        let app = wordcount_app();
+        let mut sim = make_sim(app.clone(), None, 19);
+        let cfg = DragsterConfig {
+            max_adjust_per_slot: Some(1),
+            ..DragsterConfig::saddle_point()
+        };
+        let mut scaler = Dragster::new(app.topology.clone(), cfg);
+        let mut arr = ConstantArrival(vec![400.0]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 12);
+        for pair in trace.deployments.windows(2) {
+            let changed = pair[0]
+                .tasks
+                .iter()
+                .zip(pair[1].tasks.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(changed <= 1, "{:?} -> {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn diagnostics_are_exposed() {
+        let app = wordcount_app();
+        let mut sim = make_sim(app.clone(), None, 2);
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let mut arr = ConstantArrival(vec![400.0]);
+        let _ = run_experiment(&mut sim, &mut scaler, &mut arr, 3);
+        assert_eq!(scaler.last_targets().len(), 2);
+        assert!(scaler.last_targets().iter().all(|&y| y >= 0.0));
+        assert_eq!(scaler.lambda().len(), 2);
+        assert_eq!(scaler.operator_gps().len(), 2);
+        assert!(!scaler.operator_gps()[0].is_empty());
+        let ranking = scaler.bottleneck_ranking(&[400.0], sim.deployment());
+        assert_eq!(ranking.len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! The Dragster controller (Sections 4–5 of the paper).
+//!
+//! Dragster is a *two-level* online optimization scheme:
+//!
+//! 1. **Which capacities do we need?** An online optimization algorithm over
+//!    the per-slot Lagrangian `L_t(y, λ) = f_t(y) − Σ_i λ_i l_i(y_i)`
+//!    (Eq. 13) tracks the target service-capacity vector `y_t`:
+//!      * [`saddle`] — the online saddle point algorithm (Eq. 14–15):
+//!        `y_t = argmax_y L_{t−1}(y, λ_{t−1})`, dual ascent on `λ`;
+//!      * [`ogd`] — the online gradient descent variant (Eq. 16): one
+//!        gradient step per slot.
+//!
+//!    Operators whose targets move are the *bottleneck operators*
+//!    (Section 4.2.1); gradients come from [`dragster_autodiff`] through
+//!    [`dragster_dag::throughput_grad`].
+//!
+//! 2. **Which configuration achieves them?** Per-operator Gaussian-process
+//!    models of the capacity function `y_i(x_i)` (Eq. 7), updated with the
+//!    noisy Eq.-8 samples, drive the **extended GP-UCB** acquisition of
+//!    Eq. 18 / Remark 1:
+//!    `x_t = Π_X [argmax_x −|μ_{t−1}(x) − y_t| + β_{t−1} σ²_{t−1}(x)]`,
+//!    tracking the target instead of blindly maximizing — "just enough
+//!    capacity to handle the incoming tuples". [`ucb`] implements the
+//!    acquisition, [`projection`] the budget projection `Π_X`.
+//!
+//! [`controller`] assembles both levels into an
+//! [`Autoscaler`](dragster_sim::Autoscaler) (Algorithm 2). [`oracle`]
+//! computes the clairvoyant optimum `y*_t` used by [`regret`] to measure
+//! the dynamic regret (Eq. 10) and dynamic fit (Eq. 12) that Theorem 1
+//! bounds.
+
+pub mod bounds;
+pub mod controller;
+pub mod ogd;
+pub mod oracle;
+pub mod projection;
+pub mod regret;
+pub mod saddle;
+pub mod ucb;
+
+pub use bounds::Theorem1Constants;
+pub use controller::{Dragster, DragsterConfig, InnerAlgo};
+pub use oracle::{exhaustive_optimal, greedy_optimal};
+pub use projection::project_acquisition;
+pub use regret::RegretTracker;
+pub use saddle::{SaddleState, TargetSolver};
+pub use ucb::{AcquisitionKind, OperatorGp, UcbConfig};

@@ -1,0 +1,146 @@
+//! Level 1b — the online gradient descent variant (Eq. 16).
+//!
+//! Instead of fully maximizing the last slot's Lagrangian, OGD takes a
+//! single (projected) gradient step from the previous target:
+//!
+//! ```text
+//! y_i(t) = y_i(t−1) + η · ∂L_{t−1}(y_{t−1}, λ_{t−1}) / ∂y_i
+//! ```
+//!
+//! which is why Figure 4(c) shows Dragster-OGD "smoothly adjusting" the
+//! configuration while the saddle-point variant jumps straight to the
+//! optimum of the learned model.
+//!
+//! Like the saddle variant, a pure gradient step cannot scale *down* on the
+//! saturation plateau of `f_t` (the gradient there is zero). After the
+//! Eq.-16 step we therefore blend a fraction `pull_rate` of the way toward
+//! the minimal plateau point ([`TargetSolver::pull_back`]): scale-up is
+//! gradient-driven and aggressive, scale-down is pull-driven and gradual —
+//! matching the smooth trajectories of Figure 4(c) and the slower
+//! convergence of OGD on load drops in Table 2.
+
+use crate::saddle::TargetSolver;
+use dragster_dag::Topology;
+
+/// One OGD step state: the previous target vector.
+#[derive(Clone, Debug)]
+pub struct OgdState {
+    pub y: Vec<f64>,
+    /// Step size η as a fraction of the capacity box.
+    pub eta: f64,
+    /// Fraction of the gap to the minimal plateau point closed per slot.
+    pub pull_rate: f64,
+}
+
+impl OgdState {
+    /// Start from an initial capacity guess.
+    pub fn new(y0: Vec<f64>, eta: f64) -> OgdState {
+        assert!(eta > 0.0);
+        OgdState {
+            y: y0,
+            eta,
+            pull_rate: 0.35,
+        }
+    }
+
+    /// Eq. 16 + plateau pull: one projected gradient step on the last-slot
+    /// Lagrangian, then a partial pull-back toward the just-enough point.
+    /// Returns the new target vector.
+    pub fn step(
+        &mut self,
+        solver: &TargetSolver,
+        topo: &Topology,
+        source_rates: &[f64],
+        offered_obs: &[f64],
+        lambda: &[f64],
+        y_max: f64,
+    ) -> Vec<f64> {
+        let (_, g) = solver.lagrangian_grad(topo, source_rates, offered_obs, &self.y, lambda);
+        for (yi, gi) in self.y.iter_mut().zip(g.iter()) {
+            *yi = (*yi + self.eta * y_max * gi).clamp(0.0, y_max);
+        }
+        let pulled = solver.pull_back(topo, source_rates, &self.y);
+        for (yi, pi) in self.y.iter_mut().zip(pulled.iter()) {
+            // pull-back never increases a coordinate
+            *yi += self.pull_rate * (pi - *yi);
+        }
+        self.y.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_dag::TopologyBuilder;
+
+    fn chain() -> Topology {
+        TopologyBuilder::new()
+            .source("s")
+            .operator("a")
+            .sink("k")
+            .edge("s", "a")
+            .edge("a", "k")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ogd_moves_toward_offered_load() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let mut st = OgdState::new(vec![10.0], 0.1);
+        for _ in 0..50 {
+            st.step(&solver, &topo, &[100.0], &[100.0], &[0.3], 300.0);
+        }
+        assert!(
+            st.y[0] >= 95.0,
+            "OGD failed to approach the load: {}",
+            st.y[0]
+        );
+        assert!(st.y[0] <= 170.0, "OGD overshot wastefully: {}", st.y[0]);
+    }
+
+    #[test]
+    fn ogd_is_smoother_than_full_solve() {
+        // a single OGD step from y=10 moves less than the saddle full solve
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let mut st = OgdState::new(vec![10.0], 0.05);
+        let one = st.step(&solver, &topo, &[100.0], &[100.0], &[0.3], 300.0);
+        let full = solver.solve(&topo, &[100.0], &[100.0], &[0.3], &[10.0], 300.0);
+        assert!((one[0] - 10.0).abs() < (full[0] - 10.0).abs());
+    }
+
+    #[test]
+    fn ogd_descends_when_overprovisioned() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        // way above the load with λ = 0: the plateau pull shrinks targets
+        let mut st = OgdState::new(vec![290.0], 0.1);
+        for _ in 0..20 {
+            st.step(&solver, &topo, &[50.0], &[50.0], &[0.0], 300.0);
+        }
+        assert!(st.y[0] < 60.0, "no scale-down: {}", st.y[0]);
+        assert!(st.y[0] >= 49.0, "undershot the load: {}", st.y[0]);
+    }
+
+    #[test]
+    fn ogd_descends_gradually_not_instantly() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let mut st = OgdState::new(vec![290.0], 0.1);
+        let y1 = st.step(&solver, &topo, &[50.0], &[50.0], &[0.0], 300.0);
+        // one step closes only part of the gap (smooth adjustment)
+        assert!(y1[0] > 100.0, "descended too fast: {}", y1[0]);
+        assert!(y1[0] < 290.0);
+    }
+
+    #[test]
+    fn ogd_respects_box() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let mut st = OgdState::new(vec![299.0], 5.0);
+        let y = st.step(&solver, &topo, &[1000.0], &[1000.0], &[10.0], 300.0);
+        assert!(y[0] <= 300.0);
+    }
+}

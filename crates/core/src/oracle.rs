@@ -1,0 +1,288 @@
+//! Clairvoyant optimum `y*_t` (Eq. 10's comparator).
+//!
+//! The oracle knows the *true* capacity models (the simulator's ground
+//! truth) and the current offered load, and finds the deployment
+//! maximizing the noise-free steady-state throughput — breaking ties
+//! toward fewer pods, which is also the cost-optimal choice. Dragster and
+//! the baselines never see this; it defines the regret baseline and the
+//! "within 10 % of optimal" convergence criterion of Section 6.
+//!
+//! For small applications an exhaustive scan of the `K^M` grid is exact;
+//! for the Yahoo benchmark (`10⁶` joint configurations — "exhaustively
+//! searching the optimum is impractical", Section 6.5) we use greedy
+//! marginal-gain allocation, which is optimal here because the throughput
+//! is concave and component-wise monotone in capacities (diminishing
+//! returns ⇒ the greedy chain of +1-task moves dominates).
+
+use dragster_sim::{Application, Deployment};
+
+/// Exhaustive search over the full grid. Exact; exponential in `M` —
+/// intended for `M ≤ 4`.
+pub fn exhaustive_optimal(
+    app: &Application,
+    source_rates: &[f64],
+    max_tasks: usize,
+    budget_pods: Option<usize>,
+) -> (Deployment, f64) {
+    let m = app.n_operators();
+    assert!(
+        max_tasks.pow(m as u32) <= 2_000_000,
+        "grid too large; use greedy_optimal"
+    );
+    let mut tasks = vec![1usize; m];
+    let mut best = (
+        Deployment {
+            tasks: tasks.clone(),
+        },
+        f64::NEG_INFINITY,
+        usize::MAX,
+    );
+    loop {
+        let d = Deployment {
+            tasks: tasks.clone(),
+        };
+        if d.within_budget(budget_pods) {
+            let f = app.ideal_throughput(source_rates, &tasks);
+            let pods = d.total_pods();
+            if f > best.1 + 1e-9 || (f > best.1 - 1e-9 && pods < best.2) {
+                best = (d, f, pods);
+            }
+        }
+        // odometer increment
+        let mut i = 0;
+        loop {
+            if i == m {
+                return (best.0, best.1);
+            }
+            tasks[i] += 1;
+            if tasks[i] <= max_tasks {
+                break;
+            }
+            tasks[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+/// Scalable optimum for large `M` (the Yahoo benchmark's 10⁶-point grid):
+///
+/// 1. **Water-fill.** Compute each operator's offered load under the
+///    current allocation (starting from unlimited capacities) and give it
+///    the smallest task count whose true capacity covers that load;
+///    iterate to a fixed point (loads only shrink when an operator cannot
+///    cover its load even at `max_tasks`). Without a budget this is exact:
+///    every operator has exactly enough capacity, so the flow is the
+///    unconstrained-through-`max_tasks` optimum, and removing any task
+///    would cut it.
+/// 2. **Budget projection.** While over budget, remove the task whose
+///    removal costs the least throughput (evaluated exactly).
+/// 3. **Swap local search.** Improve with (+1, −1) task swaps until no swap
+///    raises throughput — this handles the balanced-bottleneck plateaus
+///    where marginal-gain moves stall.
+///
+/// Tests cross-validate against [`exhaustive_optimal`] on small grids.
+pub fn greedy_optimal(
+    app: &Application,
+    source_rates: &[f64],
+    max_tasks: usize,
+    budget_pods: Option<usize>,
+) -> (Deployment, f64) {
+    let m = app.n_operators();
+    // --- 1. water-fill ---
+    let mut tasks = vec![max_tasks; m];
+    for _ in 0..8 {
+        let caps = app.true_capacities(&tasks);
+        let flows = dragster_dag::propagate(&app.topology, source_rates, &caps);
+        let loads = flows.operator_offered_loads(&app.topology);
+        let mut next = Vec::with_capacity(m);
+        for (i, &load) in loads.iter().enumerate() {
+            let need = app.capacity_models[i]
+                .tasks_for(load - 1e-9, max_tasks)
+                .unwrap_or(max_tasks);
+            next.push(need.max(1));
+        }
+        if next == tasks {
+            break;
+        }
+        tasks = next;
+    }
+    let mut f = app.ideal_throughput(source_rates, &tasks);
+
+    // --- 2. budget projection ---
+    if let Some(b) = budget_pods {
+        let b = b.max(m);
+        while tasks.iter().sum::<usize>() > b {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..m {
+                if tasks[i] > 1 {
+                    tasks[i] -= 1;
+                    let fi = app.ideal_throughput(source_rates, &tasks);
+                    tasks[i] += 1;
+                    if best.is_none_or(|(_, bf)| fi > bf) {
+                        best = Some((i, fi));
+                    }
+                }
+            }
+            let (i, fi) = best.expect("budget ≥ M keeps a decrement feasible");
+            tasks[i] -= 1;
+            f = fi;
+        }
+    }
+
+    // --- 3. swap local search ---
+    loop {
+        let mut improved = false;
+        for i in 0..m {
+            for j in 0..m {
+                if i == j || tasks[i] >= max_tasks || tasks[j] <= 1 {
+                    continue;
+                }
+                tasks[i] += 1;
+                tasks[j] -= 1;
+                let fi = app.ideal_throughput(source_rates, &tasks);
+                if fi > f + 1e-9 {
+                    f = fi;
+                    improved = true;
+                } else {
+                    tasks[i] -= 1;
+                    tasks[j] += 1;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    // trim tasks that contribute nothing (ties toward fewer pods)
+    loop {
+        let mut trimmed = false;
+        for i in 0..m {
+            if tasks[i] > 1 {
+                tasks[i] -= 1;
+                let fi = app.ideal_throughput(source_rates, &tasks);
+                if fi >= f - 1e-9 {
+                    trimmed = true;
+                } else {
+                    tasks[i] += 1;
+                }
+            }
+        }
+        if !trimmed {
+            break;
+        }
+    }
+    (Deployment { tasks }, f)
+}
+
+/// Optimal throughput per slot for a whole arrival trace — the `y*_t`
+/// series used for regret curves and convergence tables.
+pub fn optimal_series(
+    app: &Application,
+    rates_per_slot: &[Vec<f64>],
+    max_tasks: usize,
+    budget_pods: Option<usize>,
+) -> Vec<f64> {
+    rates_per_slot
+        .iter()
+        .map(|r| greedy_optimal(app, r, max_tasks, budget_pods).1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_dag::{ThroughputFn, TopologyBuilder};
+    use dragster_sim::CapacityModel;
+
+    fn wordcount(per_task_map: f64, per_task_shuffle: f64) -> Application {
+        let topo = TopologyBuilder::new()
+            .source("src")
+            .operator("map")
+            .operator("shuffle")
+            .sink("out")
+            .edge("src", "map")
+            .edge_with(
+                "map",
+                "shuffle",
+                ThroughputFn::Linear { weights: vec![1.0] },
+                1.0,
+            )
+            .edge("shuffle", "out")
+            .build()
+            .unwrap();
+        Application::new(
+            topo,
+            vec![
+                CapacityModel::Contended {
+                    per_task: per_task_map,
+                    contention: 0.03,
+                },
+                CapacityModel::Contended {
+                    per_task: per_task_shuffle,
+                    contention: 0.03,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_unconstrained() {
+        let app = wordcount(100.0, 60.0);
+        let (dg, fg) = greedy_optimal(&app, &[450.0], 10, None);
+        let (de, fe) = exhaustive_optimal(&app, &[450.0], 10, None);
+        assert!((fg - fe).abs() < 1e-9, "greedy {fg} vs exhaustive {fe}");
+        assert_eq!(dg.tasks, de.tasks);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_budgeted() {
+        let app = wordcount(100.0, 60.0);
+        for budget in [4, 6, 8, 10, 12] {
+            let (_, fg) = greedy_optimal(&app, &[800.0], 10, Some(budget));
+            let (_, fe) = exhaustive_optimal(&app, &[800.0], 10, Some(budget));
+            assert!(
+                (fg - fe).abs() < 1e-6,
+                "budget {budget}: greedy {fg} vs exhaustive {fe}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_is_just_enough_capacity() {
+        let app = wordcount(100.0, 100.0);
+        // load 250 needs ~3 tasks per operator (capacity 100n with small
+        // contention); no reason to buy more.
+        let (d, f) = exhaustive_optimal(&app, &[250.0], 10, None);
+        assert!((f - 250.0).abs() < 1.0, "{f}");
+        assert!(d.tasks.iter().all(|&t| t <= 4), "{d}");
+    }
+
+    #[test]
+    fn budget_binds_under_overload() {
+        let app = wordcount(100.0, 100.0);
+        let (d, f) = exhaustive_optimal(&app, &[5000.0], 10, Some(8));
+        assert_eq!(d.total_pods(), 8);
+        // balanced 4/4 ⇒ throughput ≈ capacity(4) ≈ 366
+        assert_eq!(d.tasks, vec![4, 4]);
+        assert!(f > 350.0);
+    }
+
+    #[test]
+    fn asymmetric_operators_get_asymmetric_allocation() {
+        // shuffle is half as fast per task: under a tight budget it should
+        // receive more tasks than map.
+        let app = wordcount(100.0, 50.0);
+        let (d, _) = exhaustive_optimal(&app, &[5000.0], 10, Some(9));
+        assert!(d.tasks[1] > d.tasks[0], "{d}");
+    }
+
+    #[test]
+    fn optimal_series_tracks_load() {
+        let app = wordcount(100.0, 100.0);
+        let series = optimal_series(&app, &[vec![100.0], vec![400.0], vec![100.0]], 10, None);
+        assert!((series[0] - 100.0).abs() < 1.0);
+        assert!((series[1] - 400.0).abs() < 6.0);
+        assert!((series[2] - 100.0).abs() < 1.0);
+    }
+}

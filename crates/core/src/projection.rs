@@ -1,0 +1,203 @@
+//! The budget projection `Π_X` of Eq. 18: restrict the acquisition argmax
+//! to the feasible set `{x : Σ_i x_i ≤ B}`.
+//!
+//! Because the acquisition is *separable* across operators
+//! (`A(x) = Σ_i A_i(x_i)` — independent GPs, Eq. 7) and the constraint is a
+//! single knapsack row over the integer grid, the projection is solved
+//! *exactly* by dynamic programming in `O(M · B · K)` — microseconds for
+//! the paper's scales (M ≤ 6, K = 10). A greedy decrement variant is also
+//! provided; tests verify greedy ≤ exact and exact feasibility/optimality.
+
+/// Exact projection: maximize `Σ_i table[i][x_i − 1]` subject to
+/// `Σ_i x_i ≤ budget`, `1 ≤ x_i ≤ K_i`. Returns the chosen task counts.
+///
+/// ```
+/// use dragster_core::project_acquisition;
+///
+/// // two operators, three candidate task counts each
+/// let tables = vec![vec![0.1, 0.9, 0.95], vec![0.5, 0.6, 0.61]];
+/// assert_eq!(project_acquisition(&tables, 100), vec![3, 3]); // unconstrained
+/// assert_eq!(project_acquisition(&tables, 3), vec![2, 1]);   // budget binds
+/// ```
+///
+/// # Panics
+/// If `budget < M` (every operator needs ≥ 1 task) or any table is empty.
+pub fn project_acquisition(tables: &[Vec<f64>], budget: usize) -> Vec<usize> {
+    let m = tables.len();
+    assert!(m > 0, "no operators");
+    assert!(budget >= m, "budget {budget} cannot host {m} operators");
+    for t in tables {
+        assert!(!t.is_empty(), "empty acquisition table");
+    }
+    let b = budget;
+    const NEG: f64 = f64::NEG_INFINITY;
+    // dp[i][u] = best value using operators 0..i with u pods spent.
+    let mut dp = vec![vec![NEG; b + 1]; m + 1];
+    let mut choice = vec![vec![0usize; b + 1]; m + 1];
+    dp[0][0] = 0.0;
+    for i in 0..m {
+        let k = tables[i].len();
+        for u in 0..=b {
+            if dp[i][u] == NEG {
+                continue;
+            }
+            for x in 1..=k.min(b - u) {
+                let v = dp[i][u] + tables[i][x - 1];
+                if v > dp[i + 1][u + x] {
+                    dp[i + 1][u + x] = v;
+                    choice[i + 1][u + x] = x;
+                }
+            }
+        }
+    }
+    // best final budget usage
+    let mut best_u = m;
+    for u in m..=b {
+        if dp[m][u] > dp[m][best_u] {
+            best_u = u;
+        }
+    }
+    // backtrack
+    let mut xs = vec![0usize; m];
+    let mut u = best_u;
+    for i in (0..m).rev() {
+        let x = choice[i + 1][u];
+        xs[i] = x;
+        u -= x;
+    }
+    xs
+}
+
+/// Greedy projection: start from each operator's unconstrained argmax and
+/// decrement the operator whose one-task reduction loses the least
+/// acquisition value until the budget holds. Not always optimal (the
+/// acquisition need not be concave in `x`); kept for comparison and as the
+/// paper-plausible simple implementation.
+pub fn project_greedy(tables: &[Vec<f64>], budget: usize) -> Vec<usize> {
+    let m = tables.len();
+    assert!(budget >= m);
+    let mut xs: Vec<usize> = tables
+        .iter()
+        .map(|t| {
+            let mut best = 0;
+            for (i, &a) in t.iter().enumerate() {
+                if a > t[best] {
+                    best = i;
+                }
+            }
+            best + 1
+        })
+        .collect();
+    loop {
+        let total: usize = xs.iter().sum();
+        if total <= budget {
+            return xs;
+        }
+        // candidate decrements
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if xs[i] > 1 {
+                let loss = tables[i][xs[i] - 1] - tables[i][xs[i] - 2];
+                if best.is_none_or(|(_, l)| loss < l) {
+                    best = Some((i, loss));
+                }
+            }
+        }
+        let (i, _) = best.expect("budget ≥ M guarantees a feasible decrement");
+        xs[i] -= 1;
+    }
+}
+
+/// Total acquisition value of a choice.
+pub fn acquisition_value(tables: &[Vec<f64>], xs: &[usize]) -> f64 {
+    tables.iter().zip(xs.iter()).map(|(t, &x)| t[x - 1]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_budget_picks_argmax() {
+        let tables = vec![vec![0.1, 0.9, 0.3], vec![0.5, 0.2, 0.8]];
+        let xs = project_acquisition(&tables, 100);
+        assert_eq!(xs, vec![2, 3]);
+    }
+
+    #[test]
+    fn tight_budget_is_feasible_and_optimal() {
+        let tables = vec![vec![0.1, 0.9, 0.95], vec![0.5, 0.6, 0.61]];
+        // budget 3: best is x = (2,1): 0.9 + 0.5 = 1.4 vs (1,2): 0.1+0.6.
+        let xs = project_acquisition(&tables, 3);
+        assert_eq!(xs.iter().sum::<usize>(), 3);
+        assert_eq!(xs, vec![2, 1]);
+    }
+
+    #[test]
+    fn exact_beats_or_matches_greedy_on_random_tables() {
+        let mut state = 12345u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        for _ in 0..200 {
+            let m = 2 + (next() * 3.0) as usize;
+            let tables: Vec<Vec<f64>> = (0..m).map(|_| (0..10).map(|_| next()).collect()).collect();
+            for budget in [m, m + 3, m * 5, 100] {
+                let exact = project_acquisition(&tables, budget);
+                let greedy = project_greedy(&tables, budget);
+                assert!(exact.iter().sum::<usize>() <= budget);
+                assert!(greedy.iter().sum::<usize>() <= budget);
+                assert!(exact.iter().all(|&x| (1..=10).contains(&x)));
+                let ve = acquisition_value(&tables, &exact);
+                let vg = acquisition_value(&tables, &greedy);
+                assert!(ve >= vg - 1e-12, "exact {ve} < greedy {vg}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_small() {
+        let tables = vec![
+            vec![0.3, 0.1, 0.7, 0.2],
+            vec![0.6, 0.65, 0.1, 0.9],
+            vec![0.2, 0.8, 0.85, 0.4],
+        ];
+        for budget in 3..=12 {
+            let got = project_acquisition(&tables, budget);
+            // brute force
+            let mut best = (vec![1, 1, 1], f64::NEG_INFINITY);
+            for a in 1..=4 {
+                for b in 1..=4 {
+                    for c in 1..=4 {
+                        if a + b + c <= budget {
+                            let v = acquisition_value(&tables, &[a, b, c]);
+                            if v > best.1 {
+                                best = (vec![a, b, c], v);
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(
+                (acquisition_value(&tables, &got) - best.1).abs() < 1e-12,
+                "budget {budget}: got {got:?} vs best {best:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn budget_below_operator_count_panics() {
+        let _ = project_acquisition(&[vec![0.0], vec![0.0]], 1);
+    }
+
+    #[test]
+    fn minimum_budget_forces_all_ones() {
+        let tables = vec![vec![0.0, 10.0], vec![0.0, 10.0], vec![0.0, 10.0]];
+        assert_eq!(project_acquisition(&tables, 3), vec![1, 1, 1]);
+        assert_eq!(project_greedy(&tables, 3), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dynamic regret (Eq. 10) and dynamic fit (Eq. 12) accounting.
+//!
+//! ```text
+//! Reg_T = Σ_t f_t(y*_t) − Σ_t f_t(y_t(x_t))
+//! Fit_T = Σ_t Σ_i l_i(y_i(x_i(t)))          (l_i = offered − capacity)
+//! ```
+//!
+//! Theorem 1 bounds both by `O(√(T β_T Γ_T))` — sub-linear in `T`. The
+//! `regret_growth` experiment sweeps `T`, fits the log-log slope of these
+//! series, and checks it stays below 1.
+
+/// Accumulates per-slot optimal/achieved throughput and constraint
+/// violations; exposes cumulative and per-slot series.
+#[derive(Clone, Debug, Default)]
+pub struct RegretTracker {
+    opt: Vec<f64>,
+    achieved: Vec<f64>,
+    /// Σ_i l_i per slot, *violations only* counted per the positive part of
+    /// the sum (the paper's Fit sums the raw l_i; we record both).
+    fit_raw: Vec<f64>,
+    fit_pos: Vec<f64>,
+}
+
+impl RegretTracker {
+    pub fn new() -> RegretTracker {
+        RegretTracker::default()
+    }
+
+    /// Record one slot: the clairvoyant optimal throughput, the achieved
+    /// throughput, and the per-operator constraint values
+    /// `l_i = offered_i − capacity_i`.
+    pub fn record(&mut self, f_opt: f64, f_achieved: f64, l_values: &[f64]) {
+        self.opt.push(f_opt);
+        self.achieved.push(f_achieved);
+        let raw: f64 = l_values.iter().sum();
+        let pos: f64 = l_values.iter().map(|l| l.max(0.0)).sum();
+        self.fit_raw.push(raw);
+        self.fit_pos.push(pos);
+    }
+
+    /// Number of slots recorded.
+    pub fn len(&self) -> usize {
+        self.opt.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.opt.is_empty()
+    }
+
+    /// `Reg_T` (Eq. 10) after all recorded slots.
+    pub fn regret(&self) -> f64 {
+        self.opt.iter().sum::<f64>() - self.achieved.iter().sum::<f64>()
+    }
+
+    /// `Fit_T` (Eq. 12) with raw (signed) constraint sums.
+    pub fn fit(&self) -> f64 {
+        self.fit_raw.iter().sum()
+    }
+
+    /// Positive-part fit: total unprocessed-tuple *rate* accumulated — an
+    /// upper bound on buffer growth (Section 4.2.4: "Fit_T gives an upper
+    /// bound for the number of unprocessed tuples").
+    pub fn fit_positive(&self) -> f64 {
+        self.fit_pos.iter().sum()
+    }
+
+    /// Cumulative regret after each slot (length T series).
+    pub fn regret_series(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.opt
+            .iter()
+            .zip(self.achieved.iter())
+            .map(|(o, a)| {
+                acc += o - a;
+                acc
+            })
+            .collect()
+    }
+
+    /// Cumulative positive-part fit after each slot.
+    pub fn fit_series(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.fit_pos
+            .iter()
+            .map(|f| {
+                acc += f;
+                acc
+            })
+            .collect()
+    }
+
+    /// Least-squares slope of `log(series)` vs `log(t)` over the tail
+    /// half of the horizon — the empirical growth exponent. Sub-linear
+    /// regret ⇔ slope < 1. Slots where the series is ≤ 0 are skipped.
+    pub fn growth_exponent(series: &[f64]) -> Option<f64> {
+        let n = series.len();
+        if n < 8 {
+            return None;
+        }
+        let pts: Vec<(f64, f64)> = (n / 2..n)
+            .filter(|&t| series[t] > 0.0)
+            .map(|t| ((t as f64 + 1.0).ln(), series[t].ln()))
+            .collect();
+        if pts.len() < 4 {
+            return Some(0.0); // series vanished ⇒ trivially sub-linear
+        }
+        let k = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = k * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some((k * sxy - sx * sy) / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regret_and_fit_accumulate() {
+        let mut r = RegretTracker::new();
+        r.record(100.0, 80.0, &[5.0, -3.0]);
+        r.record(100.0, 100.0, &[0.0, 0.0]);
+        assert_eq!(r.len(), 2);
+        assert!((r.regret() - 20.0).abs() < 1e-12);
+        assert!((r.fit() - 2.0).abs() < 1e-12);
+        assert!((r.fit_positive() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_are_cumulative() {
+        let mut r = RegretTracker::new();
+        r.record(10.0, 5.0, &[1.0]);
+        r.record(10.0, 10.0, &[2.0]);
+        r.record(10.0, 8.0, &[0.0]);
+        assert_eq!(r.regret_series(), vec![5.0, 5.0, 7.0]);
+        assert_eq!(r.fit_series(), vec![1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn growth_exponent_detects_linear() {
+        let series: Vec<f64> = (1..=200).map(|t| t as f64 * 3.0).collect();
+        let e = RegretTracker::growth_exponent(&series).unwrap();
+        assert!((e - 1.0).abs() < 0.02, "{e}");
+    }
+
+    #[test]
+    fn growth_exponent_detects_sqrt() {
+        let series: Vec<f64> = (1..=200).map(|t| (t as f64).sqrt()).collect();
+        let e = RegretTracker::growth_exponent(&series).unwrap();
+        assert!((e - 0.5).abs() < 0.02, "{e}");
+    }
+
+    #[test]
+    fn growth_exponent_handles_flat_series() {
+        let series = vec![0.0; 100];
+        assert_eq!(RegretTracker::growth_exponent(&series), Some(0.0));
+    }
+
+    #[test]
+    fn growth_exponent_short_series_is_none() {
+        assert!(RegretTracker::growth_exponent(&[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,382 @@
+//! Level 1a — the online saddle point algorithm (Eq. 13–15).
+//!
+//! Per-slot Lagrangian (Eq. 13):
+//!
+//! ```text
+//! L_t(y, λ) = f_t(y) − Σ_i λ_i · l_i(y_i),    l_i(y_i) = Σ_j h_{i,j}(ē_i) − y_i
+//! ```
+//!
+//! The primal step (Eq. 14) sets the current target capacity vector to the
+//! maximizer of the *last* slot's Lagrangian; the dual step (Eq. 15)
+//! accumulates constraint violations: `λ_i ← max(0, λ_i + γ l_i(y_i))`,
+//! `γ = γ₀/√t`.
+//!
+//! `f_t` is concave and `l_i` affine in `y`, so the inner problem is a
+//! concave maximization over the box `[0, y_max]^M`, solved by projected
+//! (sub)gradient ascent with autodiff gradients.
+//!
+//! **Plateau selection.** `f_t` *saturates*: any capacity beyond the
+//! offered load changes nothing, so the maximizer is a plateau and Eq. 14
+//! alone does not pin down a point. Following Remark 1 ("just have enough
+//! capacity to handle the incoming tuples") we select the *minimal*
+//! coordinate-wise point of the plateau via [`TargetSolver::pull_back`]
+//! (per-coordinate binary search that preserves the achieved throughput),
+//! then re-inflate each target by a λ-proportional headroom so operators
+//! with a history of violations get capacity to drain their backlog. This
+//! is what lets Dragster "converge in a more economical resource
+//! configuration" (Section 6.4) while the dual dynamics remain exactly
+//! Eq. 15.
+
+use dragster_autodiff::Tape;
+use dragster_dag::{propagate, throughput, Topology};
+
+/// Solves the per-slot target-capacity problem. Shared by the saddle-point
+/// and OGD variants (they differ only in the primal step).
+pub struct TargetSolver {
+    /// Ascent iterations for the inner maximization.
+    pub iters: usize,
+    /// Relative throughput tolerance used by the plateau pull-back.
+    pub pull_back_tol: f64,
+    /// Headroom per unit of dual variable: `target_i ← target_i ·
+    /// (1 + headroom · min(λ_i, 1))`.
+    pub lambda_headroom: f64,
+}
+
+impl Default for TargetSolver {
+    fn default() -> Self {
+        TargetSolver {
+            iters: 200,
+            pull_back_tol: 1e-6,
+            lambda_headroom: 0.5,
+        }
+    }
+}
+
+impl TargetSolver {
+    /// Evaluate the Lagrangian `L(y, λ)` and its gradient w.r.t. `y`, for
+    /// the *known* throughput function (topology) and current offered
+    /// source rates.
+    ///
+    /// Faithful to Eq. 11/13, the constraint terms treat the offered loads
+    /// `Σ_j h_{i,j}(ē_i)` as *observed constants* from the last slot
+    /// (`offered_obs`), so `l_i` is affine in `y_i` alone. Making them
+    /// flow-dependent instead creates a perverse maximizer — with a large
+    /// downstream λ the Lagrangian rewards *starving upstream operators*
+    /// (less inflow ⇒ smaller violation), collapsing every target to zero.
+    pub fn lagrangian_grad(
+        &self,
+        topo: &Topology,
+        source_rates: &[f64],
+        offered_obs: &[f64],
+        y: &[f64],
+        lambda: &[f64],
+    ) -> (f64, Vec<f64>) {
+        let tape = Tape::new();
+        let caps: Vec<_> = y.iter().map(|&v| tape.var(v)).collect();
+        let rates: Vec<_> = source_rates.iter().map(|&r| tape.constant(r)).collect();
+        let res = propagate(topo, &rates, &caps);
+        // L = f(y) − Σ λ_i (offered_obs_i − y_i)
+        let mut l = res.throughput;
+        for (i, &off) in offered_obs.iter().enumerate() {
+            l = l - (tape.constant(off) - caps[i]) * lambda[i];
+        }
+        let grads = l.backward();
+        (l.value(), grads.wrt_slice(&caps))
+    }
+
+    /// Projected gradient ascent on `L(·, λ)` over `[0, y_max]^M`.
+    fn ascend(
+        &self,
+        topo: &Topology,
+        source_rates: &[f64],
+        offered_obs: &[f64],
+        lambda: &[f64],
+        y_start: &[f64],
+        y_max: f64,
+    ) -> Vec<f64> {
+        let m = topo.n_operators();
+        let mut y: Vec<f64> = y_start.iter().map(|&v| v.clamp(0.0, y_max)).collect();
+        let step0 = 0.25 * y_max;
+        for k in 1..=self.iters {
+            let (_, g) = self.lagrangian_grad(topo, source_rates, offered_obs, &y, lambda);
+            let step = step0 / (k as f64).sqrt();
+            let mut moved = 0.0;
+            for i in 0..m {
+                let ny = (y[i] + step * g[i]).clamp(0.0, y_max);
+                moved += (ny - y[i]).abs();
+                y[i] = ny;
+            }
+            if moved < 1e-9 * y_max {
+                break;
+            }
+        }
+        y
+    }
+
+    /// Reduce each coordinate to the smallest value that keeps the
+    /// application throughput within `pull_back_tol` (relative) of its
+    /// value at `y` — the minimal point of the saturation plateau. Two
+    /// passes make the result order-insensitive for chains.
+    pub fn pull_back(&self, topo: &Topology, source_rates: &[f64], y: &[f64]) -> Vec<f64> {
+        let f_ref = throughput(topo, source_rates, y);
+        let floor = f_ref * (1.0 - self.pull_back_tol) - 1e-12;
+        let mut y = y.to_vec();
+        for _pass in 0..2 {
+            for i in 0..y.len() {
+                let (mut lo, mut hi) = (0.0_f64, y[i]);
+                for _ in 0..50 {
+                    let mid = 0.5 * (lo + hi);
+                    let saved = y[i];
+                    y[i] = mid;
+                    let ok = throughput(topo, source_rates, &y) >= floor;
+                    y[i] = saved;
+                    if ok {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                y[i] = hi;
+            }
+        }
+        y
+    }
+
+    /// Eq. 14 with plateau selection: ascend `L(·, λ_{t−1})` from
+    /// `y_start`, pull back to the minimal plateau point, then apply the
+    /// λ-headroom.
+    pub fn solve(
+        &self,
+        topo: &Topology,
+        source_rates: &[f64],
+        offered_obs: &[f64],
+        lambda: &[f64],
+        y_start: &[f64],
+        y_max: f64,
+    ) -> Vec<f64> {
+        assert_eq!(lambda.len(), topo.n_operators());
+        let y_hat = self.ascend(topo, source_rates, offered_obs, lambda, y_start, y_max);
+        let mut y = self.pull_back(topo, source_rates, &y_hat);
+        for (yi, &lam) in y.iter_mut().zip(lambda.iter()) {
+            *yi = (*yi * (1.0 + self.lambda_headroom * lam.min(1.0))).clamp(0.0, y_max);
+        }
+        y
+    }
+}
+
+/// The dual state of the saddle-point algorithm.
+#[derive(Clone, Debug)]
+pub struct SaddleState {
+    /// Multipliers λ_i ≥ 0, one per operator.
+    pub lambda: Vec<f64>,
+    /// Base dual step size γ₀ (γ_t = γ₀/√t, Theorem 1's γ = 1/√t).
+    pub gamma0: f64,
+    t: usize,
+}
+
+impl SaddleState {
+    pub fn new(n_operators: usize, gamma0: f64) -> SaddleState {
+        SaddleState {
+            lambda: vec![0.0; n_operators],
+            gamma0,
+            t: 0,
+        }
+    }
+
+    /// Slots observed so far.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Eq. 15: `λ_i ← max(0, λ_i + γ_t l_i)` with the observed constraint
+    /// values `l_i = offered_i − capacity_i` (positive = violated). The
+    /// values are normalized by the offered scale so γ is unit-free.
+    pub fn dual_update(&mut self, l_values: &[f64]) {
+        assert_eq!(l_values.len(), self.lambda.len());
+        self.t += 1;
+        let gamma = self.gamma0 / (self.t as f64).sqrt();
+        let scale = l_values.iter().map(|l| l.abs()).fold(1e-9_f64, f64::max);
+        for (lam, &l) in self.lambda.iter_mut().zip(l_values.iter()) {
+            *lam = (*lam + gamma * l / scale).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_dag::TopologyBuilder;
+
+    fn chain() -> Topology {
+        TopologyBuilder::new()
+            .source("s")
+            .operator("a")
+            .operator("b")
+            .sink("k")
+            .edge("s", "a")
+            .edge("a", "b")
+            .edge("b", "k")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lagrangian_matches_throughput_when_lambda_zero() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let y = [50.0, 80.0];
+        let (l, _) = solver.lagrangian_grad(&topo, &[100.0], &[100.0, 100.0], &y, &[0.0, 0.0]);
+        assert!((l - throughput(&topo, &[100.0], &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_rewards_capacity_at_violated_operator() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        // operator a starved: offered 100, capacity 20.
+        let y = [20.0, 200.0];
+        let off = [100.0, 20.0];
+        let (_, g0) = solver.lagrangian_grad(&topo, &[100.0], &off, &y, &[0.0, 0.0]);
+        let (_, g1) = solver.lagrangian_grad(&topo, &[100.0], &off, &y, &[2.0, 0.0]);
+        // with λ_a > 0 the gradient on y_a grows by λ_a
+        assert!((g1[0] - (g0[0] + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_meets_offered_load_without_waste() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let y = solver.solve(
+            &topo,
+            &[100.0],
+            &[100.0, 100.0],
+            &[0.5, 0.5],
+            &[10.0, 10.0],
+            400.0,
+        );
+        for (i, &yi) in y.iter().enumerate() {
+            assert!(yi >= 99.0, "op {i}: target {yi} below offered load");
+            // pull-back + 25 % λ-headroom ⇒ ≈ 125, never the 400 box edge
+            assert!(yi <= 160.0, "op {i}: target {yi} wastefully high");
+        }
+        let f = throughput(&topo, &[100.0], &y);
+        assert!(f >= 99.0);
+    }
+
+    #[test]
+    fn solve_scales_down_when_load_drops() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        // warm start high (previous high-load targets), λ decayed to 0
+        let lo = solver.solve(
+            &topo,
+            &[20.0],
+            &[20.0, 20.0],
+            &[0.0, 0.0],
+            &[400.0, 400.0],
+            400.0,
+        );
+        assert!(
+            lo[0] <= 25.0,
+            "low load should need low capacity, got {}",
+            lo[0]
+        );
+        assert!(lo[0] >= 19.5);
+    }
+
+    #[test]
+    fn pull_back_finds_minimal_plateau_point() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let y = solver.pull_back(&topo, &[100.0], &[350.0, 290.0]);
+        // minimal capacities passing 100 tuples/s are exactly 100 each
+        assert!((y[0] - 100.0).abs() < 0.1, "{:?}", y);
+        assert!((y[1] - 100.0).abs() < 0.1, "{:?}", y);
+        // throughput preserved
+        assert!(throughput(&topo, &[100.0], &y) >= 99.99);
+    }
+
+    #[test]
+    fn pull_back_respects_existing_bottleneck() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        // a is a hard bottleneck at 40: b needs only 40.
+        let y = solver.pull_back(&topo, &[100.0], &[40.0, 300.0]);
+        assert!((y[0] - 40.0).abs() < 0.1);
+        assert!((y[1] - 40.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn solve_stays_in_box() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let y = solver.solve(
+            &topo,
+            &[1000.0],
+            &[1000.0, 150.0],
+            &[5.0, 5.0],
+            &[0.0, 0.0],
+            150.0,
+        );
+        for &yi in &y {
+            assert!((0.0..=150.0).contains(&yi));
+        }
+    }
+
+    #[test]
+    fn headroom_scales_with_lambda() {
+        let topo = chain();
+        let solver = TargetSolver::default();
+        let relaxed = solver.solve(
+            &topo,
+            &[100.0],
+            &[100.0, 100.0],
+            &[0.0, 0.0],
+            &[10.0, 10.0],
+            400.0,
+        );
+        let pressed = solver.solve(
+            &topo,
+            &[100.0],
+            &[100.0, 100.0],
+            &[1.0, 1.0],
+            &[10.0, 10.0],
+            400.0,
+        );
+        assert!(
+            pressed[0] > relaxed[0] * 1.2,
+            "{} vs {}",
+            pressed[0],
+            relaxed[0]
+        );
+    }
+
+    #[test]
+    fn dual_update_accumulates_violations_and_clamps() {
+        let mut st = SaddleState::new(2, 1.0);
+        st.dual_update(&[10.0, -5.0]); // γ_1 = 1, scale = 10
+        assert!((st.lambda[0] - 1.0).abs() < 1e-12);
+        assert_eq!(st.lambda[1], 0.0);
+        st.dual_update(&[-100.0, 2.0]); // γ_2 = 1/√2, scale = 100
+        assert!(st.lambda[0] < 1.0); // violation cleared ⇒ λ decreases
+        assert!(st.lambda[1] > 0.0);
+        st.dual_update(&[-100.0, -100.0]);
+        st.dual_update(&[-100.0, -100.0]);
+        assert_eq!(st.lambda[0], 0.0); // clamped at zero
+        assert_eq!(st.lambda[1], 0.0);
+        assert_eq!(st.t(), 4);
+    }
+
+    #[test]
+    fn dual_step_decays() {
+        let mut st = SaddleState::new(1, 1.0);
+        st.dual_update(&[1.0]);
+        let l1 = st.lambda[0];
+        let mut st2 = SaddleState::new(1, 1.0);
+        st2.dual_update(&[1e-12]);
+        st2.dual_update(&[1e-12]);
+        st2.dual_update(&[1e-12]);
+        st2.dual_update(&[1.0]); // γ_4 = 1/2
+        assert!(st2.lambda[0] < l1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Structural and empirical analysis of a topology: the Theorem-1 constants
+//! and the concavity/monotonicity assumptions of Section 4.1.
+
+use crate::flow::{throughput, throughput_grad};
+use crate::topology::{ComponentKind, Topology};
+
+/// Upper bound `H` on every throughput function's value given the source
+/// rates (Theorem 1's `h_{i,j} ≤ H`). Computed by propagating per-component
+/// output bounds in topological order with capacities removed.
+pub fn throughput_upper_bound(topo: &Topology, source_rates: &[f64]) -> f64 {
+    assert_eq!(source_rates.len(), topo.n_sources());
+    let n = topo.components().len();
+    let mut out_bound: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut in_bound: Vec<Vec<f64>> = topo
+        .components()
+        .iter()
+        .map(|c| vec![0.0; c.preds.len()])
+        .collect();
+    let source_index: std::collections::HashMap<usize, usize> = topo
+        .source_ids()
+        .iter()
+        .enumerate()
+        .map(|(k, id)| (id.0, k))
+        .collect();
+
+    let mut h_max: f64 = 0.0;
+    for id in topo.topo_order() {
+        let c = topo.component(id);
+        match c.kind {
+            ComponentKind::Source => {
+                let rate = source_rates[source_index[&id.0]];
+                for (k, succ) in c.succs.iter().enumerate() {
+                    let b = rate * c.alpha[k];
+                    out_bound[id.0].push(b);
+                    let pos = topo
+                        .component(*succ)
+                        .preds
+                        .iter()
+                        .position(|p| *p == id)
+                        .unwrap();
+                    in_bound[succ.0][pos] = b;
+                    h_max = h_max.max(b);
+                }
+            }
+            ComponentKind::Operator => {
+                let bounds = in_bound[id.0].clone();
+                for (k, succ) in c.succs.iter().enumerate() {
+                    let b = c.h[k].upper_bound(&bounds);
+                    out_bound[id.0].push(b);
+                    let pos = topo
+                        .component(*succ)
+                        .preds
+                        .iter()
+                        .position(|p| *p == id)
+                        .unwrap();
+                    in_bound[succ.0][pos] = b;
+                    h_max = h_max.max(b);
+                }
+            }
+            ComponentKind::Sink => {}
+        }
+    }
+    h_max
+}
+
+/// Upper bound `G` on `|∂f_t/∂y_i|` (Theorem 1's gradient bound), estimated
+/// by sampling gradients on a grid of capacity vectors within
+/// `[0, cap_max]^M`.
+pub fn gradient_upper_bound(
+    topo: &Topology,
+    source_rates: &[f64],
+    cap_max: f64,
+    samples_per_dim: usize,
+) -> f64 {
+    let m = topo.n_operators();
+    let mut g_max: f64 = 0.0;
+    // Latin-style sweep: vary one coordinate at a time around mid-level
+    // plus the all-corners of a coarse lattice for small M.
+    let mid = vec![cap_max / 2.0; m];
+    let (_, g) = throughput_grad(topo, source_rates, &mid);
+    g_max = g.iter().fold(g_max, |a, &b| a.max(b.abs()));
+    for i in 0..m {
+        for s in 0..samples_per_dim {
+            let mut caps = mid.clone();
+            caps[i] = cap_max * (s as f64 + 0.5) / samples_per_dim as f64;
+            let (_, g) = throughput_grad(topo, source_rates, &caps);
+            g_max = g.iter().fold(g_max, |a, &b| a.max(b.abs()));
+        }
+    }
+    g_max
+}
+
+/// Report of an empirical check of the Section-4.1 assumptions on `f_t(y)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AssumptionReport {
+    /// Largest observed violation of monotonicity (0 when monotone).
+    pub monotonicity_violation: f64,
+    /// Largest observed violation of midpoint concavity (0 when concave).
+    pub concavity_violation: f64,
+    /// Number of sampled triples.
+    pub samples: usize,
+}
+
+impl AssumptionReport {
+    /// True when both assumptions held on every sample (within `tol`).
+    pub fn holds(&self, tol: f64) -> bool {
+        self.monotonicity_violation <= tol && self.concavity_violation <= tol
+    }
+}
+
+/// Empirically verify that `y ↦ f_t(y)` is increasing and midpoint-concave
+/// along random segments of the capacity box `[0, cap_max]^M`, using a
+/// deterministic low-discrepancy sweep (no RNG dependency here).
+pub fn check_assumptions(
+    topo: &Topology,
+    source_rates: &[f64],
+    cap_max: f64,
+    samples: usize,
+) -> AssumptionReport {
+    let m = topo.n_operators();
+    let mut mono: f64 = 0.0;
+    let mut conc: f64 = 0.0;
+    // Weyl sequence for quasi-random points.
+    let phi = 0.6180339887498949_f64;
+    let mut u = 0.5_f64;
+    let mut point = |k: usize| -> Vec<f64> {
+        (0..m)
+            .map(|j| {
+                u = (u + phi * ((k * m + j + 1) as f64)).fract();
+                u * cap_max
+            })
+            .collect()
+    };
+    for k in 0..samples {
+        let a = point(3 * k);
+        let b = point(3 * k + 1);
+        // Monotonicity: f(max(a,b)) >= f(a), f(b).
+        let hi: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x.max(*y)).collect();
+        let fa = throughput(topo, source_rates, &a);
+        let fb = throughput(topo, source_rates, &b);
+        let fhi = throughput(topo, source_rates, &hi);
+        mono = mono.max(fa - fhi).max(fb - fhi);
+        // Midpoint concavity: f((a+b)/2) >= (f(a)+f(b))/2.
+        let midp: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| 0.5 * (x + y)).collect();
+        let fm = throughput(topo, source_rates, &midp);
+        conc = conc.max(0.5 * (fa + fb) - fm);
+    }
+    AssumptionReport {
+        monotonicity_violation: mono,
+        concavity_violation: conc,
+        samples,
+    }
+}
+
+/// Rank operators by `∂f/∂y_i` (descending): the head of the list is the
+/// operator whose capacity increase improves the application throughput the
+/// most — the gradient view of "the bottleneck operator".
+pub fn rank_bottlenecks(
+    topo: &Topology,
+    source_rates: &[f64],
+    capacities: &[f64],
+) -> Vec<(usize, f64)> {
+    let (_, g) = throughput_grad(topo, source_rates, capacities);
+    let mut ranked: Vec<(usize, f64)> = g.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thrufn::ThroughputFn;
+    use crate::topology::TopologyBuilder;
+
+    fn wordcount() -> Topology {
+        TopologyBuilder::new()
+            .source("src")
+            .operator("map")
+            .operator("shuffle")
+            .sink("out")
+            .edge("src", "map")
+            .edge_with(
+                "map",
+                "shuffle",
+                ThroughputFn::Linear { weights: vec![1.0] },
+                1.0,
+            )
+            .edge("shuffle", "out")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn upper_bound_chain_is_source_rate() {
+        let t = wordcount();
+        assert!((throughput_upper_bound(&t, &[120.0]) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_respects_selectivity() {
+        let t = TopologyBuilder::new()
+            .source("src")
+            .operator("filter")
+            .sink("out")
+            .edge("src", "filter")
+            .edge_with(
+                "filter",
+                "out",
+                ThroughputFn::Linear {
+                    weights: vec![0.25],
+                },
+                1.0,
+            )
+            .build()
+            .unwrap();
+        // max h value is on the src→filter edge (rate itself)
+        assert!((throughput_upper_bound(&t, &[100.0]) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tanh_bound_is_scale() {
+        let t = TopologyBuilder::new()
+            .source("src")
+            .operator("sat")
+            .sink("out")
+            .edge("src", "sat")
+            .edge_with(
+                "sat",
+                "out",
+                ThroughputFn::Tanh {
+                    scale: 7.0,
+                    weights: vec![0.001],
+                },
+                1.0,
+            )
+            .build()
+            .unwrap();
+        // src edge bound is 5; sat edge bound is 7 ⇒ overall 7.
+        assert_eq!(throughput_upper_bound(&t, &[5.0]), 7.0);
+    }
+
+    #[test]
+    fn gradient_bound_is_at_most_one_for_chain() {
+        let t = wordcount();
+        let g = gradient_upper_bound(&t, &[100.0], 200.0, 8);
+        assert!(g <= 1.0 + 1e-9);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn assumptions_hold_on_wordcount() {
+        let t = wordcount();
+        let rep = check_assumptions(&t, &[100.0], 200.0, 200);
+        assert!(rep.holds(1e-9), "{rep:?}");
+        assert_eq!(rep.samples, 200);
+    }
+
+    #[test]
+    fn assumptions_hold_with_tanh_and_join() {
+        let t = TopologyBuilder::new()
+            .source("a")
+            .source("b")
+            .operator("join")
+            .operator("post")
+            .sink("out")
+            .edge("a", "join")
+            .edge("b", "join")
+            .edge_with(
+                "join",
+                "post",
+                ThroughputFn::WeightedMin {
+                    weights: vec![1.0, 1.0],
+                },
+                1.0,
+            )
+            .edge_with(
+                "post",
+                "out",
+                ThroughputFn::Tanh {
+                    scale: 500.0,
+                    weights: vec![0.002],
+                },
+                1.0,
+            )
+            .build()
+            .unwrap();
+        let rep = check_assumptions(&t, &[80.0, 90.0], 300.0, 200);
+        assert!(rep.holds(1e-9), "{rep:?}");
+    }
+
+    #[test]
+    fn bottleneck_ranking_orders_by_gradient() {
+        let t = wordcount();
+        // shuffle (cap 10) is the binding constraint.
+        let r = rank_bottlenecks(&t, &[100.0], &[50.0, 10.0]);
+        assert_eq!(r[0].0, 1);
+        assert_eq!(r[0].1, 1.0);
+        assert_eq!(r[1].1, 0.0);
+    }
+}

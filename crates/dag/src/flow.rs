@@ -1,0 +1,369 @@
+//! Forward flow propagation: the application throughput function `f_t(y)`
+//! (Eq. 4 composed over the DAG) and its gradient.
+
+use crate::thrufn::FlowScalar;
+use crate::topology::{ComponentId, ComponentKind, Topology};
+use dragster_autodiff::Tape;
+
+/// The complete flow solution for one evaluation of the DAG.
+///
+/// All vectors are indexed by component id; the inner vectors follow the
+/// component's successor (for outputs) or predecessor (for inputs) order.
+#[derive(Clone, Debug)]
+pub struct FlowResult<S> {
+    /// Actual emitted flow per successor edge: `e_j^i` of Eq. 4.
+    pub edge_out: Vec<Vec<S>>,
+    /// Desired (capacity-unlimited) output per successor edge:
+    /// `h_{i,j}(ē_i)`; for sources this is the α-split offered rate.
+    pub desired_out: Vec<Vec<S>>,
+    /// Received throughput vector `ē_i` per component (predecessor order).
+    pub received: Vec<Vec<S>>,
+    /// Sink ingest — the application throughput `f_t(y)`.
+    pub throughput: S,
+}
+
+impl<S: FlowScalar> FlowResult<S> {
+    /// Total desired output `Σ_{j∈S_i} h_{i,j}(ē_i)` of a component — the
+    /// left term of the buffer soft-constraint `l_i` (Eq. 11).
+    pub fn offered_load(&self, id: ComponentId) -> Option<S> {
+        let outs = &self.desired_out[id.0];
+        let mut it = outs.iter().copied();
+        let first = it.next()?;
+        Some(it.fold(first, |a, b| a.fs_add(b)))
+    }
+
+    /// Total actual output of a component.
+    pub fn actual_output(&self, id: ComponentId) -> Option<S> {
+        let outs = &self.edge_out[id.0];
+        let mut it = outs.iter().copied();
+        let first = it.next()?;
+        Some(it.fold(first, |a, b| a.fs_add(b)))
+    }
+
+    /// Total received throughput of a component.
+    pub fn total_received(&self, id: ComponentId) -> Option<S> {
+        let ins = &self.received[id.0];
+        let mut it = ins.iter().copied();
+        let first = it.next()?;
+        Some(it.fold(first, |a, b| a.fs_add(b)))
+    }
+
+    /// Offered load per *operator*, in capacity-index order — the vector
+    /// needed to evaluate every `l_i` at once.
+    pub fn operator_offered_loads(&self, topo: &Topology) -> Vec<S> {
+        topo.operator_ids()
+            .iter()
+            .map(|&id| self.offered_load(id).expect("operators have successors"))
+            .collect()
+    }
+}
+
+/// Propagate flows through the DAG (Eq. 4 applied in topological order).
+///
+/// * `source_rates` — offered rate per source, in [`Topology::source_ids`]
+///   order (length `N`).
+/// * `capacities` — service capacity per operator, in capacity-index order
+///   (length `M`).
+///
+/// Generic over [`FlowScalar`]: call with `f64` for the simulation fast
+/// path, or with autodiff [`Var`](dragster_autodiff::Var)s to obtain a
+/// differentiable throughput.
+///
+/// # Panics
+/// If the slice lengths don't match the topology.
+pub fn propagate<S: FlowScalar>(
+    topo: &Topology,
+    source_rates: &[S],
+    capacities: &[S],
+) -> FlowResult<S> {
+    assert_eq!(source_rates.len(), topo.n_sources(), "source rate arity");
+    assert_eq!(capacities.len(), topo.n_operators(), "capacity arity");
+
+    let n = topo.components().len();
+    let mut edge_out: Vec<Vec<S>> = vec![Vec::new(); n];
+    let mut desired_out: Vec<Vec<S>> = vec![Vec::new(); n];
+    let mut received: Vec<Vec<S>> = vec![Vec::new(); n];
+
+    // received[j] must follow j's predecessor order; pre-size with None.
+    let mut recv_slots: Vec<Vec<Option<S>>> = topo
+        .components()
+        .iter()
+        .map(|c| vec![None; c.preds.len()])
+        .collect();
+
+    let mut source_seen = 0usize;
+    let source_index: std::collections::HashMap<usize, usize> = topo
+        .source_ids()
+        .iter()
+        .enumerate()
+        .map(|(k, id)| (id.0, k))
+        .collect();
+
+    for id in topo.topo_order() {
+        let c = topo.component(id);
+        match c.kind {
+            ComponentKind::Source => {
+                source_seen += 1;
+                let rate = source_rates[source_index[&id.0]];
+                for (k, succ) in c.succs.iter().enumerate() {
+                    let out = rate.fs_scale(c.alpha[k]);
+                    desired_out[id.0].push(out);
+                    edge_out[id.0].push(out);
+                    let pos = pred_position(topo, *succ, id);
+                    recv_slots[succ.0][pos] = Some(out);
+                }
+            }
+            ComponentKind::Operator => {
+                let inputs: Vec<S> = recv_slots[id.0]
+                    .iter()
+                    .map(|s| s.expect("topological order guarantees inputs are ready"))
+                    .collect();
+                let y = capacities[c.capacity_index.expect("operator has capacity index")];
+                for (k, succ) in c.succs.iter().enumerate() {
+                    let desired = c.h[k].eval(&inputs);
+                    let actual = y.fs_scale(c.alpha[k]).fs_min(desired);
+                    desired_out[id.0].push(desired);
+                    edge_out[id.0].push(actual);
+                    let pos = pred_position(topo, *succ, id);
+                    recv_slots[succ.0][pos] = Some(actual);
+                }
+                received[id.0] = inputs;
+            }
+            ComponentKind::Sink => {
+                received[id.0] = recv_slots[id.0]
+                    .iter()
+                    .map(|s| s.expect("sink inputs ready"))
+                    .collect();
+            }
+        }
+    }
+    debug_assert_eq!(source_seen, topo.n_sources());
+
+    let sink = topo.sink();
+    let throughput = {
+        let ins = &received[sink.0];
+        let mut it = ins.iter().copied();
+        let first = it.next().expect("sink is reachable, so it receives flow");
+        it.fold(first, |a, b| a.fs_add(b))
+    };
+
+    FlowResult {
+        edge_out,
+        desired_out,
+        received,
+        throughput,
+    }
+}
+
+fn pred_position(topo: &Topology, of: ComponentId, pred: ComponentId) -> usize {
+    topo.component(of)
+        .preds
+        .iter()
+        .position(|p| *p == pred)
+        .expect("edge endpoints consistent")
+}
+
+/// The application throughput `f_t(y)` — fast `f64` path.
+pub fn throughput(topo: &Topology, source_rates: &[f64], capacities: &[f64]) -> f64 {
+    propagate(topo, source_rates, capacities).throughput
+}
+
+/// `f_t(y)` together with its (sub)gradient `∂f/∂y` via reverse-mode AD —
+/// the bottleneck-identification primitive (the paper's PyTorch-autograd
+/// role).
+pub fn throughput_grad(
+    topo: &Topology,
+    source_rates: &[f64],
+    capacities: &[f64],
+) -> (f64, Vec<f64>) {
+    let tape = Tape::new();
+    let caps: Vec<_> = capacities.iter().map(|&c| tape.var(c)).collect();
+    let rates: Vec<_> = source_rates.iter().map(|&r| tape.constant(r)).collect();
+    let res = propagate(topo, &rates, &caps);
+    let grads = res.throughput.backward();
+    (res.throughput.value(), grads.wrt_slice(&caps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thrufn::ThroughputFn;
+    use crate::topology::TopologyBuilder;
+
+    fn chain(selectivity: f64) -> Topology {
+        TopologyBuilder::new()
+            .source("src")
+            .operator("map")
+            .operator("reduce")
+            .sink("out")
+            .edge("src", "map")
+            .edge_with(
+                "map",
+                "reduce",
+                ThroughputFn::Linear {
+                    weights: vec![selectivity],
+                },
+                1.0,
+            )
+            .edge("reduce", "out")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unconstrained_chain_passes_rate_through() {
+        let t = chain(1.0);
+        let f = throughput(&t, &[100.0], &[1e9, 1e9]);
+        assert!((f - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_scales_throughput() {
+        let t = chain(0.5);
+        let f = throughput(&t, &[100.0], &[1e9, 1e9]);
+        assert!((f - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_truncates() {
+        let t = chain(1.0);
+        // map limited to 30: downstream sees 30.
+        assert!((throughput(&t, &[100.0], &[30.0, 1e9]) - 30.0).abs() < 1e-9);
+        // reduce limited to 20.
+        assert!((throughput(&t, &[100.0], &[1e9, 20.0]) - 20.0).abs() < 1e-9);
+        // bottleneck is the min.
+        assert!((throughput(&t, &[100.0], &[30.0, 20.0]) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_identifies_bottleneck() {
+        let t = chain(1.0);
+        // reduce (op 1) is the bottleneck: only its capacity matters.
+        let (f, g) = throughput_grad(&t, &[100.0], &[50.0, 20.0]);
+        assert!((f - 20.0).abs() < 1e-9);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[1], 1.0);
+        // map is the bottleneck.
+        let (_, g2) = throughput_grad(&t, &[100.0], &[10.0, 80.0]);
+        assert_eq!(g2[0], 1.0);
+        assert_eq!(g2[1], 0.0);
+    }
+
+    #[test]
+    fn offered_load_vs_actual_output() {
+        let t = chain(1.0);
+        let r = propagate(&t, &[100.0], &[30.0, 1e9]);
+        let map = t.by_name("map").unwrap();
+        assert_eq!(r.offered_load(map).unwrap(), 100.0);
+        assert_eq!(r.actual_output(map).unwrap(), 30.0);
+        assert_eq!(r.total_received(map).unwrap(), 100.0);
+        let loads = r.operator_offered_loads(&t);
+        assert_eq!(loads[0], 100.0);
+        assert_eq!(loads[1], 30.0); // reduce receives only what map emitted
+    }
+
+    #[test]
+    fn diamond_topology_merges_flows() {
+        let t = TopologyBuilder::new()
+            .source("src")
+            .operator("split")
+            .operator("left")
+            .operator("right")
+            .operator("merge")
+            .sink("out")
+            .edge("src", "split")
+            .edge_with(
+                "split",
+                "left",
+                ThroughputFn::Linear { weights: vec![0.5] },
+                0.5,
+            )
+            .edge_with(
+                "split",
+                "right",
+                ThroughputFn::Linear { weights: vec![0.5] },
+                0.5,
+            )
+            .edge("left", "merge")
+            .edge("right", "merge")
+            .edge("merge", "out")
+            .build()
+            .unwrap();
+        // All capacities huge: split halves the stream (h weight 0.5 per
+        // branch, α = 0.5 capacity share each); identity h on left/right
+        // forwards everything; merge's default h sums its two inputs.
+        let caps = vec![1e12; 4];
+        let f = throughput(&t, &[100.0], &caps);
+        assert!((f - 100.0).abs() < 1e-6);
+        // Starve one branch: left capacity 10 → sink sees 10 + 50.
+        let f2 = throughput(&t, &[100.0], &[1e12, 10.0, 1e12, 1e12]);
+        assert!((f2 - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_min_join_tracks_slower_input() {
+        let t = TopologyBuilder::new()
+            .source("bids")
+            .source("auctions")
+            .operator("join")
+            .sink("out")
+            .edge("bids", "join")
+            .edge("auctions", "join")
+            .edge_with(
+                "join",
+                "out",
+                ThroughputFn::WeightedMin {
+                    weights: vec![1.0, 1.0],
+                },
+                1.0,
+            )
+            .build()
+            .unwrap();
+        let f = throughput(&t, &[100.0, 30.0], &[1e9]);
+        assert!((f - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_monotone_in_capacity() {
+        let t = chain(1.0);
+        let mut prev = 0.0;
+        for cap in [5.0, 10.0, 20.0, 50.0, 200.0] {
+            let f = throughput(&t, &[100.0], &[cap, 100.0]);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn f64_and_autodiff_paths_agree() {
+        let t = chain(0.8);
+        let rates = [123.0];
+        let caps = [47.0, 200.0];
+        let plain = throughput(&t, &rates, &caps);
+        let (traced, _) = throughput_grad(&t, &rates, &caps);
+        assert!((plain - traced).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity arity")]
+    fn wrong_capacity_length_panics() {
+        let t = chain(1.0);
+        let _ = throughput(&t, &[100.0], &[1.0]);
+    }
+
+    #[test]
+    fn multi_source_rates_sum() {
+        let t = TopologyBuilder::new()
+            .source("a")
+            .source("b")
+            .operator("merge")
+            .sink("out")
+            .edge("a", "merge")
+            .edge("b", "merge")
+            .edge("merge", "out")
+            .build()
+            .unwrap();
+        let f = throughput(&t, &[10.0, 25.0], &[1e9]);
+        assert!((f - 35.0).abs() < 1e-9);
+    }
+}

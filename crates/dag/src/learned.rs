@@ -1,0 +1,425 @@
+//! Theorem 2: online estimation of the throughput functions `h_{i,j}`.
+//!
+//! Theorem 1 assumes `h_{i,j}` is known exactly; Theorem 2 shows the same
+//! regret order holds when Dragster runs on a *predicted* throughput
+//! function whose error vanishes as `o(1/√T)` (Eq. 31). Section 4.1
+//! sketches the mechanism: "provide an arbitrary concave function … as an
+//! initial starting point and learn its parameters via regression in an
+//! online manner".
+//!
+//! [`SelectivityEstimator`] implements that: the DAG *structure* is known
+//! (the developer declares the graph), the per-operator linear weights
+//! `k⃗_i` (selectivities) are not. Each slot it takes the observed
+//! per-edge input rates `ē_i` and the operator's output, and refines the
+//! weights by projected least-squares gradient steps — observations where
+//! the operator was capacity-truncated (saturated) are skipped, because
+//! there the output reflects `y_i`, not `h_i(ē_i)` (Eq. 4). Averaged
+//! observations make the estimate consistent, so the error decays like
+//! `O(1/√T)` and Theorem 2 applies (the `theorem2` bench checks the
+//! resulting regret empirically).
+
+use crate::thrufn::ThroughputFn;
+use crate::topology::{ComponentKind, Topology};
+
+/// Online least-squares estimator of per-operator linear selectivities,
+/// implemented as textbook recursive least squares (RLS) with a
+/// non-negativity clamp — exact for the linear model, `O(d²)` per update.
+///
+/// ```
+/// use dragster_dag::{HObservation, SelectivityEstimator, TopologyBuilder};
+///
+/// let topo = TopologyBuilder::new()
+///     .source("s").operator("filter").sink("k")
+///     .edge("s", "filter").edge("filter", "k")
+///     .build().unwrap();
+/// let mut est = SelectivityEstimator::new(topo, 1.0);
+/// for i in 0..20 {
+///     let x = 50.0 + i as f64;
+///     est.ingest(&HObservation { operator: 0, inputs: vec![x], output: 0.25 * x });
+/// }
+/// assert!((est.weights()[0][0] - 0.25).abs() < 0.01);
+/// ```
+pub struct SelectivityEstimator {
+    structure: Topology,
+    /// Estimated aggregate-output weights per operator (capacity-index
+    /// order), arity = the operator's predecessor count.
+    weights: Vec<Vec<f64>>,
+    /// RLS inverse-covariance matrices, row-major `d × d` per operator.
+    p_mats: Vec<Vec<f64>>,
+    /// Observations accepted per operator.
+    n_obs: Vec<usize>,
+}
+
+/// One per-operator observation: the received-rate vector and the
+/// (unsaturated) total output rate.
+#[derive(Clone, Debug)]
+pub struct HObservation {
+    /// Capacity index of the operator.
+    pub operator: usize,
+    /// Per-predecessor-edge input rates.
+    pub inputs: Vec<f64>,
+    /// Total output rate, *not* capacity-truncated.
+    pub output: f64,
+}
+
+impl SelectivityEstimator {
+    /// Start from a known structure with every weight at `initial_weight`
+    /// (the "arbitrary starting point" of Section 4.1; 1.0 = assume
+    /// pass-through).
+    pub fn new(structure: Topology, initial_weight: f64) -> SelectivityEstimator {
+        let dims: Vec<usize> = structure
+            .operator_ids()
+            .iter()
+            .map(|id| structure.component(*id).preds.len())
+            .collect();
+        let weights = dims.iter().map(|&d| vec![initial_weight; d]).collect();
+        // P₀ = κ·I with a large κ: weak prior on the initial weights.
+        let p_mats = dims
+            .iter()
+            .map(|&d| {
+                let mut p = vec![0.0; d * d];
+                for i in 0..d {
+                    p[i * d + i] = 1e2;
+                }
+                p
+            })
+            .collect();
+        let n = structure.n_operators();
+        SelectivityEstimator {
+            structure,
+            weights,
+            p_mats,
+            n_obs: vec![0; n],
+        }
+    }
+
+    /// The known DAG structure.
+    pub fn structure(&self) -> &Topology {
+        &self.structure
+    }
+
+    /// Current weight estimates (capacity-index order).
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Observations accepted for an operator.
+    pub fn observations(&self, operator: usize) -> usize {
+        self.n_obs[operator]
+    }
+
+    /// Ingest one unsaturated observation — one RLS update:
+    /// `g = P x / (1 + xᵀ P x)`, `w ← w + g (y − wᵀx)`,
+    /// `P ← P − g xᵀ P`, with weights clamped non-negative (selectivities
+    /// cannot be negative; monotonicity of `h`). The least-squares
+    /// estimate is consistent, so the parameter error decays like
+    /// `O(1/√n)` — exactly the Eq.-31 rate Theorem 2 needs. Degenerate
+    /// inputs are ignored.
+    pub fn ingest(&mut self, obs: &HObservation) {
+        let d = self.weights[obs.operator].len();
+        assert_eq!(d, obs.inputs.len(), "observation arity");
+        let norm2: f64 = obs.inputs.iter().map(|x| x * x).sum();
+        if norm2 < 1e-12 || !obs.output.is_finite() || obs.output < 0.0 {
+            return;
+        }
+        self.n_obs[obs.operator] += 1;
+        // normalize the regressor for numeric stability (scale-free RLS)
+        let scale = norm2.sqrt();
+        let x: Vec<f64> = obs.inputs.iter().map(|v| v / scale).collect();
+        let y = obs.output / scale;
+        let p = &mut self.p_mats[obs.operator];
+        let w = &mut self.weights[obs.operator];
+        // px = P x
+        let mut px = vec![0.0; d];
+        for i in 0..d {
+            for j in 0..d {
+                px[i] += p[i * d + j] * x[j];
+            }
+        }
+        let denom = 1.0 + x.iter().zip(px.iter()).map(|(a, b)| a * b).sum::<f64>();
+        let g: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        let err = y - w.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f64>();
+        for i in 0..d {
+            w[i] = (w[i] + g[i] * err).max(0.0);
+        }
+        // P ← P − g (xᵀP); xᵀP = pxᵀ by symmetry of P
+        for i in 0..d {
+            for j in 0..d {
+                p[i * d + j] -= g[i] * px[j];
+            }
+        }
+    }
+
+    /// Materialize a topology with the current weight estimates: every
+    /// operator's per-edge `h` becomes `Linear` with the aggregate weights
+    /// scaled by that edge's α share (exact for single-successor
+    /// operators, which covers the paper's benchmarks).
+    pub fn materialize(&self) -> Topology {
+        let mut topo = self.structure.clone();
+        apply_linear_weights(&mut topo, &self.weights);
+        topo
+    }
+
+    /// Largest relative weight error against a ground-truth topology whose
+    /// operators use `Linear` throughput functions (test/diagnostic aid).
+    pub fn max_relative_error(&self, truth: &Topology) -> f64 {
+        let mut worst = 0.0_f64;
+        for (ci, id) in truth.operator_ids().iter().enumerate() {
+            let c = truth.component(*id);
+            // aggregate truth weights: sum across successor edges
+            let mut agg = vec![0.0; c.preds.len()];
+            for h in &c.h {
+                if let ThroughputFn::Linear { weights } = h {
+                    for (a, w) in agg.iter_mut().zip(weights.iter()) {
+                        *a += w;
+                    }
+                }
+            }
+            for (est, tru) in self.weights[ci].iter().zip(agg.iter()) {
+                if *tru > 1e-9 {
+                    worst = worst.max((est - tru).abs() / tru);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Overwrite every operator's throughput functions with `Linear` forms
+/// derived from aggregate weights (α-share split across successor edges).
+pub(crate) fn apply_linear_weights(topo: &mut Topology, agg_weights: &[Vec<f64>]) {
+    let op_ids = topo.operator_ids();
+    for (ci, id) in op_ids.iter().enumerate() {
+        let alphas = topo.component(*id).alpha.clone();
+        let n_succ = alphas.len();
+        let hs: Vec<ThroughputFn> = (0..n_succ)
+            .map(|k| ThroughputFn::Linear {
+                weights: agg_weights[ci].iter().map(|w| w * alphas[k]).collect(),
+            })
+            .collect();
+        topo.set_operator_h(*id, hs);
+    }
+}
+
+impl Topology {
+    /// Replace an operator's per-edge throughput functions (used by the
+    /// Theorem-2 estimator when materializing learned parameters).
+    ///
+    /// # Panics
+    /// If the component is not an operator, the count doesn't match its
+    /// successor list, or any function fails validation.
+    pub fn set_operator_h(&mut self, id: crate::topology::ComponentId, hs: Vec<ThroughputFn>) {
+        let n_preds = {
+            let c = self.component(id);
+            assert_eq!(
+                c.kind,
+                ComponentKind::Operator,
+                "h only applies to operators"
+            );
+            assert_eq!(hs.len(), c.succs.len(), "one h per successor edge");
+            c.preds.len()
+        };
+        for h in &hs {
+            h.validate(n_preds).expect("valid throughput function");
+        }
+        self.component_mut(id).h = hs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn truth() -> Topology {
+        TopologyBuilder::new()
+            .source("s")
+            .operator("filter")
+            .operator("expand")
+            .sink("k")
+            .edge("s", "filter")
+            .edge_with(
+                "filter",
+                "expand",
+                ThroughputFn::Linear { weights: vec![0.3] },
+                1.0,
+            )
+            .edge_with(
+                "expand",
+                "k",
+                ThroughputFn::Linear { weights: vec![1.7] },
+                1.0,
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn estimator_recovers_selectivities() {
+        let t = truth();
+        let mut est = SelectivityEstimator::new(t.clone(), 1.0);
+        // feed noisy unsaturated observations
+        let mut noise = 0.013_f64;
+        for k in 0..200 {
+            let x = 50.0 + (k % 7) as f64 * 10.0;
+            noise = -noise;
+            est.ingest(&HObservation {
+                operator: 0,
+                inputs: vec![x],
+                output: 0.3 * x * (1.0 + noise),
+            });
+            est.ingest(&HObservation {
+                operator: 1,
+                inputs: vec![x],
+                output: 1.7 * x * (1.0 - noise),
+            });
+        }
+        assert!(
+            est.max_relative_error(&t) < 0.02,
+            "weights {:?}",
+            est.weights()
+        );
+        assert_eq!(est.observations(0), 200);
+    }
+
+    #[test]
+    fn materialized_topology_matches_truth_after_learning() {
+        let t = truth();
+        let mut est = SelectivityEstimator::new(t.clone(), 1.0);
+        for k in 0..300 {
+            let x = 40.0 + (k % 5) as f64 * 15.0;
+            est.ingest(&HObservation {
+                operator: 0,
+                inputs: vec![x],
+                output: 0.3 * x,
+            });
+            est.ingest(&HObservation {
+                operator: 1,
+                inputs: vec![x],
+                output: 1.7 * x,
+            });
+        }
+        let learned = est.materialize();
+        let caps = vec![1e9, 1e9];
+        let f_truth = crate::flow::throughput(&t, &[100.0], &caps);
+        let f_learn = crate::flow::throughput(&learned, &[100.0], &caps);
+        assert!(
+            (f_truth - f_learn).abs() / f_truth < 0.01,
+            "{f_truth} vs {f_learn}"
+        );
+    }
+
+    #[test]
+    fn error_decays_with_observations() {
+        let t = truth();
+        let mut est = SelectivityEstimator::new(t.clone(), 1.0);
+        let mut errs = Vec::new();
+        for k in 0..400 {
+            let x = 30.0 + (k % 11) as f64 * 8.0;
+            let n = if k % 2 == 0 { 0.05 } else { -0.05 };
+            est.ingest(&HObservation {
+                operator: 0,
+                inputs: vec![x],
+                output: 0.3 * x * (1.0 + n),
+            });
+            est.ingest(&HObservation {
+                operator: 1,
+                inputs: vec![x],
+                output: 1.7 * x * (1.0 - n),
+            });
+            if k % 100 == 99 {
+                errs.push(est.max_relative_error(&t));
+            }
+        }
+        assert!(errs[3] <= errs[0] + 1e-9, "error did not decay: {errs:?}");
+        assert!(errs[3] < 0.05);
+    }
+
+    #[test]
+    fn ignores_degenerate_observations() {
+        let t = truth();
+        let mut est = SelectivityEstimator::new(t.clone(), 1.0);
+        est.ingest(&HObservation {
+            operator: 0,
+            inputs: vec![0.0],
+            output: 5.0,
+        });
+        est.ingest(&HObservation {
+            operator: 0,
+            inputs: vec![10.0],
+            output: f64::NAN,
+        });
+        est.ingest(&HObservation {
+            operator: 0,
+            inputs: vec![10.0],
+            output: -1.0,
+        });
+        assert_eq!(est.observations(0), 0);
+        assert_eq!(est.weights()[0], vec![1.0]);
+    }
+
+    #[test]
+    fn weights_stay_nonnegative() {
+        let t = truth();
+        let mut est = SelectivityEstimator::new(t.clone(), 0.1);
+        for _ in 0..50 {
+            est.ingest(&HObservation {
+                operator: 0,
+                inputs: vec![100.0],
+                output: 0.0,
+            });
+        }
+        assert!(est.weights()[0][0] >= 0.0);
+    }
+
+    #[test]
+    fn multi_input_weights_learned() {
+        // merge with different per-input selectivities
+        let t = TopologyBuilder::new()
+            .source("a")
+            .source("b")
+            .operator("merge")
+            .sink("k")
+            .edge("a", "merge")
+            .edge("b", "merge")
+            .edge_with(
+                "merge",
+                "k",
+                ThroughputFn::Linear {
+                    weights: vec![0.5, 2.0],
+                },
+                1.0,
+            )
+            .build()
+            .unwrap();
+        let mut est = SelectivityEstimator::new(t.clone(), 1.0);
+        // vary the input mix so the system is identifiable
+        for k in 0..600 {
+            let a = 20.0 + (k % 13) as f64 * 9.0;
+            let b = 100.0 - (k % 7) as f64 * 11.0;
+            est.ingest(&HObservation {
+                operator: 0,
+                inputs: vec![a, b],
+                output: 0.5 * a + 2.0 * b,
+            });
+        }
+        assert!(est.max_relative_error(&t) < 0.05, "{:?}", est.weights());
+    }
+
+    #[test]
+    fn set_operator_h_validates() {
+        let mut t = truth();
+        let id = t.by_name("filter").unwrap();
+        t.set_operator_h(id, vec![ThroughputFn::Linear { weights: vec![0.9] }]);
+        let f = crate::flow::throughput(&t, &[100.0], &[1e9, 1e9]);
+        assert!((f - 100.0 * 0.9 * 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one h per successor edge")]
+    fn set_operator_h_checks_count() {
+        let mut t = truth();
+        let id = t.by_name("filter").unwrap();
+        t.set_operator_h(id, vec![]);
+    }
+}

@@ -1,0 +1,44 @@
+//! The stream-processing DAG model (Section 4.1 of the paper).
+//!
+//! A stream processing application is a directed acyclic graph of
+//! *components*: sources (emit tuples at an offered rate), operators
+//! (consume, transform, emit — limited by a service capacity `y_i`), and a
+//! sink (whose ingest rate **is** the application throughput). Each edge
+//! `(i, j)` carries a concave increasing *throughput function*
+//! `h_{i,j}(ē_i)` mapping operator `i`'s received-throughput vector to the
+//! tuples it would emit toward `j` given unlimited capacity, truncated by
+//! the capacity split `α_{i,j} y_i` (Eq. 4):
+//!
+//! ```text
+//! e_j^i = min(α_{i,j} · y_i, h_{i,j}(ē_i))
+//! ```
+//!
+//! Composing Eq. 4 over a topological order yields the application
+//! throughput `f_t(y)` — concave in `y` because concave increasing functions
+//! compose (Section 4.2.1).
+//!
+//! Modules:
+//!
+//! * [`topology`] — components, edges, splitting weights, builder +
+//!   validation, virtual-sink merging, topological order, Graphviz export.
+//! * [`thrufn`] — the throughput-function forms of Eq. 2a–2c and the
+//!   [`thrufn::FlowScalar`] abstraction that lets the same
+//!   propagation code run on plain `f64` (simulation fast path) and on
+//!   autodiff [`Var`](dragster_autodiff::Var)s (gradient path).
+//! * [`flow`] — forward propagation, the application-throughput function
+//!   `f_t(y)` and its gradient `∂f/∂y` via reverse-mode AD.
+//! * [`analysis`] — empirical monotonicity/concavity validators and
+//!   structural helpers (upper bound `H`, bottleneck ranking).
+
+pub mod analysis;
+pub mod flow;
+pub mod learned;
+pub mod thrufn;
+pub mod topology;
+
+pub use flow::{propagate, throughput, throughput_grad, FlowResult};
+pub use learned::{HObservation, SelectivityEstimator};
+pub use thrufn::{FlowScalar, ThroughputFn};
+pub use topology::{
+    Component, ComponentId, ComponentKind, Topology, TopologyBuilder, TopologyError,
+};

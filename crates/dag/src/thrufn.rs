@@ -1,0 +1,312 @@
+//! Throughput-function forms (Eq. 2a–2c / Eq. 3) and the scalar abstraction
+//! that lets propagation run on both `f64` and autodiff variables.
+
+use dragster_autodiff::Var;
+use serde::{Deserialize, Serialize};
+
+/// The scalar operations flow propagation needs. Implemented for plain
+/// `f64` (the simulator fast path — no tape, no allocation) and for
+/// [`Var`] (the gradient path used by bottleneck identification).
+pub trait FlowScalar: Copy {
+    /// Addition.
+    fn fs_add(self, o: Self) -> Self;
+    /// Multiplication by a constant.
+    fn fs_scale(self, c: f64) -> Self;
+    /// Pointwise minimum.
+    fn fs_min(self, o: Self) -> Self;
+    /// Hyperbolic tangent.
+    fn fs_tanh(self) -> Self;
+    /// Forward value (for diagnostics and result extraction).
+    fn fs_value(self) -> f64;
+}
+
+impl FlowScalar for f64 {
+    #[inline]
+    fn fs_add(self, o: f64) -> f64 {
+        self + o
+    }
+
+    #[inline]
+    fn fs_scale(self, c: f64) -> f64 {
+        self * c
+    }
+
+    #[inline]
+    fn fs_min(self, o: f64) -> f64 {
+        self.min(o)
+    }
+
+    #[inline]
+    fn fs_tanh(self) -> f64 {
+        self.tanh()
+    }
+
+    #[inline]
+    fn fs_value(self) -> f64 {
+        self
+    }
+}
+
+impl<'t> FlowScalar for Var<'t> {
+    #[inline]
+    fn fs_add(self, o: Self) -> Self {
+        self + o
+    }
+
+    #[inline]
+    fn fs_scale(self, c: f64) -> Self {
+        self * c
+    }
+
+    #[inline]
+    fn fs_min(self, o: Self) -> Self {
+        self.min(o)
+    }
+
+    #[inline]
+    fn fs_tanh(self) -> Self {
+        self.tanh()
+    }
+
+    #[inline]
+    fn fs_value(self) -> f64 {
+        self.value()
+    }
+}
+
+/// A concave increasing throughput function `h_{i,j}(ē_i)` on one edge
+/// (Eq. 3). The `weights` vectors are indexed by the owning operator's
+/// predecessor list.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ThroughputFn {
+    /// Eq. 2a: `h(ē) = k⃗ · ē` — linear in the received throughput. The
+    /// common case: a selectivity per upstream edge (e.g. a filter passing
+    /// 40 % of tuples has weight 0.4).
+    Linear { weights: Vec<f64> },
+    /// Eq. 2b: `h(ē) = min(k⃗ ∘ ē)` — the output tracks the slowest
+    /// (weighted) upstream, e.g. a join that needs matching tuples from
+    /// both inputs.
+    WeightedMin { weights: Vec<f64> },
+    /// Eq. 2c: `h(ē) = k₁ · tanh(k⃗ · ē)` — a saturating concave form, the
+    /// paper's example of a learned/unknown-logic operator.
+    Tanh { scale: f64, weights: Vec<f64> },
+}
+
+impl ThroughputFn {
+    /// A linear function with the same selectivity on every input.
+    pub fn uniform_linear(n_inputs: usize, selectivity: f64) -> ThroughputFn {
+        ThroughputFn::Linear {
+            weights: vec![selectivity; n_inputs],
+        }
+    }
+
+    /// Number of inputs this function expects.
+    pub fn arity(&self) -> usize {
+        match self {
+            ThroughputFn::Linear { weights }
+            | ThroughputFn::WeightedMin { weights }
+            | ThroughputFn::Tanh { weights, .. } => weights.len(),
+        }
+    }
+
+    /// Validate structural invariants: correct arity for `n_inputs`,
+    /// non-negative weights (required for monotonicity), positive scale.
+    pub fn validate(&self, n_inputs: usize) -> Result<(), String> {
+        if self.arity() != n_inputs {
+            return Err(format!(
+                "throughput fn arity {} != {} predecessors",
+                self.arity(),
+                n_inputs
+            ));
+        }
+        let weights = match self {
+            ThroughputFn::Linear { weights } | ThroughputFn::WeightedMin { weights } => weights,
+            ThroughputFn::Tanh { scale, weights } => {
+                if *scale <= 0.0 {
+                    return Err("tanh scale must be positive".into());
+                }
+                weights
+            }
+        };
+        if weights.iter().any(|w| *w < 0.0) {
+            return Err("throughput weights must be non-negative".into());
+        }
+        if n_inputs == 0 {
+            return Err("operator needs at least one predecessor".into());
+        }
+        Ok(())
+    }
+
+    /// Evaluate the function on a received-throughput vector. Generic over
+    /// [`FlowScalar`], so the same code serves simulation and
+    /// differentiation.
+    ///
+    /// # Panics
+    /// If `inputs.len() != self.arity()` or `inputs` is empty.
+    pub fn eval<S: FlowScalar>(&self, inputs: &[S]) -> S {
+        assert_eq!(inputs.len(), self.arity(), "throughput fn arity mismatch");
+        match self {
+            ThroughputFn::Linear { weights } => weighted_sum(inputs, weights),
+            ThroughputFn::WeightedMin { weights } => {
+                let mut it = inputs.iter().zip(weights.iter());
+                let (v0, w0) = it.next().expect("non-empty inputs");
+                it.fold(v0.fs_scale(*w0), |acc, (v, w)| acc.fs_min(v.fs_scale(*w)))
+            }
+            ThroughputFn::Tanh { scale, weights } => {
+                weighted_sum(inputs, weights).fs_tanh().fs_scale(*scale)
+            }
+        }
+    }
+
+    /// An upper bound of this function given per-input upper bounds
+    /// (used for the constant `H` of Theorem 1). For `Tanh` the bound is
+    /// simply `scale` (tanh saturates at 1).
+    pub fn upper_bound(&self, input_bounds: &[f64]) -> f64 {
+        match self {
+            ThroughputFn::Linear { weights } => weights
+                .iter()
+                .zip(input_bounds.iter())
+                .map(|(w, b)| w * b)
+                .sum(),
+            ThroughputFn::WeightedMin { weights } => weights
+                .iter()
+                .zip(input_bounds.iter())
+                .map(|(w, b)| w * b)
+                .fold(f64::INFINITY, f64::min),
+            ThroughputFn::Tanh { scale, .. } => *scale,
+        }
+    }
+}
+
+fn weighted_sum<S: FlowScalar>(inputs: &[S], weights: &[f64]) -> S {
+    let mut it = inputs.iter().zip(weights.iter());
+    let (v0, w0) = it.next().expect("non-empty inputs");
+    it.fold(v0.fs_scale(*w0), |acc, (v, w)| acc.fs_add(v.fs_scale(*w)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_autodiff::Tape;
+
+    #[test]
+    fn linear_eval() {
+        let h = ThroughputFn::Linear {
+            weights: vec![0.5, 2.0],
+        };
+        assert_eq!(h.eval(&[10.0, 3.0]), 11.0);
+        assert_eq!(h.arity(), 2);
+    }
+
+    #[test]
+    fn weighted_min_eval() {
+        let h = ThroughputFn::WeightedMin {
+            weights: vec![1.0, 0.5],
+        };
+        assert_eq!(h.eval(&[10.0, 30.0]), 10.0);
+        assert_eq!(h.eval(&[10.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn tanh_eval_saturates() {
+        let h = ThroughputFn::Tanh {
+            scale: 100.0,
+            weights: vec![0.01],
+        };
+        let low = h.eval(&[10.0]);
+        let high = h.eval(&[10000.0]);
+        assert!(low < high);
+        assert!(high <= 100.0);
+        assert!((high - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn eval_on_autodiff_vars_matches_f64() {
+        let h = ThroughputFn::Tanh {
+            scale: 5.0,
+            weights: vec![0.3, 0.7],
+        };
+        let plain = h.eval(&[1.0, 2.0]);
+        let tape = Tape::new();
+        let vars = tape.vars(&[1.0, 2.0]);
+        let traced = h.eval(&[vars[0], vars[1]]);
+        assert!((plain - traced.value()).abs() < 1e-15);
+        // gradient flows
+        let g = traced.backward();
+        assert!(g.wrt(vars[0]) > 0.0);
+    }
+
+    #[test]
+    fn validate_catches_arity_and_negative_weights() {
+        let h = ThroughputFn::Linear { weights: vec![1.0] };
+        assert!(h.validate(1).is_ok());
+        assert!(h.validate(2).is_err());
+        let bad = ThroughputFn::Linear {
+            weights: vec![-0.1],
+        };
+        assert!(bad.validate(1).is_err());
+        let bad_scale = ThroughputFn::Tanh {
+            scale: 0.0,
+            weights: vec![1.0],
+        };
+        assert!(bad_scale.validate(1).is_err());
+        assert!(ThroughputFn::Linear { weights: vec![] }
+            .validate(0)
+            .is_err());
+    }
+
+    #[test]
+    fn upper_bounds() {
+        let lin = ThroughputFn::Linear {
+            weights: vec![0.5, 1.0],
+        };
+        assert_eq!(lin.upper_bound(&[10.0, 20.0]), 25.0);
+        let wmin = ThroughputFn::WeightedMin {
+            weights: vec![1.0, 1.0],
+        };
+        assert_eq!(wmin.upper_bound(&[10.0, 20.0]), 10.0);
+        let th = ThroughputFn::Tanh {
+            scale: 7.0,
+            weights: vec![1.0, 1.0],
+        };
+        assert_eq!(th.upper_bound(&[1e9, 1e9]), 7.0);
+    }
+
+    #[test]
+    fn uniform_linear_helper() {
+        let h = ThroughputFn::uniform_linear(3, 0.9);
+        assert_eq!(h.arity(), 3);
+        assert!((h.eval(&[1.0, 1.0, 1.0]) - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_each_input() {
+        for h in [
+            ThroughputFn::Linear {
+                weights: vec![0.4, 1.2],
+            },
+            ThroughputFn::WeightedMin {
+                weights: vec![1.0, 0.8],
+            },
+            ThroughputFn::Tanh {
+                scale: 10.0,
+                weights: vec![0.1, 0.2],
+            },
+        ] {
+            let base = h.eval(&[2.0, 3.0]);
+            assert!(h.eval(&[2.5, 3.0]) >= base);
+            assert!(h.eval(&[2.0, 3.5]) >= base);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = ThroughputFn::Tanh {
+            scale: 2.0,
+            weights: vec![0.1],
+        };
+        let s = serde_json::to_string(&h).unwrap();
+        let back: ThroughputFn = serde_json::from_str(&s).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,733 @@
+//! Components, edges, and the validated application topology.
+
+use crate::thrufn::ThroughputFn;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a component within its [`Topology`]. Sources occupy the lowest
+/// indices, then operators, then the sink — matching the paper's indexing
+/// (sources 1..N, operators N+1..N+M).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComponentId(pub usize);
+
+/// The three component roles of Section 4.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// Reads from external queues, emits at an offered rate.
+    Source,
+    /// Consumes, processes (capacity-limited), emits.
+    Operator,
+    /// Terminal consumer; its ingest rate is the application throughput.
+    Sink,
+}
+
+/// One node of the application DAG.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Component {
+    /// Human-readable name (unique within the topology).
+    pub name: String,
+    pub kind: ComponentKind,
+    /// Predecessor component ids (the `P_i` set).
+    pub preds: Vec<ComponentId>,
+    /// Successor component ids (the `S_i` set).
+    pub succs: Vec<ComponentId>,
+    /// Capacity-splitting weights `α_{i,j}`, one per successor, summing
+    /// to 1 (Eq. 4). Empty for sinks.
+    pub alpha: Vec<f64>,
+    /// Per-successor-edge throughput functions `h_{i,j}`. Empty for sources
+    /// (a source's "function" is its offered rate) and sinks.
+    pub h: Vec<ThroughputFn>,
+    /// For operators: index into the capacity vector `y`. `None` for
+    /// sources and sinks.
+    pub capacity_index: Option<usize>,
+}
+
+/// Validation failures produced by [`TopologyBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyError {
+    DuplicateName(String),
+    UnknownComponent(String),
+    /// Component list violates the source/operator/sink role rules.
+    RoleViolation(String),
+    /// Splitting weights don't sum to 1 or have wrong arity.
+    BadAlpha(String),
+    /// A throughput function failed validation.
+    BadThroughputFn(String),
+    Cycle(String),
+    NoSink,
+    NoSource,
+    /// A component is unreachable from every source or cannot reach the sink.
+    Disconnected(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DuplicateName(n) => write!(f, "duplicate component name {n:?}"),
+            TopologyError::UnknownComponent(n) => write!(f, "unknown component {n:?}"),
+            TopologyError::RoleViolation(m) => write!(f, "role violation: {m}"),
+            TopologyError::BadAlpha(m) => write!(f, "bad splitting weights: {m}"),
+            TopologyError::BadThroughputFn(m) => write!(f, "bad throughput function: {m}"),
+            TopologyError::Cycle(m) => write!(f, "cycle detected: {m}"),
+            TopologyError::NoSink => write!(f, "topology has no sink"),
+            TopologyError::NoSource => write!(f, "topology has no source"),
+            TopologyError::Disconnected(m) => write!(f, "disconnected component: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated, immutable application DAG.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    components: Vec<Component>,
+    /// Component indices in a topological order (sources first).
+    topo_order: Vec<usize>,
+    n_sources: usize,
+    n_operators: usize,
+    sink: usize,
+}
+
+impl Topology {
+    /// All components, indexed by [`ComponentId`].
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Component by id.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.0]
+    }
+
+    pub(crate) fn component_mut(&mut self, id: ComponentId) -> &mut Component {
+        &mut self.components[id.0]
+    }
+
+    /// Number of sources `N`.
+    pub fn n_sources(&self) -> usize {
+        self.n_sources
+    }
+
+    /// Number of operators `M` (the dimension of the capacity vector `y`).
+    pub fn n_operators(&self) -> usize {
+        self.n_operators
+    }
+
+    /// The (single) sink.
+    pub fn sink(&self) -> ComponentId {
+        ComponentId(self.sink)
+    }
+
+    /// Component ids in topological order.
+    pub fn topo_order(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.topo_order.iter().map(|&i| ComponentId(i))
+    }
+
+    /// Ids of all operator components, in capacity-index order.
+    pub fn operator_ids(&self) -> Vec<ComponentId> {
+        let mut ops: Vec<(usize, ComponentId)> = self
+            .components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.capacity_index.map(|ci| (ci, ComponentId(i))))
+            .collect();
+        ops.sort_by_key(|(ci, _)| *ci);
+        ops.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Ids of all source components.
+    pub fn source_ids(&self) -> Vec<ComponentId> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == ComponentKind::Source)
+            .map(|(i, _)| ComponentId(i))
+            .collect()
+    }
+
+    /// Look up a component id by name.
+    pub fn by_name(&self, name: &str) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(ComponentId)
+    }
+
+    /// Capacity-vector index of an operator.
+    pub fn capacity_index(&self, id: ComponentId) -> Option<usize> {
+        self.components[id.0].capacity_index
+    }
+
+    /// Operator name by capacity index (for reports).
+    pub fn operator_name(&self, capacity_index: usize) -> &str {
+        let id = self.operator_ids()[capacity_index];
+        &self.components[id.0].name
+    }
+
+    /// Graphviz DOT rendering (debugging / documentation aid).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph topology {\n  rankdir=LR;\n");
+        for c in &self.components {
+            let shape = match c.kind {
+                ComponentKind::Source => "invhouse",
+                ComponentKind::Operator => "box",
+                ComponentKind::Sink => "house",
+            };
+            s.push_str(&format!("  \"{}\" [shape={}];\n", c.name, shape));
+        }
+        for c in &self.components {
+            for (k, succ) in c.succs.iter().enumerate() {
+                let label = if c.alpha.len() > 1 {
+                    format!(" [label=\"α={:.2}\"]", c.alpha[k])
+                } else {
+                    String::new()
+                };
+                s.push_str(&format!(
+                    "  \"{}\" -> \"{}\"{};\n",
+                    c.name, self.components[succ.0].name, label
+                ));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Declarative edge spec used by the builder.
+struct EdgeSpec {
+    from: String,
+    to: String,
+    h: Option<ThroughputFn>,
+    alpha: Option<f64>,
+}
+
+/// Builder producing a validated [`Topology`].
+///
+/// ```
+/// use dragster_dag::{ThroughputFn, TopologyBuilder};
+///
+/// let topo = TopologyBuilder::new()
+///     .source("src")
+///     .operator("map")
+///     .operator("reduce")
+///     .sink("out")
+///     .edge("src", "map")
+///     .edge_with("map", "reduce", ThroughputFn::Linear { weights: vec![1.0] }, 1.0)
+///     .edge("reduce", "out")
+///     .build()
+///     .unwrap();
+/// assert_eq!(topo.n_operators(), 2);
+/// ```
+#[derive(Default)]
+pub struct TopologyBuilder {
+    names: Vec<(String, ComponentKind)>,
+    edges: Vec<EdgeSpec>,
+}
+
+impl TopologyBuilder {
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Declare a source.
+    pub fn source(mut self, name: &str) -> Self {
+        self.names.push((name.into(), ComponentKind::Source));
+        self
+    }
+
+    /// Declare an operator.
+    pub fn operator(mut self, name: &str) -> Self {
+        self.names.push((name.into(), ComponentKind::Operator));
+        self
+    }
+
+    /// Declare a sink. Multiple sinks are allowed — they are merged through
+    /// a virtual sink at build time (Section 4.1: "If there are multiple
+    /// sinks in the application, we can add a virtual sink").
+    pub fn sink(mut self, name: &str) -> Self {
+        self.names.push((name.into(), ComponentKind::Sink));
+        self
+    }
+
+    /// Add an edge with a default throughput function (identity-linear,
+    /// weight 1 on this edge's contribution) and automatic α splitting
+    /// (uniform across the origin's edges).
+    pub fn edge(mut self, from: &str, to: &str) -> Self {
+        self.edges.push(EdgeSpec {
+            from: from.into(),
+            to: to.into(),
+            h: None,
+            alpha: None,
+        });
+        self
+    }
+
+    /// Add an edge with an explicit throughput function `h_{i,j}` and
+    /// splitting weight `α_{i,j}`.
+    pub fn edge_with(mut self, from: &str, to: &str, h: ThroughputFn, alpha: f64) -> Self {
+        self.edges.push(EdgeSpec {
+            from: from.into(),
+            to: to.into(),
+            h: Some(h),
+            alpha: Some(alpha),
+        });
+        self
+    }
+
+    /// Validate and freeze.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        // Order components: sources, operators, sinks — preserving
+        // declaration order within a role (paper indexing).
+        let mut ordered: Vec<(String, ComponentKind)> = Vec::new();
+        for kind in [
+            ComponentKind::Source,
+            ComponentKind::Operator,
+            ComponentKind::Sink,
+        ] {
+            for (n, k) in &self.names {
+                if *k == kind {
+                    ordered.push((n.clone(), *k));
+                }
+            }
+        }
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for (i, (n, _)) in ordered.iter().enumerate() {
+            if index.insert(n.clone(), i).is_some() {
+                return Err(TopologyError::DuplicateName(n.clone()));
+            }
+        }
+
+        let n_sources = ordered
+            .iter()
+            .filter(|(_, k)| *k == ComponentKind::Source)
+            .count();
+        let declared_sinks: Vec<usize> = ordered
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, k))| *k == ComponentKind::Sink)
+            .map(|(i, _)| i)
+            .collect();
+        if n_sources == 0 {
+            return Err(TopologyError::NoSource);
+        }
+        if declared_sinks.is_empty() {
+            return Err(TopologyError::NoSink);
+        }
+
+        let mut components: Vec<Component> = ordered
+            .iter()
+            .map(|(n, k)| Component {
+                name: n.clone(),
+                kind: *k,
+                preds: Vec::new(),
+                succs: Vec::new(),
+                alpha: Vec::new(),
+                h: Vec::new(),
+                capacity_index: None,
+            })
+            .collect();
+
+        // Virtual sink if more than one sink was declared.
+        let sink = if declared_sinks.len() == 1 {
+            declared_sinks[0]
+        } else {
+            let v = components.len();
+            components.push(Component {
+                name: "__virtual_sink".into(),
+                kind: ComponentKind::Sink,
+                preds: Vec::new(),
+                succs: Vec::new(),
+                alpha: Vec::new(),
+                h: Vec::new(),
+                capacity_index: None,
+            });
+            // Demote declared sinks to pass-through operators feeding the
+            // virtual sink. They get capacity indices like any operator;
+            // callers that want a pure merge can give them huge capacity.
+            for &s in &declared_sinks {
+                components[s].kind = ComponentKind::Operator;
+            }
+            v
+        };
+
+        // Wire edges (user edges first, then the virtual-sink edges).
+        struct Wire {
+            from: usize,
+            to: usize,
+            h: Option<ThroughputFn>,
+            alpha: Option<f64>,
+        }
+        let mut wires: Vec<Wire> = Vec::new();
+        for e in &self.edges {
+            let from = *index
+                .get(&e.from)
+                .ok_or_else(|| TopologyError::UnknownComponent(e.from.clone()))?;
+            let to = *index
+                .get(&e.to)
+                .ok_or_else(|| TopologyError::UnknownComponent(e.to.clone()))?;
+            wires.push(Wire {
+                from,
+                to,
+                h: e.h.clone(),
+                alpha: e.alpha,
+            });
+        }
+        if declared_sinks.len() > 1 {
+            for &s in &declared_sinks {
+                wires.push(Wire {
+                    from: s,
+                    to: sink,
+                    h: None, // filled with identity-linear below
+                    alpha: Some(1.0),
+                });
+            }
+        }
+
+        // Role rules on edges.
+        for w in &wires {
+            let (fk, tk) = (components[w.from].kind, components[w.to].kind);
+            if fk == ComponentKind::Sink {
+                return Err(TopologyError::RoleViolation(format!(
+                    "sink {:?} cannot have outgoing edges",
+                    components[w.from].name
+                )));
+            }
+            if tk == ComponentKind::Source {
+                return Err(TopologyError::RoleViolation(format!(
+                    "source {:?} cannot have incoming edges",
+                    components[w.to].name
+                )));
+            }
+        }
+
+        // Populate adjacency.
+        for w in &wires {
+            components[w.from].succs.push(ComponentId(w.to));
+            components[w.to].preds.push(ComponentId(w.from));
+        }
+
+        // Per-edge α and h. Defaults: uniform α; identity-linear h (weight 1
+        // on every input — i.e. the operator would forward everything it
+        // receives).
+        for w in &wires {
+            let n_succ = components[w.from].succs.len();
+            let alpha = w.alpha.unwrap_or(1.0 / n_succ as f64);
+            components[w.from].alpha.push(alpha);
+            if components[w.from].kind == ComponentKind::Operator {
+                let n_preds = components[w.from].preds.len();
+                let h = w.h.clone().unwrap_or(ThroughputFn::Linear {
+                    weights: vec![1.0; n_preds.max(1)],
+                });
+                components[w.from].h.push(h);
+            } else if w.h.is_some() {
+                return Err(TopologyError::BadThroughputFn(format!(
+                    "source {:?} cannot carry a throughput function",
+                    components[w.from].name
+                )));
+            }
+        }
+
+        // α sums to 1 per component with successors.
+        for c in &components {
+            if !c.succs.is_empty() {
+                let s: f64 = c.alpha.iter().sum();
+                if (s - 1.0).abs() > 1e-9 {
+                    return Err(TopologyError::BadAlpha(format!(
+                        "{:?}: α sums to {s}, expected 1",
+                        c.name
+                    )));
+                }
+                if c.alpha.iter().any(|a| *a < 0.0) {
+                    return Err(TopologyError::BadAlpha(format!("{:?}: negative α", c.name)));
+                }
+            }
+        }
+
+        // Validate throughput functions (arity == n_preds).
+        for c in &components {
+            if c.kind == ComponentKind::Operator {
+                if c.preds.is_empty() {
+                    return Err(TopologyError::Disconnected(format!(
+                        "operator {:?} has no predecessors",
+                        c.name
+                    )));
+                }
+                if c.succs.is_empty() {
+                    return Err(TopologyError::Disconnected(format!(
+                        "operator {:?} has no successors",
+                        c.name
+                    )));
+                }
+                for h in &c.h {
+                    h.validate(c.preds.len())
+                        .map_err(TopologyError::BadThroughputFn)?;
+                }
+            }
+            if c.kind == ComponentKind::Source && c.succs.is_empty() {
+                return Err(TopologyError::Disconnected(format!(
+                    "source {:?} feeds nothing",
+                    c.name
+                )));
+            }
+        }
+
+        // Kahn topological sort; detects cycles.
+        let n = components.len();
+        let mut indeg: Vec<usize> = components.iter().map(|c| c.preds.len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo_order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo_order.push(i);
+            for s in components[i].succs.clone() {
+                indeg[s.0] -= 1;
+                if indeg[s.0] == 0 {
+                    queue.push(s.0);
+                }
+            }
+        }
+        if topo_order.len() != n {
+            let stuck: Vec<&str> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| components[i].name.as_str())
+                .collect();
+            return Err(TopologyError::Cycle(stuck.join(", ")));
+        }
+
+        // Reachability: every component must reach the sink (otherwise its
+        // throughput contributes nothing and the model is ill-posed).
+        let mut reaches_sink = vec![false; n];
+        reaches_sink[sink] = true;
+        for &i in topo_order.iter().rev() {
+            if components[i].succs.iter().any(|s| reaches_sink[s.0]) {
+                reaches_sink[i] = true;
+            }
+        }
+        if let Some(i) = (0..n).find(|&i| !reaches_sink[i]) {
+            return Err(TopologyError::Disconnected(components[i].name.clone()));
+        }
+
+        // Assign capacity indices to operators in declaration order.
+        let mut n_operators = 0;
+        for c in components.iter_mut() {
+            if c.kind == ComponentKind::Operator {
+                c.capacity_index = Some(n_operators);
+                n_operators += 1;
+            }
+        }
+
+        Ok(Topology {
+            components,
+            topo_order,
+            n_sources,
+            n_operators,
+            sink,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Topology {
+        TopologyBuilder::new()
+            .source("src")
+            .operator("map")
+            .operator("reduce")
+            .sink("out")
+            .edge("src", "map")
+            .edge("map", "reduce")
+            .edge("reduce", "out")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn chain_builds() {
+        let t = chain();
+        assert_eq!(t.n_sources(), 1);
+        assert_eq!(t.n_operators(), 2);
+        assert_eq!(t.component(t.sink()).name, "out");
+        assert_eq!(t.by_name("map"), Some(ComponentId(1)));
+        assert_eq!(t.capacity_index(ComponentId(1)), Some(0));
+        assert_eq!(t.operator_name(0), "map");
+        assert_eq!(t.operator_name(1), "reduce");
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let t = chain();
+        let order: Vec<usize> = t.topo_order().map(|c| c.0).collect();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        for c in t.components() {
+            for s in &c.succs {
+                let me = t.by_name(&c.name).unwrap();
+                assert!(pos(me.0) < pos(s.0));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = TopologyBuilder::new()
+            .source("a")
+            .operator("a")
+            .sink("s")
+            .build();
+        assert!(matches!(r, Err(TopologyError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_rejected() {
+        let r = TopologyBuilder::new()
+            .source("a")
+            .sink("s")
+            .edge("a", "nope")
+            .build();
+        assert!(matches!(r, Err(TopologyError::UnknownComponent(_))));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let r = TopologyBuilder::new()
+            .source("src")
+            .operator("a")
+            .operator("b")
+            .sink("out")
+            .edge("src", "a")
+            .edge("a", "b")
+            .edge("b", "a")
+            .edge("b", "out")
+            .build();
+        assert!(matches!(r, Err(TopologyError::Cycle(_))));
+    }
+
+    #[test]
+    fn missing_sink_or_source_rejected() {
+        assert!(matches!(
+            TopologyBuilder::new().source("a").build(),
+            Err(TopologyError::NoSink)
+        ));
+        assert!(matches!(
+            TopologyBuilder::new().sink("s").build(),
+            Err(TopologyError::NoSource)
+        ));
+    }
+
+    #[test]
+    fn dangling_operator_rejected() {
+        let r = TopologyBuilder::new()
+            .source("src")
+            .operator("island")
+            .sink("out")
+            .edge("src", "out")
+            .build();
+        assert!(matches!(r, Err(TopologyError::Disconnected(_))));
+    }
+
+    #[test]
+    fn bad_alpha_sum_rejected() {
+        let r = TopologyBuilder::new()
+            .source("src")
+            .operator("op")
+            .sink("a")
+            .sink("b")
+            .edge("src", "op")
+            .edge_with("op", "a", ThroughputFn::uniform_linear(1, 1.0), 0.3)
+            .edge_with("op", "b", ThroughputFn::uniform_linear(1, 1.0), 0.3)
+            .build();
+        assert!(matches!(r, Err(TopologyError::BadAlpha(_))));
+    }
+
+    #[test]
+    fn multiple_sinks_get_virtual_sink() {
+        let t = TopologyBuilder::new()
+            .source("src")
+            .operator("op")
+            .sink("a")
+            .sink("b")
+            .edge("src", "op")
+            .edge_with("op", "a", ThroughputFn::uniform_linear(1, 1.0), 0.5)
+            .edge_with("op", "b", ThroughputFn::uniform_linear(1, 1.0), 0.5)
+            .build()
+            .unwrap();
+        assert_eq!(t.component(t.sink()).name, "__virtual_sink");
+        // a and b were demoted to operators
+        assert_eq!(t.n_operators(), 3);
+    }
+
+    #[test]
+    fn edge_from_sink_rejected() {
+        let r = TopologyBuilder::new()
+            .source("src")
+            .sink("out")
+            .edge("src", "out")
+            .edge("out", "src")
+            .build();
+        assert!(matches!(r, Err(TopologyError::RoleViolation(_))));
+    }
+
+    #[test]
+    fn source_cannot_carry_throughput_fn() {
+        let r = TopologyBuilder::new()
+            .source("src")
+            .sink("out")
+            .edge_with("src", "out", ThroughputFn::uniform_linear(1, 1.0), 1.0)
+            .build();
+        assert!(matches!(r, Err(TopologyError::BadThroughputFn(_))));
+    }
+
+    #[test]
+    fn fan_out_default_alpha_uniform() {
+        let t = TopologyBuilder::new()
+            .source("src")
+            .operator("split")
+            .operator("l")
+            .operator("r")
+            .operator("merge")
+            .sink("out")
+            .edge("src", "split")
+            .edge("split", "l")
+            .edge("split", "r")
+            .edge("l", "merge")
+            .edge("r", "merge")
+            .edge("merge", "out")
+            .build()
+            .unwrap();
+        let split = t.component(t.by_name("split").unwrap());
+        assert_eq!(split.alpha, vec![0.5, 0.5]);
+        let merge = t.component(t.by_name("merge").unwrap());
+        assert_eq!(merge.preds.len(), 2);
+        // default h arity matches preds
+        assert_eq!(merge.h[0].arity(), 2);
+    }
+
+    #[test]
+    fn dot_export_contains_all_components() {
+        let t = chain();
+        let dot = t.to_dot();
+        for c in t.components() {
+            assert!(dot.contains(&c.name));
+        }
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = chain();
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.n_operators(), 2);
+        assert_eq!(back.component(back.sink()).name, "out");
+    }
+
+    #[test]
+    fn operator_ids_in_capacity_order() {
+        let t = chain();
+        let ids = t.operator_ids();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(t.component(ids[0]).name, "map");
+        assert_eq!(t.component(ids[1]).name, "reduce");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests: the Section-4.1 assumptions (monotone, concave `f_t`)
+//! hold on randomized topologies, the autodiff and f64 propagation paths
+//! agree, and gradients match finite differences away from kinks.
+
+use dragster_autodiff::finite_grad;
+use dragster_dag::{throughput, throughput_grad, ThroughputFn, Topology, TopologyBuilder};
+use proptest::prelude::*;
+
+/// A random linear chain src → op_1 → … → op_k → sink with random
+/// selectivities, plus optionally a saturating tanh stage.
+fn arb_chain() -> impl Strategy<Value = (Topology, usize)> {
+    (
+        1usize..5,
+        proptest::collection::vec(0.2..1.5f64, 5),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(k, sels, with_tanh)| {
+            let mut b = TopologyBuilder::new().source("src");
+            for i in 0..k {
+                b = b.operator(&format!("op{i}"));
+            }
+            b = b.sink("out").edge("src", "op0");
+            #[allow(clippy::needless_range_loop)]
+            for i in 1..k {
+                let h = if with_tanh && i == k - 1 {
+                    ThroughputFn::Tanh {
+                        scale: 400.0,
+                        weights: vec![0.003],
+                    }
+                } else {
+                    ThroughputFn::Linear {
+                        weights: vec![sels[i]],
+                    }
+                };
+                b = b.edge_with(&format!("op{}", i - 1), &format!("op{i}"), h, 1.0);
+            }
+            b = b.edge(&format!("op{}", k - 1), "out");
+            (b.build().unwrap(), k)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn throughput_nonnegative_and_bounded(
+        (topo, k) in arb_chain(),
+        rate in 1.0..500.0f64,
+        caps in proptest::collection::vec(1.0..500.0f64, 5),
+    ) {
+        let caps = &caps[..k];
+        let f = throughput(&topo, &[rate], caps);
+        prop_assert!(f >= 0.0);
+        // Output cannot exceed what any operator is allowed to emit nor the
+        // source rate amplified by max selectivity (all ≤ 1.5, chain of ≤ 4).
+        prop_assert!(f <= rate * 1.5f64.powi(4) + 1e-9);
+        // And never exceeds the last operator's capacity.
+        prop_assert!(f <= caps[k - 1] + 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_every_capacity(
+        (topo, k) in arb_chain(),
+        rate in 1.0..500.0f64,
+        caps in proptest::collection::vec(1.0..300.0f64, 5),
+        bump_idx in 0usize..5,
+        bump in 0.1..100.0f64,
+    ) {
+        let caps = &caps[..k];
+        let idx = bump_idx % k;
+        let f0 = throughput(&topo, &[rate], caps);
+        let mut caps2 = caps.to_vec();
+        caps2[idx] += bump;
+        let f1 = throughput(&topo, &[rate], &caps2);
+        prop_assert!(f1 >= f0 - 1e-9, "raising capacity lowered throughput: {f0} -> {f1}");
+    }
+
+    #[test]
+    fn midpoint_concave_in_capacity(
+        (topo, k) in arb_chain(),
+        rate in 1.0..500.0f64,
+        a in proptest::collection::vec(1.0..300.0f64, 5),
+        b in proptest::collection::vec(1.0..300.0f64, 5),
+    ) {
+        let a = &a[..k];
+        let b = &b[..k];
+        let mid: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| 0.5 * (x + y)).collect();
+        let fa = throughput(&topo, &[rate], a);
+        let fb = throughput(&topo, &[rate], b);
+        let fm = throughput(&topo, &[rate], &mid);
+        prop_assert!(fm >= 0.5 * (fa + fb) - 1e-9, "concavity violated: f(mid)={fm} avg={}", 0.5*(fa+fb));
+    }
+
+    #[test]
+    fn monotone_in_source_rate(
+        (topo, k) in arb_chain(),
+        r0 in 1.0..300.0f64,
+        dr in 0.1..100.0f64,
+        caps in proptest::collection::vec(1.0..300.0f64, 5),
+    ) {
+        let caps = &caps[..k];
+        let f0 = throughput(&topo, &[r0], caps);
+        let f1 = throughput(&topo, &[r0 + dr], caps);
+        prop_assert!(f1 >= f0 - 1e-9);
+    }
+
+    #[test]
+    fn autodiff_gradient_matches_finite_difference(
+        (topo, k) in arb_chain(),
+        rate in 10.0..300.0f64,
+        caps in proptest::collection::vec(5.0..300.0f64, 5),
+    ) {
+        let caps = caps[..k].to_vec();
+        let (f, g) = throughput_grad(&topo, &[rate], &caps);
+        prop_assert!((f - throughput(&topo, &[rate], &caps)).abs() < 1e-12);
+        let fd = finite_grad(|c| throughput(&topo, &[rate], c), &caps, 1e-4);
+        for i in 0..k {
+            let diff = (g[i] - fd[i]).abs();
+            // Near a min() kink the subgradient and FD differ by design —
+            // accept either a close match or a kink signature (FD between
+            // the two one-sided derivatives, i.e. |diff| ≤ max slope 1.5^4).
+            if diff > 1e-4 {
+                // verify we are indeed near a kink: perturbing the capacity
+                // slightly flips the active branch.
+                let mut lo = caps.clone();
+                lo[i] -= 2e-4;
+                let mut hi = caps.clone();
+                hi[i] += 2e-4;
+                let gl = throughput_grad(&topo, &[rate], &lo).1[i];
+                let gh = throughput_grad(&topo, &[rate], &hi).1[i];
+                prop_assert!(
+                    (gl - gh).abs() > 1e-9,
+                    "gradient mismatch away from kink: op {i}, ad={} fd={}", g[i], fd[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_between_zero_and_max_selectivity((topo, k) in arb_chain(),
+        rate in 10.0..300.0f64,
+        caps in proptest::collection::vec(5.0..300.0f64, 5),
+    ) {
+        let caps = &caps[..k];
+        let (_, g) = throughput_grad(&topo, &[rate], caps);
+        for gi in g {
+            prop_assert!(gi >= 0.0, "negative capacity gradient {gi}");
+            prop_assert!(gi <= 1.5f64.powi(4) + 1e-9);
+        }
+    }
+}

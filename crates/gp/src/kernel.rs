@@ -1,0 +1,342 @@
+//! Covariance (kernel) functions.
+//!
+//! The paper adopts the squared-exponential kernel (Section 5.1, citing
+//! its reference \[15\]); we also provide Matérn-5/2, linear, constant and white kernels
+//! plus sum/product/scale combinators for the kernel-choice ablation
+//! (`bench --bin ablations`).
+
+use crate::linalg::{dot, sq_dist, Matrix};
+
+/// A positive-semi-definite covariance function over `R^d`.
+pub trait Kernel: Send + Sync {
+    /// Evaluate `k(x, x')`.
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// Prior variance `k(x, x)`. Override when a cheaper form exists.
+    fn diag(&self, x: &[f64]) -> f64 {
+        self.eval(x, x)
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Gram matrix over a set of points.
+    fn gram(&self, xs: &[Vec<f64>]) -> Matrix {
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.eval(&xs[i], &xs[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Cross-covariance vector `[k(x_1, x), …, k(x_n, x)]` (the `k_t(x)` of
+    /// Eq. 17).
+    fn cross(&self, xs: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        xs.iter().map(|xi| self.eval(xi, x)).collect()
+    }
+}
+
+/// Squared-exponential (RBF) kernel
+/// `k(x, x') = σ_f² · exp(−‖x − x'‖² / (2 ℓ²))` — the paper's kernel.
+/// Its maximum information gain obeys `Γ_T = O((log T)^{d+1})` (Theorem 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SquaredExp {
+    /// Length scale ℓ (> 0).
+    pub length_scale: f64,
+    /// Signal variance σ_f² (> 0).
+    pub signal_var: f64,
+}
+
+impl SquaredExp {
+    /// Unit-variance kernel with the given length scale.
+    pub fn new(length_scale: f64) -> SquaredExp {
+        SquaredExp {
+            length_scale,
+            signal_var: 1.0,
+        }
+    }
+
+    /// Full constructor.
+    pub fn with_signal(length_scale: f64, signal_var: f64) -> SquaredExp {
+        assert!(length_scale > 0.0 && signal_var > 0.0);
+        SquaredExp {
+            length_scale,
+            signal_var,
+        }
+    }
+}
+
+impl Kernel for SquaredExp {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.signal_var * (-sq_dist(x, y) / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    fn diag(&self, _x: &[f64]) -> f64 {
+        self.signal_var
+    }
+
+    fn name(&self) -> String {
+        format!("SE(l={}, s2={})", self.length_scale, self.signal_var)
+    }
+}
+
+/// Matérn-5/2 kernel: `σ_f² (1 + √5 r/ℓ + 5r²/(3ℓ²)) exp(−√5 r/ℓ)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Matern52 {
+    pub length_scale: f64,
+    pub signal_var: f64,
+}
+
+impl Matern52 {
+    pub fn new(length_scale: f64) -> Matern52 {
+        Matern52 {
+            length_scale,
+            signal_var: 1.0,
+        }
+    }
+}
+
+impl Kernel for Matern52 {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        let r = sq_dist(x, y).sqrt();
+        let a = 5.0_f64.sqrt() * r / self.length_scale;
+        self.signal_var * (1.0 + a + a * a / 3.0) * (-a).exp()
+    }
+
+    fn diag(&self, _x: &[f64]) -> f64 {
+        self.signal_var
+    }
+
+    fn name(&self) -> String {
+        format!("Matern52(l={}, s2={})", self.length_scale, self.signal_var)
+    }
+}
+
+/// Linear kernel `k(x, x') = σ_b² + σ_v² · x·x'`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearKernel {
+    pub bias_var: f64,
+    pub weight_var: f64,
+}
+
+impl LinearKernel {
+    pub fn new(bias_var: f64, weight_var: f64) -> LinearKernel {
+        LinearKernel {
+            bias_var,
+            weight_var,
+        }
+    }
+}
+
+impl Kernel for LinearKernel {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.bias_var + self.weight_var * dot(x, y)
+    }
+
+    fn name(&self) -> String {
+        format!("Linear(b2={}, w2={})", self.bias_var, self.weight_var)
+    }
+}
+
+/// White-noise kernel: `σ² · 1[x == x']`. Mostly useful in sums.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WhiteKernel {
+    pub noise_var: f64,
+}
+
+impl Kernel for WhiteKernel {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        if x == y {
+            self.noise_var
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("White(s2={})", self.noise_var)
+    }
+}
+
+/// Constant kernel `k ≡ c` (c ≥ 0).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConstantKernel {
+    pub value: f64,
+}
+
+impl Kernel for ConstantKernel {
+    fn eval(&self, _x: &[f64], _y: &[f64]) -> f64 {
+        self.value
+    }
+
+    fn name(&self) -> String {
+        format!("Const({})", self.value)
+    }
+}
+
+/// Sum of two kernels (PSD-closed).
+pub struct SumKernel<A, B>(pub A, pub B);
+
+impl<A: Kernel, B: Kernel> Kernel for SumKernel<A, B> {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.0.eval(x, y) + self.1.eval(x, y)
+    }
+
+    fn name(&self) -> String {
+        format!("{} + {}", self.0.name(), self.1.name())
+    }
+}
+
+/// Product of two kernels (PSD-closed).
+pub struct ProductKernel<A, B>(pub A, pub B);
+
+impl<A: Kernel, B: Kernel> Kernel for ProductKernel<A, B> {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.0.eval(x, y) * self.1.eval(x, y)
+    }
+
+    fn name(&self) -> String {
+        format!("({}) * ({})", self.0.name(), self.1.name())
+    }
+}
+
+/// A kernel scaled by a non-negative constant.
+pub struct ScaledKernel<A> {
+    pub inner: A,
+    pub scale: f64,
+}
+
+impl<A: Kernel> Kernel for ScaledKernel<A> {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.scale * self.inner.eval(x, y)
+    }
+
+    fn name(&self) -> String {
+        format!("{} * ({})", self.scale, self.inner.name())
+    }
+}
+
+impl<K: Kernel + ?Sized> Kernel for Box<K> {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        (**self).eval(x, y)
+    }
+
+    fn diag(&self, x: &[f64]) -> f64 {
+        (**self).diag(x)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<K: Kernel + ?Sized> Kernel for &K {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        (**self).eval(x, y)
+    }
+
+    fn diag(&self, x: &[f64]) -> f64 {
+        (**self).diag(x)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Cholesky;
+
+    #[test]
+    fn se_basics() {
+        let k = SquaredExp::new(1.0);
+        assert_eq!(k.eval(&[0.0], &[0.0]), 1.0);
+        assert!((k.eval(&[0.0], &[1.0]) - (-0.5f64).exp()).abs() < 1e-15);
+        assert!(k.eval(&[0.0], &[3.0]) < k.eval(&[0.0], &[1.0]));
+        assert_eq!(k.diag(&[7.0]), 1.0);
+    }
+
+    #[test]
+    fn se_symmetry_and_bounds() {
+        let k = SquaredExp::with_signal(0.7, 2.5);
+        let a = [1.0, 2.0];
+        let b = [-0.5, 3.0];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        assert!(k.eval(&a, &b) <= k.diag(&a));
+        assert!(k.eval(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn matern_basics() {
+        let k = Matern52::new(1.0);
+        assert!((k.eval(&[0.0], &[0.0]) - 1.0).abs() < 1e-15);
+        assert!(k.eval(&[0.0], &[0.5]) > k.eval(&[0.0], &[2.0]));
+    }
+
+    #[test]
+    fn linear_kernel_matches_formula() {
+        let k = LinearKernel::new(0.5, 2.0);
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 0.5 + 2.0 * 11.0);
+    }
+
+    #[test]
+    fn white_is_diagonal() {
+        let k = WhiteKernel { noise_var: 0.3 };
+        assert_eq!(k.eval(&[1.0], &[1.0]), 0.3);
+        assert_eq!(k.eval(&[1.0], &[1.0 + 1e-12]), 0.0);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let k = SumKernel(SquaredExp::new(1.0), WhiteKernel { noise_var: 0.1 });
+        assert!((k.eval(&[0.0], &[0.0]) - 1.1).abs() < 1e-15);
+        let p = ProductKernel(ConstantKernel { value: 2.0 }, SquaredExp::new(1.0));
+        assert_eq!(p.eval(&[0.0], &[0.0]), 2.0);
+        let s = ScaledKernel {
+            inner: SquaredExp::new(1.0),
+            scale: 3.0,
+        };
+        assert_eq!(s.eval(&[0.0], &[0.0]), 3.0);
+    }
+
+    #[test]
+    fn gram_is_psd_for_se() {
+        let k = SquaredExp::new(0.8);
+        let xs: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![i as f64 * 0.3, (i * i) as f64 * 0.01])
+            .collect();
+        let mut g = k.gram(&xs);
+        // add jitter for strict positive definiteness of the factorization
+        for i in 0..8 {
+            g[(i, i)] += 1e-10;
+        }
+        assert!(g.is_symmetric(0.0));
+        assert!(Cholesky::factor(&g).is_ok());
+    }
+
+    #[test]
+    fn cross_matches_eval() {
+        let k = Matern52::new(1.3);
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let c = k.cross(&xs, &[0.5]);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(c[i], k.eval(x, &[0.5]));
+        }
+    }
+
+    #[test]
+    fn boxed_and_ref_kernels() {
+        let k: Box<dyn Kernel> = Box::new(SquaredExp::new(1.0));
+        assert_eq!(k.eval(&[0.0], &[0.0]), 1.0);
+        let kr: &dyn Kernel = &SquaredExp::new(1.0);
+        assert_eq!(kr.diag(&[0.0]), 1.0);
+        assert!(k.name().starts_with("SE"));
+    }
+}

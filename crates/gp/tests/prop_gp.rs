@@ -1,0 +1,186 @@
+//! Property tests for the GP stack: kernel PSD-ness, posterior invariants,
+//! incremental-vs-batch agreement, information-gain monotonicity.
+
+use dragster_gp::linalg::{Cholesky, Matrix};
+use dragster_gp::{
+    information_gain, GpRegressor, Kernel, LinearKernel, Matern52, ProductKernel, SquaredExp,
+    SumKernel, WhiteKernel,
+};
+use proptest::prelude::*;
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, dim), 1..=max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn se_gram_is_psd(xs in arb_points(10, 2), l in 0.3..3.0f64) {
+        let k = SquaredExp::new(l);
+        let mut g = k.gram(&xs);
+        for i in 0..xs.len() {
+            g[(i, i)] += 1e-8; // jitter: PSD → PD
+        }
+        prop_assert!(Cholesky::factor(&g).is_ok());
+    }
+
+    #[test]
+    fn matern_gram_is_psd(xs in arb_points(10, 1), l in 0.3..3.0f64) {
+        let k = Matern52::new(l);
+        let mut g = k.gram(&xs);
+        for i in 0..xs.len() {
+            g[(i, i)] += 1e-8;
+        }
+        prop_assert!(Cholesky::factor(&g).is_ok());
+    }
+
+    #[test]
+    fn kernel_combinators_remain_psd(xs in arb_points(8, 1), l in 0.3..3.0f64) {
+        let sum = SumKernel(SquaredExp::new(l), WhiteKernel { noise_var: 0.1 });
+        let prod = ProductKernel(SquaredExp::new(l), LinearKernel::new(0.5, 0.2));
+        for gram in [sum.gram(&xs), prod.gram(&xs)] {
+            let mut g = gram;
+            for i in 0..xs.len() {
+                g[(i, i)] += 1e-8;
+            }
+            prop_assert!(Cholesky::factor(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn matern_posterior_interpolates_like_se(
+        xs in proptest::collection::vec(-4.0..4.0f64, 2..6),
+    ) {
+        // well-separated points, tiny noise: both kernels interpolate
+        let mut pts: Vec<f64> = xs.clone();
+        pts.sort_by(f64::total_cmp);
+        pts.dedup_by(|a, b| (*a - *b).abs() < 0.5);
+        prop_assume!(pts.len() >= 2);
+        let mut gp = GpRegressor::new(Matern52::new(1.0), 1e-8);
+        for (i, &x) in pts.iter().enumerate() {
+            gp.observe(&[x], i as f64);
+        }
+        for (i, &x) in pts.iter().enumerate() {
+            let p = gp.posterior(&[x]);
+            prop_assert!((p.mean - i as f64).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn posterior_variance_never_exceeds_prior(
+        xs in arb_points(8, 1),
+        q in -5.0..5.0f64,
+        noise in 0.01..1.0f64,
+    ) {
+        let k = SquaredExp::new(1.0);
+        let mut gp = GpRegressor::new(k, noise);
+        for (i, x) in xs.iter().enumerate() {
+            gp.observe(x, (i as f64).sin());
+        }
+        let p = gp.posterior(&[q]);
+        prop_assert!(p.var <= 1.0 + 1e-9, "posterior var {} > prior", p.var);
+        prop_assert!(p.var >= 0.0);
+    }
+
+    #[test]
+    fn more_data_never_increases_variance_at_fixed_point(
+        xs in arb_points(8, 1),
+        q in -5.0..5.0f64,
+    ) {
+        // Exact GPs: conditioning on more data cannot increase posterior
+        // variance anywhere.
+        let mut gp = GpRegressor::new(SquaredExp::new(1.0), 0.1);
+        let mut prev = f64::INFINITY;
+        for (i, x) in xs.iter().enumerate() {
+            gp.observe(x, (i as f64) * 0.1);
+            let v = gp.posterior(&[q]).var;
+            prop_assert!(v <= prev + 1e-9, "variance rose from {prev} to {v}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn incremental_equals_batch_solve(
+        xs in arb_points(8, 2),
+        noise in 0.05..0.5f64,
+    ) {
+        // Posterior computed through incremental Cholesky extension equals
+        // the one computed by factoring the full Gram matrix at the end.
+        let k = SquaredExp::new(1.0);
+        let ys: Vec<f64> = (0..xs.len()).map(|i| (i as f64 * 0.7).cos()).collect();
+
+        let mut inc = GpRegressor::new(k, noise);
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            inc.observe(x, y);
+        }
+
+        // batch: full gram + cholesky
+        let n = xs.len();
+        let gram = k.gram(&xs);
+        let mut m = gram.clone();
+        for i in 0..n {
+            m[(i, i)] += noise;
+        }
+        let ch = Cholesky::factor(&m).unwrap();
+        let alpha = ch.solve(&ys);
+
+        let q = [0.3, -0.4];
+        let kx: Vec<f64> = xs.iter().map(|x| k.eval(x, &q)).collect();
+        let mean_batch: f64 = kx.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+        let p = inc.posterior(&q);
+        prop_assert!((p.mean - mean_batch).abs() < 1e-8, "inc {} vs batch {}", p.mean, mean_batch);
+    }
+
+    #[test]
+    fn info_gain_submodular_increment(xs in arb_points(8, 1)) {
+        // Marginal gains are non-negative (monotone set function).
+        let k = SquaredExp::new(1.0);
+        let mut prev = 0.0;
+        for i in 1..=xs.len() {
+            let g = information_gain(&k, &xs[..i], 0.1);
+            prop_assert!(g >= prev - 1e-9);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_random_spd(n in 1usize..7, seed in 0u64..1000) {
+        // Build SPD A = BᵀB + I from a seeded pseudo-random B.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = b.transpose().matmul(&b);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let ch = Cholesky::factor(&a).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = ch.solve(&rhs);
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(rhs.iter()) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn posterior_mean_bounded_by_data_under_low_noise(
+        ys in proptest::collection::vec(-3.0..3.0f64, 2..6),
+    ) {
+        // At an observed point with tiny noise, the posterior mean is close
+        // to the observed value regardless of the other data.
+        let mut gp = GpRegressor::new(SquaredExp::new(0.5), 1e-8);
+        for (i, &y) in ys.iter().enumerate() {
+            gp.observe(&[i as f64 * 3.0], y); // well separated
+        }
+        for (i, &y) in ys.iter().enumerate() {
+            let p = gp.posterior(&[i as f64 * 3.0]);
+            prop_assert!((p.mean - y).abs() < 1e-3);
+        }
+    }
+}

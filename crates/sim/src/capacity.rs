@@ -1,0 +1,240 @@
+//! Ground-truth capacity models: configuration → service capacity.
+//!
+//! The paper's central learning problem is that the service capacity
+//! `y_i(x_i)` of an operator under configuration `x_i` (number of tasks) is
+//! *unknown* and "non-trivial (e.g., non-linear and multi-modal)"
+//! (Section 1). The simulator therefore owns a ground-truth
+//! [`CapacityModel`] per operator — tuples/second as a function of the task
+//! count — that the GP in the controller has to learn from noisy Eq.-8
+//! samples. Model shapes mirror what real Flink operators exhibit:
+//! near-linear scaling with coordination overhead, saturation (a shared
+//! external service becomes the limit), and explicit per-level tables for
+//! multi-modal behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuples/second an operator can process as a function of its task count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CapacityModel {
+    /// Ideal linear scaling: `rate · n`.
+    Linear { per_task: f64 },
+    /// Linear with coordination overhead (Universal-Scalability-style
+    /// contention): `per_task · n / (1 + contention · (n − 1))`.
+    /// `contention = 0` reduces to linear; `0.05` loses ~30 % at n = 10.
+    Contended { per_task: f64, contention: f64 },
+    /// Saturating: `max · n / (n + half)` — an external dependency (e.g.
+    /// the Redis sink of the Yahoo benchmark) caps the aggregate rate.
+    Saturating { max: f64, half: f64 },
+    /// Explicit per-level capacities (index 0 → 1 task). Queries beyond the
+    /// table clamp to the last entry. Allows multi-modal ground truth.
+    Table { levels: Vec<f64> },
+}
+
+impl CapacityModel {
+    /// True capacity under `tasks` parallel instances.
+    ///
+    /// # Panics
+    /// If `tasks == 0` — a deployed operator always has at least one task.
+    pub fn capacity(&self, tasks: usize) -> f64 {
+        assert!(tasks >= 1, "an operator needs at least one task");
+        let n = tasks as f64;
+        match self {
+            CapacityModel::Linear { per_task } => per_task * n,
+            CapacityModel::Contended {
+                per_task,
+                contention,
+            } => per_task * n / (1.0 + contention * (n - 1.0)),
+            CapacityModel::Saturating { max, half } => max * n / (n + half),
+            CapacityModel::Table { levels } => levels[(tasks - 1).min(levels.len() - 1)],
+        }
+    }
+
+    /// Smallest task count whose capacity reaches `target`, if any exists
+    /// within `max_tasks`.
+    pub fn tasks_for(&self, target: f64, max_tasks: usize) -> Option<usize> {
+        (1..=max_tasks).find(|&n| self.capacity(n) >= target)
+    }
+
+    /// Validate: capacities must be positive and non-decreasing in the task
+    /// count (more resources never process fewer tuples in expectation).
+    pub fn validate(&self, max_tasks: usize) -> Result<(), String> {
+        let mut prev = 0.0;
+        for n in 1..=max_tasks {
+            let c = self.capacity(n);
+            if c <= 0.0 {
+                return Err(format!("capacity({n}) = {c} not positive"));
+            }
+            if c < prev - 1e-9 {
+                return Err(format!(
+                    "capacity({n}) = {c} < capacity({}) = {prev}",
+                    n - 1
+                ));
+            }
+            prev = c;
+        }
+        Ok(())
+    }
+}
+
+/// A complete simulated application: the DAG plus one ground-truth capacity
+/// model per operator. This is what workloads construct and what both
+/// simulator engines execute.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Application {
+    pub topology: dragster_dag::Topology,
+    /// One model per operator, in capacity-index order.
+    pub capacity_models: Vec<CapacityModel>,
+}
+
+impl Application {
+    /// Build, validating that models and topology agree.
+    pub fn new(
+        topology: dragster_dag::Topology,
+        capacity_models: Vec<CapacityModel>,
+    ) -> Result<Application, String> {
+        if capacity_models.len() != topology.n_operators() {
+            return Err(format!(
+                "{} capacity models for {} operators",
+                capacity_models.len(),
+                topology.n_operators()
+            ));
+        }
+        for (i, m) in capacity_models.iter().enumerate() {
+            m.validate(32)
+                .map_err(|e| format!("operator {}: {e}", topology.operator_name(i)))?;
+        }
+        Ok(Application {
+            topology,
+            capacity_models,
+        })
+    }
+
+    /// Number of operators `M`.
+    pub fn n_operators(&self) -> usize {
+        self.topology.n_operators()
+    }
+
+    /// True (noise-free) capacity vector for a deployment.
+    pub fn true_capacities(&self, tasks: &[usize]) -> Vec<f64> {
+        assert_eq!(tasks.len(), self.capacity_models.len());
+        self.capacity_models
+            .iter()
+            .zip(tasks.iter())
+            .map(|(m, &n)| m.capacity(n))
+            .collect()
+    }
+
+    /// Noise-free steady-state application throughput for a deployment —
+    /// the oracle primitive behind `y*` and the "within 10 % of optimal"
+    /// convergence criterion.
+    pub fn ideal_throughput(&self, source_rates: &[f64], tasks: &[usize]) -> f64 {
+        dragster_dag::throughput(&self.topology, source_rates, &self.true_capacities(tasks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_dag::TopologyBuilder;
+
+    #[test]
+    fn linear_model() {
+        let m = CapacityModel::Linear { per_task: 100.0 };
+        assert_eq!(m.capacity(1), 100.0);
+        assert_eq!(m.capacity(7), 700.0);
+    }
+
+    #[test]
+    fn contended_model_has_diminishing_returns() {
+        let m = CapacityModel::Contended {
+            per_task: 100.0,
+            contention: 0.05,
+        };
+        let c1 = m.capacity(1);
+        let c10 = m.capacity(10);
+        assert_eq!(c1, 100.0);
+        assert!(c10 < 1000.0 && c10 > 600.0, "{c10}");
+        // marginal gains shrink
+        let g2 = m.capacity(2) - m.capacity(1);
+        let g10 = m.capacity(10) - m.capacity(9);
+        assert!(g10 < g2);
+    }
+
+    #[test]
+    fn saturating_model_approaches_max() {
+        let m = CapacityModel::Saturating {
+            max: 1000.0,
+            half: 2.0,
+        };
+        assert!(m.capacity(20) > 900.0);
+        assert!(m.capacity(20) < 1000.0);
+    }
+
+    #[test]
+    fn table_model_clamps() {
+        let m = CapacityModel::Table {
+            levels: vec![10.0, 30.0, 35.0],
+        };
+        assert_eq!(m.capacity(1), 10.0);
+        assert_eq!(m.capacity(3), 35.0);
+        assert_eq!(m.capacity(9), 35.0);
+    }
+
+    #[test]
+    fn tasks_for_finds_smallest() {
+        let m = CapacityModel::Linear { per_task: 100.0 };
+        assert_eq!(m.tasks_for(250.0, 10), Some(3));
+        assert_eq!(m.tasks_for(2000.0, 10), None);
+    }
+
+    #[test]
+    fn validate_rejects_decreasing_table() {
+        let m = CapacityModel::Table {
+            levels: vec![10.0, 5.0],
+        };
+        assert!(m.validate(2).is_err());
+        let ok = CapacityModel::Table {
+            levels: vec![10.0, 20.0],
+        };
+        assert!(ok.validate(5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let _ = CapacityModel::Linear { per_task: 1.0 }.capacity(0);
+    }
+
+    fn tiny_app() -> Application {
+        let topo = TopologyBuilder::new()
+            .source("s")
+            .operator("op")
+            .sink("k")
+            .edge("s", "op")
+            .edge("op", "k")
+            .build()
+            .unwrap();
+        Application::new(topo, vec![CapacityModel::Linear { per_task: 50.0 }]).unwrap()
+    }
+
+    #[test]
+    fn application_checks_model_count() {
+        let topo = TopologyBuilder::new()
+            .source("s")
+            .operator("op")
+            .sink("k")
+            .edge("s", "op")
+            .edge("op", "k")
+            .build()
+            .unwrap();
+        assert!(Application::new(topo, vec![]).is_err());
+    }
+
+    #[test]
+    fn ideal_throughput_truncated_by_capacity() {
+        let app = tiny_app();
+        assert_eq!(app.ideal_throughput(&[1000.0], &[2]), 100.0);
+        assert_eq!(app.ideal_throughput(&[30.0], &[2]), 30.0);
+        assert_eq!(app.true_capacities(&[3]), vec![150.0]);
+    }
+}

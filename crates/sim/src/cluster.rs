@@ -1,0 +1,227 @@
+//! The Kubernetes-side model: deployments (tasks → pods), resource budget,
+//! and dollar-cost metering.
+
+use serde::{Deserialize, Serialize};
+
+/// A resource configuration: number of parallel tasks per operator, in
+/// capacity-index order. Each task occupies one TaskManager pod with one
+/// slot (the paper's 1 CPU / 2 GB pods), so `total_pods = Σ tasks`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Deployment {
+    pub tasks: Vec<usize>,
+}
+
+impl Deployment {
+    /// Deployment with the same task count for every operator.
+    pub fn uniform(n_operators: usize, tasks: usize) -> Deployment {
+        Deployment {
+            tasks: vec![tasks; n_operators],
+        }
+    }
+
+    /// Total pods consumed.
+    pub fn total_pods(&self) -> usize {
+        self.tasks.iter().sum()
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if there are no operators (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Clamp every operator's tasks into `[1, max_tasks]`.
+    pub fn clamped(&self, max_tasks: usize) -> Deployment {
+        Deployment {
+            tasks: self.tasks.iter().map(|&t| t.clamp(1, max_tasks)).collect(),
+        }
+    }
+
+    /// True when the deployment respects a total-pod budget.
+    pub fn within_budget(&self, budget_pods: Option<usize>) -> bool {
+        budget_pods.is_none_or(|b| self.total_pods() <= b)
+    }
+
+    /// The per-operator configuration as the `f64` feature vector handed to
+    /// the GP (`x_i` of the paper — here one-dimensional: the task count).
+    pub fn feature(&self, operator: usize) -> Vec<f64> {
+        vec![self.tasks[operator] as f64]
+    }
+}
+
+impl std::fmt::Display for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}]",
+            self.tasks
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Cluster-level configuration: pod pricing, budget, reconfiguration pause,
+/// and the per-operator task range.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Dollars per pod-hour (every task = 1 pod = 1 slot).
+    pub cost_per_pod_hour: f64,
+    /// Hard cap on Σ tasks (the paper's budget `B`, Eq. 9d). `None` = no
+    /// budget experiment.
+    pub budget_pods: Option<usize>,
+    /// Checkpoint stop-and-resume pause when the deployment changes
+    /// (Section 3.1: ~30 s).
+    pub reconfig_pause_secs: f64,
+    /// Maximum tasks per operator (the paper sweeps 1–10).
+    pub max_tasks_per_operator: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            // Chosen so the paper's "1.6 $/hour" tight budget (Fig. 4d–f)
+            // maps to 10 pods out of a 10+10 WordCount grid: 0.16 $/pod·h.
+            cost_per_pod_hour: 0.16,
+            budget_pods: None,
+            reconfig_pause_secs: 30.0,
+            max_tasks_per_operator: 10,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's primary deployment: Flink 1.10 on Kubernetes —
+    /// checkpoint stop-and-resume costs ~30 s, decisions every 10 min.
+    pub fn flink_on_k8s() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    /// Storm/Heron-style actuation (Section 3.2): `rebalance` adjusts Bolt
+    /// executor counts without a full checkpoint restore — a much shorter
+    /// pause.
+    pub fn storm_rebalance() -> ClusterConfig {
+        ClusterConfig {
+            reconfig_pause_secs: 10.0,
+            ..Default::default()
+        }
+    }
+
+    /// Cameo-style fine-grained reconfiguration (Section 3.1: "Dragster
+    /// can also take advantage of a faster, more dynamic reconfiguration
+    /// mechanism, such as Cameo, to perform at shorter time intervals").
+    pub fn cameo() -> ClusterConfig {
+        ClusterConfig {
+            reconfig_pause_secs: 2.0,
+            ..Default::default()
+        }
+    }
+
+    /// Convert a dollars-per-hour budget into a pod budget under this
+    /// price.
+    pub fn pods_for_hourly_budget(&self, dollars_per_hour: f64) -> usize {
+        (dollars_per_hour / self.cost_per_pod_hour).floor() as usize
+    }
+
+    /// Enable a budget expressed in dollars per hour (the paper's 1.6 $/h).
+    pub fn with_hourly_budget(mut self, dollars_per_hour: f64) -> ClusterConfig {
+        self.budget_pods = Some(self.pods_for_hourly_budget(dollars_per_hour));
+        self
+    }
+}
+
+/// Accumulates pod-seconds into dollars.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostMeter {
+    pod_seconds: f64,
+    cost_per_pod_hour: f64,
+}
+
+impl CostMeter {
+    pub fn new(cost_per_pod_hour: f64) -> CostMeter {
+        CostMeter {
+            pod_seconds: 0.0,
+            cost_per_pod_hour,
+        }
+    }
+
+    /// Meter `pods` running for `secs` seconds.
+    pub fn charge(&mut self, pods: usize, secs: f64) {
+        self.pod_seconds += pods as f64 * secs;
+    }
+
+    /// Total dollars so far.
+    pub fn dollars(&self) -> f64 {
+        self.pod_seconds / 3600.0 * self.cost_per_pod_hour
+    }
+
+    /// Total pod-hours so far.
+    pub fn pod_hours(&self) -> f64 {
+        self.pod_seconds / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_pods_and_display() {
+        let d = Deployment { tasks: vec![3, 7] };
+        assert_eq!(d.total_pods(), 10);
+        assert_eq!(d.len(), 2);
+        assert_eq!(format!("{d}"), "[3,7]");
+    }
+
+    #[test]
+    fn uniform_builder() {
+        let d = Deployment::uniform(4, 2);
+        assert_eq!(d.tasks, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let d = Deployment {
+            tasks: vec![0, 5, 99],
+        };
+        assert_eq!(d.clamped(10).tasks, vec![1, 5, 10]);
+    }
+
+    #[test]
+    fn budget_check() {
+        let d = Deployment { tasks: vec![4, 4] };
+        assert!(d.within_budget(None));
+        assert!(d.within_budget(Some(8)));
+        assert!(!d.within_budget(Some(7)));
+    }
+
+    #[test]
+    fn feature_vector() {
+        let d = Deployment { tasks: vec![3, 7] };
+        assert_eq!(d.feature(1), vec![7.0]);
+    }
+
+    #[test]
+    fn hourly_budget_conversion() {
+        let cfg = ClusterConfig::default(); // 0.16 $/pod·h
+        assert_eq!(cfg.pods_for_hourly_budget(1.6), 10);
+        let with = cfg.with_hourly_budget(1.6);
+        assert_eq!(with.budget_pods, Some(10));
+    }
+
+    #[test]
+    fn cost_meter_accumulates() {
+        let mut m = CostMeter::new(0.16);
+        m.charge(10, 3600.0);
+        assert!((m.dollars() - 1.6).abs() < 1e-12);
+        assert!((m.pod_hours() - 10.0).abs() < 1e-12);
+        m.charge(5, 1800.0);
+        assert!((m.dollars() - (1.6 + 5.0 * 0.5 * 0.16)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,393 @@
+//! The experiment harness: the [`Autoscaler`] decision interface shared by
+//! Dragster and every baseline, arrival processes, and the slot loop of
+//! Algorithm 1 (launch → observe → decide → deploy → repeat).
+
+use crate::cluster::Deployment;
+use crate::fluid::FluidSim;
+use crate::metrics::SlotMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Time-varying offered load: rates per source for decision slot `t`.
+pub trait ArrivalProcess {
+    fn rates(&mut self, t: usize) -> Vec<f64>;
+}
+
+/// Constant offered load.
+#[derive(Clone, Debug)]
+pub struct ConstantArrival(pub Vec<f64>);
+
+impl ArrivalProcess for ConstantArrival {
+    fn rates(&mut self, _t: usize) -> Vec<f64> {
+        self.0.clone()
+    }
+}
+
+impl<F: FnMut(usize) -> Vec<f64>> ArrivalProcess for F {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        self(t)
+    }
+}
+
+/// A dynamic resource allocation policy. Implementations see exactly what
+/// the paper's Job Monitor exposes — one [`SlotMetrics`] per slot — and
+/// return the deployment for the *next* slot (step 5 of Algorithm 1).
+pub trait Autoscaler {
+    /// Scheme name for reports ("Dhalion", "Dragster saddle point", …).
+    fn name(&self) -> String;
+
+    /// Decide the next deployment after observing slot `t`.
+    fn decide(&mut self, t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment;
+}
+
+/// Full record of one experiment run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    pub scheme: String,
+    pub slots: Vec<SlotMetrics>,
+    /// Deployment in effect during each slot.
+    pub deployments: Vec<Deployment>,
+    /// Oracle: the noise-free steady-state throughput the deployed
+    /// configuration would achieve under that slot's offered load. Used
+    /// for the "within 10 % of optimal" convergence criterion — not
+    /// visible to autoscalers.
+    pub ideal_throughput: Vec<f64>,
+}
+
+impl Trace {
+    /// Number of recorded slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total tuples delivered to the sink.
+    pub fn total_processed(&self) -> f64 {
+        self.slots.iter().map(|s| s.processed_tuples).sum()
+    }
+
+    /// Total dollars spent.
+    pub fn total_cost(&self) -> f64 {
+        self.slots.iter().map(|s| s.cost_dollars).sum()
+    }
+
+    /// Dollars per 10⁹ processed tuples (the paper's Table 2/3 metric).
+    pub fn cost_per_billion_tuples(&self) -> f64 {
+        let tuples = self.total_processed();
+        if tuples == 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_cost() / (tuples / 1e9)
+    }
+
+    /// Mean measured throughput over a slot range.
+    pub fn mean_throughput(&self, range: std::ops::Range<usize>) -> f64 {
+        let xs = &self.slots[range];
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().map(|s| s.throughput).sum::<f64>() / xs.len() as f64
+    }
+
+    /// First slot index from which the deployed configuration stays within
+    /// `tol` (e.g. 0.1) of the oracle-optimal throughput `opt[t]` for the
+    /// rest of `window` — the paper's convergence-time definition
+    /// ("within 10 % of the optimal throughput"). Returns `None` if never.
+    pub fn convergence_slot(
+        &self,
+        opt: &[f64],
+        tol: f64,
+        window: std::ops::Range<usize>,
+    ) -> Option<usize> {
+        assert_eq!(opt.len(), self.ideal_throughput.len());
+        let near = |t: usize| self.ideal_throughput[t] >= (1.0 - tol) * opt[t] - 1e-9;
+        let end = window.end.min(self.ideal_throughput.len());
+        (window.start..end).find(|&s| (s..end).all(near))
+    }
+
+    /// Mean pods over a slot range (resource footprint).
+    pub fn mean_pods(&self, range: std::ops::Range<usize>) -> f64 {
+        let xs = &self.slots[range];
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().map(|s| s.pods as f64).sum::<f64>() / xs.len() as f64
+    }
+
+    /// Number of slots that began with a reconfiguration pause.
+    pub fn reconfigurations(&self) -> usize {
+        self.slots.iter().filter(|s| s.reconfigured).count()
+    }
+
+    /// A throughput percentile over the whole run (p in [0, 100]).
+    pub fn throughput_percentile(&self, p: f64) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let mut xs: Vec<f64> = self.slots.iter().map(|s| s.throughput).collect();
+        xs.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (xs.len() - 1) as f64).round() as usize;
+        xs[idx.min(xs.len() - 1)]
+    }
+
+    /// Worst end-to-end Little's-law latency estimate across slots in a
+    /// range (seconds).
+    pub fn max_latency_estimate(&self, range: std::ops::Range<usize>) -> f64 {
+        self.slots[range]
+            .iter()
+            .map(|s| s.latency_estimate_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Convergence time in minutes given the slot length.
+    pub fn convergence_minutes(
+        &self,
+        opt: &[f64],
+        tol: f64,
+        window: std::ops::Range<usize>,
+        slot_secs: f64,
+    ) -> Option<f64> {
+        self.convergence_slot(opt, tol, window.clone())
+            .map(|s| (s + 1 - window.start) as f64 * slot_secs / 60.0)
+    }
+}
+
+/// Run one experiment: `slots` decision slots of Algorithm 1. The scaler's
+/// proposal is clamped to the task range; a proposal violating the pod
+/// budget is projected by decrementing the largest allocations first
+/// (mirroring how HPA would refuse to scale past quota).
+pub fn run_experiment(
+    sim: &mut FluidSim,
+    scaler: &mut dyn Autoscaler,
+    arrivals: &mut dyn ArrivalProcess,
+    slots: usize,
+) -> Trace {
+    let mut trace = Trace {
+        scheme: scaler.name(),
+        ..Default::default()
+    };
+    for t in 0..slots {
+        let rates = arrivals.rates(t);
+        trace.deployments.push(sim.deployment().clone());
+        trace.ideal_throughput.push(sim.ideal_throughput(&rates));
+        let metrics = sim.run_slot(&rates);
+        let proposal = scaler.decide(t, &metrics, sim.deployment());
+        let feasible = project_to_budget(
+            proposal.clamped(sim.cluster().max_tasks_per_operator),
+            sim.cluster().budget_pods,
+        );
+        sim.reconfigure(feasible)
+            .expect("projected deployment is feasible");
+        trace.slots.push(metrics);
+    }
+    trace
+}
+
+/// Decrement the largest allocations until the total-pod budget holds.
+/// Keeps every operator at ≥ 1 task.
+pub fn project_to_budget(mut d: Deployment, budget: Option<usize>) -> Deployment {
+    let Some(b) = budget else { return d };
+    let b = b.max(d.len()); // at least one task per operator
+    while d.total_pods() > b {
+        let (imax, _) = d
+            .tasks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &t)| t)
+            .expect("non-empty deployment");
+        d.tasks[imax] -= 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::{Application, CapacityModel};
+    use crate::cluster::ClusterConfig;
+    use crate::fluid::SimConfig;
+    use crate::noise::NoiseConfig;
+    use dragster_dag::TopologyBuilder;
+
+    fn app() -> Application {
+        let topo = TopologyBuilder::new()
+            .source("s")
+            .operator("a")
+            .operator("b")
+            .sink("k")
+            .edge("s", "a")
+            .edge("a", "b")
+            .edge("b", "k")
+            .build()
+            .unwrap();
+        Application::new(
+            topo,
+            vec![
+                CapacityModel::Linear { per_task: 100.0 },
+                CapacityModel::Linear { per_task: 100.0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Scales everything up by one task per slot.
+    struct GreedyUp;
+
+    impl Autoscaler for GreedyUp {
+        fn name(&self) -> String {
+            "greedy-up".into()
+        }
+
+        fn decide(&mut self, _t: usize, _m: &SlotMetrics, cur: &Deployment) -> Deployment {
+            Deployment {
+                tasks: cur.tasks.iter().map(|t| t + 1).collect(),
+            }
+        }
+    }
+
+    /// Never changes anything.
+    struct Static;
+
+    impl Autoscaler for Static {
+        fn name(&self) -> String {
+            "static".into()
+        }
+
+        fn decide(&mut self, _t: usize, _m: &SlotMetrics, cur: &Deployment) -> Deployment {
+            cur.clone()
+        }
+    }
+
+    fn make_sim(budget: Option<usize>) -> FluidSim {
+        FluidSim::new(
+            app(),
+            ClusterConfig {
+                budget_pods: budget,
+                ..Default::default()
+            },
+            SimConfig::default(),
+            NoiseConfig::none(),
+            7,
+            Deployment::uniform(2, 1),
+        )
+    }
+
+    #[test]
+    fn run_records_every_slot() {
+        let mut sim = make_sim(None);
+        let mut arr = ConstantArrival(vec![250.0]);
+        let trace = run_experiment(&mut sim, &mut Static, &mut arr, 5);
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.deployments.len(), 5);
+        assert_eq!(trace.scheme, "static");
+        assert!(trace.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn greedy_up_scales_and_improves() {
+        let mut sim = make_sim(None);
+        let mut arr = ConstantArrival(vec![900.0]);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 10);
+        // deployments grow 1,2,3,… (clamped at 10)
+        assert_eq!(trace.deployments[0].tasks, vec![1, 1]);
+        assert_eq!(trace.deployments[5].tasks, vec![6, 6]);
+        assert!(trace.slots[9].throughput > trace.slots[0].throughput);
+    }
+
+    #[test]
+    fn budget_projection_applies() {
+        let mut sim = make_sim(Some(8));
+        let mut arr = ConstantArrival(vec![900.0]);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 12);
+        for d in &trace.deployments {
+            assert!(d.total_pods() <= 8, "budget violated: {d}");
+        }
+    }
+
+    #[test]
+    fn project_to_budget_decrements_largest() {
+        let d = Deployment {
+            tasks: vec![9, 2, 5],
+        };
+        let p = project_to_budget(d, Some(10));
+        assert_eq!(p.total_pods(), 10);
+        assert_eq!(p.tasks, vec![4, 2, 4]);
+        // keeps ≥1 per operator even under an absurd budget
+        let q = project_to_budget(Deployment { tasks: vec![5, 5] }, Some(1));
+        assert_eq!(q.tasks, vec![1, 1]);
+    }
+
+    #[test]
+    fn convergence_slot_finds_stable_point() {
+        let mut trace = Trace::default();
+        // fabricate ideal-throughput history: 50, 80, 95, 95, 95 vs opt 100
+        for v in [50.0, 80.0, 95.0, 95.0, 95.0] {
+            trace.ideal_throughput.push(v);
+        }
+        let opt = vec![100.0; 5];
+        assert_eq!(trace.convergence_slot(&opt, 0.1, 0..5), Some(2));
+        assert_eq!(trace.convergence_slot(&opt, 0.01, 0..5), None);
+        // minutes: slots are 600 s
+        assert_eq!(
+            trace.convergence_minutes(&opt, 0.1, 0..5, 600.0),
+            Some(30.0)
+        );
+    }
+
+    #[test]
+    fn convergence_requires_stability() {
+        let mut trace = Trace::default();
+        for v in [95.0, 50.0, 95.0, 95.0] {
+            trace.ideal_throughput.push(v);
+        }
+        let opt = vec![100.0; 4];
+        // slot 0 is within 10 % but slot 1 regresses ⇒ convergence at 2.
+        assert_eq!(trace.convergence_slot(&opt, 0.1, 0..4), Some(2));
+    }
+
+    #[test]
+    fn closure_is_an_arrival_process() {
+        let mut sim = make_sim(None);
+        let mut arr = |t: usize| vec![if t < 2 { 100.0 } else { 300.0 }];
+        let trace = run_experiment(&mut sim, &mut Static, &mut arr, 4);
+        assert_eq!(trace.slots[0].source_rates, vec![100.0]);
+        assert_eq!(trace.slots[3].source_rates, vec![300.0]);
+    }
+
+    #[test]
+    fn trace_analysis_helpers() {
+        let mut sim = make_sim(None);
+        let mut arr = ConstantArrival(vec![500.0]);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 6);
+        assert!(trace.mean_pods(0..6) > 2.0);
+        assert!(trace.reconfigurations() >= 4);
+        let p50 = trace.throughput_percentile(50.0);
+        let p100 = trace.throughput_percentile(100.0);
+        assert!(p100 >= p50);
+        assert!(trace.max_latency_estimate(0..6) >= 0.0);
+        // empty ranges are safe
+        assert_eq!(trace.mean_pods(3..3), 0.0);
+    }
+
+    #[test]
+    fn cost_per_billion() {
+        let mut trace = Trace::default();
+        trace.slots.push(SlotMetrics {
+            t: 0,
+            sim_time_secs: 600.0,
+            throughput: 1.0,
+            processed_tuples: 5e8,
+            dropped_tuples: 0.0,
+            cost_dollars: 10.0,
+            pods: 1,
+            source_rates: vec![1.0],
+            reconfigured: false,
+            pause_secs: 0.0,
+            operators: vec![],
+        });
+        assert!((trace.cost_per_billion_tuples() - 20.0).abs() < 1e-12);
+    }
+}

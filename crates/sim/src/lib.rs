@@ -1,0 +1,48 @@
+//! Stream-processing cluster simulator — the Flink-on-Kubernetes substitute.
+//!
+//! The paper evaluates Dragster by running Flink 1.10 jobs on a Kubernetes
+//! 1.16 cluster where every TaskManager pod provides one slot (1 CPU, 2 GB)
+//! and the controller adjusts the number of tasks per operator (1–10) every
+//! 10 minutes through Flink's checkpoint stop-and-resume (~30 s pause). No
+//! Flink bindings exist for Rust, so this crate reproduces the exact
+//! observation/actuation surface the controller interacts with:
+//!
+//! * **observe** — per-operator input/output throughput, CPU utilization,
+//!   buffer backlog (Flink REST API + K8s Metrics Server in the paper) via
+//!   [`metrics::SlotMetrics`];
+//! * **actuate** — a new [`cluster::Deployment`] (tasks per operator), paying
+//!   the checkpoint pause, via [`fluid::FluidSim::reconfigure`];
+//! * **pay** — pod-hours are metered into dollars ([`cluster::CostMeter`]),
+//!   supporting the paper's cost-per-billion-tuples and budget experiments.
+//!
+//! Two engines share the same application model:
+//!
+//! * [`fluid`] — a deterministic-seeded, tick-based *fluid* (rate) simulator
+//!   with per-operator buffers, backpressure, cloud noise, and checkpoint
+//!   pauses. All paper experiments run on this engine.
+//! * [`des`] — a discrete-event, batch-of-tuples engine used to
+//!   cross-validate the fluid model's steady state (`tests/` asserts the two
+//!   agree within tolerance).
+//!
+//! Supporting modules: [`capacity`] (configuration → true service capacity
+//! ground truth the GP must learn), [`noise`] (Gaussian observation noise
+//! and overcommit degradation — Section 1's "dynamic cloud noises"),
+//! [`cluster`] (pods, budget, cost), [`harness`] (the
+//! [`harness::Autoscaler`] trait and experiment runner shared by Dragster
+//! and all baselines).
+
+pub mod capacity;
+pub mod cluster;
+pub mod des;
+pub mod fluid;
+pub mod harness;
+pub mod metrics;
+pub mod noise;
+
+pub use capacity::{Application, CapacityModel};
+pub use cluster::{ClusterConfig, CostMeter, Deployment};
+pub use des::DesSim;
+pub use fluid::FluidSim;
+pub use harness::{run_experiment, ArrivalProcess, Autoscaler, ConstantArrival, Trace};
+pub use metrics::{OperatorMetrics, SlotMetrics};
+pub use noise::{FailureModel, NoiseConfig, OvercommitModel, Rng};

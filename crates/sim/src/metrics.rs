@@ -1,0 +1,159 @@
+//! What the Job Monitor observes each decision slot.
+//!
+//! In the paper, the Job Monitor polls the Flink JobManager REST API
+//! (operator status, input/output throughput) and the Kubernetes Metrics
+//! Server (CPU utilization). [`SlotMetrics`] is the simulated equivalent —
+//! one snapshot per 10-minute decision slot — and is the *only* information
+//! any autoscaler (Dragster or baseline) receives.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operator observations for one slot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OperatorMetrics {
+    /// Operator name (for reports).
+    pub name: String,
+    /// Current task count.
+    pub tasks: usize,
+    /// Average tuples/second received over the slot (`Σ ē_i`).
+    pub input_rate: f64,
+    /// Per-predecessor-edge received rates (the `ē_i` vector, in the
+    /// operator's predecessor order) — what the Flink REST API exposes per
+    /// input gate. Drives the Theorem-2 online estimation of `h_{i,j}`.
+    pub input_rates: Vec<f64>,
+    /// Average tuples/second emitted over the slot (`Σ_j e_j^i`).
+    pub output_rate: f64,
+    /// Average desired output rate (`Σ_j h_{i,j}(ē_i)`) — what the operator
+    /// *would* emit with unlimited capacity. `offered_load − capacity` is
+    /// the soft-constraint `l_i` of Eq. 11.
+    pub offered_load: f64,
+    /// Observed (noisy) CPU utilization in `(0, 1]` — Metrics Server view.
+    pub cpu_util: f64,
+    /// The Eq.-8 capacity sample `c_i = Σ_j e_j^i / cpu_i` — a noisy
+    /// estimate of the true service capacity `y_i`.
+    pub capacity_sample: f64,
+    /// Tuples buffered (backlog) at slot end.
+    pub buffer_tuples: f64,
+    /// Little's-law end-of-slot queueing-latency estimate in seconds:
+    /// `buffer / output_rate`. The paper ties the bounded buffer (dynamic
+    /// fit, Eq. 12) to low latency — this is the observable version.
+    pub latency_estimate_secs: f64,
+    /// Backpressure symptom: the operator ran saturated or its buffer grew
+    /// during the slot (what Dhalion keys on).
+    pub backpressure: bool,
+}
+
+/// One decision-slot snapshot of the whole application.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlotMetrics {
+    /// Slot index (0-based).
+    pub t: usize,
+    /// Simulated seconds since experiment start, at slot end.
+    pub sim_time_secs: f64,
+    /// Average sink ingest rate over the slot (tuples/second) — the
+    /// application throughput `f_t`.
+    pub throughput: f64,
+    /// Tuples delivered to the sink during this slot.
+    pub processed_tuples: f64,
+    /// Tuples dropped due to buffer overflow during this slot.
+    pub dropped_tuples: f64,
+    /// Dollars spent this slot.
+    pub cost_dollars: f64,
+    /// Pods allocated during this slot.
+    pub pods: usize,
+    /// Offered source rates during this slot (per source).
+    pub source_rates: Vec<f64>,
+    /// Whether the slot began with a checkpoint reconfiguration pause.
+    pub reconfigured: bool,
+    /// Seconds of processing lost to the pause.
+    pub pause_secs: f64,
+    /// Per-operator observations.
+    pub operators: Vec<OperatorMetrics>,
+}
+
+impl SlotMetrics {
+    /// Capacity samples in capacity-index order (the GP observations).
+    pub fn capacity_samples(&self) -> Vec<f64> {
+        self.operators.iter().map(|o| o.capacity_sample).collect()
+    }
+
+    /// Offered loads in capacity-index order.
+    pub fn offered_loads(&self) -> Vec<f64> {
+        self.operators.iter().map(|o| o.offered_load).collect()
+    }
+
+    /// Indices of operators showing backpressure.
+    pub fn backpressured(&self) -> Vec<usize> {
+        self.operators
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.backpressure)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total buffered tuples across operators.
+    pub fn total_buffered(&self) -> f64 {
+        self.operators.iter().map(|o| o.buffer_tuples).sum()
+    }
+
+    /// End-to-end queueing-latency estimate: the sum of per-operator
+    /// Little's-law estimates along the (worst-case) pipeline.
+    pub fn latency_estimate_secs(&self) -> f64 {
+        self.operators.iter().map(|o| o.latency_estimate_secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str, bp: bool, cap: f64) -> OperatorMetrics {
+        OperatorMetrics {
+            name: name.into(),
+            tasks: 1,
+            input_rate: 10.0,
+            input_rates: vec![10.0],
+            output_rate: 9.0,
+            offered_load: 10.0,
+            cpu_util: 0.9,
+            capacity_sample: cap,
+            buffer_tuples: 5.0,
+            latency_estimate_secs: 5.0 / 9.0,
+            backpressure: bp,
+        }
+    }
+
+    fn slot() -> SlotMetrics {
+        SlotMetrics {
+            t: 3,
+            sim_time_secs: 1800.0,
+            throughput: 9.0,
+            processed_tuples: 5400.0,
+            dropped_tuples: 0.0,
+            cost_dollars: 0.02,
+            pods: 2,
+            source_rates: vec![10.0],
+            reconfigured: false,
+            pause_secs: 0.0,
+            operators: vec![op("a", true, 10.0), op("b", false, 20.0)],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = slot();
+        assert_eq!(s.capacity_samples(), vec![10.0, 20.0]);
+        assert_eq!(s.offered_loads(), vec![10.0, 10.0]);
+        assert_eq!(s.backpressured(), vec![0]);
+        assert_eq!(s.total_buffered(), 10.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = slot();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: SlotMetrics = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

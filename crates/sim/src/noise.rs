@@ -1,0 +1,306 @@
+//! Cloud noise: the "dynamic cloud noises" of Section 1.
+//!
+//! Public clouds overcommit and imperfectly isolate tenants, so the same
+//! configuration yields varying effective capacity, and metric observations
+//! (CPU utilization) are themselves noisy. The paper's GP observation model
+//! is `c_i(t) = y_i(t) + ε`, `ε ~ N(0, σ²)` (Section 4.2.2); this module
+//! generates exactly that, plus two heavier mechanisms used in robustness
+//! ablations: multiplicative capacity jitter and utilization-dependent
+//! overcommit degradation (Google Cloud's ≥ 90 % server-utilization policy,
+//! the paper's reference \[6\]).
+
+use serde::{Deserialize, Serialize};
+
+/// A small, fast, seedable RNG (xoshiro256**-style) with a Gaussian sampler.
+///
+/// We deliberately avoid `rand_distr`: the simulator needs only uniform and
+/// normal variates, and a self-contained generator keeps experiment runs
+/// bit-reproducible across dependency upgrades.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Box–Muller variate.
+    spare: Option<f64>,
+}
+
+impl Rng {
+    /// Seed with splitmix64 expansion (any seed is fine, including 0).
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+            spare: None,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.uniform() * n as f64) as usize % n.max(1)
+    }
+
+    /// Standard normal via Box–Muller (with spare caching).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // u1 in (0,1] to keep ln finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.gaussian()
+    }
+}
+
+/// Utilization-dependent capacity degradation modeling overcommitted
+/// servers: when the cluster-wide pod utilization exceeds `threshold`,
+/// effective capacities shrink linearly down to `floor` at 100 %.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OvercommitModel {
+    /// Cluster utilization above which degradation starts (e.g. 0.9).
+    pub threshold: f64,
+    /// Capacity multiplier at 100 % cluster utilization (e.g. 0.7).
+    pub floor: f64,
+}
+
+impl OvercommitModel {
+    /// Capacity multiplier for a given cluster-wide utilization in `[0,1]`.
+    pub fn multiplier(&self, cluster_util: f64) -> f64 {
+        if cluster_util <= self.threshold {
+            1.0
+        } else {
+            let frac = ((cluster_util - self.threshold) / (1.0 - self.threshold)).clamp(0.0, 1.0);
+            1.0 - frac * (1.0 - self.floor)
+        }
+    }
+}
+
+/// Transient pod failures: each slot, each operator independently loses a
+/// fraction of its capacity with some probability — a pod crash/evict that
+/// Kubernetes replaces within the slot. The controller is *not* told;
+/// failures surface only through degraded metrics, exactly like the
+/// "unexpected changes" of Section 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Probability an operator suffers a failure in a given slot.
+    pub prob_per_slot: f64,
+    /// Fraction of the operator's capacity lost while failed (e.g. 0.5 =
+    /// half its pods are restarting).
+    pub capacity_loss: f64,
+}
+
+impl FailureModel {
+    /// Sample this slot's capacity multiplier for one operator.
+    pub fn sample_multiplier(&self, rng: &mut Rng) -> f64 {
+        if rng.uniform() < self.prob_per_slot {
+            (1.0 - self.capacity_loss).max(0.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// All noise knobs of the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Std-dev of the *multiplicative* per-slot capacity jitter
+    /// (0 disables). Effective capacity = true × max(0.05, 1 + N(0, σ)).
+    pub capacity_jitter_std: f64,
+    /// Std-dev of the *relative* CPU-utilization observation noise — this
+    /// is what makes the Eq. 8 capacity sample `c_i` a noisy estimate of
+    /// `y_i`.
+    pub cpu_observation_std: f64,
+    /// Optional overcommit degradation.
+    pub overcommit: Option<OvercommitModel>,
+    /// Optional transient pod failures.
+    pub failures: Option<FailureModel>,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            capacity_jitter_std: 0.03,
+            cpu_observation_std: 0.05,
+            overcommit: None,
+            failures: None,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A noise-free configuration (useful for oracle computations & tests).
+    pub fn none() -> NoiseConfig {
+        NoiseConfig {
+            capacity_jitter_std: 0.0,
+            cpu_observation_std: 0.0,
+            overcommit: None,
+            failures: None,
+        }
+    }
+
+    /// Sample the capacity multiplier for one slot.
+    pub fn capacity_multiplier(&self, rng: &mut Rng, cluster_util: f64) -> f64 {
+        let jitter = if self.capacity_jitter_std > 0.0 {
+            (1.0 + rng.normal(0.0, self.capacity_jitter_std)).max(0.05)
+        } else {
+            1.0
+        };
+        let oc = self.overcommit.map_or(1.0, |m| m.multiplier(cluster_util));
+        jitter * oc
+    }
+
+    /// Perturb a true CPU utilization into an observed one, clamped to
+    /// `(0.01, 1.0]` (a Metrics-Server reading is always positive and a
+    /// single pod cannot report > 100 %).
+    pub fn observe_cpu(&self, rng: &mut Rng, true_util: f64) -> f64 {
+        if self.cpu_observation_std == 0.0 {
+            return true_util.clamp(0.01, 1.0);
+        }
+        (true_util * (1.0 + rng.normal(0.0, self.cpu_observation_std))).clamp(0.01, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let u = r.uniform_in(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = Rng::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::new(1234);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales() {
+        let mut r = Rng::new(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn overcommit_multiplier_shape() {
+        let m = OvercommitModel {
+            threshold: 0.9,
+            floor: 0.7,
+        };
+        assert_eq!(m.multiplier(0.5), 1.0);
+        assert_eq!(m.multiplier(0.9), 1.0);
+        assert!((m.multiplier(1.0) - 0.7).abs() < 1e-12);
+        let mid = m.multiplier(0.95);
+        assert!(mid < 1.0 && mid > 0.7);
+    }
+
+    #[test]
+    fn noise_free_config_is_identity() {
+        let cfg = NoiseConfig::none();
+        let mut r = Rng::new(0);
+        assert_eq!(cfg.capacity_multiplier(&mut r, 0.99), 1.0);
+        assert_eq!(cfg.observe_cpu(&mut r, 0.5), 0.5);
+    }
+
+    #[test]
+    fn cpu_observation_clamped() {
+        let cfg = NoiseConfig {
+            cpu_observation_std: 10.0,
+            ..Default::default()
+        };
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let u = cfg.observe_cpu(&mut r, 0.5);
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn capacity_multiplier_positive() {
+        let cfg = NoiseConfig {
+            capacity_jitter_std: 1.0,
+            ..Default::default()
+        };
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            assert!(cfg.capacity_multiplier(&mut r, 0.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Time-varying arrival processes.
+//!
+//! Section 6.4 scales WordCount's input "up/down … without notifying
+//! systems every 200 minutes" (a square wave over 10-minute slots);
+//! Section 6.5 scales the Yahoo input up once at 300 minutes (a step).
+//! These plus sine, spike and recorded-trace processes cover the
+//! gradual-drift and unexpected-shock scenarios of Section 1.
+
+use dragster_sim::ArrivalProcess;
+
+/// Multiply a base rate vector by a scalar time profile.
+#[derive(Clone, Debug)]
+pub struct ScaledArrival<P> {
+    pub base: Vec<f64>,
+    pub profile: P,
+}
+
+impl<P: FnMut(usize) -> f64> ArrivalProcess for ScaledArrival<P> {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        let s = (self.profile)(t);
+        self.base.iter().map(|r| r * s).collect()
+    }
+}
+
+/// Alternates between `high` and `low` every `half_period_slots` slots,
+/// starting high — the Figure-6 workload (200 min = 20 slots per phase).
+#[derive(Clone, Debug)]
+pub struct SquareWave {
+    pub high: Vec<f64>,
+    pub low: Vec<f64>,
+    pub half_period_slots: usize,
+}
+
+impl ArrivalProcess for SquareWave {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        if (t / self.half_period_slots).is_multiple_of(2) {
+            self.high.clone()
+        } else {
+            self.low.clone()
+        }
+    }
+}
+
+/// `before` until slot `at` (exclusive), `after` from then on — the
+/// Figure-7 workload (rate step at 300 min = slot 30).
+#[derive(Clone, Debug)]
+pub struct StepAt {
+    pub at: usize,
+    pub before: Vec<f64>,
+    pub after: Vec<f64>,
+}
+
+impl ArrivalProcess for StepAt {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        if t < self.at {
+            self.before.clone()
+        } else {
+            self.after.clone()
+        }
+    }
+}
+
+/// Sinusoidal drift around a mean: gradual diurnal-style variation.
+#[derive(Clone, Debug)]
+pub struct SineWave {
+    pub mean: Vec<f64>,
+    /// Relative amplitude in `[0, 1)`.
+    pub amplitude: f64,
+    pub period_slots: usize,
+}
+
+impl ArrivalProcess for SineWave {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        let phase = 2.0 * std::f64::consts::PI * (t as f64) / self.period_slots as f64;
+        let s = 1.0 + self.amplitude * phase.sin();
+        self.mean.iter().map(|r| r * s).collect()
+    }
+}
+
+/// Baseline rate with multiplicative spikes every `every_slots` slots,
+/// lasting one slot — unexpected shocks.
+#[derive(Clone, Debug)]
+pub struct SpikeTrain {
+    pub base: Vec<f64>,
+    pub spike_factor: f64,
+    pub every_slots: usize,
+}
+
+impl ArrivalProcess for SpikeTrain {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        let f = if t > 0 && t.is_multiple_of(self.every_slots) {
+            self.spike_factor
+        } else {
+            1.0
+        };
+        self.base.iter().map(|r| r * f).collect()
+    }
+}
+
+/// A realistic production-style arrival process: a diurnal sine base,
+/// multiplicative log-normal-ish slot noise, and occasional bursts —
+/// the "gradual drifts/unexpected changes" combination of Section 1 in
+/// one generator. Deterministic per seed.
+#[derive(Clone, Debug)]
+pub struct DiurnalBursty {
+    pub mean: Vec<f64>,
+    /// Diurnal amplitude in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+    /// Slots per simulated day.
+    pub day_slots: usize,
+    /// Relative std-dev of per-slot noise (e.g. 0.05).
+    pub noise_std: f64,
+    /// Probability a slot is a burst.
+    pub burst_prob: f64,
+    /// Burst multiplier (e.g. 2.0).
+    pub burst_factor: f64,
+    rng: dragster_sim::Rng,
+}
+
+impl DiurnalBursty {
+    pub fn new(mean: Vec<f64>, seed: u64) -> DiurnalBursty {
+        DiurnalBursty {
+            mean,
+            diurnal_amplitude: 0.3,
+            day_slots: 144, // 24 h of 10-minute slots
+            noise_std: 0.05,
+            burst_prob: 0.03,
+            burst_factor: 2.0,
+            rng: dragster_sim::Rng::new(seed),
+        }
+    }
+}
+
+impl ArrivalProcess for DiurnalBursty {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        let phase = 2.0 * std::f64::consts::PI * (t as f64) / self.day_slots as f64;
+        let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
+        let noise = (1.0 + self.rng.normal(0.0, self.noise_std)).max(0.05);
+        let burst = if self.rng.uniform() < self.burst_prob {
+            self.burst_factor
+        } else {
+            1.0
+        };
+        self.mean
+            .iter()
+            .map(|r| r * diurnal * noise * burst)
+            .collect()
+    }
+}
+
+/// Replays a recorded per-slot rate trace; clamps to the last entry
+/// afterwards.
+#[derive(Clone, Debug)]
+pub struct TraceArrival(pub Vec<Vec<f64>>);
+
+impl ArrivalProcess for TraceArrival {
+    fn rates(&mut self, t: usize) -> Vec<f64> {
+        let idx = t.min(self.0.len().saturating_sub(1));
+        self.0[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_wave_flips_every_half_period() {
+        let mut w = SquareWave {
+            high: vec![100.0],
+            low: vec![30.0],
+            half_period_slots: 20,
+        };
+        assert_eq!(w.rates(0), vec![100.0]);
+        assert_eq!(w.rates(19), vec![100.0]);
+        assert_eq!(w.rates(20), vec![30.0]);
+        assert_eq!(w.rates(39), vec![30.0]);
+        assert_eq!(w.rates(40), vec![100.0]);
+    }
+
+    #[test]
+    fn step_switches_once() {
+        let mut s = StepAt {
+            at: 30,
+            before: vec![1.0],
+            after: vec![2.0],
+        };
+        assert_eq!(s.rates(29), vec![1.0]);
+        assert_eq!(s.rates(30), vec![2.0]);
+        assert_eq!(s.rates(99), vec![2.0]);
+    }
+
+    #[test]
+    fn sine_oscillates_within_amplitude() {
+        let mut s = SineWave {
+            mean: vec![100.0],
+            amplitude: 0.3,
+            period_slots: 24,
+        };
+        let vals: Vec<f64> = (0..48).map(|t| s.rates(t)[0]).collect();
+        let max = vals.iter().copied().fold(f64::MIN, f64::max);
+        let min = vals.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max <= 130.0 + 1e-9 && max > 125.0);
+        assert!((70.0 - 1e-9..75.0).contains(&min));
+    }
+
+    #[test]
+    fn spikes_fire_on_schedule() {
+        let mut s = SpikeTrain {
+            base: vec![10.0],
+            spike_factor: 5.0,
+            every_slots: 7,
+        };
+        assert_eq!(s.rates(0), vec![10.0]);
+        assert_eq!(s.rates(7), vec![50.0]);
+        assert_eq!(s.rates(8), vec![10.0]);
+        assert_eq!(s.rates(14), vec![50.0]);
+    }
+
+    #[test]
+    fn trace_replays_and_clamps() {
+        let mut tr = TraceArrival(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        assert_eq!(tr.rates(0), vec![1.0]);
+        assert_eq!(tr.rates(2), vec![3.0]);
+        assert_eq!(tr.rates(10), vec![3.0]);
+    }
+
+    #[test]
+    fn diurnal_bursty_is_positive_and_seed_deterministic() {
+        let mut a = DiurnalBursty::new(vec![100.0], 9);
+        let mut b = DiurnalBursty::new(vec![100.0], 9);
+        let mut saw_burst = false;
+        for t in 0..300 {
+            let ra = a.rates(t);
+            let rb = b.rates(t);
+            assert_eq!(ra, rb, "seeded determinism");
+            assert!(ra[0] > 0.0);
+            if ra[0] > 180.0 {
+                saw_burst = true;
+            }
+        }
+        assert!(saw_burst, "300 slots at 3 % burst prob should burst");
+    }
+
+    #[test]
+    fn diurnal_cycle_shape() {
+        // with noise and bursts off, the cycle is a clean sine
+        let mut a = DiurnalBursty::new(vec![100.0], 1);
+        a.noise_std = 0.0;
+        a.burst_prob = 0.0;
+        let peak = a.rates(36)[0]; // quarter-day: sin = 1
+        let trough = a.rates(108)[0]; // three-quarter day: sin = −1
+        assert!((peak - 130.0).abs() < 1e-9);
+        assert!((trough - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_arrival_applies_profile() {
+        let mut a = ScaledArrival {
+            base: vec![10.0, 20.0],
+            profile: |t: usize| t as f64,
+        };
+        assert_eq!(a.rates(2), vec![20.0, 40.0]);
+    }
+}

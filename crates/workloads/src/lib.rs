@@ -1,0 +1,126 @@
+//! Workload models: the 11 applications of the paper's evaluation
+//! (Section 6.1) and the time-varying arrival processes of Sections
+//! 6.4–6.5.
+//!
+//! * [`nexmark`] — the five Nexmark-derived applications (AsyncIO, Join,
+//!   Window, Group, WordCount), each under a high and a low source rate
+//!   (5 × 2 = 10 workloads).
+//! * [`yahoo`] — the Yahoo streaming benchmark: the 6-operator
+//!   advertisement-analytics DAG of Figure 3 (the 11th workload).
+//! * [`arrival`] — square-wave (Fig. 6's every-200-minutes load flip),
+//!   step (Fig. 7's one-time increase), sine, spike, and recorded-trace
+//!   arrival processes.
+//!
+//! Each workload couples a validated topology with ground-truth capacity
+//! models whose *shapes* mirror the real operators: near-linear with
+//! coordination contention for CPU-bound operators, saturating for
+//! external-service-bound ones (Redis join / AsyncIO), so the capacity
+//! functions are "non-linear and multi-modal" as Section 1 stresses.
+//! Absolute rates are calibrated so WordCount converges around
+//! 1.5×10⁵ tuples/s, matching the scale implied by Table 2
+//! (1.81×10⁹ tuples per 200 min).
+
+pub mod arrival;
+pub mod nexmark;
+pub mod yahoo;
+
+pub use arrival::{
+    DiurnalBursty, ScaledArrival, SineWave, SpikeTrain, SquareWave, StepAt, TraceArrival,
+};
+pub use nexmark::{async_io, category_avg, fraud_detect, group, join, window, word_count};
+pub use yahoo::yahoo_benchmark;
+
+use dragster_sim::Application;
+
+/// A named benchmark application with its two evaluation rates.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Display name ("WordCount", "Yahoo", …).
+    pub name: String,
+    /// The application (topology + ground-truth capacity models).
+    pub app: Application,
+    /// The high source-rate vector (one entry per source).
+    pub high_rate: Vec<f64>,
+    /// The low source-rate vector.
+    pub low_rate: Vec<f64>,
+}
+
+impl Workload {
+    /// Number of operators.
+    pub fn n_operators(&self) -> usize {
+        self.app.n_operators()
+    }
+}
+
+/// The full 11-workload suite of Figure 5: five Nexmark applications under
+/// two rates each, plus the Yahoo streaming benchmark (high rate).
+/// Returns `(workload, rate-vector, label)` triples ordered by operator
+/// count, as Figure 5 sorts them.
+pub fn figure5_suite() -> Vec<(Workload, Vec<f64>, String)> {
+    let mut out = Vec::new();
+    for w in [group(), async_io(), join(), window(), word_count()] {
+        let hi = w.high_rate.clone();
+        let lo = w.low_rate.clone();
+        out.push((w.clone(), lo, format!("{}-low", w.name)));
+        out.push((w, hi.clone(), String::new()));
+        let last = out.len() - 1;
+        out[last].2 = format!("{}-high", out[last].0.name);
+    }
+    let y = yahoo_benchmark();
+    let hi = y.high_rate.clone();
+    out.push((y, hi, "Yahoo".into()));
+    out.sort_by_key(|(w, _, _)| w.n_operators());
+    out
+}
+
+/// The paper's 11 workloads plus the two extended applications
+/// (CategoryAvg, FraudDetect) under their high rates — used by the
+/// extended-baselines comparison.
+pub fn extended_suite() -> Vec<(Workload, Vec<f64>, String)> {
+    let mut out = figure5_suite();
+    for w in [category_avg(), fraud_detect()] {
+        let hi = w.high_rate.clone();
+        let label = format!("{}-high", w.name);
+        out.push((w, hi, label));
+    }
+    out.sort_by_key(|(w, _, _)| w.n_operators());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eleven_workloads() {
+        let suite = figure5_suite();
+        assert_eq!(suite.len(), 11);
+        // sorted by operator count
+        for pair in suite.windows(2) {
+            assert!(pair[0].0.n_operators() <= pair[1].0.n_operators());
+        }
+        // labels unique
+        let labels: std::collections::HashSet<_> =
+            suite.iter().map(|(_, _, l)| l.clone()).collect();
+        assert_eq!(labels.len(), 11);
+    }
+
+    #[test]
+    fn extended_suite_adds_two() {
+        assert_eq!(extended_suite().len(), 13);
+        assert_eq!(category_avg().n_operators(), 2);
+        assert_eq!(fraud_detect().n_operators(), 3);
+    }
+
+    #[test]
+    fn operator_counts_match_paper() {
+        // "Group, AsyncIO, and Join have one operator, while Window and
+        // WordCount have two" and Yahoo has six (Section 6.3/6.5).
+        assert_eq!(group().n_operators(), 1);
+        assert_eq!(async_io().n_operators(), 1);
+        assert_eq!(join().n_operators(), 1);
+        assert_eq!(window().n_operators(), 2);
+        assert_eq!(word_count().n_operators(), 2);
+        assert_eq!(yahoo_benchmark().n_operators(), 6);
+    }
+}

@@ -1,0 +1,422 @@
+//! The five Nexmark-derived applications of Section 6.1.
+//!
+//! Nexmark [Tucker et al.] models an online-auction stream (persons, bids,
+//! auctions). The paper picks "AsyncIO, Join, Window, Group, and
+//! WordCount"; per Section 6.3, Group/AsyncIO/Join have one operator and
+//! Window/WordCount have two. Rates are tuples/second; capacity models are
+//! per-task tuples/second with realistic contention/saturation.
+
+use crate::Workload;
+use dragster_dag::{ThroughputFn, TopologyBuilder};
+use dragster_sim::{Application, CapacityModel};
+
+/// WordCount: `source → map (split) → shuffle (count) → sink`.
+/// The Figure-4/6 workhorse: a two-operator chain where the downstream
+/// shuffle is slower per task, so the optimal allocation is asymmetric.
+pub fn word_count() -> Workload {
+    let topo = TopologyBuilder::new()
+        .source("lines")
+        .operator("Map")
+        .operator("Shuffle")
+        .sink("counts")
+        .edge("lines", "Map")
+        .edge_with(
+            "Map",
+            "Shuffle",
+            ThroughputFn::Linear { weights: vec![1.0] },
+            1.0,
+        )
+        .edge("Shuffle", "counts")
+        .build()
+        .expect("static topology");
+    let app = Application::new(
+        topo,
+        vec![
+            // Map splits lines into words — CPU-bound, mild contention.
+            CapacityModel::Contended {
+                per_task: 3.5e4,
+                contention: 0.04,
+            },
+            // Shuffle/count — keyed state access, heavier contention.
+            CapacityModel::Contended {
+                per_task: 2.5e4,
+                contention: 0.06,
+            },
+        ],
+    )
+    .expect("valid models");
+    Workload {
+        name: "WordCount".into(),
+        app,
+        high_rate: vec![1.5e5],
+        low_rate: vec![5.0e4],
+    }
+}
+
+/// Window: `source → window-assign → aggregate → sink`. The aggregate
+/// emits one result per window pane (selectivity 0.2).
+pub fn window() -> Workload {
+    let topo = TopologyBuilder::new()
+        .source("events")
+        .operator("WindowAssign")
+        .operator("Aggregate")
+        .sink("results")
+        .edge("events", "WindowAssign")
+        .edge_with(
+            "WindowAssign",
+            "Aggregate",
+            ThroughputFn::Linear { weights: vec![1.0] },
+            1.0,
+        )
+        .edge("Aggregate", "results")
+        .build()
+        .expect("static topology");
+    let app = Application::new(
+        topo,
+        vec![
+            CapacityModel::Contended {
+                per_task: 4.0e4,
+                contention: 0.03,
+            },
+            CapacityModel::Contended {
+                per_task: 2.0e4,
+                contention: 0.05,
+            },
+        ],
+    )
+    .expect("valid models");
+    Workload {
+        name: "Window".into(),
+        app,
+        high_rate: vec![1.2e5],
+        low_rate: vec![4.0e4],
+    }
+}
+
+/// Group: `source → group-by → sink`. A single keyed aggregation operator.
+pub fn group() -> Workload {
+    let topo = TopologyBuilder::new()
+        .source("bids")
+        .operator("GroupBy")
+        .sink("out")
+        .edge("bids", "GroupBy")
+        .edge("GroupBy", "out")
+        .build()
+        .expect("static topology");
+    let app = Application::new(
+        topo,
+        vec![CapacityModel::Contended {
+            per_task: 3.0e4,
+            contention: 0.05,
+        }],
+    )
+    .expect("valid models");
+    Workload {
+        name: "Group".into(),
+        app,
+        high_rate: vec![1.8e5],
+        low_rate: vec![6.0e4],
+    }
+}
+
+/// AsyncIO: `source → async-enrich → sink`. The operator calls an external
+/// service, so aggregate capacity *saturates* — the canonical non-linear
+/// capacity function Dragster's GP has to learn and DS2's linear model
+/// gets wrong.
+pub fn async_io() -> Workload {
+    let topo = TopologyBuilder::new()
+        .source("requests")
+        .operator("AsyncEnrich")
+        .sink("out")
+        .edge("requests", "AsyncEnrich")
+        .edge("AsyncEnrich", "out")
+        .build()
+        .expect("static topology");
+    let app = Application::new(
+        topo,
+        // saturates toward 2.4e5 with half-saturation at 3 tasks
+        vec![CapacityModel::Saturating {
+            max: 2.4e5,
+            half: 3.0,
+        }],
+    )
+    .expect("valid models");
+    Workload {
+        name: "AsyncIO".into(),
+        app,
+        high_rate: vec![1.5e5],
+        low_rate: vec![5.0e4],
+    }
+}
+
+/// Join: `bids + auctions → join → sink`. Two sources; output tracks the
+/// slower (weighted) input (Eq. 2b's `min(k⃗ ∘ ē)` form).
+pub fn join() -> Workload {
+    let topo = TopologyBuilder::new()
+        .source("bids")
+        .source("auctions")
+        .operator("Join")
+        .sink("out")
+        .edge("bids", "Join")
+        .edge("auctions", "Join")
+        .edge_with(
+            "Join",
+            "out",
+            ThroughputFn::WeightedMin {
+                weights: vec![1.0, 4.0],
+            },
+            1.0,
+        )
+        .build()
+        .expect("static topology");
+    let app = Application::new(
+        topo,
+        vec![CapacityModel::Contended {
+            per_task: 2.8e4,
+            contention: 0.05,
+        }],
+    )
+    .expect("valid models");
+    Workload {
+        name: "Join".into(),
+        app,
+        high_rate: vec![1.6e5, 4.0e4],
+        low_rate: vec![6.0e4, 1.5e4],
+    }
+}
+
+/// Nexmark Q4-style "average price per category": bids join auctions,
+/// then a keyed aggregation — a two-operator, two-source application used
+/// by the extended suite (not part of the paper's 11).
+pub fn category_avg() -> Workload {
+    let topo = TopologyBuilder::new()
+        .source("bids")
+        .source("auctions")
+        .operator("JoinCat")
+        .operator("AvgPrice")
+        .sink("out")
+        .edge("bids", "JoinCat")
+        .edge("auctions", "JoinCat")
+        .edge_with(
+            "JoinCat",
+            "AvgPrice",
+            ThroughputFn::WeightedMin {
+                weights: vec![1.0, 6.0],
+            },
+            1.0,
+        )
+        .edge_with(
+            "AvgPrice",
+            "out",
+            ThroughputFn::Linear { weights: vec![0.1] },
+            1.0,
+        )
+        .build()
+        .expect("static topology");
+    let app = Application::new(
+        topo,
+        vec![
+            CapacityModel::Contended {
+                per_task: 2.6e4,
+                contention: 0.05,
+            },
+            CapacityModel::Contended {
+                per_task: 3.2e4,
+                contention: 0.04,
+            },
+        ],
+    )
+    .expect("valid models");
+    Workload {
+        name: "CategoryAvg".into(),
+        app,
+        high_rate: vec![1.4e5, 2.5e4],
+        low_rate: vec![5.0e4, 9.0e3],
+    }
+}
+
+/// A three-operator fraud-detection chain (parse → score → alert-filter):
+/// the scoring stage calls an external model server and saturates. Used by
+/// the extended suite.
+pub fn fraud_detect() -> Workload {
+    let topo = TopologyBuilder::new()
+        .source("transactions")
+        .operator("Parse")
+        .operator("Score")
+        .operator("AlertFilter")
+        .sink("alerts")
+        .edge("transactions", "Parse")
+        .edge_with(
+            "Parse",
+            "Score",
+            ThroughputFn::Linear { weights: vec![1.0] },
+            1.0,
+        )
+        .edge_with(
+            "Score",
+            "AlertFilter",
+            ThroughputFn::Linear { weights: vec![1.0] },
+            1.0,
+        )
+        .edge_with(
+            "AlertFilter",
+            "alerts",
+            ThroughputFn::Linear {
+                weights: vec![0.02],
+            },
+            1.0,
+        )
+        .build()
+        .expect("static topology");
+    let app = Application::new(
+        topo,
+        vec![
+            CapacityModel::Contended {
+                per_task: 5.0e4,
+                contention: 0.02,
+            },
+            CapacityModel::Saturating {
+                max: 2.0e5,
+                half: 3.5,
+            },
+            CapacityModel::Contended {
+                per_task: 8.0e4,
+                contention: 0.02,
+            },
+        ],
+    )
+    .expect("valid models");
+    Workload {
+        name: "FraudDetect".into(),
+        app,
+        high_rate: vec![1.3e5],
+        low_rate: vec![4.0e4],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_core::oracle::greedy_optimal;
+    use dragster_dag::analysis::check_assumptions;
+
+    #[test]
+    fn all_workloads_build_and_validate() {
+        for w in [
+            word_count(),
+            window(),
+            group(),
+            async_io(),
+            join(),
+            category_avg(),
+            fraud_detect(),
+        ] {
+            assert!(w.n_operators() >= 1);
+            assert_eq!(w.high_rate.len(), w.app.topology.n_sources());
+            assert_eq!(w.low_rate.len(), w.app.topology.n_sources());
+            for (h, l) in w.high_rate.iter().zip(w.low_rate.iter()) {
+                assert!(h > l, "{}: high ≤ low", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn concavity_and_monotonicity_hold() {
+        for w in [
+            word_count(),
+            window(),
+            group(),
+            async_io(),
+            join(),
+            category_avg(),
+            fraud_detect(),
+        ] {
+            let rep = check_assumptions(&w.app.topology, &w.high_rate, 3.0e5, 100);
+            assert!(rep.holds(1e-6), "{}: {rep:?}", w.name);
+        }
+    }
+
+    #[test]
+    fn high_rate_is_servable_within_grid() {
+        // every workload's high rate must be reachable by some config
+        // (Slater's condition / Assumption 1).
+        for w in [
+            word_count(),
+            window(),
+            group(),
+            async_io(),
+            join(),
+            category_avg(),
+            fraud_detect(),
+        ] {
+            let (_, f) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+            let offered = dragster_dag::throughput(
+                &w.app.topology,
+                &w.high_rate,
+                &vec![f64::INFINITY; w.n_operators()],
+            );
+            assert!(
+                f >= 0.95 * offered,
+                "{}: best {f} cannot serve offered {offered}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn low_rate_needs_fewer_pods() {
+        for w in [word_count(), window(), group(), async_io(), join()] {
+            let (d_hi, _) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+            let (d_lo, _) = greedy_optimal(&w.app, &w.low_rate, 10, None);
+            assert!(
+                d_lo.total_pods() < d_hi.total_pods(),
+                "{}: lo {d_lo} !< hi {d_hi}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn join_output_tracks_scarce_side() {
+        let w = join();
+        let f = dragster_dag::throughput(&w.app.topology, &[1.6e5, 1.0e3], &[1e9]);
+        // auctions side weighted 4×: output = min(1.6e5, 4e3) = 4e3
+        assert!((f - 4.0e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn async_io_capacity_saturates() {
+        let w = async_io();
+        let c9 = w.app.capacity_models[0].capacity(9);
+        let c10 = w.app.capacity_models[0].capacity(10);
+        let c1 = w.app.capacity_models[0].capacity(1);
+        let c2 = w.app.capacity_models[0].capacity(2);
+        assert!(c10 - c9 < (c2 - c1) * 0.3, "not saturating");
+    }
+
+    #[test]
+    fn fraud_detect_score_stage_saturates() {
+        let w = fraud_detect();
+        let c = &w.app.capacity_models[1];
+        assert!(c.capacity(10) - c.capacity(9) < (c.capacity(2) - c.capacity(1)) * 0.4);
+    }
+
+    #[test]
+    fn category_avg_compresses_heavily() {
+        // join output = min(bids, 6×auctions) = min(1.4e5, 1.5e5), then
+        // the 10 % aggregation
+        let w = category_avg();
+        let f = dragster_dag::throughput(&w.app.topology, &w.high_rate, &[1e9, 1e9]);
+        assert!((f - 1.4e5 * 0.1).abs() < 1.0, "{f}");
+    }
+
+    #[test]
+    fn wordcount_optimum_is_asymmetric() {
+        let w = word_count();
+        let (d, _) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+        assert!(
+            d.tasks[1] > d.tasks[0],
+            "Shuffle should need more tasks than Map: {d}"
+        );
+    }
+}

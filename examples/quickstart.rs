@@ -1,0 +1,86 @@
+//! Quickstart: autoscale a two-operator WordCount pipeline with Dragster
+//! and watch it converge to the optimal configuration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dragster::core::{greedy_optimal, Dragster, DragsterConfig};
+use dragster::dag::TopologyBuilder;
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{
+    run_experiment, Application, CapacityModel, ClusterConfig, ConstantArrival, Deployment,
+    FluidSim, NoiseConfig,
+};
+
+fn main() {
+    // 1. Describe the application DAG: source → map → shuffle → sink.
+    //    Edges carry throughput functions h_{i,j}; the defaults forward
+    //    everything (identity-linear).
+    let topology = TopologyBuilder::new()
+        .source("lines")
+        .operator("map")
+        .operator("shuffle")
+        .sink("counts")
+        .edge("lines", "map")
+        .edge("map", "shuffle")
+        .edge("shuffle", "counts")
+        .build()
+        .expect("valid topology");
+
+    // 2. Ground truth the *simulator* knows but the controller must learn:
+    //    how service capacity scales with the number of parallel tasks.
+    let app = Application::new(
+        topology.clone(),
+        vec![
+            CapacityModel::Contended {
+                per_task: 30_000.0,
+                contention: 0.04,
+            },
+            CapacityModel::Contended {
+                per_task: 20_000.0,
+                contention: 0.06,
+            },
+        ],
+    )
+    .expect("valid capacity models");
+
+    // 3. A simulated Flink-on-Kubernetes cluster, starting from one task
+    //    per operator.
+    let mut sim = FluidSim::new(
+        app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        7,
+        Deployment::uniform(2, 1),
+    );
+
+    // 4. The Dragster controller (online saddle point + extended GP-UCB).
+    let mut dragster = Dragster::new(topology, DragsterConfig::saddle_point());
+
+    // 5. Run 15 ten-minute decision slots at 100k tuples/s offered load.
+    let offered = vec![100_000.0];
+    let mut arrival = ConstantArrival(offered.clone());
+    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, 15);
+
+    // 6. Compare against the clairvoyant optimum.
+    let (opt_deploy, opt_throughput) = greedy_optimal(&app, &offered, 10, None);
+    println!("oracle optimum: {opt_deploy} @ {opt_throughput:.0} tuples/s\n");
+    println!("slot | deployment | throughput | of optimal");
+    for (t, slot) in trace.slots.iter().enumerate() {
+        println!(
+            "{:>4} | {:>10} | {:>9.0}/s | {:>5.1} %",
+            t,
+            format!("{}", trace.deployments[t]),
+            slot.throughput,
+            trace.ideal_throughput[t] / opt_throughput * 100.0
+        );
+    }
+    println!(
+        "\nprocessed {:.2}e9 tuples for ${:.2} (${:.2} per billion)",
+        trace.total_processed() / 1e9,
+        trace.total_cost(),
+        trace.cost_per_billion_tuples()
+    );
+}

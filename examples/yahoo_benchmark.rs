@@ -1,0 +1,80 @@
+//! The Yahoo streaming benchmark (Section 6.5): six operators, a million
+//! joint configurations, an input-rate step mid-run. Prints the topology
+//! in Graphviz DOT, runs Dragster, and reports where the controller
+//! believes each operator's capacity curve lies versus the ground truth.
+//!
+//! ```text
+//! cargo run --release --example yahoo_benchmark
+//! ```
+
+use dragster::core::{greedy_optimal, Dragster, DragsterConfig};
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{run_experiment, ClusterConfig, Deployment, FluidSim, NoiseConfig};
+use dragster::workloads::{yahoo_benchmark, StepAt};
+
+fn main() {
+    let w = yahoo_benchmark();
+
+    println!(
+        "--- topology (Graphviz DOT) ---\n{}",
+        w.app.topology.to_dot()
+    );
+
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        42,
+        Deployment::uniform(6, 1),
+    );
+    let mut dragster = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let before: Vec<f64> = w.high_rate.iter().map(|r| r * 0.75).collect();
+    let mut arrival = StepAt {
+        at: 30,
+        before: before.clone(),
+        after: w.high_rate.clone(),
+    };
+    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, 60);
+
+    let (opt_lo, f_lo) = greedy_optimal(&w.app, &before, 10, None);
+    let (opt_hi, f_hi) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    println!("oracle: {opt_lo} @ {f_lo:.0}/s before the step, {opt_hi} @ {f_hi:.0}/s after\n");
+
+    for checkpoint in [5usize, 29, 35, 59] {
+        println!(
+            "slot {:>2}: deployment {} — {:.0} tuples/s ({:.0} % of optimal)",
+            checkpoint,
+            trace.deployments[checkpoint],
+            trace.slots[checkpoint].throughput,
+            trace.ideal_throughput[checkpoint] / if checkpoint < 30 { f_lo } else { f_hi } * 100.0
+        );
+    }
+
+    // What did the GP level learn? Compare posterior capacity estimates to
+    // the simulator's ground truth at a few task counts.
+    println!("\nlearned capacity curves (GP mean vs ground truth, tuples/s):");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14}",
+        "operator", "2 tasks", "5 tasks", "10 tasks"
+    );
+    for (i, gp) in dragster.operator_gps().iter().enumerate() {
+        let name = w.app.topology.operator_name(i);
+        let fmt = |tasks: usize| {
+            format!(
+                "{:>6.0}/{:<6.0}",
+                gp.capacity_estimate(tasks),
+                w.app.capacity_models[i].capacity(tasks)
+            )
+        };
+        println!("{name:<16} {:>14} {:>14} {:>14}", fmt(2), fmt(5), fmt(10));
+    }
+    println!(
+        "\n({} capacity observations total; exploration is concentrated where it matters)",
+        dragster
+            .operator_gps()
+            .iter()
+            .map(|g| g.len())
+            .sum::<usize>()
+    );
+}

@@ -1,0 +1,76 @@
+//! `dragster-cli` — run a declarative autoscaling experiment from a JSON
+//! spec (see `specs/wordcount.json` and [`dragster::spec`]).
+//!
+//! ```text
+//! cargo run --release --bin dragster-cli -- specs/wordcount.json
+//! cargo run --release --bin dragster-cli -- specs/wordcount.json --json
+//! ```
+
+use dragster::spec::ExperimentSpec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, json_out) = match args.as_slice() {
+        [p] => (p.clone(), false),
+        [p, flag] if flag == "--json" => (p.clone(), true),
+        _ => {
+            eprintln!("usage: dragster-cli <spec.json> [--json]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match ExperimentSpec::from_json(&raw) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match spec.run() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json_out {
+        match serde_json::to_string_pretty(&trace) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("error: serialize: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!("scheme: {}", trace.scheme);
+    println!("slot | deployment       | throughput/s | pods | buffered");
+    for (t, s) in trace.slots.iter().enumerate() {
+        println!(
+            "{:>4} | {:<16} | {:>12.0} | {:>4} | {:>9.0}",
+            t,
+            format!("{}", trace.deployments[t]),
+            s.throughput,
+            s.pods,
+            s.total_buffered(),
+        );
+    }
+    println!(
+        "\ntotal: {:.3e} tuples, ${:.2} ({:.2} $/1e9 tuples), {} reconfigurations",
+        trace.total_processed(),
+        trace.total_cost(),
+        trace.cost_per_billion_tuples(),
+        trace.slots.iter().filter(|s| s.reconfigured).count(),
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,35 @@
+//! # Dragster
+//!
+//! A full-system Rust reproduction of *Online Resource Optimization for
+//! Elastic Stream Processing with Regret Guarantee* (Liu, Xu, Lau — ICPP
+//! 2022): an online-optimization-based dynamic resource allocation scheme
+//! for elastic stream processing with a sub-linear dynamic-regret guarantee.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`gp`] — exact Gaussian-process regression (kernels, Cholesky,
+//!   posterior, information gain) — the `sklearn` substitute.
+//! * [`autodiff`] — tape-based reverse-mode AD — the PyTorch `autograd`
+//!   substitute used for bottleneck identification.
+//! * [`dag`] — the stream-processing DAG model: throughput functions
+//!   (Eq. 2a–2c), capacity splitting, flow propagation (Eq. 4).
+//! * [`sim`] — fluid + discrete-event simulators with a Kubernetes-like
+//!   cluster/cost model — the Flink-on-K8s testbed substitute.
+//! * [`core`] — the Dragster controller: online saddle point (Eq. 13–15),
+//!   online gradient descent (Eq. 16), extended GP-UCB (Eq. 18), budget
+//!   projection, regret/fit accounting.
+//! * [`baselines`] — Dhalion, DS2, static and random autoscalers.
+//! * [`workloads`] — Nexmark and Yahoo streaming benchmark models.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
+//! paper-to-module map.
+
+pub mod spec;
+
+pub use dragster_autodiff as autodiff;
+pub use dragster_baselines as baselines;
+pub use dragster_core as core;
+pub use dragster_dag as dag;
+pub use dragster_gp as gp;
+pub use dragster_sim as sim;
+pub use dragster_workloads as workloads;

@@ -1,0 +1,425 @@
+//! Declarative experiment specifications — the `dragster-cli` input format.
+//!
+//! A JSON spec describes an application (components, edges, capacity
+//! models), the cluster, the arrival pattern, and which scheme to run;
+//! [`ExperimentSpec::run`] executes it and returns the trace. This is the
+//! "operations" surface for users who want to evaluate an autoscaling
+//! policy against their own topology without writing Rust.
+//!
+//! ```json
+//! {
+//!   "components": [
+//!     {"name": "src", "kind": "source"},
+//!     {"name": "map", "kind": "operator", "capacity": {"Contended": {"per_task": 30000.0, "contention": 0.04}}},
+//!     {"name": "out", "kind": "sink"}
+//!   ],
+//!   "edges": [
+//!     {"from": "src", "to": "map"},
+//!     {"from": "map", "to": "out", "selectivity": 1.0}
+//!   ],
+//!   "arrival": {"constant": [100000.0]},
+//!   "scheme": "dragster-saddle",
+//!   "slots": 20,
+//!   "seed": 42
+//! }
+//! ```
+
+use dragster_baselines::{Dhalion, DhalionConfig, Ds2, Ds2Config, RandomScaler, StaticScaler};
+use dragster_core::{Dragster, DragsterConfig, InnerAlgo};
+use dragster_dag::{ThroughputFn, Topology, TopologyBuilder};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{
+    run_experiment, Application, ArrivalProcess, Autoscaler, CapacityModel, ClusterConfig,
+    Deployment, FluidSim, NoiseConfig, Trace,
+};
+use dragster_workloads::{SineWave, SquareWave, StepAt};
+use serde::{Deserialize, Serialize};
+
+/// One component declaration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    pub name: String,
+    /// `"source"`, `"operator"`, or `"sink"`.
+    pub kind: String,
+    /// Ground-truth capacity model — required for operators, forbidden
+    /// otherwise.
+    #[serde(default)]
+    pub capacity: Option<CapacityModel>,
+}
+
+/// One edge declaration. `selectivity` is shorthand for a single-input
+/// `Linear` throughput function; `h` gives the full form; at most one of
+/// the two may be set (neither = identity default).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    pub from: String,
+    pub to: String,
+    #[serde(default)]
+    pub selectivity: Option<f64>,
+    #[serde(default)]
+    pub h: Option<ThroughputFn>,
+    #[serde(default)]
+    pub alpha: Option<f64>,
+}
+
+/// The arrival pattern.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ArrivalSpec {
+    Constant(Vec<f64>),
+    SquareWave {
+        high: Vec<f64>,
+        low: Vec<f64>,
+        half_period_slots: usize,
+    },
+    StepAt {
+        at: usize,
+        before: Vec<f64>,
+        after: Vec<f64>,
+    },
+    Sine {
+        mean: Vec<f64>,
+        amplitude: f64,
+        period_slots: usize,
+    },
+}
+
+impl ArrivalSpec {
+    fn build(&self) -> Box<dyn ArrivalProcess> {
+        match self.clone() {
+            ArrivalSpec::Constant(r) => Box::new(dragster_sim::ConstantArrival(r)),
+            ArrivalSpec::SquareWave {
+                high,
+                low,
+                half_period_slots,
+            } => Box::new(SquareWave {
+                high,
+                low,
+                half_period_slots,
+            }),
+            ArrivalSpec::StepAt { at, before, after } => Box::new(StepAt { at, before, after }),
+            ArrivalSpec::Sine {
+                mean,
+                amplitude,
+                period_slots,
+            } => Box::new(SineWave {
+                mean,
+                amplitude,
+                period_slots,
+            }),
+        }
+    }
+}
+
+/// A complete experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    pub components: Vec<ComponentSpec>,
+    pub edges: Vec<EdgeSpec>,
+    pub arrival: ArrivalSpec,
+    /// `"dragster-saddle"`, `"dragster-ogd"`, `"dhalion"`, `"ds2"`,
+    /// `"static"`, or `"random"`.
+    pub scheme: String,
+    pub slots: usize,
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    #[serde(default)]
+    pub budget_pods: Option<usize>,
+    /// Initial tasks per operator (default 1).
+    #[serde(default = "default_initial_tasks")]
+    pub initial_tasks: usize,
+}
+
+fn default_seed() -> u64 {
+    42
+}
+
+fn default_initial_tasks() -> usize {
+    1
+}
+
+/// Spec-level failures.
+#[derive(Debug)]
+pub enum SpecError {
+    Parse(String),
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(m) => write!(f, "spec parse error: {m}"),
+            SpecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl ExperimentSpec {
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<ExperimentSpec, SpecError> {
+        serde_json::from_str(json).map_err(|e| SpecError::Parse(e.to_string()))
+    }
+
+    /// Build the validated application.
+    pub fn application(&self) -> Result<Application, SpecError> {
+        let mut b = TopologyBuilder::new();
+        for c in &self.components {
+            b = match c.kind.as_str() {
+                "source" => b.source(&c.name),
+                "operator" => b.operator(&c.name),
+                "sink" => b.sink(&c.name),
+                other => {
+                    return Err(SpecError::Invalid(format!(
+                        "component {:?}: unknown kind {other:?}",
+                        c.name
+                    )))
+                }
+            };
+        }
+        // Edges need predecessor counts for selectivity shorthand; build a
+        // quick pred-count pass first.
+        let mut pred_count = std::collections::HashMap::<&str, usize>::new();
+        for e in &self.edges {
+            *pred_count.entry(e.to.as_str()).or_default() += 1;
+        }
+        for e in &self.edges {
+            if e.selectivity.is_some() && e.h.is_some() {
+                return Err(SpecError::Invalid(format!(
+                    "edge {}→{}: give either selectivity or h, not both",
+                    e.from, e.to
+                )));
+            }
+            let n_preds = pred_count.get(e.from.as_str()).copied().unwrap_or(0);
+            let h = match (&e.selectivity, &e.h) {
+                (Some(s), None) => Some(ThroughputFn::Linear {
+                    weights: vec![*s; n_preds.max(1)],
+                }),
+                (None, Some(h)) => Some(h.clone()),
+                _ => None,
+            };
+            b = match (h, e.alpha) {
+                (Some(h), alpha) => b.edge_with(&e.from, &e.to, h, alpha.unwrap_or(1.0)),
+                (None, Some(_)) => {
+                    return Err(SpecError::Invalid(format!(
+                        "edge {}→{}: alpha requires an explicit h",
+                        e.from, e.to
+                    )))
+                }
+                (None, None) => b.edge(&e.from, &e.to),
+            };
+        }
+        let topo: Topology = b.build().map_err(|e| SpecError::Invalid(e.to_string()))?;
+        let mut models = Vec::new();
+        for id in topo.operator_ids() {
+            let name = &topo.component(id).name;
+            let spec = self
+                .components
+                .iter()
+                .find(|c| &c.name == name)
+                .ok_or_else(|| SpecError::Invalid(format!("operator {name:?} missing")))?;
+            let model = spec.capacity.clone().ok_or_else(|| {
+                SpecError::Invalid(format!("operator {name:?} needs a capacity model"))
+            })?;
+            models.push(model);
+        }
+        for c in &self.components {
+            if c.kind != "operator" && c.capacity.is_some() {
+                return Err(SpecError::Invalid(format!(
+                    "{:?} is a {} and cannot carry a capacity model",
+                    c.name, c.kind
+                )));
+            }
+        }
+        Application::new(topo, models).map_err(SpecError::Invalid)
+    }
+
+    /// Instantiate the chosen scheme.
+    pub fn scaler(&self, app: &Application) -> Result<Box<dyn Autoscaler>, SpecError> {
+        let budget = self.budget_pods;
+        Ok(match self.scheme.as_str() {
+            "dragster-saddle" => Box::new(Dragster::new(
+                app.topology.clone(),
+                DragsterConfig {
+                    budget_pods: budget,
+                    ..DragsterConfig::saddle_point()
+                },
+            )),
+            "dragster-ogd" => Box::new(Dragster::new(
+                app.topology.clone(),
+                DragsterConfig {
+                    budget_pods: budget,
+                    inner: InnerAlgo::GradientDescent,
+                    ..DragsterConfig::gradient_descent()
+                },
+            )),
+            "dhalion" => Box::new(Dhalion::new(DhalionConfig {
+                budget_pods: budget,
+                ..Default::default()
+            })),
+            "ds2" => Box::new(Ds2::new(Ds2Config {
+                budget_pods: budget,
+                ..Default::default()
+            })),
+            "static" => Box::new(StaticScaler),
+            "random" => Box::new(RandomScaler::new(self.seed, 10, budget)),
+            other => return Err(SpecError::Invalid(format!("unknown scheme {other:?}"))),
+        })
+    }
+
+    /// Execute the experiment and return the trace.
+    pub fn run(&self) -> Result<Trace, SpecError> {
+        let app = self.application()?;
+        if self.slots == 0 {
+            return Err(SpecError::Invalid("slots must be positive".into()));
+        }
+        let cluster = ClusterConfig {
+            budget_pods: self.budget_pods,
+            ..Default::default()
+        };
+        let mut sim = FluidSim::new(
+            app.clone(),
+            cluster,
+            SimConfig::default(),
+            NoiseConfig::default(),
+            self.seed,
+            Deployment::uniform(app.n_operators(), self.initial_tasks),
+        );
+        let mut scaler = self.scaler(&app)?;
+        let mut arrival = self.arrival.build();
+        Ok(run_experiment(
+            &mut sim,
+            scaler.as_mut(),
+            &mut *arrival,
+            self.slots,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wordcount_json() -> String {
+        r#"{
+            "components": [
+                {"name": "src", "kind": "source"},
+                {"name": "map", "kind": "operator",
+                 "capacity": {"Contended": {"per_task": 30000.0, "contention": 0.04}}},
+                {"name": "shuffle", "kind": "operator",
+                 "capacity": {"Contended": {"per_task": 20000.0, "contention": 0.06}}},
+                {"name": "out", "kind": "sink"}
+            ],
+            "edges": [
+                {"from": "src", "to": "map"},
+                {"from": "map", "to": "shuffle", "selectivity": 1.0},
+                {"from": "shuffle", "to": "out"}
+            ],
+            "arrival": {"constant": [100000.0]},
+            "scheme": "dragster-saddle",
+            "slots": 5,
+            "seed": 7
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_and_runs_wordcount() {
+        let spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        let trace = spec.run().unwrap();
+        assert_eq!(trace.len(), 5);
+        assert!(trace.total_processed() > 0.0);
+    }
+
+    #[test]
+    fn every_scheme_name_resolves() {
+        for scheme in [
+            "dragster-saddle",
+            "dragster-ogd",
+            "dhalion",
+            "ds2",
+            "static",
+            "random",
+        ] {
+            let mut spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+            spec.scheme = scheme.into();
+            spec.slots = 2;
+            assert!(spec.run().is_ok(), "{scheme} failed");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_scheme_and_kind() {
+        let mut spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        spec.scheme = "magic".into();
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+
+        let mut spec2 = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        spec2.components[0].kind = "teapot".into();
+        assert!(matches!(spec2.run(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_operator_without_capacity() {
+        let mut spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        spec.components[1].capacity = None;
+        assert!(matches!(spec.application(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_capacity_on_source() {
+        let mut spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        spec.components[0].capacity = Some(CapacityModel::Linear { per_task: 1.0 });
+        assert!(matches!(spec.application(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_selectivity_and_h_together() {
+        let mut spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        spec.edges[1].h = Some(ThroughputFn::Linear { weights: vec![1.0] });
+        assert!(matches!(spec.application(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_zero_slots_and_bad_json() {
+        let mut spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        spec.slots = 0;
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+        assert!(matches!(
+            ExperimentSpec::from_json("{not json"),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn budget_is_respected_through_the_spec_path() {
+        let mut spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        spec.budget_pods = Some(6);
+        spec.slots = 8;
+        let trace = spec.run().unwrap();
+        assert!(trace.deployments.iter().all(|d| d.total_pods() <= 6));
+    }
+
+    #[test]
+    fn arrival_variants_parse() {
+        for arrival in [
+            r#"{"square_wave": {"high": [1.0], "low": [0.5], "half_period_slots": 3}}"#,
+            r#"{"step_at": {"at": 2, "before": [1.0], "after": [2.0]}}"#,
+            r#"{"sine": {"mean": [1.0], "amplitude": 0.3, "period_slots": 8}}"#,
+        ] {
+            let a: ArrivalSpec = serde_json::from_str(arrival).unwrap();
+            let mut built = a.build();
+            assert_eq!(built.rates(0).len(), 1);
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_serde() {
+        let spec = ExperimentSpec::from_json(&wordcount_json()).unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.slots, spec.slots);
+        assert_eq!(back.components.len(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end integration: every workload × every scheme runs through the
+//! full observe→decide→deploy loop; Dragster converges to within 10 % of
+//! the clairvoyant optimum, respects budgets, and runs are deterministic
+//! under a fixed seed.
+
+use dragster::baselines::{Dhalion, DhalionConfig, Ds2, Ds2Config};
+use dragster::core::{greedy_optimal, Dragster, DragsterConfig};
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{
+    run_experiment, Autoscaler, ClusterConfig, ConstantArrival, Deployment, FluidSim, NoiseConfig,
+    Trace,
+};
+use dragster::workloads::{figure5_suite, word_count, yahoo_benchmark, Workload};
+
+fn run_workload(
+    w: &Workload,
+    rate: &[f64],
+    scaler: &mut dyn Autoscaler,
+    slots: usize,
+    budget: Option<usize>,
+    seed: u64,
+) -> Trace {
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig {
+            budget_pods: budget,
+            ..Default::default()
+        },
+        SimConfig::default(),
+        NoiseConfig::default(),
+        seed,
+        Deployment::uniform(w.n_operators(), 1),
+    );
+    let mut arrival = ConstantArrival(rate.to_vec());
+    run_experiment(&mut sim, scaler, &mut arrival, slots)
+}
+
+#[test]
+fn dragster_converges_on_every_workload() {
+    for (w, rate, label) in figure5_suite() {
+        let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+        let trace = run_workload(&w, &rate, &mut scaler, 30, None, 42);
+        let (_, opt) = greedy_optimal(&w.app, &rate, 10, None);
+        let tail = trace.ideal_throughput[25..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            tail >= 0.88 * opt,
+            "{label}: tail ideal {tail} below 88 % of optimal {opt}"
+        );
+    }
+}
+
+#[test]
+fn every_scheme_completes_on_yahoo() {
+    let w = yahoo_benchmark();
+    let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
+        Box::new(Dhalion::new(DhalionConfig::default())),
+        Box::new(Ds2::new(Ds2Config::default())),
+        Box::new(Dragster::new(
+            w.app.topology.clone(),
+            DragsterConfig::saddle_point(),
+        )),
+        Box::new(Dragster::new(
+            w.app.topology.clone(),
+            DragsterConfig::gradient_descent(),
+        )),
+    ];
+    for scaler in schemes.iter_mut() {
+        let trace = run_workload(&w, &w.high_rate, scaler.as_mut(), 12, None, 7);
+        assert_eq!(trace.len(), 12, "{}", scaler.name());
+        assert!(trace.total_processed() > 0.0);
+        for d in &trace.deployments {
+            assert!(d.tasks.iter().all(|&t| (1..=10).contains(&t)));
+        }
+    }
+}
+
+#[test]
+fn budget_never_violated_by_any_scheme() {
+    let w = word_count();
+    let budget = Some(9);
+    let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
+        Box::new(Dhalion::new(DhalionConfig {
+            budget_pods: budget,
+            ..Default::default()
+        })),
+        Box::new(Ds2::new(Ds2Config {
+            budget_pods: budget,
+            ..Default::default()
+        })),
+        Box::new(Dragster::new(
+            w.app.topology.clone(),
+            DragsterConfig {
+                budget_pods: budget,
+                ..DragsterConfig::saddle_point()
+            },
+        )),
+    ];
+    for scaler in schemes.iter_mut() {
+        let trace = run_workload(&w, &w.high_rate, scaler.as_mut(), 20, budget, 3);
+        for (t, d) in trace.deployments.iter().enumerate() {
+            assert!(
+                d.total_pods() <= 9,
+                "{} violated budget at slot {t}: {d}",
+                scaler.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_under_fixed_seed() {
+    let w = word_count();
+    let mk = || Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let mut a = mk();
+    let mut b = mk();
+    let ta = run_workload(&w, &w.high_rate, &mut a, 10, None, 99);
+    let tb = run_workload(&w, &w.high_rate, &mut b, 10, None, 99);
+    assert_eq!(ta.deployments, tb.deployments);
+    let tha: Vec<f64> = ta.slots.iter().map(|s| s.throughput).collect();
+    let thb: Vec<f64> = tb.slots.iter().map(|s| s.throughput).collect();
+    assert_eq!(tha, thb);
+}
+
+#[test]
+fn different_seeds_vary_noise_not_structure() {
+    let w = word_count();
+    let mut a = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let mut b = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let ta = run_workload(&w, &w.high_rate, &mut a, 20, None, 1);
+    let tb = run_workload(&w, &w.high_rate, &mut b, 20, None, 2);
+    // both converge to near-optimal even though noise differs
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    for trace in [&ta, &tb] {
+        let tail = trace.ideal_throughput[15..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(tail >= 0.88 * opt);
+    }
+}
+
+#[test]
+fn dragster_beats_dhalion_on_convergence_wordcount() {
+    // the core comparative claim, as a regression test with margin
+    let w = word_count();
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let opt_series = vec![opt; 30];
+
+    let mut dh = Dhalion::new(DhalionConfig::default());
+    let t_dh = run_workload(&w, &w.high_rate, &mut dh, 30, None, 42);
+    let mut dr = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let t_dr = run_workload(&w, &w.high_rate, &mut dr, 30, None, 42);
+
+    let c_dh = t_dh.convergence_slot(&opt_series, 0.1, 0..30);
+    let c_dr = t_dr.convergence_slot(&opt_series, 0.1, 0..30);
+    let (c_dh, c_dr) = (
+        c_dh.expect("Dhalion converges"),
+        c_dr.expect("Dragster converges"),
+    );
+    assert!(
+        c_dr < c_dh,
+        "Dragster ({c_dr}) should converge before Dhalion ({c_dh})"
+    );
+}
+
+#[test]
+fn ds2_overshoots_on_saturating_capacity() {
+    // DS2's linear model extrapolates a saturating operator incorrectly —
+    // the motivating weakness Dragster's GP fixes. DS2 must still complete
+    // and not crash; Dragster should reach a no-worse configuration.
+    let w = dragster::workloads::async_io();
+    let mut ds2 = Ds2::new(Ds2Config::default());
+    let t_ds2 = run_workload(&w, &w.high_rate, &mut ds2, 20, None, 5);
+    let mut dr = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let t_dr = run_workload(&w, &w.high_rate, &mut dr, 20, None, 5);
+    let tail = |t: &Trace| {
+        t.ideal_throughput[15..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(tail(&t_dr) >= tail(&t_ds2) * 0.99);
+}

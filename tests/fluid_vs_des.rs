@@ -1,0 +1,139 @@
+//! Cross-validation of the two simulation engines: for the same
+//! application, deployment and constant offered load, the fluid model's
+//! steady-state throughput must agree with the discrete-event engine, and
+//! both must agree with the analytic DAG propagation.
+
+use dragster::dag::throughput;
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{
+    Application, CapacityModel, ClusterConfig, Deployment, DesSim, FluidSim, NoiseConfig,
+};
+use dragster::workloads::{word_count, yahoo_benchmark};
+
+fn fluid_steady_state(app: &Application, d: &Deployment, rate: &[f64]) -> f64 {
+    let mut sim = FluidSim::new(
+        app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::none(),
+        1,
+        d.clone(),
+    );
+    // warm one slot (fills pipelines/buffers), measure the second
+    let _ = sim.run_slot(rate);
+    sim.run_slot(rate).throughput
+}
+
+fn des_steady_state(app: &Application, d: &Deployment, rate: &[f64]) -> f64 {
+    DesSim::new(app.clone(), d.clone(), 1.0)
+        .run(rate, 900.0, 300.0)
+        .throughput
+}
+
+#[test]
+fn engines_agree_on_underloaded_wordcount() {
+    let w = word_count();
+    let d = Deployment::uniform(2, 8);
+    let rate = vec![8.0e4];
+    let analytic = w.app.ideal_throughput(&rate, &d.tasks);
+    let fluid = fluid_steady_state(&w.app, &d, &rate);
+    let des = des_steady_state(&w.app, &d, &rate);
+    assert!(
+        (fluid - analytic).abs() / analytic < 0.02,
+        "fluid {fluid} vs {analytic}"
+    );
+    assert!(
+        (des - analytic).abs() / analytic < 0.06,
+        "des {des} vs {analytic}"
+    );
+}
+
+#[test]
+fn engines_agree_on_overloaded_wordcount() {
+    let w = word_count();
+    let d = Deployment::uniform(2, 2);
+    let rate = vec![2.0e5]; // far beyond capacity
+    let analytic = w.app.ideal_throughput(&rate, &d.tasks);
+    let fluid = fluid_steady_state(&w.app, &d, &rate);
+    let des = des_steady_state(&w.app, &d, &rate);
+    assert!(
+        (fluid - analytic).abs() / analytic < 0.03,
+        "fluid {fluid} vs {analytic}"
+    );
+    assert!(
+        (des - analytic).abs() / analytic < 0.08,
+        "des {des} vs {analytic}"
+    );
+}
+
+#[test]
+fn engines_agree_on_yahoo_pipeline() {
+    let w = yahoo_benchmark();
+    let d = Deployment {
+        tasks: vec![8, 2, 2, 4, 3, 2],
+    };
+    let rate = w.high_rate.clone();
+    let analytic = w.app.ideal_throughput(&rate, &d.tasks);
+    let fluid = fluid_steady_state(&w.app, &d, &rate);
+    assert!(
+        (fluid - analytic).abs() / analytic < 0.05,
+        "fluid {fluid} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn des_backlog_location_matches_fluid_bottleneck() {
+    // both engines must blame the same operator under overload
+    let w = word_count();
+    let d = Deployment { tasks: vec![8, 1] }; // shuffle starved
+    let rate = vec![1.5e5];
+    let des = DesSim::new(w.app.clone(), d.clone(), 1.0).run(&rate, 600.0, 100.0);
+    assert!(
+        des.backlog[1] > des.backlog[0] * 5.0,
+        "DES backlog should pile at shuffle: {:?}",
+        des.backlog
+    );
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::none(),
+        1,
+        d,
+    );
+    let _ = sim.run_slot(&rate);
+    let buffers = sim.buffers();
+    assert!(
+        buffers[1] > buffers[0] * 5.0,
+        "fluid backlog should pile at shuffle: {buffers:?}"
+    );
+}
+
+#[test]
+fn selectivity_chain_is_exact_in_both_engines() {
+    // filter with 25 % selectivity, generous capacity
+    let topo = dragster::dag::TopologyBuilder::new()
+        .source("s")
+        .operator("filter")
+        .sink("k")
+        .edge("s", "filter")
+        .edge_with(
+            "filter",
+            "k",
+            dragster::dag::ThroughputFn::Linear {
+                weights: vec![0.25],
+            },
+            1.0,
+        )
+        .build()
+        .unwrap();
+    let app = Application::new(topo, vec![CapacityModel::Linear { per_task: 1.0e5 }]).unwrap();
+    let d = Deployment::uniform(1, 2);
+    let rate = vec![1.0e5];
+    let analytic = throughput(&app.topology, &rate, &app.true_capacities(&d.tasks));
+    assert!((analytic - 2.5e4).abs() < 1.0);
+    let fluid = fluid_steady_state(&app, &d, &rate);
+    let des = des_steady_state(&app, &d, &rate);
+    assert!((fluid - 2.5e4).abs() / 2.5e4 < 0.02, "{fluid}");
+    assert!((des - 2.5e4).abs() / 2.5e4 < 0.06, "{des}");
+}

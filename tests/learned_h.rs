@@ -1,0 +1,104 @@
+//! Theorem-2 integration: Dragster in learned-h mode on workloads whose
+//! selectivities differ sharply from the all-pass-through initial guess.
+
+use dragster::core::{greedy_optimal, Dragster, DragsterConfig};
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{
+    run_experiment, ClusterConfig, ConstantArrival, Deployment, FluidSim, NoiseConfig,
+};
+use dragster::workloads::{fraud_detect, yahoo_benchmark};
+
+fn run_learned(
+    w: &dragster::workloads::Workload,
+    slots: usize,
+    seed: u64,
+) -> (dragster::sim::Trace, Dragster) {
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        seed,
+        Deployment::uniform(w.n_operators(), 1),
+    );
+    let cfg = DragsterConfig {
+        learn_h: true,
+        ..DragsterConfig::saddle_point()
+    };
+    let mut scaler = Dragster::new(w.app.topology.clone(), cfg);
+    let mut arrival = ConstantArrival(w.high_rate.clone());
+    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, slots);
+    (trace, scaler)
+}
+
+#[test]
+fn learned_h_converges_on_yahoo() {
+    let w = yahoo_benchmark();
+    let (trace, scaler) = run_learned(&w, 30, 42);
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let tail = trace.ideal_throughput[25..]
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        tail >= 0.88 * opt,
+        "learned-h failed to converge: {tail} vs {opt}"
+    );
+    // and the estimator actually learned the selectivities
+    let err = scaler
+        .estimator()
+        .expect("learn_h mode")
+        .max_relative_error(&w.app.topology);
+    assert!(err < 0.10, "selectivity error {err}");
+}
+
+#[test]
+fn learned_h_handles_sub_unit_selectivity_chain() {
+    // FraudDetect's final filter keeps only 2 % of tuples: the initial
+    // all-pass-through guess overestimates the sink rate by 50× — the
+    // estimator must correct it.
+    let w = fraud_detect();
+    let (trace, scaler) = run_learned(&w, 30, 7);
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let tail = trace.ideal_throughput[25..]
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert!(tail >= 0.85 * opt, "{tail} vs {opt}");
+    let est = scaler.estimator().expect("learn_h mode");
+    // the 0.02-selectivity AlertFilter weight must be learned closely
+    let alert_idx = (0..3)
+        .find(|&i| w.app.topology.operator_name(i) == "AlertFilter")
+        .expect("present");
+    let learned = est.weights()[alert_idx][0];
+    assert!(
+        (learned - 0.02).abs() < 0.01,
+        "AlertFilter selectivity learned as {learned}"
+    );
+}
+
+#[test]
+fn exact_and_learned_modes_converge_to_same_configuration() {
+    let w = yahoo_benchmark();
+    let (t_learned, _) = run_learned(&w, 30, 3);
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        3,
+        Deployment::uniform(6, 1),
+    );
+    let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let mut arrival = ConstantArrival(w.high_rate.clone());
+    let t_exact = run_experiment(&mut sim, &mut scaler, &mut arrival, 30);
+    // both end within a pod or two of each other per operator
+    let a = &t_exact.deployments[29].tasks;
+    let b = &t_learned.deployments[29].tasks;
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            x.abs_diff(*y) <= 2,
+            "operator {i}: exact {x} vs learned {y} tasks"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Property test: the fluid and discrete-event engines agree on
+//! steady-state throughput for random linear chains across load regimes,
+//! and both match the analytic DAG propagation.
+
+use dragster::dag::{ThroughputFn, TopologyBuilder};
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{
+    Application, CapacityModel, ClusterConfig, Deployment, DesSim, FluidSim, NoiseConfig,
+};
+use proptest::prelude::*;
+
+fn chain_app(k: usize, per_task: &[f64], sels: &[f64]) -> Application {
+    let mut b = TopologyBuilder::new().source("src");
+    for i in 0..k {
+        b = b.operator(&format!("op{i}"));
+    }
+    b = b.sink("out").edge("src", "op0");
+    #[allow(clippy::needless_range_loop)]
+    for i in 1..k {
+        b = b.edge_with(
+            &format!("op{}", i - 1),
+            &format!("op{i}"),
+            ThroughputFn::Linear {
+                weights: vec![sels[i]],
+            },
+            1.0,
+        );
+    }
+    let topo = b.edge(&format!("op{}", k - 1), "out").build().unwrap();
+    let models = (0..k)
+        .map(|i| CapacityModel::Linear {
+            per_task: per_task[i],
+        })
+        .collect();
+    Application::new(topo, models).unwrap()
+}
+
+proptest! {
+    // DES runs are slow-ish; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fluid_and_des_agree_on_random_chains(
+        k in 1usize..4,
+        per_task in proptest::collection::vec(50.0..400.0f64, 3),
+        sels in proptest::collection::vec(0.3..1.0f64, 3),
+        tasks in proptest::collection::vec(1usize..6, 3),
+        rate in 50.0..1500.0f64,
+    ) {
+        let app = chain_app(k, &per_task, &sels);
+        let d = Deployment { tasks: tasks[..k].to_vec() };
+        let analytic = app.ideal_throughput(&[rate], &d.tasks);
+        prop_assume!(analytic > 10.0); // skip near-degenerate flows
+
+        // fluid: warm one slot, measure the second
+        let mut sim = FluidSim::new(
+            app.clone(),
+            ClusterConfig::default(),
+            SimConfig::default(),
+            NoiseConfig::none(),
+            1,
+            d.clone(),
+        );
+        let _ = sim.run_slot(&[rate]);
+        let fluid = sim.run_slot(&[rate]).throughput;
+        prop_assert!(
+            (fluid - analytic).abs() / analytic < 0.03,
+            "fluid {fluid} vs analytic {analytic}"
+        );
+
+        // DES with 1-second batches over 600 s, measured after 200 s warmup
+        let des = DesSim::new(app, d, 1.0).run(&[rate], 600.0, 200.0).throughput;
+        prop_assert!(
+            (des - analytic).abs() / analytic < 0.10,
+            "des {des} vs analytic {analytic} (k={k}, rate={rate})"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Workspace-level property tests: random chains + random loads through
+//! the full stack. Invariants: deployments always valid and within budget,
+//! tuple conservation in the simulator, the oracle dominates every scheme,
+//! and observed capacity samples stay near ground truth.
+
+use dragster::core::{greedy_optimal, Dragster, DragsterConfig};
+use dragster::dag::{ThroughputFn, Topology, TopologyBuilder};
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{
+    run_experiment, Application, CapacityModel, ClusterConfig, ConstantArrival, Deployment,
+    FluidSim, NoiseConfig,
+};
+use proptest::prelude::*;
+
+fn arb_chain_app() -> impl Strategy<Value = (Application, f64)> {
+    (
+        2usize..4,
+        proptest::collection::vec(1.0e4..6.0e4f64, 3),
+        proptest::collection::vec(0.4..1.0f64, 3),
+        1.0e4..2.0e5f64,
+    )
+        .prop_map(|(k, per_task, sels, rate)| {
+            let mut b = TopologyBuilder::new().source("src");
+            for i in 0..k {
+                b = b.operator(&format!("op{i}"));
+            }
+            b = b.sink("out").edge("src", "op0");
+            #[allow(clippy::needless_range_loop)]
+            for i in 1..k {
+                b = b.edge_with(
+                    &format!("op{}", i - 1),
+                    &format!("op{i}"),
+                    ThroughputFn::Linear {
+                        weights: vec![sels[i]],
+                    },
+                    1.0,
+                );
+            }
+            let topo: Topology = b.edge(&format!("op{}", k - 1), "out").build().unwrap();
+            let models = (0..k)
+                .map(|i| CapacityModel::Contended {
+                    per_task: per_task[i],
+                    contention: 0.05,
+                })
+                .collect();
+            (Application::new(topo, models).unwrap(), rate)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn controller_always_produces_valid_budgeted_deployments(
+        (app, rate) in arb_chain_app(),
+        budget in 6usize..20,
+        seed in 0u64..100,
+    ) {
+        let m = app.n_operators();
+        let budget = budget.max(m);
+        let mut sim = FluidSim::new(
+            app.clone(),
+            ClusterConfig { budget_pods: Some(budget), ..Default::default() },
+            SimConfig::default(),
+            NoiseConfig::default(),
+            seed,
+            Deployment::uniform(m, 1),
+        );
+        let cfg = DragsterConfig { budget_pods: Some(budget), ..DragsterConfig::saddle_point() };
+        let mut scaler = Dragster::new(app.topology.clone(), cfg);
+        let mut arrival = ConstantArrival(vec![rate]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 8);
+        for d in &trace.deployments {
+            prop_assert!(d.total_pods() <= budget);
+            prop_assert!(d.tasks.iter().all(|&t| (1..=10).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn simulator_conserves_tuples_on_identity_chains(
+        per_task in 1.0e4..5.0e4f64,
+        rate in 1.0e4..1.5e5f64,
+        tasks in 1usize..10,
+        slots in 1usize..6,
+    ) {
+        // identity chain (selectivity 1): in = processed + buffered + dropped
+        let topo = TopologyBuilder::new()
+            .source("s")
+            .operator("a")
+            .operator("b")
+            .sink("k")
+            .edge("s", "a")
+            .edge("a", "b")
+            .edge("b", "k")
+            .build()
+            .unwrap();
+        let app = Application::new(
+            topo,
+            vec![
+                CapacityModel::Linear { per_task },
+                CapacityModel::Linear { per_task },
+            ],
+        )
+        .unwrap();
+        let mut sim = FluidSim::new(
+            app,
+            ClusterConfig::default(),
+            SimConfig::default(),
+            NoiseConfig::none(),
+            1,
+            Deployment::uniform(2, tasks),
+        );
+        for _ in 0..slots {
+            let _ = sim.run_slot(&[rate]);
+        }
+        let offered = rate * 600.0 * slots as f64;
+        let accounted =
+            sim.total_processed() + sim.buffers().iter().sum::<f64>() + sim.total_dropped();
+        prop_assert!(
+            (accounted - offered).abs() / offered < 1e-6,
+            "conservation violated: offered {offered} accounted {accounted}"
+        );
+    }
+
+    #[test]
+    fn oracle_dominates_achieved_throughput(
+        (app, rate) in arb_chain_app(),
+        seed in 0u64..50,
+    ) {
+        let m = app.n_operators();
+        let mut sim = FluidSim::new(
+            app.clone(),
+            ClusterConfig::default(),
+            SimConfig::default(),
+            NoiseConfig::none(),
+            seed,
+            Deployment::uniform(m, 1),
+        );
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let mut arrival = ConstantArrival(vec![rate]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 6);
+        let (_, opt) = greedy_optimal(&app, &[rate], 10, None);
+        for &f in &trace.ideal_throughput {
+            prop_assert!(f <= opt + 1e-6, "deployed config beat the oracle: {f} > {opt}");
+        }
+    }
+
+    #[test]
+    fn capacity_samples_track_ground_truth(
+        per_task in 1.0e4..5.0e4f64,
+        tasks in 2usize..10,
+        seed in 0u64..50,
+    ) {
+        // Under moderate load (operator busy but not saturated), the Eq.-8
+        // sample must land near the true capacity even with default noise.
+        let topo = TopologyBuilder::new()
+            .source("s")
+            .operator("a")
+            .sink("k")
+            .edge("s", "a")
+            .edge("a", "k")
+            .build()
+            .unwrap();
+        let truth = CapacityModel::Linear { per_task }.capacity(tasks);
+        let app = Application::new(topo, vec![CapacityModel::Linear { per_task }]).unwrap();
+        let mut sim = FluidSim::new(
+            app,
+            ClusterConfig::default(),
+            SimConfig::default(),
+            NoiseConfig::default(),
+            seed,
+            Deployment::uniform(1, tasks),
+        );
+        let rate = truth * 0.6;
+        let mut mean = 0.0;
+        let n = 10;
+        for _ in 0..n {
+            mean += sim.run_slot(&[rate]).operators[0].capacity_sample;
+        }
+        mean /= n as f64;
+        prop_assert!(
+            (mean - truth).abs() / truth < 0.12,
+            "capacity sample mean {mean} far from truth {truth}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_and_greedy_oracle_agree_on_random_chains(
+        (app, rate) in arb_chain_app(),
+        budget in proptest::option::of(5usize..25),
+    ) {
+        let budget = budget.map(|b| b.max(app.n_operators()));
+        let (_, fg) = greedy_optimal(&app, &[rate], 6, budget);
+        let (_, fe) = dragster::core::exhaustive_optimal(&app, &[rate], 6, budget);
+        prop_assert!(
+            (fg - fe).abs() <= fe * 1e-6 + 1e-9,
+            "greedy {fg} != exhaustive {fe}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Empirical Theorem-1 properties as regression tests: Dragster's dynamic
+//! regret and fit grow sub-linearly; naive baselines grow linearly; the
+//! theoretical Fit bound expression dominates the measured fit.
+
+use dragster::core::{greedy_optimal, Dragster, DragsterConfig, RegretTracker, Theorem1Constants};
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{run_experiment, Autoscaler, ClusterConfig, Deployment, FluidSim, NoiseConfig};
+use dragster::workloads::{word_count, SineWave};
+
+fn regret_of(scaler: &mut dyn Autoscaler, horizon: usize, seed: u64) -> RegretTracker {
+    let w = word_count();
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        seed,
+        Deployment::uniform(2, 1),
+    );
+    let mut arrival = SineWave {
+        mean: w.high_rate.clone(),
+        amplitude: 0.2,
+        period_slots: 40,
+    };
+    let trace = run_experiment(&mut sim, scaler, &mut arrival, horizon);
+    let mut arrival2 = SineWave {
+        mean: w.high_rate.clone(),
+        amplitude: 0.2,
+        period_slots: 40,
+    };
+    let mut tracker = RegretTracker::new();
+    for t in 0..horizon {
+        let rates = dragster::sim::ArrivalProcess::rates(&mut arrival2, t);
+        let (_, opt) = greedy_optimal(&w.app, &rates, 10, None);
+        let l: Vec<f64> = trace.slots[t]
+            .operators
+            .iter()
+            .map(|o| o.offered_load - o.capacity_sample)
+            .collect();
+        tracker.record(opt, trace.ideal_throughput[t], &l);
+    }
+    tracker
+}
+
+#[test]
+fn dragster_regret_is_sublinear() {
+    let w = word_count();
+    let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let tracker = regret_of(&mut d, 160, 42);
+    let exp = RegretTracker::growth_exponent(&tracker.regret_series()).expect("long enough series");
+    assert!(exp < 0.85, "regret exponent {exp} not sub-linear");
+    let fit_exp =
+        RegretTracker::growth_exponent(&tracker.fit_series()).expect("long enough series");
+    assert!(fit_exp < 0.95, "fit exponent {fit_exp} not sub-linear");
+}
+
+#[test]
+fn static_regret_is_linear() {
+    let mut s = dragster::baselines::StaticScaler;
+    let tracker = regret_of(&mut s, 160, 42);
+    let exp = RegretTracker::growth_exponent(&tracker.regret_series()).expect("long enough series");
+    assert!(exp > 0.9, "static regret exponent {exp} should be ≈ 1");
+}
+
+#[test]
+fn dragster_regret_well_below_static() {
+    let w = word_count();
+    let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let mut s = dragster::baselines::StaticScaler;
+    let rd = regret_of(&mut d, 120, 7).regret();
+    let rs = regret_of(&mut s, 120, 7).regret();
+    assert!(
+        rd < rs / 10.0,
+        "Dragster regret {rd:.3e} not ≪ static {rs:.3e}"
+    );
+}
+
+#[test]
+fn theorem1_fit_bound_dominates_measured_fit() {
+    // Evaluate the Fit_T bound of Eq. 19 with the run's actual constants
+    // (loose, but it must sit above the measurement):
+    //   Fit_T ≤ M^{2/3}H(1 + H/2ε) + H√T/ε + M√(8TβΓ/log(1+σ⁻²))
+    // We normalize both sides by H (the bound's capacity scale) to keep
+    // the comparison unit-consistent.
+    let w = word_count();
+    let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let horizon = 120;
+    let tracker = regret_of(&mut d, horizon, 42);
+
+    // ε: Slater slack as a fraction of H — the max config exceeds the peak
+    // load by ≥ 8 % in this workload.
+    let consts = Theorem1Constants {
+        m: 2,
+        t: horizon,
+        d: 1,
+        n_configs: 100,
+        epsilon: 0.08,
+        sigma2: 0.01,
+        delta: 2.0,
+        g: 1.0,
+        v_star: 1.0,
+    };
+    let bound_normalized = consts.fit_bound();
+
+    // Measured fit normalized by the throughput scale H (peak offered).
+    let h_scale = 1.5e5 * 1.2;
+    let measured_normalized = tracker.fit_positive() / h_scale;
+    assert!(
+        measured_normalized < bound_normalized,
+        "measured normalized fit {measured_normalized:.1} exceeds Theorem-1 bound {bound_normalized:.1}"
+    );
+}
+
+#[test]
+fn regret_grows_with_optimum_variation() {
+    // Assumption 2: faster-moving optima ⇒ more regret. Compare a calm
+    // sine against a violent one.
+    let w = word_count();
+    let run = |amplitude: f64| {
+        let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+        let mut sim = FluidSim::new(
+            w.app.clone(),
+            ClusterConfig::default(),
+            SimConfig::default(),
+            NoiseConfig::default(),
+            11,
+            Deployment::uniform(2, 1),
+        );
+        let mut arrival = SineWave {
+            mean: w.high_rate.clone(),
+            amplitude,
+            period_slots: 8,
+        };
+        let trace = run_experiment(&mut sim, &mut d, &mut arrival, 80);
+        let mut arrival2 = SineWave {
+            mean: w.high_rate.clone(),
+            amplitude,
+            period_slots: 8,
+        };
+        let mut tracker = RegretTracker::new();
+        for t in 0..80 {
+            let rates = dragster::sim::ArrivalProcess::rates(&mut arrival2, t);
+            let (_, opt) = greedy_optimal(&w.app, &rates, 10, None);
+            tracker.record(opt, trace.ideal_throughput[t], &[]);
+        }
+        tracker.regret()
+    };
+    let calm = run(0.05);
+    let wild = run(0.45);
+    assert!(
+        wild > calm,
+        "violent optimum variation should cost more regret: calm {calm:.3e} wild {wild:.3e}"
+    );
+}
