@@ -23,7 +23,8 @@
 //! same linear search every time — exactly the weakness Figure 6/Table 2
 //! exposes ("Dhalion always takes 40 minutes to do so").
 
-use dragster_sim::{Autoscaler, Deployment, SlotMetrics};
+use dragster_core::num::{argmax, argmin};
+use dragster_sim::{Autoscaler, Deployment, SimError, SlotMetrics};
 
 /// Tunables of the rule pipeline.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -72,22 +73,26 @@ impl Autoscaler for Dhalion {
         "Dhalion".into()
     }
 
-    fn decide(&mut self, _t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment {
+    fn decide(
+        &mut self,
+        _t: usize,
+        metrics: &SlotMetrics,
+        current: &Deployment,
+    ) -> Result<Deployment, SimError> {
         let mut next = current.clone();
 
-        // Symptom detection: the most backpressured operator.
-        let worst_bp = metrics
-            .operators
+        // Symptom detection: the most backpressured operator (largest
+        // buffer; ties break toward the lowest operator index).
+        let bp_candidates: Vec<usize> = (0..metrics.operators.len())
+            .filter(|&i| metrics.operators[i].backpressure)
+            .collect();
+        let bp_buffers: Vec<f64> = bp_candidates
             .iter()
-            .enumerate()
-            .filter(|(_, o)| o.backpressure)
-            .max_by(|a, b| {
-                a.1.buffer_tuples
-                    .total_cmp(&b.1.buffer_tuples)
-                    .then(a.1.cpu_util.total_cmp(&b.1.cpu_util))
-            });
+            .map(|&i| metrics.operators[i].buffer_tuples)
+            .collect();
 
-        if let Some((i, _)) = worst_bp {
+        if let Some(k) = argmax(&bp_buffers) {
+            let i = bp_candidates[k];
             // Resolution: linear scale-up of the diagnosed operator.
             let headroom_ok = self
                 .cfg
@@ -95,25 +100,28 @@ impl Autoscaler for Dhalion {
                 .is_none_or(|b| next.total_pods() + self.cfg.scale_step <= b);
             if next.tasks[i] < self.cfg.max_tasks && headroom_ok {
                 next.tasks[i] = (next.tasks[i] + self.cfg.scale_step).min(self.cfg.max_tasks);
-                return next;
+                return Ok(next);
             }
             // At the ceiling/budget: Dhalion has no further rule — it keeps
             // the configuration (the Fig. 4d stuck-at-non-optimal case).
-            return next;
+            return Ok(next);
         }
 
         // No backpressure anywhere: scale-down rule. Remove one task from
         // the most idle operator below the threshold.
-        let most_idle = metrics
-            .operators
+        let idle_candidates: Vec<usize> = (0..metrics.operators.len())
+            .filter(|&i| {
+                metrics.operators[i].cpu_util < self.cfg.idle_threshold && next.tasks[i] > 1
+            })
+            .collect();
+        let idle_utils: Vec<f64> = idle_candidates
             .iter()
-            .enumerate()
-            .filter(|(i, o)| o.cpu_util < self.cfg.idle_threshold && next.tasks[*i] > 1)
-            .min_by(|a, b| a.1.cpu_util.total_cmp(&b.1.cpu_util));
-        if let Some((i, _)) = most_idle {
-            next.tasks[i] -= 1;
+            .map(|&i| metrics.operators[i].cpu_util)
+            .collect();
+        if let Some(k) = argmin(&idle_utils) {
+            next.tasks[idle_candidates[k]] -= 1;
         }
-        next
+        Ok(next)
     }
 }
 
@@ -158,7 +166,7 @@ mod tests {
     fn scales_up_most_backpressured() {
         let mut d = Dhalion::default();
         let m = slot(vec![op("a", true, 1.0, 500.0), op("b", true, 1.0, 9000.0)]);
-        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] }).unwrap();
         assert_eq!(next.tasks, vec![2, 3]);
     }
 
@@ -166,7 +174,7 @@ mod tests {
     fn adjusts_one_operator_per_slot() {
         let mut d = Dhalion::default();
         let m = slot(vec![op("a", true, 1.0, 500.0), op("b", true, 1.0, 400.0)]);
-        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] }).unwrap();
         let moved: usize = next
             .tasks
             .iter()
@@ -180,7 +188,7 @@ mod tests {
     fn scales_down_idle_operator() {
         let mut d = Dhalion::default();
         let m = slot(vec![op("a", false, 0.2, 0.0), op("b", false, 0.8, 0.0)]);
-        let next = d.decide(0, &m, &Deployment { tasks: vec![3, 3] });
+        let next = d.decide(0, &m, &Deployment { tasks: vec![3, 3] }).unwrap();
         assert_eq!(next.tasks, vec![2, 3]);
     }
 
@@ -188,7 +196,7 @@ mod tests {
     fn keeps_configuration_when_stable() {
         let mut d = Dhalion::default();
         let m = slot(vec![op("a", false, 0.7, 0.0), op("b", false, 0.8, 0.0)]);
-        let next = d.decide(0, &m, &Deployment { tasks: vec![3, 3] });
+        let next = d.decide(0, &m, &Deployment { tasks: vec![3, 3] }).unwrap();
         assert_eq!(next.tasks, vec![3, 3]);
     }
 
@@ -196,7 +204,7 @@ mod tests {
     fn never_drops_below_one_task() {
         let mut d = Dhalion::default();
         let m = slot(vec![op("a", false, 0.01, 0.0)]);
-        let next = d.decide(0, &m, &Deployment { tasks: vec![1] });
+        let next = d.decide(0, &m, &Deployment { tasks: vec![1] }).unwrap();
         assert_eq!(next.tasks, vec![1]);
     }
 
@@ -208,7 +216,7 @@ mod tests {
         });
         let m = slot(vec![op("a", false, 0.9, 0.0), op("b", true, 1.0, 9000.0)]);
         // already at budget: cannot add the needed task — stays put
-        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        let next = d.decide(0, &m, &Deployment { tasks: vec![2, 2] }).unwrap();
         assert_eq!(next.tasks, vec![2, 2]);
     }
 
@@ -219,7 +227,7 @@ mod tests {
             ..Default::default()
         });
         let m = slot(vec![op("a", true, 1.0, 9000.0)]);
-        let next = d.decide(0, &m, &Deployment { tasks: vec![3] });
+        let next = d.decide(0, &m, &Deployment { tasks: vec![3] }).unwrap();
         assert_eq!(next.tasks, vec![3]);
     }
 }

@@ -13,7 +13,7 @@
 //! contention or saturation the linear extrapolation systematically
 //! overshoots or undershoots.
 
-use dragster_sim::{Autoscaler, Deployment, SlotMetrics};
+use dragster_sim::{Autoscaler, Deployment, SimError, SlotMetrics};
 
 /// DS2 tunables.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,7 +59,12 @@ impl Autoscaler for Ds2 {
         "DS2".into()
     }
 
-    fn decide(&mut self, _t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment {
+    fn decide(
+        &mut self,
+        _t: usize,
+        metrics: &SlotMetrics,
+        current: &Deployment,
+    ) -> Result<Deployment, SimError> {
         let mut tasks = Vec::with_capacity(current.len());
         for (i, om) in metrics.operators.iter().enumerate() {
             // True per-instance rate: the observed capacity sample divided
@@ -78,7 +83,10 @@ impl Autoscaler for Ds2 {
             tasks.push(want.clamp(1, self.cfg.max_tasks));
         }
         let d = Deployment { tasks };
-        dragster_sim::harness::project_to_budget(d, self.cfg.budget_pods)
+        Ok(dragster_sim::harness::project_to_budget(
+            d,
+            self.cfg.budget_pods,
+        ))
     }
 }
 
@@ -127,7 +135,7 @@ mod tests {
         });
         // 2 tasks sustain 200 ⇒ 100/instance; offered 450 ⇒ need 5.
         let m = slot(vec![op(450.0, 200.0)]);
-        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2] });
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2] }).unwrap();
         assert_eq!(next.tasks, vec![5]);
     }
 
@@ -139,7 +147,7 @@ mod tests {
         });
         // 8 tasks sustain 800 ⇒ offered 90 needs 1.
         let m = slot(vec![op(90.0, 800.0)]);
-        let next = ds2.decide(0, &m, &Deployment { tasks: vec![8] });
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![8] }).unwrap();
         assert_eq!(next.tasks, vec![1]);
     }
 
@@ -148,7 +156,7 @@ mod tests {
         let mut ds2 = Ds2::default(); // headroom 1.1
                                       // need exactly 4 instances; headroom pushes to 5
         let m = slot(vec![op(400.0, 200.0)]);
-        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2] });
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2] }).unwrap();
         assert_eq!(next.tasks, vec![5]);
     }
 
@@ -160,7 +168,9 @@ mod tests {
             headroom: 1.0,
         });
         let m = slot(vec![op(5000.0, 100.0), op(5000.0, 100.0)]);
-        let next = ds2.decide(0, &m, &Deployment { tasks: vec![2, 2] });
+        let next = ds2
+            .decide(0, &m, &Deployment { tasks: vec![2, 2] })
+            .unwrap();
         assert!(next.total_pods() <= 7);
         assert!(next.tasks.iter().all(|&t| t >= 1));
     }
@@ -169,7 +179,7 @@ mod tests {
     fn keeps_tasks_when_no_signal() {
         let mut ds2 = Ds2::default();
         let m = slot(vec![op(100.0, 0.0)]); // no capacity sample
-        let next = ds2.decide(0, &m, &Deployment { tasks: vec![3] });
+        let next = ds2.decide(0, &m, &Deployment { tasks: vec![3] }).unwrap();
         assert_eq!(next.tasks, vec![3]);
     }
 }

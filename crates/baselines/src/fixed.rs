@@ -2,7 +2,7 @@
 //! They anchor the regret experiments — random incurs linear regret,
 //! static incurs linear regret whenever the load moves.
 
-use dragster_sim::{Autoscaler, Deployment, Rng, SlotMetrics};
+use dragster_sim::{Autoscaler, Deployment, Rng, SimError, SlotMetrics};
 
 /// Never changes the deployment.
 pub struct StaticScaler;
@@ -12,8 +12,13 @@ impl Autoscaler for StaticScaler {
         "Static".into()
     }
 
-    fn decide(&mut self, _t: usize, _m: &SlotMetrics, current: &Deployment) -> Deployment {
-        current.clone()
+    fn decide(
+        &mut self,
+        _t: usize,
+        _m: &SlotMetrics,
+        current: &Deployment,
+    ) -> Result<Deployment, SimError> {
+        Ok(current.clone())
     }
 }
 
@@ -39,11 +44,19 @@ impl Autoscaler for RandomScaler {
         "Random".into()
     }
 
-    fn decide(&mut self, _t: usize, _m: &SlotMetrics, current: &Deployment) -> Deployment {
+    fn decide(
+        &mut self,
+        _t: usize,
+        _m: &SlotMetrics,
+        current: &Deployment,
+    ) -> Result<Deployment, SimError> {
         let tasks: Vec<usize> = (0..current.len())
             .map(|_| 1 + self.rng.below(self.max_tasks))
             .collect();
-        dragster_sim::harness::project_to_budget(Deployment { tasks }, self.budget_pods)
+        Ok(dragster_sim::harness::project_to_budget(
+            Deployment { tasks },
+            self.budget_pods,
+        ))
     }
 }
 
@@ -71,7 +84,7 @@ mod tests {
     fn static_never_moves() {
         let mut s = StaticScaler;
         let d = Deployment { tasks: vec![3, 7] };
-        assert_eq!(s.decide(0, &dummy_metrics(), &d), d);
+        assert_eq!(s.decide(0, &dummy_metrics(), &d).unwrap(), d);
         assert_eq!(s.name(), "Static");
     }
 
@@ -83,7 +96,7 @@ mod tests {
         };
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
-            let next = r.decide(0, &dummy_metrics(), &d);
+            let next = r.decide(0, &dummy_metrics(), &d).unwrap();
             assert!(next.total_pods() <= 12);
             assert!(next.tasks.iter().all(|&t| (1..=10).contains(&t)));
             seen.insert(next.tasks.clone());
@@ -98,8 +111,8 @@ mod tests {
         let mut b = RandomScaler::new(9, 10, None);
         for _ in 0..10 {
             assert_eq!(
-                a.decide(0, &dummy_metrics(), &d),
-                b.decide(0, &dummy_metrics(), &d)
+                a.decide(0, &dummy_metrics(), &d).unwrap(),
+                b.decide(0, &dummy_metrics(), &d).unwrap()
             );
         }
     }

@@ -9,7 +9,7 @@ use dragster_workloads::yahoo_benchmark;
 use std::hint::black_box;
 
 fn bench_dag_gradient(c: &mut Criterion) {
-    let y = yahoo_benchmark();
+    let y = yahoo_benchmark().expect("workload builds");
     let caps = vec![1.0e5; 6];
     c.bench_function("throughput_grad_yahoo", |b| {
         b.iter(|| {

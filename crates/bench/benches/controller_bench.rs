@@ -20,12 +20,13 @@ fn warmed_controller(
         NoiseConfig::default(),
         42,
         Deployment::uniform(w.n_operators(), 1),
-    );
+    )
+    .expect("simulator accepts the application");
     let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut last = None;
     for t in 0..slots {
         let m = sim.run_slot(&w.high_rate);
-        let next = d.decide(t, &m, sim.deployment());
+        let next = d.decide(t, &m, sim.deployment()).expect("policy decides");
         last = Some((m, sim.deployment().clone()));
         sim.reconfigure(next).expect("feasible");
     }
@@ -35,7 +36,10 @@ fn warmed_controller(
 
 fn bench_decide(c: &mut Criterion) {
     let mut g = c.benchmark_group("dragster_decide_slot");
-    for w in [word_count(), yahoo_benchmark()] {
+    for w in [
+        word_count().expect("workload builds"),
+        yahoo_benchmark().expect("workload builds"),
+    ] {
         let (mut d, m, cur) = warmed_controller(&w, 10);
         g.bench_with_input(BenchmarkId::from_parameter(&w.name), &w.name, |b, _| {
             b.iter(|| black_box(d.decide(black_box(11), black_box(&m), black_box(&cur))));
@@ -45,7 +49,7 @@ fn bench_decide(c: &mut Criterion) {
 }
 
 fn bench_saddle_solve(c: &mut Criterion) {
-    let y = yahoo_benchmark();
+    let y = yahoo_benchmark().expect("workload builds");
     let solver = TargetSolver::default();
     let lambda = vec![0.3; 6];
     let offered = vec![1.0e5; 6];

@@ -16,11 +16,15 @@ fn fresh_sim(w: &Workload) -> FluidSim {
         42,
         Deployment::uniform(w.n_operators(), 5),
     )
+    .expect("simulator accepts the application")
 }
 
 fn bench_fluid_slot(c: &mut Criterion) {
     let mut g = c.benchmark_group("fluid_run_slot");
-    for w in [word_count(), yahoo_benchmark()] {
+    for w in [
+        word_count().expect("workload builds"),
+        yahoo_benchmark().expect("workload builds"),
+    ] {
         let mut sim = fresh_sim(&w);
         let rate = w.high_rate.clone();
         g.bench_with_input(BenchmarkId::from_parameter(&w.name), &w.name, |b, _| {
@@ -31,17 +35,18 @@ fn bench_fluid_slot(c: &mut Criterion) {
 }
 
 fn bench_des_run(c: &mut Criterion) {
-    let w = word_count();
+    let w = word_count().expect("workload builds");
     c.bench_function("des_wordcount_600s", |b| {
         b.iter(|| {
-            let des = DesSim::new(w.app.clone(), Deployment::uniform(2, 5), 1.0);
+            let des =
+                DesSim::new(w.app.clone(), Deployment::uniform(2, 5), 1.0).expect("DES builds");
             black_box(des.run(black_box(&w.high_rate), 600.0, 60.0))
         });
     });
 }
 
 fn bench_oracle(c: &mut Criterion) {
-    let y = yahoo_benchmark();
+    let y = yahoo_benchmark().expect("workload builds");
     c.bench_function("oracle_greedy_yahoo", |b| {
         b.iter(|| {
             black_box(dragster_core::greedy_optimal(

@@ -29,9 +29,9 @@ struct AblationRow {
 }
 
 fn run_with(cfg: DragsterConfig, noise: NoiseConfig, seeds: &[u64]) -> (Option<f64>, f64, usize) {
-    let w = word_count();
+    let w = word_count().expect("workload builds");
     let slots = 40;
-    let (_, f_opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let (_, f_opt) = greedy_optimal(&w.app, &w.high_rate, 10, None).expect("oracle runs");
     let opt = vec![f_opt; slots];
     // medians over seeds
     let mut convs = Vec::new();
@@ -45,10 +45,12 @@ fn run_with(cfg: DragsterConfig, noise: NoiseConfig, seeds: &[u64]) -> (Option<f
             noise,
             seed,
             Deployment::uniform(2, 1),
-        );
+        )
+        .expect("simulator accepts the application");
         let mut scaler = Dragster::new(w.app.topology.clone(), cfg);
         let mut arr = ConstantArrival(w.high_rate.clone());
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, slots);
+        let trace =
+            run_experiment(&mut sim, &mut scaler, &mut arr, slots).expect("experiment runs");
         convs.push(
             trace
                 .convergence_minutes(&opt, 0.1, 0..slots, 600.0)

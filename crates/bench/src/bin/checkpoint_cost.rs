@@ -26,7 +26,7 @@ struct CheckpointRow {
 }
 
 fn main() {
-    let w = word_count();
+    let w = word_count().expect("workload builds");
     let slots = 100;
     let mk_arrival = || SquareWave {
         high: w.high_rate.clone(),
@@ -55,10 +55,12 @@ fn main() {
             NoiseConfig::default(),
             42,
             Deployment::uniform(w.n_operators(), initial_tasks),
-        );
+        )
+        .expect("simulator accepts the application");
         let mut scaler = make_scaler(scheme, &w.app, None, 42);
         let mut arrival = mk_arrival();
-        let trace = run_experiment(&mut sim, scaler.as_mut(), &mut arrival, slots);
+        let trace = run_experiment(&mut sim, scaler.as_mut(), &mut arrival, slots)
+            .expect("experiment runs");
         let paused: f64 = trace.slots.iter().map(|s| s.pause_secs).sum();
         let total_secs = slots as f64 * SimConfig::default().slot_secs;
         rows.push(CheckpointRow {

@@ -34,7 +34,7 @@ const SCHEMES: [Scheme; 5] = [
 ];
 
 fn main() {
-    let suite = extended_suite();
+    let suite = extended_suite().expect("workload builds");
     let slots = 40;
 
     let jobs: Vec<(usize, Scheme)> = (0..suite.len())
@@ -57,7 +57,8 @@ fn main() {
                 NoiseConfig::default(),
                 42,
                 Deployment::uniform(w.n_operators(), 1),
-            );
+            )
+            .expect("scheme runs");
             let frac: f64 = run
                 .ideal_throughput
                 .iter()

@@ -37,7 +37,7 @@ struct Panel {
 }
 
 fn main() {
-    let w = word_count();
+    let w = word_count().expect("workload builds");
     let slots = 20;
 
     let budget_cases = [
@@ -69,11 +69,15 @@ fn main() {
         let grid: Vec<Vec<f64>> = (1..=10)
             .map(|shuffle| {
                 (1..=10)
-                    .map(|map| w.app.ideal_throughput(&rate, &[map, shuffle]))
+                    .map(|map| {
+                        w.app
+                            .ideal_throughput(&rate, &[map, shuffle])
+                            .expect("grid point evaluates")
+                    })
                     .collect()
             })
             .collect();
-        let (d_opt, f_opt) = greedy_optimal(&w.app, &rate, 10, budget);
+        let (d_opt, f_opt) = greedy_optimal(&w.app, &rate, 10, budget).expect("oracle runs");
         println!("oracle optimum: deployment {d_opt}, throughput {f_opt:.0} tuples/s\n");
 
         let mut finals: Vec<(String, f64)> = Vec::new();
@@ -91,7 +95,8 @@ fn main() {
                 NoiseConfig::default(),
                 42,
                 Deployment::uniform(2, 1),
-            );
+            )
+            .expect("scheme runs");
             // path in (shuffle, map) coordinates like the paper's axes
             let path: Vec<(usize, usize)> = run.deployments.iter().map(|t| (t[1], t[0])).collect();
             let final_f = *run.ideal_throughput.last().expect("non-empty run");

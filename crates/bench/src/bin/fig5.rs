@@ -25,7 +25,7 @@ struct Fig5Row {
 }
 
 fn main() {
-    let suite = figure5_suite();
+    let suite = figure5_suite().expect("workload builds");
     let slots = 40;
 
     // (workload, scheme, seed) grid, embarrassingly parallel over rayon;
@@ -56,7 +56,8 @@ fn main() {
                 NoiseConfig::default(),
                 seed,
                 Deployment::uniform(w.n_operators(), 1),
-            );
+            )
+            .expect("scheme runs");
             Fig5Row {
                 workload: label.clone(),
                 operators: w.n_operators(),

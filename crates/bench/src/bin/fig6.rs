@@ -22,7 +22,7 @@ struct Fig6Series {
 }
 
 fn main() {
-    let exp = workload_change_experiment(42);
+    let exp = workload_change_experiment(42).expect("experiment runs");
     println!(
         "=== Figure 6 — WordCount throughput under load flips every {} min ({} min total) ===\n",
         exp.phase_slots * 10,

@@ -23,7 +23,7 @@ struct Fig7Series {
 }
 
 fn main() {
-    let exp = yahoo_experiment(42);
+    let exp = yahoo_experiment(42).expect("experiment runs");
     println!(
         "=== Figure 7 — Yahoo benchmark throughput; input rate steps up at {} min ===\n",
         exp.step_slot * 10

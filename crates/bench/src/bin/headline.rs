@@ -32,7 +32,7 @@ struct Headline {
 fn main() {
     // --- convergence speedups over the suite (median of seeds) ---
     const SEEDS: [u64; 3] = [11, 42, 1234];
-    let suite = figure5_suite();
+    let suite = figure5_suite().expect("workload builds");
     let jobs: Vec<(usize, Scheme, u64)> = (0..suite.len())
         .flat_map(|wi| {
             ALL_SCHEMES
@@ -57,7 +57,8 @@ fn main() {
                 NoiseConfig::default(),
                 seed,
                 Deployment::uniform(w.n_operators(), 1),
-            );
+            )
+            .expect("scheme runs");
             (wi, scheme, run.convergence_minutes.unwrap_or(400.0))
         })
         .collect();
@@ -80,7 +81,7 @@ fn main() {
     let sp_grad = speedup(Scheme::DragsterOgd);
 
     // --- goodput & cost from the workload-change run ---
-    let exp = workload_change_experiment(42);
+    let exp = workload_change_experiment(42).expect("experiment runs");
     let dh = &exp.runs[0];
     let saddle = &exp.runs[1];
     let grad = &exp.runs[2];

@@ -43,7 +43,7 @@ fn main() {
     let rows: Vec<GranRow> = jobs
         .par_iter()
         .map(|&(mi, slot_min)| {
-            let w = word_count();
+            let w = word_count().expect("workload builds");
             let (name, cluster) = (mechanisms[mi].0, mechanisms[mi].1);
             let slots = (total_minutes / slot_min) as usize;
             let phase_slots = (200.0 / slot_min) as usize;
@@ -59,14 +59,16 @@ fn main() {
                 NoiseConfig::default(),
                 42,
                 Deployment::uniform(2, 1),
-            );
+            )
+            .expect("simulator accepts the application");
             let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
             let mut arrival = SquareWave {
                 high: w.high_rate.clone(),
                 low: w.low_rate.clone(),
                 half_period_slots: phase_slots,
             };
-            let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, slots);
+            let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, slots)
+                .expect("experiment runs");
             let paused: f64 = trace.slots.iter().map(|s| s.pause_secs).sum();
             // mean fraction of the oracle optimum, per slot
             let mut arrival2 = SquareWave {
@@ -77,7 +79,8 @@ fn main() {
             let frac: f64 = (0..slots)
                 .map(|t| {
                     let r = dragster_sim::ArrivalProcess::rates(&mut arrival2, t);
-                    let (_, opt) = dragster_core::greedy_optimal(&w.app, &r, 10, None);
+                    let (_, opt) =
+                        dragster_core::greedy_optimal(&w.app, &r, 10, None).expect("oracle runs");
                     trace.ideal_throughput[t] / opt.max(1e-9)
                 })
                 .sum::<f64>()

@@ -26,7 +26,7 @@ struct RegretRow {
 }
 
 fn main() {
-    let w = word_count();
+    let w = word_count().expect("workload builds");
     let horizon = 240; // slots; exponents are fitted on the tail half
     let schemes = [
         Scheme::DragsterSaddle,
@@ -61,7 +61,8 @@ fn main() {
                 NoiseConfig::default(),
                 42,
                 Deployment::uniform(w.n_operators(), 1),
-            );
+            )
+            .expect("scheme runs");
             // Regret over *deployed-config ideal* throughput vs oracle
             // (isolates decision quality from checkpoint pauses), fit from
             // offered-vs-capacity constraint values.

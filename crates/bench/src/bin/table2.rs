@@ -13,7 +13,7 @@ use dragster_bench::report::Table;
 use dragster_bench::runner::write_json;
 
 fn main() {
-    let exp = workload_change_experiment(42);
+    let exp = workload_change_experiment(42).expect("experiment runs");
     let phases: Vec<_> = exp
         .runs
         .iter()

@@ -21,7 +21,7 @@ struct Table3Row {
 }
 
 fn main() {
-    let exp = yahoo_experiment(42);
+    let exp = yahoo_experiment(42).expect("experiment runs");
     let slot_secs = SimConfig::default().slot_secs;
     let window = 0..exp.step_slot; // the paper's Table 3 covers 300 minutes
 

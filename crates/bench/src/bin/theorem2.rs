@@ -29,10 +29,10 @@ struct Theorem2Row {
 }
 
 fn main() {
-    let w = yahoo_benchmark();
+    let w = yahoo_benchmark().expect("workload builds");
     let slots = 120;
     let rate = w.high_rate.clone();
-    let (_, opt) = greedy_optimal(&w.app, &rate, 10, None);
+    let (_, opt) = greedy_optimal(&w.app, &rate, 10, None).expect("oracle runs");
 
     println!("=== Theorem 2 — exact vs learned throughput functions (Yahoo) ===\n");
     let mut rows = Vec::new();
@@ -47,14 +47,16 @@ fn main() {
             NoiseConfig::default(),
             42,
             Deployment::uniform(6, 1),
-        );
+        )
+        .expect("simulator accepts the application");
         let cfg = DragsterConfig {
             learn_h: learn,
             ..DragsterConfig::saddle_point()
         };
         let mut scaler = Dragster::new(w.app.topology.clone(), cfg);
         let mut arrival = ConstantArrival(rate.clone());
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, slots);
+        let trace =
+            run_experiment(&mut sim, &mut scaler, &mut arrival, slots).expect("experiment runs");
 
         let mut tracker = RegretTracker::new();
         for t in 0..slots {

@@ -3,7 +3,7 @@
 
 use crate::runner::{run_scheme, Scheme, SchemeRun, ALL_SCHEMES};
 use dragster_sim::fluid::SimConfig;
-use dragster_sim::{ArrivalProcess, Deployment, NoiseConfig};
+use dragster_sim::{ArrivalProcess, Deployment, NoiseConfig, SimError};
 use dragster_workloads::{word_count, yahoo_benchmark, SquareWave, StepAt, Workload};
 use serde::Serialize;
 
@@ -17,8 +17,11 @@ pub struct WorkloadChangeRun {
 }
 
 /// Run the Figure-6 / Table-2 experiment for all three schemes.
-pub fn workload_change_experiment(seed: u64) -> WorkloadChangeRun {
-    let w = word_count();
+///
+/// # Errors
+/// [`SimError`] if any scheme's run fails.
+pub fn workload_change_experiment(seed: u64) -> Result<WorkloadChangeRun, SimError> {
+    let w = word_count()?;
     let slots = 100;
     let phase_slots = 20;
     let runs = ALL_SCHEMES
@@ -44,13 +47,13 @@ pub fn workload_change_experiment(seed: u64) -> WorkloadChangeRun {
                 Deployment::uniform(w.n_operators(), 1),
             )
         })
-        .collect();
-    WorkloadChangeRun {
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WorkloadChangeRun {
         workload: w,
         slots,
         phase_slots,
         runs,
-    }
+    })
 }
 
 /// Per-phase metrics for Table 2.
@@ -116,8 +119,11 @@ pub struct YahooRun {
 }
 
 /// Run the Figure-7 / Table-3 experiment for all three schemes.
-pub fn yahoo_experiment(seed: u64) -> YahooRun {
-    let w = yahoo_benchmark();
+///
+/// # Errors
+/// [`SimError`] if any scheme's run fails.
+pub fn yahoo_experiment(seed: u64) -> Result<YahooRun, SimError> {
+    let w = yahoo_benchmark()?;
     let slots = 60;
     let step_slot = 30;
     let runs = ALL_SCHEMES
@@ -143,13 +149,13 @@ pub fn yahoo_experiment(seed: u64) -> YahooRun {
                 Deployment::uniform(w.n_operators(), 1),
             )
         })
-        .collect();
-    YahooRun {
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(YahooRun {
         workload: w,
         slots,
         step_slot,
         runs,
-    }
+    })
 }
 
 /// Find the Dhalion run among a scheme set (panics if missing — the
@@ -168,7 +174,7 @@ mod tests {
     #[test]
     fn phase_metrics_slice_correctly() {
         // tiny synthetic run: 4 slots, phases of 2
-        let w = word_count();
+        let w = word_count().unwrap();
         let rate = w.high_rate.clone();
         let mut factory = || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>;
         let run = run_scheme(
@@ -180,7 +186,8 @@ mod tests {
             NoiseConfig::none(),
             1,
             Deployment::uniform(2, 5),
-        );
+        )
+        .unwrap();
         let phases = phase_metrics(&run, 2);
         assert_eq!(phases.len(), 2);
         let total: f64 = phases.iter().map(|p| p.processed_tuples).sum();

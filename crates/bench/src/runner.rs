@@ -5,7 +5,7 @@ use dragster_core::{greedy_optimal, Dragster, DragsterConfig, InnerAlgo};
 use dragster_sim::fluid::SimConfig;
 use dragster_sim::{
     run_experiment, Application, ArrivalProcess, Autoscaler, ClusterConfig, Deployment, FluidSim,
-    NoiseConfig, Trace,
+    NoiseConfig, SimError, Trace,
 };
 use serde::Serialize;
 
@@ -99,6 +99,10 @@ pub struct SchemeRun {
 /// metrics. The oracle series is computed per slot from the arrival
 /// process (`arrival` is called twice — once for the oracle, once live —
 /// so it must be deterministic in `t`).
+///
+/// # Errors
+/// [`SimError`] if the simulator rejects the application, the scheme's
+/// policy fails mid-run, or the oracle cannot evaluate a slot.
 #[allow(clippy::too_many_arguments)]
 pub fn run_scheme(
     scheme: Scheme,
@@ -109,7 +113,7 @@ pub fn run_scheme(
     noise: NoiseConfig,
     seed: u64,
     initial: Deployment,
-) -> SchemeRun {
+) -> Result<SchemeRun, SimError> {
     let cluster = ClusterConfig {
         budget_pods,
         ..Default::default()
@@ -121,24 +125,28 @@ pub fn run_scheme(
         noise,
         seed,
         initial,
-    );
+    )?;
     let mut scaler = make_scaler(scheme, app, budget_pods, seed);
     let mut arrival = arrival_factory();
-    let trace = run_experiment(&mut sim, scaler.as_mut(), &mut *arrival, slots);
+    let trace = run_experiment(&mut sim, scaler.as_mut(), &mut *arrival, slots)?;
 
     // Oracle series from a fresh copy of the arrival process.
     let mut arrival2 = arrival_factory();
     let rates: Vec<Vec<f64>> = (0..slots).map(|t| arrival2.rates(t)).collect();
-    let optimal: Vec<f64> = rates
-        .iter()
-        .map(|r| greedy_optimal(app, r, 10, budget_pods).1)
-        .collect();
+    let mut optimal = Vec::with_capacity(rates.len());
+    for r in &rates {
+        optimal.push(
+            greedy_optimal(app, r, 10, budget_pods)
+                .map_err(SimError::from)?
+                .1,
+        );
+    }
 
     let slot_secs = SimConfig::default().slot_secs;
     let convergence_slot = trace.convergence_slot(&optimal, 0.1, 0..slots);
     let convergence_minutes = trace.convergence_minutes(&optimal, 0.1, 0..slots, slot_secs);
 
-    SchemeRun {
+    Ok(SchemeRun {
         scheme: scheme.label().into(),
         throughput: trace.slots.iter().map(|s| s.throughput).collect(),
         ideal_throughput: trace.ideal_throughput.clone(),
@@ -150,7 +158,7 @@ pub fn run_scheme(
         convergence_slot,
         convergence_minutes,
         trace,
-    }
+    })
 }
 
 /// Experiment output envelope written to `results/<name>.json`.
@@ -190,7 +198,7 @@ mod tests {
 
     #[test]
     fn all_schemes_instantiate() {
-        let w = word_count();
+        let w = word_count().unwrap();
         for s in [
             Scheme::Dhalion,
             Scheme::DragsterSaddle,
@@ -206,7 +214,7 @@ mod tests {
 
     #[test]
     fn run_scheme_produces_consistent_series() {
-        let w = word_count();
+        let w = word_count().unwrap();
         let rate = w.high_rate.clone();
         let mut factory = || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>;
         let run = run_scheme(
@@ -218,7 +226,8 @@ mod tests {
             NoiseConfig::none(),
             1,
             Deployment::uniform(2, 1),
-        );
+        )
+        .unwrap();
         assert_eq!(run.throughput.len(), 8);
         assert_eq!(run.optimal_throughput.len(), 8);
         assert_eq!(run.deployments.len(), 8);
@@ -237,7 +246,7 @@ mod tests {
 
     #[test]
     fn seeded_runs_are_reproducible() {
-        let w = word_count();
+        let w = word_count().unwrap();
         let rate = w.high_rate.clone();
         let mut factory = || Box::new(ConstantArrival(rate.clone())) as Box<dyn ArrivalProcess>;
         let a = run_scheme(
@@ -249,7 +258,8 @@ mod tests {
             NoiseConfig::default(),
             7,
             Deployment::uniform(2, 1),
-        );
+        )
+        .unwrap();
         let b = run_scheme(
             Scheme::Dhalion,
             &w.app,
@@ -259,7 +269,8 @@ mod tests {
             NoiseConfig::default(),
             7,
             Deployment::uniform(2, 1),
-        );
+        )
+        .unwrap();
         assert_eq!(a.throughput, b.throughput);
         assert_eq!(a.deployments, b.deployments);
     }

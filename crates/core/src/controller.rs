@@ -16,9 +16,10 @@
 use crate::ogd::OgdState;
 use crate::saddle::{SaddleState, TargetSolver};
 use crate::ucb::{AcquisitionKind, OperatorGp, UcbConfig};
+use crate::DragsterError;
 use dragster_dag::learned::{HObservation, SelectivityEstimator};
 use dragster_dag::{analysis, Topology};
-use dragster_sim::{Autoscaler, Deployment, SlotMetrics};
+use dragster_sim::{Autoscaler, Deployment, SimError, SlotMetrics};
 
 /// Which level-1 algorithm computes the capacity targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,10 +141,14 @@ impl Dragster {
 
     /// The throughput-function view the controller currently works with:
     /// the provided topology (Theorem 1) or the learned one (Theorem 2).
-    pub fn working_topology(&self) -> Topology {
+    ///
+    /// # Errors
+    /// [`DragsterError::Dag`] if the learned weights cannot be applied to
+    /// the DAG structure.
+    pub fn working_topology(&self) -> Result<Topology, DragsterError> {
         match &self.estimator {
-            Some(est) => est.materialize(),
-            None => self.topo.clone(),
+            Some(est) => Ok(est.materialize()?),
+            None => Ok(self.topo.clone()),
         }
     }
 
@@ -170,21 +175,24 @@ impl Dragster {
 
     /// Operators ranked by current throughput-gradient (the paper's
     /// bottleneck view): computed at the *estimated* achieved capacities.
+    ///
+    /// # Errors
+    /// [`DragsterError::Dag`] if gradient evaluation rejects the inputs.
     pub fn bottleneck_ranking(
         &self,
         source_rates: &[f64],
         current: &Deployment,
-    ) -> Vec<(usize, f64)> {
+    ) -> Result<Vec<(usize, f64)>, DragsterError> {
         let caps: Vec<f64> = (0..self.gps.len())
             .map(|i| self.gps[i].capacity_estimate(current.tasks[i]).max(1e-6))
             .collect();
-        analysis::rank_bottlenecks(&self.topo, source_rates, &caps)
+        Ok(analysis::rank_bottlenecks(&self.topo, source_rates, &caps)?)
     }
 
     /// The joint configuration-space size `|X| = K^M`, saturating.
     fn joint_space(&self) -> usize {
         let k = self.cfg.ucb.max_tasks;
-        let m = self.topo.n_operators() as u32;
+        let m = crate::num::exponent_u32(self.topo.n_operators());
         k.checked_pow(m).unwrap_or(usize::MAX / 2)
     }
 
@@ -193,7 +201,10 @@ impl Dragster {
     /// means (monotone-ized — capacity models are non-decreasing by
     /// assumption). Operators with no data yet fall back to a unit-linear
     /// placeholder, which yields balanced allocations until samples arrive.
-    fn estimated_application(&self, structure: &Topology) -> dragster_sim::Application {
+    fn estimated_application(
+        &self,
+        structure: &Topology,
+    ) -> Result<dragster_sim::Application, DragsterError> {
         let k = self.cfg.ucb.max_tasks;
         let models = self
             .gps
@@ -211,8 +222,7 @@ impl Dragster {
                 dragster_sim::CapacityModel::Table { levels }
             })
             .collect();
-        dragster_sim::Application::new(structure.clone(), models)
-            .expect("monotone-ized tables always validate")
+        Ok(dragster_sim::Application::new(structure.clone(), models)?)
     }
 
     /// Restrict targets to the capacity region achievable within the pod
@@ -227,14 +237,15 @@ impl Dragster {
         targets: &mut [f64],
         rates: &[f64],
         budget: usize,
-    ) {
-        let est = self.estimated_application(working);
+    ) -> Result<(), DragsterError> {
+        let est = self.estimated_application(working)?;
         let (x_star, _) =
-            crate::oracle::greedy_optimal(&est, rates, self.cfg.ucb.max_tasks, Some(budget));
+            crate::oracle::greedy_optimal(&est, rates, self.cfg.ucb.max_tasks, Some(budget))?;
         let feasible = est.true_capacities(&x_star.tasks);
         for (t, f) in targets.iter_mut().zip(feasible.iter()) {
             *t = t.min(*f);
         }
+        Ok(())
     }
 }
 
@@ -246,7 +257,12 @@ impl Autoscaler for Dragster {
         }
     }
 
-    fn decide(&mut self, _t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment {
+    fn decide(
+        &mut self,
+        _t: usize,
+        metrics: &SlotMetrics,
+        current: &Deployment,
+    ) -> Result<Deployment, SimError> {
         self.t += 1;
         let m = self.topo.n_operators();
         let rates = &metrics.source_rates;
@@ -255,7 +271,7 @@ impl Autoscaler for Dragster {
         let mut l_values = vec![0.0; m];
         for (i, om) in metrics.operators.iter().enumerate() {
             if om.output_rate > 1e-9 {
-                self.gps[i].observe(current.tasks[i], om.capacity_sample);
+                self.gps[i].observe(current.tasks[i], om.capacity_sample)?;
             }
             // Constraint value l_i = offered − capacity (Eq. 11), using the
             // observed capacity sample as the capacity estimate.
@@ -275,11 +291,11 @@ impl Autoscaler for Dragster {
                 }
             }
         }
-        let working = self.working_topology();
+        let working = self.working_topology()?;
 
         // ---- line 4: dual update (Eq. 15) + target capacities. ----
         self.saddle.dual_update(&l_values);
-        let h_bound = analysis::throughput_upper_bound(&working, rates);
+        let h_bound = analysis::throughput_upper_bound(&working, rates)?;
         let y_max = (1.5 * h_bound).max(1e-6);
         let mut targets = match self.cfg.inner {
             InnerAlgo::SaddlePoint => {
@@ -295,13 +311,13 @@ impl Autoscaler for Dragster {
                     &self.saddle.lambda,
                     &warm,
                     y_max,
-                )
+                )?
             }
             InnerAlgo::GradientDescent => {
-                if self.ogd.is_none() {
-                    self.ogd = Some(OgdState::new(metrics.capacity_samples(), self.cfg.eta));
-                }
-                let ogd = self.ogd.as_mut().expect("initialized above");
+                let eta = self.cfg.eta;
+                let ogd = self
+                    .ogd
+                    .get_or_insert_with(|| OgdState::new(metrics.capacity_samples(), eta));
                 ogd.step(
                     &self.solver,
                     &working,
@@ -309,28 +325,27 @@ impl Autoscaler for Dragster {
                     &metrics.offered_loads(),
                     &self.saddle.lambda,
                     y_max,
-                )
+                )?
             }
         };
         if let Some(b) = self.cfg.budget_pods {
-            self.cap_targets_to_budget(&working, &mut targets, rates, b.max(m));
+            self.cap_targets_to_budget(&working, &mut targets, rates, b.max(m))?;
         }
         self.last_targets = targets.clone();
 
         // ---- line 6: extended GP-UCB selection (Eq. 18) + projection. ----
         let beta = self.cfg.ucb.beta(self.joint_space(), self.t);
         let rng = &mut self.rng;
-        let tables: Vec<Vec<f64>> = (0..m)
-            .map(|i| {
-                let target = targets[i] * self.cfg.target_headroom;
-                match self.cfg.ucb.acquisition {
-                    AcquisitionKind::ExtendedUcb => self.gps[i].acquisition_table(target, beta),
-                    AcquisitionKind::Thompson => {
-                        self.gps[i].thompson_table(target, || rng.gaussian())
-                    }
+        let mut tables: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for i in 0..m {
+            let target = targets[i] * self.cfg.target_headroom;
+            tables.push(match self.cfg.ucb.acquisition {
+                AcquisitionKind::ExtendedUcb => self.gps[i].acquisition_table(target, beta),
+                AcquisitionKind::Thompson => {
+                    self.gps[i].thompson_table(target, || rng.gaussian())?
                 }
-            })
-            .collect();
+            });
+        }
         let budget = self
             .cfg
             .budget_pods
@@ -348,18 +363,25 @@ impl Autoscaler for Dragster {
                 })
                 .collect();
             gaps.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let adjustable: std::collections::HashSet<usize> =
-                gaps.iter().take(k).map(|(i, _)| *i).collect();
+            // boolean mask instead of a hash set: indices are dense in
+            // 0..m, and iteration order stays deterministic
+            let mut adjustable = vec![false; m];
+            for &(i, _) in gaps.iter().take(k) {
+                adjustable[i] = true;
+            }
             for (i, t) in tasks.iter_mut().enumerate() {
-                if !adjustable.contains(&i) {
+                if !adjustable[i] {
                     *t = current.tasks[i];
                 }
             }
             // freezing can re-violate the budget; project the frozen plan
             let d = Deployment { tasks };
-            return dragster_sim::harness::project_to_budget(d, self.cfg.budget_pods);
+            return Ok(dragster_sim::harness::project_to_budget(
+                d,
+                self.cfg.budget_pods,
+            ));
         }
-        Deployment { tasks }
+        Ok(Deployment { tasks })
     }
 }
 
@@ -410,6 +432,7 @@ mod tests {
             seed,
             Deployment::uniform(2, 1),
         )
+        .unwrap()
     }
 
     #[test]
@@ -427,8 +450,8 @@ mod tests {
         let mut sim = make_sim(app.clone(), None, 7);
         let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
         let mut arr = ConstantArrival(vec![400.0]);
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 25);
-        let (_, opt) = crate::oracle::greedy_optimal(&app, &[400.0], 10, None);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 25).unwrap();
+        let (_, opt) = crate::oracle::greedy_optimal(&app, &[400.0], 10, None).unwrap();
         // the last slots must run within 10 % of optimal
         let tail = trace.ideal_throughput[20..]
             .iter()
@@ -451,11 +474,11 @@ mod tests {
         };
         let mut scaler = Dragster::new(app.topology.clone(), cfg);
         let mut arr = ConstantArrival(vec![2000.0]);
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 25);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 25).unwrap();
         for d in &trace.deployments {
             assert!(d.total_pods() <= budget, "budget violated: {d}");
         }
-        let (_, opt) = crate::oracle::greedy_optimal(&app, &[2000.0], 10, Some(budget));
+        let (_, opt) = crate::oracle::greedy_optimal(&app, &[2000.0], 10, Some(budget)).unwrap();
         let tail = trace.ideal_throughput[20..]
             .iter()
             .copied()
@@ -469,7 +492,7 @@ mod tests {
         let mut sim = make_sim(app.clone(), None, 11);
         let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
         let mut arr = |t: usize| vec![if t < 15 { 800.0 } else { 150.0 }];
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 30);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 30).unwrap();
         let pods_high = trace.deployments[14].total_pods();
         let pods_low = trace.deployments[29].total_pods();
         assert!(
@@ -484,8 +507,8 @@ mod tests {
         let mut sim = make_sim(app.clone(), None, 5);
         let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::gradient_descent());
         let mut arr = ConstantArrival(vec![400.0]);
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 35);
-        let (_, opt) = crate::oracle::greedy_optimal(&app, &[400.0], 10, None);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 35).unwrap();
+        let (_, opt) = crate::oracle::greedy_optimal(&app, &[400.0], 10, None).unwrap();
         let tail = trace.ideal_throughput[30..]
             .iter()
             .copied()
@@ -497,10 +520,10 @@ mod tests {
     fn working_topology_is_identity_in_exact_mode() {
         let app = wordcount_app();
         let d = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
-        let w = d.working_topology();
+        let w = d.working_topology().unwrap();
         // same throughput function as the provided topology
-        let f1 = dragster_dag::throughput(&app.topology, &[100.0], &[50.0, 50.0]);
-        let f2 = dragster_dag::throughput(&w, &[100.0], &[50.0, 50.0]);
+        let f1 = dragster_dag::throughput(&app.topology, &[100.0], &[50.0, 50.0]).unwrap();
+        let f2 = dragster_dag::throughput(&w, &[100.0], &[50.0, 50.0]).unwrap();
         assert_eq!(f1, f2);
         assert!(d.estimator().is_none());
     }
@@ -515,7 +538,7 @@ mod tests {
         };
         let mut scaler = Dragster::new(app.topology.clone(), cfg);
         let mut arr = ConstantArrival(vec![400.0]);
-        let _ = run_experiment(&mut sim, &mut scaler, &mut arr, 25);
+        run_experiment(&mut sim, &mut scaler, &mut arr, 25).unwrap();
         let est = scaler.estimator().expect("learn_h");
         // WordCount is pass-through (selectivity 1): learned ≈ 1
         let err = est.max_relative_error(&app.topology);
@@ -537,7 +560,7 @@ mod tests {
         };
         let mut scaler = Dragster::new(app.topology.clone(), cfg);
         let mut arr = ConstantArrival(vec![2000.0]);
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 10);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 10).unwrap();
         for d in &trace.deployments {
             assert!(d.total_pods() <= budget);
         }
@@ -553,7 +576,7 @@ mod tests {
         };
         let mut scaler = Dragster::new(app.topology.clone(), cfg);
         let mut arr = ConstantArrival(vec![400.0]);
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 12);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 12).unwrap();
         for pair in trace.deployments.windows(2) {
             let changed = pair[0]
                 .tasks
@@ -571,13 +594,15 @@ mod tests {
         let mut sim = make_sim(app.clone(), None, 2);
         let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
         let mut arr = ConstantArrival(vec![400.0]);
-        let _ = run_experiment(&mut sim, &mut scaler, &mut arr, 3);
+        run_experiment(&mut sim, &mut scaler, &mut arr, 3).unwrap();
         assert_eq!(scaler.last_targets().len(), 2);
         assert!(scaler.last_targets().iter().all(|&y| y >= 0.0));
         assert_eq!(scaler.lambda().len(), 2);
         assert_eq!(scaler.operator_gps().len(), 2);
         assert!(!scaler.operator_gps()[0].is_empty());
-        let ranking = scaler.bottleneck_ranking(&[400.0], sim.deployment());
+        let ranking = scaler
+            .bottleneck_ranking(&[400.0], sim.deployment())
+            .unwrap();
         assert_eq!(ranking.len(), 2);
     }
 }

@@ -1,0 +1,113 @@
+//! The controller-level error type.
+//!
+//! Every fallible step of a Dragster decision slot — flow propagation on
+//! the working topology, GP posterior updates, oracle evaluation through
+//! the simulator's application model — reports a structured
+//! [`DragsterError`] instead of panicking. The experiment harness speaks
+//! [`SimError`], so `DragsterError` converts into it (an autoscaler
+//! failure is a policy failure from the harness's point of view).
+
+use dragster_dag::DagError;
+use dragster_gp::GpError;
+use dragster_sim::SimError;
+use std::fmt;
+
+/// Errors produced by the Dragster controller and its oracle/solver
+/// components.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DragsterError {
+    /// Flow propagation or topology analysis failed.
+    Dag(DagError),
+    /// A Gaussian-process update or posterior draw failed.
+    Gp(GpError),
+    /// Application construction or simulator evaluation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for DragsterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DragsterError::Dag(e) => write!(f, "topology error: {e}"),
+            DragsterError::Gp(e) => write!(f, "GP error: {e}"),
+            DragsterError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DragsterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DragsterError::Dag(e) => Some(e),
+            DragsterError::Gp(e) => Some(e),
+            DragsterError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<DagError> for DragsterError {
+    fn from(e: DagError) -> DragsterError {
+        DragsterError::Dag(e)
+    }
+}
+
+impl From<GpError> for DragsterError {
+    fn from(e: GpError) -> DragsterError {
+        DragsterError::Gp(e)
+    }
+}
+
+impl From<SimError> for DragsterError {
+    fn from(e: SimError) -> DragsterError {
+        DragsterError::Sim(e)
+    }
+}
+
+/// The harness runs autoscalers through [`SimError`]; a controller error
+/// surfaces there as a structural DAG error or a policy failure.
+impl From<DragsterError> for SimError {
+    fn from(e: DragsterError) -> SimError {
+        match e {
+            DragsterError::Dag(d) => SimError::Dag(d),
+            DragsterError::Sim(s) => s,
+            DragsterError::Gp(g) => SimError::Policy {
+                scheme: "dragster".into(),
+                reason: g.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip_into_sim_error() {
+        let e: DragsterError = DagError::UnreachableSink.into();
+        assert!(e.to_string().contains("sink"));
+        let s: SimError = e.into();
+        assert_eq!(s, SimError::Dag(DagError::UnreachableSink));
+
+        let e: DragsterError = SimError::DeploymentArity {
+            expected: 2,
+            got: 3,
+        }
+        .into();
+        let s: SimError = e.into();
+        assert!(matches!(s, SimError::DeploymentArity { .. }));
+    }
+
+    #[test]
+    fn gp_errors_become_policy_failures() {
+        let g = GpError::NotPositiveDefinite { pivot: 4 };
+        let e: DragsterError = g.into();
+        let s: SimError = e.into();
+        match s {
+            SimError::Policy { scheme, reason } => {
+                assert_eq!(scheme, "dragster");
+                assert!(reason.contains("pivot 4"), "{reason}");
+            }
+            other => panic!("expected Policy, got {other:?}"),
+        }
+    }
+}

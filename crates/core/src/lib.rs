@@ -31,6 +31,8 @@
 
 pub mod bounds;
 pub mod controller;
+pub mod error;
+pub mod num;
 pub mod ogd;
 pub mod oracle;
 pub mod projection;
@@ -40,6 +42,8 @@ pub mod ucb;
 
 pub use bounds::Theorem1Constants;
 pub use controller::{Dragster, DragsterConfig, InnerAlgo};
+pub use error::DragsterError;
+pub use num::{argmax, argmin};
 pub use oracle::{exhaustive_optimal, greedy_optimal};
 pub use projection::project_acquisition;
 pub use regret::RegretTracker;

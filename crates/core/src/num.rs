@@ -1,0 +1,86 @@
+//! NaN-safe numeric helpers shared by the controller, the projection, and
+//! the baseline scalers.
+//!
+//! `f64` is not `Ord`, and the `partial_cmp(..).unwrap()` idiom panics the
+//! moment a NaN sneaks into a metric stream. Every argmax/argmin over
+//! floating-point scores in this workspace goes through [`argmax`] /
+//! [`argmin`] instead: `f64::total_cmp` is a total order (NaN sorts above
+//! +∞), so selection is deterministic for any input, and ties break toward
+//! the lowest index.
+
+use std::cmp::Ordering;
+
+/// Index of the largest value under `f64::total_cmp`; ties (exact equality
+/// under the total order) break toward the lowest index. `None` on an
+/// empty slice.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, v) in values.iter().enumerate() {
+        match best {
+            Some(b) if v.total_cmp(&values[b]) != Ordering::Greater => {}
+            _ => best = Some(i),
+        }
+    }
+    best
+}
+
+/// Index of the smallest value under `f64::total_cmp`; ties break toward
+/// the lowest index. `None` on an empty slice.
+pub fn argmin(values: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, v) in values.iter().enumerate() {
+        match best {
+            Some(b) if v.total_cmp(&values[b]) != Ordering::Less => {}
+            _ => best = Some(i),
+        }
+    }
+    best
+}
+
+/// A `usize` exponent clamped into `u32` for `checked_pow`. Saturates at
+/// `u32::MAX`, where any base ≥ 2 overflows `checked_pow` anyway.
+pub fn exponent_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_largest_lowest_index_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[-5.0]), Some(0));
+    }
+
+    #[test]
+    fn argmin_picks_smallest_lowest_index_on_ties() {
+        assert_eq!(argmin(&[4.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn nan_never_panics_and_sorts_above_infinity() {
+        // total_cmp: NaN > +inf, so argmax lands on the NaN instead of
+        // panicking — callers get a deterministic index for any input.
+        let v = [1.0, f64::NAN, f64::INFINITY];
+        assert_eq!(argmax(&v), Some(1));
+        assert_eq!(argmin(&v), Some(0));
+        // negative NaN sorts below -inf
+        let w = [f64::NEG_INFINITY, -f64::NAN];
+        assert_eq!(argmin(&w), Some(1));
+    }
+
+    #[test]
+    fn signed_zeros_are_ordered_not_equal() {
+        assert_eq!(argmax(&[-0.0, 0.0]), Some(1));
+        assert_eq!(argmin(&[0.0, -0.0]), Some(1));
+    }
+
+    #[test]
+    fn exponent_saturates() {
+        assert_eq!(exponent_u32(7), 7);
+        assert_eq!(exponent_u32(usize::MAX), u32::MAX);
+    }
+}

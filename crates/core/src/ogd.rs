@@ -20,6 +20,7 @@
 //! convergence of OGD on load drops in Table 2.
 
 use crate::saddle::TargetSolver;
+use crate::DragsterError;
 use dragster_dag::Topology;
 
 /// One OGD step state: the previous target vector.
@@ -46,6 +47,10 @@ impl OgdState {
     /// Eq. 16 + plateau pull: one projected gradient step on the last-slot
     /// Lagrangian, then a partial pull-back toward the just-enough point.
     /// Returns the new target vector.
+    ///
+    /// # Errors
+    /// [`DragsterError::Dag`] if the gradient or pull-back evaluation
+    /// rejects the inputs; the state is left at the post-gradient point.
     pub fn step(
         &mut self,
         solver: &TargetSolver,
@@ -54,17 +59,17 @@ impl OgdState {
         offered_obs: &[f64],
         lambda: &[f64],
         y_max: f64,
-    ) -> Vec<f64> {
-        let (_, g) = solver.lagrangian_grad(topo, source_rates, offered_obs, &self.y, lambda);
+    ) -> Result<Vec<f64>, DragsterError> {
+        let (_, g) = solver.lagrangian_grad(topo, source_rates, offered_obs, &self.y, lambda)?;
         for (yi, gi) in self.y.iter_mut().zip(g.iter()) {
             *yi = (*yi + self.eta * y_max * gi).clamp(0.0, y_max);
         }
-        let pulled = solver.pull_back(topo, source_rates, &self.y);
+        let pulled = solver.pull_back(topo, source_rates, &self.y)?;
         for (yi, pi) in self.y.iter_mut().zip(pulled.iter()) {
             // pull-back never increases a coordinate
             *yi += self.pull_rate * (pi - *yi);
         }
-        self.y.clone()
+        Ok(self.y.clone())
     }
 }
 
@@ -90,7 +95,8 @@ mod tests {
         let solver = TargetSolver::default();
         let mut st = OgdState::new(vec![10.0], 0.1);
         for _ in 0..50 {
-            st.step(&solver, &topo, &[100.0], &[100.0], &[0.3], 300.0);
+            st.step(&solver, &topo, &[100.0], &[100.0], &[0.3], 300.0)
+                .unwrap();
         }
         assert!(
             st.y[0] >= 95.0,
@@ -106,8 +112,12 @@ mod tests {
         let topo = chain();
         let solver = TargetSolver::default();
         let mut st = OgdState::new(vec![10.0], 0.05);
-        let one = st.step(&solver, &topo, &[100.0], &[100.0], &[0.3], 300.0);
-        let full = solver.solve(&topo, &[100.0], &[100.0], &[0.3], &[10.0], 300.0);
+        let one = st
+            .step(&solver, &topo, &[100.0], &[100.0], &[0.3], 300.0)
+            .unwrap();
+        let full = solver
+            .solve(&topo, &[100.0], &[100.0], &[0.3], &[10.0], 300.0)
+            .unwrap();
         assert!((one[0] - 10.0).abs() < (full[0] - 10.0).abs());
     }
 
@@ -118,7 +128,8 @@ mod tests {
         // way above the load with λ = 0: the plateau pull shrinks targets
         let mut st = OgdState::new(vec![290.0], 0.1);
         for _ in 0..20 {
-            st.step(&solver, &topo, &[50.0], &[50.0], &[0.0], 300.0);
+            st.step(&solver, &topo, &[50.0], &[50.0], &[0.0], 300.0)
+                .unwrap();
         }
         assert!(st.y[0] < 60.0, "no scale-down: {}", st.y[0]);
         assert!(st.y[0] >= 49.0, "undershot the load: {}", st.y[0]);
@@ -129,7 +140,9 @@ mod tests {
         let topo = chain();
         let solver = TargetSolver::default();
         let mut st = OgdState::new(vec![290.0], 0.1);
-        let y1 = st.step(&solver, &topo, &[50.0], &[50.0], &[0.0], 300.0);
+        let y1 = st
+            .step(&solver, &topo, &[50.0], &[50.0], &[0.0], 300.0)
+            .unwrap();
         // one step closes only part of the gap (smooth adjustment)
         assert!(y1[0] > 100.0, "descended too fast: {}", y1[0]);
         assert!(y1[0] < 290.0);
@@ -140,7 +153,9 @@ mod tests {
         let topo = chain();
         let solver = TargetSolver::default();
         let mut st = OgdState::new(vec![299.0], 5.0);
-        let y = st.step(&solver, &topo, &[1000.0], &[1000.0], &[10.0], 300.0);
+        let y = st
+            .step(&solver, &topo, &[1000.0], &[1000.0], &[10.0], 300.0)
+            .unwrap();
         assert!(y[0] <= 300.0);
     }
 }

@@ -14,19 +14,26 @@
 //! is concave and component-wise monotone in capacities (diminishing
 //! returns ⇒ the greedy chain of +1-task moves dominates).
 
+use crate::DragsterError;
 use dragster_sim::{Application, Deployment};
 
 /// Exhaustive search over the full grid. Exact; exponential in `M` —
 /// intended for `M ≤ 4`.
+///
+/// # Errors
+/// [`DragsterError::Sim`] if throughput evaluation rejects the inputs
+/// (source-rate arity mismatch or an inconsistent topology).
 pub fn exhaustive_optimal(
     app: &Application,
     source_rates: &[f64],
     max_tasks: usize,
     budget_pods: Option<usize>,
-) -> (Deployment, f64) {
+) -> Result<(Deployment, f64), DragsterError> {
     let m = app.n_operators();
     assert!(
-        max_tasks.pow(m as u32) <= 2_000_000,
+        max_tasks
+            .checked_pow(crate::num::exponent_u32(m))
+            .is_some_and(|grid| grid <= 2_000_000),
         "grid too large; use greedy_optimal"
     );
     let mut tasks = vec![1usize; m];
@@ -42,7 +49,7 @@ pub fn exhaustive_optimal(
             tasks: tasks.clone(),
         };
         if d.within_budget(budget_pods) {
-            let f = app.ideal_throughput(source_rates, &tasks);
+            let f = app.ideal_throughput(source_rates, &tasks)?;
             let pods = d.total_pods();
             if f > best.1 + 1e-9 || (f > best.1 - 1e-9 && pods < best.2) {
                 best = (d, f, pods);
@@ -52,7 +59,7 @@ pub fn exhaustive_optimal(
         let mut i = 0;
         loop {
             if i == m {
-                return (best.0, best.1);
+                return Ok((best.0, best.1));
             }
             tasks[i] += 1;
             if tasks[i] <= max_tasks {
@@ -81,19 +88,23 @@ pub fn exhaustive_optimal(
 ///    where marginal-gain moves stall.
 ///
 /// Tests cross-validate against [`exhaustive_optimal`] on small grids.
+///
+/// # Errors
+/// [`DragsterError::Dag`] / [`DragsterError::Sim`] if flow propagation or
+/// throughput evaluation rejects the inputs.
 pub fn greedy_optimal(
     app: &Application,
     source_rates: &[f64],
     max_tasks: usize,
     budget_pods: Option<usize>,
-) -> (Deployment, f64) {
+) -> Result<(Deployment, f64), DragsterError> {
     let m = app.n_operators();
     // --- 1. water-fill ---
     let mut tasks = vec![max_tasks; m];
     for _ in 0..8 {
         let caps = app.true_capacities(&tasks);
-        let flows = dragster_dag::propagate(&app.topology, source_rates, &caps);
-        let loads = flows.operator_offered_loads(&app.topology);
+        let flows = dragster_dag::propagate(&app.topology, source_rates, &caps)?;
+        let loads = flows.operator_offered_loads(&app.topology)?;
         let mut next = Vec::with_capacity(m);
         for (i, &load) in loads.iter().enumerate() {
             let need = app.capacity_models[i]
@@ -106,7 +117,7 @@ pub fn greedy_optimal(
         }
         tasks = next;
     }
-    let mut f = app.ideal_throughput(source_rates, &tasks);
+    let mut f = app.ideal_throughput(source_rates, &tasks)?;
 
     // --- 2. budget projection ---
     if let Some(b) = budget_pods {
@@ -116,14 +127,16 @@ pub fn greedy_optimal(
             for i in 0..m {
                 if tasks[i] > 1 {
                     tasks[i] -= 1;
-                    let fi = app.ideal_throughput(source_rates, &tasks);
+                    let fi = app.ideal_throughput(source_rates, &tasks)?;
                     tasks[i] += 1;
                     if best.is_none_or(|(_, bf)| fi > bf) {
                         best = Some((i, fi));
                     }
                 }
             }
-            let (i, fi) = best.expect("budget ≥ M keeps a decrement feasible");
+            // No decrement candidate means every operator is at 1 task, so
+            // the total is M ≤ b and the loop guard cannot hold.
+            let Some((i, fi)) = best else { break };
             tasks[i] -= 1;
             f = fi;
         }
@@ -139,7 +152,7 @@ pub fn greedy_optimal(
                 }
                 tasks[i] += 1;
                 tasks[j] -= 1;
-                let fi = app.ideal_throughput(source_rates, &tasks);
+                let fi = app.ideal_throughput(source_rates, &tasks)?;
                 if fi > f + 1e-9 {
                     f = fi;
                     improved = true;
@@ -159,7 +172,7 @@ pub fn greedy_optimal(
         for i in 0..m {
             if tasks[i] > 1 {
                 tasks[i] -= 1;
-                let fi = app.ideal_throughput(source_rates, &tasks);
+                let fi = app.ideal_throughput(source_rates, &tasks)?;
                 if fi >= f - 1e-9 {
                     trimmed = true;
                 } else {
@@ -171,20 +184,24 @@ pub fn greedy_optimal(
             break;
         }
     }
-    (Deployment { tasks }, f)
+    Ok((Deployment { tasks }, f))
 }
 
 /// Optimal throughput per slot for a whole arrival trace — the `y*_t`
 /// series used for regret curves and convergence tables.
+///
+/// # Errors
+/// [`DragsterError`] from the first slot whose optimum cannot be
+/// evaluated.
 pub fn optimal_series(
     app: &Application,
     rates_per_slot: &[Vec<f64>],
     max_tasks: usize,
     budget_pods: Option<usize>,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, DragsterError> {
     rates_per_slot
         .iter()
-        .map(|r| greedy_optimal(app, r, max_tasks, budget_pods).1)
+        .map(|r| Ok(greedy_optimal(app, r, max_tasks, budget_pods)?.1))
         .collect()
 }
 
@@ -229,8 +246,8 @@ mod tests {
     #[test]
     fn greedy_matches_exhaustive_unconstrained() {
         let app = wordcount(100.0, 60.0);
-        let (dg, fg) = greedy_optimal(&app, &[450.0], 10, None);
-        let (de, fe) = exhaustive_optimal(&app, &[450.0], 10, None);
+        let (dg, fg) = greedy_optimal(&app, &[450.0], 10, None).unwrap();
+        let (de, fe) = exhaustive_optimal(&app, &[450.0], 10, None).unwrap();
         assert!((fg - fe).abs() < 1e-9, "greedy {fg} vs exhaustive {fe}");
         assert_eq!(dg.tasks, de.tasks);
     }
@@ -239,8 +256,8 @@ mod tests {
     fn greedy_matches_exhaustive_budgeted() {
         let app = wordcount(100.0, 60.0);
         for budget in [4, 6, 8, 10, 12] {
-            let (_, fg) = greedy_optimal(&app, &[800.0], 10, Some(budget));
-            let (_, fe) = exhaustive_optimal(&app, &[800.0], 10, Some(budget));
+            let (_, fg) = greedy_optimal(&app, &[800.0], 10, Some(budget)).unwrap();
+            let (_, fe) = exhaustive_optimal(&app, &[800.0], 10, Some(budget)).unwrap();
             assert!(
                 (fg - fe).abs() < 1e-6,
                 "budget {budget}: greedy {fg} vs exhaustive {fe}"
@@ -253,7 +270,7 @@ mod tests {
         let app = wordcount(100.0, 100.0);
         // load 250 needs ~3 tasks per operator (capacity 100n with small
         // contention); no reason to buy more.
-        let (d, f) = exhaustive_optimal(&app, &[250.0], 10, None);
+        let (d, f) = exhaustive_optimal(&app, &[250.0], 10, None).unwrap();
         assert!((f - 250.0).abs() < 1.0, "{f}");
         assert!(d.tasks.iter().all(|&t| t <= 4), "{d}");
     }
@@ -261,7 +278,7 @@ mod tests {
     #[test]
     fn budget_binds_under_overload() {
         let app = wordcount(100.0, 100.0);
-        let (d, f) = exhaustive_optimal(&app, &[5000.0], 10, Some(8));
+        let (d, f) = exhaustive_optimal(&app, &[5000.0], 10, Some(8)).unwrap();
         assert_eq!(d.total_pods(), 8);
         // balanced 4/4 ⇒ throughput ≈ capacity(4) ≈ 366
         assert_eq!(d.tasks, vec![4, 4]);
@@ -273,14 +290,15 @@ mod tests {
         // shuffle is half as fast per task: under a tight budget it should
         // receive more tasks than map.
         let app = wordcount(100.0, 50.0);
-        let (d, _) = exhaustive_optimal(&app, &[5000.0], 10, Some(9));
+        let (d, _) = exhaustive_optimal(&app, &[5000.0], 10, Some(9)).unwrap();
         assert!(d.tasks[1] > d.tasks[0], "{d}");
     }
 
     #[test]
     fn optimal_series_tracks_load() {
         let app = wordcount(100.0, 100.0);
-        let series = optimal_series(&app, &[vec![100.0], vec![400.0], vec![100.0]], 10, None);
+        let series =
+            optimal_series(&app, &[vec![100.0], vec![400.0], vec![100.0]], 10, None).unwrap();
         assert!((series[0] - 100.0).abs() < 1.0);
         assert!((series[1] - 400.0).abs() < 6.0);
         assert!((series[2] - 100.0).abs() < 1.0);

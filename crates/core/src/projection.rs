@@ -78,15 +78,7 @@ pub fn project_greedy(tables: &[Vec<f64>], budget: usize) -> Vec<usize> {
     assert!(budget >= m);
     let mut xs: Vec<usize> = tables
         .iter()
-        .map(|t| {
-            let mut best = 0;
-            for (i, &a) in t.iter().enumerate() {
-                if a > t[best] {
-                    best = i;
-                }
-            }
-            best + 1
-        })
+        .map(|t| crate::num::argmax(t).map_or(1, |i| i + 1))
         .collect();
     loop {
         let total: usize = xs.iter().sum();
@@ -98,12 +90,14 @@ pub fn project_greedy(tables: &[Vec<f64>], budget: usize) -> Vec<usize> {
         for i in 0..m {
             if xs[i] > 1 {
                 let loss = tables[i][xs[i] - 1] - tables[i][xs[i] - 2];
-                if best.is_none_or(|(_, l)| loss < l) {
+                if best.is_none_or(|(_, l)| loss.total_cmp(&l) == std::cmp::Ordering::Less) {
                     best = Some((i, loss));
                 }
             }
         }
-        let (i, _) = best.expect("budget ≥ M guarantees a feasible decrement");
+        // No decrement candidate means all entries are 1, so the total is
+        // M ≤ budget and the loop has already returned.
+        let Some((i, _)) = best else { return xs };
         xs[i] -= 1;
     }
 }

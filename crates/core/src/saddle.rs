@@ -27,6 +27,7 @@
 //! configuration" (Section 6.4) while the dual dynamics remain exactly
 //! Eq. 15.
 
+use crate::DragsterError;
 use dragster_autodiff::Tape;
 use dragster_dag::{propagate, throughput, Topology};
 
@@ -63,6 +64,10 @@ impl TargetSolver {
     /// flow-dependent instead creates a perverse maximizer — with a large
     /// downstream λ the Lagrangian rewards *starving upstream operators*
     /// (less inflow ⇒ smaller violation), collapsing every target to zero.
+    ///
+    /// # Errors
+    /// [`DragsterError::Dag`] if flow propagation rejects the inputs
+    /// (arity mismatch or an inconsistent topology).
     pub fn lagrangian_grad(
         &self,
         topo: &Topology,
@@ -70,18 +75,18 @@ impl TargetSolver {
         offered_obs: &[f64],
         y: &[f64],
         lambda: &[f64],
-    ) -> (f64, Vec<f64>) {
+    ) -> Result<(f64, Vec<f64>), DragsterError> {
         let tape = Tape::new();
         let caps: Vec<_> = y.iter().map(|&v| tape.var(v)).collect();
         let rates: Vec<_> = source_rates.iter().map(|&r| tape.constant(r)).collect();
-        let res = propagate(topo, &rates, &caps);
+        let res = propagate(topo, &rates, &caps)?;
         // L = f(y) − Σ λ_i (offered_obs_i − y_i)
         let mut l = res.throughput;
         for (i, &off) in offered_obs.iter().enumerate() {
             l = l - (tape.constant(off) - caps[i]) * lambda[i];
         }
         let grads = l.backward();
-        (l.value(), grads.wrt_slice(&caps))
+        Ok((l.value(), grads.wrt_slice(&caps)))
     }
 
     /// Projected gradient ascent on `L(·, λ)` over `[0, y_max]^M`.
@@ -93,12 +98,12 @@ impl TargetSolver {
         lambda: &[f64],
         y_start: &[f64],
         y_max: f64,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, DragsterError> {
         let m = topo.n_operators();
         let mut y: Vec<f64> = y_start.iter().map(|&v| v.clamp(0.0, y_max)).collect();
         let step0 = 0.25 * y_max;
         for k in 1..=self.iters {
-            let (_, g) = self.lagrangian_grad(topo, source_rates, offered_obs, &y, lambda);
+            let (_, g) = self.lagrangian_grad(topo, source_rates, offered_obs, &y, lambda)?;
             let step = step0 / (k as f64).sqrt();
             let mut moved = 0.0;
             for i in 0..m {
@@ -110,15 +115,23 @@ impl TargetSolver {
                 break;
             }
         }
-        y
+        Ok(y)
     }
 
     /// Reduce each coordinate to the smallest value that keeps the
     /// application throughput within `pull_back_tol` (relative) of its
     /// value at `y` — the minimal point of the saturation plateau. Two
     /// passes make the result order-insensitive for chains.
-    pub fn pull_back(&self, topo: &Topology, source_rates: &[f64], y: &[f64]) -> Vec<f64> {
-        let f_ref = throughput(topo, source_rates, y);
+    ///
+    /// # Errors
+    /// [`DragsterError::Dag`] if throughput evaluation rejects the inputs.
+    pub fn pull_back(
+        &self,
+        topo: &Topology,
+        source_rates: &[f64],
+        y: &[f64],
+    ) -> Result<Vec<f64>, DragsterError> {
+        let f_ref = throughput(topo, source_rates, y)?;
         let floor = f_ref * (1.0 - self.pull_back_tol) - 1e-12;
         let mut y = y.to_vec();
         for _pass in 0..2 {
@@ -128,7 +141,7 @@ impl TargetSolver {
                     let mid = 0.5 * (lo + hi);
                     let saved = y[i];
                     y[i] = mid;
-                    let ok = throughput(topo, source_rates, &y) >= floor;
+                    let ok = throughput(topo, source_rates, &y)? >= floor;
                     y[i] = saved;
                     if ok {
                         hi = mid;
@@ -139,12 +152,15 @@ impl TargetSolver {
                 y[i] = hi;
             }
         }
-        y
+        Ok(y)
     }
 
     /// Eq. 14 with plateau selection: ascend `L(·, λ_{t−1})` from
     /// `y_start`, pull back to the minimal plateau point, then apply the
     /// λ-headroom.
+    ///
+    /// # Errors
+    /// [`DragsterError::Dag`] if the inner evaluations reject the inputs.
     pub fn solve(
         &self,
         topo: &Topology,
@@ -153,14 +169,14 @@ impl TargetSolver {
         lambda: &[f64],
         y_start: &[f64],
         y_max: f64,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, DragsterError> {
         assert_eq!(lambda.len(), topo.n_operators());
-        let y_hat = self.ascend(topo, source_rates, offered_obs, lambda, y_start, y_max);
-        let mut y = self.pull_back(topo, source_rates, &y_hat);
+        let y_hat = self.ascend(topo, source_rates, offered_obs, lambda, y_start, y_max)?;
+        let mut y = self.pull_back(topo, source_rates, &y_hat)?;
         for (yi, &lam) in y.iter_mut().zip(lambda.iter()) {
             *yi = (*yi * (1.0 + self.lambda_headroom * lam.min(1.0))).clamp(0.0, y_max);
         }
-        y
+        Ok(y)
     }
 }
 
@@ -225,8 +241,10 @@ mod tests {
         let topo = chain();
         let solver = TargetSolver::default();
         let y = [50.0, 80.0];
-        let (l, _) = solver.lagrangian_grad(&topo, &[100.0], &[100.0, 100.0], &y, &[0.0, 0.0]);
-        assert!((l - throughput(&topo, &[100.0], &y)).abs() < 1e-12);
+        let (l, _) = solver
+            .lagrangian_grad(&topo, &[100.0], &[100.0, 100.0], &y, &[0.0, 0.0])
+            .unwrap();
+        assert!((l - throughput(&topo, &[100.0], &y).unwrap()).abs() < 1e-12);
     }
 
     #[test]
@@ -236,8 +254,12 @@ mod tests {
         // operator a starved: offered 100, capacity 20.
         let y = [20.0, 200.0];
         let off = [100.0, 20.0];
-        let (_, g0) = solver.lagrangian_grad(&topo, &[100.0], &off, &y, &[0.0, 0.0]);
-        let (_, g1) = solver.lagrangian_grad(&topo, &[100.0], &off, &y, &[2.0, 0.0]);
+        let (_, g0) = solver
+            .lagrangian_grad(&topo, &[100.0], &off, &y, &[0.0, 0.0])
+            .unwrap();
+        let (_, g1) = solver
+            .lagrangian_grad(&topo, &[100.0], &off, &y, &[2.0, 0.0])
+            .unwrap();
         // with λ_a > 0 the gradient on y_a grows by λ_a
         assert!((g1[0] - (g0[0] + 2.0)).abs() < 1e-9);
     }
@@ -246,20 +268,22 @@ mod tests {
     fn solve_meets_offered_load_without_waste() {
         let topo = chain();
         let solver = TargetSolver::default();
-        let y = solver.solve(
-            &topo,
-            &[100.0],
-            &[100.0, 100.0],
-            &[0.5, 0.5],
-            &[10.0, 10.0],
-            400.0,
-        );
+        let y = solver
+            .solve(
+                &topo,
+                &[100.0],
+                &[100.0, 100.0],
+                &[0.5, 0.5],
+                &[10.0, 10.0],
+                400.0,
+            )
+            .unwrap();
         for (i, &yi) in y.iter().enumerate() {
             assert!(yi >= 99.0, "op {i}: target {yi} below offered load");
             // pull-back + 25 % λ-headroom ⇒ ≈ 125, never the 400 box edge
             assert!(yi <= 160.0, "op {i}: target {yi} wastefully high");
         }
-        let f = throughput(&topo, &[100.0], &y);
+        let f = throughput(&topo, &[100.0], &y).unwrap();
         assert!(f >= 99.0);
     }
 
@@ -268,14 +292,16 @@ mod tests {
         let topo = chain();
         let solver = TargetSolver::default();
         // warm start high (previous high-load targets), λ decayed to 0
-        let lo = solver.solve(
-            &topo,
-            &[20.0],
-            &[20.0, 20.0],
-            &[0.0, 0.0],
-            &[400.0, 400.0],
-            400.0,
-        );
+        let lo = solver
+            .solve(
+                &topo,
+                &[20.0],
+                &[20.0, 20.0],
+                &[0.0, 0.0],
+                &[400.0, 400.0],
+                400.0,
+            )
+            .unwrap();
         assert!(
             lo[0] <= 25.0,
             "low load should need low capacity, got {}",
@@ -288,12 +314,12 @@ mod tests {
     fn pull_back_finds_minimal_plateau_point() {
         let topo = chain();
         let solver = TargetSolver::default();
-        let y = solver.pull_back(&topo, &[100.0], &[350.0, 290.0]);
+        let y = solver.pull_back(&topo, &[100.0], &[350.0, 290.0]).unwrap();
         // minimal capacities passing 100 tuples/s are exactly 100 each
         assert!((y[0] - 100.0).abs() < 0.1, "{:?}", y);
         assert!((y[1] - 100.0).abs() < 0.1, "{:?}", y);
         // throughput preserved
-        assert!(throughput(&topo, &[100.0], &y) >= 99.99);
+        assert!(throughput(&topo, &[100.0], &y).unwrap() >= 99.99);
     }
 
     #[test]
@@ -301,7 +327,7 @@ mod tests {
         let topo = chain();
         let solver = TargetSolver::default();
         // a is a hard bottleneck at 40: b needs only 40.
-        let y = solver.pull_back(&topo, &[100.0], &[40.0, 300.0]);
+        let y = solver.pull_back(&topo, &[100.0], &[40.0, 300.0]).unwrap();
         assert!((y[0] - 40.0).abs() < 0.1);
         assert!((y[1] - 40.0).abs() < 0.1);
     }
@@ -310,14 +336,16 @@ mod tests {
     fn solve_stays_in_box() {
         let topo = chain();
         let solver = TargetSolver::default();
-        let y = solver.solve(
-            &topo,
-            &[1000.0],
-            &[1000.0, 150.0],
-            &[5.0, 5.0],
-            &[0.0, 0.0],
-            150.0,
-        );
+        let y = solver
+            .solve(
+                &topo,
+                &[1000.0],
+                &[1000.0, 150.0],
+                &[5.0, 5.0],
+                &[0.0, 0.0],
+                150.0,
+            )
+            .unwrap();
         for &yi in &y {
             assert!((0.0..=150.0).contains(&yi));
         }
@@ -327,22 +355,26 @@ mod tests {
     fn headroom_scales_with_lambda() {
         let topo = chain();
         let solver = TargetSolver::default();
-        let relaxed = solver.solve(
-            &topo,
-            &[100.0],
-            &[100.0, 100.0],
-            &[0.0, 0.0],
-            &[10.0, 10.0],
-            400.0,
-        );
-        let pressed = solver.solve(
-            &topo,
-            &[100.0],
-            &[100.0, 100.0],
-            &[1.0, 1.0],
-            &[10.0, 10.0],
-            400.0,
-        );
+        let relaxed = solver
+            .solve(
+                &topo,
+                &[100.0],
+                &[100.0, 100.0],
+                &[0.0, 0.0],
+                &[10.0, 10.0],
+                400.0,
+            )
+            .unwrap();
+        let pressed = solver
+            .solve(
+                &topo,
+                &[100.0],
+                &[100.0, 100.0],
+                &[1.0, 1.0],
+                &[10.0, 10.0],
+                400.0,
+            )
+            .unwrap();
         assert!(
             pressed[0] > relaxed[0] * 1.2,
             "{} vs {}",

@@ -26,6 +26,7 @@
 //! targets. The linear prior encodes the monotonicity every capacity
 //! model satisfies while leaving the shape fully learnable.
 
+use crate::DragsterError;
 use dragster_gp::{beta_t, GpHyperFit, GpPosterior, GpRegressor, SquaredExp};
 
 /// Which acquisition drives the configuration choice.
@@ -141,9 +142,14 @@ impl OperatorGp {
     /// Record a capacity sample observed while running `tasks` tasks.
     /// Non-finite or non-positive samples are ignored (an idle operator
     /// yields no information about its capacity).
-    pub fn observe(&mut self, tasks: usize, capacity_sample: f64) {
+    ///
+    /// # Errors
+    /// [`DragsterError::Gp`] if the posterior update fails numerically; the
+    /// offending sample is dropped from the history so the model stays
+    /// consistent.
+    pub fn observe(&mut self, tasks: usize, capacity_sample: f64) -> Result<(), DragsterError> {
         if !capacity_sample.is_finite() || capacity_sample <= 0.0 {
-            return;
+            return Ok(());
         }
         let tasks = tasks.clamp(1, self.cfg.max_tasks);
         self.history.push((tasks, capacity_sample));
@@ -151,25 +157,34 @@ impl OperatorGp {
         // per-task rate seen so far to the full task range, with headroom.
         let per_task = capacity_sample / tasks as f64;
         let implied = per_task * self.cfg.max_tasks as f64 * 1.25;
-        if self.history.len() == 1 || implied > self.scale * 1.5 {
+        let updated = if self.history.len() == 1 || implied > self.scale * 1.5 {
             self.scale = implied.max(self.scale);
-            self.refit();
+            self.refit()
         } else {
             let resid = capacity_sample / self.scale - self.prior(tasks);
-            self.gp.observe(&[tasks as f64], resid);
+            self.gp.observe(&[tasks as f64], resid).map_err(Into::into)
+        };
+        if let Err(e) = updated {
+            self.history.pop();
+            return Err(e);
         }
         if let Some(every) = self.cfg.hyper_refit_every {
             if self.history.len().is_multiple_of(every) {
-                self.refit_hyperparameters();
+                self.refit_hyperparameters()?;
             }
         }
+        Ok(())
     }
 
     /// Grid-search the SE length scale (and signal variance) by log
     /// marginal likelihood on the residual history, then refit.
-    pub fn refit_hyperparameters(&mut self) {
+    ///
+    /// # Errors
+    /// [`DragsterError::Gp`] if every hyper-parameter candidate leaves the
+    /// kernel matrix numerically indefinite, or the refit itself fails.
+    pub fn refit_hyperparameters(&mut self) -> Result<(), DragsterError> {
         if self.history.len() < 4 {
-            return;
+            return Ok(());
         }
         let xs: Vec<Vec<f64>> = self.history.iter().map(|&(t, _)| vec![t as f64]).collect();
         let cs: Vec<f64> = self
@@ -181,20 +196,22 @@ impl OperatorGp {
             length_scales: vec![1.0, 2.0, 3.0, 5.0, 8.0],
             signal_vars: vec![0.05, 0.25, 1.0],
         };
-        let (l, s2, _) = fit.fit_se(&xs, &cs, self.cfg.noise_var);
+        let (l, s2, _) = fit.fit_se(&xs, &cs, self.cfg.noise_var)?;
         self.gp = GpRegressor::new(SquaredExp::with_signal(l, s2), self.cfg.noise_var)
             .with_prior_mean(0.0);
         for (x, c) in xs.iter().zip(cs.iter()) {
-            self.gp.observe(x, *c);
+            self.gp.observe(x, *c)?;
         }
+        Ok(())
     }
 
-    fn refit(&mut self) {
+    fn refit(&mut self) -> Result<(), DragsterError> {
         self.gp.reset();
         for &(tasks, c) in &self.history {
             let resid = c / self.scale - self.prior(tasks);
-            self.gp.observe(&[tasks as f64], resid);
+            self.gp.observe(&[tasks as f64], resid)?;
         }
+        Ok(())
     }
 
     /// Posterior over the *normalized* capacity at a task count (the
@@ -238,11 +255,19 @@ impl OperatorGp {
     /// Thompson-sampling table: one coherent draw from the joint posterior
     /// over the whole grid, scored by the (deficit-weighted) distance to
     /// the target. `normals` supplies standard-normal variates.
-    pub fn thompson_table(&self, target_capacity: f64, normals: impl FnMut() -> f64) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// [`DragsterError::Gp`] if the joint posterior covariance cannot be
+    /// factored.
+    pub fn thompson_table(
+        &self,
+        target_capacity: f64,
+        normals: impl FnMut() -> f64,
+    ) -> Result<Vec<f64>, DragsterError> {
         let grid: Vec<Vec<f64>> = (1..=self.cfg.max_tasks).map(|x| vec![x as f64]).collect();
-        let sample = self.gp.sample_posterior(&grid, normals);
+        let sample = self.gp.sample_posterior(&grid, normals)?;
         let yt = target_capacity / self.scale;
-        (0..self.cfg.max_tasks)
+        Ok((0..self.cfg.max_tasks)
             .map(|i| {
                 // the GP models residuals; add the linear prior back
                 let s = sample[i] + self.prior(i + 1);
@@ -253,7 +278,7 @@ impl OperatorGp {
                     diff * self.cfg.deficit_weight
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// `argmax_x A(x)` — ties broken toward fewer tasks (cheaper pods).
@@ -280,7 +305,7 @@ mod tests {
             ..Default::default()
         });
         for tasks in [1usize, 3, 5, 8, 10] {
-            g.observe(tasks, 100.0 * tasks as f64);
+            g.observe(tasks, 100.0 * tasks as f64).unwrap();
         }
         g
     }
@@ -318,7 +343,7 @@ mod tests {
             ..Default::default()
         });
         // only one observation: far configs have much higher σ²
-        g.observe(1, 100.0);
+        g.observe(1, 100.0).unwrap();
         let near = g.acquisition(1, 100.0, 5.0);
         let far = g.acquisition(10, 100.0, 5.0);
         // the far config's huge variance beats the near config's perfect fit
@@ -331,7 +356,7 @@ mod tests {
             noise_var: 1e-4,
             ..Default::default()
         });
-        g.observe(1, 100.0);
+        g.observe(1, 100.0).unwrap();
         let near = g.acquisition(1, 100.0, 0.0);
         let far = g.acquisition(10, 100.0, 0.0);
         assert!(near > far);
@@ -340,9 +365,9 @@ mod tests {
     #[test]
     fn ignores_degenerate_samples() {
         let mut g = OperatorGp::new(UcbConfig::default());
-        g.observe(3, f64::NAN);
-        g.observe(3, -5.0);
-        g.observe(3, 0.0);
+        g.observe(3, f64::NAN).unwrap();
+        g.observe(3, -5.0).unwrap();
+        g.observe(3, 0.0).unwrap();
         assert!(g.is_empty());
     }
 
@@ -352,9 +377,9 @@ mod tests {
             noise_var: 1e-4,
             ..Default::default()
         });
-        g.observe(10, 10.0); // implies tiny scale
+        g.observe(10, 10.0).unwrap(); // implies tiny scale
         let s1 = g.scale();
-        g.observe(1, 1000.0); // 100× larger per-task rate
+        g.observe(1, 1000.0).unwrap(); // 100× larger per-task rate
         assert!(g.scale() > s1 * 10.0);
         assert_eq!(g.len(), 2);
         // both observations survive the refit
@@ -394,10 +419,11 @@ mod tests {
         let truth = |t: usize| 800.0 * t as f64 / (t as f64 + 2.0);
         for round in 0..3 {
             for t in [1usize, 2, 4, 6, 8, 10] {
-                g.observe(t, truth(t) * (1.0 + 0.01 * ((round % 2) as f64 - 0.5)));
+                g.observe(t, truth(t) * (1.0 + 0.01 * ((round % 2) as f64 - 0.5)))
+                    .unwrap();
             }
         }
-        g.refit_hyperparameters();
+        g.refit_hyperparameters().unwrap();
         // LML-chosen hyper-parameters must still fit the curve well —
         // the refit optimizes likelihood, not pointwise error, so we
         // assert accuracy rather than strict improvement.
@@ -416,7 +442,7 @@ mod tests {
             ..Default::default()
         });
         for t in 0..12usize {
-            g.observe(t % 10 + 1, 100.0 * (t % 10 + 1) as f64);
+            g.observe(t % 10 + 1, 100.0 * (t % 10 + 1) as f64).unwrap();
         }
         // survives the refits and still predicts linearly
         let est = g.capacity_estimate(5);
@@ -429,7 +455,7 @@ mod tests {
             max_tasks: 5,
             ..Default::default()
         });
-        g.observe(99, 500.0);
+        g.observe(99, 500.0).unwrap();
         assert_eq!(g.len(), 1);
         // stored as 5 tasks
         assert!(g.capacity_estimate(5) > 0.0);

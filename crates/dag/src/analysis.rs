@@ -1,14 +1,21 @@
 //! Structural and empirical analysis of a topology: the Theorem-1 constants
 //! and the concavity/monotonicity assumptions of Section 4.1.
 
+use crate::error::DagError;
 use crate::flow::{throughput, throughput_grad};
 use crate::topology::{ComponentKind, Topology};
 
 /// Upper bound `H` on every throughput function's value given the source
 /// rates (Theorem 1's `h_{i,j} ≤ H`). Computed by propagating per-component
 /// output bounds in topological order with capacities removed.
-pub fn throughput_upper_bound(topo: &Topology, source_rates: &[f64]) -> f64 {
-    assert_eq!(source_rates.len(), topo.n_sources());
+pub fn throughput_upper_bound(topo: &Topology, source_rates: &[f64]) -> Result<f64, DagError> {
+    if source_rates.len() != topo.n_sources() {
+        return Err(DagError::ArityMismatch {
+            what: "source rates",
+            expected: topo.n_sources(),
+            got: source_rates.len(),
+        });
+    }
     let n = topo.components().len();
     let mut out_bound: Vec<Vec<f64>> = vec![Vec::new(); n];
     let mut in_bound: Vec<Vec<f64>> = topo
@@ -16,28 +23,36 @@ pub fn throughput_upper_bound(topo: &Topology, source_rates: &[f64]) -> f64 {
         .iter()
         .map(|c| vec![0.0; c.preds.len()])
         .collect();
-    let source_index: std::collections::HashMap<usize, usize> = topo
-        .source_ids()
-        .iter()
-        .enumerate()
-        .map(|(k, id)| (id.0, k))
-        .collect();
+
+    let pred_pos = |succ: crate::topology::ComponentId,
+                    id: crate::topology::ComponentId|
+     -> Result<usize, DagError> {
+        topo.component(succ)
+            .preds
+            .iter()
+            .position(|p| *p == id)
+            .ok_or_else(|| DagError::InconsistentEdge {
+                from: topo.component(id).name.clone(),
+                to: topo.component(succ).name.clone(),
+            })
+    };
 
     let mut h_max: f64 = 0.0;
     for id in topo.topo_order() {
         let c = topo.component(id);
         match c.kind {
             ComponentKind::Source => {
-                let rate = source_rates[source_index[&id.0]];
+                // Sources occupy the lowest component ids, so the id doubles
+                // as the source index (see `Topology` docs).
+                let rate = *source_rates
+                    .get(id.0)
+                    .ok_or_else(|| DagError::MissingInput {
+                        component: c.name.clone(),
+                    })?;
                 for (k, succ) in c.succs.iter().enumerate() {
                     let b = rate * c.alpha[k];
                     out_bound[id.0].push(b);
-                    let pos = topo
-                        .component(*succ)
-                        .preds
-                        .iter()
-                        .position(|p| *p == id)
-                        .unwrap();
+                    let pos = pred_pos(*succ, id)?;
                     in_bound[succ.0][pos] = b;
                     h_max = h_max.max(b);
                 }
@@ -47,12 +62,7 @@ pub fn throughput_upper_bound(topo: &Topology, source_rates: &[f64]) -> f64 {
                 for (k, succ) in c.succs.iter().enumerate() {
                     let b = c.h[k].upper_bound(&bounds);
                     out_bound[id.0].push(b);
-                    let pos = topo
-                        .component(*succ)
-                        .preds
-                        .iter()
-                        .position(|p| *p == id)
-                        .unwrap();
+                    let pos = pred_pos(*succ, id)?;
                     in_bound[succ.0][pos] = b;
                     h_max = h_max.max(b);
                 }
@@ -60,7 +70,7 @@ pub fn throughput_upper_bound(topo: &Topology, source_rates: &[f64]) -> f64 {
             ComponentKind::Sink => {}
         }
     }
-    h_max
+    Ok(h_max)
 }
 
 /// Upper bound `G` on `|∂f_t/∂y_i|` (Theorem 1's gradient bound), estimated
@@ -71,23 +81,23 @@ pub fn gradient_upper_bound(
     source_rates: &[f64],
     cap_max: f64,
     samples_per_dim: usize,
-) -> f64 {
+) -> Result<f64, DagError> {
     let m = topo.n_operators();
     let mut g_max: f64 = 0.0;
     // Latin-style sweep: vary one coordinate at a time around mid-level
     // plus the all-corners of a coarse lattice for small M.
     let mid = vec![cap_max / 2.0; m];
-    let (_, g) = throughput_grad(topo, source_rates, &mid);
+    let (_, g) = throughput_grad(topo, source_rates, &mid)?;
     g_max = g.iter().fold(g_max, |a, &b| a.max(b.abs()));
     for i in 0..m {
         for s in 0..samples_per_dim {
             let mut caps = mid.clone();
             caps[i] = cap_max * (s as f64 + 0.5) / samples_per_dim as f64;
-            let (_, g) = throughput_grad(topo, source_rates, &caps);
+            let (_, g) = throughput_grad(topo, source_rates, &caps)?;
             g_max = g.iter().fold(g_max, |a, &b| a.max(b.abs()));
         }
     }
-    g_max
+    Ok(g_max)
 }
 
 /// Report of an empirical check of the Section-4.1 assumptions on `f_t(y)`.
@@ -116,7 +126,7 @@ pub fn check_assumptions(
     source_rates: &[f64],
     cap_max: f64,
     samples: usize,
-) -> AssumptionReport {
+) -> Result<AssumptionReport, DagError> {
     let m = topo.n_operators();
     let mut mono: f64 = 0.0;
     let mut conc: f64 = 0.0;
@@ -136,20 +146,20 @@ pub fn check_assumptions(
         let b = point(3 * k + 1);
         // Monotonicity: f(max(a,b)) >= f(a), f(b).
         let hi: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x.max(*y)).collect();
-        let fa = throughput(topo, source_rates, &a);
-        let fb = throughput(topo, source_rates, &b);
-        let fhi = throughput(topo, source_rates, &hi);
+        let fa = throughput(topo, source_rates, &a)?;
+        let fb = throughput(topo, source_rates, &b)?;
+        let fhi = throughput(topo, source_rates, &hi)?;
         mono = mono.max(fa - fhi).max(fb - fhi);
         // Midpoint concavity: f((a+b)/2) >= (f(a)+f(b))/2.
         let midp: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| 0.5 * (x + y)).collect();
-        let fm = throughput(topo, source_rates, &midp);
+        let fm = throughput(topo, source_rates, &midp)?;
         conc = conc.max(0.5 * (fa + fb) - fm);
     }
-    AssumptionReport {
+    Ok(AssumptionReport {
         monotonicity_violation: mono,
         concavity_violation: conc,
         samples,
-    }
+    })
 }
 
 /// Rank operators by `∂f/∂y_i` (descending): the head of the list is the
@@ -159,11 +169,13 @@ pub fn rank_bottlenecks(
     topo: &Topology,
     source_rates: &[f64],
     capacities: &[f64],
-) -> Vec<(usize, f64)> {
-    let (_, g) = throughput_grad(topo, source_rates, capacities);
+) -> Result<Vec<(usize, f64)>, DagError> {
+    let (_, g) = throughput_grad(topo, source_rates, capacities)?;
     let mut ranked: Vec<(usize, f64)> = g.into_iter().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    ranked
+    // total_cmp: NaN-safe, total order — ties broken by index for
+    // determinism.
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    Ok(ranked)
 }
 
 #[cfg(test)]
@@ -193,7 +205,7 @@ mod tests {
     #[test]
     fn upper_bound_chain_is_source_rate() {
         let t = wordcount();
-        assert!((throughput_upper_bound(&t, &[120.0]) - 120.0).abs() < 1e-9);
+        assert!((throughput_upper_bound(&t, &[120.0]).unwrap() - 120.0).abs() < 1e-9);
     }
 
     #[test]
@@ -214,7 +226,7 @@ mod tests {
             .build()
             .unwrap();
         // max h value is on the src→filter edge (rate itself)
-        assert!((throughput_upper_bound(&t, &[100.0]) - 100.0).abs() < 1e-9);
+        assert!((throughput_upper_bound(&t, &[100.0]).unwrap() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -236,13 +248,13 @@ mod tests {
             .build()
             .unwrap();
         // src edge bound is 5; sat edge bound is 7 ⇒ overall 7.
-        assert_eq!(throughput_upper_bound(&t, &[5.0]), 7.0);
+        assert_eq!(throughput_upper_bound(&t, &[5.0]).unwrap(), 7.0);
     }
 
     #[test]
     fn gradient_bound_is_at_most_one_for_chain() {
         let t = wordcount();
-        let g = gradient_upper_bound(&t, &[100.0], 200.0, 8);
+        let g = gradient_upper_bound(&t, &[100.0], 200.0, 8).unwrap();
         assert!(g <= 1.0 + 1e-9);
         assert!(g > 0.0);
     }
@@ -250,7 +262,7 @@ mod tests {
     #[test]
     fn assumptions_hold_on_wordcount() {
         let t = wordcount();
-        let rep = check_assumptions(&t, &[100.0], 200.0, 200);
+        let rep = check_assumptions(&t, &[100.0], 200.0, 200).unwrap();
         assert!(rep.holds(1e-9), "{rep:?}");
         assert_eq!(rep.samples, 200);
     }
@@ -284,7 +296,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let rep = check_assumptions(&t, &[80.0, 90.0], 300.0, 200);
+        let rep = check_assumptions(&t, &[80.0, 90.0], 300.0, 200).unwrap();
         assert!(rep.holds(1e-9), "{rep:?}");
     }
 
@@ -292,7 +304,7 @@ mod tests {
     fn bottleneck_ranking_orders_by_gradient() {
         let t = wordcount();
         // shuffle (cap 10) is the binding constraint.
-        let r = rank_bottlenecks(&t, &[100.0], &[50.0, 10.0]);
+        let r = rank_bottlenecks(&t, &[100.0], &[50.0, 10.0]).unwrap();
         assert_eq!(r[0].0, 1);
         assert_eq!(r[0].1, 1.0);
         assert_eq!(r[1].1, 0.0);

@@ -1,0 +1,106 @@
+//! Structured errors for flow propagation and topology mutation.
+//!
+//! The flow solver sits on the controller's per-slot hot path; a panic
+//! there aborts an entire experiment run. Every structural inconsistency
+//! is instead reported as a [`DagError`] so callers (controller, simulator,
+//! bench harness) can surface it as data.
+
+use crate::topology::TopologyError;
+use std::fmt;
+
+/// Errors produced by flow propagation, analysis, and topology mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// Topology construction or validation failed.
+    Topology(TopologyError),
+    /// A slice argument's length doesn't match the topology.
+    ArityMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// An operator component has no capacity index (not assigned by the
+    /// builder — indicates a hand-constructed, unvalidated topology).
+    MissingCapacityIndex { component: String },
+    /// A component was visited before all of its inputs were ready — the
+    /// stored topological order is inconsistent with the edges.
+    MissingInput { component: String },
+    /// An edge's endpoints disagree (`to` does not list `from` as a
+    /// predecessor).
+    InconsistentEdge { from: String, to: String },
+    /// The sink receives no flow — no path from any source reaches it.
+    UnreachableSink,
+    /// A throughput function failed validation when mutating a topology.
+    InvalidThroughputFn { component: String, reason: String },
+    /// A mutation targeted a component of the wrong kind or with a
+    /// mismatched edge count.
+    InvalidMutation { component: String, reason: String },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Topology(e) => write!(f, "invalid topology: {e}"),
+            DagError::ArityMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected} entries, got {got}"),
+            DagError::MissingCapacityIndex { component } => {
+                write!(f, "operator {component:?} has no capacity index")
+            }
+            DagError::MissingInput { component } => {
+                write!(
+                    f,
+                    "component {component:?} visited before its inputs were ready"
+                )
+            }
+            DagError::InconsistentEdge { from, to } => {
+                write!(f, "edge {from:?} -> {to:?} has inconsistent endpoints")
+            }
+            DagError::UnreachableSink => write!(f, "sink receives no flow"),
+            DagError::InvalidThroughputFn { component, reason } => {
+                write!(f, "invalid throughput function on {component:?}: {reason}")
+            }
+            DagError::InvalidMutation { component, reason } => {
+                write!(f, "invalid mutation of {component:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DagError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for DagError {
+    fn from(e: TopologyError) -> DagError {
+        DagError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DagError::ArityMismatch {
+            what: "source rates",
+            expected: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("source rates"));
+        let e = DagError::InconsistentEdge {
+            from: "a".into(),
+            to: "b".into(),
+        };
+        assert!(e.to_string().contains("\"a\""));
+        assert!(e.to_string().contains("\"b\""));
+    }
+}

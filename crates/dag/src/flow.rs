@@ -1,6 +1,7 @@
 //! Forward flow propagation: the application throughput function `f_t(y)`
 //! (Eq. 4 composed over the DAG) and its gradient.
 
+use crate::error::DagError;
 use crate::thrufn::FlowScalar;
 use crate::topology::{ComponentId, ComponentKind, Topology};
 use dragster_autodiff::Tape;
@@ -49,11 +50,18 @@ impl<S: FlowScalar> FlowResult<S> {
     }
 
     /// Offered load per *operator*, in capacity-index order — the vector
-    /// needed to evaluate every `l_i` at once.
-    pub fn operator_offered_loads(&self, topo: &Topology) -> Vec<S> {
+    /// needed to evaluate every `l_i` at once. Errors if an operator has no
+    /// successor edges (a validated topology never does).
+    pub fn operator_offered_loads(&self, topo: &Topology) -> Result<Vec<S>, DagError> {
         topo.operator_ids()
             .iter()
-            .map(|&id| self.offered_load(id).expect("operators have successors"))
+            .map(|&id| {
+                self.offered_load(id)
+                    .ok_or_else(|| DagError::InvalidMutation {
+                        component: topo.component(id).name.clone(),
+                        reason: "operator has no successor edges".into(),
+                    })
+            })
             .collect()
     }
 }
@@ -69,15 +77,28 @@ impl<S: FlowScalar> FlowResult<S> {
 /// path, or with autodiff [`Var`](dragster_autodiff::Var)s to obtain a
 /// differentiable throughput.
 ///
-/// # Panics
-/// If the slice lengths don't match the topology.
+/// Errors when the slice lengths don't match the topology or the topology's
+/// internal structure is inconsistent (possible only for hand-constructed,
+/// unvalidated topologies).
 pub fn propagate<S: FlowScalar>(
     topo: &Topology,
     source_rates: &[S],
     capacities: &[S],
-) -> FlowResult<S> {
-    assert_eq!(source_rates.len(), topo.n_sources(), "source rate arity");
-    assert_eq!(capacities.len(), topo.n_operators(), "capacity arity");
+) -> Result<FlowResult<S>, DagError> {
+    if source_rates.len() != topo.n_sources() {
+        return Err(DagError::ArityMismatch {
+            what: "source rates",
+            expected: topo.n_sources(),
+            got: source_rates.len(),
+        });
+    }
+    if capacities.len() != topo.n_operators() {
+        return Err(DagError::ArityMismatch {
+            what: "capacities",
+            expected: topo.n_operators(),
+            got: capacities.len(),
+        });
+    }
 
     let n = topo.components().len();
     let mut edge_out: Vec<Vec<S>> = vec![Vec::new(); n];
@@ -92,48 +113,46 @@ pub fn propagate<S: FlowScalar>(
         .collect();
 
     let mut source_seen = 0usize;
-    let source_index: std::collections::HashMap<usize, usize> = topo
-        .source_ids()
-        .iter()
-        .enumerate()
-        .map(|(k, id)| (id.0, k))
-        .collect();
-
     for id in topo.topo_order() {
         let c = topo.component(id);
         match c.kind {
             ComponentKind::Source => {
+                // Sources occupy the lowest component ids in declaration
+                // order, so the id doubles as the source index.
+                let rate = *source_rates
+                    .get(id.0)
+                    .ok_or_else(|| DagError::MissingInput {
+                        component: c.name.clone(),
+                    })?;
                 source_seen += 1;
-                let rate = source_rates[source_index[&id.0]];
                 for (k, succ) in c.succs.iter().enumerate() {
                     let out = rate.fs_scale(c.alpha[k]);
                     desired_out[id.0].push(out);
                     edge_out[id.0].push(out);
-                    let pos = pred_position(topo, *succ, id);
+                    let pos = pred_position(topo, *succ, id)?;
                     recv_slots[succ.0][pos] = Some(out);
                 }
             }
             ComponentKind::Operator => {
-                let inputs: Vec<S> = recv_slots[id.0]
-                    .iter()
-                    .map(|s| s.expect("topological order guarantees inputs are ready"))
-                    .collect();
-                let y = capacities[c.capacity_index.expect("operator has capacity index")];
+                let inputs = take_inputs(&recv_slots[id.0], &c.name)?;
+                let ci = c
+                    .capacity_index
+                    .ok_or_else(|| DagError::MissingCapacityIndex {
+                        component: c.name.clone(),
+                    })?;
+                let y = capacities[ci];
                 for (k, succ) in c.succs.iter().enumerate() {
                     let desired = c.h[k].eval(&inputs);
                     let actual = y.fs_scale(c.alpha[k]).fs_min(desired);
                     desired_out[id.0].push(desired);
                     edge_out[id.0].push(actual);
-                    let pos = pred_position(topo, *succ, id);
+                    let pos = pred_position(topo, *succ, id)?;
                     recv_slots[succ.0][pos] = Some(actual);
                 }
                 received[id.0] = inputs;
             }
             ComponentKind::Sink => {
-                received[id.0] = recv_slots[id.0]
-                    .iter()
-                    .map(|s| s.expect("sink inputs ready"))
-                    .collect();
+                received[id.0] = take_inputs(&recv_slots[id.0], &c.name)?;
             }
         }
     }
@@ -143,29 +162,47 @@ pub fn propagate<S: FlowScalar>(
     let throughput = {
         let ins = &received[sink.0];
         let mut it = ins.iter().copied();
-        let first = it.next().expect("sink is reachable, so it receives flow");
+        let first = it.next().ok_or(DagError::UnreachableSink)?;
         it.fold(first, |a, b| a.fs_add(b))
     };
 
-    FlowResult {
+    Ok(FlowResult {
         edge_out,
         desired_out,
         received,
         throughput,
-    }
+    })
 }
 
-fn pred_position(topo: &Topology, of: ComponentId, pred: ComponentId) -> usize {
+fn take_inputs<S: FlowScalar>(slots: &[Option<S>], name: &str) -> Result<Vec<S>, DagError> {
+    slots
+        .iter()
+        .map(|s| {
+            s.ok_or_else(|| DagError::MissingInput {
+                component: name.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn pred_position(topo: &Topology, of: ComponentId, pred: ComponentId) -> Result<usize, DagError> {
     topo.component(of)
         .preds
         .iter()
         .position(|p| *p == pred)
-        .expect("edge endpoints consistent")
+        .ok_or_else(|| DagError::InconsistentEdge {
+            from: topo.component(pred).name.clone(),
+            to: topo.component(of).name.clone(),
+        })
 }
 
 /// The application throughput `f_t(y)` — fast `f64` path.
-pub fn throughput(topo: &Topology, source_rates: &[f64], capacities: &[f64]) -> f64 {
-    propagate(topo, source_rates, capacities).throughput
+pub fn throughput(
+    topo: &Topology,
+    source_rates: &[f64],
+    capacities: &[f64],
+) -> Result<f64, DagError> {
+    Ok(propagate(topo, source_rates, capacities)?.throughput)
 }
 
 /// `f_t(y)` together with its (sub)gradient `∂f/∂y` via reverse-mode AD —
@@ -175,13 +212,13 @@ pub fn throughput_grad(
     topo: &Topology,
     source_rates: &[f64],
     capacities: &[f64],
-) -> (f64, Vec<f64>) {
+) -> Result<(f64, Vec<f64>), DagError> {
     let tape = Tape::new();
     let caps: Vec<_> = capacities.iter().map(|&c| tape.var(c)).collect();
     let rates: Vec<_> = source_rates.iter().map(|&r| tape.constant(r)).collect();
-    let res = propagate(topo, &rates, &caps);
+    let res = propagate(topo, &rates, &caps)?;
     let grads = res.throughput.backward();
-    (res.throughput.value(), grads.wrt_slice(&caps))
+    Ok((res.throughput.value(), grads.wrt_slice(&caps)))
 }
 
 #[cfg(test)]
@@ -210,17 +247,21 @@ mod tests {
             .unwrap()
     }
 
+    fn thru(topo: &Topology, rates: &[f64], caps: &[f64]) -> f64 {
+        throughput(topo, rates, caps).unwrap()
+    }
+
     #[test]
     fn unconstrained_chain_passes_rate_through() {
         let t = chain(1.0);
-        let f = throughput(&t, &[100.0], &[1e9, 1e9]);
+        let f = thru(&t, &[100.0], &[1e9, 1e9]);
         assert!((f - 100.0).abs() < 1e-9);
     }
 
     #[test]
     fn selectivity_scales_throughput() {
         let t = chain(0.5);
-        let f = throughput(&t, &[100.0], &[1e9, 1e9]);
+        let f = thru(&t, &[100.0], &[1e9, 1e9]);
         assert!((f - 50.0).abs() < 1e-9);
     }
 
@@ -228,23 +269,23 @@ mod tests {
     fn capacity_truncates() {
         let t = chain(1.0);
         // map limited to 30: downstream sees 30.
-        assert!((throughput(&t, &[100.0], &[30.0, 1e9]) - 30.0).abs() < 1e-9);
+        assert!((thru(&t, &[100.0], &[30.0, 1e9]) - 30.0).abs() < 1e-9);
         // reduce limited to 20.
-        assert!((throughput(&t, &[100.0], &[1e9, 20.0]) - 20.0).abs() < 1e-9);
+        assert!((thru(&t, &[100.0], &[1e9, 20.0]) - 20.0).abs() < 1e-9);
         // bottleneck is the min.
-        assert!((throughput(&t, &[100.0], &[30.0, 20.0]) - 20.0).abs() < 1e-9);
+        assert!((thru(&t, &[100.0], &[30.0, 20.0]) - 20.0).abs() < 1e-9);
     }
 
     #[test]
     fn gradient_identifies_bottleneck() {
         let t = chain(1.0);
         // reduce (op 1) is the bottleneck: only its capacity matters.
-        let (f, g) = throughput_grad(&t, &[100.0], &[50.0, 20.0]);
+        let (f, g) = throughput_grad(&t, &[100.0], &[50.0, 20.0]).unwrap();
         assert!((f - 20.0).abs() < 1e-9);
         assert_eq!(g[0], 0.0);
         assert_eq!(g[1], 1.0);
         // map is the bottleneck.
-        let (_, g2) = throughput_grad(&t, &[100.0], &[10.0, 80.0]);
+        let (_, g2) = throughput_grad(&t, &[100.0], &[10.0, 80.0]).unwrap();
         assert_eq!(g2[0], 1.0);
         assert_eq!(g2[1], 0.0);
     }
@@ -252,12 +293,12 @@ mod tests {
     #[test]
     fn offered_load_vs_actual_output() {
         let t = chain(1.0);
-        let r = propagate(&t, &[100.0], &[30.0, 1e9]);
+        let r = propagate(&t, &[100.0], &[30.0, 1e9]).unwrap();
         let map = t.by_name("map").unwrap();
         assert_eq!(r.offered_load(map).unwrap(), 100.0);
         assert_eq!(r.actual_output(map).unwrap(), 30.0);
         assert_eq!(r.total_received(map).unwrap(), 100.0);
-        let loads = r.operator_offered_loads(&t);
+        let loads = r.operator_offered_loads(&t).unwrap();
         assert_eq!(loads[0], 100.0);
         assert_eq!(loads[1], 30.0); // reduce receives only what map emitted
     }
@@ -293,10 +334,10 @@ mod tests {
         // branch, α = 0.5 capacity share each); identity h on left/right
         // forwards everything; merge's default h sums its two inputs.
         let caps = vec![1e12; 4];
-        let f = throughput(&t, &[100.0], &caps);
+        let f = thru(&t, &[100.0], &caps);
         assert!((f - 100.0).abs() < 1e-6);
         // Starve one branch: left capacity 10 → sink sees 10 + 50.
-        let f2 = throughput(&t, &[100.0], &[1e12, 10.0, 1e12, 1e12]);
+        let f2 = thru(&t, &[100.0], &[1e12, 10.0, 1e12, 1e12]);
         assert!((f2 - 60.0).abs() < 1e-6);
     }
 
@@ -319,7 +360,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let f = throughput(&t, &[100.0, 30.0], &[1e9]);
+        let f = thru(&t, &[100.0, 30.0], &[1e9]);
         assert!((f - 30.0).abs() < 1e-9);
     }
 
@@ -328,7 +369,7 @@ mod tests {
         let t = chain(1.0);
         let mut prev = 0.0;
         for cap in [5.0, 10.0, 20.0, 50.0, 200.0] {
-            let f = throughput(&t, &[100.0], &[cap, 100.0]);
+            let f = thru(&t, &[100.0], &[cap, 100.0]);
             assert!(f >= prev);
             prev = f;
         }
@@ -339,16 +380,36 @@ mod tests {
         let t = chain(0.8);
         let rates = [123.0];
         let caps = [47.0, 200.0];
-        let plain = throughput(&t, &rates, &caps);
-        let (traced, _) = throughput_grad(&t, &rates, &caps);
+        let plain = thru(&t, &rates, &caps);
+        let (traced, _) = throughput_grad(&t, &rates, &caps).unwrap();
         assert!((plain - traced).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "capacity arity")]
-    fn wrong_capacity_length_panics() {
+    fn wrong_capacity_length_errors() {
         let t = chain(1.0);
-        let _ = throughput(&t, &[100.0], &[1.0]);
+        let err = throughput(&t, &[100.0], &[1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            DagError::ArityMismatch {
+                what: "capacities",
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_source_rate_length_errors() {
+        let t = chain(1.0);
+        let err = throughput(&t, &[100.0, 5.0], &[1.0, 1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            DagError::ArityMismatch {
+                what: "source rates",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -363,7 +424,7 @@ mod tests {
             .edge("merge", "out")
             .build()
             .unwrap();
-        let f = throughput(&t, &[10.0, 25.0], &[1e9]);
+        let f = thru(&t, &[10.0, 25.0], &[1e9]);
         assert!((f - 35.0).abs() < 1e-9);
     }
 }

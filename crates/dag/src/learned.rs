@@ -18,6 +18,7 @@
 //! `O(1/√T)` and Theorem 2 applies (the `theorem2` bench checks the
 //! resulting regret empirically).
 
+use crate::error::DagError;
 use crate::thrufn::ThroughputFn;
 use crate::topology::{ComponentKind, Topology};
 
@@ -153,11 +154,13 @@ impl SelectivityEstimator {
     /// Materialize a topology with the current weight estimates: every
     /// operator's per-edge `h` becomes `Linear` with the aggregate weights
     /// scaled by that edge's α share (exact for single-successor
-    /// operators, which covers the paper's benchmarks).
-    pub fn materialize(&self) -> Topology {
+    /// operators, which covers the paper's benchmarks). Errors only if a
+    /// derived function fails validation (e.g. a non-finite weight slipped
+    /// in), which indicates a corrupted estimator state.
+    pub fn materialize(&self) -> Result<Topology, DagError> {
         let mut topo = self.structure.clone();
-        apply_linear_weights(&mut topo, &self.weights);
-        topo
+        apply_linear_weights(&mut topo, &self.weights)?;
+        Ok(topo)
     }
 
     /// Largest relative weight error against a ground-truth topology whose
@@ -187,7 +190,10 @@ impl SelectivityEstimator {
 
 /// Overwrite every operator's throughput functions with `Linear` forms
 /// derived from aggregate weights (α-share split across successor edges).
-pub(crate) fn apply_linear_weights(topo: &mut Topology, agg_weights: &[Vec<f64>]) {
+pub(crate) fn apply_linear_weights(
+    topo: &mut Topology,
+    agg_weights: &[Vec<f64>],
+) -> Result<(), DagError> {
     let op_ids = topo.operator_ids();
     for (ci, id) in op_ids.iter().enumerate() {
         let alphas = topo.component(*id).alpha.clone();
@@ -197,32 +203,51 @@ pub(crate) fn apply_linear_weights(topo: &mut Topology, agg_weights: &[Vec<f64>]
                 weights: agg_weights[ci].iter().map(|w| w * alphas[k]).collect(),
             })
             .collect();
-        topo.set_operator_h(*id, hs);
+        topo.set_operator_h(*id, hs)?;
     }
+    Ok(())
 }
 
 impl Topology {
     /// Replace an operator's per-edge throughput functions (used by the
     /// Theorem-2 estimator when materializing learned parameters).
     ///
-    /// # Panics
-    /// If the component is not an operator, the count doesn't match its
-    /// successor list, or any function fails validation.
-    pub fn set_operator_h(&mut self, id: crate::topology::ComponentId, hs: Vec<ThroughputFn>) {
+    /// Errors if the component is not an operator, the count doesn't match
+    /// its successor list, or any function fails validation.
+    pub fn set_operator_h(
+        &mut self,
+        id: crate::topology::ComponentId,
+        hs: Vec<ThroughputFn>,
+    ) -> Result<(), DagError> {
         let n_preds = {
             let c = self.component(id);
-            assert_eq!(
-                c.kind,
-                ComponentKind::Operator,
-                "h only applies to operators"
-            );
-            assert_eq!(hs.len(), c.succs.len(), "one h per successor edge");
+            if c.kind != ComponentKind::Operator {
+                return Err(DagError::InvalidMutation {
+                    component: c.name.clone(),
+                    reason: "h only applies to operators".into(),
+                });
+            }
+            if hs.len() != c.succs.len() {
+                return Err(DagError::InvalidMutation {
+                    component: c.name.clone(),
+                    reason: format!(
+                        "one h per successor edge: got {}, expected {}",
+                        hs.len(),
+                        c.succs.len()
+                    ),
+                });
+            }
             c.preds.len()
         };
         for h in &hs {
-            h.validate(n_preds).expect("valid throughput function");
+            h.validate(n_preds)
+                .map_err(|reason| DagError::InvalidThroughputFn {
+                    component: self.component(id).name.clone(),
+                    reason,
+                })?;
         }
         self.component_mut(id).h = hs;
+        Ok(())
     }
 }
 
@@ -299,10 +324,10 @@ mod tests {
                 output: 1.7 * x,
             });
         }
-        let learned = est.materialize();
+        let learned = est.materialize().unwrap();
         let caps = vec![1e9, 1e9];
-        let f_truth = crate::flow::throughput(&t, &[100.0], &caps);
-        let f_learn = crate::flow::throughput(&learned, &[100.0], &caps);
+        let f_truth = crate::flow::throughput(&t, &[100.0], &caps).unwrap();
+        let f_learn = crate::flow::throughput(&learned, &[100.0], &caps).unwrap();
         assert!(
             (f_truth - f_learn).abs() / f_truth < 0.01,
             "{f_truth} vs {f_learn}"
@@ -410,16 +435,24 @@ mod tests {
     fn set_operator_h_validates() {
         let mut t = truth();
         let id = t.by_name("filter").unwrap();
-        t.set_operator_h(id, vec![ThroughputFn::Linear { weights: vec![0.9] }]);
-        let f = crate::flow::throughput(&t, &[100.0], &[1e9, 1e9]);
+        t.set_operator_h(id, vec![ThroughputFn::Linear { weights: vec![0.9] }])
+            .unwrap();
+        let f = crate::flow::throughput(&t, &[100.0], &[1e9, 1e9]).unwrap();
         assert!((f - 100.0 * 0.9 * 1.7).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "one h per successor edge")]
     fn set_operator_h_checks_count() {
         let mut t = truth();
         let id = t.by_name("filter").unwrap();
-        t.set_operator_h(id, vec![]);
+        let err = t.set_operator_h(id, vec![]).unwrap_err();
+        assert!(err.to_string().contains("one h per successor edge"));
+    }
+
+    #[test]
+    fn set_operator_h_rejects_non_operator() {
+        let mut t = truth();
+        let id = t.by_name("s").unwrap();
+        assert!(t.set_operator_h(id, vec![]).is_err());
     }
 }

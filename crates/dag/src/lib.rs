@@ -31,11 +31,13 @@
 //!   structural helpers (upper bound `H`, bottleneck ranking).
 
 pub mod analysis;
+pub mod error;
 pub mod flow;
 pub mod learned;
 pub mod thrufn;
 pub mod topology;
 
+pub use error::DagError;
 pub use flow::{propagate, throughput, throughput_grad, FlowResult};
 pub use learned::{HObservation, SelectivityEstimator};
 pub use thrufn::{FlowScalar, ThroughputFn};

@@ -142,16 +142,19 @@ impl ThroughputFn {
     /// differentiation.
     ///
     /// # Panics
-    /// If `inputs.len() != self.arity()` or `inputs` is empty.
+    /// If `inputs.len() != self.arity()` or `inputs` is empty — both are
+    /// construction-time invariants enforced by [`ThroughputFn::validate`].
     pub fn eval<S: FlowScalar>(&self, inputs: &[S]) -> S {
         assert_eq!(inputs.len(), self.arity(), "throughput fn arity mismatch");
+        assert!(!inputs.is_empty(), "throughput fn needs at least one input");
         match self {
             ThroughputFn::Linear { weights } => weighted_sum(inputs, weights),
-            ThroughputFn::WeightedMin { weights } => {
-                let mut it = inputs.iter().zip(weights.iter());
-                let (v0, w0) = it.next().expect("non-empty inputs");
-                it.fold(v0.fs_scale(*w0), |acc, (v, w)| acc.fs_min(v.fs_scale(*w)))
-            }
+            ThroughputFn::WeightedMin { weights } => inputs[1..]
+                .iter()
+                .zip(weights[1..].iter())
+                .fold(inputs[0].fs_scale(weights[0]), |acc, (v, w)| {
+                    acc.fs_min(v.fs_scale(*w))
+                }),
             ThroughputFn::Tanh { scale, weights } => {
                 weighted_sum(inputs, weights).fs_tanh().fs_scale(*scale)
             }
@@ -178,10 +181,14 @@ impl ThroughputFn {
     }
 }
 
+/// Caller (`eval`) guarantees `inputs` is non-empty and matches `weights`.
 fn weighted_sum<S: FlowScalar>(inputs: &[S], weights: &[f64]) -> S {
-    let mut it = inputs.iter().zip(weights.iter());
-    let (v0, w0) = it.next().expect("non-empty inputs");
-    it.fold(v0.fs_scale(*w0), |acc, (v, w)| acc.fs_add(v.fs_scale(*w)))
+    inputs[1..]
+        .iter()
+        .zip(weights[1..].iter())
+        .fold(inputs[0].fs_scale(weights[0]), |acc, (v, w)| {
+            acc.fs_add(v.fs_scale(*w))
+        })
 }
 
 #[cfg(test)]

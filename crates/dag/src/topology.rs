@@ -2,7 +2,7 @@
 
 use crate::thrufn::ThroughputFn;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a component within its [`Topology`]. Sources occupy the lowest
 /// indices, then operators, then the sink — matching the paper's indexing
@@ -43,7 +43,7 @@ pub struct Component {
 }
 
 /// Validation failures produced by [`TopologyBuilder::build`].
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TopologyError {
     DuplicateName(String),
     UnknownComponent(String),
@@ -163,6 +163,36 @@ impl Topology {
     pub fn operator_name(&self, capacity_index: usize) -> &str {
         let id = self.operator_ids()[capacity_index];
         &self.components[id.0].name
+    }
+
+    /// For each component, the position this component occupies in each
+    /// successor's predecessor list: `routing[id.0][e]` is the slot that
+    /// flow along `succs[e]` lands in at the successor. Simulation engines
+    /// precompute this once so their per-tick loops need no edge searches.
+    ///
+    /// # Errors
+    /// [`crate::DagError::InconsistentEdge`] if some successor does not
+    /// list this component among its predecessors (hand-built topology).
+    pub fn edge_routing(&self) -> Result<Vec<Vec<usize>>, crate::DagError> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.succs
+                    .iter()
+                    .map(|succ| {
+                        self.components[succ.0]
+                            .preds
+                            .iter()
+                            .position(|p| p.0 == i)
+                            .ok_or_else(|| crate::DagError::InconsistentEdge {
+                                from: c.name.clone(),
+                                to: self.components[succ.0].name.clone(),
+                            })
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Graphviz DOT rendering (debugging / documentation aid).
@@ -291,7 +321,7 @@ impl TopologyBuilder {
                 }
             }
         }
-        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
         for (i, (n, _)) in ordered.iter().enumerate() {
             if index.insert(n.clone(), i).is_some() {
                 return Err(TopologyError::DuplicateName(n.clone()));
@@ -701,6 +731,17 @@ mod tests {
         assert_eq!(merge.preds.len(), 2);
         // default h arity matches preds
         assert_eq!(merge.h[0].arity(), 2);
+    }
+
+    #[test]
+    fn edge_routing_positions_round_trip() {
+        let t = chain();
+        let routing = t.edge_routing().unwrap();
+        for (i, c) in t.components().iter().enumerate() {
+            for (e, succ) in c.succs.iter().enumerate() {
+                assert_eq!(t.component(*succ).preds[routing[i][e]].0, i);
+            }
+        }
     }
 
     #[test]

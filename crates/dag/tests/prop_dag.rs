@@ -2,6 +2,10 @@
 //! hold on randomized topologies, the autodiff and f64 propagation paths
 //! agree, and gradients match finite differences away from kinks.
 
+// Integration tests may panic freely; the workspace deny only guards
+// library code paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dragster_autodiff::finite_grad;
 use dragster_dag::{throughput, throughput_grad, ThroughputFn, Topology, TopologyBuilder};
 use proptest::prelude::*;
@@ -49,7 +53,7 @@ proptest! {
         caps in proptest::collection::vec(1.0..500.0f64, 5),
     ) {
         let caps = &caps[..k];
-        let f = throughput(&topo, &[rate], caps);
+        let f = throughput(&topo, &[rate], caps).unwrap();
         prop_assert!(f >= 0.0);
         // Output cannot exceed what any operator is allowed to emit nor the
         // source rate amplified by max selectivity (all ≤ 1.5, chain of ≤ 4).
@@ -68,10 +72,10 @@ proptest! {
     ) {
         let caps = &caps[..k];
         let idx = bump_idx % k;
-        let f0 = throughput(&topo, &[rate], caps);
+        let f0 = throughput(&topo, &[rate], caps).unwrap();
         let mut caps2 = caps.to_vec();
         caps2[idx] += bump;
-        let f1 = throughput(&topo, &[rate], &caps2);
+        let f1 = throughput(&topo, &[rate], &caps2).unwrap();
         prop_assert!(f1 >= f0 - 1e-9, "raising capacity lowered throughput: {f0} -> {f1}");
     }
 
@@ -85,9 +89,9 @@ proptest! {
         let a = &a[..k];
         let b = &b[..k];
         let mid: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| 0.5 * (x + y)).collect();
-        let fa = throughput(&topo, &[rate], a);
-        let fb = throughput(&topo, &[rate], b);
-        let fm = throughput(&topo, &[rate], &mid);
+        let fa = throughput(&topo, &[rate], a).unwrap();
+        let fb = throughput(&topo, &[rate], b).unwrap();
+        let fm = throughput(&topo, &[rate], &mid).unwrap();
         prop_assert!(fm >= 0.5 * (fa + fb) - 1e-9, "concavity violated: f(mid)={fm} avg={}", 0.5*(fa+fb));
     }
 
@@ -99,8 +103,8 @@ proptest! {
         caps in proptest::collection::vec(1.0..300.0f64, 5),
     ) {
         let caps = &caps[..k];
-        let f0 = throughput(&topo, &[r0], caps);
-        let f1 = throughput(&topo, &[r0 + dr], caps);
+        let f0 = throughput(&topo, &[r0], caps).unwrap();
+        let f1 = throughput(&topo, &[r0 + dr], caps).unwrap();
         prop_assert!(f1 >= f0 - 1e-9);
     }
 
@@ -111,9 +115,9 @@ proptest! {
         caps in proptest::collection::vec(5.0..300.0f64, 5),
     ) {
         let caps = caps[..k].to_vec();
-        let (f, g) = throughput_grad(&topo, &[rate], &caps);
-        prop_assert!((f - throughput(&topo, &[rate], &caps)).abs() < 1e-12);
-        let fd = finite_grad(|c| throughput(&topo, &[rate], c), &caps, 1e-4);
+        let (f, g) = throughput_grad(&topo, &[rate], &caps).unwrap();
+        prop_assert!((f - throughput(&topo, &[rate], &caps).unwrap()).abs() < 1e-12).unwrap();
+        let fd = finite_grad(|c| throughput(&topo, &[rate], c).unwrap(), &caps, 1e-4).unwrap();
         for i in 0..k {
             let diff = (g[i] - fd[i]).abs();
             // Near a min() kink the subgradient and FD differ by design —
@@ -126,8 +130,8 @@ proptest! {
                 lo[i] -= 2e-4;
                 let mut hi = caps.clone();
                 hi[i] += 2e-4;
-                let gl = throughput_grad(&topo, &[rate], &lo).1[i];
-                let gh = throughput_grad(&topo, &[rate], &hi).1[i];
+                let gl = throughput_grad(&topo, &[rate], &lo).unwrap().1[i];
+                let gh = throughput_grad(&topo, &[rate], &hi).unwrap().1[i];
                 prop_assert!(
                     (gl - gh).abs() > 1e-9,
                     "gradient mismatch away from kink: op {i}, ad={} fd={}", g[i], fd[i]
@@ -142,7 +146,7 @@ proptest! {
         caps in proptest::collection::vec(5.0..300.0f64, 5),
     ) {
         let caps = &caps[..k];
-        let (_, g) = throughput_grad(&topo, &[rate], caps);
+        let (_, g) = throughput_grad(&topo, &[rate], caps).unwrap();
         for gi in g {
             prop_assert!(gi >= 0.0, "negative capacity gradient {gi}");
             prop_assert!(gi <= 1.5f64.powi(4) + 1e-9);

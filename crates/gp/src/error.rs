@@ -1,0 +1,45 @@
+//! Error type for GP operations that can fail numerically.
+
+use crate::linalg::NotPositiveDefinite;
+use std::fmt;
+
+/// Numeric failures in GP regression. Today the only failure mode is a
+/// Cholesky factorization losing positive-definiteness (degenerate kernel
+/// matrix, duplicated points with zero noise, NaN inputs); a dedicated enum
+/// keeps call sites stable as further modes appear.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GpError {
+    /// `K + σ²I` (or a posterior covariance) stopped being positive
+    /// definite at the given pivot.
+    NotPositiveDefinite { pivot: usize },
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::NotPositiveDefinite { pivot } => {
+                write!(f, "kernel matrix not positive definite at pivot {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+impl From<NotPositiveDefinite> for GpError {
+    fn from(e: NotPositiveDefinite) -> GpError {
+        GpError::NotPositiveDefinite { pivot: e.pivot }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_from_linalg_error() {
+        let e: GpError = NotPositiveDefinite { pivot: 3 }.into();
+        assert_eq!(e, GpError::NotPositiveDefinite { pivot: 3 });
+        assert!(e.to_string().contains("pivot 3"));
+    }
+}

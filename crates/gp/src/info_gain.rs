@@ -12,16 +12,25 @@
 //!   `(log(T+1))^{d+1}`;
 //! * [`beta_t`] — the paper's UCB weight `β_t = 2 log(|X| t² π² δ / 6)`.
 
+use crate::error::GpError;
 use crate::kernel::Kernel;
 use crate::linalg::{Cholesky, Matrix};
 
 /// Exact information gain `½ log det(I + σ⁻² K_A)` of observing the points
 /// `xs` under kernel `k` with noise variance `noise_var`.
-pub fn information_gain<K: Kernel>(kernel: &K, xs: &[Vec<f64>], noise_var: f64) -> f64 {
+///
+/// # Errors
+/// [`GpError::NotPositiveDefinite`] if `I + σ⁻²K` cannot be factorized,
+/// which indicates NaN inputs or an invalid kernel.
+pub fn information_gain<K: Kernel>(
+    kernel: &K,
+    xs: &[Vec<f64>],
+    noise_var: f64,
+) -> Result<f64, GpError> {
     assert!(noise_var > 0.0);
     let n = xs.len();
     if n == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let gram = kernel.gram(xs);
     let mut m = Matrix::identity(n);
@@ -30,15 +39,15 @@ pub fn information_gain<K: Kernel>(kernel: &K, xs: &[Vec<f64>], noise_var: f64) 
             m[(i, j)] += gram[(i, j)] / noise_var;
         }
     }
-    let ch = Cholesky::factor(&m).expect("I + σ⁻²K is positive definite");
-    0.5 * ch.log_det()
+    let ch = Cholesky::factor(&m)?;
+    Ok(0.5 * ch.log_det())
 }
 
 /// The asymptotic shape of the SE-kernel maximum information gain,
 /// `Γ_T = O((log T)^{d+1})`, evaluated as `(log(T+1))^{d+1}` (the constant is
 /// absorbed; only growth order matters for the bound).
 pub fn se_gamma_bound(t: usize, dim: usize) -> f64 {
-    ((t as f64 + 1.0).ln()).powi(dim as i32 + 1)
+    ((t as f64 + 1.0).ln()).powf((dim + 1) as f64)
 }
 
 /// The paper's UCB weight (Section 5.1):
@@ -64,14 +73,14 @@ mod tests {
     #[test]
     fn info_gain_empty_is_zero() {
         let k = SquaredExp::new(1.0);
-        assert_eq!(information_gain(&k, &[], 0.1), 0.0);
+        assert_eq!(information_gain(&k, &[], 0.1), Ok(0.0));
     }
 
     #[test]
     fn info_gain_single_point() {
         // ½ log(1 + k(x,x)/σ²)
         let k = SquaredExp::new(1.0);
-        let g = information_gain(&k, &[vec![0.0]], 0.5);
+        let g = information_gain(&k, &[vec![0.0]], 0.5).unwrap();
         assert!((g - 0.5 * (1.0 + 1.0 / 0.5f64).ln()).abs() < 1e-12);
     }
 
@@ -82,7 +91,7 @@ mod tests {
         let mut prev = 0.0;
         for i in 0..10 {
             xs.push(vec![i as f64]);
-            let g = information_gain(&k, &xs, 0.1);
+            let g = information_gain(&k, &xs, 0.1).unwrap();
             assert!(g > prev, "info gain must increase: {g} vs {prev}");
             prev = g;
         }
@@ -91,8 +100,8 @@ mod tests {
     #[test]
     fn duplicate_points_add_little_information() {
         let k = SquaredExp::new(1.0);
-        let spread = information_gain(&k, &[vec![0.0], vec![5.0]], 0.1);
-        let dup = information_gain(&k, &[vec![0.0], vec![0.0]], 0.1);
+        let spread = information_gain(&k, &[vec![0.0], vec![5.0]], 0.1).unwrap();
+        let dup = information_gain(&k, &[vec![0.0], vec![0.0]], 0.1).unwrap();
         assert!(spread > dup);
     }
 

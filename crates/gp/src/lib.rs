@@ -26,11 +26,13 @@
 //! * [`info_gain`] — information-gain accounting `I(c_A; y) = ½ log det(I +
 //!   σ⁻² K_A)` and the `Γ_T`/`β_t` schedules appearing in Theorem 1.
 
+pub mod error;
 pub mod info_gain;
 pub mod kernel;
 pub mod linalg;
 pub mod regression;
 
+pub use error::GpError;
 pub use info_gain::{beta_t, information_gain, se_gamma_bound};
 pub use kernel::{
     ConstantKernel, Kernel, LinearKernel, Matern52, ProductKernel, ScaledKernel, SquaredExp,

@@ -7,6 +7,7 @@
 //! setting (one observation per 10-minute decision slot, hundreds of slots)
 //! cheap.
 
+use crate::error::GpError;
 use crate::kernel::Kernel;
 use crate::linalg::{dot, Cholesky};
 
@@ -42,8 +43,8 @@ impl GpPosterior {
 /// use dragster_gp::{GpRegressor, SquaredExp};
 ///
 /// let mut gp = GpRegressor::new(SquaredExp::new(1.0), 1e-6);
-/// gp.observe(&[0.0], 1.0);
-/// gp.observe(&[2.0], 3.0);
+/// gp.observe(&[0.0], 1.0).unwrap();
+/// gp.observe(&[2.0], 3.0).unwrap();
 /// let p = gp.posterior(&[1.0]);
 /// assert!(p.mean > 1.0 && p.mean < 3.0); // interpolates
 /// assert!(p.var < 1.0);                  // less uncertain than the prior
@@ -118,15 +119,20 @@ impl<K: Kernel> GpRegressor<K> {
 
     /// Add one observation `(x, c)` where `c = y(x) + ε` and refresh the
     /// factorization incrementally (O(t²)).
-    pub fn observe(&mut self, x: &[f64], c: f64) {
+    ///
+    /// # Errors
+    /// [`GpError::NotPositiveDefinite`] if extending the factor of
+    /// `K + σ²I` fails — which happens only with NaN inputs or a kernel
+    /// whose diagonal plus noise is not strictly positive. The regressor is
+    /// left unchanged on error.
+    pub fn observe(&mut self, x: &[f64], c: f64) -> Result<(), GpError> {
         let b: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
         let diag = self.kernel.diag(x) + self.noise_var;
-        self.chol
-            .extend(&b, diag)
-            .expect("K + σ²I is positive definite by construction");
+        self.chol.extend(&b, diag)?;
         self.xs.push(x.to_vec());
         self.ys_centered.push(c - self.prior_mean);
         self.alpha = self.chol.solve(&self.ys_centered);
+        Ok(())
     }
 
     /// Posterior mean and latent variance at `x` (Eq. 17). With no
@@ -188,14 +194,22 @@ impl<K: Kernel> GpRegressor<K> {
     /// `xs.len()` values). This is the Thompson-sampling primitive: the
     /// sampled function is a coherent hypothesis about the whole capacity
     /// curve, not independent per-point noise.
-    pub fn sample_posterior(&self, xs: &[Vec<f64>], mut normals: impl FnMut() -> f64) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// [`GpError::NotPositiveDefinite`] if the jittered posterior
+    /// covariance cannot be factorized (NaN query points or a broken
+    /// kernel).
+    pub fn sample_posterior(
+        &self,
+        xs: &[Vec<f64>],
+        mut normals: impl FnMut() -> f64,
+    ) -> Result<Vec<f64>, GpError> {
         let n = xs.len();
         let (mean, cov) = self.posterior_joint(xs);
-        let chol =
-            crate::linalg::Cholesky::factor(&cov).expect("posterior covariance + jitter is PD");
+        let chol = crate::linalg::Cholesky::factor(&cov)?;
         let z: Vec<f64> = (0..n).map(|_| normals()).collect();
         let l = chol.factor_matrix();
-        (0..n)
+        Ok((0..n)
             .map(|i| {
                 let mut v = mean[i];
                 for k in 0..=i {
@@ -203,7 +217,7 @@ impl<K: Kernel> GpRegressor<K> {
                 }
                 v
             })
-            .collect()
+            .collect())
     }
 
     /// Log marginal likelihood of the observed data:
@@ -252,27 +266,46 @@ impl Default for GpHyperFit {
 impl GpHyperFit {
     /// Fit on `(xs, cs)` with the given noise variance; returns the best
     /// `(length_scale, signal_var, lml)`.
-    pub fn fit_se(&self, xs: &[Vec<f64>], cs: &[f64], noise_var: f64) -> (f64, f64, f64) {
+    ///
+    /// Candidate hyper-parameter settings whose Gram matrix turns out
+    /// numerically indefinite are skipped rather than aborting the grid
+    /// search.
+    ///
+    /// # Errors
+    /// [`GpError::NotPositiveDefinite`] if *every* candidate fails — the
+    /// data itself is degenerate (NaNs, or exact duplicates with zero
+    /// noise).
+    pub fn fit_se(
+        &self,
+        xs: &[Vec<f64>],
+        cs: &[f64],
+        noise_var: f64,
+    ) -> Result<(f64, f64, f64), GpError> {
         assert_eq!(xs.len(), cs.len());
-        let mut best = (
-            self.length_scales[0],
-            self.signal_vars[0],
-            f64::NEG_INFINITY,
-        );
+        let mut best: Option<(f64, f64, f64)> = None;
+        let mut last_err = GpError::NotPositiveDefinite { pivot: 0 };
         for &l in &self.length_scales {
             for &s in &self.signal_vars {
                 let mut gp =
                     GpRegressor::new(crate::kernel::SquaredExp::with_signal(l, s), noise_var);
+                let mut ok = true;
                 for (x, &c) in xs.iter().zip(cs.iter()) {
-                    gp.observe(x, c);
+                    if let Err(e) = gp.observe(x, c) {
+                        last_err = e;
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
                 }
                 let lml = gp.log_marginal_likelihood();
-                if lml > best.2 {
-                    best = (l, s, lml);
+                if best.map_or(true, |b| lml > b.2) {
+                    best = Some((l, s, lml));
                 }
             }
         }
-        best
+        best.ok_or(last_err)
     }
 }
 
@@ -297,9 +330,9 @@ mod tests {
     #[test]
     fn interpolates_at_low_noise() {
         let mut gp = make_gp();
-        gp.observe(&[0.0], 1.0);
-        gp.observe(&[1.0], 2.0);
-        gp.observe(&[2.0], 0.5);
+        gp.observe(&[0.0], 1.0).unwrap();
+        gp.observe(&[1.0], 2.0).unwrap();
+        gp.observe(&[2.0], 0.5).unwrap();
         for (x, y) in [(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)] {
             let p = gp.posterior(&[x]);
             assert!((p.mean - y).abs() < 1e-3, "x={x} mean={}", p.mean);
@@ -310,7 +343,7 @@ mod tests {
     #[test]
     fn variance_shrinks_near_data_grows_far() {
         let mut gp = make_gp();
-        gp.observe(&[0.0], 1.0);
+        gp.observe(&[0.0], 1.0).unwrap();
         let near = gp.posterior(&[0.1]);
         let far = gp.posterior(&[5.0]);
         assert!(near.var < 0.1);
@@ -323,7 +356,7 @@ mod tests {
         // μ(x) = k(x,x₀)/(1+σ²)·y ; σ²(x) = 1 − k(x,x₀)²/(1+σ²).
         let noise = 0.25;
         let mut gp = GpRegressor::new(SquaredExp::new(1.0), noise);
-        gp.observe(&[0.0], 2.0);
+        gp.observe(&[0.0], 2.0).unwrap();
         let x = [0.7];
         let kxx0 = (-0.49f64 / 2.0).exp();
         let p = gp.posterior(&x);
@@ -334,7 +367,7 @@ mod tests {
     #[test]
     fn prior_mean_used_away_from_data() {
         let mut gp = GpRegressor::new(SquaredExp::new(0.5), 1e-6).with_prior_mean(10.0);
-        gp.observe(&[0.0], 12.0);
+        gp.observe(&[0.0], 12.0).unwrap();
         let far = gp.posterior(&[100.0]);
         assert!((far.mean - 10.0).abs() < 1e-9);
     }
@@ -342,8 +375,8 @@ mod tests {
     #[test]
     fn posterior_cov_consistency() {
         let mut gp = make_gp();
-        gp.observe(&[0.0], 1.0);
-        gp.observe(&[2.0], -1.0);
+        gp.observe(&[0.0], 1.0).unwrap();
+        gp.observe(&[2.0], -1.0).unwrap();
         let x = [0.5];
         let p = gp.posterior(&x);
         let c = gp.posterior_cov(&x, &x);
@@ -362,8 +395,8 @@ mod tests {
         let mut smooth = GpRegressor::new(SquaredExp::new(2.0), 1e-4);
         let mut wiggly = GpRegressor::new(SquaredExp::new(0.05), 1e-4);
         for (x, &c) in xs.iter().zip(cs.iter()) {
-            smooth.observe(x, c);
-            wiggly.observe(x, c);
+            smooth.observe(x, c).unwrap();
+            wiggly.observe(x, c).unwrap();
         }
         assert!(smooth.log_marginal_likelihood() > wiggly.log_marginal_likelihood());
     }
@@ -373,7 +406,7 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.3]).collect();
         let cs: Vec<f64> = xs.iter().map(|x| (x[0] * 0.4).sin() * 2.0).collect();
         let fit = GpHyperFit::default();
-        let (l, s, lml) = fit.fit_se(&xs, &cs, 1e-4);
+        let (l, s, lml) = fit.fit_se(&xs, &cs, 1e-4).unwrap();
         assert!(l >= 0.5, "picked degenerate length scale {l}");
         assert!(s > 0.0);
         assert!(lml.is_finite());
@@ -394,7 +427,7 @@ mod tests {
     #[test]
     fn reset_clears_history() {
         let mut gp = make_gp();
-        gp.observe(&[0.0], 1.0);
+        gp.observe(&[0.0], 1.0).unwrap();
         assert_eq!(gp.len(), 1);
         gp.reset();
         assert!(gp.is_empty());
@@ -406,8 +439,8 @@ mod tests {
     #[test]
     fn batch_matches_single() {
         let mut gp = make_gp();
-        gp.observe(&[0.0], 1.0);
-        gp.observe(&[1.0], 0.0);
+        gp.observe(&[0.0], 1.0).unwrap();
+        gp.observe(&[1.0], 0.0).unwrap();
         let pts = vec![vec![0.25], vec![0.75]];
         let batch = gp.posterior_batch(&pts);
         for (p, x) in batch.iter().zip(pts.iter()) {
@@ -419,8 +452,8 @@ mod tests {
     #[test]
     fn posterior_joint_diag_matches_pointwise() {
         let mut gp = make_gp();
-        gp.observe(&[0.0], 1.0);
-        gp.observe(&[2.0], -1.0);
+        gp.observe(&[0.0], 1.0).unwrap();
+        gp.observe(&[2.0], -1.0).unwrap();
         let xs = vec![vec![0.5], vec![1.5], vec![3.0]];
         let (mean, cov) = gp.posterior_joint(&xs);
         for (i, x) in xs.iter().enumerate() {
@@ -434,8 +467,8 @@ mod tests {
     #[test]
     fn posterior_samples_have_right_moments() {
         let mut gp = GpRegressor::new(SquaredExp::new(1.0), 0.05);
-        gp.observe(&[0.0], 1.0);
-        gp.observe(&[2.0], 3.0);
+        gp.observe(&[0.0], 1.0).unwrap();
+        gp.observe(&[2.0], 3.0).unwrap();
         let xs = vec![vec![1.0], vec![4.0]];
         // deterministic pseudo-normals via Box–Muller on a simple LCG
         let mut state = 88172645463325252u64;
@@ -461,7 +494,7 @@ mod tests {
         let mut sums = [0.0; 2];
         let mut sqs = [0.0; 2];
         for _ in 0..n {
-            let s = gp.sample_posterior(&xs, &mut normal);
+            let s = gp.sample_posterior(&xs, &mut normal).unwrap();
             for i in 0..2 {
                 sums[i] += s[i];
                 sqs[i] += s[i] * s[i];
@@ -479,14 +512,14 @@ mod tests {
     #[test]
     fn samples_interpolate_data_under_low_noise() {
         let mut gp = make_gp();
-        gp.observe(&[1.0], 5.0);
+        gp.observe(&[1.0], 5.0).unwrap();
         let xs = vec![vec![1.0]];
         let mut k = 0.0;
         let mut fake_normal = move || {
             k += 1.0;
             (k % 3.0) - 1.0
         };
-        let s = gp.sample_posterior(&xs, &mut fake_normal);
+        let s = gp.sample_posterior(&xs, &mut fake_normal).unwrap();
         assert!((s[0] - 5.0).abs() < 0.05, "{}", s[0]);
     }
 
@@ -495,7 +528,7 @@ mod tests {
         // With large noise, the posterior mean at an observed point shrinks
         // toward the prior instead of interpolating.
         let mut gp = GpRegressor::new(SquaredExp::new(1.0), 1.0);
-        gp.observe(&[0.0], 2.0);
+        gp.observe(&[0.0], 2.0).unwrap();
         let p = gp.posterior(&[0.0]);
         assert!((p.mean - 1.0).abs() < 1e-12); // k/(k+σ²)·y = 1/2 · 2
         assert!(p.var > 0.4);

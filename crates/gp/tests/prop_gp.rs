@@ -1,6 +1,10 @@
 //! Property tests for the GP stack: kernel PSD-ness, posterior invariants,
 //! incremental-vs-batch agreement, information-gain monotonicity.
 
+// Integration tests may panic freely; the workspace deny only guards
+// library code paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dragster_gp::linalg::{Cholesky, Matrix};
 use dragster_gp::{
     information_gain, GpRegressor, Kernel, LinearKernel, Matern52, ProductKernel, SquaredExp,
@@ -59,7 +63,7 @@ proptest! {
         prop_assume!(pts.len() >= 2);
         let mut gp = GpRegressor::new(Matern52::new(1.0), 1e-8);
         for (i, &x) in pts.iter().enumerate() {
-            gp.observe(&[x], i as f64);
+            gp.observe(&[x], i as f64).unwrap();
         }
         for (i, &x) in pts.iter().enumerate() {
             let p = gp.posterior(&[x]);
@@ -76,7 +80,7 @@ proptest! {
         let k = SquaredExp::new(1.0);
         let mut gp = GpRegressor::new(k, noise);
         for (i, x) in xs.iter().enumerate() {
-            gp.observe(x, (i as f64).sin());
+            gp.observe(x, (i as f64).sin()).unwrap();
         }
         let p = gp.posterior(&[q]);
         prop_assert!(p.var <= 1.0 + 1e-9, "posterior var {} > prior", p.var);
@@ -93,7 +97,7 @@ proptest! {
         let mut gp = GpRegressor::new(SquaredExp::new(1.0), 0.1);
         let mut prev = f64::INFINITY;
         for (i, x) in xs.iter().enumerate() {
-            gp.observe(x, (i as f64) * 0.1);
+            gp.observe(x, (i as f64) * 0.1).unwrap();
             let v = gp.posterior(&[q]).var;
             prop_assert!(v <= prev + 1e-9, "variance rose from {prev} to {v}");
             prev = v;
@@ -112,7 +116,7 @@ proptest! {
 
         let mut inc = GpRegressor::new(k, noise);
         for (x, &y) in xs.iter().zip(ys.iter()) {
-            inc.observe(x, y);
+            inc.observe(x, y).unwrap();
         }
 
         // batch: full gram + cholesky
@@ -138,7 +142,7 @@ proptest! {
         let k = SquaredExp::new(1.0);
         let mut prev = 0.0;
         for i in 1..=xs.len() {
-            let g = information_gain(&k, &xs[..i], 0.1);
+            let g = information_gain(&k, &xs[..i], 0.1).unwrap();
             prop_assert!(g >= prev - 1e-9);
             prev = g;
         }
@@ -176,7 +180,7 @@ proptest! {
         // to the observed value regardless of the other data.
         let mut gp = GpRegressor::new(SquaredExp::new(0.5), 1e-8);
         for (i, &y) in ys.iter().enumerate() {
-            gp.observe(&[i as f64 * 3.0], y); // well separated
+            gp.observe(&[i as f64 * 3.0], y).unwrap(); // well separated
         }
         for (i, &y) in ys.iter().enumerate() {
             let p = gp.posterior(&[i as f64 * 3.0]);

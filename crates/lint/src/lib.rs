@@ -1,0 +1,938 @@
+//! `dragster-lint` — a dependency-free static-analysis pass over the
+//! workspace's library crates, enforcing invariants that clippy cannot
+//! express and that the paper's regret guarantee silently depends on:
+//!
+//! * **L1 — no panic paths.** `.unwrap()`, `.expect(`, `panic!`,
+//!   `unreachable!`, `todo!`, `unimplemented!` are banned outside
+//!   `#[cfg(test)]` blocks in library crates. A panic in the saddle-point
+//!   loop or the GP update invalidates every figure downstream; errors
+//!   must travel as [`Result`]s.
+//! * **L2 — determinism.** `thread_rng`, `SystemTime::now`,
+//!   `Instant::now`, and `HashMap`/`HashSet` (unordered iteration) are
+//!   banned: a fixed seed must reproduce a run bit-for-bit, so library
+//!   code uses the seeded `sim::Rng` and `BTreeMap`/`Vec`.
+//! * **L3 — NaN-safety.** `.partial_cmp(..).unwrap()` (and `.expect(`)
+//!   is banned: one NaN in a GP posterior turns it into a panic. Use
+//!   `f64::total_cmp` or the `core::num` argmax/argmin helpers.
+//! * **L4 — lossy casts.** `expr as <integer type>` is banned in the
+//!   numeric crates (`core`, `gp`), where a silent float→int truncation
+//!   corrupts budgets and indices. Int→float (`as f64`) stays legal.
+//!
+//! The scanner strips comments, string/char literals, and `#[cfg(test)]`
+//! items before matching, so rule tokens inside those never fire.
+//! Findings are suppressible only through the checked-in `lint.toml`
+//! allowlist, and every entry there must carry a justification.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Library crates subject to the invariants (their `src/` trees).
+pub const LIBRARY_CRATES: &[&str] = &["core", "gp", "dag", "sim", "baselines", "workloads"];
+
+/// Maximum number of allowlist entries `lint.toml` may carry.
+pub const MAX_ALLOW_ENTRIES: usize = 10;
+
+/// Which rule classes to run on a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSet {
+    /// L1: panic paths.
+    pub panic_paths: bool,
+    /// L2: non-determinism sources.
+    pub determinism: bool,
+    /// L3: NaN-unsafe comparisons.
+    pub nan_safety: bool,
+    /// L4: lossy float→int `as` casts.
+    pub lossy_casts: bool,
+}
+
+impl RuleSet {
+    /// Every rule enabled — used for fixtures and ad-hoc file checks.
+    pub fn all() -> RuleSet {
+        RuleSet {
+            panic_paths: true,
+            determinism: true,
+            nan_safety: true,
+            lossy_casts: true,
+        }
+    }
+
+    /// The rules that apply to a given library crate. L4 only bites in
+    /// the numeric crates where a truncation corrupts results silently.
+    pub fn for_crate(name: &str) -> RuleSet {
+        RuleSet {
+            panic_paths: true,
+            determinism: true,
+            nan_safety: true,
+            lossy_casts: matches!(name, "core" | "gp"),
+        }
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as given to the scanner (workspace-relative in CLI use).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Lint code: `"L1"`..`"L4"`.
+    pub code: &'static str,
+    /// The offending token (e.g. `unwrap`, `HashMap`, `as usize`).
+    pub token: String,
+    /// Human-readable explanation with the suggested replacement.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: {}",
+            self.file, self.line, self.code, self.token, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source preparation: strip comments, literals, and #[cfg(test)] items.
+// ---------------------------------------------------------------------------
+
+/// Returns a copy of `src` with comments and string/char-literal contents
+/// replaced by spaces. Newlines are preserved (including inside block
+/// comments and multi-line strings) so byte offsets map to the original
+/// line numbers.
+pub fn strip_comments_and_literals(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..", r#".."#, and byte variants br".." etc.
+        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut j = start;
+            while j < n && b[j] == '#' {
+                j += 1;
+            }
+            let hashes = j - start;
+            // Must be a quote next, and `r`/`br` must not be the tail of a
+            // longer identifier (e.g. `var"` is not a raw string).
+            let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+            if j < n && b[j] == '"' && !prev_ident {
+                for k in i..=j {
+                    out.push(blank(b[k]));
+                }
+                i = j + 1;
+                // Scan to closing quote followed by `hashes` hashes.
+                while i < n {
+                    if b[i] == '"' {
+                        let mut h = 0;
+                        while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            for k in i..=i + hashes {
+                                out.push(blank(b[k]));
+                            }
+                            i += hashes + 1;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary (or byte) string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' '); // opening quote
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(blank(b[i]));
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime. A lifetime is `'ident` NOT followed by
+        // a closing quote; a char literal is everything else after `'`.
+        if c == '\'' && i + 1 < n {
+            let is_lifetime =
+                (b[i + 1].is_alphabetic() || b[i + 1] == '_') && !(i + 2 < n && b[i + 2] == '\'');
+            if !is_lifetime {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        out.push(blank(b[i]));
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Blanks out every item annotated `#[cfg(test)]` (the attribute, any
+/// attributes stacked after it, and the item body through its matching
+/// closing brace or terminating semicolon). Operates on already-stripped
+/// source so comments/strings cannot confuse the brace matching.
+pub fn strip_cfg_test_items(stripped: &str) -> String {
+    let b: Vec<char> = stripped.chars().collect();
+    let n = b.len();
+    let mut out = b.clone();
+    let mut i = 0;
+    while i < n {
+        if b[i] == '#' {
+            if let Some(attr_end) = match_cfg_test_attr(&b, i) {
+                let mut j = attr_end;
+                // Skip whitespace and any further attributes.
+                loop {
+                    while j < n && b[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '#' {
+                        j = skip_attr(&b, j);
+                    } else {
+                        break;
+                    }
+                }
+                // Find the end of the annotated item: a `;` or a balanced
+                // `{..}` at paren/bracket depth 0.
+                let mut depth = 0i32;
+                while j < n {
+                    match b[j] {
+                        '(' | '[' => depth += 1,
+                        ')' | ']' => depth -= 1,
+                        ';' if depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        '{' if depth == 0 => {
+                            j = skip_braces(&b, j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                for item in out.iter_mut().take(j).skip(i) {
+                    if *item != '\n' {
+                        *item = ' ';
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// If a `#[cfg(test)]` attribute starts at `i`, returns the index just
+/// past its closing `]`.
+fn match_cfg_test_attr(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    let expect = |tok: &str, j: &mut usize| -> bool {
+        while *j < b.len() && b[*j].is_whitespace() {
+            *j += 1;
+        }
+        for c in tok.chars() {
+            if *j >= b.len() || b[*j] != c {
+                return false;
+            }
+            *j += 1;
+        }
+        // Keywords must end at an identifier boundary.
+        if tok.chars().all(|c| c.is_alphanumeric()) {
+            if *j < b.len() && (b[*j].is_alphanumeric() || b[*j] == '_') {
+                return false;
+            }
+        }
+        true
+    };
+    for tok in ["#", "[", "cfg", "(", "test", ")", "]"] {
+        if !expect(tok, &mut j) {
+            return None;
+        }
+    }
+    Some(j)
+}
+
+/// Skips a balanced `#[...]` attribute starting at `i`; returns the index
+/// past its closing bracket.
+fn skip_attr(b: &[char], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && b[j] != '[' {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < b.len() {
+        match b[j] {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a balanced `{...}` block starting at the `{` at `i`; returns the
+/// index past its closing brace.
+fn skip_braces(b: &[char], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < b.len() {
+        match b[j] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+// ---------------------------------------------------------------------------
+// Rule matching on prepared source.
+// ---------------------------------------------------------------------------
+
+const INT_TYPES: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn line_of(text: &[char], idx: usize) -> usize {
+    1 + text[..idx].iter().filter(|&&c| c == '\n').count()
+}
+
+fn prev_nonspace(text: &[char], idx: usize) -> Option<(usize, char)> {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        if !text[j].is_whitespace() {
+            return Some((j, text[j]));
+        }
+    }
+    None
+}
+
+fn next_nonspace(text: &[char], idx: usize) -> Option<(usize, char)> {
+    let mut j = idx;
+    while j < text.len() {
+        if !text[j].is_whitespace() {
+            return Some((j, text[j]));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Reads the identifier starting at `idx` (must be an ident char).
+fn ident_at(text: &[char], idx: usize) -> (usize, String) {
+    let mut j = idx;
+    while j < text.len() && is_ident_char(text[j]) {
+        j += 1;
+    }
+    (j, text[idx..j].iter().collect())
+}
+
+/// Skips a balanced `(...)` starting at the `(` at `i`; returns the index
+/// past the closing paren.
+fn skip_parens(text: &[char], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < text.len() {
+        match text[j] {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Runs the enabled rules over prepared (stripped) source text.
+///
+/// `file` is only used to label findings. The input must already have
+/// comments, literals, and `#[cfg(test)]` items blanked out — use
+/// [`lint_source`] for the full pipeline.
+pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
+    let text: Vec<char> = prepared.chars().collect();
+    let n = text.len();
+    let mut findings = Vec::new();
+    // Offsets of `unwrap`/`expect` identifiers already claimed by an L3
+    // match, so L1 does not double-report the same token.
+    let mut claimed: Vec<usize> = Vec::new();
+
+    // Pass 1: L3 — `.partial_cmp(..).unwrap()` chains (more specific than
+    // L1, so it runs first and claims its trailing unwrap/expect).
+    let mut i = 0;
+    while i < n {
+        if !is_ident_char(text[i]) || (i > 0 && is_ident_char(text[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let (end, word) = ident_at(&text, i);
+        if word == "partial_cmp" {
+            let dotted = matches!(prev_nonspace(&text, i), Some((_, '.')));
+            if dotted {
+                if let Some((open, '(')) = next_nonspace(&text, end) {
+                    let close = skip_parens(&text, open);
+                    if let Some((dot, '.')) = next_nonspace(&text, close) {
+                        if let Some((w, _)) = next_nonspace(&text, dot + 1) {
+                            let (_, trailing) = ident_at(&text, w);
+                            if trailing == "unwrap" || trailing == "expect" {
+                                claimed.push(w);
+                                if rules.nan_safety {
+                                    findings.push(Finding {
+                                        file: file.to_string(),
+                                        line: line_of(&text, i),
+                                        code: "L3",
+                                        token: format!("partial_cmp(..).{trailing}()"),
+                                        message:
+                                            "NaN-unsafe comparison panics on NaN; \
+                                                  use f64::total_cmp or core::num::{argmax, argmin}"
+                                                .to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i = end;
+    }
+
+    // Pass 2: everything else, one identifier at a time.
+    let mut i = 0;
+    while i < n {
+        if !is_ident_char(text[i]) || (i > 0 && is_ident_char(text[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let (end, word) = ident_at(&text, i);
+        match word.as_str() {
+            // L1 — panic paths.
+            "unwrap" | "expect" if rules.panic_paths && !claimed.contains(&i) => {
+                let dotted = matches!(prev_nonspace(&text, i), Some((_, '.')));
+                let called = matches!(next_nonspace(&text, end), Some((_, '(')));
+                if dotted && called {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_of(&text, i),
+                        code: "L1",
+                        token: format!(".{word}()"),
+                        message: "panic path in library code; return a Result \
+                                  (DragsterError / SimError / DagError / GpError)"
+                            .to_string(),
+                    });
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if rules.panic_paths => {
+                if matches!(next_nonspace(&text, end), Some((_, '!'))) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_of(&text, i),
+                        code: "L1",
+                        token: format!("{word}!"),
+                        message: "panic path in library code; return a Result instead".to_string(),
+                    });
+                }
+            }
+            // L2 — non-determinism.
+            "thread_rng" if rules.determinism => {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(&text, i),
+                    code: "L2",
+                    token: word,
+                    message: "unseeded RNG breaks run reproducibility; \
+                              use the seeded sim::Rng"
+                        .to_string(),
+                });
+            }
+            "HashMap" | "HashSet" if rules.determinism => {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(&text, i),
+                    code: "L2",
+                    token: word,
+                    message: "unordered iteration breaks determinism; \
+                              use BTreeMap/BTreeSet or a Vec"
+                        .to_string(),
+                });
+            }
+            "SystemTime" | "Instant" if rules.determinism => {
+                // Only `::now()` is result-affecting; the bare type as a
+                // field or parameter is not flagged.
+                if let Some((c1, ':')) = next_nonspace(&text, end) {
+                    if let Some((c2, ':')) = next_nonspace(&text, c1 + 1) {
+                        if let Some((w, _)) = next_nonspace(&text, c2 + 1) {
+                            let (_, method) = ident_at(&text, w);
+                            if method == "now" {
+                                findings.push(Finding {
+                                    file: file.to_string(),
+                                    line: line_of(&text, i),
+                                    code: "L2",
+                                    token: format!("{word}::now"),
+                                    message: "wall-clock reads make runs irreproducible; \
+                                              derive time from the simulated slot index"
+                                        .to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // L4 — lossy float→int casts in numeric crates.
+            "as" if rules.lossy_casts => {
+                if let Some((w, c)) = next_nonspace(&text, end) {
+                    if is_ident_char(c) {
+                        let (_, ty) = ident_at(&text, w);
+                        if INT_TYPES.contains(&ty.as_str()) {
+                            findings.push(Finding {
+                                file: file.to_string(),
+                                line: line_of(&text, i),
+                                code: "L4",
+                                token: format!("as {ty}"),
+                                message: "silent truncation in a numeric path; \
+                                          use a named checked conversion helper"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i = end;
+    }
+    findings.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    findings
+}
+
+/// Full pipeline for one file's source text: strip, drop `#[cfg(test)]`
+/// items, then scan with `rules`.
+pub fn lint_source(file: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
+    let stripped = strip_comments_and_literals(source);
+    let prepared = strip_cfg_test_items(&stripped);
+    scan(file, &prepared, rules)
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist (lint.toml).
+// ---------------------------------------------------------------------------
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative path (suffix match against finding paths).
+    pub path: String,
+    /// Lint code this entry suppresses (`"L1"`..`"L4"`).
+    pub lint: String,
+    /// Optional token filter; when set, only findings whose token
+    /// contains this string are suppressed.
+    pub token: String,
+    /// Mandatory human-readable reason. Entries without one are rejected.
+    pub justification: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        let path_ok = f.file.replace('\\', "/").ends_with(&self.path);
+        let lint_ok = f.code == self.lint;
+        let token_ok = self.token.is_empty() || f.token.contains(&self.token);
+        path_ok && lint_ok && token_ok
+    }
+}
+
+/// Parses the minimal TOML dialect used by `lint.toml`: `[[allow]]`
+/// tables of `key = "value"` pairs, `#` comments, blank lines. Returns
+/// the entries or a validation error message.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            current = Some(AllowEntry::default());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml:{}: expected `key = \"value\"`", ln + 1));
+        };
+        let key = key.trim();
+        let value = value.trim().trim_matches('"').to_string();
+        let Some(e) = current.as_mut() else {
+            return Err(format!(
+                "lint.toml:{}: `{key}` outside an [[allow]] table",
+                ln + 1
+            ));
+        };
+        match key {
+            "path" => e.path = value,
+            "lint" => e.lint = value,
+            "token" => e.token = value,
+            "justification" => e.justification = value,
+            other => {
+                return Err(format!("lint.toml:{}: unknown key `{other}`", ln + 1));
+            }
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(e);
+    }
+    for (k, e) in entries.iter().enumerate() {
+        if e.path.is_empty() {
+            return Err(format!("lint.toml allow entry #{}: missing `path`", k + 1));
+        }
+        if !matches!(e.lint.as_str(), "L1" | "L2" | "L3" | "L4") {
+            return Err(format!(
+                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L4",
+                k + 1,
+                e.path
+            ));
+        }
+        if e.justification.trim().is_empty() {
+            return Err(format!(
+                "lint.toml allow entry #{} ({}): a non-empty `justification` is mandatory",
+                k + 1,
+                e.path
+            ));
+        }
+    }
+    if entries.len() > MAX_ALLOW_ENTRIES {
+        return Err(format!(
+            "lint.toml has {} allow entries; the budget is {} — fix code instead of allowlisting it",
+            entries.len(),
+            MAX_ALLOW_ENTRIES
+        ));
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking.
+// ---------------------------------------------------------------------------
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut names: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        names.push(entry?.path());
+    }
+    names.sort();
+    for path in names {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Result of a workspace run: surviving findings plus allowlist entries
+/// that suppressed nothing (stale entries are themselves an error).
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceReport {
+    /// Findings not covered by the allowlist.
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that matched at least one finding.
+    pub used_entries: Vec<AllowEntry>,
+    /// Allowlist entries that matched nothing (stale).
+    pub unused_entries: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every library crate `src/` tree under `root`, applying the
+/// allowlist.
+///
+/// # Errors
+/// Returns `Err` with a message if a source directory cannot be read.
+pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<WorkspaceReport, String> {
+    let mut report = WorkspaceReport::default();
+    let mut used = vec![false; allow.len()];
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)
+            .map_err(|e| format!("cannot read {}: {e}", src.display()))?;
+        let rules = RuleSet::for_crate(krate);
+        for path in files {
+            let source = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.files_scanned += 1;
+            for f in lint_source(&label, &source, rules) {
+                let mut suppressed = false;
+                for (k, e) in allow.iter().enumerate() {
+                    if e.matches(&f) {
+                        used[k] = true;
+                        suppressed = true;
+                        break;
+                    }
+                }
+                if !suppressed {
+                    report.findings.push(f);
+                }
+            }
+        }
+    }
+    for (k, e) in allow.iter().enumerate() {
+        if used[k] {
+            report.used_entries.push(e.clone());
+        } else {
+            report.unused_entries.push(e.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_comments_and_literals("a // .unwrap()\nb /* panic! */ c");
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains('a') && s.contains('b') && s.contains('c'));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = strip_comments_and_literals("x /* outer /* inner */ still */ y");
+        assert!(!s.contains("inner") && !s.contains("still"));
+        assert!(s.contains('x') && s.contains('y'));
+    }
+
+    #[test]
+    fn strips_string_and_char_literals_but_not_lifetimes() {
+        let s = strip_comments_and_literals(
+            "fn f<'a>(x: &'a str) { let c = '\\''; let s = \"panic! .unwrap()\"; }",
+        );
+        assert!(!s.contains("panic"));
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("'a"));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let s = strip_comments_and_literals("let s = r#\"has \"quotes\" and panic!\"#; done");
+        assert!(!s.contains("panic"));
+        assert!(s.contains("done"));
+    }
+
+    #[test]
+    fn preserves_line_numbers_through_stripping() {
+        let src = "line1\n/* multi\nline\ncomment */\nlet x = y.unwrap();\n";
+        let f = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_skipped() {
+        let src = "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                   Some(1).unwrap(); panic!(\"x\"); }\n}\n";
+        assert!(lint_source("t.rs", src, RuleSet::all()).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_fn_is_skipped_but_rest_is_not() {
+        let src = "#[cfg(test)]\nfn helper() { Some(1).unwrap(); }\n\
+                   pub fn bad() { Some(1).unwrap(); }\n";
+        let f = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_or_and_friends_are_legal() {
+        let src =
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_else(|| 1)) }\n\
+                   pub fn g(x: Result<u32, ()>) -> u32 { x.unwrap_or_default() }";
+        assert!(lint_source("t.rs", src, RuleSet::all()).is_empty());
+    }
+
+    #[test]
+    fn expect_err_is_legal_but_expect_is_not() {
+        let ok = "pub fn f(x: Result<(), u32>) -> u32 { x.expect_err(\"want err\") }";
+        assert!(lint_source("t.rs", ok, RuleSet::all()).is_empty());
+        let bad = "pub fn f(x: Option<u32>) -> u32 { x.expect(\"boom\") }";
+        let f = lint_source("t.rs", bad, RuleSet::all());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L1");
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_is_one_l3_not_l1_plus_l3() {
+        let src = "pub fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let f = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L3");
+    }
+
+    #[test]
+    fn partial_cmp_trait_impl_is_legal() {
+        let src = "impl PartialOrd for Ev {\n    fn partial_cmp(&self, o: &Self) -> \
+                   Option<std::cmp::Ordering> { Some(std::cmp::Ordering::Equal) }\n}";
+        assert!(lint_source("t.rs", src, RuleSet::all()).is_empty());
+    }
+
+    #[test]
+    fn instant_type_is_legal_but_now_is_not() {
+        let ok = "pub struct S { t: std::time::Instant }";
+        assert!(lint_source("t.rs", ok, RuleSet::all()).is_empty());
+        let bad = "pub fn f() { let _ = std::time::Instant::now(); }";
+        let f = lint_source("t.rs", bad, RuleSet::all());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L2");
+        assert_eq!(f[0].token, "Instant::now");
+    }
+
+    #[test]
+    fn int_to_float_cast_is_legal_float_to_int_is_not() {
+        let ok = "pub fn f(x: usize) -> f64 { x as f64 }";
+        assert!(lint_source("t.rs", ok, RuleSet::all()).is_empty());
+        let bad = "pub fn f(x: f64) -> usize { x as usize }";
+        let f = lint_source("t.rs", bad, RuleSet::all());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L4");
+        assert_eq!(f[0].token, "as usize");
+    }
+
+    #[test]
+    fn l4_is_off_outside_numeric_crates() {
+        let src = "pub fn f(x: f64) -> usize { x as usize }";
+        assert!(lint_source("t.rs", src, RuleSet::for_crate("sim")).is_empty());
+        assert_eq!(lint_source("t.rs", src, RuleSet::for_crate("gp")).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_parses_and_validates() {
+        let toml = "# comment\n[[allow]]\npath = \"crates/sim/src/des.rs\"\nlint = \"L2\"\n\
+                    token = \"HashMap\"\njustification = \"keyed by opaque ids, drained sorted\"\n";
+        let entries = parse_allowlist(toml).expect("parses");
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].matches(&Finding {
+            file: "crates/sim/src/des.rs".into(),
+            line: 3,
+            code: "L2",
+            token: "HashMap".into(),
+            message: String::new(),
+        }));
+    }
+
+    #[test]
+    fn allowlist_rejects_missing_justification_and_overflow() {
+        let bad = "[[allow]]\npath = \"a.rs\"\nlint = \"L1\"\n";
+        assert!(parse_allowlist(bad).is_err());
+        let mut many = String::new();
+        for i in 0..11 {
+            many.push_str(&format!(
+                "[[allow]]\npath = \"f{i}.rs\"\nlint = \"L1\"\njustification = \"x\"\n"
+            ));
+        }
+        assert!(parse_allowlist(&many).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! CLI for the workspace invariant checker.
+//!
+//! * `cargo run -p dragster-lint` — lint every library crate's `src/`
+//!   tree, applying the `lint.toml` allowlist at the workspace root.
+//!   Exits 0 when clean, 1 on findings, 2 on configuration errors.
+//! * `cargo run -p dragster-lint -- <file.rs>...` — lint specific files
+//!   with every rule enabled and no allowlist (used by the fixture
+//!   tests and for ad-hoc checks).
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dragster_lint::{lint_source, lint_workspace, parse_allowlist, RuleSet};
+
+fn workspace_root() -> PathBuf {
+    // When run via `cargo run -p dragster-lint`, the manifest dir is
+    // `<root>/crates/lint`; otherwise fall back to the current directory.
+    if let Ok(manifest) = env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(&manifest);
+        if let Some(root) = p.parent().and_then(|c| c.parent()) {
+            if root.join("Cargo.toml").exists() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn lint_files(paths: &[String]) -> ExitCode {
+    let mut total = 0usize;
+    for p in paths {
+        match fs::read_to_string(p) {
+            Ok(source) => {
+                for f in lint_source(p, &source, RuleSet::all()) {
+                    eprintln!("{f}");
+                    total += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("dragster-lint: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if total == 0 {
+        println!("dragster-lint: {} file(s) clean", paths.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("dragster-lint: {total} finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn lint_tree() -> ExitCode {
+    let root = workspace_root();
+    let allow = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("dragster-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(), // no allowlist file — nothing is suppressed
+    };
+    let report = match lint_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dragster-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        eprintln!("{f}");
+    }
+    for e in &report.unused_entries {
+        eprintln!(
+            "dragster-lint: stale allowlist entry (matched nothing): {} [{}] — remove it",
+            e.path, e.lint
+        );
+    }
+    if report.findings.is_empty() && report.unused_entries.is_empty() {
+        println!(
+            "dragster-lint: {} files clean ({} allowlisted suppression(s))",
+            report.files_scanned,
+            report.used_entries.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "dragster-lint: {} finding(s), {} stale allowlist entr(ies)",
+            report.findings.len(),
+            report.unused_entries.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        lint_tree()
+    } else {
+        lint_files(&args)
+    }
+}

@@ -1,0 +1,144 @@
+//! Fixture tests: each known-bad snippet under `tests/fixtures/` must
+//! trigger exactly its lint (right code, right count, nothing else), the
+//! clean fixture must pass, and the real workspace must be clean under
+//! the checked-in `lint.toml` allowlist.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dragster_lint::{lint_source, lint_workspace, parse_allowlist, Finding, RuleSet};
+
+fn fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(name, &source, RuleSet::all())
+}
+
+/// Asserts the fixture yields exactly `count` findings, all with `code`.
+fn assert_only(name: &str, code: &str, count: usize) {
+    let findings = fixture(name);
+    assert_eq!(
+        findings.len(),
+        count,
+        "{name}: expected {count} finding(s), got: {findings:#?}"
+    );
+    for f in &findings {
+        assert_eq!(f.code, code, "{name}: wrong lint class: {f}");
+    }
+}
+
+#[test]
+fn l1_unwrap_triggers_exactly_l1() {
+    assert_only("l1_unwrap.rs", "L1", 1);
+}
+
+#[test]
+fn l1_expect_triggers_exactly_l1() {
+    assert_only("l1_expect.rs", "L1", 1);
+}
+
+#[test]
+fn l1_panic_macros_trigger_exactly_l1() {
+    // todo!, panic!, unreachable! — one finding each.
+    assert_only("l1_panic.rs", "L1", 3);
+}
+
+#[test]
+fn l2_thread_rng_triggers_exactly_l2() {
+    assert_only("l2_thread_rng.rs", "L2", 1);
+}
+
+#[test]
+fn l2_hash_collections_trigger_exactly_l2() {
+    // One finding per named type (`use` line and annotation site each
+    // mention both types — 2 types × 2 sites).
+    assert_only("l2_hash_collections.rs", "L2", 4);
+}
+
+#[test]
+fn l2_wall_clock_triggers_exactly_l2() {
+    // Instant::now + SystemTime::now; the bare types in the return
+    // signature must NOT fire.
+    assert_only("l2_wall_clock.rs", "L2", 2);
+}
+
+#[test]
+fn l3_partial_cmp_unwrap_triggers_exactly_l3() {
+    // The trailing .unwrap() is claimed by L3 — no L1 double report.
+    assert_only("l3_partial_cmp.rs", "L3", 1);
+}
+
+#[test]
+fn l4_lossy_cast_triggers_exactly_l4() {
+    assert_only("l4_lossy_cast.rs", "L4", 1);
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let findings = fixture("clean.rs");
+    assert!(findings.is_empty(), "clean.rs flagged: {findings:#?}");
+}
+
+#[test]
+fn every_fixture_is_covered_by_a_test() {
+    // Guards against someone adding a fixture without an assertion.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .expect("fixtures dir readable")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "clean.rs",
+            "l1_expect.rs",
+            "l1_panic.rs",
+            "l1_unwrap.rs",
+            "l2_hash_collections.rs",
+            "l2_thread_rng.rs",
+            "l2_wall_clock.rs",
+            "l3_partial_cmp.rs",
+            "l4_lossy_cast.rs",
+        ],
+        "fixture set changed — update the tests to match"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean_under_checked_in_allowlist() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let allow = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => parse_allowlist(&text).expect("lint.toml must validate"),
+        Err(_) => Vec::new(),
+    };
+    let report = lint_workspace(&root, &allow).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "library crates violate the invariants:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unused_entries.is_empty(),
+        "stale lint.toml entries: {:?}",
+        report.unused_entries
+    );
+    assert!(report.files_scanned >= 30, "suspiciously few files scanned");
+}

@@ -1,0 +1,59 @@
+//! Fixture: a file exercising every rule's escape hatch. Must produce
+//! zero findings. Mentions of .unwrap() and panic! in comments are fine.
+
+/// Doc comments may say `.unwrap()` and `HashMap` freely.
+pub fn checked_first(tasks: &[usize]) -> Option<usize> {
+    tasks.first().copied()
+}
+
+pub fn with_default(x: Option<f64>) -> f64 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default are not panic paths
+    x.unwrap_or(0.0).max(x.unwrap_or_else(|| 1.0))
+}
+
+pub fn must_fail(r: Result<(), String>) -> String {
+    r.expect_err("fixture wants the error branch")
+}
+
+pub fn int_to_float(x: usize) -> f64 {
+    x as f64 // widening int→float is allowed by L4
+}
+
+pub fn nan_safe_max(v: &[f64]) -> Option<f64> {
+    v.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+pub fn strings_are_not_code() -> &'static str {
+    "call .unwrap() or panic! or Instant::now() — all inert here"
+}
+
+pub fn raw_strings_too() -> &'static str {
+    r#"thread_rng and HashMap inside a raw "string""#
+}
+
+pub struct Holder<'a> {
+    /// Lifetimes must not be mistaken for char literals.
+    pub slice: &'a [f64],
+    /// Storing an Instant is fine; only `Instant::now()` is banned.
+    pub started: Option<std::time::Instant>,
+}
+
+pub fn option_compare(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    // partial_cmp without a trailing unwrap/expect is legitimate
+    a.partial_cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v = vec![1usize];
+        assert_eq!(checked_first(&v).unwrap(), 1);
+        let m: std::collections::HashMap<u32, u32> = Default::default();
+        assert!(m.is_empty());
+        let frac = 0.7_f64;
+        assert_eq!((frac * 10.0) as usize, 7);
+    }
+}

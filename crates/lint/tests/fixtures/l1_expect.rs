@@ -1,0 +1,5 @@
+//! Fixture: `.expect(..)` in library code must trigger exactly L1.
+
+pub fn budget(pods: Option<usize>) -> usize {
+    pods.expect("budget must be configured")
+}

@@ -1,0 +1,9 @@
+//! Fixture: explicit panic macros must each trigger L1 (three findings).
+
+pub fn dispatch(kind: u8) -> usize {
+    match kind {
+        0 => todo!("not built yet"),
+        1 => panic!("bad kind"),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: `.unwrap()` in library code must trigger exactly L1.
+
+pub fn first_operator(tasks: &[usize]) -> usize {
+    *tasks.first().unwrap()
+}

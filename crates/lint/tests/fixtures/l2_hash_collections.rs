@@ -1,0 +1,13 @@
+//! Fixture: `HashMap`/`HashSet` must trigger L2 (two findings).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> (usize, usize) {
+    let mut counts: HashMap<u32, usize> = Default::default();
+    let mut seen: HashSet<u32> = Default::default();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+        seen.insert(x);
+    }
+    (counts.len(), seen.len())
+}

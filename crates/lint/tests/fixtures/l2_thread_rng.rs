@@ -1,0 +1,6 @@
+//! Fixture: unseeded RNG must trigger exactly L2.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::r#gen(&mut rng)
+}

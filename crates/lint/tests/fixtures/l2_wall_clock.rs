@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads must trigger L2 (two findings).
+
+pub fn stamp() -> (std::time::Instant, std::time::SystemTime) {
+    (
+        std::time::Instant::now(),
+        std::time::SystemTime::now(),
+    )
+}

@@ -1,0 +1,6 @@
+//! Fixture: NaN-unsafe comparator must trigger exactly L3 — and not a
+//! second L1 for the trailing `.unwrap()`.
+
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

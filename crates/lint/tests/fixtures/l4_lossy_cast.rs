@@ -1,0 +1,5 @@
+//! Fixture: float→int `as` cast must trigger exactly L4.
+
+pub fn pods_for_budget(dollars_per_hour: f64, dollars_per_pod: f64) -> usize {
+    (dollars_per_hour / dollars_per_pod) as usize
+}

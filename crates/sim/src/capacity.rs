@@ -91,17 +91,21 @@ impl Application {
     pub fn new(
         topology: dragster_dag::Topology,
         capacity_models: Vec<CapacityModel>,
-    ) -> Result<Application, String> {
+    ) -> Result<Application, crate::SimError> {
         if capacity_models.len() != topology.n_operators() {
-            return Err(format!(
-                "{} capacity models for {} operators",
-                capacity_models.len(),
-                topology.n_operators()
-            ));
+            return Err(crate::SimError::InvalidApplication {
+                reason: format!(
+                    "{} capacity models for {} operators",
+                    capacity_models.len(),
+                    topology.n_operators()
+                ),
+            });
         }
         for (i, m) in capacity_models.iter().enumerate() {
             m.validate(32)
-                .map_err(|e| format!("operator {}: {e}", topology.operator_name(i)))?;
+                .map_err(|e| crate::SimError::InvalidApplication {
+                    reason: format!("operator {}: {e}", topology.operator_name(i)),
+                })?;
         }
         Ok(Application {
             topology,
@@ -127,8 +131,20 @@ impl Application {
     /// Noise-free steady-state application throughput for a deployment —
     /// the oracle primitive behind `y*` and the "within 10 % of optimal"
     /// convergence criterion.
-    pub fn ideal_throughput(&self, source_rates: &[f64], tasks: &[usize]) -> f64 {
-        dragster_dag::throughput(&self.topology, source_rates, &self.true_capacities(tasks))
+    ///
+    /// # Errors
+    /// [`crate::SimError::Dag`] if propagation fails (arity mismatch or a
+    /// structurally inconsistent topology).
+    pub fn ideal_throughput(
+        &self,
+        source_rates: &[f64],
+        tasks: &[usize],
+    ) -> Result<f64, crate::SimError> {
+        Ok(dragster_dag::throughput(
+            &self.topology,
+            source_rates,
+            &self.true_capacities(tasks),
+        )?)
     }
 }
 
@@ -233,8 +249,8 @@ mod tests {
     #[test]
     fn ideal_throughput_truncated_by_capacity() {
         let app = tiny_app();
-        assert_eq!(app.ideal_throughput(&[1000.0], &[2]), 100.0);
-        assert_eq!(app.ideal_throughput(&[30.0], &[2]), 30.0);
+        assert_eq!(app.ideal_throughput(&[1000.0], &[2]).unwrap(), 100.0);
+        assert_eq!(app.ideal_throughput(&[30.0], &[2]).unwrap(), 30.0);
         assert_eq!(app.true_capacities(&[3]), vec![150.0]);
     }
 }

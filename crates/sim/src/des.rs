@@ -15,6 +15,7 @@
 
 use crate::capacity::Application;
 use crate::cluster::Deployment;
+use crate::error::SimError;
 use dragster_dag::{ComponentKind, ThroughputFn};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -70,19 +71,54 @@ pub struct DesSim {
     deployment: Deployment,
     /// Batch emission interval for sources, seconds.
     batch_interval: f64,
+    /// `routing[id][e]`: predecessor slot that flow along `succs[e]` of
+    /// component `id` lands in at the successor (precomputed).
+    routing: Vec<Vec<usize>>,
+    /// Capacity index per component id; only meaningful for operators
+    /// (validated at construction), `usize::MAX` elsewhere and never read.
+    cap_of: Vec<usize>,
 }
 
 impl DesSim {
     /// Create a DES run configuration. `batch_interval` controls
     /// granularity (e.g. 1.0 s — smaller is finer but slower).
-    pub fn new(app: Application, deployment: Deployment, batch_interval: f64) -> DesSim {
+    ///
+    /// # Errors
+    /// [`SimError::DeploymentArity`] on an arity mismatch and
+    /// [`SimError::Dag`] if the topology is structurally inconsistent.
+    ///
+    /// # Panics
+    /// If `batch_interval <= 0` — a configuration bug, not a data error.
+    pub fn new(
+        app: Application,
+        deployment: Deployment,
+        batch_interval: f64,
+    ) -> Result<DesSim, SimError> {
         assert!(batch_interval > 0.0);
-        assert_eq!(deployment.len(), app.n_operators());
-        DesSim {
+        if deployment.len() != app.n_operators() {
+            return Err(SimError::DeploymentArity {
+                expected: app.n_operators(),
+                got: deployment.len(),
+            });
+        }
+        let routing = app.topology.edge_routing()?;
+        let mut cap_of = vec![usize::MAX; app.topology.components().len()];
+        for (i, c) in app.topology.components().iter().enumerate() {
+            if c.kind == ComponentKind::Operator {
+                cap_of[i] = c.capacity_index.ok_or_else(|| {
+                    dragster_dag::DagError::MissingCapacityIndex {
+                        component: c.name.clone(),
+                    }
+                })?;
+            }
+        }
+        Ok(DesSim {
             app,
             deployment,
             batch_interval,
-        }
+            routing,
+            cap_of,
+        })
     }
 
     /// Run for `duration_secs` with constant `source_rates`, measuring the
@@ -113,16 +149,10 @@ impl DesSim {
                 for (e, succ) in c.succs.iter().enumerate() {
                     let tuples = source_rates[k] * c.alpha[e] * self.batch_interval;
                     if tuples > 0.0 {
-                        let pos = topo
-                            .component(*succ)
-                            .preds
-                            .iter()
-                            .position(|p| *p == *id)
-                            .unwrap();
                         heap.push(Event {
                             time: t,
                             target: succ.0,
-                            pred_slot: pos,
+                            pred_slot: self.routing[id.0][e],
                             tuples,
                         });
                     }
@@ -148,7 +178,7 @@ impl DesSim {
             }
             let c = topo.component(dragster_dag::ComponentId(ev.target));
             debug_assert_eq!(c.kind, ComponentKind::Operator);
-            let ci = c.capacity_index.unwrap();
+            let ci = self.cap_of[ev.target];
             let cap = caps[ci];
 
             // Determine output tuples per successor edge from this batch.
@@ -221,16 +251,10 @@ impl DesSim {
                 // Per-edge α capacity split mirrors Eq. 4: the edge can carry
                 // at most α share of the operator's service.
                 let flow = outs[e].min(c.alpha[e] * cap * service.max(1e-12) * 2.0);
-                let pos = topo
-                    .component(*succ)
-                    .preds
-                    .iter()
-                    .position(|p| *p == dragster_dag::ComponentId(ev.target))
-                    .unwrap();
                 heap.push(Event {
                     time: done,
                     target: succ.0,
-                    pred_slot: pos,
+                    pred_slot: self.routing[ev.target][e],
                     tuples: flow,
                 });
             }
@@ -283,7 +307,7 @@ mod tests {
     #[test]
     fn underloaded_chain_delivers_offered_rate() {
         let app = chain_app(100.0);
-        let des = DesSim::new(app, Deployment::uniform(2, 5), 1.0);
+        let des = DesSim::new(app, Deployment::uniform(2, 5), 1.0).unwrap();
         let r = des.run(&[200.0], 600.0, 100.0);
         assert!(
             (r.throughput - 200.0).abs() / 200.0 < 0.05,
@@ -296,7 +320,7 @@ mod tests {
     #[test]
     fn overloaded_chain_capped_at_capacity() {
         let app = chain_app(100.0);
-        let des = DesSim::new(app, Deployment::uniform(2, 1), 1.0); // cap 100
+        let des = DesSim::new(app, Deployment::uniform(2, 1), 1.0).unwrap(); // cap 100
         let r = des.run(&[300.0], 600.0, 100.0);
         assert!(
             (r.throughput - 100.0).abs() / 100.0 < 0.08,
@@ -325,7 +349,7 @@ mod tests {
             .build()
             .unwrap();
         let app = Application::new(topo, vec![CapacityModel::Linear { per_task: 1000.0 }]).unwrap();
-        let des = DesSim::new(app, Deployment::uniform(1, 1), 1.0);
+        let des = DesSim::new(app, Deployment::uniform(1, 1), 1.0).unwrap();
         let r = des.run(&[400.0], 400.0, 50.0);
         assert!(
             (r.throughput - 100.0).abs() / 100.0 < 0.05,
@@ -354,7 +378,7 @@ mod tests {
             .build()
             .unwrap();
         let app = Application::new(topo, vec![CapacityModel::Linear { per_task: 1000.0 }]).unwrap();
-        let des = DesSim::new(app, Deployment::uniform(1, 1), 1.0);
+        let des = DesSim::new(app, Deployment::uniform(1, 1), 1.0).unwrap();
         let r = des.run(&[300.0, 80.0], 400.0, 50.0);
         assert!(
             (r.throughput - 80.0).abs() / 80.0 < 0.08,
@@ -392,7 +416,7 @@ mod tests {
             .unwrap();
         let app =
             Application::new(topo, vec![CapacityModel::Linear { per_task: 1000.0 }; 4]).unwrap();
-        let des = DesSim::new(app, Deployment::uniform(4, 1), 1.0);
+        let des = DesSim::new(app, Deployment::uniform(4, 1), 1.0).unwrap();
         let r = des.run(&[400.0], 400.0, 50.0);
         assert!(
             (r.throughput - 400.0).abs() / 400.0 < 0.06,
@@ -420,20 +444,20 @@ mod tests {
             .build()
             .unwrap();
         let app = Application::new(topo, vec![CapacityModel::Linear { per_task: 1e4 }]).unwrap();
-        let des = DesSim::new(app.clone(), Deployment::uniform(1, 5), 1.0);
+        let des = DesSim::new(app.clone(), Deployment::uniform(1, 5), 1.0).unwrap();
         // high offered rate: output approaches the tanh scale
         let r = des.run(&[1000.0], 300.0, 50.0);
         assert!(r.throughput <= 121.0, "{}", r.throughput);
         assert!(r.throughput > 100.0, "{}", r.throughput);
         // matches the analytic model
-        let analytic = app.ideal_throughput(&[1000.0], &[5]);
+        let analytic = app.ideal_throughput(&[1000.0], &[5]).unwrap();
         assert!((r.throughput - analytic).abs() / analytic < 0.1);
     }
 
     #[test]
     fn zero_warmup_counts_everything() {
         let app = chain_app(100.0);
-        let des = DesSim::new(app, Deployment::uniform(2, 5), 1.0);
+        let des = DesSim::new(app, Deployment::uniform(2, 5), 1.0).unwrap();
         let r = des.run(&[100.0], 200.0, 0.0);
         // ramp-up dilutes slightly but all tuples count
         assert!(r.sink_tuples > 100.0 * 150.0);
@@ -444,7 +468,7 @@ mod tests {
         // smoke test that the heap ordering is min-time: a long run
         // completes without panicking and throughput is finite
         let app = chain_app(50.0);
-        let des = DesSim::new(app, Deployment::uniform(2, 2), 0.5);
+        let des = DesSim::new(app, Deployment::uniform(2, 2), 0.5).unwrap();
         let r = des.run(&[120.0], 300.0, 30.0);
         assert!(r.throughput.is_finite());
         assert!(r.events > 100);

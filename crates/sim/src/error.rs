@@ -1,0 +1,84 @@
+//! Structured errors for the simulator: construction, reconfiguration,
+//! and the experiment loop.
+//!
+//! The harness drives hundreds of decision slots per experiment; a panic
+//! anywhere in that loop loses the whole trace. Every failure — invalid
+//! application, infeasible deployment, DAG inconsistency, or a policy
+//! (autoscaler) error — is reported as a [`SimError`] instead.
+
+use dragster_dag::DagError;
+use std::fmt;
+
+/// Errors produced by simulator construction, reconfiguration, and the
+/// experiment harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The application's topology is structurally inconsistent.
+    Dag(DagError),
+    /// Capacity models and topology disagree, or a model fails validation.
+    InvalidApplication { reason: String },
+    /// A deployment's length doesn't match the operator count.
+    DeploymentArity { expected: usize, got: usize },
+    /// A deployment exceeds the cluster pod budget.
+    BudgetExceeded { total_pods: usize, budget: usize },
+    /// An autoscaling policy failed to produce a decision.
+    Policy { scheme: String, reason: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Dag(e) => write!(f, "topology error: {e}"),
+            SimError::InvalidApplication { reason } => {
+                write!(f, "invalid application: {reason}")
+            }
+            SimError::DeploymentArity { expected, got } => {
+                write!(f, "deployment has {got} entries for {expected} operators")
+            }
+            SimError::BudgetExceeded { total_pods, budget } => {
+                write!(f, "deployment needs {total_pods} pods, budget is {budget}")
+            }
+            SimError::Policy { scheme, reason } => {
+                write!(f, "policy {scheme:?} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Dag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for SimError {
+    fn from(e: DagError) -> SimError {
+        SimError::Dag(e)
+    }
+}
+
+impl From<dragster_dag::TopologyError> for SimError {
+    fn from(e: dragster_dag::TopologyError) -> SimError {
+        SimError::Dag(DagError::Topology(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SimError = DagError::UnreachableSink.into();
+        assert!(e.to_string().contains("sink"));
+        let e = SimError::BudgetExceeded {
+            total_pods: 12,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -23,6 +23,7 @@
 
 use crate::capacity::Application;
 use crate::cluster::{ClusterConfig, CostMeter, Deployment};
+use crate::error::SimError;
 use crate::metrics::{OperatorMetrics, SlotMetrics};
 use crate::noise::{NoiseConfig, Rng};
 use dragster_dag::ComponentKind;
@@ -77,6 +78,13 @@ pub struct FluidSim {
     pending_pause_secs: f64,
     /// Whether each operator is fed directly by a source (ingestion tier).
     source_fed: Vec<bool>,
+    /// `routing[id][e]`: predecessor slot that flow along `succs[e]` of
+    /// component `id` lands in at the successor (precomputed; the per-tick
+    /// loop does no edge searches).
+    routing: Vec<Vec<usize>>,
+    /// Capacity index per component id; only meaningful for operators
+    /// (validated at construction), `usize::MAX` elsewhere and never read.
+    cap_of: Vec<usize>,
     total_processed: f64,
     total_dropped: f64,
 }
@@ -85,8 +93,10 @@ impl FluidSim {
     /// Create a simulator starting from `initial` (clamped to the task
     /// range; must respect the budget if one is configured).
     ///
-    /// # Panics
-    /// If `initial` violates the cluster budget.
+    /// # Errors
+    /// [`SimError::BudgetExceeded`] if `initial` violates the cluster
+    /// budget, [`SimError::DeploymentArity`] on an arity mismatch, and
+    /// [`SimError::Dag`] if the topology is structurally inconsistent.
     pub fn new(
         app: Application,
         cluster: ClusterConfig,
@@ -94,13 +104,31 @@ impl FluidSim {
         noise: NoiseConfig,
         seed: u64,
         initial: Deployment,
-    ) -> FluidSim {
+    ) -> Result<FluidSim, SimError> {
         let initial = initial.clamped(cluster.max_tasks_per_operator);
-        assert!(
-            initial.within_budget(cluster.budget_pods),
-            "initial deployment exceeds the pod budget"
-        );
-        assert_eq!(initial.len(), app.n_operators(), "deployment arity");
+        if !initial.within_budget(cluster.budget_pods) {
+            return Err(SimError::BudgetExceeded {
+                total_pods: initial.total_pods(),
+                budget: cluster.budget_pods.unwrap_or(0),
+            });
+        }
+        if initial.len() != app.n_operators() {
+            return Err(SimError::DeploymentArity {
+                expected: app.n_operators(),
+                got: initial.len(),
+            });
+        }
+        let routing = app.topology.edge_routing()?;
+        let mut cap_of = vec![usize::MAX; app.topology.components().len()];
+        for (i, c) in app.topology.components().iter().enumerate() {
+            if c.kind == ComponentKind::Operator {
+                cap_of[i] = c.capacity_index.ok_or_else(|| {
+                    dragster_dag::DagError::MissingCapacityIndex {
+                        component: c.name.clone(),
+                    }
+                })?;
+            }
+        }
         let m = app.n_operators();
         let cost = CostMeter::new(cluster.cost_per_pod_hour);
         let mut source_fed = vec![false; m];
@@ -111,7 +139,7 @@ impl FluidSim {
                 }
             }
         }
-        FluidSim {
+        Ok(FluidSim {
             app,
             cluster,
             sim,
@@ -124,9 +152,11 @@ impl FluidSim {
             slot_counter: 0,
             pending_pause_secs: 0.0,
             source_fed,
+            routing,
+            cap_of,
             total_processed: 0.0,
             total_dropped: 0.0,
-        }
+        })
     }
 
     /// The application (ground truth).
@@ -178,16 +208,19 @@ impl FluidSim {
     /// slot, paying the checkpoint pause if the deployment actually
     /// changes. Returns `Err` (and changes nothing) if the target violates
     /// the budget; the target is clamped to the per-operator task range.
-    pub fn reconfigure(&mut self, target: Deployment) -> Result<(), String> {
+    pub fn reconfigure(&mut self, target: Deployment) -> Result<(), SimError> {
         let target = target.clamped(self.cluster.max_tasks_per_operator);
         if !target.within_budget(self.cluster.budget_pods) {
-            return Err(format!(
-                "deployment {target} exceeds budget {:?}",
-                self.cluster.budget_pods
-            ));
+            return Err(SimError::BudgetExceeded {
+                total_pods: target.total_pods(),
+                budget: self.cluster.budget_pods.unwrap_or(0),
+            });
         }
         if target.len() != self.app.n_operators() {
-            return Err("deployment arity mismatch".into());
+            return Err(SimError::DeploymentArity {
+                expected: self.app.n_operators(),
+                got: target.len(),
+            });
         }
         if target != self.deployment {
             self.deployment = target;
@@ -199,7 +232,10 @@ impl FluidSim {
     /// Noise-free steady-state throughput the *current* deployment would
     /// achieve under the given source rates (oracle view; not available to
     /// autoscalers through the metrics interface).
-    pub fn ideal_throughput(&self, source_rates: &[f64]) -> f64 {
+    ///
+    /// # Errors
+    /// [`SimError::Dag`] if propagation fails on this topology.
+    pub fn ideal_throughput(&self, source_rates: &[f64]) -> Result<f64, SimError> {
         self.app
             .ideal_throughput(source_rates, &self.deployment.tasks)
     }
@@ -401,34 +437,20 @@ impl FluidSim {
             dropped: 0.0,
         };
 
-        let src_index: std::collections::HashMap<usize, usize> = topo
-            .source_ids()
-            .iter()
-            .enumerate()
-            .map(|(k, id)| (id.0, k))
-            .collect();
-
-        let mut order: Vec<_> = topo.topo_order().collect();
-        // topo_order yields a valid order already; keep as-is.
-        let order_ref = &mut order;
-        for id in order_ref.iter().copied() {
+        for id in topo.topo_order() {
             let c = topo.component(id);
             match c.kind {
                 ComponentKind::Source => {
-                    let rate = source_rates[src_index[&id.0]];
+                    // Sources occupy the lowest component ids in declaration
+                    // order, so `id.0` doubles as the source-rate index.
+                    let rate = source_rates[id.0];
                     for (e, succ) in c.succs.iter().enumerate() {
                         let flow = rate * c.alpha[e];
-                        let pos = topo
-                            .component(*succ)
-                            .preds
-                            .iter()
-                            .position(|p| *p == id)
-                            .unwrap();
-                        recv[succ.0][pos] = flow;
+                        recv[succ.0][self.routing[id.0][e]] = flow;
                     }
                 }
                 ComponentKind::Operator => {
-                    let ci = c.capacity_index.unwrap();
+                    let ci = self.cap_of[id.0];
                     let inputs = recv[id.0].clone();
                     let input_total: f64 = inputs.iter().sum();
                     out.input_edges[ci].clone_from(&inputs);
@@ -463,13 +485,7 @@ impl FluidSim {
                         let edge_cap = cap * c.alpha[k];
                         let flow = avail.min(edge_cap);
                         emitted_total += flow;
-                        let pos = topo
-                            .component(*succ)
-                            .preds
-                            .iter()
-                            .position(|p| *p == id)
-                            .unwrap();
-                        recv[succ.0][pos] = flow;
+                        recv[succ.0][self.routing[id.0][k]] = flow;
                     }
                     // Buffer update: work that arrived but wasn't emitted.
                     let leftover = (work - emitted_total).max(0.0) * dt;
@@ -541,6 +557,7 @@ mod tests {
             1,
             initial,
         )
+        .unwrap()
     }
 
     #[test]
@@ -632,7 +649,8 @@ mod tests {
             NoiseConfig::none(),
             1,
             Deployment::uniform(2, 3),
-        );
+        )
+        .unwrap();
         assert!(sim.reconfigure(Deployment::uniform(2, 4)).is_err());
         assert_eq!(sim.deployment().tasks, vec![3, 3]);
         assert!(sim.reconfigure(Deployment { tasks: vec![2, 4] }).is_ok());
@@ -676,7 +694,8 @@ mod tests {
             NoiseConfig::none(),
             1,
             Deployment::uniform(2, 1),
-        );
+        )
+        .unwrap();
         let s = sim.run_slot(&[500.0]); // huge overload, tiny buffer
         assert!(s.dropped_tuples > 0.0);
         assert!(sim.buffers()[0] <= 1000.0 + 1e-9);
@@ -692,7 +711,8 @@ mod tests {
             NoiseConfig::default(),
             42,
             Deployment::uniform(2, 3),
-        );
+        )
+        .unwrap();
         let mut samples = Vec::new();
         for _ in 0..30 {
             let s = sim.run_slot(&[200.0]);
@@ -708,8 +728,8 @@ mod tests {
     #[test]
     fn ideal_throughput_oracle() {
         let sim = quiet_sim(two_op_app(100.0), Deployment::uniform(2, 2));
-        assert_eq!(sim.ideal_throughput(&[500.0]), 200.0);
-        assert_eq!(sim.ideal_throughput(&[150.0]), 150.0);
+        assert_eq!(sim.ideal_throughput(&[500.0]).unwrap(), 200.0);
+        assert_eq!(sim.ideal_throughput(&[150.0]).unwrap(), 150.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! Algorithm 1 (launch → observe → decide → deploy → repeat).
 
 use crate::cluster::Deployment;
+use crate::error::SimError;
 use crate::fluid::FluidSim;
 use crate::metrics::SlotMetrics;
 use serde::{Deserialize, Serialize};
@@ -36,7 +37,17 @@ pub trait Autoscaler {
     fn name(&self) -> String;
 
     /// Decide the next deployment after observing slot `t`.
-    fn decide(&mut self, t: usize, metrics: &SlotMetrics, current: &Deployment) -> Deployment;
+    ///
+    /// # Errors
+    /// [`SimError::Policy`] (or a wrapped numeric/topology error) when the
+    /// policy cannot produce a decision; the harness aborts the run and
+    /// surfaces the error with the partial context intact.
+    fn decide(
+        &mut self,
+        t: usize,
+        metrics: &SlotMetrics,
+        current: &Deployment,
+    ) -> Result<Deployment, SimError>;
 }
 
 /// Full record of one experiment run.
@@ -159,12 +170,15 @@ impl Trace {
 /// proposal is clamped to the task range; a proposal violating the pod
 /// budget is projected by decrementing the largest allocations first
 /// (mirroring how HPA would refuse to scale past quota).
+/// # Errors
+/// Any [`SimError`] raised by the oracle, the policy, or reconfiguration;
+/// the trace accumulated so far is dropped with the error.
 pub fn run_experiment(
     sim: &mut FluidSim,
     scaler: &mut dyn Autoscaler,
     arrivals: &mut dyn ArrivalProcess,
     slots: usize,
-) -> Trace {
+) -> Result<Trace, SimError> {
     let mut trace = Trace {
         scheme: scaler.name(),
         ..Default::default()
@@ -172,18 +186,17 @@ pub fn run_experiment(
     for t in 0..slots {
         let rates = arrivals.rates(t);
         trace.deployments.push(sim.deployment().clone());
-        trace.ideal_throughput.push(sim.ideal_throughput(&rates));
+        trace.ideal_throughput.push(sim.ideal_throughput(&rates)?);
         let metrics = sim.run_slot(&rates);
-        let proposal = scaler.decide(t, &metrics, sim.deployment());
+        let proposal = scaler.decide(t, &metrics, sim.deployment())?;
         let feasible = project_to_budget(
             proposal.clamped(sim.cluster().max_tasks_per_operator),
             sim.cluster().budget_pods,
         );
-        sim.reconfigure(feasible)
-            .expect("projected deployment is feasible");
+        sim.reconfigure(feasible)?;
         trace.slots.push(metrics);
     }
-    trace
+    Ok(trace)
 }
 
 /// Decrement the largest allocations until the total-pod budget holds.
@@ -192,12 +205,10 @@ pub fn project_to_budget(mut d: Deployment, budget: Option<usize>) -> Deployment
     let Some(b) = budget else { return d };
     let b = b.max(d.len()); // at least one task per operator
     while d.total_pods() > b {
-        let (imax, _) = d
-            .tasks
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &t)| t)
-            .expect("non-empty deployment");
+        // A positive pod total implies a non-empty task vector.
+        let Some((imax, _)) = d.tasks.iter().enumerate().max_by_key(|(_, &t)| t) else {
+            return d;
+        };
         d.tasks[imax] -= 1;
     }
     d
@@ -241,10 +252,15 @@ mod tests {
             "greedy-up".into()
         }
 
-        fn decide(&mut self, _t: usize, _m: &SlotMetrics, cur: &Deployment) -> Deployment {
-            Deployment {
+        fn decide(
+            &mut self,
+            _t: usize,
+            _m: &SlotMetrics,
+            cur: &Deployment,
+        ) -> Result<Deployment, SimError> {
+            Ok(Deployment {
                 tasks: cur.tasks.iter().map(|t| t + 1).collect(),
-            }
+            })
         }
     }
 
@@ -256,8 +272,13 @@ mod tests {
             "static".into()
         }
 
-        fn decide(&mut self, _t: usize, _m: &SlotMetrics, cur: &Deployment) -> Deployment {
-            cur.clone()
+        fn decide(
+            &mut self,
+            _t: usize,
+            _m: &SlotMetrics,
+            cur: &Deployment,
+        ) -> Result<Deployment, SimError> {
+            Ok(cur.clone())
         }
     }
 
@@ -273,13 +294,14 @@ mod tests {
             7,
             Deployment::uniform(2, 1),
         )
+        .unwrap()
     }
 
     #[test]
     fn run_records_every_slot() {
         let mut sim = make_sim(None);
         let mut arr = ConstantArrival(vec![250.0]);
-        let trace = run_experiment(&mut sim, &mut Static, &mut arr, 5);
+        let trace = run_experiment(&mut sim, &mut Static, &mut arr, 5).unwrap();
         assert_eq!(trace.len(), 5);
         assert_eq!(trace.deployments.len(), 5);
         assert_eq!(trace.scheme, "static");
@@ -290,7 +312,7 @@ mod tests {
     fn greedy_up_scales_and_improves() {
         let mut sim = make_sim(None);
         let mut arr = ConstantArrival(vec![900.0]);
-        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 10);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 10).unwrap();
         // deployments grow 1,2,3,… (clamped at 10)
         assert_eq!(trace.deployments[0].tasks, vec![1, 1]);
         assert_eq!(trace.deployments[5].tasks, vec![6, 6]);
@@ -301,7 +323,7 @@ mod tests {
     fn budget_projection_applies() {
         let mut sim = make_sim(Some(8));
         let mut arr = ConstantArrival(vec![900.0]);
-        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 12);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 12).unwrap();
         for d in &trace.deployments {
             assert!(d.total_pods() <= 8, "budget violated: {d}");
         }
@@ -352,7 +374,7 @@ mod tests {
     fn closure_is_an_arrival_process() {
         let mut sim = make_sim(None);
         let mut arr = |t: usize| vec![if t < 2 { 100.0 } else { 300.0 }];
-        let trace = run_experiment(&mut sim, &mut Static, &mut arr, 4);
+        let trace = run_experiment(&mut sim, &mut Static, &mut arr, 4).unwrap();
         assert_eq!(trace.slots[0].source_rates, vec![100.0]);
         assert_eq!(trace.slots[3].source_rates, vec![300.0]);
     }
@@ -361,7 +383,7 @@ mod tests {
     fn trace_analysis_helpers() {
         let mut sim = make_sim(None);
         let mut arr = ConstantArrival(vec![500.0]);
-        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 6);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 6).unwrap();
         assert!(trace.mean_pods(0..6) > 2.0);
         assert!(trace.reconfigurations() >= 4);
         let p50 = trace.throughput_percentile(50.0);

@@ -34,6 +34,7 @@
 pub mod capacity;
 pub mod cluster;
 pub mod des;
+pub mod error;
 pub mod fluid;
 pub mod harness;
 pub mod metrics;
@@ -42,6 +43,7 @@ pub mod noise;
 pub use capacity::{Application, CapacityModel};
 pub use cluster::{ClusterConfig, CostMeter, Deployment};
 pub use des::DesSim;
+pub use error::SimError;
 pub use fluid::FluidSim;
 pub use harness::{run_experiment, ArrivalProcess, Autoscaler, ConstantArrival, Trace};
 pub use metrics::{OperatorMetrics, SlotMetrics};

@@ -30,7 +30,7 @@ pub use arrival::{
 pub use nexmark::{async_io, category_avg, fraud_detect, group, join, window, word_count};
 pub use yahoo::yahoo_benchmark;
 
-use dragster_sim::Application;
+use dragster_sim::{Application, SimError};
 
 /// A named benchmark application with its two evaluation rates.
 #[derive(Clone, Debug)]
@@ -56,9 +56,9 @@ impl Workload {
 /// two rates each, plus the Yahoo streaming benchmark (high rate).
 /// Returns `(workload, rate-vector, label)` triples ordered by operator
 /// count, as Figure 5 sorts them.
-pub fn figure5_suite() -> Vec<(Workload, Vec<f64>, String)> {
+pub fn figure5_suite() -> Result<Vec<(Workload, Vec<f64>, String)>, SimError> {
     let mut out = Vec::new();
-    for w in [group(), async_io(), join(), window(), word_count()] {
+    for w in [group()?, async_io()?, join()?, window()?, word_count()?] {
         let hi = w.high_rate.clone();
         let lo = w.low_rate.clone();
         out.push((w.clone(), lo, format!("{}-low", w.name)));
@@ -66,25 +66,25 @@ pub fn figure5_suite() -> Vec<(Workload, Vec<f64>, String)> {
         let last = out.len() - 1;
         out[last].2 = format!("{}-high", out[last].0.name);
     }
-    let y = yahoo_benchmark();
+    let y = yahoo_benchmark()?;
     let hi = y.high_rate.clone();
     out.push((y, hi, "Yahoo".into()));
     out.sort_by_key(|(w, _, _)| w.n_operators());
-    out
+    Ok(out)
 }
 
 /// The paper's 11 workloads plus the two extended applications
 /// (CategoryAvg, FraudDetect) under their high rates — used by the
 /// extended-baselines comparison.
-pub fn extended_suite() -> Vec<(Workload, Vec<f64>, String)> {
-    let mut out = figure5_suite();
-    for w in [category_avg(), fraud_detect()] {
+pub fn extended_suite() -> Result<Vec<(Workload, Vec<f64>, String)>, SimError> {
+    let mut out = figure5_suite()?;
+    for w in [category_avg()?, fraud_detect()?] {
         let hi = w.high_rate.clone();
         let label = format!("{}-high", w.name);
         out.push((w, hi, label));
     }
     out.sort_by_key(|(w, _, _)| w.n_operators());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn suite_has_eleven_workloads() {
-        let suite = figure5_suite();
+        let suite = figure5_suite().unwrap();
         assert_eq!(suite.len(), 11);
         // sorted by operator count
         for pair in suite.windows(2) {
@@ -107,20 +107,20 @@ mod tests {
 
     #[test]
     fn extended_suite_adds_two() {
-        assert_eq!(extended_suite().len(), 13);
-        assert_eq!(category_avg().n_operators(), 2);
-        assert_eq!(fraud_detect().n_operators(), 3);
+        assert_eq!(extended_suite().unwrap().len(), 13);
+        assert_eq!(category_avg().unwrap().n_operators(), 2);
+        assert_eq!(fraud_detect().unwrap().n_operators(), 3);
     }
 
     #[test]
     fn operator_counts_match_paper() {
         // "Group, AsyncIO, and Join have one operator, while Window and
         // WordCount have two" and Yahoo has six (Section 6.3/6.5).
-        assert_eq!(group().n_operators(), 1);
-        assert_eq!(async_io().n_operators(), 1);
-        assert_eq!(join().n_operators(), 1);
-        assert_eq!(window().n_operators(), 2);
-        assert_eq!(word_count().n_operators(), 2);
-        assert_eq!(yahoo_benchmark().n_operators(), 6);
+        assert_eq!(group().unwrap().n_operators(), 1);
+        assert_eq!(async_io().unwrap().n_operators(), 1);
+        assert_eq!(join().unwrap().n_operators(), 1);
+        assert_eq!(window().unwrap().n_operators(), 2);
+        assert_eq!(word_count().unwrap().n_operators(), 2);
+        assert_eq!(yahoo_benchmark().unwrap().n_operators(), 6);
     }
 }

@@ -8,12 +8,12 @@
 
 use crate::Workload;
 use dragster_dag::{ThroughputFn, TopologyBuilder};
-use dragster_sim::{Application, CapacityModel};
+use dragster_sim::{Application, CapacityModel, SimError};
 
 /// WordCount: `source → map (split) → shuffle (count) → sink`.
 /// The Figure-4/6 workhorse: a two-operator chain where the downstream
 /// shuffle is slower per task, so the optimal allocation is asymmetric.
-pub fn word_count() -> Workload {
+pub fn word_count() -> Result<Workload, SimError> {
     let topo = TopologyBuilder::new()
         .source("lines")
         .operator("Map")
@@ -27,8 +27,7 @@ pub fn word_count() -> Workload {
             1.0,
         )
         .edge("Shuffle", "counts")
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         vec![
@@ -43,19 +42,18 @@ pub fn word_count() -> Workload {
                 contention: 0.06,
             },
         ],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "WordCount".into(),
         app,
         high_rate: vec![1.5e5],
         low_rate: vec![5.0e4],
-    }
+    })
 }
 
 /// Window: `source → window-assign → aggregate → sink`. The aggregate
 /// emits one result per window pane (selectivity 0.2).
-pub fn window() -> Workload {
+pub fn window() -> Result<Workload, SimError> {
     let topo = TopologyBuilder::new()
         .source("events")
         .operator("WindowAssign")
@@ -69,8 +67,7 @@ pub fn window() -> Workload {
             1.0,
         )
         .edge("Aggregate", "results")
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         vec![
@@ -83,55 +80,51 @@ pub fn window() -> Workload {
                 contention: 0.05,
             },
         ],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "Window".into(),
         app,
         high_rate: vec![1.2e5],
         low_rate: vec![4.0e4],
-    }
+    })
 }
 
 /// Group: `source → group-by → sink`. A single keyed aggregation operator.
-pub fn group() -> Workload {
+pub fn group() -> Result<Workload, SimError> {
     let topo = TopologyBuilder::new()
         .source("bids")
         .operator("GroupBy")
         .sink("out")
         .edge("bids", "GroupBy")
         .edge("GroupBy", "out")
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         vec![CapacityModel::Contended {
             per_task: 3.0e4,
             contention: 0.05,
         }],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "Group".into(),
         app,
         high_rate: vec![1.8e5],
         low_rate: vec![6.0e4],
-    }
+    })
 }
 
 /// AsyncIO: `source → async-enrich → sink`. The operator calls an external
 /// service, so aggregate capacity *saturates* — the canonical non-linear
 /// capacity function Dragster's GP has to learn and DS2's linear model
 /// gets wrong.
-pub fn async_io() -> Workload {
+pub fn async_io() -> Result<Workload, SimError> {
     let topo = TopologyBuilder::new()
         .source("requests")
         .operator("AsyncEnrich")
         .sink("out")
         .edge("requests", "AsyncEnrich")
         .edge("AsyncEnrich", "out")
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         // saturates toward 2.4e5 with half-saturation at 3 tasks
@@ -139,19 +132,18 @@ pub fn async_io() -> Workload {
             max: 2.4e5,
             half: 3.0,
         }],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "AsyncIO".into(),
         app,
         high_rate: vec![1.5e5],
         low_rate: vec![5.0e4],
-    }
+    })
 }
 
 /// Join: `bids + auctions → join → sink`. Two sources; output tracks the
 /// slower (weighted) input (Eq. 2b's `min(k⃗ ∘ ē)` form).
-pub fn join() -> Workload {
+pub fn join() -> Result<Workload, SimError> {
     let topo = TopologyBuilder::new()
         .source("bids")
         .source("auctions")
@@ -167,28 +159,26 @@ pub fn join() -> Workload {
             },
             1.0,
         )
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         vec![CapacityModel::Contended {
             per_task: 2.8e4,
             contention: 0.05,
         }],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "Join".into(),
         app,
         high_rate: vec![1.6e5, 4.0e4],
         low_rate: vec![6.0e4, 1.5e4],
-    }
+    })
 }
 
 /// Nexmark Q4-style "average price per category": bids join auctions,
 /// then a keyed aggregation — a two-operator, two-source application used
 /// by the extended suite (not part of the paper's 11).
-pub fn category_avg() -> Workload {
+pub fn category_avg() -> Result<Workload, SimError> {
     let topo = TopologyBuilder::new()
         .source("bids")
         .source("auctions")
@@ -211,8 +201,7 @@ pub fn category_avg() -> Workload {
             ThroughputFn::Linear { weights: vec![0.1] },
             1.0,
         )
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         vec![
@@ -225,20 +214,19 @@ pub fn category_avg() -> Workload {
                 contention: 0.04,
             },
         ],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "CategoryAvg".into(),
         app,
         high_rate: vec![1.4e5, 2.5e4],
         low_rate: vec![5.0e4, 9.0e3],
-    }
+    })
 }
 
 /// A three-operator fraud-detection chain (parse → score → alert-filter):
 /// the scoring stage calls an external model server and saturates. Used by
 /// the extended suite.
-pub fn fraud_detect() -> Workload {
+pub fn fraud_detect() -> Result<Workload, SimError> {
     let topo = TopologyBuilder::new()
         .source("transactions")
         .operator("Parse")
@@ -266,8 +254,7 @@ pub fn fraud_detect() -> Workload {
             },
             1.0,
         )
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         vec![
@@ -284,14 +271,13 @@ pub fn fraud_detect() -> Workload {
                 contention: 0.02,
             },
         ],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "FraudDetect".into(),
         app,
         high_rate: vec![1.3e5],
         low_rate: vec![4.0e4],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -303,13 +289,13 @@ mod tests {
     #[test]
     fn all_workloads_build_and_validate() {
         for w in [
-            word_count(),
-            window(),
-            group(),
-            async_io(),
-            join(),
-            category_avg(),
-            fraud_detect(),
+            word_count().unwrap(),
+            window().unwrap(),
+            group().unwrap(),
+            async_io().unwrap(),
+            join().unwrap(),
+            category_avg().unwrap(),
+            fraud_detect().unwrap(),
         ] {
             assert!(w.n_operators() >= 1);
             assert_eq!(w.high_rate.len(), w.app.topology.n_sources());
@@ -323,15 +309,15 @@ mod tests {
     #[test]
     fn concavity_and_monotonicity_hold() {
         for w in [
-            word_count(),
-            window(),
-            group(),
-            async_io(),
-            join(),
-            category_avg(),
-            fraud_detect(),
+            word_count().unwrap(),
+            window().unwrap(),
+            group().unwrap(),
+            async_io().unwrap(),
+            join().unwrap(),
+            category_avg().unwrap(),
+            fraud_detect().unwrap(),
         ] {
-            let rep = check_assumptions(&w.app.topology, &w.high_rate, 3.0e5, 100);
+            let rep = check_assumptions(&w.app.topology, &w.high_rate, 3.0e5, 100).unwrap();
             assert!(rep.holds(1e-6), "{}: {rep:?}", w.name);
         }
     }
@@ -341,20 +327,21 @@ mod tests {
         // every workload's high rate must be reachable by some config
         // (Slater's condition / Assumption 1).
         for w in [
-            word_count(),
-            window(),
-            group(),
-            async_io(),
-            join(),
-            category_avg(),
-            fraud_detect(),
+            word_count().unwrap(),
+            window().unwrap(),
+            group().unwrap(),
+            async_io().unwrap(),
+            join().unwrap(),
+            category_avg().unwrap(),
+            fraud_detect().unwrap(),
         ] {
-            let (_, f) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+            let (_, f) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
             let offered = dragster_dag::throughput(
                 &w.app.topology,
                 &w.high_rate,
                 &vec![f64::INFINITY; w.n_operators()],
-            );
+            )
+            .unwrap();
             assert!(
                 f >= 0.95 * offered,
                 "{}: best {f} cannot serve offered {offered}",
@@ -365,9 +352,15 @@ mod tests {
 
     #[test]
     fn low_rate_needs_fewer_pods() {
-        for w in [word_count(), window(), group(), async_io(), join()] {
-            let (d_hi, _) = greedy_optimal(&w.app, &w.high_rate, 10, None);
-            let (d_lo, _) = greedy_optimal(&w.app, &w.low_rate, 10, None);
+        for w in [
+            word_count().unwrap(),
+            window().unwrap(),
+            group().unwrap(),
+            async_io().unwrap(),
+            join().unwrap(),
+        ] {
+            let (d_hi, _) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
+            let (d_lo, _) = greedy_optimal(&w.app, &w.low_rate, 10, None).unwrap();
             assert!(
                 d_lo.total_pods() < d_hi.total_pods(),
                 "{}: lo {d_lo} !< hi {d_hi}",
@@ -378,15 +371,15 @@ mod tests {
 
     #[test]
     fn join_output_tracks_scarce_side() {
-        let w = join();
-        let f = dragster_dag::throughput(&w.app.topology, &[1.6e5, 1.0e3], &[1e9]);
+        let w = join().unwrap();
+        let f = dragster_dag::throughput(&w.app.topology, &[1.6e5, 1.0e3], &[1e9]).unwrap();
         // auctions side weighted 4×: output = min(1.6e5, 4e3) = 4e3
         assert!((f - 4.0e3).abs() < 1.0);
     }
 
     #[test]
     fn async_io_capacity_saturates() {
-        let w = async_io();
+        let w = async_io().unwrap();
         let c9 = w.app.capacity_models[0].capacity(9);
         let c10 = w.app.capacity_models[0].capacity(10);
         let c1 = w.app.capacity_models[0].capacity(1);
@@ -396,7 +389,7 @@ mod tests {
 
     #[test]
     fn fraud_detect_score_stage_saturates() {
-        let w = fraud_detect();
+        let w = fraud_detect().unwrap();
         let c = &w.app.capacity_models[1];
         assert!(c.capacity(10) - c.capacity(9) < (c.capacity(2) - c.capacity(1)) * 0.4);
     }
@@ -405,15 +398,15 @@ mod tests {
     fn category_avg_compresses_heavily() {
         // join output = min(bids, 6×auctions) = min(1.4e5, 1.5e5), then
         // the 10 % aggregation
-        let w = category_avg();
-        let f = dragster_dag::throughput(&w.app.topology, &w.high_rate, &[1e9, 1e9]);
+        let w = category_avg().unwrap();
+        let f = dragster_dag::throughput(&w.app.topology, &w.high_rate, &[1e9, 1e9]).unwrap();
         assert!((f - 1.4e5 * 0.1).abs() < 1.0, "{f}");
     }
 
     #[test]
     fn wordcount_optimum_is_asymmetric() {
-        let w = word_count();
-        let (d, _) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+        let w = word_count().unwrap();
+        let (d, _) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
         assert!(
             d.tasks[1] > d.tasks[0],
             "Shuffle should need more tasks than Map: {d}"

@@ -20,10 +20,10 @@
 
 use crate::Workload;
 use dragster_dag::{ThroughputFn, TopologyBuilder};
-use dragster_sim::{Application, CapacityModel};
+use dragster_sim::{Application, CapacityModel, SimError};
 
 /// Build the 6-operator Yahoo streaming benchmark.
-pub fn yahoo_benchmark() -> Workload {
+pub fn yahoo_benchmark() -> Result<Workload, SimError> {
     let lin = |w: f64| ThroughputFn::Linear { weights: vec![w] };
     let topo = TopologyBuilder::new()
         .source("kafka")
@@ -43,8 +43,7 @@ pub fn yahoo_benchmark() -> Workload {
         // windows aggregate events into per-campaign counts
         .edge_with("CampaignWindow", "SinkWriter", lin(0.5), 1.0)
         .edge_with("SinkWriter", "redis", lin(1.0), 1.0)
-        .build()
-        .expect("static topology");
+        .build()?;
     let app = Application::new(
         topo,
         vec![
@@ -79,9 +78,8 @@ pub fn yahoo_benchmark() -> Workload {
                 contention: 0.03,
             },
         ],
-    )
-    .expect("valid models");
-    Workload {
+    )?;
+    Ok(Workload {
         name: "Yahoo".into(),
         app,
         // Paper's processing rate is ~2×10⁵ events/s before convergence;
@@ -89,7 +87,7 @@ pub fn yahoo_benchmark() -> Workload {
         // linear search of Dhalion needs ~20 adjustment slots (Fig. 7).
         high_rate: vec![4.8e5],
         low_rate: vec![2.4e5],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -100,31 +98,32 @@ mod tests {
 
     #[test]
     fn has_six_operators_and_million_configs() {
-        let w = yahoo_benchmark();
+        let w = yahoo_benchmark().unwrap();
         assert_eq!(w.n_operators(), 6);
         assert_eq!(10usize.pow(6), 1_000_000);
     }
 
     #[test]
     fn assumptions_hold() {
-        let w = yahoo_benchmark();
-        let rep = check_assumptions(&w.app.topology, &w.high_rate, 3.0e5, 80);
+        let w = yahoo_benchmark().unwrap();
+        let rep = check_assumptions(&w.app.topology, &w.high_rate, 3.0e5, 80).unwrap();
         assert!(rep.holds(1e-6), "{rep:?}");
     }
 
     #[test]
     fn high_rate_servable() {
-        let w = yahoo_benchmark();
-        let (_, f) = greedy_optimal(&w.app, &w.high_rate, 10, None);
-        let offered = dragster_dag::throughput(&w.app.topology, &w.high_rate, &[f64::INFINITY; 6]);
+        let w = yahoo_benchmark().unwrap();
+        let (_, f) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
+        let offered =
+            dragster_dag::throughput(&w.app.topology, &w.high_rate, &[f64::INFINITY; 6]).unwrap();
         assert!(f >= 0.95 * offered, "best {f} vs offered {offered}");
     }
 
     #[test]
     fn selectivities_compress_the_stream() {
-        let w = yahoo_benchmark();
+        let w = yahoo_benchmark().unwrap();
         // with unlimited capacity the sink sees rate × 1/3 × 0.5
-        let f = dragster_dag::throughput(&w.app.topology, &[2.4e5], &[f64::INFINITY; 6]);
+        let f = dragster_dag::throughput(&w.app.topology, &[2.4e5], &[f64::INFINITY; 6]).unwrap();
         assert!((f - 2.4e5 / 3.0 * 0.5).abs() < 1.0, "{f}");
     }
 
@@ -132,9 +131,9 @@ mod tests {
     fn redis_join_is_a_structural_bottleneck_at_scale() {
         // Even at max tasks, the saturating RedisJoin caps what a huge
         // offered load can push through.
-        let w = yahoo_benchmark();
+        let w = yahoo_benchmark().unwrap();
         let caps = w.app.true_capacities(&[10; 6]);
-        let f = dragster_dag::throughput(&w.app.topology, &[5.0e6], &caps);
+        let f = dragster_dag::throughput(&w.app.topology, &[5.0e6], &caps).unwrap();
         // the pipeline caps well below the offered load: the join passes
         // at most 2.5e5·10/12.5 = 2e5, halved by the window = 1e5.
         assert!(f <= 1.01e5, "{f}");
@@ -142,8 +141,8 @@ mod tests {
 
     #[test]
     fn oracle_allocation_respects_pipeline_shape() {
-        let w = yahoo_benchmark();
-        let (d, _) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+        let w = yahoo_benchmark().unwrap();
+        let (d, _) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
         // Projection is the fastest per task and sees only 1/3 of the
         // stream: it must need fewer tasks than Deserialize.
         let names: Vec<&str> = (0..6).map(|i| w.app.topology.operator_name(i)).collect();

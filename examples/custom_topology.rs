@@ -87,7 +87,8 @@ fn main() {
         NoiseConfig::default(),
         3,
         Deployment::uniform(4, 1),
-    );
+    )
+    .unwrap();
     let cfg = DragsterConfig {
         budget_pods: budget,
         ..DragsterConfig::saddle_point()
@@ -101,7 +102,7 @@ fn main() {
         period_slots: 48,
     };
     let slots = 96;
-    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, slots);
+    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, slots).unwrap();
 
     // Regret accounting against the per-slot clairvoyant optimum.
     let mut arrival2 = SineWave {
@@ -112,7 +113,7 @@ fn main() {
     let mut tracker = RegretTracker::new();
     for t in 0..slots {
         let rates = dragster::sim::ArrivalProcess::rates(&mut arrival2, t);
-        let (_, opt) = greedy_optimal(&app, &rates, 10, budget);
+        let (_, opt) = greedy_optimal(&app, &rates, 10, budget).unwrap();
         let l: Vec<f64> = trace.slots[t]
             .operators
             .iter()

@@ -54,7 +54,8 @@ fn main() {
         NoiseConfig::default(),
         7,
         Deployment::uniform(2, 1),
-    );
+    )
+    .unwrap();
 
     // 4. The Dragster controller (online saddle point + extended GP-UCB).
     let mut dragster = Dragster::new(topology, DragsterConfig::saddle_point());
@@ -62,10 +63,10 @@ fn main() {
     // 5. Run 15 ten-minute decision slots at 100k tuples/s offered load.
     let offered = vec![100_000.0];
     let mut arrival = ConstantArrival(offered.clone());
-    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, 15);
+    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, 15).unwrap();
 
     // 6. Compare against the clairvoyant optimum.
-    let (opt_deploy, opt_throughput) = greedy_optimal(&app, &offered, 10, None);
+    let (opt_deploy, opt_throughput) = greedy_optimal(&app, &offered, 10, None).unwrap();
     println!("oracle optimum: {opt_deploy} @ {opt_throughput:.0} tuples/s\n");
     println!("slot | deployment | throughput | of optimal");
     for (t, slot) in trace.slots.iter().enumerate() {

@@ -43,7 +43,8 @@ fn main() {
     for t in 1..=20usize {
         // observe the current config (noisy Eq.-8-style sample)
         let sample = true_capacity(chosen.0, chosen.1) * (1.0 + rng.normal(0.0, 0.04));
-        gp.observe(&feat(chosen), sample / scale);
+        gp.observe(&feat(chosen), sample / scale)
+            .expect("GP update succeeds");
 
         // extended acquisition: −|μ − y_t| + β σ², deficit-weighted, with
         // a cost tie-break (cheaper config wins near-equal acquisitions)

@@ -16,7 +16,7 @@ use dragster::sim::{
 use dragster::workloads::{word_count, SquareWave};
 
 fn run(scaler: &mut dyn Autoscaler, seed: u64) -> Trace {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut sim = FluidSim::new(
         w.app.clone(),
         ClusterConfig::default(),
@@ -24,17 +24,18 @@ fn run(scaler: &mut dyn Autoscaler, seed: u64) -> Trace {
         NoiseConfig::default(),
         seed,
         Deployment::uniform(2, 1),
-    );
+    )
+    .unwrap();
     let mut arrival = SquareWave {
         high: w.high_rate.clone(),
         low: w.low_rate.clone(),
         half_period_slots: 20,
     };
-    run_experiment(&mut sim, scaler, &mut arrival, 100)
+    run_experiment(&mut sim, scaler, &mut arrival, 100).unwrap()
 }
 
 fn main() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
         Box::new(Dhalion::new(DhalionConfig::default())),
         Box::new(Dragster::new(

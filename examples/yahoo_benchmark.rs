@@ -13,7 +13,7 @@ use dragster::sim::{run_experiment, ClusterConfig, Deployment, FluidSim, NoiseCo
 use dragster::workloads::{yahoo_benchmark, StepAt};
 
 fn main() {
-    let w = yahoo_benchmark();
+    let w = yahoo_benchmark().unwrap();
 
     println!(
         "--- topology (Graphviz DOT) ---\n{}",
@@ -27,7 +27,8 @@ fn main() {
         NoiseConfig::default(),
         42,
         Deployment::uniform(6, 1),
-    );
+    )
+    .unwrap();
     let mut dragster = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let before: Vec<f64> = w.high_rate.iter().map(|r| r * 0.75).collect();
     let mut arrival = StepAt {
@@ -35,10 +36,10 @@ fn main() {
         before: before.clone(),
         after: w.high_rate.clone(),
     };
-    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, 60);
+    let trace = run_experiment(&mut sim, &mut dragster, &mut arrival, 60).unwrap();
 
-    let (opt_lo, f_lo) = greedy_optimal(&w.app, &before, 10, None);
-    let (opt_hi, f_hi) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let (opt_lo, f_lo) = greedy_optimal(&w.app, &before, 10, None).unwrap();
+    let (opt_hi, f_hi) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
     println!("oracle: {opt_lo} @ {f_lo:.0}/s before the step, {opt_hi} @ {f_hi:.0}/s after\n");
 
     for checkpoint in [5usize, 29, 35, 59] {

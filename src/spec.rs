@@ -232,7 +232,7 @@ impl ExperimentSpec {
                 )));
             }
         }
-        Application::new(topo, models).map_err(SpecError::Invalid)
+        Application::new(topo, models).map_err(|e| SpecError::Invalid(e.to_string()))
     }
 
     /// Instantiate the chosen scheme.
@@ -285,15 +285,12 @@ impl ExperimentSpec {
             NoiseConfig::default(),
             self.seed,
             Deployment::uniform(app.n_operators(), self.initial_tasks),
-        );
+        )
+        .map_err(|e| SpecError::Invalid(e.to_string()))?;
         let mut scaler = self.scaler(&app)?;
         let mut arrival = self.arrival.build();
-        Ok(run_experiment(
-            &mut sim,
-            scaler.as_mut(),
-            &mut *arrival,
-            self.slots,
-        ))
+        run_experiment(&mut sim, scaler.as_mut(), &mut *arrival, self.slots)
+            .map_err(|e| SpecError::Invalid(e.to_string()))
     }
 }
 

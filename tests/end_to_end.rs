@@ -30,17 +30,18 @@ fn run_workload(
         NoiseConfig::default(),
         seed,
         Deployment::uniform(w.n_operators(), 1),
-    );
+    )
+    .unwrap();
     let mut arrival = ConstantArrival(rate.to_vec());
-    run_experiment(&mut sim, scaler, &mut arrival, slots)
+    run_experiment(&mut sim, scaler, &mut arrival, slots).unwrap()
 }
 
 #[test]
 fn dragster_converges_on_every_workload() {
-    for (w, rate, label) in figure5_suite() {
+    for (w, rate, label) in figure5_suite().unwrap() {
         let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
         let trace = run_workload(&w, &rate, &mut scaler, 30, None, 42);
-        let (_, opt) = greedy_optimal(&w.app, &rate, 10, None);
+        let (_, opt) = greedy_optimal(&w.app, &rate, 10, None).unwrap();
         let tail = trace.ideal_throughput[25..]
             .iter()
             .copied()
@@ -54,7 +55,7 @@ fn dragster_converges_on_every_workload() {
 
 #[test]
 fn every_scheme_completes_on_yahoo() {
-    let w = yahoo_benchmark();
+    let w = yahoo_benchmark().unwrap();
     let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
         Box::new(Dhalion::new(DhalionConfig::default())),
         Box::new(Ds2::new(Ds2Config::default())),
@@ -79,7 +80,7 @@ fn every_scheme_completes_on_yahoo() {
 
 #[test]
 fn budget_never_violated_by_any_scheme() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let budget = Some(9);
     let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
         Box::new(Dhalion::new(DhalionConfig {
@@ -112,7 +113,7 @@ fn budget_never_violated_by_any_scheme() {
 
 #[test]
 fn runs_are_deterministic_under_fixed_seed() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mk = || Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut a = mk();
     let mut b = mk();
@@ -126,13 +127,13 @@ fn runs_are_deterministic_under_fixed_seed() {
 
 #[test]
 fn different_seeds_vary_noise_not_structure() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut a = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut b = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let ta = run_workload(&w, &w.high_rate, &mut a, 20, None, 1);
     let tb = run_workload(&w, &w.high_rate, &mut b, 20, None, 2);
     // both converge to near-optimal even though noise differs
-    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
     for trace in [&ta, &tb] {
         let tail = trace.ideal_throughput[15..]
             .iter()
@@ -145,8 +146,8 @@ fn different_seeds_vary_noise_not_structure() {
 #[test]
 fn dragster_beats_dhalion_on_convergence_wordcount() {
     // the core comparative claim, as a regression test with margin
-    let w = word_count();
-    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let w = word_count().unwrap();
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
     let opt_series = vec![opt; 30];
 
     let mut dh = Dhalion::new(DhalionConfig::default());
@@ -171,7 +172,7 @@ fn ds2_overshoots_on_saturating_capacity() {
     // DS2's linear model extrapolates a saturating operator incorrectly —
     // the motivating weakness Dragster's GP fixes. DS2 must still complete
     // and not crash; Dragster should reach a no-worse configuration.
-    let w = dragster::workloads::async_io();
+    let w = dragster::workloads::async_io().unwrap();
     let mut ds2 = Ds2::new(Ds2Config::default());
     let t_ds2 = run_workload(&w, &w.high_rate, &mut ds2, 20, None, 5);
     let mut dr = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());

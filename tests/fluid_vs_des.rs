@@ -18,7 +18,8 @@ fn fluid_steady_state(app: &Application, d: &Deployment, rate: &[f64]) -> f64 {
         NoiseConfig::none(),
         1,
         d.clone(),
-    );
+    )
+    .unwrap();
     // warm one slot (fills pipelines/buffers), measure the second
     let _ = sim.run_slot(rate);
     sim.run_slot(rate).throughput
@@ -26,16 +27,17 @@ fn fluid_steady_state(app: &Application, d: &Deployment, rate: &[f64]) -> f64 {
 
 fn des_steady_state(app: &Application, d: &Deployment, rate: &[f64]) -> f64 {
     DesSim::new(app.clone(), d.clone(), 1.0)
+        .unwrap()
         .run(rate, 900.0, 300.0)
         .throughput
 }
 
 #[test]
 fn engines_agree_on_underloaded_wordcount() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let d = Deployment::uniform(2, 8);
     let rate = vec![8.0e4];
-    let analytic = w.app.ideal_throughput(&rate, &d.tasks);
+    let analytic = w.app.ideal_throughput(&rate, &d.tasks).unwrap();
     let fluid = fluid_steady_state(&w.app, &d, &rate);
     let des = des_steady_state(&w.app, &d, &rate);
     assert!(
@@ -50,10 +52,10 @@ fn engines_agree_on_underloaded_wordcount() {
 
 #[test]
 fn engines_agree_on_overloaded_wordcount() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let d = Deployment::uniform(2, 2);
     let rate = vec![2.0e5]; // far beyond capacity
-    let analytic = w.app.ideal_throughput(&rate, &d.tasks);
+    let analytic = w.app.ideal_throughput(&rate, &d.tasks).unwrap();
     let fluid = fluid_steady_state(&w.app, &d, &rate);
     let des = des_steady_state(&w.app, &d, &rate);
     assert!(
@@ -68,12 +70,12 @@ fn engines_agree_on_overloaded_wordcount() {
 
 #[test]
 fn engines_agree_on_yahoo_pipeline() {
-    let w = yahoo_benchmark();
+    let w = yahoo_benchmark().unwrap();
     let d = Deployment {
         tasks: vec![8, 2, 2, 4, 3, 2],
     };
     let rate = w.high_rate.clone();
-    let analytic = w.app.ideal_throughput(&rate, &d.tasks);
+    let analytic = w.app.ideal_throughput(&rate, &d.tasks).unwrap();
     let fluid = fluid_steady_state(&w.app, &d, &rate);
     assert!(
         (fluid - analytic).abs() / analytic < 0.05,
@@ -84,10 +86,12 @@ fn engines_agree_on_yahoo_pipeline() {
 #[test]
 fn des_backlog_location_matches_fluid_bottleneck() {
     // both engines must blame the same operator under overload
-    let w = word_count();
+    let w = word_count().unwrap();
     let d = Deployment { tasks: vec![8, 1] }; // shuffle starved
     let rate = vec![1.5e5];
-    let des = DesSim::new(w.app.clone(), d.clone(), 1.0).run(&rate, 600.0, 100.0);
+    let des = DesSim::new(w.app.clone(), d.clone(), 1.0)
+        .unwrap()
+        .run(&rate, 600.0, 100.0);
     assert!(
         des.backlog[1] > des.backlog[0] * 5.0,
         "DES backlog should pile at shuffle: {:?}",
@@ -100,7 +104,8 @@ fn des_backlog_location_matches_fluid_bottleneck() {
         NoiseConfig::none(),
         1,
         d,
-    );
+    )
+    .unwrap();
     let _ = sim.run_slot(&rate);
     let buffers = sim.buffers();
     assert!(
@@ -130,7 +135,7 @@ fn selectivity_chain_is_exact_in_both_engines() {
     let app = Application::new(topo, vec![CapacityModel::Linear { per_task: 1.0e5 }]).unwrap();
     let d = Deployment::uniform(1, 2);
     let rate = vec![1.0e5];
-    let analytic = throughput(&app.topology, &rate, &app.true_capacities(&d.tasks));
+    let analytic = throughput(&app.topology, &rate, &app.true_capacities(&d.tasks)).unwrap();
     assert!((analytic - 2.5e4).abs() < 1.0);
     let fluid = fluid_steady_state(&app, &d, &rate);
     let des = des_steady_state(&app, &d, &rate);

@@ -20,22 +20,23 @@ fn run_learned(
         NoiseConfig::default(),
         seed,
         Deployment::uniform(w.n_operators(), 1),
-    );
+    )
+    .unwrap();
     let cfg = DragsterConfig {
         learn_h: true,
         ..DragsterConfig::saddle_point()
     };
     let mut scaler = Dragster::new(w.app.topology.clone(), cfg);
     let mut arrival = ConstantArrival(w.high_rate.clone());
-    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, slots);
+    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, slots).unwrap();
     (trace, scaler)
 }
 
 #[test]
 fn learned_h_converges_on_yahoo() {
-    let w = yahoo_benchmark();
+    let w = yahoo_benchmark().unwrap();
     let (trace, scaler) = run_learned(&w, 30, 42);
-    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
     let tail = trace.ideal_throughput[25..]
         .iter()
         .copied()
@@ -57,9 +58,9 @@ fn learned_h_handles_sub_unit_selectivity_chain() {
     // FraudDetect's final filter keeps only 2 % of tuples: the initial
     // all-pass-through guess overestimates the sink rate by 50× — the
     // estimator must correct it.
-    let w = fraud_detect();
+    let w = fraud_detect().unwrap();
     let (trace, scaler) = run_learned(&w, 30, 7);
-    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
     let tail = trace.ideal_throughput[25..]
         .iter()
         .copied()
@@ -79,7 +80,7 @@ fn learned_h_handles_sub_unit_selectivity_chain() {
 
 #[test]
 fn exact_and_learned_modes_converge_to_same_configuration() {
-    let w = yahoo_benchmark();
+    let w = yahoo_benchmark().unwrap();
     let (t_learned, _) = run_learned(&w, 30, 3);
     let mut sim = FluidSim::new(
         w.app.clone(),
@@ -88,10 +89,11 @@ fn exact_and_learned_modes_converge_to_same_configuration() {
         NoiseConfig::default(),
         3,
         Deployment::uniform(6, 1),
-    );
+    )
+    .unwrap();
     let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut arrival = ConstantArrival(w.high_rate.clone());
-    let t_exact = run_experiment(&mut sim, &mut scaler, &mut arrival, 30);
+    let t_exact = run_experiment(&mut sim, &mut scaler, &mut arrival, 30).unwrap();
     // both end within a pod or two of each other per operator
     let a = &t_exact.deployments[29].tasks;
     let b = &t_learned.deployments[29].tasks;

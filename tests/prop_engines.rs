@@ -49,7 +49,7 @@ proptest! {
     ) {
         let app = chain_app(k, &per_task, &sels);
         let d = Deployment { tasks: tasks[..k].to_vec() };
-        let analytic = app.ideal_throughput(&[rate], &d.tasks);
+        let analytic = app.ideal_throughput(&[rate], &d.tasks).unwrap();
         prop_assume!(analytic > 10.0); // skip near-degenerate flows
 
         // fluid: warm one slot, measure the second
@@ -60,7 +60,7 @@ proptest! {
             NoiseConfig::none(),
             1,
             d.clone(),
-        );
+        ).unwrap();
         let _ = sim.run_slot(&[rate]);
         let fluid = sim.run_slot(&[rate]).throughput;
         prop_assert!(
@@ -69,7 +69,7 @@ proptest! {
         );
 
         // DES with 1-second batches over 600 s, measured after 200 s warmup
-        let des = DesSim::new(app, d, 1.0).run(&[rate], 600.0, 200.0).throughput;
+        let des = DesSim::new(app, d, 1.0).unwrap().run(&[rate], 600.0, 200.0).throughput;
         prop_assert!(
             (des - analytic).abs() / analytic < 0.10,
             "des {des} vs analytic {analytic} (k={k}, rate={rate})"

@@ -65,11 +65,11 @@ proptest! {
             NoiseConfig::default(),
             seed,
             Deployment::uniform(m, 1),
-        );
+        ).unwrap();
         let cfg = DragsterConfig { budget_pods: Some(budget), ..DragsterConfig::saddle_point() };
         let mut scaler = Dragster::new(app.topology.clone(), cfg);
         let mut arrival = ConstantArrival(vec![rate]);
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 8);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 8).unwrap();
         for d in &trace.deployments {
             prop_assert!(d.total_pods() <= budget);
             prop_assert!(d.tasks.iter().all(|&t| (1..=10).contains(&t)));
@@ -109,7 +109,7 @@ proptest! {
             NoiseConfig::none(),
             1,
             Deployment::uniform(2, tasks),
-        );
+        ).unwrap();
         for _ in 0..slots {
             let _ = sim.run_slot(&[rate]);
         }
@@ -135,11 +135,11 @@ proptest! {
             NoiseConfig::none(),
             seed,
             Deployment::uniform(m, 1),
-        );
+        ).unwrap();
         let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
         let mut arrival = ConstantArrival(vec![rate]);
-        let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 6);
-        let (_, opt) = greedy_optimal(&app, &[rate], 10, None);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 6).unwrap();
+        let (_, opt) = greedy_optimal(&app, &[rate], 10, None).unwrap();
         for &f in &trace.ideal_throughput {
             prop_assert!(f <= opt + 1e-6, "deployed config beat the oracle: {f} > {opt}");
         }
@@ -170,7 +170,7 @@ proptest! {
             NoiseConfig::default(),
             seed,
             Deployment::uniform(1, tasks),
-        );
+        ).unwrap();
         let rate = truth * 0.6;
         let mut mean = 0.0;
         let n = 10;
@@ -190,8 +190,8 @@ proptest! {
         budget in proptest::option::of(5usize..25),
     ) {
         let budget = budget.map(|b| b.max(app.n_operators()));
-        let (_, fg) = greedy_optimal(&app, &[rate], 6, budget);
-        let (_, fe) = dragster::core::exhaustive_optimal(&app, &[rate], 6, budget);
+        let (_, fg) = greedy_optimal(&app, &[rate], 6, budget).unwrap();
+        let (_, fe) = dragster::core::exhaustive_optimal(&app, &[rate], 6, budget).unwrap();
         prop_assert!(
             (fg - fe).abs() <= fe * 1e-6 + 1e-9,
             "greedy {fg} != exhaustive {fe}"

@@ -8,7 +8,7 @@ use dragster::sim::{run_experiment, Autoscaler, ClusterConfig, Deployment, Fluid
 use dragster::workloads::{word_count, SineWave};
 
 fn regret_of(scaler: &mut dyn Autoscaler, horizon: usize, seed: u64) -> RegretTracker {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut sim = FluidSim::new(
         w.app.clone(),
         ClusterConfig::default(),
@@ -16,13 +16,14 @@ fn regret_of(scaler: &mut dyn Autoscaler, horizon: usize, seed: u64) -> RegretTr
         NoiseConfig::default(),
         seed,
         Deployment::uniform(2, 1),
-    );
+    )
+    .unwrap();
     let mut arrival = SineWave {
         mean: w.high_rate.clone(),
         amplitude: 0.2,
         period_slots: 40,
     };
-    let trace = run_experiment(&mut sim, scaler, &mut arrival, horizon);
+    let trace = run_experiment(&mut sim, scaler, &mut arrival, horizon).unwrap();
     let mut arrival2 = SineWave {
         mean: w.high_rate.clone(),
         amplitude: 0.2,
@@ -31,7 +32,7 @@ fn regret_of(scaler: &mut dyn Autoscaler, horizon: usize, seed: u64) -> RegretTr
     let mut tracker = RegretTracker::new();
     for t in 0..horizon {
         let rates = dragster::sim::ArrivalProcess::rates(&mut arrival2, t);
-        let (_, opt) = greedy_optimal(&w.app, &rates, 10, None);
+        let (_, opt) = greedy_optimal(&w.app, &rates, 10, None).unwrap();
         let l: Vec<f64> = trace.slots[t]
             .operators
             .iter()
@@ -44,7 +45,7 @@ fn regret_of(scaler: &mut dyn Autoscaler, horizon: usize, seed: u64) -> RegretTr
 
 #[test]
 fn dragster_regret_is_sublinear() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let tracker = regret_of(&mut d, 160, 42);
     let exp = RegretTracker::growth_exponent(&tracker.regret_series()).expect("long enough series");
@@ -64,7 +65,7 @@ fn static_regret_is_linear() {
 
 #[test]
 fn dragster_regret_well_below_static() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut s = dragster::baselines::StaticScaler;
     let rd = regret_of(&mut d, 120, 7).regret();
@@ -82,7 +83,7 @@ fn theorem1_fit_bound_dominates_measured_fit() {
     //   Fit_T ≤ M^{2/3}H(1 + H/2ε) + H√T/ε + M√(8TβΓ/log(1+σ⁻²))
     // We normalize both sides by H (the bound's capacity scale) to keep
     // the comparison unit-consistent.
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let horizon = 120;
     let tracker = regret_of(&mut d, horizon, 42);
@@ -115,7 +116,7 @@ fn theorem1_fit_bound_dominates_measured_fit() {
 fn regret_grows_with_optimum_variation() {
     // Assumption 2: faster-moving optima ⇒ more regret. Compare a calm
     // sine against a violent one.
-    let w = word_count();
+    let w = word_count().unwrap();
     let run = |amplitude: f64| {
         let mut d = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
         let mut sim = FluidSim::new(
@@ -125,13 +126,14 @@ fn regret_grows_with_optimum_variation() {
             NoiseConfig::default(),
             11,
             Deployment::uniform(2, 1),
-        );
+        )
+        .unwrap();
         let mut arrival = SineWave {
             mean: w.high_rate.clone(),
             amplitude,
             period_slots: 8,
         };
-        let trace = run_experiment(&mut sim, &mut d, &mut arrival, 80);
+        let trace = run_experiment(&mut sim, &mut d, &mut arrival, 80).unwrap();
         let mut arrival2 = SineWave {
             mean: w.high_rate.clone(),
             amplitude,
@@ -140,7 +142,7 @@ fn regret_grows_with_optimum_variation() {
         let mut tracker = RegretTracker::new();
         for t in 0..80 {
             let rates = dragster::sim::ArrivalProcess::rates(&mut arrival2, t);
-            let (_, opt) = greedy_optimal(&w.app, &rates, 10, None);
+            let (_, opt) = greedy_optimal(&w.app, &rates, 10, None).unwrap();
             tracker.record(opt, trace.ideal_throughput[t], &[]);
         }
         tracker.regret()

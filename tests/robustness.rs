@@ -12,7 +12,7 @@ use dragster::sim::{
 use dragster::workloads::{group, word_count, DiurnalBursty, SpikeTrain, SquareWave};
 
 fn run_with_noise(noise: NoiseConfig, slots: usize, seed: u64) -> Trace {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut sim = FluidSim::new(
         w.app.clone(),
         ClusterConfig::default(),
@@ -20,10 +20,11 @@ fn run_with_noise(noise: NoiseConfig, slots: usize, seed: u64) -> Trace {
         noise,
         seed,
         Deployment::uniform(2, 1),
-    );
+    )
+    .unwrap();
     let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut arrival = ConstantArrival(w.high_rate.clone());
-    run_experiment(&mut sim, &mut scaler, &mut arrival, slots)
+    run_experiment(&mut sim, &mut scaler, &mut arrival, slots).unwrap()
 }
 
 #[test]
@@ -35,8 +36,8 @@ fn converges_under_heavy_observation_noise() {
         failures: None,
     };
     let trace = run_with_noise(noise, 30, 42);
-    let w = word_count();
-    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None);
+    let w = word_count().unwrap();
+    let (_, opt) = greedy_optimal(&w.app, &w.high_rate, 10, None).unwrap();
     let tail = trace.ideal_throughput[24..]
         .iter()
         .copied()
@@ -103,7 +104,7 @@ fn latency_estimate_stays_bounded_after_convergence() {
 
 #[test]
 fn latency_spikes_then_drains_on_load_increase() {
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut sim = FluidSim::new(
         w.app.clone(),
         ClusterConfig::default(),
@@ -111,14 +112,15 @@ fn latency_spikes_then_drains_on_load_increase() {
         NoiseConfig::default(),
         11,
         Deployment::uniform(2, 1),
-    );
+    )
+    .unwrap();
     let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut arrival = SquareWave {
         high: w.high_rate.clone(),
         low: w.low_rate.clone(),
         half_period_slots: 15,
     };
-    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 30);
+    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 30).unwrap();
     // latency during the under-provisioned first slot is large…
     assert!(trace.slots[0].latency_estimate_secs() > 30.0);
     // …but drains to a small steady state before the phase ends
@@ -133,7 +135,7 @@ fn latency_spikes_then_drains_on_load_increase() {
 fn absorbs_spike_trains_without_wedging() {
     // 5× one-slot spikes every 8 slots: backlog must drain between spikes
     // and the controller must not ratchet up permanently.
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut sim = FluidSim::new(
         w.app.clone(),
         ClusterConfig::default(),
@@ -141,14 +143,15 @@ fn absorbs_spike_trains_without_wedging() {
         NoiseConfig::default(),
         5,
         Deployment::uniform(2, 1),
-    );
+    )
+    .unwrap();
     let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut arrival = SpikeTrain {
         base: w.low_rate.clone(),
         spike_factor: 3.0,
         every_slots: 8,
     };
-    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 40);
+    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 40).unwrap();
     // off-spike slots near the end are served at the base rate with a
     // lean allocation (no permanent ratchet)
     let lean_pods = trace.deployments[38].total_pods();
@@ -163,7 +166,7 @@ fn absorbs_spike_trains_without_wedging() {
 #[test]
 fn tracks_diurnal_bursty_production_load() {
     // a day and a half of realistic load: diurnal swing, noise, bursts
-    let w = word_count();
+    let w = word_count().unwrap();
     let mut sim = FluidSim::new(
         w.app.clone(),
         ClusterConfig::default(),
@@ -171,10 +174,11 @@ fn tracks_diurnal_bursty_production_load() {
         NoiseConfig::default(),
         21,
         Deployment::uniform(2, 1),
-    );
+    )
+    .unwrap();
     let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
     let mut arrival = DiurnalBursty::new(vec![1.0e5], 77);
-    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 216);
+    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 216).unwrap();
     // after warm-up, stay within 20 % of the per-slot ideal on ≥ 80 % of
     // slots (bursts legitimately dent individual slots)
     let good = trace.slots[20..]
@@ -198,7 +202,7 @@ fn tracks_diurnal_bursty_production_load() {
 #[test]
 fn single_operator_app_with_minimal_budget() {
     // degenerate corner: one operator, budget equal to one pod
-    let w = group();
+    let w = group().unwrap();
     let mut sim = FluidSim::new(
         w.app.clone(),
         ClusterConfig {
@@ -209,14 +213,15 @@ fn single_operator_app_with_minimal_budget() {
         NoiseConfig::default(),
         1,
         Deployment::uniform(1, 1),
-    );
+    )
+    .unwrap();
     let cfg = DragsterConfig {
         budget_pods: Some(1),
         ..DragsterConfig::saddle_point()
     };
     let mut scaler = Dragster::new(w.app.topology.clone(), cfg);
     let mut arrival = dragster::sim::ConstantArrival(w.high_rate.clone());
-    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 5);
+    let trace = run_experiment(&mut sim, &mut scaler, &mut arrival, 5).unwrap();
     for d in &trace.deployments {
         assert_eq!(d.tasks, vec![1]);
     }
