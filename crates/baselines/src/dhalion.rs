@@ -143,6 +143,7 @@ mod tests {
             buffer_tuples: buffer,
             latency_estimate_secs: buffer / 90.0,
             backpressure: bp,
+            degraded: false,
         }
     }
 

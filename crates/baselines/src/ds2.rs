@@ -108,6 +108,7 @@ mod tests {
             buffer_tuples: 0.0,
             latency_estimate_secs: 0.0,
             backpressure: offered > cap_sample,
+            degraded: false,
         }
     }
 

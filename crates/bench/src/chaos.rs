@@ -1,0 +1,320 @@
+//! Chaos recovery experiment: how deep does each scheme dip when a fault
+//! lands, and how many slots does it need to climb back?
+//!
+//! One scripted fault per run (so dips line up with their cause), five
+//! fault classes (pod crash, straggler, reconfiguration-failure burst,
+//! metric dropout window, silent metric corruption), every scheme on the
+//! same seed and arrival process. Reported per `(scheme, fault class)`:
+//!
+//! * **pre-fault mean** — throughput over the settled window before the
+//!   fault (tuples/s);
+//! * **dip depth** — `1 − min(post-fault throughput) / pre-fault mean`;
+//! * **slots to recover** — slots from the fault until throughput first
+//!   returns to ≥ 90 % of the pre-fault mean (`None` = never recovered);
+//! * **regret** — `Σ_t max(0, optimal − ideal_t)` over the whole run, the
+//!   deployed-configuration shortfall the fault (and the scheme's reaction
+//!   to it) caused;
+//! * **reconfig failures / held slots** — how hard the retry-with-backoff
+//!   path was exercised.
+//!
+//! The module also provides the zero-fault identity check the `chaos`
+//! binary runs first: a harness with an inert [`FaultPlan`] must reproduce
+//! the unfaulted baseline trace *bit-identically* (same seed ⇒ same
+//! [`Trace`]), proving the chaos layer is pay-for-what-you-use.
+
+use crate::runner::{make_scaler, Scheme};
+use dragster_core::greedy_optimal;
+use dragster_sim::faults::{FaultKind, FaultPlan, FaultRates, ScriptedFault};
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::{
+    run_experiment_with, Application, ClusterConfig, ConstantArrival, Deployment,
+    ExperimentOptions, FluidSim, NoiseConfig, SimError, Trace,
+};
+use serde::Serialize;
+
+/// One named fault scenario.
+#[derive(Clone, Debug)]
+pub struct FaultClass {
+    pub label: &'static str,
+    pub plan: FaultPlan,
+}
+
+/// The five scripted fault classes, each landing at `fault_slot` on
+/// `operator` (where the class is operator-scoped).
+pub fn fault_classes(fault_slot: usize, operator: usize) -> Vec<FaultClass> {
+    vec![
+        FaultClass {
+            label: "pod-crash",
+            plan: FaultPlan::none().with(ScriptedFault {
+                slot: fault_slot,
+                kind: FaultKind::PodCrash,
+                operator: Some(operator),
+                severity: 1.0,
+                duration_slots: 3,
+            }),
+        },
+        FaultClass {
+            label: "straggler",
+            plan: FaultPlan::none().with(ScriptedFault {
+                slot: fault_slot,
+                kind: FaultKind::Straggler,
+                operator: Some(operator),
+                severity: 0.5,
+                duration_slots: 4,
+            }),
+        },
+        FaultClass {
+            label: "reconfig-fail-burst",
+            plan: FaultPlan::none().with(ScriptedFault {
+                slot: fault_slot,
+                kind: FaultKind::ReconfigFail,
+                operator: None,
+                severity: 1.0,
+                duration_slots: 3,
+            }),
+        },
+        FaultClass {
+            label: "metric-dropout",
+            plan: FaultPlan::none().with(ScriptedFault {
+                slot: fault_slot,
+                kind: FaultKind::MetricDropout,
+                operator: Some(operator),
+                severity: 1.0,
+                duration_slots: 4,
+            }),
+        },
+        FaultClass {
+            label: "metric-corrupt",
+            plan: FaultPlan {
+                scripted: vec![ScriptedFault {
+                    slot: fault_slot,
+                    kind: FaultKind::MetricCorrupt,
+                    operator: Some(operator),
+                    severity: 1.0,
+                    duration_slots: 4,
+                }],
+                rates: FaultRates {
+                    // 40× spikes: finite, silent, sanitizer-clamped
+                    metric_corrupt_factor: 40.0,
+                    ..Default::default()
+                },
+            },
+        },
+    ]
+}
+
+/// Recovery metrics for one `(scheme, fault class)` run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryMetrics {
+    pub scheme: String,
+    pub fault_class: String,
+    pub pre_fault_mean: f64,
+    pub dip_depth: f64,
+    pub slots_to_recover: Option<usize>,
+    pub regret: f64,
+    pub reconfig_failures: usize,
+    pub held_slots: usize,
+    pub fault_events: usize,
+    pub degraded_readings: usize,
+}
+
+/// Run one scheme against one fault plan and compute recovery metrics.
+///
+/// # Errors
+/// Any non-fault [`SimError`] from the simulator or the scheme's policy
+/// (injected faults themselves never abort the run).
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_case(
+    scheme: Scheme,
+    app: &Application,
+    rates: &[f64],
+    plan: FaultPlan,
+    label: &str,
+    slots: usize,
+    fault_slot: usize,
+    seed: u64,
+) -> Result<RecoveryMetrics, SimError> {
+    let trace = run_faulted(scheme, app, rates, plan, slots, seed)?;
+    let (_, opt) = greedy_optimal(app, rates, 10, None).map_err(SimError::from)?;
+
+    // Settled window: skip the cold-start ramp, stop at the fault.
+    let warm = (fault_slot / 2).min(fault_slot.saturating_sub(1));
+    let pre: Vec<f64> = trace.slots[warm..fault_slot]
+        .iter()
+        .map(|s| s.throughput)
+        .collect();
+    let pre_fault_mean = if pre.is_empty() {
+        0.0
+    } else {
+        pre.iter().sum::<f64>() / pre.len() as f64
+    };
+
+    let post: Vec<f64> = trace.slots[fault_slot..]
+        .iter()
+        .map(|s| s.throughput)
+        .collect();
+    let min_post = post.iter().copied().fold(f64::INFINITY, f64::min);
+    let dip_depth = if pre_fault_mean > 0.0 && min_post.is_finite() {
+        (1.0 - min_post / pre_fault_mean).max(0.0)
+    } else {
+        0.0
+    };
+    let slots_to_recover = post
+        .iter()
+        .position(|&f| f >= 0.9 * pre_fault_mean)
+        .filter(|_| pre_fault_mean > 0.0);
+
+    let regret: f64 = trace
+        .ideal_throughput
+        .iter()
+        .map(|&i| (opt - i).max(0.0))
+        .sum();
+    let degraded_readings = trace
+        .slots
+        .iter()
+        .flat_map(|s| &s.operators)
+        .filter(|o| o.degraded)
+        .count();
+
+    Ok(RecoveryMetrics {
+        scheme: scheme.label().into(),
+        fault_class: label.into(),
+        pre_fault_mean,
+        dip_depth,
+        slots_to_recover,
+        regret,
+        reconfig_failures: trace.reconfig_failures,
+        held_slots: trace.held_slots,
+        fault_events: trace.fault_events.len(),
+        degraded_readings,
+    })
+}
+
+/// Run one scheme under a fault plan and return the full trace.
+///
+/// # Errors
+/// Any non-fault [`SimError`] from the simulator or the policy.
+pub fn run_faulted(
+    scheme: Scheme,
+    app: &Application,
+    rates: &[f64],
+    plan: FaultPlan,
+    slots: usize,
+    seed: u64,
+) -> Result<Trace, SimError> {
+    let mut sim = FluidSim::new(
+        app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        seed,
+        Deployment::uniform(app.n_operators(), 1),
+    )?
+    .with_faults(plan);
+    let mut scaler = make_scaler(scheme, app, None, seed);
+    let mut arrival = ConstantArrival(rates.to_vec());
+    run_experiment_with(
+        &mut sim,
+        scaler.as_mut(),
+        &mut arrival,
+        slots,
+        ExperimentOptions::default(),
+    )
+}
+
+/// The zero-fault identity check: attaching an inert [`FaultPlan`] must
+/// leave the trace bit-identical to the plain baseline run.
+///
+/// # Errors
+/// [`SimError`] if either run fails, or [`SimError::Policy`] if the traces
+/// diverge (which would mean the chaos layer perturbs unfaulted runs).
+pub fn verify_zero_fault_identity(
+    scheme: Scheme,
+    app: &Application,
+    rates: &[f64],
+    slots: usize,
+    seed: u64,
+) -> Result<(), SimError> {
+    let baseline = {
+        let mut sim = FluidSim::new(
+            app.clone(),
+            ClusterConfig::default(),
+            SimConfig::default(),
+            NoiseConfig::default(),
+            seed,
+            Deployment::uniform(app.n_operators(), 1),
+        )?;
+        let mut scaler = make_scaler(scheme, app, None, seed);
+        let mut arrival = ConstantArrival(rates.to_vec());
+        run_experiment_with(
+            &mut sim,
+            scaler.as_mut(),
+            &mut arrival,
+            slots,
+            ExperimentOptions::default(),
+        )?
+    };
+    let inert = run_faulted(scheme, app, rates, FaultPlan::none(), slots, seed)?;
+    if baseline == inert {
+        Ok(())
+    } else {
+        Err(SimError::Policy {
+            scheme: scheme.label().into(),
+            reason: "zero-fault chaos trace diverged from the unfaulted baseline".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragster_workloads::word_count;
+
+    #[test]
+    fn zero_fault_identity_holds_for_all_paper_schemes() {
+        let w = word_count().unwrap();
+        for s in crate::runner::ALL_SCHEMES {
+            verify_zero_fault_identity(s, &w.app, &w.high_rate, 6, 11).unwrap();
+        }
+    }
+
+    #[test]
+    fn chaos_case_produces_finite_metrics() {
+        let w = word_count().unwrap();
+        for fc in fault_classes(5, 0) {
+            let m = run_chaos_case(
+                Scheme::DragsterSaddle,
+                &w.app,
+                &w.high_rate,
+                fc.plan,
+                fc.label,
+                12,
+                5,
+                3,
+            )
+            .unwrap();
+            assert!(m.pre_fault_mean.is_finite() && m.pre_fault_mean > 0.0);
+            assert!((0.0..=1.0).contains(&m.dip_depth), "{}", m.dip_depth);
+            assert!(m.regret.is_finite() && m.regret >= 0.0);
+        }
+    }
+
+    #[test]
+    fn crash_class_actually_dips() {
+        let w = word_count().unwrap();
+        let fc = &fault_classes(6, 0)[0]; // pod-crash
+        let m = run_chaos_case(
+            Scheme::DragsterSaddle,
+            &w.app,
+            &w.high_rate,
+            fc.plan.clone(),
+            fc.label,
+            16,
+            6,
+            3,
+        )
+        .unwrap();
+        assert!(m.dip_depth > 0.1, "crash should dent throughput: {m:?}");
+        assert!(m.fault_events >= 1);
+    }
+}

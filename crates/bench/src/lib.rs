@@ -5,6 +5,7 @@
 //! and writes machine-readable JSON under `results/`. See DESIGN.md's
 //! per-experiment index for the mapping.
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod runner;

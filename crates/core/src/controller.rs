@@ -107,6 +107,10 @@ pub struct Dragster {
     ogd: Option<OgdState>,
     /// Last computed capacity targets (diagnostics).
     last_targets: Vec<f64>,
+    /// Last usable constraint values `l_i` — held when an operator's
+    /// reading is degraded (chaos-layer dropout/staleness) so one bad
+    /// scrape cannot inject a bogus dual step.
+    last_l: Vec<f64>,
     /// RNG for the Thompson acquisition (fixed seed: decisions are
     /// deterministic given the same observation stream).
     rng: dragster_sim::Rng,
@@ -131,6 +135,7 @@ impl Dragster {
             ogd: None,
             gps,
             last_targets: vec![0.0; m],
+            last_l: vec![0.0; m],
             rng: dragster_sim::Rng::new(0x5EED),
             estimator,
             topo,
@@ -270,19 +275,39 @@ impl Autoscaler for Dragster {
         // ---- line 3: observe; line 5: GP posterior update (Eq. 17). ----
         let mut l_values = vec![0.0; m];
         for (i, om) in metrics.operators.iter().enumerate() {
-            if om.output_rate > 1e-9 {
+            // A degraded reading (dropped/stale/imputed scrape) or a
+            // non-finite field must never reach the GP posterior or the
+            // selectivity estimator — one poisoned sample corrupts every
+            // subsequent decision.
+            let clean = !om.degraded
+                && om.capacity_sample.is_finite()
+                && om.cpu_util.is_finite()
+                && om.offered_load.is_finite()
+                && om.output_rate.is_finite();
+            if clean && om.output_rate > 1e-9 {
                 self.gps[i].observe(current.tasks[i], om.capacity_sample)?;
             }
             // Constraint value l_i = offered − capacity (Eq. 11), using the
-            // observed capacity sample as the capacity estimate.
-            l_values[i] = om.offered_load - om.capacity_sample;
+            // observed capacity sample as the capacity estimate. Degraded
+            // slots hold the last usable value instead of a bogus dual step.
+            let l = om.offered_load - om.capacity_sample;
+            l_values[i] = if clean && l.is_finite() {
+                l
+            } else {
+                self.last_l[i]
+            };
             // Theorem-2 mode: refine the h estimates with clean
             // observations — skip slots where the operator was saturated
             // (output reflects y_i, not h, per Eq. 4) or draining backlog
             // (output exceeds h(input) while the buffer empties).
             if let Some(est) = self.estimator.as_mut() {
                 let draining = om.buffer_tuples > om.input_rate * 10.0;
-                if !om.backpressure && om.cpu_util < 0.95 && om.output_rate > 1e-9 && !draining {
+                if clean
+                    && !om.backpressure
+                    && om.cpu_util < 0.95
+                    && om.output_rate > 1e-9
+                    && !draining
+                {
                     est.ingest(&HObservation {
                         operator: i,
                         inputs: om.input_rates.clone(),
@@ -291,16 +316,27 @@ impl Autoscaler for Dragster {
                 }
             }
         }
+        self.last_l.clone_from(&l_values);
         let working = self.working_topology()?;
 
         // ---- line 4: dual update (Eq. 15) + target capacities. ----
         self.saddle.dual_update(&l_values);
         let h_bound = analysis::throughput_upper_bound(&working, rates)?;
         let y_max = (1.5 * h_bound).max(1e-6);
+        // Warm-start vectors come straight from observations; scrub any
+        // non-finite entries (unsanitized fault injection) so the solvers
+        // never iterate from NaN.
+        let finite_samples = || -> Vec<f64> {
+            metrics
+                .capacity_samples()
+                .into_iter()
+                .map(|c| if c.is_finite() && c >= 0.0 { c } else { 0.0 })
+                .collect()
+        };
         let mut targets = match self.cfg.inner {
             InnerAlgo::SaddlePoint => {
                 let warm: Vec<f64> = if self.last_targets.iter().all(|&y| y == 0.0) {
-                    metrics.capacity_samples()
+                    finite_samples()
                 } else {
                     self.last_targets.clone()
                 };
@@ -317,7 +353,7 @@ impl Autoscaler for Dragster {
                 let eta = self.cfg.eta;
                 let ogd = self
                     .ogd
-                    .get_or_insert_with(|| OgdState::new(metrics.capacity_samples(), eta));
+                    .get_or_insert_with(|| OgdState::new(finite_samples(), eta));
                 ogd.step(
                     &self.solver,
                     &working,
@@ -337,13 +373,11 @@ impl Autoscaler for Dragster {
         let beta = self.cfg.ucb.beta(self.joint_space(), self.t);
         let rng = &mut self.rng;
         let mut tables: Vec<Vec<f64>> = Vec::with_capacity(m);
-        for i in 0..m {
-            let target = targets[i] * self.cfg.target_headroom;
+        for (gp, raw_target) in self.gps.iter().zip(&targets) {
+            let target = raw_target * self.cfg.target_headroom;
             tables.push(match self.cfg.ucb.acquisition {
-                AcquisitionKind::ExtendedUcb => self.gps[i].acquisition_table(target, beta),
-                AcquisitionKind::Thompson => {
-                    self.gps[i].thompson_table(target, || rng.gaussian())?
-                }
+                AcquisitionKind::ExtendedUcb => gp.acquisition_table(target, beta),
+                AcquisitionKind::Thompson => gp.thompson_table(target, || rng.gaussian())?,
             });
         }
         let budget = self
@@ -586,6 +620,74 @@ mod tests {
                 .count();
             assert!(changed <= 1, "{:?} -> {:?}", pair[0], pair[1]);
         }
+    }
+
+    #[test]
+    fn degraded_nan_metrics_do_not_poison_decisions() {
+        use dragster_sim::{OperatorMetrics, SlotMetrics};
+        let app = wordcount_app();
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let nan_op = |name: &str| OperatorMetrics {
+            name: name.into(),
+            tasks: 1,
+            input_rate: f64::NAN,
+            input_rates: vec![f64::NAN],
+            output_rate: f64::NAN,
+            offered_load: f64::NAN,
+            cpu_util: f64::NAN,
+            capacity_sample: f64::NAN,
+            buffer_tuples: 0.0,
+            latency_estimate_secs: 0.0,
+            backpressure: false,
+            degraded: true,
+        };
+        let metrics = SlotMetrics {
+            t: 0,
+            sim_time_secs: 600.0,
+            throughput: 0.0,
+            processed_tuples: 0.0,
+            dropped_tuples: 0.0,
+            cost_dollars: 0.05,
+            pods: 2,
+            source_rates: vec![400.0],
+            reconfigured: false,
+            pause_secs: 0.0,
+            operators: vec![nan_op("map"), nan_op("shuffle")],
+        };
+        let cur = Deployment::uniform(2, 1);
+        let d = scaler.decide(0, &metrics, &cur).unwrap();
+        assert!(d.tasks.iter().all(|&t| t >= 1));
+        // no NaN sample reached the GPs
+        assert!(scaler.operator_gps().iter().all(|gp| gp.is_empty()));
+        assert!(scaler.last_targets().iter().all(|y| y.is_finite()));
+        assert!(scaler.lambda().iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn converges_despite_metric_dropouts() {
+        use dragster_sim::faults::{FaultPlan, FaultRates};
+        let app = wordcount_app();
+        let plan = FaultPlan {
+            scripted: vec![],
+            rates: FaultRates {
+                metric_dropout_prob: 0.2,
+                metric_stale_prob: 0.1,
+                ..Default::default()
+            },
+        };
+        let mut sim = make_sim(app.clone(), None, 7).with_faults(plan);
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let mut arr = ConstantArrival(vec![400.0]);
+        let trace = run_experiment(&mut sim, &mut scaler, &mut arr, 30).unwrap();
+        let (_, opt) = crate::oracle::greedy_optimal(&app, &[400.0], 10, None).unwrap();
+        let tail = trace.ideal_throughput[25..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            tail >= 0.85 * opt,
+            "failed to converge under dropouts: tail {tail} vs opt {opt}"
+        );
     }
 
     #[test]

@@ -300,7 +300,7 @@ impl GpHyperFit {
                     continue;
                 }
                 let lml = gp.log_marginal_likelihood();
-                if best.map_or(true, |b| lml > b.2) {
+                if best.is_none_or(|b| lml > b.2) {
                     best = Some((l, s, lml));
                 }
             }

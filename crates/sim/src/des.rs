@@ -16,6 +16,8 @@
 use crate::capacity::Application;
 use crate::cluster::Deployment;
 use crate::error::SimError;
+use crate::faults::{FaultPlan, FaultState};
+use crate::noise::FailureModel;
 use dragster_dag::{ComponentKind, ThroughputFn};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -77,6 +79,22 @@ pub struct DesSim {
     /// Capacity index per component id; only meaningful for operators
     /// (validated at construction), `usize::MAX` elsewhere and never read.
     cap_of: Vec<usize>,
+    /// Optional chaos-layer disturbances (capacity faults only — the DES
+    /// has no metrics pipeline, so metric/reconfig faults do not apply).
+    faults: Option<DesFaults>,
+}
+
+/// Disturbance configuration for a DES run: the same [`FaultPlan`] the
+/// fluid engine consumes, realized through the same seeded fault stream so
+/// both engines see identical per-slot capacity multipliers.
+#[derive(Clone, Debug)]
+struct DesFaults {
+    plan: FaultPlan,
+    legacy: Option<FailureModel>,
+    seed: u64,
+    /// Decision-slot length in seconds — multipliers are piecewise-constant
+    /// per slot window, mirroring the fluid engine's per-slot application.
+    slot_secs: f64,
 }
 
 impl DesSim {
@@ -118,7 +136,37 @@ impl DesSim {
             batch_interval,
             routing,
             cap_of,
+            faults: None,
         })
+    }
+
+    /// Attach chaos-layer disturbances. Capacity faults (crashes,
+    /// stragglers, the legacy [`FailureModel`]) are realized through the
+    /// same seeded fault stream as
+    /// [`FluidSim::with_faults`](crate::fluid::FluidSim::with_faults), so a
+    /// fluid run and a DES run with the same `(plan, legacy, seed,
+    /// slot_secs)` experience identical per-slot capacity multipliers —
+    /// this is what lets `tests/fluid_vs_des.rs` cross-validate faulted
+    /// runs.
+    ///
+    /// # Panics
+    /// If `slot_secs <= 0` — a configuration bug, not a data error.
+    #[must_use]
+    pub fn with_disturbances(
+        mut self,
+        plan: FaultPlan,
+        legacy: Option<FailureModel>,
+        seed: u64,
+        slot_secs: f64,
+    ) -> DesSim {
+        assert!(slot_secs > 0.0);
+        self.faults = Some(DesFaults {
+            plan,
+            legacy,
+            seed,
+            slot_secs,
+        });
+        self
     }
 
     /// Run for `duration_secs` with constant `source_rates`, measuring the
@@ -127,6 +175,31 @@ impl DesSim {
         let topo = &self.app.topology;
         assert_eq!(source_rates.len(), topo.n_sources());
         let caps = self.app.true_capacities(&self.deployment.tasks);
+        // Precompute the per-slot-window capacity multipliers by replaying
+        // the shared fault stream (identical to the fluid engine's draws).
+        let fault_windows: Option<(Vec<Vec<f64>>, f64)> = self.faults.as_ref().map(|f| {
+            let n_windows = (duration_secs / f.slot_secs).ceil() as usize + 1;
+            let mut state = FaultState::new(f.plan.clone(), f.legacy, f.seed);
+            let mults = (0..n_windows)
+                .map(|t| {
+                    state
+                        .begin_slot(t, self.app.n_operators())
+                        .capacity_multiplier
+                })
+                .collect();
+            (mults, f.slot_secs)
+        });
+        let cap_at = |ci: usize, time: f64| -> f64 {
+            match &fault_windows {
+                Some((mults, slot_secs)) => {
+                    let w = ((time / slot_secs).max(0.0) as usize).min(mults.len() - 1);
+                    // floor keeps a fully-crashed operator serviceable at a
+                    // negligible rate instead of dividing by zero
+                    (caps[ci] * mults[w][ci]).max(1e-9)
+                }
+                None => caps[ci],
+            }
+        };
 
         let n = topo.components().len();
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
@@ -179,7 +252,7 @@ impl DesSim {
             let c = topo.component(dragster_dag::ComponentId(ev.target));
             debug_assert_eq!(c.kind, ComponentKind::Operator);
             let ci = self.cap_of[ev.target];
-            let cap = caps[ci];
+            let cap = cap_at(ci, ev.time);
 
             // Determine output tuples per successor edge from this batch.
             match_queues[ev.target][ev.pred_slot] += ev.tuples;
@@ -452,6 +525,65 @@ mod tests {
         // matches the analytic model
         let analytic = app.ideal_throughput(&[1000.0], &[5]).unwrap();
         assert!((r.throughput - analytic).abs() / analytic < 0.1);
+    }
+
+    #[test]
+    fn inert_fault_plan_leaves_report_identical() {
+        let app = chain_app(100.0);
+        let clean = DesSim::new(app.clone(), Deployment::uniform(2, 2), 1.0).unwrap();
+        let inert = DesSim::new(app, Deployment::uniform(2, 2), 1.0)
+            .unwrap()
+            .with_disturbances(FaultPlan::none(), None, 42, 600.0);
+        let a = clean.run(&[150.0], 600.0, 100.0);
+        let b = inert.run(&[150.0], 600.0, 100.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn straggler_window_dents_throughput() {
+        use crate::faults::{FaultKind, ScriptedFault};
+        let app = chain_app(100.0);
+        // operator 0 loses half its capacity for windows 1–2 of a 3-window run
+        let plan = FaultPlan::none().with(ScriptedFault {
+            slot: 1,
+            kind: FaultKind::Straggler,
+            operator: Some(0),
+            severity: 0.5,
+            duration_slots: 2,
+        });
+        let clean = DesSim::new(app.clone(), Deployment::uniform(2, 2), 1.0).unwrap();
+        let faulted = DesSim::new(app, Deployment::uniform(2, 2), 1.0)
+            .unwrap()
+            .with_disturbances(plan, None, 42, 600.0);
+        // offered 180 < cap 200, but the straggler window caps op 0 at 100
+        let a = clean.run(&[180.0], 1800.0, 100.0);
+        let b = faulted.run(&[180.0], 1800.0, 100.0);
+        assert!(
+            b.throughput < 0.9 * a.throughput,
+            "faulted {} vs clean {}",
+            b.throughput,
+            a.throughput
+        );
+        assert!(b.throughput.is_finite() && b.throughput > 0.0);
+    }
+
+    #[test]
+    fn full_crash_does_not_divide_by_zero() {
+        use crate::faults::{FaultKind, ScriptedFault};
+        let app = chain_app(100.0);
+        let plan = FaultPlan::none().with(ScriptedFault {
+            slot: 0,
+            kind: FaultKind::PodCrash,
+            operator: Some(0),
+            severity: 1.0,
+            duration_slots: 1,
+        });
+        let des = DesSim::new(app, Deployment::uniform(2, 1), 1.0)
+            .unwrap()
+            .with_disturbances(plan, None, 7, 600.0);
+        let r = des.run(&[100.0], 600.0, 0.0);
+        assert!(r.throughput.is_finite());
+        assert!(r.backlog.iter().all(|b| b.is_finite()));
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum SimError {
     BudgetExceeded { total_pods: usize, budget: usize },
     /// An autoscaling policy failed to produce a decision.
     Policy { scheme: String, reason: String },
+    /// A reconfiguration (checkpoint stop-and-resume) attempt failed —
+    /// an injected fault, not a validation error. The deployment is left
+    /// unchanged; the harness retries with exponential backoff instead of
+    /// aborting the run.
+    ReconfigFailed { slot: usize },
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +45,12 @@ impl fmt::Display for SimError {
             }
             SimError::Policy { scheme, reason } => {
                 write!(f, "policy {scheme:?} failed: {reason}")
+            }
+            SimError::ReconfigFailed { slot } => {
+                write!(
+                    f,
+                    "reconfiguration failed at slot {slot} (checkpoint-restore fault)"
+                )
             }
         }
     }

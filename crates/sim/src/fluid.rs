@@ -24,6 +24,7 @@
 use crate::capacity::Application;
 use crate::cluster::{ClusterConfig, CostMeter, Deployment};
 use crate::error::SimError;
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultState, MetricFault, ReconfigFault};
 use crate::metrics::{OperatorMetrics, SlotMetrics};
 use crate::noise::{NoiseConfig, Rng};
 use dragster_dag::ComponentKind;
@@ -76,6 +77,18 @@ pub struct FluidSim {
     slot_counter: usize,
     /// Pause owed at the start of the next slot (set by `reconfigure`).
     pending_pause_secs: f64,
+    /// Experiment seed (kept so `with_faults` can derive the fault stream).
+    seed: u64,
+    /// The chaos layer: scripted + stochastic faults on a dedicated RNG
+    /// stream (legacy `NoiseConfig::failures` draws here too, so the main
+    /// noise stream is untouched by the failure path).
+    faults: FaultState,
+    /// Fate of the next `reconfigure` call, set each slot by the fault
+    /// layer and consumed by `reconfigure`.
+    pending_reconfig_fault: ReconfigFault,
+    /// Previous slot's clean per-operator metrics — what a stale monitor
+    /// re-serves.
+    prev_operators: Option<Vec<OperatorMetrics>>,
     /// Whether each operator is fed directly by a source (ingestion tier).
     source_fed: Vec<bool>,
     /// `routing[id][e]`: predecessor slot that flow along `succs[e]` of
@@ -139,6 +152,7 @@ impl FluidSim {
                 }
             }
         }
+        let faults = FaultState::new(FaultPlan::none(), noise.failures, seed);
         Ok(FluidSim {
             app,
             cluster,
@@ -151,12 +165,32 @@ impl FluidSim {
             time_secs: 0.0,
             slot_counter: 0,
             pending_pause_secs: 0.0,
+            seed,
+            faults,
+            pending_reconfig_fault: ReconfigFault::None,
+            prev_operators: None,
             source_fed,
             routing,
             cap_of,
             total_processed: 0.0,
             total_dropped: 0.0,
         })
+    }
+
+    /// Attach a fault plan (chaos layer). Replaces any previous plan; the
+    /// legacy [`NoiseConfig::failures`] model keeps drawing on the same
+    /// dedicated fault stream. Call before the first slot — attaching
+    /// mid-run restarts the fault stream.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> FluidSim {
+        self.faults = FaultState::new(plan, self.noise.failures, self.seed);
+        self
+    }
+
+    /// Fault events recorded since the last drain (the harness folds these
+    /// into the [`Trace`](crate::harness::Trace)).
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.faults.drain_events()
     }
 
     /// The application (ground truth).
@@ -223,8 +257,36 @@ impl FluidSim {
             });
         }
         if target != self.deployment {
-            self.deployment = target;
-            self.pending_pause_secs = self.cluster.reconfig_pause_secs;
+            // An actual deployment change goes through checkpoint
+            // stop-and-resume — the step the chaos layer can break.
+            match std::mem::take(&mut self.pending_reconfig_fault) {
+                ReconfigFault::Fail => {
+                    let slot = self.slot_counter.saturating_sub(1);
+                    self.faults.record_event(FaultEvent {
+                        slot,
+                        kind: FaultKind::ReconfigFail,
+                        operator: None,
+                        severity: 1.0,
+                    });
+                    // Deployment held (last known good); the harness
+                    // retries with backoff instead of aborting.
+                    return Err(SimError::ReconfigFailed { slot });
+                }
+                ReconfigFault::Slow { factor } => {
+                    self.faults.record_event(FaultEvent {
+                        slot: self.slot_counter.saturating_sub(1),
+                        kind: FaultKind::ReconfigSlow,
+                        operator: None,
+                        severity: factor,
+                    });
+                    self.deployment = target;
+                    self.pending_pause_secs = self.cluster.reconfig_pause_secs * factor.max(1.0);
+                }
+                ReconfigFault::None => {
+                    self.deployment = target;
+                    self.pending_pause_secs = self.cluster.reconfig_pause_secs;
+                }
+            }
         }
         Ok(())
     }
@@ -251,6 +313,15 @@ impl FluidSim {
         let slot_secs = self.sim.slot_secs;
         let tick = self.sim.tick_secs;
         let pods = self.deployment.total_pods();
+
+        // Chaos layer: this slot's fault realization, drawn on the
+        // dedicated fault stream (an inert plan leaves the run untouched).
+        let slot_faults = self
+            .faults
+            .begin_slot(self.slot_counter, self.app.n_operators());
+        // The reconfiguration attempted at the end of this slot inherits
+        // the slot's reconfig fate.
+        self.pending_reconfig_fault = slot_faults.reconfig;
 
         // Checkpoint pause: nothing processes, sources keep producing into
         // the first operators' buffers, pods keep costing.
@@ -286,12 +357,15 @@ impl FluidSim {
         let dt = active_secs / n_ticks as f64;
 
         let mut true_caps = self.app.true_capacities(&self.deployment.tasks);
-        // Transient failures strike for the whole slot (pod restart time ≈
-        // slot scale); the controller only sees the degraded metrics.
-        if let Some(fm) = self.noise.failures {
-            for c in true_caps.iter_mut() {
-                *c *= fm.sample_multiplier(&mut self.rng);
-            }
+        // Faults strike for the whole slot (pod restart time ≈ slot
+        // scale); the controller only sees the degraded metrics. Legacy
+        // `NoiseConfig::failures` and plan-driven crashes/stragglers both
+        // arrive through the same multiplier vector.
+        for (c, mult) in true_caps
+            .iter_mut()
+            .zip(slot_faults.capacity_multiplier.iter())
+        {
+            *c *= mult;
         }
 
         for _ in 0..n_ticks {
@@ -331,7 +405,7 @@ impl FluidSim {
         self.total_processed += sink_tuples;
         self.total_dropped += dropped;
 
-        let operators: Vec<OperatorMetrics> = (0..m)
+        let mut operators: Vec<OperatorMetrics> = (0..m)
             .map(|i| {
                 let out_rate = acc_output[i] / active_secs;
                 let true_util = (acc_util[i] / active_secs).clamp(0.0, 1.0);
@@ -370,9 +444,50 @@ impl FluidSim {
                         0.0
                     },
                     backpressure: buffer_grew || overflowed,
+                    degraded: false,
                 }
             })
             .collect();
+
+        // Metric-fault overlay: the simulation above is ground truth; the
+        // *observation* handed to autoscalers is what degrades. The clean
+        // snapshot is cached first so a stale monitor re-serves last
+        // slot's true reading (never a NaN chain).
+        let clean_snapshot = operators.clone();
+        for (i, om) in operators.iter_mut().enumerate() {
+            match slot_faults.metric[i] {
+                MetricFault::None => {}
+                MetricFault::Dropout => {
+                    // Scrape failed: Metrics-Server fields read NaN and the
+                    // monitor knows it (degraded flag).
+                    om.cpu_util = f64::NAN;
+                    om.capacity_sample = f64::NAN;
+                    om.degraded = true;
+                }
+                MetricFault::Stale => match self.prev_operators.as_ref() {
+                    Some(prev) if i < prev.len() => {
+                        *om = prev[i].clone();
+                        om.degraded = true;
+                    }
+                    _ => {
+                        // No previous snapshot (slot 0): behaves as dropout.
+                        om.cpu_util = f64::NAN;
+                        om.capacity_sample = f64::NAN;
+                        om.degraded = true;
+                    }
+                },
+                MetricFault::Corrupt { factor } => {
+                    // Silent corruption: the monitor does NOT flag it; the
+                    // sanitizer must catch the NaN / wild value.
+                    om.capacity_sample = if factor > 0.0 {
+                        om.capacity_sample * factor
+                    } else {
+                        f64::NAN
+                    };
+                }
+            }
+        }
+        self.prev_operators = Some(clean_snapshot);
 
         let slot_cost = pods as f64 * slot_secs / 3600.0 * self.cluster.cost_per_pod_hour;
         self.slot_counter += 1;
@@ -462,10 +577,14 @@ impl FluidSim {
                     let work = fresh_total + backlog_rate;
                     let cap = eff_caps[ci];
                     let processed = work.min(cap);
+                    // A fully-failed operator (capacity 0, e.g. a pod
+                    // crash) burns no CPU: its true utilization is 0, not
+                    // 1 — the genuine-zero reading the controller needs to
+                    // see the failure.
                     let util = if cap > 0.0 {
                         (work / cap).min(1.0)
                     } else {
-                        1.0
+                        0.0
                     };
                     // Per-edge emission: respect the α capacity split of
                     // Eq. 4 but never emit more than the work available for

@@ -4,8 +4,10 @@
 
 use crate::cluster::Deployment;
 use crate::error::SimError;
+use crate::faults::FaultEvent;
 use crate::fluid::FluidSim;
 use crate::metrics::SlotMetrics;
+use crate::sanitize::{MetricSanitizer, SanitizeConfig};
 use serde::{Deserialize, Serialize};
 
 /// Time-varying offered load: rates per source for decision slot `t`.
@@ -51,7 +53,7 @@ pub trait Autoscaler {
 }
 
 /// Full record of one experiment run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     pub scheme: String,
     pub slots: Vec<SlotMetrics>,
@@ -62,6 +64,18 @@ pub struct Trace {
     /// for the "within 10 % of optimal" convergence criterion — not
     /// visible to autoscalers.
     pub ideal_throughput: Vec<f64>,
+    /// Every fault the chaos layer injected during the run, in slot order.
+    /// Empty for unfaulted runs, so legacy traces deserialize unchanged.
+    #[serde(default)]
+    pub fault_events: Vec<FaultEvent>,
+    /// Reconfiguration attempts that failed (checkpoint-restore faults the
+    /// retry loop absorbed).
+    #[serde(default)]
+    pub reconfig_failures: usize,
+    /// Slots during which the harness held the last-known-good deployment
+    /// because the retry backoff had not yet elapsed.
+    #[serde(default)]
+    pub held_slots: usize,
 }
 
 impl Trace {
@@ -166,34 +180,120 @@ impl Trace {
     }
 }
 
-/// Run one experiment: `slots` decision slots of Algorithm 1. The scaler's
-/// proposal is clamped to the task range; a proposal violating the pod
-/// budget is projected by decrementing the largest allocations first
-/// (mirroring how HPA would refuse to scale past quota).
+/// Retry policy for failed reconfigurations: exponential backoff measured
+/// in decision slots. After the `k`-th consecutive failure the harness
+/// waits `min(base_backoff_slots × 2^(k−1), max_backoff_slots)` slots
+/// before re-attempting, holding the last-known-good deployment meanwhile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Backoff after the first failure (slots). Values < 1 behave as 1.
+    pub base_backoff_slots: usize,
+    /// Backoff ceiling (slots).
+    pub max_backoff_slots: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff_slots: 1,
+            max_backoff_slots: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff (in slots) after `consecutive_failures ≥ 1` failures.
+    pub fn backoff_slots(&self, consecutive_failures: usize) -> usize {
+        let k = consecutive_failures.max(1);
+        let shifted = self.base_backoff_slots << (k - 1).min(10);
+        shifted.min(self.max_backoff_slots).max(1)
+    }
+}
+
+/// Harness knobs for [`run_experiment_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOptions {
+    /// Retry-with-backoff for failed reconfigurations.
+    pub retry: RetryPolicy,
+    /// Metric sanitization applied before any autoscaler sees a snapshot.
+    pub sanitize: SanitizeConfig,
+}
+
+/// Run one experiment: `slots` decision slots of Algorithm 1 with default
+/// [`ExperimentOptions`]. The scaler's proposal is clamped to the task
+/// range; a proposal violating the pod budget is projected by decrementing
+/// the largest allocations first (mirroring how HPA would refuse to scale
+/// past quota).
 /// # Errors
-/// Any [`SimError`] raised by the oracle, the policy, or reconfiguration;
-/// the trace accumulated so far is dropped with the error.
+/// Any [`SimError`] raised by the oracle, the policy, or reconfiguration
+/// validation; the trace accumulated so far is dropped with the error.
+/// Injected reconfiguration *faults* ([`SimError::ReconfigFailed`]) are
+/// absorbed by the retry loop and never surface here.
 pub fn run_experiment(
     sim: &mut FluidSim,
     scaler: &mut dyn Autoscaler,
     arrivals: &mut dyn ArrivalProcess,
     slots: usize,
 ) -> Result<Trace, SimError> {
+    run_experiment_with(sim, scaler, arrivals, slots, ExperimentOptions::default())
+}
+
+/// [`run_experiment`] with explicit [`ExperimentOptions`].
+///
+/// Degradation policy (graceful, never aborting on injected faults):
+///
+/// 1. every raw snapshot passes through a [`MetricSanitizer`] before the
+///    autoscaler (and the trace) sees it — faulted traces never contain a
+///    NaN or negative metric;
+/// 2. a failed reconfiguration ([`SimError::ReconfigFailed`]) leaves the
+///    simulator on its last-known-good deployment; the harness counts the
+///    failure, backs off exponentially ([`RetryPolicy`]), and re-proposes
+///    once the backoff elapses instead of aborting the run;
+/// 3. fault events drained from the engine are appended to
+///    [`Trace::fault_events`] so recovery analysis can line dips up with
+///    their causes.
+///
+/// # Errors
+/// Any non-fault [`SimError`] raised by the oracle, the policy, or
+/// reconfiguration validation.
+pub fn run_experiment_with(
+    sim: &mut FluidSim,
+    scaler: &mut dyn Autoscaler,
+    arrivals: &mut dyn ArrivalProcess,
+    slots: usize,
+    opts: ExperimentOptions,
+) -> Result<Trace, SimError> {
     let mut trace = Trace {
         scheme: scaler.name(),
         ..Default::default()
     };
+    let mut sanitizer = MetricSanitizer::new(opts.sanitize);
+    let mut consecutive_failures = 0usize;
+    let mut next_attempt = 0usize;
     for t in 0..slots {
         let rates = arrivals.rates(t);
         trace.deployments.push(sim.deployment().clone());
         trace.ideal_throughput.push(sim.ideal_throughput(&rates)?);
-        let metrics = sim.run_slot(&rates);
+        let metrics = sanitizer.sanitize(sim.run_slot(&rates));
         let proposal = scaler.decide(t, &metrics, sim.deployment())?;
         let feasible = project_to_budget(
             proposal.clamped(sim.cluster().max_tasks_per_operator),
             sim.cluster().budget_pods,
         );
-        sim.reconfigure(feasible)?;
+        if t >= next_attempt {
+            match sim.reconfigure(feasible) {
+                Ok(()) => consecutive_failures = 0,
+                Err(SimError::ReconfigFailed { .. }) => {
+                    consecutive_failures += 1;
+                    trace.reconfig_failures += 1;
+                    next_attempt = t + opts.retry.backoff_slots(consecutive_failures);
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            trace.held_slots += 1;
+        }
+        trace.fault_events.extend(sim.drain_fault_events());
         trace.slots.push(metrics);
     }
     Ok(trace)
@@ -392,6 +492,101 @@ mod tests {
         assert!(trace.max_latency_estimate(0..6) >= 0.0);
         // empty ranges are safe
         assert_eq!(trace.mean_pods(3..3), 0.0);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_slots(1), 1);
+        assert_eq!(p.backoff_slots(2), 2);
+        assert_eq!(p.backoff_slots(3), 4);
+        assert_eq!(p.backoff_slots(4), 8);
+        assert_eq!(p.backoff_slots(5), 8); // capped
+        assert_eq!(p.backoff_slots(60), 8); // shift is clamped, no overflow
+        let never_zero = RetryPolicy {
+            base_backoff_slots: 0,
+            max_backoff_slots: 4,
+        };
+        assert_eq!(never_zero.backoff_slots(1), 1);
+    }
+
+    #[test]
+    fn reconfig_fault_is_retried_not_fatal() {
+        use crate::faults::{FaultKind, FaultPlan, ScriptedFault};
+        let plan = FaultPlan::none().with(ScriptedFault {
+            slot: 1,
+            kind: FaultKind::ReconfigFail,
+            operator: None,
+            severity: 1.0,
+            duration_slots: 1,
+        });
+        let mut sim = make_sim(None).with_faults(plan);
+        let mut arr = ConstantArrival(vec![900.0]);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 6).unwrap();
+        assert_eq!(trace.len(), 6, "run must complete despite the fault");
+        assert_eq!(trace.reconfig_failures, 1);
+        // slot 1's upscale was rejected: the deployment in effect during
+        // slot 2 is still slot 1's (last-known-good held) …
+        assert_eq!(trace.deployments[2], trace.deployments[1]);
+        // … and the retry landed: later slots scale up again.
+        assert!(trace.deployments[5].total_pods() > trace.deployments[2].total_pods());
+        assert!(trace
+            .fault_events
+            .iter()
+            .any(|e| e.kind == FaultKind::ReconfigFail));
+    }
+
+    #[test]
+    fn persistent_reconfig_faults_back_off() {
+        use crate::faults::{FaultKind, FaultPlan, FaultRates, ScriptedFault};
+        // every reconfiguration attempt fails for the whole run
+        let plan = FaultPlan {
+            scripted: vec![ScriptedFault {
+                slot: 0,
+                kind: FaultKind::ReconfigFail,
+                operator: None,
+                severity: 1.0,
+                duration_slots: 40,
+            }],
+            rates: FaultRates::default(),
+        };
+        let mut sim = make_sim(None).with_faults(plan);
+        let mut arr = ConstantArrival(vec![900.0]);
+        let trace = run_experiment(&mut sim, &mut GreedyUp, &mut arr, 16).unwrap();
+        assert_eq!(trace.len(), 16);
+        // attempts at t = 0, 1, 3, 7, 15 (backoff 1, 2, 4, 8, 8): 5 failures
+        assert_eq!(trace.reconfig_failures, 5);
+        assert_eq!(trace.held_slots, 16 - 5);
+        // deployment never moved off the initial last-known-good
+        assert!(trace.deployments.iter().all(|d| d.tasks == vec![1, 1]));
+    }
+
+    #[test]
+    fn sanitized_metrics_reach_scaler_and_trace() {
+        use crate::faults::{FaultPlan, FaultRates};
+        let plan = FaultPlan {
+            scripted: vec![],
+            rates: FaultRates {
+                metric_dropout_prob: 0.5,
+                ..Default::default()
+            },
+        };
+        let mut sim = make_sim(None).with_faults(plan);
+        let mut arr = ConstantArrival(vec![250.0]);
+        let trace = run_experiment(&mut sim, &mut Static, &mut arr, 10).unwrap();
+        let degraded = trace
+            .slots
+            .iter()
+            .flat_map(|s| &s.operators)
+            .filter(|o| o.degraded)
+            .count();
+        assert!(degraded > 0, "dropouts must surface as degraded readings");
+        for s in &trace.slots {
+            for o in &s.operators {
+                assert!(o.cpu_util.is_finite() && o.cpu_util >= 0.0);
+                assert!(o.capacity_sample.is_finite() && o.capacity_sample >= 0.0);
+            }
+        }
     }
 
     #[test]

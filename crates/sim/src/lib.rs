@@ -29,22 +29,31 @@
 //! and overcommit degradation — Section 1's "dynamic cloud noises"),
 //! [`cluster`] (pods, budget, cost), [`harness`] (the
 //! [`harness::Autoscaler`] trait and experiment runner shared by Dragster
-//! and all baselines).
+//! and all baselines), [`faults`] (the chaos layer: scripted and stochastic
+//! fault plans shared by both engines), [`sanitize`] (the metric
+//! sanitization applied before any autoscaler sees a snapshot).
 
 pub mod capacity;
 pub mod cluster;
 pub mod des;
 pub mod error;
+pub mod faults;
 pub mod fluid;
 pub mod harness;
 pub mod metrics;
 pub mod noise;
+pub mod sanitize;
 
 pub use capacity::{Application, CapacityModel};
 pub use cluster::{ClusterConfig, CostMeter, Deployment};
 pub use des::DesSim;
 pub use error::SimError;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates, FaultState, ScriptedFault};
 pub use fluid::FluidSim;
-pub use harness::{run_experiment, ArrivalProcess, Autoscaler, ConstantArrival, Trace};
+pub use harness::{
+    run_experiment, run_experiment_with, ArrivalProcess, Autoscaler, ConstantArrival,
+    ExperimentOptions, RetryPolicy, Trace,
+};
 pub use metrics::{OperatorMetrics, SlotMetrics};
 pub use noise::{FailureModel, NoiseConfig, OvercommitModel, Rng};
+pub use sanitize::{MetricSanitizer, SanitizeConfig};

@@ -41,6 +41,13 @@ pub struct OperatorMetrics {
     /// Backpressure symptom: the operator ran saturated or its buffer grew
     /// during the slot (what Dhalion keys on).
     pub backpressure: bool,
+    /// The reading is known-degraded: the metrics scrape dropped out or
+    /// served a stale snapshot (the monitor *knows* this — a failed scrape
+    /// is observable), or the sanitizer imputed/clamped a corrupt value.
+    /// Degraded observations must not enter GP posteriors or selectivity
+    /// estimates.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// One decision-slot snapshot of the whole application.
@@ -121,6 +128,7 @@ mod tests {
             buffer_tuples: 5.0,
             latency_estimate_secs: 5.0 / 9.0,
             backpressure: bp,
+            degraded: false,
         }
     }
 

@@ -186,9 +186,16 @@ impl NoiseConfig {
     }
 
     /// Perturb a true CPU utilization into an observed one, clamped to
-    /// `(0.01, 1.0]` (a Metrics-Server reading is always positive and a
-    /// single pod cannot report > 100 %).
+    /// `(0.01, 1.0]` (a Metrics-Server reading from a *live* pod is always
+    /// positive and a single pod cannot report > 100 %). A true utilization
+    /// of exactly 0 means the operator is down — no pod is burning CPU —
+    /// and the reading is a genuine 0, not clamped up to 0.01: hiding a
+    /// fully-failed operator behind the clamp would blind the controller
+    /// to the failure.
     pub fn observe_cpu(&self, rng: &mut Rng, true_util: f64) -> f64 {
+        if true_util <= 0.0 {
+            return 0.0;
+        }
         if self.cpu_observation_std == 0.0 {
             return true_util.clamp(0.01, 1.0);
         }
@@ -277,6 +284,23 @@ mod tests {
         let mut r = Rng::new(0);
         assert_eq!(cfg.capacity_multiplier(&mut r, 0.99), 1.0);
         assert_eq!(cfg.observe_cpu(&mut r, 0.5), 0.5);
+    }
+
+    #[test]
+    fn down_operator_reads_genuine_zero() {
+        // Regression: the (0.01, 1.0] clamp used to hide a fully-failed
+        // operator (true util 0) from the controller.
+        let noisy = NoiseConfig {
+            cpu_observation_std: 0.2,
+            ..Default::default()
+        };
+        let mut r = Rng::new(17);
+        assert_eq!(noisy.observe_cpu(&mut r, 0.0), 0.0);
+        assert_eq!(NoiseConfig::none().observe_cpu(&mut r, 0.0), 0.0);
+        // live operators still never read 0
+        for _ in 0..1000 {
+            assert!(noisy.observe_cpu(&mut r, 0.005) >= 0.01);
+        }
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Metric sanitization — the harness-side defense between the (possibly
+//! faulted) Job Monitor and every autoscaler.
+//!
+//! The chaos layer ([`faults`](crate::faults)) can hand the controller NaN
+//! readings (scrape dropouts), stale snapshots, and silently corrupted
+//! capacity samples. Feeding those into a GP posterior or the saddle-point
+//! iterates poisons every subsequent decision, so the harness passes each
+//! [`SlotMetrics`] through a [`MetricSanitizer`] before any
+//! [`Autoscaler`](crate::harness::Autoscaler) sees it:
+//!
+//! * **impute** — non-finite or negative readings are replaced with the
+//!   operator's last valid reading (zero before any valid reading exists)
+//!   and the operator is flagged [`degraded`](OperatorMetrics::degraded);
+//! * **clamp** — a finite capacity sample wildly above the operator's
+//!   running per-task maximum (silent corruption) is clamped to that
+//!   maximum and flagged;
+//! * **discard** — stale snapshots arrive already flagged by the monitor
+//!   and simply stay flagged, which keeps them out of GP updates
+//!   downstream (the controller skips degraded operators).
+//!
+//! On a clean run the sanitizer is the identity, so traces with an inert
+//! fault plan stay bit-identical to unfaulted runs.
+
+use crate::metrics::{OperatorMetrics, SlotMetrics};
+use serde::{Deserialize, Serialize};
+
+/// Sanitizer knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeConfig {
+    /// A capacity sample whose per-task value exceeds `spike_factor` × the
+    /// running per-task maximum of accepted samples is treated as corrupt
+    /// and clamped.
+    pub spike_factor: f64,
+    /// Number of accepted samples per operator before spike clamping
+    /// activates (the running maximum needs history to be meaningful).
+    pub min_history: usize,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        SanitizeConfig {
+            spike_factor: 10.0,
+            min_history: 3,
+        }
+    }
+}
+
+/// Stateful per-run sanitizer (one per experiment; keyed by operator
+/// index).
+#[derive(Clone, Debug)]
+pub struct MetricSanitizer {
+    cfg: SanitizeConfig,
+    /// Last clean (non-degraded) reading per operator.
+    last_valid: Vec<Option<OperatorMetrics>>,
+    /// Running max of accepted per-task capacity samples.
+    per_task_max: Vec<f64>,
+    /// Accepted-sample count per operator.
+    accepted: Vec<usize>,
+}
+
+/// `v` if it is a usable reading (finite, non-negative), else `fallback`.
+fn repair(v: f64, fallback: f64) -> f64 {
+    if v.is_finite() && v >= 0.0 {
+        v
+    } else {
+        fallback
+    }
+}
+
+impl MetricSanitizer {
+    pub fn new(cfg: SanitizeConfig) -> MetricSanitizer {
+        MetricSanitizer {
+            cfg,
+            last_valid: Vec::new(),
+            per_task_max: Vec::new(),
+            accepted: Vec::new(),
+        }
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.last_valid.len() < n {
+            self.last_valid.resize(n, None);
+            self.per_task_max.resize(n, 0.0);
+            self.accepted.resize(n, 0);
+        }
+    }
+
+    /// Sanitize one slot snapshot. Clean inputs pass through unchanged
+    /// (bit-identical); faulted fields are imputed/clamped and flagged.
+    /// The returned snapshot never contains a NaN or negative metric.
+    pub fn sanitize(&mut self, mut m: SlotMetrics) -> SlotMetrics {
+        self.ensure_capacity(m.operators.len());
+        for (i, om) in m.operators.iter_mut().enumerate() {
+            let unusable = !om.cpu_util.is_finite()
+                || om.cpu_util < 0.0
+                || !om.capacity_sample.is_finite()
+                || om.capacity_sample < 0.0
+                || !om.input_rate.is_finite()
+                || om.input_rate < 0.0
+                || !om.output_rate.is_finite()
+                || om.output_rate < 0.0
+                || !om.offered_load.is_finite()
+                || om.offered_load < 0.0
+                || !om.buffer_tuples.is_finite()
+                || om.buffer_tuples < 0.0
+                || !om.latency_estimate_secs.is_finite()
+                || om.latency_estimate_secs < 0.0
+                || om.input_rates.iter().any(|r| !r.is_finite() || *r < 0.0);
+            if unusable {
+                // Impute every bad field from the last valid reading.
+                let prev = self.last_valid[i].clone();
+                let fb = |f: fn(&OperatorMetrics) -> f64| prev.as_ref().map_or(0.0, f);
+                om.cpu_util = repair(om.cpu_util, fb(|p| p.cpu_util));
+                om.capacity_sample = repair(om.capacity_sample, fb(|p| p.capacity_sample));
+                om.input_rate = repair(om.input_rate, fb(|p| p.input_rate));
+                om.output_rate = repair(om.output_rate, fb(|p| p.output_rate));
+                om.offered_load = repair(om.offered_load, fb(|p| p.offered_load));
+                om.buffer_tuples = repair(om.buffer_tuples, fb(|p| p.buffer_tuples));
+                om.latency_estimate_secs =
+                    repair(om.latency_estimate_secs, fb(|p| p.latency_estimate_secs));
+                for (k, r) in om.input_rates.iter_mut().enumerate() {
+                    let prev_r = prev
+                        .as_ref()
+                        .and_then(|p| p.input_rates.get(k).copied())
+                        .unwrap_or(0.0);
+                    *r = repair(*r, prev_r);
+                }
+                om.degraded = true;
+            }
+            // Spike clamp: silent corruption produces finite but absurd
+            // capacity samples. Per-task normalization keeps legitimate
+            // scale-ups (1 task → 10 tasks) from tripping the detector.
+            let tasks = om.tasks.max(1) as f64;
+            let per_task = om.capacity_sample / tasks;
+            if self.accepted[i] >= self.cfg.min_history
+                && self.per_task_max[i] > 0.0
+                && per_task > self.cfg.spike_factor * self.per_task_max[i]
+            {
+                om.capacity_sample = self.per_task_max[i] * tasks;
+                om.degraded = true;
+            }
+            // Clean readings extend the history; degraded ones never do.
+            if !om.degraded {
+                if per_task > self.per_task_max[i] {
+                    self.per_task_max[i] = per_task;
+                }
+                self.accepted[i] += 1;
+                self.last_valid[i] = Some(om.clone());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(cap: f64, util: f64) -> OperatorMetrics {
+        OperatorMetrics {
+            name: "op".into(),
+            tasks: 2,
+            input_rate: 100.0,
+            input_rates: vec![100.0],
+            output_rate: 90.0,
+            offered_load: 100.0,
+            cpu_util: util,
+            capacity_sample: cap,
+            buffer_tuples: 0.0,
+            latency_estimate_secs: 0.0,
+            backpressure: false,
+            degraded: false,
+        }
+    }
+
+    fn slot(ops: Vec<OperatorMetrics>) -> SlotMetrics {
+        SlotMetrics {
+            t: 0,
+            sim_time_secs: 600.0,
+            throughput: 90.0,
+            processed_tuples: 54_000.0,
+            dropped_tuples: 0.0,
+            cost_dollars: 0.05,
+            pods: 2,
+            source_rates: vec![100.0],
+            reconfigured: false,
+            pause_secs: 0.0,
+            operators: ops,
+        }
+    }
+
+    #[test]
+    fn clean_input_is_identity() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        let m = slot(vec![op(200.0, 0.5)]);
+        let out = s.sanitize(m.clone());
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn nan_dropout_imputed_from_last_valid() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        let _ = s.sanitize(slot(vec![op(200.0, 0.5)]));
+        let out = s.sanitize(slot(vec![op(f64::NAN, f64::NAN)]));
+        let o = &out.operators[0];
+        assert_eq!(o.capacity_sample, 200.0);
+        assert_eq!(o.cpu_util, 0.5);
+        assert!(o.degraded);
+    }
+
+    #[test]
+    fn nan_before_any_history_becomes_zero() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        let out = s.sanitize(slot(vec![op(f64::NAN, 0.5)]));
+        let o = &out.operators[0];
+        assert_eq!(o.capacity_sample, 0.0);
+        assert!(o.degraded);
+    }
+
+    #[test]
+    fn negative_reading_is_repaired() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        let _ = s.sanitize(slot(vec![op(150.0, 0.6)]));
+        let mut bad = op(-3.0, 0.6);
+        bad.output_rate = -1.0;
+        let out = s.sanitize(slot(vec![bad]));
+        let o = &out.operators[0];
+        assert_eq!(o.capacity_sample, 150.0);
+        assert_eq!(o.output_rate, 90.0);
+        assert!(o.degraded);
+    }
+
+    #[test]
+    fn corrupt_spike_clamped_after_history() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        for _ in 0..3 {
+            let _ = s.sanitize(slot(vec![op(200.0, 0.5)]));
+        }
+        // 50× the per-task max: silent corruption, must be clamped
+        let out = s.sanitize(slot(vec![op(200.0 * 50.0, 0.5)]));
+        let o = &out.operators[0];
+        assert_eq!(o.capacity_sample, 200.0);
+        assert!(o.degraded);
+    }
+
+    #[test]
+    fn legitimate_scale_up_not_clamped() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        for _ in 0..4 {
+            let _ = s.sanitize(slot(vec![op(200.0, 0.5)])); // 2 tasks
+        }
+        // 10 tasks at the same per-task capacity: 5× total, per-task 1×
+        let mut big = op(1000.0, 0.5);
+        big.tasks = 10;
+        let out = s.sanitize(slot(vec![big]));
+        assert!(!out.operators[0].degraded);
+        assert_eq!(out.operators[0].capacity_sample, 1000.0);
+    }
+
+    #[test]
+    fn spike_before_history_passes_and_seeds_nothing_bad() {
+        // Under min_history the detector stays off (cold start is noisy);
+        // the wild value is accepted into history but later real samples
+        // keep the run usable.
+        let cfg = SanitizeConfig {
+            min_history: 2,
+            ..Default::default()
+        };
+        let mut s = MetricSanitizer::new(cfg);
+        let first = s.sanitize(slot(vec![op(300.0, 0.5)]));
+        assert!(!first.operators[0].degraded);
+    }
+
+    #[test]
+    fn degraded_readings_never_extend_history() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        for _ in 0..3 {
+            let _ = s.sanitize(slot(vec![op(100.0, 0.5)]));
+        }
+        // corrupt sample is clamped and must not raise the running max
+        let _ = s.sanitize(slot(vec![op(100.0 * 100.0, 0.5)]));
+        let out = s.sanitize(slot(vec![op(100.0 * 100.0, 0.5)]));
+        assert_eq!(out.operators[0].capacity_sample, 100.0);
+    }
+
+    #[test]
+    fn stale_flag_is_preserved() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        let mut stale = op(200.0, 0.5);
+        stale.degraded = true; // the monitor flagged a stale snapshot
+        let out = s.sanitize(slot(vec![stale]));
+        assert!(out.operators[0].degraded);
+        // and it did not enter the history
+        let out2 = s.sanitize(slot(vec![op(f64::NAN, 0.5)]));
+        assert_eq!(out2.operators[0].capacity_sample, 0.0);
+    }
+}

@@ -14,7 +14,13 @@
 //! * [`dag`] — the stream-processing DAG model: throughput functions
 //!   (Eq. 2a–2c), capacity splitting, flow propagation (Eq. 4).
 //! * [`sim`] — fluid + discrete-event simulators with a Kubernetes-like
-//!   cluster/cost model — the Flink-on-K8s testbed substitute.
+//!   cluster/cost model — the Flink-on-K8s testbed substitute, including
+//!   the chaos layer ([`sim::faults`]) and metric sanitization
+//!   ([`sim::sanitize`]). The fault surface is re-exported at the crate
+//!   root: [`FaultPlan`] scripts deterministic fault scenarios,
+//!   [`FaultEvent`] records what fired, [`SanitizeConfig`] tunes the
+//!   harness-side metric repair, and [`RetryPolicy`] bounds the
+//!   reconfiguration retry backoff.
 //! * [`core`] — the Dragster controller: online saddle point (Eq. 13–15),
 //!   online gradient descent (Eq. 16), extended GP-UCB (Eq. 18), budget
 //!   projection, regret/fit accounting.
@@ -33,3 +39,8 @@ pub use dragster_dag as dag;
 pub use dragster_gp as gp;
 pub use dragster_sim as sim;
 pub use dragster_workloads as workloads;
+
+pub use dragster_sim::{
+    ExperimentOptions, FaultEvent, FaultKind, FaultPlan, FaultRates, MetricSanitizer, RetryPolicy,
+    SanitizeConfig, ScriptedFault,
+};

@@ -1,0 +1,160 @@
+//! Chaos-layer properties at the system level: determinism of faulted
+//! runs, sanitizer guarantees on the recorded trace, and graceful
+//! degradation of the harness under injected reconfiguration failures.
+
+use dragster::core::{Dragster, DragsterConfig};
+use dragster::sim::faults::{FaultKind, FaultPlan, FaultRates, ScriptedFault};
+use dragster::sim::fluid::SimConfig;
+use dragster::sim::{
+    run_experiment, ClusterConfig, ConstantArrival, Deployment, FluidSim, NoiseConfig, Trace,
+};
+use dragster::workloads::word_count;
+
+fn stochastic_plan() -> FaultPlan {
+    FaultPlan {
+        scripted: vec![],
+        rates: FaultRates {
+            pod_crash_prob: 0.08,
+            straggler_prob: 0.1,
+            reconfig_fail_prob: 0.15,
+            metric_dropout_prob: 0.15,
+            metric_stale_prob: 0.1,
+            metric_corrupt_prob: 0.1,
+            metric_corrupt_factor: 30.0,
+            ..Default::default()
+        },
+    }
+}
+
+fn run_faulted(plan: Option<FaultPlan>, seed: u64, slots: usize) -> Trace {
+    let w = word_count().unwrap();
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        seed,
+        Deployment::uniform(2, 1),
+    )
+    .unwrap();
+    if let Some(p) = plan {
+        sim = sim.with_faults(p);
+    }
+    let mut scaler = Dragster::new(w.app.topology.clone(), DragsterConfig::saddle_point());
+    let mut arr = ConstantArrival(w.high_rate.clone());
+    run_experiment(&mut sim, &mut scaler, &mut arr, slots).unwrap()
+}
+
+#[test]
+fn identical_seed_and_plan_give_bit_identical_traces() {
+    for seed in [1, 7, 23, 1234] {
+        let a = run_faulted(Some(stochastic_plan()), seed, 12);
+        let b = run_faulted(Some(stochastic_plan()), seed, 12);
+        assert_eq!(a, b, "seed {seed}: faulted runs must be reproducible");
+        assert!(
+            !a.fault_events.is_empty(),
+            "seed {seed}: the stochastic plan should actually fire"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_fault_realizations() {
+    let a = run_faulted(Some(stochastic_plan()), 1, 12);
+    let b = run_faulted(Some(stochastic_plan()), 2, 12);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn faulted_traces_never_record_nan_or_negative_metrics() {
+    // The engine injects NaN (dropouts, corrupt-with-factor-0 samples),
+    // but the harness stores *sanitized* snapshots: whatever the chaos
+    // layer does, no recorded metric may be NaN or negative.
+    for seed in [3, 9, 41] {
+        let trace = run_faulted(Some(stochastic_plan()), seed, 15);
+        for s in &trace.slots {
+            assert!(s.throughput.is_finite() && s.throughput >= 0.0);
+            for o in &s.operators {
+                for (label, v) in [
+                    ("cpu_util", o.cpu_util),
+                    ("capacity_sample", o.capacity_sample),
+                    ("input_rate", o.input_rate),
+                    ("output_rate", o.output_rate),
+                    ("offered_load", o.offered_load),
+                    ("buffer_tuples", o.buffer_tuples),
+                    ("latency", o.latency_estimate_secs),
+                ] {
+                    assert!(
+                        v.is_finite() && v >= 0.0,
+                        "seed {seed} slot {} op {}: {label} = {v}",
+                        s.t,
+                        o.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_probability_plan_is_identical_to_no_plan() {
+    // A plan whose every rate is zero must not perturb the run at all:
+    // the fault stream is separate from the engine noise stream, so the
+    // trace is bit-identical to a run with no plan attached.
+    let with_inert = run_faulted(Some(FaultPlan::none()), 5, 10);
+    let without = run_faulted(None, 5, 10);
+    assert_eq!(with_inert, without);
+    assert!(with_inert.fault_events.is_empty());
+    assert_eq!(with_inert.reconfig_failures, 0);
+    assert_eq!(with_inert.held_slots, 0);
+}
+
+#[test]
+fn scripted_reconfig_failures_degrade_gracefully() {
+    let plan = FaultPlan::none().with(ScriptedFault {
+        slot: 2,
+        kind: FaultKind::ReconfigFail,
+        operator: None,
+        severity: 1.0,
+        duration_slots: 3,
+    });
+    let trace = run_faulted(Some(plan), 7, 12);
+    // the run completed all slots and recorded at least one absorbed fault
+    assert_eq!(trace.len(), 12);
+    assert!(
+        trace.reconfig_failures >= 1,
+        "early slots reconfigure every slot, so the window must hit"
+    );
+    assert!(trace
+        .fault_events
+        .iter()
+        .any(|e| e.kind == FaultKind::ReconfigFail));
+}
+
+#[test]
+fn scripted_crash_dips_then_recovers() {
+    let fault_slot = 8;
+    let plan = FaultPlan::none().with(ScriptedFault {
+        slot: fault_slot,
+        kind: FaultKind::PodCrash,
+        operator: Some(0),
+        severity: 1.0,
+        duration_slots: 3,
+    });
+    let trace = run_faulted(Some(plan), 11, 20);
+    let pre = trace.mean_throughput(4..fault_slot);
+    let dip = trace.slots[fault_slot].throughput;
+    let tail = trace.mean_throughput(16..20);
+    assert!(
+        dip < 0.6 * pre,
+        "crash slot should dip: {dip} vs pre-fault {pre}"
+    );
+    assert!(
+        tail > 0.8 * pre,
+        "throughput should recover: tail {tail} vs pre-fault {pre}"
+    );
+    assert!(trace
+        .fault_events
+        .iter()
+        .any(|e| e.kind == FaultKind::PodCrash && e.slot == fault_slot));
+}

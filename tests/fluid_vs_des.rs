@@ -115,6 +115,60 @@ fn des_backlog_location_matches_fluid_bottleneck() {
 }
 
 #[test]
+fn engines_agree_under_partial_capacity_fault() {
+    // The same seeded fault plan realized through both engines: a scripted
+    // cluster-wide straggler costs every operator 80 % of its capacity
+    // during slot 0 (stragglers recover on a linear ramp, so only the
+    // first slot has the full multiplier — both measurements stay inside
+    // it). Full crashes (multiplier 0) are excluded from the agreement
+    // contract: the fluid model keeps queue mass trickling while the DES
+    // pipeline stalls outright, so tolerances only hold for partial loss.
+    use dragster::sim::faults::{FaultKind, FaultPlan, ScriptedFault};
+    let w = word_count().unwrap();
+    let d = Deployment::uniform(2, 8);
+    let rate = vec![8.0e4];
+    let plan = FaultPlan::none().with(ScriptedFault {
+        slot: 0,
+        kind: FaultKind::Straggler,
+        operator: None,
+        severity: 0.8,
+        duration_slots: 4,
+    });
+    let seed = 1;
+    let slot_secs = SimConfig::default().slot_secs;
+
+    let mut sim = FluidSim::new(
+        w.app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::none(),
+        seed,
+        d.clone(),
+    )
+    .unwrap()
+    .with_faults(plan.clone());
+    let fluid = sim.run_slot(&rate).throughput;
+
+    // Measure the DES over the tail of the same slot-0 window (the first
+    // 100 s are pipeline fill in both engines, already inside slot 0).
+    let des = DesSim::new(w.app.clone(), d.clone(), 1.0)
+        .unwrap()
+        .with_disturbances(plan, None, seed, slot_secs)
+        .run(&rate, slot_secs, 100.0)
+        .throughput;
+
+    let clean = fluid_steady_state(&w.app, &d, &rate);
+    assert!(
+        fluid < 0.6 * clean,
+        "straggler should dent fluid throughput: {fluid} vs clean {clean}"
+    );
+    assert!(
+        (fluid - des).abs() / fluid < 0.1,
+        "faulted engines disagree: fluid {fluid} vs des {des}"
+    );
+}
+
+#[test]
 fn selectivity_chain_is_exact_in_both_engines() {
     // filter with 25 % selectivity, generous capacity
     let topo = dragster::dag::TopologyBuilder::new()
