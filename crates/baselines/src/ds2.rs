@@ -67,18 +67,19 @@ impl Autoscaler for Ds2 {
     ) -> Result<Deployment, SimError> {
         let mut tasks = Vec::with_capacity(current.len());
         for (i, om) in metrics.operators.iter().enumerate() {
+            let cur_tasks = current.tasks.get(i).copied().unwrap_or(1);
             // True per-instance rate: the observed capacity sample divided
             // by the current task count (DS2 derives this from useful-time
             // metrics; Eq. 8's sample is the same quantity here).
             let per_instance = if om.capacity_sample > 1e-9 {
-                om.capacity_sample / current.tasks[i] as f64
+                om.capacity_sample / cur_tasks as f64
             } else {
                 0.0
             };
             let want = if per_instance > 1e-9 {
                 (om.offered_load * self.cfg.headroom / per_instance).ceil() as usize
             } else {
-                current.tasks[i]
+                cur_tasks
             };
             tasks.push(want.clamp(1, self.cfg.max_tasks));
         }

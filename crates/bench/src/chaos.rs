@@ -139,7 +139,10 @@ pub fn run_chaos_case(
 
     // Settled window: skip the cold-start ramp, stop at the fault.
     let warm = (fault_slot / 2).min(fault_slot.saturating_sub(1));
-    let pre: Vec<f64> = trace.slots[warm..fault_slot]
+    let pre: Vec<f64> = trace
+        .slots
+        .get(warm..fault_slot)
+        .unwrap_or_default()
         .iter()
         .map(|s| s.throughput)
         .collect();
@@ -149,7 +152,10 @@ pub fn run_chaos_case(
         pre.iter().sum::<f64>() / pre.len() as f64
     };
 
-    let post: Vec<f64> = trace.slots[fault_slot..]
+    let post: Vec<f64> = trace
+        .slots
+        .get(fault_slot..)
+        .unwrap_or_default()
         .iter()
         .map(|s| s.throughput)
         .collect();

@@ -83,11 +83,19 @@ pub fn phase_metrics(run: &SchemeRun, phase_slots: usize) -> Vec<PhaseMetrics> {
                 range.clone(),
                 slot_secs,
             );
-            let tuples: f64 = run.trace.slots[range.clone()]
+            let tuples: f64 = run
+                .trace
+                .slots
+                .get(range.clone())
+                .unwrap_or_default()
                 .iter()
                 .map(|s| s.processed_tuples)
                 .sum();
-            let cost: f64 = run.trace.slots[range.clone()]
+            let cost: f64 = run
+                .trace
+                .slots
+                .get(range.clone())
+                .unwrap_or_default()
                 .iter()
                 .map(|s| s.cost_dollars)
                 .sum();

@@ -188,8 +188,14 @@ impl Dragster {
         source_rates: &[f64],
         current: &Deployment,
     ) -> Result<Vec<(usize, f64)>, DragsterError> {
-        let caps: Vec<f64> = (0..self.gps.len())
-            .map(|i| self.gps[i].capacity_estimate(current.tasks[i]).max(1e-6))
+        let caps: Vec<f64> = self
+            .gps
+            .iter()
+            .enumerate()
+            .map(|(i, gp)| {
+                let tasks_i = current.tasks.get(i).copied().unwrap_or(1);
+                gp.capacity_estimate(tasks_i).max(1e-6)
+            })
             .collect();
         Ok(analysis::rank_bottlenecks(&self.topo, source_rates, &caps)?)
     }
@@ -284,18 +290,24 @@ impl Autoscaler for Dragster {
                 && om.cpu_util.is_finite()
                 && om.offered_load.is_finite()
                 && om.output_rate.is_finite();
+            let tasks_i = current.tasks.get(i).copied().unwrap_or(1);
             if clean && om.output_rate > 1e-9 {
-                self.gps[i].observe(current.tasks[i], om.capacity_sample)?;
+                if let Some(gp) = self.gps.get_mut(i) {
+                    gp.observe(tasks_i, om.capacity_sample)?;
+                }
             }
             // Constraint value l_i = offered − capacity (Eq. 11), using the
             // observed capacity sample as the capacity estimate. Degraded
             // slots hold the last usable value instead of a bogus dual step.
             let l = om.offered_load - om.capacity_sample;
-            l_values[i] = if clean && l.is_finite() {
+            let lv = if clean && l.is_finite() {
                 l
             } else {
-                self.last_l[i]
+                self.last_l.get(i).copied().unwrap_or(0.0)
             };
+            if let Some(slot) = l_values.get_mut(i) {
+                *slot = lv;
+            }
             // Theorem-2 mode: refine the h estimates with clean
             // observations — skip slots where the operator was saturated
             // (output reflects y_i, not h, per Eq. 4) or draining backlog
@@ -391,9 +403,15 @@ impl Autoscaler for Dragster {
         if let Some(k) = self.cfg.max_adjust_per_slot {
             let mut gaps: Vec<(usize, f64)> = (0..m)
                 .map(|i| {
-                    let cur = self.gps[i].capacity_estimate(current.tasks[i]);
-                    let scale = self.gps[i].scale().max(1e-9);
-                    (i, (targets[i] - cur).abs() / scale)
+                    let (cur, scale) = match self.gps.get(i) {
+                        Some(gp) => {
+                            let tasks_i = current.tasks.get(i).copied().unwrap_or(1);
+                            (gp.capacity_estimate(tasks_i), gp.scale().max(1e-9))
+                        }
+                        None => (0.0, 1.0),
+                    };
+                    let target = targets.get(i).copied().unwrap_or(cur);
+                    (i, (target - cur).abs() / scale)
                 })
                 .collect();
             gaps.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -401,11 +419,13 @@ impl Autoscaler for Dragster {
             // 0..m, and iteration order stays deterministic
             let mut adjustable = vec![false; m];
             for &(i, _) in gaps.iter().take(k) {
-                adjustable[i] = true;
+                if let Some(a) = adjustable.get_mut(i) {
+                    *a = true;
+                }
             }
             for (i, t) in tasks.iter_mut().enumerate() {
-                if !adjustable[i] {
-                    *t = current.tasks[i];
+                if !adjustable.get(i).copied().unwrap_or(false) {
+                    *t = current.tasks.get(i).copied().unwrap_or(*t);
                 }
             }
             // freezing can re-violate the budget; project the frozen plan

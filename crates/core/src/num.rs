@@ -14,27 +14,27 @@ use std::cmp::Ordering;
 /// under the total order) break toward the lowest index. `None` on an
 /// empty slice.
 pub fn argmax(values: &[f64]) -> Option<usize> {
-    let mut best: Option<usize> = None;
-    for (i, v) in values.iter().enumerate() {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
         match best {
-            Some(b) if v.total_cmp(&values[b]) != Ordering::Greater => {}
-            _ => best = Some(i),
+            Some((_, b)) if v.total_cmp(&b) != Ordering::Greater => {}
+            _ => best = Some((i, v)),
         }
     }
-    best
+    best.map(|(i, _)| i)
 }
 
 /// Index of the smallest value under `f64::total_cmp`; ties break toward
 /// the lowest index. `None` on an empty slice.
 pub fn argmin(values: &[f64]) -> Option<usize> {
-    let mut best: Option<usize> = None;
-    for (i, v) in values.iter().enumerate() {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
         match best {
-            Some(b) if v.total_cmp(&values[b]) != Ordering::Less => {}
-            _ => best = Some(i),
+            Some((_, b)) if v.total_cmp(&b) != Ordering::Less => {}
+            _ => best = Some((i, v)),
         }
     }
-    best
+    best.map(|(i, _)| i)
 }
 
 /// A `usize` exponent clamped into `u32` for `checked_pow`. Saturates at

@@ -98,9 +98,12 @@ impl RegretTracker {
         if n < 8 {
             return None;
         }
-        let pts: Vec<(f64, f64)> = (n / 2..n)
-            .filter(|&t| series[t] > 0.0)
-            .map(|t| ((t as f64 + 1.0).ln(), series[t].ln()))
+        let pts: Vec<(f64, f64)> = series
+            .iter()
+            .enumerate()
+            .skip(n / 2)
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(t, &v)| ((t as f64 + 1.0).ln(), v.ln()))
             .collect();
         if pts.len() < 4 {
             return Some(0.0); // series vanished ⇒ trivially sub-linear

@@ -270,7 +270,7 @@ impl OperatorGp {
         Ok((0..self.cfg.max_tasks)
             .map(|i| {
                 // the GP models residuals; add the linear prior back
-                let s = sample[i] + self.prior(i + 1);
+                let s = sample.get(i).copied().unwrap_or(0.0) + self.prior(i + 1);
                 let diff = s - yt;
                 if diff >= 0.0 {
                     -diff
@@ -285,9 +285,11 @@ impl OperatorGp {
     pub fn best_config(&self, target_capacity: f64, beta: f64) -> usize {
         let table = self.acquisition_table(target_capacity, beta);
         let mut best = 0usize;
+        let mut best_a = f64::NEG_INFINITY;
         for (i, &a) in table.iter().enumerate() {
-            if a > table[best] + 1e-12 {
+            if a > best_a + 1e-12 {
                 best = i;
+                best_a = a;
             }
         }
         best + 1

@@ -1,6 +1,7 @@
-//! `dragster-lint` — a dependency-free static-analysis pass over the
-//! workspace's library crates, enforcing invariants that clippy cannot
-//! express and that the paper's regret guarantee silently depends on:
+//! `dragster-lint` — a dependency-free multi-pass static analyzer over
+//! the workspace's library crates, enforcing invariants that clippy
+//! cannot express and that the paper's regret guarantee silently depends
+//! on:
 //!
 //! * **L1 — no panic paths.** `.unwrap()`, `.expect(`, `panic!`,
 //!   `unreachable!`, `todo!`, `unimplemented!` are banned outside
@@ -15,24 +16,62 @@
 //!   is banned: one NaN in a GP posterior turns it into a panic. Use
 //!   `f64::total_cmp` or the `core::num` argmax/argmin helpers.
 //! * **L4 — lossy casts.** `expr as <integer type>` is banned in the
-//!   numeric crates (`core`, `gp`), where a silent float→int truncation
-//!   corrupts budgets and indices. Int→float (`as f64`) stays legal.
+//!   numeric crates (`core`, `gp`, `sim`), where a silent float→int
+//!   truncation corrupts budgets and indices. Int→float (`as f64`)
+//!   stays legal.
+//! * **L5 — panic-reachability.** A semantic pass: the analyzer builds a
+//!   workspace model (item index + approximate call graph, see
+//!   [`model`]) and walks it from every `pub` item, reporting any path
+//!   that reaches a panic site with the full call chain (see [`reach`]).
+//!   Site kinds already claimed by L1/L8 are not double-reported.
+//! * **L6 — RNG-stream discipline.** Every RNG construction must be
+//!   seeded (`seed_from_u64`, or `*Rng::new(..)` whose argument names a
+//!   seed/stream/plan); `thread_rng`, `from_entropy`, `OsRng`, and
+//!   wall-clock entropy (`SystemTime::now`, `Instant::now`) are banned
+//!   in non-bench, non-test code. When enabled it claims those tokens
+//!   from L2.
+//! * **L7 — unit consistency.** A declarative `[units]` table in
+//!   `lint.toml` maps identifier suffixes (`_tps`, `_secs`, `_usd`,
+//!   `_slots`, ...) to dimensions; additive/comparison/assignment
+//!   operators between operands of different dimensions are flagged.
+//!   Multiplication and division are exempt — they are how annotated
+//!   conversions are written (`rate_tps * window_secs`).
+//! * **L8 — unchecked indexing.** `expr[..]` indexing/slicing outside
+//!   tests is flagged; use `.get()`/`.get_mut()`/`.first()`/`.last()`
+//!   with an explicit fallback.
 //!
 //! The scanner strips comments, string/char literals, and `#[cfg(test)]`
 //! items before matching, so rule tokens inside those never fire.
 //! Findings are suppressible only through the checked-in `lint.toml`
-//! allowlist, and every entry there must carry a justification.
+//! allowlist, and every entry there must carry a justification. On top of
+//! that, [`report`] provides SARIF-lite output and a committed-baseline
+//! ratchet so CI fails on *new* findings while the total is driven down.
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Library crates subject to the invariants (their `src/` trees).
+pub mod model;
+pub mod prep;
+pub mod reach;
+pub mod report;
+
+pub use prep::{prepare, strip_cfg_test_items, strip_comments_and_literals};
+
+/// Library crates subject to the full invariant set (their `src/` trees).
 pub const LIBRARY_CRATES: &[&str] = &["core", "gp", "dag", "sim", "baselines", "workloads"];
 
-/// Maximum number of allowlist entries `lint.toml` may carry.
-pub const MAX_ALLOW_ENTRIES: usize = 10;
+/// Crates scanned with a reduced rule set (no L1/L2/L5/L6 — binaries and
+/// harnesses may panic and read clocks, but still must not index
+/// unchecked or mix units).
+pub const HARNESS_CRATES: &[&str] = &["bench"];
+
+/// Maximum number of allowlist entries `lint.toml` may carry. Raised from
+/// 10 when the L5–L8 passes landed: bounded-by-construction indexing in
+/// hot loops is allowlisted per file with a proof sketch rather than
+/// rewritten into `.get()` chains.
+pub const MAX_ALLOW_ENTRIES: usize = 40;
 
 /// Which rule classes to run on a file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +84,14 @@ pub struct RuleSet {
     pub nan_safety: bool,
     /// L4: lossy float→int `as` casts.
     pub lossy_casts: bool,
+    /// L5: call-graph panic-reachability (workspace/model pass).
+    pub reachability: bool,
+    /// L6: RNG-stream discipline.
+    pub rng_streams: bool,
+    /// L7: unit-suffix consistency.
+    pub units: bool,
+    /// L8: unchecked indexing/slicing.
+    pub indexing: bool,
 }
 
 impl RuleSet {
@@ -55,17 +102,42 @@ impl RuleSet {
             determinism: true,
             nan_safety: true,
             lossy_casts: true,
+            reachability: true,
+            rng_streams: true,
+            units: true,
+            indexing: true,
         }
     }
 
-    /// The rules that apply to a given library crate. L4 only bites in
-    /// the numeric crates where a truncation corrupts results silently.
-    pub fn for_crate(name: &str) -> RuleSet {
+    /// No rules enabled; flip individual passes on for targeted checks.
+    pub fn none() -> RuleSet {
         RuleSet {
-            panic_paths: true,
-            determinism: true,
-            nan_safety: true,
-            lossy_casts: matches!(name, "core" | "gp"),
+            panic_paths: false,
+            determinism: false,
+            nan_safety: false,
+            lossy_casts: false,
+            reachability: false,
+            rng_streams: false,
+            units: false,
+            indexing: false,
+        }
+    }
+
+    /// The rules that apply to a given crate. L4 bites in the numeric
+    /// crates where a truncation corrupts results silently; harness
+    /// crates (`bench`) keep only the structural rules (L7/L8).
+    pub fn for_crate(name: &str) -> RuleSet {
+        if HARNESS_CRATES.contains(&name) {
+            RuleSet {
+                units: true,
+                indexing: true,
+                ..RuleSet::none()
+            }
+        } else {
+            RuleSet {
+                lossy_casts: matches!(name, "core" | "gp" | "sim"),
+                ..RuleSet::all()
+            }
         }
     }
 }
@@ -77,12 +149,15 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Lint code: `"L1"`..`"L4"`.
+    /// Lint code: `"L1"`..`"L8"`.
     pub code: &'static str,
     /// The offending token (e.g. `unwrap`, `HashMap`, `as usize`).
     pub token: String,
     /// Human-readable explanation with the suggested replacement.
     pub message: String,
+    /// L5 only: the call chain from a public root to the panic site
+    /// (qualified item names, root first). Empty for per-site lints.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -96,276 +171,63 @@ impl fmt::Display for Finding {
 }
 
 // ---------------------------------------------------------------------------
-// Source preparation: strip comments, literals, and #[cfg(test)] items.
+// Units table (L7).
 // ---------------------------------------------------------------------------
 
-/// Returns a copy of `src` with comments and string/char-literal contents
-/// replaced by spaces. Newlines are preserved (including inside block
-/// comments and multi-line strings) so byte offsets map to the original
-/// line numbers.
-pub fn strip_comments_and_literals(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let n = b.len();
-    let mut out: Vec<char> = Vec::with_capacity(n);
-    let mut i = 0;
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-
-    while i < n {
-        let c = b[i];
-        // Line comment.
-        if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            while i < n && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (nested).
-        if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            let mut depth = 0usize;
-            while i < n {
-                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw strings: r"..", r#".."#, and byte variants br".." etc.
-        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
-            let start = if c == 'b' { i + 2 } else { i + 1 };
-            let mut j = start;
-            while j < n && b[j] == '#' {
-                j += 1;
-            }
-            let hashes = j - start;
-            // Must be a quote next, and `r`/`br` must not be the tail of a
-            // longer identifier (e.g. `var"` is not a raw string).
-            let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
-            if j < n && b[j] == '"' && !prev_ident {
-                for k in i..=j {
-                    out.push(blank(b[k]));
-                }
-                i = j + 1;
-                // Scan to closing quote followed by `hashes` hashes.
-                while i < n {
-                    if b[i] == '"' {
-                        let mut h = 0;
-                        while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
-                            h += 1;
-                        }
-                        if h == hashes {
-                            for k in i..=i + hashes {
-                                out.push(blank(b[k]));
-                            }
-                            i += hashes + 1;
-                            break;
-                        }
-                    }
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Ordinary (or byte) string literal.
-        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
-            if c == 'b' {
-                out.push(' ');
-                i += 1;
-            }
-            out.push(' '); // opening quote
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    out.push(blank(b[i]));
-                    out.push(blank(b[i + 1]));
-                    i += 2;
-                } else if b[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime. A lifetime is `'ident` NOT followed by
-        // a closing quote; a char literal is everything else after `'`.
-        if c == '\'' && i + 1 < n {
-            let is_lifetime =
-                (b[i + 1].is_alphabetic() || b[i + 1] == '_') && !(i + 2 < n && b[i + 2] == '\'');
-            if !is_lifetime {
-                out.push(' ');
-                i += 1;
-                while i < n {
-                    if b[i] == '\\' && i + 1 < n {
-                        out.push(blank(b[i]));
-                        out.push(blank(b[i + 1]));
-                        i += 2;
-                    } else if b[i] == '\'' {
-                        out.push(' ');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(blank(b[i]));
-                        i += 1;
-                    }
-                }
-                continue;
-            }
-        }
-        out.push(c);
-        i += 1;
-    }
-    out.into_iter().collect()
+/// Maps identifier suffixes to physical dimensions. An identifier carries
+/// the dimension of the longest suffix that matches either the whole
+/// ident or its trailing `_suffix` segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitsTable {
+    /// `(suffix, dimension)` pairs; matched longest-suffix-first.
+    pub entries: Vec<(String, String)>,
 }
 
-/// Blanks out every item annotated `#[cfg(test)]` (the attribute, any
-/// attributes stacked after it, and the item body through its matching
-/// closing brace or terminating semicolon). Operates on already-stripped
-/// source so comments/strings cannot confuse the brace matching.
-pub fn strip_cfg_test_items(stripped: &str) -> String {
-    let b: Vec<char> = stripped.chars().collect();
-    let n = b.len();
-    let mut out = b.clone();
-    let mut i = 0;
-    while i < n {
-        if b[i] == '#' {
-            if let Some(attr_end) = match_cfg_test_attr(&b, i) {
-                let mut j = attr_end;
-                // Skip whitespace and any further attributes.
-                loop {
-                    while j < n && b[j].is_whitespace() {
-                        j += 1;
-                    }
-                    if j < n && b[j] == '#' {
-                        j = skip_attr(&b, j);
-                    } else {
-                        break;
-                    }
-                }
-                // Find the end of the annotated item: a `;` or a balanced
-                // `{..}` at paren/bracket depth 0.
-                let mut depth = 0i32;
-                while j < n {
-                    match b[j] {
-                        '(' | '[' => depth += 1,
-                        ')' | ']' => depth -= 1,
-                        ';' if depth == 0 => {
-                            j += 1;
-                            break;
-                        }
-                        '{' if depth == 0 => {
-                            j = skip_braces(&b, j);
-                            break;
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                for item in out.iter_mut().take(j).skip(i) {
-                    if *item != '\n' {
-                        *item = ' ';
-                    }
-                }
-                i = j;
-                continue;
-            }
+impl Default for UnitsTable {
+    /// The built-in table mirrors the `[units]` section of `lint.toml`;
+    /// the file may extend or override it.
+    fn default() -> Self {
+        let mk = |s: &str, d: &str| (s.to_string(), d.to_string());
+        UnitsTable {
+            entries: vec![
+                mk("tps", "rate"),
+                mk("secs", "time"),
+                mk("sec", "time"),
+                mk("ms", "time"),
+                mk("usd", "money"),
+                mk("dollars", "money"),
+                mk("slots", "slots"),
+                mk("slot", "slots"),
+                mk("tasks", "tasks"),
+                mk("tuples", "tuples"),
+            ],
         }
-        i += 1;
     }
-    out.into_iter().collect()
 }
 
-/// If a `#[cfg(test)]` attribute starts at `i`, returns the index just
-/// past its closing `]`.
-fn match_cfg_test_attr(b: &[char], i: usize) -> Option<usize> {
-    let mut j = i;
-    let expect = |tok: &str, j: &mut usize| -> bool {
-        while *j < b.len() && b[*j].is_whitespace() {
-            *j += 1;
-        }
-        for c in tok.chars() {
-            if *j >= b.len() || b[*j] != c {
-                return false;
-            }
-            *j += 1;
-        }
-        // Keywords must end at an identifier boundary.
-        if tok.chars().all(|c| c.is_alphanumeric()) {
-            if *j < b.len() && (b[*j].is_alphanumeric() || b[*j] == '_') {
-                return false;
-            }
-        }
-        true
-    };
-    for tok in ["#", "[", "cfg", "(", "test", ")", "]"] {
-        if !expect(tok, &mut j) {
-            return None;
+impl UnitsTable {
+    /// Adds or overrides a suffix mapping.
+    pub fn set(&mut self, suffix: &str, dimension: &str) {
+        if let Some(e) = self.entries.iter_mut().find(|(s, _)| s == suffix) {
+            e.1 = dimension.to_string();
+        } else {
+            self.entries
+                .push((suffix.to_string(), dimension.to_string()));
         }
     }
-    Some(j)
-}
 
-/// Skips a balanced `#[...]` attribute starting at `i`; returns the index
-/// past its closing bracket.
-fn skip_attr(b: &[char], i: usize) -> usize {
-    let mut j = i;
-    while j < b.len() && b[j] != '[' {
-        j += 1;
-    }
-    let mut depth = 0i32;
-    while j < b.len() {
-        match b[j] {
-            '[' => depth += 1,
-            ']' => {
-                depth -= 1;
-                if depth == 0 {
-                    return j + 1;
-                }
+    /// The dimension an identifier carries, if any.
+    pub fn dimension_of(&self, ident: &str) -> Option<&str> {
+        let lower = ident.to_ascii_lowercase();
+        let mut best: Option<(&str, &str)> = None;
+        for (suffix, dim) in &self.entries {
+            let hits = lower == *suffix || lower.ends_with(&format!("_{suffix}"));
+            if hits && best.is_none_or(|(s, _)| suffix.len() > s.len()) {
+                best = Some((suffix, dim));
             }
-            _ => {}
         }
-        j += 1;
+        best.map(|(_, d)| d)
     }
-    j
-}
-
-/// Skips a balanced `{...}` block starting at the `{` at `i`; returns the
-/// index past its closing brace.
-fn skip_braces(b: &[char], i: usize) -> usize {
-    let mut depth = 0i32;
-    let mut j = i;
-    while j < b.len() {
-        match b[j] {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return j + 1;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    j
 }
 
 // ---------------------------------------------------------------------------
@@ -374,6 +236,19 @@ fn skip_braces(b: &[char], i: usize) -> usize {
 
 const INT_TYPES: &[&str] = &[
     "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Identifier substrings that make an RNG constructor argument count as a
+/// named seed/stream for L6.
+const SEEDISH: &[&str] = &[
+    "seed", "salt", "stream", "plan", "fault", "noise", "derive", "rng",
+];
+
+/// Keywords that can legally precede `[` without it being an index
+/// expression (patterns, slice types, `in [..]` is indexing-free, etc.).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "while", "match", "return", "else", "as", "const", "static",
+    "where", "move", "dyn", "break", "box",
 ];
 
 fn is_ident_char(c: char) -> bool {
@@ -415,6 +290,16 @@ fn ident_at(text: &[char], idx: usize) -> (usize, String) {
     (j, text[idx..j].iter().collect())
 }
 
+/// Reads the identifier *ending* at `idx` (inclusive; must be an ident
+/// char), returning it with its start index.
+fn ident_ending_at(text: &[char], idx: usize) -> (usize, String) {
+    let mut j = idx;
+    while j > 0 && is_ident_char(text[j - 1]) {
+        j -= 1;
+    }
+    (j, text[j..=idx].iter().collect())
+}
+
 /// Skips a balanced `(...)` starting at the `(` at `i`; returns the index
 /// past the closing paren.
 fn skip_parens(text: &[char], i: usize) -> usize {
@@ -436,12 +321,36 @@ fn skip_parens(text: &[char], i: usize) -> usize {
     j
 }
 
-/// Runs the enabled rules over prepared (stripped) source text.
+/// Whether an RNG constructor argument list names a seed or derived
+/// stream: any integer literal, or any identifier containing a
+/// seed/stream-ish substring.
+fn args_name_a_seed(args: &[char]) -> bool {
+    let mut i = 0;
+    while i < args.len() {
+        if !is_ident_char(args[i]) || (i > 0 && is_ident_char(args[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let (end, word) = ident_at(args, i);
+        if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return true;
+        }
+        let lower = word.to_ascii_lowercase();
+        if SEEDISH.iter().any(|s| lower.contains(s)) {
+            return true;
+        }
+        i = end;
+    }
+    false
+}
+
+/// Runs the enabled per-file rules over prepared (stripped) source text.
 ///
 /// `file` is only used to label findings. The input must already have
 /// comments, literals, and `#[cfg(test)]` items blanked out — use
-/// [`lint_source`] for the full pipeline.
-pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
+/// [`lint_source`] for the full pipeline. The L5 reachability pass is
+/// workspace-level and lives in [`reach`]; it is not run here.
+pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> Vec<Finding> {
     let text: Vec<char> = prepared.chars().collect();
     let n = text.len();
     let mut findings = Vec::new();
@@ -478,6 +387,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
                                             "NaN-unsafe comparison panics on NaN; \
                                                   use f64::total_cmp or core::num::{argmax, argmin}"
                                                 .to_string(),
+                                        chain: Vec::new(),
                                     });
                                 }
                             }
@@ -489,7 +399,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
         i = end;
     }
 
-    // Pass 2: everything else, one identifier at a time.
+    // Pass 2: identifier-anchored rules (L1, L2, L4, L6).
     let mut i = 0;
     while i < n {
         if !is_ident_char(text[i]) || (i > 0 && is_ident_char(text[i - 1])) {
@@ -511,6 +421,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
                         message: "panic path in library code; return a Result \
                                   (DragsterError / SimError / DagError / GpError)"
                             .to_string(),
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -522,19 +433,44 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
                         code: "L1",
                         token: format!("{word}!"),
                         message: "panic path in library code; return a Result instead".to_string(),
+                        chain: Vec::new(),
                     });
                 }
             }
-            // L2 — non-determinism.
-            "thread_rng" if rules.determinism => {
+            // L6 (claims from L2 when enabled) — unseeded entropy sources.
+            "thread_rng" if rules.rng_streams || rules.determinism => {
+                let (code, msg): (&'static str, &str) = if rules.rng_streams {
+                    (
+                        "L6",
+                        "ambient entropy breaks RNG-stream discipline; \
+                            derive a named stream via Rng::new(seed ^ STREAM_SALT)",
+                    )
+                } else {
+                    (
+                        "L2",
+                        "unseeded RNG breaks run reproducibility; \
+                            use the seeded sim::Rng",
+                    )
+                };
                 findings.push(Finding {
                     file: file.to_string(),
                     line: line_of(&text, i),
-                    code: "L2",
+                    code,
                     token: word,
-                    message: "unseeded RNG breaks run reproducibility; \
-                              use the seeded sim::Rng"
+                    message: msg.to_string(),
+                    chain: Vec::new(),
+                });
+            }
+            "from_entropy" | "from_os_rng" | "OsRng" | "getrandom" if rules.rng_streams => {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(&text, i),
+                    code: "L6",
+                    token: word,
+                    message: "OS entropy is not replayable; every RNG must be \
+                              seed_from_u64 of a named stream"
                         .to_string(),
+                    chain: Vec::new(),
                 });
             }
             "HashMap" | "HashSet" if rules.determinism => {
@@ -546,9 +482,10 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
                     message: "unordered iteration breaks determinism; \
                               use BTreeMap/BTreeSet or a Vec"
                         .to_string(),
+                    chain: Vec::new(),
                 });
             }
-            "SystemTime" | "Instant" if rules.determinism => {
+            "SystemTime" | "Instant" if rules.determinism || rules.rng_streams => {
                 // Only `::now()` is result-affecting; the bare type as a
                 // field or parameter is not flagged.
                 if let Some((c1, ':')) = next_nonspace(&text, end) {
@@ -556,15 +493,59 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
                         if let Some((w, _)) = next_nonspace(&text, c2 + 1) {
                             let (_, method) = ident_at(&text, w);
                             if method == "now" {
+                                let (code, msg): (&'static str, &str) = if rules.rng_streams {
+                                    (
+                                        "L6",
+                                        "wall-clock reads are ambient entropy; \
+                                            derive time from the simulated slot index",
+                                    )
+                                } else {
+                                    (
+                                        "L2",
+                                        "wall-clock reads make runs irreproducible; \
+                                            derive time from the simulated slot index",
+                                    )
+                                };
                                 findings.push(Finding {
                                     file: file.to_string(),
                                     line: line_of(&text, i),
-                                    code: "L2",
+                                    code,
                                     token: format!("{word}::now"),
-                                    message: "wall-clock reads make runs irreproducible; \
-                                              derive time from the simulated slot index"
-                                        .to_string(),
+                                    message: msg.to_string(),
+                                    chain: Vec::new(),
                                 });
+                            }
+                        }
+                    }
+                }
+            }
+            // L6 — RNG constructions must name their seed/stream.
+            w2 if rules.rng_streams && w2.ends_with("Rng") => {
+                if let Some((c1, ':')) = next_nonspace(&text, end) {
+                    if let Some((c2, ':')) = next_nonspace(&text, c1 + 1) {
+                        if let Some((m, mc)) = next_nonspace(&text, c2 + 1) {
+                            if is_ident_char(mc) {
+                                let (mend, method) = ident_at(&text, m);
+                                if method == "new" {
+                                    if let Some((open, '(')) = next_nonspace(&text, mend) {
+                                        let close = skip_parens(&text, open);
+                                        let args = &text[open + 1..close.saturating_sub(1)];
+                                        if !args_name_a_seed(args) {
+                                            findings.push(Finding {
+                                                file: file.to_string(),
+                                                line: line_of(&text, i),
+                                                code: "L6",
+                                                token: format!("{word}::new"),
+                                                message: "RNG constructed without a named \
+                                                          seed/stream; pass a seed literal or a \
+                                                          value derived from a FaultPlan/noise \
+                                                          stream salt"
+                                                    .to_string(),
+                                                chain: Vec::new(),
+                                            });
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -584,6 +565,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
                                 message: "silent truncation in a numeric path; \
                                           use a named checked conversion helper"
                                     .to_string(),
+                                chain: Vec::new(),
                             });
                         }
                     }
@@ -593,28 +575,305 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet) -> Vec<Finding> {
         }
         i = end;
     }
+
+    // Pass 3: L8 — unchecked indexing/slicing.
+    if rules.indexing {
+        findings.extend(scan_indexing(file, &text));
+    }
+
+    // Pass 4: L7 — unit-suffix consistency.
+    if rules.units {
+        findings.extend(scan_units(file, &text, units));
+    }
+
     findings.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
     findings
 }
 
+/// L8: flags `expr[..]` where `expr` ends in an identifier, `)`, `]`, or
+/// `?`. Slice types (`&[f64]`), array literals, patterns, and attribute
+/// brackets are structurally excluded because their `[` is not preceded
+/// by an expression tail.
+fn scan_indexing(file: &str, text: &[char]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..text.len() {
+        if text[i] != '[' {
+            continue;
+        }
+        // Indexing is written flush against the expression (`xs[i]`);
+        // whitespace before the bracket means type syntax (`&'a [f64]`,
+        // `-> [f64; 2]`), not a subscript.
+        let Some(p) = i.checked_sub(1) else {
+            continue;
+        };
+        let pc = text[p];
+        if pc.is_whitespace() {
+            continue;
+        }
+        let token;
+        if pc == ')' || pc == ']' || pc == '?' {
+            token = "[".to_string();
+        } else if is_ident_char(pc) {
+            let (_, word) = ident_ending_at(text, p);
+            if NON_INDEX_KEYWORDS.contains(&word.as_str())
+                || word.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                continue;
+            }
+            token = format!("{word}[");
+        } else {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.to_string(),
+            line: line_of(text, i),
+            code: "L8",
+            token,
+            message: "unchecked indexing/slicing can panic; use \
+                      .get()/.get_mut() with an explicit fallback"
+                .to_string(),
+            chain: Vec::new(),
+        });
+    }
+    findings
+}
+
+/// L7: flags additive/comparison/assignment operators whose operands
+/// carry different unit dimensions per the [`UnitsTable`]. `*` and `/`
+/// are exempt (they change dimension — that is how conversions are
+/// annotated); method-call operands are not resolvable and are skipped.
+fn scan_units(file: &str, text: &[char], units: &UnitsTable) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let n = text.len();
+    let mut i = 0;
+    while i < n {
+        let c = text[i];
+        let next = if i + 1 < n { Some(text[i + 1]) } else { None };
+        let prev = if i > 0 { Some(text[i - 1]) } else { None };
+        // Identify a binary operator and its width.
+        let op_len: usize = match c {
+            '+' | '-' => {
+                if c == '-' && next == Some('>') {
+                    i += 2; // ->
+                    continue;
+                }
+                if next == Some('=') {
+                    2 // += -=
+                } else {
+                    1
+                }
+            }
+            '<' | '>' => {
+                if next == Some(c) {
+                    i += 2; // shift
+                    continue;
+                }
+                if prev == Some('-') || prev == Some('=') {
+                    i += 1; // tail of -> or =>
+                    continue;
+                }
+                if next == Some('=') {
+                    2
+                } else {
+                    1
+                }
+            }
+            '=' => {
+                if next == Some('>') {
+                    i += 2; // =>
+                    continue;
+                }
+                if matches!(
+                    prev,
+                    Some('=' | '<' | '>' | '!' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+                ) {
+                    i += 1; // second char of a compound operator
+                    continue;
+                }
+                if next == Some('=') {
+                    2
+                } else {
+                    1
+                }
+            }
+            '!' if next == Some('=') => 2,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let op: String = text[i..(i + op_len).min(n)].iter().collect();
+
+        // LHS: the trailing identifier of the left operand. If the ident
+        // is itself the right factor of a `*`/`/`, the operand's
+        // dimension was transformed by the conversion — skip it.
+        let lhs = prev_nonspace(text, i).and_then(|(p, pc)| {
+            if is_ident_char(pc) {
+                let (start, word) = ident_ending_at(text, p);
+                let first = word.chars().next()?;
+                if first.is_ascii_digit() {
+                    return None;
+                }
+                if start > 0 {
+                    if let Some((_, before)) = prev_nonspace(text, start) {
+                        if before == '*' || before == '/' {
+                            return None;
+                        }
+                    }
+                }
+                Some(word)
+            } else {
+                None
+            }
+        });
+        // RHS: the trailing identifier of the right operand's leading
+        // field chain (`self.cost_usd` -> `cost_usd`); calls disqualify.
+        let rhs = rhs_trailing_ident(text, i + op_len);
+
+        if let (Some(l), Some(r)) = (lhs, rhs) {
+            let dl = units.dimension_of(&l);
+            let dr = units.dimension_of(&r);
+            if let (Some(dl), Some(dr)) = (dl, dr) {
+                if dl != dr {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_of(text, i),
+                        code: "L7",
+                        token: format!("{l} {op} {r}"),
+                        message: format!(
+                            "mixes units: `{l}` is {dl} but `{r}` is {dr}; convert \
+                             explicitly (multiply/divide by a conversion factor) or rename"
+                        ),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+        }
+        i += op_len;
+    }
+    findings
+}
+
+/// Reads the right operand starting after an operator and returns the
+/// trailing identifier of its leading field chain, or `None` if the
+/// operand opens with a call, paren, or literal.
+fn rhs_trailing_ident(text: &[char], mut j: usize) -> Option<String> {
+    let n = text.len();
+    while j < n && text[j].is_whitespace() {
+        j += 1;
+    }
+    // Skip leading reference/deref sigils.
+    while j < n && (text[j] == '&' || text[j] == '*') {
+        j += 1;
+    }
+    if j >= n || !is_ident_char(text[j]) || text[j].is_ascii_digit() {
+        return None;
+    }
+    let mut last;
+    let mut end;
+    loop {
+        let (e, word) = ident_at(text, j);
+        last = word;
+        end = e;
+        match next_nonspace(text, end) {
+            Some((d, '.')) => {
+                let Some((k, kc)) = next_nonspace(text, d + 1) else {
+                    break;
+                };
+                if !is_ident_char(kc) || kc.is_ascii_digit() {
+                    break;
+                }
+                j = k;
+            }
+            Some((_, '(')) => return None, // call — not resolvable
+            _ => break,
+        }
+    }
+    if last.is_empty() {
+        return None;
+    }
+    // Skip `as <type>` casts (a cast keeps the unit), then bail if the
+    // operand continues with `*`/`/` — the conversion changes dimension.
+    let mut k = end;
+    loop {
+        match next_nonspace(text, k) {
+            Some((a, ac)) if is_ident_char(ac) => {
+                let (aend, word) = ident_at(text, a);
+                if word == "as" {
+                    match next_nonspace(text, aend) {
+                        Some((t, tc)) if is_ident_char(tc) => {
+                            let (tend, _) = ident_at(text, t);
+                            k = tend;
+                            continue;
+                        }
+                        _ => break,
+                    }
+                }
+                break;
+            }
+            Some((_, '*')) | Some((_, '/')) => return None,
+            _ => break,
+        }
+    }
+    Some(last)
+}
+
 /// Full pipeline for one file's source text: strip, drop `#[cfg(test)]`
-/// items, then scan with `rules`.
+/// items, then scan with `rules` and the default units table.
+///
+/// Note: the L5 reachability pass needs the whole workspace and is run by
+/// [`lint_workspace`] / [`reach::panic_reachability`], not here.
 pub fn lint_source(file: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
-    let stripped = strip_comments_and_literals(source);
-    let prepared = strip_cfg_test_items(&stripped);
-    scan(file, &prepared, rules)
+    lint_source_with_units(file, source, rules, &UnitsTable::default())
+}
+
+/// [`lint_source`] with an explicit units table.
+pub fn lint_source_with_units(
+    file: &str,
+    source: &str,
+    rules: RuleSet,
+    units: &UnitsTable,
+) -> Vec<Finding> {
+    scan(file, &prep::prepare(source), rules, units)
+}
+
+/// Runs the single-file rules *and* the L5 reachability pass over a set
+/// of sources (used by file mode and the fixture tests). Each entry is
+/// `(label, source)`; all files are modeled as one crate named `fixture`.
+pub fn lint_files_semantic(sources: &[(String, String)], rules: RuleSet) -> Vec<Finding> {
+    let units = UnitsTable::default();
+    let mut findings = Vec::new();
+    let mut prepared_set = Vec::new();
+    for (label, source) in sources {
+        let prepared = prep::prepare(source);
+        findings.extend(scan(label, &prepared, rules, &units));
+        prepared_set.push((label.clone(), "fixture".to_string(), prepared));
+    }
+    if rules.reachability {
+        let model = model::Model::build(prepared_set);
+        let filter = reach::SiteFilter {
+            macros_and_unwrap: !rules.panic_paths,
+            indexing: !rules.indexing,
+        };
+        findings.extend(reach::panic_reachability(&model, &filter));
+    }
+    findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.code).cmp(&(b.file.clone(), b.line, b.code)));
+    findings
 }
 
 // ---------------------------------------------------------------------------
-// Allowlist (lint.toml).
+// Configuration (lint.toml): allowlist + units table.
 // ---------------------------------------------------------------------------
 
 /// One `[[allow]]` entry from `lint.toml`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Workspace-relative path (suffix match against finding paths).
+    /// Workspace-relative path. A value ending in `/` is a directory
+    /// prefix and suppresses matching findings in every file under it;
+    /// anything else is a suffix match against the finding's path.
     pub path: String,
-    /// Lint code this entry suppresses (`"L1"`..`"L4"`).
+    /// Lint code this entry suppresses (`"L1"`..`"L8"`).
     pub lint: String,
     /// Optional token filter; when set, only findings whose token
     /// contains this string are suppressed.
@@ -626,19 +885,40 @@ pub struct AllowEntry {
 impl AllowEntry {
     /// Whether this entry suppresses `f`.
     pub fn matches(&self, f: &Finding) -> bool {
-        let path_ok = f.file.replace('\\', "/").ends_with(&self.path);
+        let file = f.file.replace('\\', "/");
+        let path_ok = if self.path.ends_with('/') {
+            // Directory entry: anchored at the workspace root or at any
+            // path component boundary.
+            file.starts_with(&self.path) || file.contains(&format!("/{}", self.path))
+        } else {
+            file.ends_with(&self.path)
+        };
         let lint_ok = f.code == self.lint;
         let token_ok = self.token.is_empty() || f.token.contains(&self.token);
         path_ok && lint_ok && token_ok
     }
 }
 
+/// Parsed `lint.toml`: the allowlist plus the `[units]` table.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    pub allow: Vec<AllowEntry>,
+    pub units: UnitsTable,
+}
+
 /// Parses the minimal TOML dialect used by `lint.toml`: `[[allow]]`
-/// tables of `key = "value"` pairs, `#` comments, blank lines. Returns
-/// the entries or a validation error message.
-pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+/// tables and a `[units]` section of `key = "value"` pairs, `#` comments,
+/// blank lines. Returns the config or a validation error message.
+pub fn parse_config(text: &str) -> Result<LintConfig, String> {
+    enum Section {
+        None,
+        Allow,
+        Units,
+    }
     let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut units = UnitsTable::default();
     let mut current: Option<AllowEntry> = None;
+    let mut section = Section::None;
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -649,6 +929,14 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
                 entries.push(e);
             }
             current = Some(AllowEntry::default());
+            section = Section::Allow;
+            continue;
+        }
+        if line == "[units]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Units;
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -656,19 +944,48 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
         };
         let key = key.trim();
         let value = value.trim().trim_matches('"').to_string();
-        let Some(e) = current.as_mut() else {
-            return Err(format!(
-                "lint.toml:{}: `{key}` outside an [[allow]] table",
-                ln + 1
-            ));
-        };
-        match key {
-            "path" => e.path = value,
-            "lint" => e.lint = value,
-            "token" => e.token = value,
-            "justification" => e.justification = value,
-            other => {
-                return Err(format!("lint.toml:{}: unknown key `{other}`", ln + 1));
+        match section {
+            Section::Units => {
+                if key.is_empty()
+                    || !key
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+                {
+                    return Err(format!(
+                        "lint.toml:{}: unit suffix `{key}` must be lowercase ascii",
+                        ln + 1
+                    ));
+                }
+                if value.trim().is_empty() {
+                    return Err(format!(
+                        "lint.toml:{}: unit suffix `{key}` needs a dimension name",
+                        ln + 1
+                    ));
+                }
+                units.set(key, &value);
+            }
+            Section::Allow => {
+                let Some(e) = current.as_mut() else {
+                    return Err(format!(
+                        "lint.toml:{}: `{key}` outside an [[allow]] table",
+                        ln + 1
+                    ));
+                };
+                match key {
+                    "path" => e.path = value,
+                    "lint" => e.lint = value,
+                    "token" => e.token = value,
+                    "justification" => e.justification = value,
+                    other => {
+                        return Err(format!("lint.toml:{}: unknown key `{other}`", ln + 1));
+                    }
+                }
+            }
+            Section::None => {
+                return Err(format!(
+                    "lint.toml:{}: `{key}` outside an [[allow]]/[units] section",
+                    ln + 1
+                ));
             }
         }
     }
@@ -679,9 +996,12 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
         if e.path.is_empty() {
             return Err(format!("lint.toml allow entry #{}: missing `path`", k + 1));
         }
-        if !matches!(e.lint.as_str(), "L1" | "L2" | "L3" | "L4") {
+        if !matches!(
+            e.lint.as_str(),
+            "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8"
+        ) {
             return Err(format!(
-                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L4",
+                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L8",
                 k + 1,
                 e.path
             ));
@@ -701,7 +1021,15 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
             MAX_ALLOW_ENTRIES
         ));
     }
-    Ok(entries)
+    Ok(LintConfig {
+        allow: entries,
+        units,
+    })
+}
+
+/// Back-compat shim: parses `lint.toml` and returns only the allowlist.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    parse_config(text).map(|c| c.allow)
 }
 
 // ---------------------------------------------------------------------------
@@ -738,16 +1066,25 @@ pub struct WorkspaceReport {
     pub files_scanned: usize,
 }
 
-/// Lints every library crate `src/` tree under `root`, applying the
-/// allowlist.
+/// Lints every library and harness crate `src/` tree under `root`:
+/// per-file passes (L1–L4, L6–L8) plus the workspace-level L5
+/// panic-reachability pass over the library-crate call graph, then
+/// applies the allowlist.
 ///
 /// # Errors
 /// Returns `Err` with a message if a source directory cannot be read.
-pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<WorkspaceReport, String> {
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, String> {
     let mut report = WorkspaceReport::default();
-    let mut used = vec![false; allow.len()];
-    for krate in LIBRARY_CRATES {
+    let mut used = vec![false; cfg.allow.len()];
+    let mut raw: Vec<Finding> = Vec::new();
+    // Prepared sources of library crates, for the L5 model.
+    let mut model_sources: Vec<(String, String, String)> = Vec::new();
+
+    for krate in LIBRARY_CRATES.iter().chain(HARNESS_CRATES) {
         let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
         let mut files = Vec::new();
         collect_rs_files(&src, &mut files)
             .map_err(|e| format!("cannot read {}: {e}", src.display()))?;
@@ -761,22 +1098,41 @@ pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<WorkspaceRepo
                 .to_string_lossy()
                 .replace('\\', "/");
             report.files_scanned += 1;
-            for f in lint_source(&label, &source, rules) {
-                let mut suppressed = false;
-                for (k, e) in allow.iter().enumerate() {
-                    if e.matches(&f) {
-                        used[k] = true;
-                        suppressed = true;
-                        break;
-                    }
-                }
-                if !suppressed {
-                    report.findings.push(f);
-                }
+            let prepared = prep::prepare(&source);
+            raw.extend(scan(&label, &prepared, rules, &cfg.units));
+            if LIBRARY_CRATES.contains(krate) {
+                model_sources.push((label, (*krate).to_string(), prepared));
             }
         }
     }
-    for (k, e) in allow.iter().enumerate() {
+
+    // L5: panic-reachability over the library-crate call graph. L1 and L8
+    // are enabled for every library crate, so those site kinds are
+    // claimed; L5 contributes div/rem reachability plus call chains.
+    let model = model::Model::build(model_sources);
+    let filter = reach::SiteFilter {
+        macros_and_unwrap: false,
+        indexing: false,
+    };
+    raw.extend(reach::panic_reachability(&model, &filter));
+
+    for f in raw {
+        let mut suppressed = false;
+        for (k, e) in cfg.allow.iter().enumerate() {
+            if e.matches(&f) {
+                used[k] = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            report.findings.push(f);
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.code).cmp(&(b.file.clone(), b.line, b.code)));
+    for (k, e) in cfg.allow.iter().enumerate() {
         if used[k] {
             report.used_entries.push(e.clone());
         } else {
@@ -886,8 +1242,15 @@ mod tests {
         let bad = "pub fn f() { let _ = std::time::Instant::now(); }";
         let f = lint_source("t.rs", bad, RuleSet::all());
         assert_eq!(f.len(), 1);
-        assert_eq!(f[0].code, "L2");
+        // With rng_streams enabled, wall-clock entropy is claimed by L6.
+        assert_eq!(f[0].code, "L6");
         assert_eq!(f[0].token, "Instant::now");
+        let legacy = RuleSet {
+            rng_streams: false,
+            ..RuleSet::all()
+        };
+        let f = lint_source("t.rs", bad, legacy);
+        assert_eq!(f[0].code, "L2");
     }
 
     #[test]
@@ -902,10 +1265,76 @@ mod tests {
     }
 
     #[test]
-    fn l4_is_off_outside_numeric_crates() {
+    fn l4_covers_sim_but_not_baselines() {
         let src = "pub fn f(x: f64) -> usize { x as usize }";
-        assert!(lint_source("t.rs", src, RuleSet::for_crate("sim")).is_empty());
-        assert_eq!(lint_source("t.rs", src, RuleSet::for_crate("gp")).len(), 1);
+        assert!(lint_source("t.rs", src, RuleSet::for_crate("baselines"))
+            .iter()
+            .all(|f| f.code != "L4"));
+        assert!(lint_source("t.rs", src, RuleSet::for_crate("sim"))
+            .iter()
+            .any(|f| f.code == "L4"));
+        assert!(lint_source("t.rs", src, RuleSet::for_crate("gp"))
+            .iter()
+            .any(|f| f.code == "L4"));
+    }
+
+    #[test]
+    fn l6_flags_unseeded_rng_new_but_not_named_streams() {
+        let bad = "pub fn f(x: f64) { let r = SmallRng::new(x); }";
+        let f = lint_source("t.rs", bad, RuleSet::all());
+        assert!(f.iter().any(|f| f.code == "L6"));
+        let ok = "pub fn f(seed: u64) { let r = Rng::new(seed ^ FAULT_STREAM_SALT); \
+                  let s = Rng::new(0x5EED); let t = StdRng::seed_from_u64(seed); }";
+        assert!(lint_source("t.rs", ok, RuleSet::all())
+            .iter()
+            .all(|f| f.code != "L6"));
+    }
+
+    #[test]
+    fn l7_flags_cross_dimension_comparison() {
+        let bad = "pub fn f(rate_tps: f64, budget_usd: f64) -> bool { rate_tps < budget_usd }";
+        let f = lint_source("t.rs", bad, RuleSet::all());
+        assert_eq!(f.iter().filter(|f| f.code == "L7").count(), 1);
+        // Multiplication is the conversion idiom and is exempt.
+        let ok = "pub fn g(rate_tps: f64, window_secs: f64) -> f64 { rate_tps * window_secs }";
+        assert!(lint_source("t.rs", ok, RuleSet::all())
+            .iter()
+            .all(|f| f.code != "L7"));
+        // Same dimension is fine.
+        let same = "pub fn h(a_tps: f64, b_tps: f64) -> bool { a_tps < b_tps }";
+        assert!(lint_source("t.rs", same, RuleSet::all())
+            .iter()
+            .all(|f| f.code != "L7"));
+    }
+
+    #[test]
+    fn l8_flags_indexing_but_not_slice_types_or_attrs() {
+        let bad = "pub fn f(v: &[f64], i: usize) -> f64 { v[i] }";
+        let f = lint_source("t.rs", bad, RuleSet::all());
+        assert_eq!(f.iter().filter(|f| f.code == "L8").count(), 1);
+        let ok = "#[derive(Clone)]\npub struct S { xs: [f64; 3] }\n\
+                  pub fn g(v: &[f64]) -> f64 { v.first().copied().unwrap_or(0.0) }";
+        assert!(lint_source("t.rs", ok, RuleSet::all())
+            .iter()
+            .all(|f| f.code != "L8"));
+    }
+
+    #[test]
+    fn units_table_longest_suffix_wins() {
+        let mut t = UnitsTable::default();
+        t.set("budget_usd", "budget-money");
+        assert_eq!(t.dimension_of("total_budget_usd"), Some("budget-money"));
+        assert_eq!(t.dimension_of("cost_usd"), Some("money"));
+        assert_eq!(t.dimension_of("plain"), None);
+    }
+
+    #[test]
+    fn config_parses_units_section() {
+        let toml = "[units]\ngb = \"memory\"\n\n[[allow]]\npath = \"a.rs\"\nlint = \"L8\"\n\
+                    justification = \"x\"\n";
+        let cfg = parse_config(toml).expect("parses");
+        assert_eq!(cfg.units.dimension_of("heap_gb"), Some("memory"));
+        assert_eq!(cfg.allow.len(), 1);
     }
 
     #[test]
@@ -920,6 +1349,7 @@ mod tests {
             code: "L2",
             token: "HashMap".into(),
             message: String::new(),
+            chain: Vec::new(),
         }));
     }
 
@@ -928,7 +1358,7 @@ mod tests {
         let bad = "[[allow]]\npath = \"a.rs\"\nlint = \"L1\"\n";
         assert!(parse_allowlist(bad).is_err());
         let mut many = String::new();
-        for i in 0..11 {
+        for i in 0..(MAX_ALLOW_ENTRIES + 1) {
             many.push_str(&format!(
                 "[[allow]]\npath = \"f{i}.rs\"\nlint = \"L1\"\njustification = \"x\"\n"
             ));

@@ -1,18 +1,83 @@
 //! CLI for the workspace invariant checker.
 //!
-//! * `cargo run -p dragster-lint` — lint every library crate's `src/`
-//!   tree, applying the `lint.toml` allowlist at the workspace root.
-//!   Exits 0 when clean, 1 on findings, 2 on configuration errors.
+//! * `cargo run -p dragster-lint` — lint every library/harness crate's
+//!   `src/` tree (per-file passes plus L5 panic-reachability), applying
+//!   the `lint.toml` allowlist at the workspace root. Exits 0 when
+//!   clean, 1 on findings, 2 on configuration errors.
+//! * `-- --ratchet` — compare surviving findings against the committed
+//!   `lint-baseline.json`: fail only on *new* findings, and assert the
+//!   total never grows. Exits 0 when the ratchet holds.
+//! * `-- --write-baseline` — rewrite `lint-baseline.json` from the
+//!   current run (use after paying down debt).
+//! * `-- --format sarif` — emit SARIF 2.1.0 on stdout instead of the
+//!   human format (diagnostics still go to stderr).
+//! * `-- --baseline PATH` — use PATH instead of `lint-baseline.json`.
 //! * `cargo run -p dragster-lint -- <file.rs>...` — lint specific files
-//!   with every rule enabled and no allowlist (used by the fixture
-//!   tests and for ad-hoc checks).
+//!   with every rule enabled (including L5 across the given set, with
+//!   call chains for all panic-site kinds) and no allowlist; used by the
+//!   fixture tests and for ad-hoc checks.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dragster_lint::{lint_source, lint_workspace, parse_allowlist, RuleSet};
+use dragster_lint::report::{ratchet, to_sarif, Baseline};
+use dragster_lint::{lint_files_semantic, lint_workspace, parse_config, LintConfig, RuleSet};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Sarif,
+}
+
+struct Options {
+    format: Format,
+    ratchet: bool,
+    write_baseline: bool,
+    baseline_path: Option<String>,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Human,
+        ratchet: false,
+        write_baseline: false,
+        baseline_path: None,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ratchet" => opts.ratchet = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value (human|sarif)")?;
+                opts.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (human|sarif)")),
+                };
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                opts.baseline_path = Some(v.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.ratchet && opts.write_baseline {
+        return Err("--ratchet and --write-baseline are mutually exclusive".to_string());
+    }
+    if (opts.ratchet || opts.write_baseline) && !opts.files.is_empty() {
+        return Err("baseline modes only apply to workspace runs (no file args)".to_string());
+    }
+    Ok(opts)
+}
 
 fn workspace_root() -> PathBuf {
     // When run via `cargo run -p dragster-lint`, the manifest dir is
@@ -28,52 +93,61 @@ fn workspace_root() -> PathBuf {
     env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
 }
 
-fn lint_files(paths: &[String]) -> ExitCode {
-    let mut total = 0usize;
+fn lint_files(paths: &[String], format: Format) -> ExitCode {
+    let mut sources = Vec::new();
     for p in paths {
         match fs::read_to_string(p) {
-            Ok(source) => {
-                for f in lint_source(p, &source, RuleSet::all()) {
-                    eprintln!("{f}");
-                    total += 1;
-                }
-            }
+            Ok(source) => sources.push((p.clone(), source)),
             Err(e) => {
                 eprintln!("dragster-lint: cannot read {p}: {e}");
                 return ExitCode::from(2);
             }
         }
     }
-    if total == 0 {
-        println!("dragster-lint: {} file(s) clean", paths.len());
+    let findings = lint_files_semantic(&sources, RuleSet::all());
+    if format == Format::Sarif {
+        print!("{}", to_sarif(&findings));
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        if format == Format::Human {
+            println!("dragster-lint: {} file(s) clean", paths.len());
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!("dragster-lint: {total} finding(s)");
+        eprintln!("dragster-lint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }
 
-fn lint_tree() -> ExitCode {
+fn lint_tree(opts: &Options) -> ExitCode {
     let root = workspace_root();
-    let allow = match fs::read_to_string(root.join("lint.toml")) {
-        Ok(text) => match parse_allowlist(&text) {
-            Ok(entries) => entries,
+    let cfg = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => match parse_config(&text) {
+            Ok(cfg) => cfg,
             Err(e) => {
                 eprintln!("dragster-lint: {e}");
                 return ExitCode::from(2);
             }
         },
-        Err(_) => Vec::new(), // no allowlist file — nothing is suppressed
+        Err(_) => LintConfig::default(), // no config — nothing suppressed
     };
-    let report = match lint_workspace(&root, &allow) {
+    let report = match lint_workspace(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("dragster-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    for f in &report.findings {
-        eprintln!("{f}");
+    if opts.format == Format::Sarif {
+        print!("{}", to_sarif(&report.findings));
+    } else {
+        for f in &report.findings {
+            eprintln!("{f}");
+        }
     }
     for e in &report.unused_entries {
         eprintln!(
@@ -81,12 +155,90 @@ fn lint_tree() -> ExitCode {
             e.path, e.lint
         );
     }
-    if report.findings.is_empty() && report.unused_entries.is_empty() {
-        println!(
-            "dragster-lint: {} files clean ({} allowlisted suppression(s))",
-            report.files_scanned,
-            report.used_entries.len()
+
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    if opts.write_baseline {
+        let base = Baseline::from_findings(&report.findings);
+        if let Err(e) = fs::write(&baseline_path, base.to_json()) {
+            eprintln!(
+                "dragster-lint: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "dragster-lint: wrote baseline with {} finding(s) to {}",
+            base.total(),
+            baseline_path.display()
         );
+        // Stale allowlist entries are still configuration errors.
+        return if report.unused_entries.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if opts.ratchet {
+        let base = match fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("dragster-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "dragster-lint: cannot read {}: {e} (run --write-baseline first)",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let out = ratchet(&base, &report.findings);
+        for (file, code, token, was, now) in &out.new {
+            eprintln!(
+                "dragster-lint: NEW debt {file} [{code}] {token}: {was} -> {now} occurrence(s)"
+            );
+        }
+        if out.current_total > out.baseline_total {
+            eprintln!(
+                "dragster-lint: total findings grew {} -> {} — the ratchet only turns one way",
+                out.baseline_total, out.current_total
+            );
+        }
+        if out.can_tighten() {
+            eprintln!(
+                "dragster-lint: debt paid down ({} -> {}); rewrite the baseline with \
+                 --write-baseline to lock it in",
+                out.baseline_total, out.current_total
+            );
+        }
+        return if out.ok() && report.unused_entries.is_empty() {
+            eprintln!(
+                "dragster-lint: ratchet holds ({} baseline finding(s), {} current)",
+                out.baseline_total, out.current_total
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if report.findings.is_empty() && report.unused_entries.is_empty() {
+        if opts.format == Format::Human {
+            println!(
+                "dragster-lint: {} files clean ({} allowlisted suppression(s))",
+                report.files_scanned,
+                report.used_entries.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
@@ -100,9 +252,16 @@ fn lint_tree() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    if args.is_empty() {
-        lint_tree()
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dragster-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.files.is_empty() {
+        lint_tree(&opts)
     } else {
-        lint_files(&args)
+        lint_files(&opts.files, opts.format)
     }
 }

@@ -1,0 +1,508 @@
+//! Lightweight workspace model: a tokenizer, an item index (functions and
+//! methods with their body spans), and an approximate call graph resolved
+//! by path/name. This is deliberately *not* a Rust parser — it is a
+//! token-stream approximation good enough to answer "can a panic site be
+//! reached from this `pub` item?" with useful precision on this workspace.
+//!
+//! Over-approximation is accepted (name collisions may add edges);
+//! under-approximation is limited to dynamic dispatch through trait
+//! objects and function pointers, which the workspace's controller path
+//! avoids by design.
+
+use std::collections::BTreeMap;
+
+/// One lexical token of prepared source: an identifier/number word or a
+/// single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub text: String,
+    /// Line number (1-based) in the original file.
+    pub line: usize,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes prepared source (comments/literals already blanked) into
+/// words and single punctuation characters, tracking line numbers.
+pub fn tokenize(prepared: &str) -> Vec<Tok> {
+    let chars: Vec<char> = prepared.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_char(c) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        toks.push(Tok {
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// A function or method in the workspace.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub crate_name: String,
+    /// File-stem module plus inline `mod` nesting (empty for lib.rs root).
+    pub module: Vec<String>,
+    /// Surrounding `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    pub name: String,
+    pub is_pub: bool,
+    /// Index into `Model::files`.
+    pub file_idx: usize,
+    pub line: usize,
+    /// Token range `[start, end)` of the parameter list (inside parens).
+    pub sig: (usize, usize),
+    /// Token range `[start, end)` of the body (inside braces); `None` for
+    /// bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl Item {
+    /// Human-readable qualified name, e.g. `sim::FaultState::begin_slot`.
+    pub fn qualified(&self) -> String {
+        let mut s = self.crate_name.clone();
+        for m in &self.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(o) = &self.owner {
+            s.push_str("::");
+            s.push_str(o);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// One source file loaded into the model.
+pub struct FileSrc {
+    /// Workspace-relative label, e.g. `crates/sim/src/faults.rs`.
+    pub label: String,
+    pub crate_name: String,
+    pub tokens: Vec<Tok>,
+}
+
+/// A call site extracted from a function body.
+#[derive(Debug, Clone)]
+pub struct CallRef {
+    pub name: String,
+    /// The identifier immediately before `::` (e.g. `FaultState` in
+    /// `FaultState::new(..)`), if any.
+    pub qualifier: Option<String>,
+    pub is_method: bool,
+}
+
+pub struct Model {
+    pub files: Vec<FileSrc>,
+    pub items: Vec<Item>,
+    /// name -> item indices with that name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+const RESERVED: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "mut",
+    "ref", "fn", "pub", "use", "mod", "impl", "trait", "struct", "enum", "union", "const",
+    "static", "type", "where", "unsafe", "extern", "crate", "super", "self", "Self", "as", "in",
+    "move", "dyn", "async", "await", "box",
+];
+
+fn is_reserved(word: &str) -> bool {
+    RESERVED.contains(&word)
+}
+
+impl Model {
+    /// Builds the model from prepared sources. Each entry is
+    /// `(label, crate_name, prepared_source)`.
+    pub fn build(sources: Vec<(String, String, String)>) -> Model {
+        let mut files = Vec::new();
+        let mut items: Vec<Item> = Vec::new();
+        for (label, crate_name, prepared) in sources {
+            let tokens = tokenize(&prepared);
+            let file_idx = files.len();
+            let module_root = module_of_label(&label);
+            extract_items(&tokens, file_idx, &crate_name, &module_root, &mut items);
+            files.push(FileSrc {
+                label,
+                crate_name,
+                tokens,
+            });
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, it) in items.iter().enumerate() {
+            by_name.entry(it.name.clone()).or_default().push(idx);
+        }
+        Model {
+            files,
+            items,
+            by_name,
+        }
+    }
+
+    /// Extracts call sites from an item's body token range.
+    pub fn calls_of(&self, item: &Item) -> Vec<CallRef> {
+        let Some((start, end)) = item.body else {
+            return Vec::new();
+        };
+        let toks = &self.files[item.file_idx].tokens;
+        let mut calls = Vec::new();
+        for j in start..end.min(toks.len()) {
+            let w = &toks[j].text;
+            if w.is_empty()
+                || !w
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                continue;
+            }
+            if is_reserved(w) {
+                continue;
+            }
+            // `name(` — a call; `name!` — a macro (handled as panic sites
+            // elsewhere, never call-graph edges).
+            let next = toks.get(j + 1).map(|t| t.text.as_str());
+            if next != Some("(") {
+                continue;
+            }
+            let prev = if j > start {
+                Some(toks[j - 1].text.as_str())
+            } else {
+                None
+            };
+            if prev == Some(".") {
+                calls.push(CallRef {
+                    name: w.clone(),
+                    qualifier: None,
+                    is_method: true,
+                });
+            } else if prev == Some(":") && j >= start + 3 && toks[j - 2].text == ":" {
+                let q = &toks[j - 3].text;
+                let qualifier = if q
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    Some(q.clone())
+                } else {
+                    None
+                };
+                calls.push(CallRef {
+                    name: w.clone(),
+                    qualifier,
+                    is_method: false,
+                });
+            } else {
+                calls.push(CallRef {
+                    name: w.clone(),
+                    qualifier: None,
+                    is_method: false,
+                });
+            }
+        }
+        calls
+    }
+
+    /// Resolves a call to candidate item indices by name, preferring
+    /// matches consistent with the qualifier / receiver shape. Name-based
+    /// and deliberately over-approximate.
+    pub fn resolve(&self, call: &CallRef) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        if call.is_method {
+            // Methods live in impl/trait blocks.
+            let owned: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| self.items[i].owner.is_some())
+                .collect();
+            return owned;
+        }
+        if let Some(q) = &call.qualifier {
+            let crate_q = q.strip_prefix("dragster_").unwrap_or(q.as_str());
+            let matched: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let it = &self.items[i];
+                    it.owner.as_deref() == Some(q.as_str())
+                        || it.module.last().map(String::as_str) == Some(q.as_str())
+                        || (q == "Self" && it.owner.is_some())
+                        || it.crate_name == crate_q
+                })
+                .collect();
+            if !matched.is_empty() {
+                return matched;
+            }
+            return cands.clone();
+        }
+        // Free call: plain functions only.
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| self.items[i].owner.is_none())
+            .collect()
+    }
+}
+
+/// Derives the module path component from a file label:
+/// `crates/sim/src/faults.rs` -> `["faults"]`; lib.rs/mod.rs/main.rs -> [].
+fn module_of_label(label: &str) -> Vec<String> {
+    let stem = label
+        .rsplit('/')
+        .next()
+        .unwrap_or(label)
+        .trim_end_matches(".rs");
+    if stem == "lib" || stem == "mod" || stem == "main" {
+        Vec::new()
+    } else {
+        vec![stem.to_string()]
+    }
+}
+
+/// Context for brace tracking during item extraction.
+enum Ctx {
+    Module(String),
+    Owner(String),
+    Plain,
+}
+
+/// Walks a file's token stream and records every `fn` item with its
+/// module path, owner type, visibility, and signature/body token ranges.
+fn extract_items(
+    toks: &[Tok],
+    file_idx: usize,
+    crate_name: &str,
+    module_root: &[String],
+    out: &mut Vec<Item>,
+) {
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i].text.as_str();
+        match t {
+            "mod" => {
+                // `mod name { .. }` pushes a module context at its `{`;
+                // `mod name;` is an out-of-line module (its file is loaded
+                // separately).
+                if let (Some(name), Some(open)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if open.text == "{" {
+                        stack.push(Ctx::Module(name.text.clone()));
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "impl" | "trait" => {
+                if let Some((owner, open_idx)) = parse_owner(toks, i) {
+                    stack.push(Ctx::Owner(owner));
+                    i = open_idx + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    break;
+                };
+                let name = name_tok.text.clone();
+                let is_pub = lookback_is_pub(toks, i);
+                // Parameter list: first `(` after the name (skipping
+                // generics `<..>`).
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "(" if angle <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let sig_start = j + 1;
+                let sig_end = skip_group(toks, j, "(", ")");
+                // Body: next `{` or `;` at paren depth 0 (return types may
+                // contain parens).
+                let mut k = sig_end + 1;
+                let mut paren = 0i32;
+                let mut body = None;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        ";" if paren == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        "{" if paren == 0 => {
+                            let close = skip_group(toks, k, "{", "}");
+                            body = Some((k + 1, close));
+                            k = close + 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let mut module = module_root.to_vec();
+                let mut owner = None;
+                for ctx in &stack {
+                    match ctx {
+                        Ctx::Module(m) => module.push(m.clone()),
+                        Ctx::Owner(o) => owner = Some(o.clone()),
+                        Ctx::Plain => {}
+                    }
+                }
+                out.push(Item {
+                    crate_name: crate_name.to_string(),
+                    module,
+                    owner,
+                    name,
+                    is_pub,
+                    file_idx,
+                    line: name_tok.line,
+                    sig: (sig_start, sig_end),
+                    body,
+                });
+                i = k;
+            }
+            "{" => {
+                stack.push(Ctx::Plain);
+                i += 1;
+            }
+            "}" => {
+                stack.pop();
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses the type name an `impl`/`trait` block belongs to, returning
+/// `(owner, index_of_open_brace)`. For `impl Trait for Type` the owner is
+/// `Type`; for `impl Type` / `trait Name` it is the first path ident.
+fn parse_owner(toks: &[Tok], start: usize) -> Option<(String, usize)> {
+    let mut j = start + 1;
+    // Skip generic parameters directly after the keyword.
+    if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+        let mut angle = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {}
+            }
+            j += 1;
+            if angle == 0 {
+                break;
+            }
+        }
+    }
+    let mut owner: Option<String> = None;
+    let mut after_for = false;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        let t = toks[j].text.as_str();
+        match t {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" if angle <= 0 => {
+                return owner.map(|o| (o, j));
+            }
+            ";" if angle <= 0 => return None,
+            "for" if angle <= 0 => {
+                after_for = true;
+                owner = None;
+            }
+            "where" if angle <= 0 => {
+                // Skip ahead to the opening brace.
+                while j < toks.len() && toks[j].text != "{" {
+                    j += 1;
+                }
+                return owner.map(|o| (o, j));
+            }
+            w if angle <= 0
+                && owner.is_none()
+                && w.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                && !is_reserved(w) =>
+            {
+                let _ = after_for;
+                owner = Some(w.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scans backwards from a `fn` keyword for a `pub` marker, stopping at
+/// the previous item boundary.
+fn lookback_is_pub(toks: &[Tok], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    let mut steps = 0;
+    while j > 0 && steps < 8 {
+        j -= 1;
+        steps += 1;
+        match toks[j].text.as_str() {
+            "pub" => return true,
+            // Modifiers and visibility-path tokens that may sit between
+            // `pub` and `fn`.
+            "const" | "unsafe" | "extern" | "async" | "crate" | "super" | "in" | "(" | ")"
+            | ":" => continue,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Token-level balanced-group skip: given the index of an `open` token,
+/// returns the index of its matching `close` token.
+fn skip_group(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < toks.len() {
+        let t = toks[j].text.as_str();
+        if t == open {
+            depth += 1;
+        } else if t == close {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}

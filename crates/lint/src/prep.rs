@@ -1,0 +1,280 @@
+//! Source preparation: strip comments, string/char literals, and
+//! `#[cfg(test)]` items so the rule passes never fire on tokens inside
+//! them. Newlines are preserved throughout so character offsets map back
+//! to original line numbers.
+
+/// Returns a copy of `src` with comments and string/char-literal contents
+/// replaced by spaces. Newlines are preserved (including inside block
+/// comments and multi-line strings) so byte offsets map to the original
+/// line numbers.
+pub fn strip_comments_and_literals(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..", r#".."#, and byte variants br".." etc.
+        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut j = start;
+            while j < n && b[j] == '#' {
+                j += 1;
+            }
+            let hashes = j - start;
+            // Must be a quote next, and `r`/`br` must not be the tail of a
+            // longer identifier (e.g. `var"` is not a raw string).
+            let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+            if j < n && b[j] == '"' && !prev_ident {
+                for &c in &b[i..=j] {
+                    out.push(blank(c));
+                }
+                i = j + 1;
+                // Scan to closing quote followed by `hashes` hashes.
+                while i < n {
+                    if b[i] == '"' {
+                        let mut h = 0;
+                        while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            for &c in &b[i..=i + hashes] {
+                                out.push(blank(c));
+                            }
+                            i += hashes + 1;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary (or byte) string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' '); // opening quote
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(blank(b[i]));
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime. A lifetime is `'ident` NOT followed by
+        // a closing quote; a char literal is everything else after `'`.
+        if c == '\'' && i + 1 < n {
+            let is_lifetime =
+                (b[i + 1].is_alphabetic() || b[i + 1] == '_') && !(i + 2 < n && b[i + 2] == '\'');
+            if !is_lifetime {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        out.push(blank(b[i]));
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Blanks out every item annotated `#[cfg(test)]` (the attribute, any
+/// attributes stacked after it, and the item body through its matching
+/// closing brace or terminating semicolon). Operates on already-stripped
+/// source so comments/strings cannot confuse the brace matching.
+pub fn strip_cfg_test_items(stripped: &str) -> String {
+    let b: Vec<char> = stripped.chars().collect();
+    let n = b.len();
+    let mut out = b.clone();
+    let mut i = 0;
+    while i < n {
+        if b[i] == '#' {
+            if let Some(attr_end) = match_cfg_test_attr(&b, i) {
+                let mut j = attr_end;
+                // Skip whitespace and any further attributes.
+                loop {
+                    while j < n && b[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '#' {
+                        j = skip_attr(&b, j);
+                    } else {
+                        break;
+                    }
+                }
+                // Find the end of the annotated item: a `;` or a balanced
+                // `{..}` at paren/bracket depth 0.
+                let mut depth = 0i32;
+                while j < n {
+                    match b[j] {
+                        '(' | '[' => depth += 1,
+                        ')' | ']' => depth -= 1,
+                        ';' if depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        '{' if depth == 0 => {
+                            j = skip_braces(&b, j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                for item in out.iter_mut().take(j).skip(i) {
+                    if *item != '\n' {
+                        *item = ' ';
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// If a `#[cfg(test)]` attribute starts at `i`, returns the index just
+/// past its closing `]`.
+fn match_cfg_test_attr(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    let expect = |tok: &str, j: &mut usize| -> bool {
+        while *j < b.len() && b[*j].is_whitespace() {
+            *j += 1;
+        }
+        for c in tok.chars() {
+            if *j >= b.len() || b[*j] != c {
+                return false;
+            }
+            *j += 1;
+        }
+        // Keywords must end at an identifier boundary.
+        if tok.chars().all(|c| c.is_alphanumeric())
+            && *j < b.len()
+            && (b[*j].is_alphanumeric() || b[*j] == '_')
+        {
+            return false;
+        }
+        true
+    };
+    for tok in ["#", "[", "cfg", "(", "test", ")", "]"] {
+        if !expect(tok, &mut j) {
+            return None;
+        }
+    }
+    Some(j)
+}
+
+/// Skips a balanced `#[...]` attribute starting at `i`; returns the index
+/// past its closing bracket.
+fn skip_attr(b: &[char], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && b[j] != '[' {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < b.len() {
+        match b[j] {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a balanced `{...}` block starting at the `{` at `i`; returns the
+/// index past its closing brace.
+fn skip_braces(b: &[char], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < b.len() {
+        match b[j] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Full preparation pipeline: strip comments/literals, then blank
+/// `#[cfg(test)]` items.
+pub fn prepare(source: &str) -> String {
+    strip_cfg_test_items(&strip_comments_and_literals(source))
+}

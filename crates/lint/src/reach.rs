@@ -1,0 +1,299 @@
+//! L5: panic-reachability. Walks the approximate call graph from every
+//! `pub` item and reports any path that reaches a panic site, with the
+//! full call chain in the finding.
+//!
+//! Panic sites: `panic!`/`unreachable!`/`todo!`/`unimplemented!`,
+//! `.unwrap()`/`.expect(`, unchecked `[..]` indexing, and integer
+//! division/remainder by a non-constant divisor.
+//!
+//! To avoid double-reporting, site kinds already claimed by an enabled
+//! per-site lint are skipped: L1 claims the macros and unwrap/expect,
+//! L8 claims indexing. In a full workspace run with L1+L8 on, L5 thus
+//! nets out to *reachability of integer div/rem* — plus the call-chain
+//! context that the per-site lints cannot give. In fixture/file mode with
+//! only L5 enabled, every site kind is reported with its chain.
+
+use crate::model::Model;
+use crate::Finding;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    PanicMacro,
+    UnwrapExpect,
+    Index,
+    DivRem,
+}
+
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub item: usize,
+    pub kind: SiteKind,
+    pub line: usize,
+    pub token: String,
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Integer type names for the div/rem int-variable heuristic.
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Keywords that can legally precede `[` without it being an index
+/// expression (`in xs[..]` IS indexing, but `let [a, b] = ..` patterns
+/// and slice-type positions are not).
+const NON_INDEX_PREV: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "while", "match", "return", "else", "as", "const", "static",
+    "where", "move", "dyn", "break",
+];
+
+/// Extracts panic sites from one item's body.
+pub fn find_sites(model: &Model, item_idx: usize) -> Vec<PanicSite> {
+    let item = &model.items[item_idx];
+    let Some((start, end)) = item.body else {
+        return Vec::new();
+    };
+    let toks = &model.files[item.file_idx].tokens;
+    let end = end.min(toks.len());
+    let mut sites = Vec::new();
+
+    // Integer-typed variables in scope: signature params plus typed lets.
+    let mut int_vars: Vec<String> = Vec::new();
+    collect_int_vars(toks, item.sig.0, item.sig.1, &mut int_vars);
+    for j in start..end {
+        if toks[j].text == "let" {
+            // `let [mut] name : <int-type>`
+            let mut k = j + 1;
+            if toks.get(k).map(|t| t.text.as_str()) == Some("mut") {
+                k += 1;
+            }
+            if let (Some(name), Some(colon), Some(ty)) =
+                (toks.get(k), toks.get(k + 1), toks.get(k + 2))
+            {
+                if colon.text == ":" && INT_TYPES.contains(&ty.text.as_str()) {
+                    int_vars.push(name.text.clone());
+                }
+            }
+        }
+    }
+
+    for j in start..end {
+        let w = toks[j].text.as_str();
+        let next = toks.get(j + 1).map(|t| t.text.as_str());
+        let prev = if j > 0 {
+            Some(toks[j - 1].text.as_str())
+        } else {
+            None
+        };
+
+        // Macros: panic!/unreachable!/todo!/unimplemented!
+        if PANIC_MACROS.contains(&w) && next == Some("!") {
+            sites.push(PanicSite {
+                item: item_idx,
+                kind: SiteKind::PanicMacro,
+                line: toks[j].line,
+                token: format!("{w}!"),
+            });
+            continue;
+        }
+        // .unwrap() / .expect(
+        if (w == "unwrap" || w == "expect") && prev == Some(".") && next == Some("(") {
+            sites.push(PanicSite {
+                item: item_idx,
+                kind: SiteKind::UnwrapExpect,
+                line: toks[j].line,
+                token: w.to_string(),
+            });
+            continue;
+        }
+        // Unchecked indexing: `expr[..]` where expr ends in an ident, `)`,
+        // `]`, or `?`. Attribute brackets are preceded by `#` or `!`.
+        if w == "[" {
+            if let Some(p) = prev {
+                let is_expr_end = p == ")"
+                    || p == "]"
+                    || p == "?"
+                    || (p
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                        && !NON_INDEX_PREV.contains(&p)
+                        && !p.chars().next().is_some_and(|c| c.is_ascii_digit()));
+                if is_expr_end {
+                    let tok = if p
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphabetic() || c == '_')
+                    {
+                        format!("{p}[")
+                    } else {
+                        "[".to_string()
+                    };
+                    sites.push(PanicSite {
+                        item: item_idx,
+                        kind: SiteKind::Index,
+                        line: toks[j].line,
+                        token: tok,
+                    });
+                }
+            }
+            continue;
+        }
+        // Integer division/remainder by a non-constant divisor. Only bare
+        // integer variables (from the sig or typed lets) count — method
+        // results like `.max(1)` or literals are excluded, so `x / n`
+        // is flagged while `x / n.max(1)` and `x / 2` are not.
+        if (w == "/" || w == "%") && prev.is_some() {
+            // Exclude `/=`-style compound-assign double chars? Tokens are
+            // single chars; `a /= b` tokenizes `/`, `=` — divisor starts
+            // after the `=`.
+            let mut r = j + 1;
+            if toks.get(r).map(|t| t.text.as_str()) == Some("=") {
+                r += 1;
+            }
+            let Some(rhs) = toks.get(r) else { continue };
+            if int_vars.contains(&rhs.text) {
+                let after = toks.get(r + 1).map(|t| t.text.as_str());
+                // `.`/`(` mean a method result (e.g. `.max(1)`), and `as`
+                // means a cast (`/ n as f64` is float division) — neither
+                // is a bare int divisor.
+                if after != Some(".") && after != Some("(") && after != Some("as") {
+                    sites.push(PanicSite {
+                        item: item_idx,
+                        kind: SiteKind::DivRem,
+                        line: toks[j].line,
+                        token: format!("{} {}", w, rhs.text),
+                    });
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Collects integer-typed parameter names from a signature token range:
+/// `name : [&] [mut] <int-type>`.
+fn collect_int_vars(toks: &[crate::model::Tok], start: usize, end: usize, out: &mut Vec<String>) {
+    let end = end.min(toks.len());
+    let mut j = start;
+    while j + 2 < end {
+        if toks[j + 1].text == ":" {
+            let mut k = j + 2;
+            while k < end && (toks[k].text == "&" || toks[k].text == "mut") {
+                k += 1;
+            }
+            if k < end && INT_TYPES.contains(&toks[k].text.as_str()) {
+                out.push(toks[j].text.clone());
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Which site kinds L5 should report, given which per-site lints already
+/// claim them in this run.
+pub struct SiteFilter {
+    pub macros_and_unwrap: bool,
+    pub indexing: bool,
+}
+
+impl SiteFilter {
+    pub fn keeps(&self, kind: SiteKind) -> bool {
+        match kind {
+            SiteKind::PanicMacro | SiteKind::UnwrapExpect => self.macros_and_unwrap,
+            SiteKind::Index => self.indexing,
+            SiteKind::DivRem => true,
+        }
+    }
+}
+
+/// BFS from all `pub` items over the approximate call graph; emits one L5
+/// finding per reachable panic site, carrying the shortest call chain
+/// from some public root.
+pub fn panic_reachability(model: &Model, filter: &SiteFilter) -> Vec<Finding> {
+    let n = model.items.len();
+    // Adjacency: item -> callee items.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, item) in model.items.iter().enumerate() {
+        for call in model.calls_of(item) {
+            for cand in model.resolve(&call) {
+                if cand != i && !adj[i].contains(&cand) {
+                    adj[i].push(cand);
+                }
+            }
+        }
+    }
+    // Multi-source BFS from public roots; `parent` reconstructs chains.
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut visited: Vec<bool> = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for (i, item) in model.items.iter().enumerate() {
+        if item.is_pub {
+            visited[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    // Deduplicate sites that resolve to the same (file, line, token).
+    let mut seen: BTreeMap<(usize, usize, String), ()> = BTreeMap::new();
+    for (item_idx, &was_visited) in visited.iter().enumerate() {
+        if !was_visited {
+            continue;
+        }
+        for site in find_sites(model, item_idx) {
+            if !filter.keeps(site.kind) {
+                continue;
+            }
+            let item = &model.items[site.item];
+            let key = (item.file_idx, site.line, site.token.clone());
+            if seen.contains_key(&key) {
+                continue;
+            }
+            seen.insert(key, ());
+            // Rebuild root -> .. -> item chain.
+            let mut chain_rev = vec![site.item];
+            let mut cur = site.item;
+            while let Some(p) = parent[cur] {
+                chain_rev.push(p);
+                cur = p;
+            }
+            let chain: Vec<String> = chain_rev
+                .iter()
+                .rev()
+                .map(|&i| model.items[i].qualified())
+                .collect();
+            let root = chain.first().cloned().unwrap_or_default();
+            let what = match site.kind {
+                SiteKind::PanicMacro => "panic macro",
+                SiteKind::UnwrapExpect => "unwrap/expect",
+                SiteKind::Index => "unchecked indexing",
+                SiteKind::DivRem => "integer division/remainder by a runtime value",
+            };
+            let via = chain.join(" -> ");
+            findings.push(Finding {
+                file: model.files[item.file_idx].label.clone(),
+                line: site.line,
+                code: "L5",
+                token: site.token.clone(),
+                message: format!(
+                    "{what} `{}` reachable from pub `{root}` via {via}; make the callee total or prove the bound and allowlist it",
+                    site.token
+                ),
+                chain,
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}

@@ -1,0 +1,507 @@
+//! Machine-readable output and the CI ratchet.
+//!
+//! * [`to_sarif`] renders findings as SARIF-lite 2.1.0 (hand-rolled,
+//!   dependency-free) for upload as a CI artifact.
+//! * [`Baseline`] is the committed `lint-baseline.json`: a multiset of
+//!   findings keyed by `(file, code, token)` — line numbers are
+//!   deliberately excluded so unrelated edits do not churn the baseline.
+//! * [`ratchet`] compares a run against the baseline: CI fails only on
+//!   findings *not* in the baseline, and additionally asserts the total
+//!   count never grows, so the debt can only be paid down.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// JSON helpers (no serde in this crate — it must lint the workspace even
+// when the dependency graph is broken).
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON value for parsing the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (objects, arrays, strings, numbers, literals).
+/// Strict enough for round-tripping the files this tool writes.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing garbage at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], p: &mut usize) {
+    while *p < c.len() && c[*p].is_whitespace() {
+        *p += 1;
+    }
+}
+
+fn parse_value(c: &[char], p: &mut usize) -> Result<Json, String> {
+    skip_ws(c, p);
+    let Some(&ch) = c.get(*p) else {
+        return Err("unexpected end of input".to_string());
+    };
+    match ch {
+        '{' => {
+            *p += 1;
+            let mut pairs = Vec::new();
+            skip_ws(c, p);
+            if c.get(*p) == Some(&'}') {
+                *p += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(c, p);
+                let Json::Str(key) = parse_value(c, p)? else {
+                    return Err(format!("object key must be a string at offset {p}"));
+                };
+                skip_ws(c, p);
+                if c.get(*p) != Some(&':') {
+                    return Err(format!("expected ':' at offset {p}"));
+                }
+                *p += 1;
+                let val = parse_value(c, p)?;
+                pairs.push((key, val));
+                skip_ws(c, p);
+                match c.get(*p) {
+                    Some(',') => *p += 1,
+                    Some('}') => {
+                        *p += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {p}")),
+                }
+            }
+        }
+        '[' => {
+            *p += 1;
+            let mut items = Vec::new();
+            skip_ws(c, p);
+            if c.get(*p) == Some(&']') {
+                *p += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(c, p)?);
+                skip_ws(c, p);
+                match c.get(*p) {
+                    Some(',') => *p += 1,
+                    Some(']') => {
+                        *p += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {p}")),
+                }
+            }
+        }
+        '"' => {
+            *p += 1;
+            let mut s = String::new();
+            while let Some(&ch) = c.get(*p) {
+                match ch {
+                    '"' => {
+                        *p += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    '\\' => {
+                        *p += 1;
+                        let Some(&e) = c.get(*p) else {
+                            return Err("unterminated escape".to_string());
+                        };
+                        match e {
+                            '"' => s.push('"'),
+                            '\\' => s.push('\\'),
+                            '/' => s.push('/'),
+                            'n' => s.push('\n'),
+                            'r' => s.push('\r'),
+                            't' => s.push('\t'),
+                            'b' => s.push('\u{8}'),
+                            'f' => s.push('\u{c}'),
+                            'u' => {
+                                let hex: String = c
+                                    .get(*p + 1..*p + 5)
+                                    .ok_or("truncated \\u escape")?
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *p += 4;
+                            }
+                            other => return Err(format!("bad escape '\\{other}'")),
+                        }
+                        *p += 1;
+                    }
+                    _ => {
+                        s.push(ch);
+                        *p += 1;
+                    }
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        't' | 'f' | 'n' => {
+            for (lit, val) in [
+                ("true", Json::Bool(true)),
+                ("false", Json::Bool(false)),
+                ("null", Json::Null),
+            ] {
+                let end = *p + lit.len();
+                if c.len() >= end && c[*p..end].iter().collect::<String>() == lit {
+                    *p = end;
+                    return Ok(val);
+                }
+            }
+            Err(format!("bad literal at offset {p}"))
+        }
+        _ => {
+            let start = *p;
+            while *p < c.len()
+                && (c[*p].is_ascii_digit() || matches!(c[*p], '-' | '+' | '.' | 'e' | 'E'))
+            {
+                *p += 1;
+            }
+            let text: String = c[start..*p].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SARIF-lite.
+// ---------------------------------------------------------------------------
+
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("L1", "panic path in library code"),
+    ("L2", "non-determinism source"),
+    ("L3", "NaN-unsafe comparison"),
+    ("L4", "lossy numeric cast"),
+    ("L5", "panic site reachable from a pub item"),
+    ("L6", "RNG-stream discipline violation"),
+    ("L7", "unit-dimension mismatch"),
+    ("L8", "unchecked indexing/slicing"),
+];
+
+/// Renders findings as a SARIF 2.1.0 document (the subset GitHub's code
+/// scanning upload understands).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"dragster-lint\",\n          \"rules\": [\n");
+    for (k, (id, desc)) in RULE_DESCRIPTIONS.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{id}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            esc(desc),
+            if k + 1 < RULE_DESCRIPTIONS.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (k, f) in findings.iter().enumerate() {
+        let mut msg = f.message.clone();
+        if !f.chain.is_empty() {
+            msg.push_str(" [chain: ");
+            msg.push_str(&f.chain.join(" -> "));
+            msg.push(']');
+        }
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            f.code,
+            esc(&format!("{}: {}", f.token, msg)),
+            esc(&f.file),
+            f.line.max(1),
+            if k + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Baseline + ratchet.
+// ---------------------------------------------------------------------------
+
+/// The committed debt ledger: a multiset of findings keyed by
+/// `(file, code, token)`. Line numbers are excluded on purpose — moving a
+/// known finding within its file must not count as a new one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.file.clone(), f.code.to_string(), f.token.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serializes to the committed `lint-baseline.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n  \"total\": ");
+        out.push_str(&self.total().to_string());
+        out.push_str(",\n  \"findings\": [\n");
+        let n = self.entries.len();
+        for (k, ((file, code, token), count)) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"code\": \"{}\", \"token\": \"{}\", \"count\": {}}}{}\n",
+                esc(file),
+                esc(code),
+                esc(token),
+                count,
+                if k + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses `lint-baseline.json`.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let doc = parse_json(text).map_err(|e| format!("lint-baseline.json: {e}"))?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_usize)
+            .ok_or("lint-baseline.json: missing version")?;
+        if version != 1 {
+            return Err(format!("lint-baseline.json: unsupported version {version}"));
+        }
+        let mut entries = BTreeMap::new();
+        for item in doc
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("lint-baseline.json: missing findings array")?
+        {
+            let file = item
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or("baseline entry missing file")?;
+            let code = item
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or("baseline entry missing code")?;
+            let token = item
+                .get("token")
+                .and_then(Json::as_str)
+                .ok_or("baseline entry missing token")?;
+            let count = item
+                .get("count")
+                .and_then(Json::as_usize)
+                .ok_or("baseline entry missing count")?;
+            *entries
+                .entry((file.to_string(), code.to_string(), token.to_string()))
+                .or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Outcome of comparing a run against the committed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RatchetOutcome {
+    /// Finding keys present now but absent (or more numerous) than in the
+    /// baseline: `(file, code, token, baseline_count, current_count)`.
+    pub new: Vec<(String, String, String, usize, usize)>,
+    /// Baseline keys fully fixed (present before, gone now).
+    pub fixed: Vec<(String, String, String)>,
+    pub baseline_total: usize,
+    pub current_total: usize,
+}
+
+impl RatchetOutcome {
+    /// The ratchet passes iff nothing new appeared and the total did not
+    /// grow.
+    pub fn ok(&self) -> bool {
+        self.new.is_empty() && self.current_total <= self.baseline_total
+    }
+
+    /// Whether the baseline is stale (debt was paid down) and should be
+    /// rewritten with `--write-baseline` to lock in the progress.
+    pub fn can_tighten(&self) -> bool {
+        self.ok() && (self.current_total < self.baseline_total || !self.fixed.is_empty())
+    }
+}
+
+/// Compares current findings against the baseline multiset.
+pub fn ratchet(baseline: &Baseline, findings: &[Finding]) -> RatchetOutcome {
+    let current = Baseline::from_findings(findings);
+    let mut out = RatchetOutcome {
+        baseline_total: baseline.total(),
+        current_total: current.total(),
+        ..RatchetOutcome::default()
+    };
+    for (key, &count) in &current.entries {
+        let base = baseline.entries.get(key).copied().unwrap_or(0);
+        if count > base {
+            out.new
+                .push((key.0.clone(), key.1.clone(), key.2.clone(), base, count));
+        }
+    }
+    for key in baseline.entries.keys() {
+        if !current.entries.contains_key(key) {
+            out.fixed.push(key.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, code: &'static str, token: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            code,
+            token: token.to_string(),
+            message: "m".to_string(),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let findings = vec![
+            f("a.rs", "L8", "v["),
+            f("a.rs", "L8", "v["),
+            f("b.rs", "L5", "% n"),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let json = base.to_json();
+        let back = Baseline::from_json(&json).expect("parses");
+        assert_eq!(base, back);
+        assert_eq!(back.total(), 3);
+    }
+
+    #[test]
+    fn ratchet_accepts_unchanged_and_moved_findings() {
+        let old = vec![f("a.rs", "L8", "v[")];
+        let base = Baseline::from_findings(&old);
+        // Same finding on a different line is not "new".
+        let mut moved = f("a.rs", "L8", "v[");
+        moved.line = 99;
+        let out = ratchet(&base, &[moved]);
+        assert!(out.ok());
+        assert!(!out.can_tighten());
+    }
+
+    #[test]
+    fn ratchet_rejects_new_findings_and_growth() {
+        let base = Baseline::from_findings(&[f("a.rs", "L8", "v[")]);
+        let grown = vec![f("a.rs", "L8", "v["), f("a.rs", "L8", "w[")];
+        let out = ratchet(&base, &grown);
+        assert!(!out.ok());
+        assert_eq!(out.new.len(), 1);
+        // Count growth of an existing key is also new debt.
+        let dup = vec![f("a.rs", "L8", "v["), f("a.rs", "L8", "v[")];
+        assert!(!ratchet(&base, &dup).ok());
+    }
+
+    #[test]
+    fn ratchet_notices_paydown() {
+        let base = Baseline::from_findings(&[f("a.rs", "L8", "v["), f("b.rs", "L5", "% n")]);
+        let out = ratchet(&base, &[f("a.rs", "L8", "v[")]);
+        assert!(out.ok());
+        assert!(out.can_tighten());
+        assert_eq!(out.fixed.len(), 1);
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_results() {
+        let findings = vec![f("crates/sim/src/faults.rs", "L8", "metric[")];
+        let doc = parse_json(&to_sarif(&findings)).expect("sarif parses as json");
+        let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
+        let results = runs[0]
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("ruleId").and_then(Json::as_str), Some("L8"));
+    }
+
+    #[test]
+    fn empty_baseline_means_any_finding_is_new() {
+        let out = ratchet(&Baseline::default(), &[f("a.rs", "L1", ".unwrap()")]);
+        assert!(!out.ok());
+    }
+}

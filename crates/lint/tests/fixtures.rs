@@ -1,33 +1,53 @@
 //! Fixture tests: each known-bad snippet under `tests/fixtures/` must
 //! trigger exactly its lint (right code, right count, nothing else), the
-//! clean fixture must pass, and the real workspace must be clean under
-//! the checked-in `lint.toml` allowlist.
+//! clean fixtures must pass, and the real workspace must be clean under
+//! the checked-in `lint.toml` config.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use dragster_lint::{lint_source, lint_workspace, parse_allowlist, Finding, RuleSet};
+use dragster_lint::{
+    lint_files_semantic, lint_source, lint_workspace, parse_config, Finding, RuleSet,
+};
 
-fn fixture(name: &str) -> Vec<Finding> {
+fn read_fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let source = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-    lint_source(name, &source, RuleSet::all())
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
 }
 
-/// Asserts the fixture yields exactly `count` findings, all with `code`.
-fn assert_only(name: &str, code: &str, count: usize) {
-    let findings = fixture(name);
+fn fixture_with(name: &str, rules: RuleSet) -> Vec<Finding> {
+    lint_source(name, &read_fixture(name), rules)
+}
+
+fn fixture(name: &str) -> Vec<Finding> {
+    fixture_with(name, RuleSet::all())
+}
+
+/// Runs the full semantic pipeline (token scan + workspace model +
+/// panic-reachability) over a single fixture file.
+fn semantic_fixture(name: &str) -> Vec<Finding> {
+    lint_files_semantic(&[(name.to_string(), read_fixture(name))], RuleSet::all())
+}
+
+/// Asserts the findings are exactly `count` instances of `code`.
+fn assert_findings(name: &str, findings: &[Finding], code: &str, count: usize) {
     assert_eq!(
         findings.len(),
         count,
         "{name}: expected {count} finding(s), got: {findings:#?}"
     );
-    for f in &findings {
+    for f in findings {
         assert_eq!(f.code, code, "{name}: wrong lint class: {f}");
     }
+}
+
+/// Asserts the fixture yields exactly `count` findings, all with `code`.
+fn assert_only(name: &str, code: &str, count: usize) {
+    let findings = fixture(name);
+    assert_findings(name, &findings, code, count);
 }
 
 #[test]
@@ -47,8 +67,18 @@ fn l1_panic_macros_trigger_exactly_l1() {
 }
 
 #[test]
-fn l2_thread_rng_triggers_exactly_l2() {
-    assert_only("l2_thread_rng.rs", "L2", 1);
+fn thread_rng_is_l6_when_rng_discipline_is_on() {
+    // With every pass enabled the RNG-stream pass claims thread_rng from
+    // the generic determinism pass (one finding, not two).
+    assert_only("l2_thread_rng.rs", "L6", 1);
+}
+
+#[test]
+fn thread_rng_falls_back_to_l2_without_rng_discipline() {
+    let mut rules = RuleSet::all();
+    rules.rng_streams = false;
+    let findings = fixture_with("l2_thread_rng.rs", rules);
+    assert_findings("l2_thread_rng.rs", &findings, "L2", 1);
 }
 
 #[test]
@@ -59,10 +89,19 @@ fn l2_hash_collections_trigger_exactly_l2() {
 }
 
 #[test]
-fn l2_wall_clock_triggers_exactly_l2() {
-    // Instant::now + SystemTime::now; the bare types in the return
-    // signature must NOT fire.
-    assert_only("l2_wall_clock.rs", "L2", 2);
+fn wall_clock_is_l6_when_rng_discipline_is_on() {
+    // Instant::now + SystemTime::now are replay hazards and belong to the
+    // stream-discipline pass; the bare types in the return signature must
+    // NOT fire.
+    assert_only("l2_wall_clock.rs", "L6", 2);
+}
+
+#[test]
+fn wall_clock_falls_back_to_l2_without_rng_discipline() {
+    let mut rules = RuleSet::all();
+    rules.rng_streams = false;
+    let findings = fixture_with("l2_wall_clock.rs", rules);
+    assert_findings("l2_wall_clock.rs", &findings, "L2", 2);
 }
 
 #[test]
@@ -74,6 +113,76 @@ fn l3_partial_cmp_unwrap_triggers_exactly_l3() {
 #[test]
 fn l4_lossy_cast_triggers_exactly_l4() {
     assert_only("l4_lossy_cast.rs", "L4", 1);
+}
+
+#[test]
+fn l5_pub_chain_to_division_is_reported_with_full_chain() {
+    let findings = semantic_fixture("l5_reach_pos.rs");
+    assert_findings("l5_reach_pos.rs", &findings, "L5", 1);
+    let f = &findings[0];
+    let tails: Vec<&str> = f
+        .chain
+        .iter()
+        .map(|q| q.rsplit("::").next().unwrap_or(q))
+        .collect();
+    assert_eq!(
+        tails,
+        vec!["entry", "middle", "leaf"],
+        "chain must walk pub entry -> middle -> leaf: {f:#?}"
+    );
+    assert!(
+        f.message.contains("entry") && f.message.contains("middle") && f.message.contains("leaf"),
+        "message must spell out the call chain: {}",
+        f.message
+    );
+}
+
+#[test]
+fn l5_unreachable_division_stays_silent() {
+    let findings = semantic_fixture("l5_reach_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l5_reach_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l6_entropy_seeded_rng_triggers_exactly_l6() {
+    assert_only("l6_rng_pos.rs", "L6", 1);
+}
+
+#[test]
+fn l6_seeded_and_named_streams_pass() {
+    let findings = fixture("l6_rng_neg.rs");
+    assert!(findings.is_empty(), "l6_rng_neg.rs flagged: {findings:#?}");
+}
+
+#[test]
+fn l7_rate_plus_time_triggers_exactly_l7() {
+    assert_only("l7_units_pos.rs", "L7", 1);
+}
+
+#[test]
+fn l7_conversion_and_same_dimension_pass() {
+    let findings = fixture("l7_units_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l7_units_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l8_unchecked_index_triggers_exactly_l8() {
+    assert_only("l8_index_pos.rs", "L8", 1);
+}
+
+#[test]
+fn l8_get_with_fallback_passes() {
+    let findings = fixture("l8_index_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l8_index_neg.rs flagged: {findings:#?}"
+    );
 }
 
 #[test]
@@ -108,23 +217,31 @@ fn every_fixture_is_covered_by_a_test() {
             "l2_wall_clock.rs",
             "l3_partial_cmp.rs",
             "l4_lossy_cast.rs",
+            "l5_reach_neg.rs",
+            "l5_reach_pos.rs",
+            "l6_rng_neg.rs",
+            "l6_rng_pos.rs",
+            "l7_units_neg.rs",
+            "l7_units_pos.rs",
+            "l8_index_neg.rs",
+            "l8_index_pos.rs",
         ],
         "fixture set changed — update the tests to match"
     );
 }
 
 #[test]
-fn real_workspace_is_clean_under_checked_in_allowlist() {
+fn real_workspace_is_clean_under_checked_in_config() {
     let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("workspace root exists")
         .to_path_buf();
-    let allow = match fs::read_to_string(root.join("lint.toml")) {
-        Ok(text) => parse_allowlist(&text).expect("lint.toml must validate"),
-        Err(_) => Vec::new(),
+    let cfg = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => parse_config(&text).expect("lint.toml must validate"),
+        Err(_) => Default::default(),
     };
-    let report = lint_workspace(&root, &allow).expect("workspace scan succeeds");
+    let report = lint_workspace(&root, &cfg).expect("workspace scan succeeds");
     assert!(
         report.findings.is_empty(),
         "library crates violate the invariants:\n{}",

@@ -1,0 +1,19 @@
+//! L5 negative: the same division chain, but no `pub` item reaches it —
+//! the panic site is dead weight for the public API, so reachability
+//! stays silent.
+
+fn entry(total: u64, n: u64) -> u64 {
+    middle(total, n)
+}
+
+fn middle(total: u64, n: u64) -> u64 {
+    leaf(total, n)
+}
+
+fn leaf(total: u64, n: u64) -> u64 {
+    total / n
+}
+
+pub fn safe(total: u64, n: u64) -> u64 {
+    total.checked_div(n).unwrap_or(0)
+}

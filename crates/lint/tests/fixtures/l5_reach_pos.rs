@@ -1,0 +1,15 @@
+//! L5 positive: a `pub` entry point reaches an unguarded integer division
+//! two private calls deep. The finding must carry the full call chain
+//! `entry -> middle -> leaf`.
+
+pub fn entry(total: u64, n: u64) -> u64 {
+    middle(total, n)
+}
+
+fn middle(total: u64, n: u64) -> u64 {
+    leaf(total, n)
+}
+
+fn leaf(total: u64, n: u64) -> u64 {
+    total / n
+}

@@ -1,0 +1,12 @@
+//! L6 negative: RNG streams derived from an explicit seed or a named
+//! stream constructor are replayable and pass the discipline check.
+
+pub fn seeded_draw(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+pub fn named_stream(noise_seed: u64) -> f64 {
+    let mut rng = StreamRng::new(noise_seed);
+    rng.gen()
+}

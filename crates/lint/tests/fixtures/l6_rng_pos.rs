@@ -1,0 +1,7 @@
+//! L6 positive: an entropy-seeded RNG construction. Replaying a trace is
+//! impossible when the stream is seeded from the OS.
+
+pub fn unseeded_draw() -> f64 {
+    let mut rng = SmallRng::from_entropy();
+    rng.gen()
+}

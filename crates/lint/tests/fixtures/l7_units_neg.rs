@@ -1,0 +1,10 @@
+//! L7 negative: converting between dimensions with `*`/`/` is the
+//! sanctioned idiom, and same-dimension arithmetic is always fine.
+
+pub fn convert(processed_tuples: f64, elapsed_secs: f64) -> f64 {
+    processed_tuples / elapsed_secs
+}
+
+pub fn same_dimension(warmup_secs: f64, run_secs: f64) -> f64 {
+    warmup_secs + run_secs
+}

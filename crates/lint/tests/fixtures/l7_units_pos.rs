@@ -1,0 +1,6 @@
+//! L7 positive: adding a rate (tuples/s) to a duration (seconds) is
+//! dimensionally meaningless and must be flagged.
+
+pub fn mixed(input_tps: f64, window_secs: f64) -> f64 {
+    input_tps + window_secs
+}

@@ -1,0 +1,11 @@
+//! L8 negative: `.get()` with an explicit fallback never panics, and
+//! attribute brackets / array types are not indexing.
+
+#[derive(Clone, Default)]
+pub struct Window {
+    pub samples: [f64; 4],
+}
+
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    xs.get(i).copied().unwrap_or(0.0)
+}

@@ -1,0 +1,5 @@
+//! L8 positive: unchecked slice indexing panics on an out-of-range id.
+
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

@@ -1,0 +1,94 @@
+//! Integration tests for the baseline/ratchet workflow and SARIF output,
+//! driven by real findings produced from the fixture files.
+
+use std::fs;
+use std::path::Path;
+
+use dragster_lint::report::{parse_json, ratchet, to_sarif, Baseline, Json};
+use dragster_lint::{lint_files_semantic, Finding, RuleSet};
+
+fn fixture_findings(names: &[&str]) -> Vec<Finding> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let sources: Vec<(String, String)> = names
+        .iter()
+        .map(|n| {
+            let text = fs::read_to_string(dir.join(n))
+                .unwrap_or_else(|e| panic!("fixture {n} unreadable: {e}"));
+            (n.to_string(), text)
+        })
+        .collect();
+    lint_files_semantic(&sources, RuleSet::all())
+}
+
+#[test]
+fn ratchet_accepts_an_unchanged_baseline() {
+    let findings = fixture_findings(&["l8_index_pos.rs", "l7_units_pos.rs"]);
+    assert!(!findings.is_empty(), "fixtures must produce findings");
+    let baseline = Baseline::from_findings(&findings);
+    let outcome = ratchet(&baseline, &findings);
+    assert!(outcome.ok(), "identical findings must pass: {outcome:?}");
+    assert!(outcome.new.is_empty());
+    assert!(!outcome.can_tighten());
+}
+
+#[test]
+fn ratchet_rejects_a_grown_finding_set() {
+    let old = fixture_findings(&["l8_index_pos.rs"]);
+    let new = fixture_findings(&["l8_index_pos.rs", "l7_units_pos.rs"]);
+    assert!(new.len() > old.len());
+    let baseline = Baseline::from_findings(&old);
+    let outcome = ratchet(&baseline, &new);
+    assert!(!outcome.ok(), "growth must fail the ratchet: {outcome:?}");
+    assert!(
+        outcome.new.iter().any(|(_, code, _, _, _)| code == "L7"),
+        "the added L7 finding must be reported as new debt: {outcome:?}"
+    );
+}
+
+#[test]
+fn ratchet_detects_paydown() {
+    let old = fixture_findings(&["l8_index_pos.rs", "l7_units_pos.rs"]);
+    let new = fixture_findings(&["l8_index_pos.rs"]);
+    let baseline = Baseline::from_findings(&old);
+    let outcome = ratchet(&baseline, &new);
+    assert!(outcome.ok(), "shrinking is always fine: {outcome:?}");
+    assert!(
+        outcome.can_tighten(),
+        "paydown should invite a tighter baseline: {outcome:?}"
+    );
+}
+
+#[test]
+fn baseline_roundtrips_through_json() {
+    let findings = fixture_findings(&[
+        "l5_reach_pos.rs",
+        "l6_rng_pos.rs",
+        "l7_units_pos.rs",
+        "l8_index_pos.rs",
+    ]);
+    let baseline = Baseline::from_findings(&findings);
+    let reparsed = Baseline::from_json(&baseline.to_json()).expect("roundtrip parses");
+    assert_eq!(baseline.total(), reparsed.total());
+    let outcome = ratchet(&reparsed, &findings);
+    assert!(
+        outcome.ok(),
+        "roundtripped baseline must match: {outcome:?}"
+    );
+}
+
+#[test]
+fn sarif_output_is_valid_json_with_rule_ids() {
+    let findings = fixture_findings(&["l5_reach_pos.rs", "l8_index_pos.rs"]);
+    let sarif = to_sarif(&findings);
+    let parsed = parse_json(&sarif).expect("SARIF output must parse as JSON");
+    let Json::Obj(root) = parsed else {
+        panic!("SARIF root must be an object");
+    };
+    assert!(root.iter().any(|(k, _)| k == "runs"));
+    assert!(sarif.contains("\"L5\"") && sarif.contains("\"L8\""));
+    // The L5 result must carry its call chain in the message text.
+    assert!(
+        sarif.contains("entry") && sarif.contains("leaf"),
+        "reachability chain missing from SARIF message"
+    );
+}

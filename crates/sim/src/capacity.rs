@@ -45,7 +45,10 @@ impl CapacityModel {
                 contention,
             } => per_task * n / (1.0 + contention * (n - 1.0)),
             CapacityModel::Saturating { max, half } => max * n / (n + half),
-            CapacityModel::Table { levels } => levels[(tasks - 1).min(levels.len() - 1)],
+            CapacityModel::Table { levels } => {
+                let idx = tasks.saturating_sub(1).min(levels.len().saturating_sub(1));
+                levels.get(idx).copied().unwrap_or(0.0)
+            }
         }
     }
 

@@ -49,7 +49,9 @@ impl Deployment {
     /// The per-operator configuration as the `f64` feature vector handed to
     /// the GP (`x_i` of the paper — here one-dimensional: the task count).
     pub fn feature(&self, operator: usize) -> Vec<f64> {
-        vec![self.tasks[operator] as f64]
+        vec![crate::convert::usize_to_f64(
+            self.tasks.get(operator).copied().unwrap_or(1),
+        )]
     }
 }
 
@@ -126,7 +128,7 @@ impl ClusterConfig {
     /// Convert a dollars-per-hour budget into a pod budget under this
     /// price.
     pub fn pods_for_hourly_budget(&self, dollars_per_hour: f64) -> usize {
-        (dollars_per_hour / self.cost_per_pod_hour).floor() as usize
+        crate::convert::f64_to_usize_saturating((dollars_per_hour / self.cost_per_pod_hour).floor())
     }
 
     /// Enable a budget expressed in dollars per hour (the paper's 1.6 $/h).

@@ -1,0 +1,50 @@
+//! Checked numeric conversions. These are the only sanctioned float↔int
+//! crossings in the simulator: `expr as usize` elsewhere is rejected by
+//! `dragster-lint` (L4) because a silent truncation of a slot count or a
+//! percentile index corrupts results without failing any test. This
+//! module is the single audited exception (see `lint.toml`).
+
+/// Converts a float to `usize`, saturating instead of truncating into
+/// nonsense: NaN and negatives map to 0, values beyond `usize::MAX` map
+/// to `usize::MAX`. The fractional part is dropped (floor), so callers
+/// that want rounding apply `.round()`/`.ceil()` first.
+#[inline]
+pub fn f64_to_usize_saturating(x: f64) -> usize {
+    if x.is_nan() || x <= 0.0 {
+        0
+    } else if x >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        x as usize
+    }
+}
+
+/// Converts a count to `f64`. Exact for counts below 2^53 — which covers
+/// every task/slot/pod count the simulator can represent — and documents
+/// the intent at the call site better than a bare `as f64`.
+#[inline]
+pub fn usize_to_f64(n: usize) -> f64 {
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        assert_eq!(f64_to_usize_saturating(f64::NAN), 0);
+        assert_eq!(f64_to_usize_saturating(-3.7), 0);
+        assert_eq!(f64_to_usize_saturating(0.0), 0);
+        assert_eq!(f64_to_usize_saturating(41.9), 41);
+        assert_eq!(f64_to_usize_saturating(f64::INFINITY), usize::MAX);
+        assert_eq!(f64_to_usize_saturating(1e300), usize::MAX);
+    }
+
+    #[test]
+    fn usize_to_f64_is_exact_in_range() {
+        assert_eq!(usize_to_f64(0), 0.0);
+        assert_eq!(usize_to_f64(10), 10.0);
+        assert_eq!(usize_to_f64(1 << 52), (1u64 << 52) as f64);
+    }
+}

@@ -178,7 +178,8 @@ impl DesSim {
         // Precompute the per-slot-window capacity multipliers by replaying
         // the shared fault stream (identical to the fluid engine's draws).
         let fault_windows: Option<(Vec<Vec<f64>>, f64)> = self.faults.as_ref().map(|f| {
-            let n_windows = (duration_secs / f.slot_secs).ceil() as usize + 1;
+            let n_windows =
+                crate::convert::f64_to_usize_saturating((duration_secs / f.slot_secs).ceil()) + 1;
             let mut state = FaultState::new(f.plan.clone(), f.legacy, f.seed);
             let mults = (0..n_windows)
                 .map(|t| {
@@ -192,7 +193,8 @@ impl DesSim {
         let cap_at = |ci: usize, time: f64| -> f64 {
             match &fault_windows {
                 Some((mults, slot_secs)) => {
-                    let w = ((time / slot_secs).max(0.0) as usize).min(mults.len() - 1);
+                    let w = crate::convert::f64_to_usize_saturating(time / slot_secs)
+                        .min(mults.len().saturating_sub(1));
                     // floor keeps a fully-crashed operator serviceable at a
                     // negligible rate instead of dividing by zero
                     (caps[ci] * mults[w][ci]).max(1e-9)

@@ -400,13 +400,15 @@ impl FaultState {
                         };
                         match f.operator {
                             Some(i) if i < n_ops => {
-                                metric[i] = fault;
-                                self.events.push(FaultEvent {
-                                    slot: t,
-                                    kind: f.kind,
-                                    operator: Some(i),
-                                    severity: f.severity,
-                                });
+                                if let Some(mf) = metric.get_mut(i) {
+                                    *mf = fault;
+                                    self.events.push(FaultEvent {
+                                        slot: t,
+                                        kind: f.kind,
+                                        operator: Some(i),
+                                        severity: f.severity,
+                                    });
+                                }
                             }
                             Some(_) => {}
                             None => {
@@ -435,13 +437,15 @@ impl FaultState {
             .zip(self.crash_severity.iter().zip(mult.iter_mut()))
         {
             if *left > 0 {
-                let ratio = *left as f64 / total.max(1) as f64;
+                let ratio = crate::convert::usize_to_f64(*left)
+                    / crate::convert::usize_to_f64(total.max(1));
                 *m *= (1.0 - severity.clamp(0.0, 1.0) * ratio).max(0.0);
                 *left -= 1;
             }
         }
         if self.straggler_left > 0 {
-            let ratio = self.straggler_left as f64 / self.straggler_total.max(1) as f64;
+            let ratio = crate::convert::usize_to_f64(self.straggler_left)
+                / crate::convert::usize_to_f64(self.straggler_total.max(1));
             let factor = (1.0 - self.straggler_severity.clamp(0.0, 1.0) * ratio).max(0.0);
             for m in mult.iter_mut() {
                 *m *= factor;
@@ -459,10 +463,20 @@ impl FaultState {
     fn start_crash(&mut self, t: usize, op: usize, severity: f64, recovery_slots: usize) {
         let dur = recovery_slots.max(1);
         // A new crash supersedes a nearly-recovered one; keep the worse.
-        if self.crash_left[op] == 0 || severity >= self.crash_severity[op] {
-            self.crash_left[op] = dur;
-            self.crash_total[op] = dur;
-            self.crash_severity[op] = severity.clamp(0.0, 1.0);
+        // An out-of-range operator id (a malformed plan) is a no-op rather
+        // than a panic — the event is still logged below for diagnosis.
+        let superseded = self.crash_left.get(op).copied().unwrap_or(0) == 0
+            || severity >= self.crash_severity.get(op).copied().unwrap_or(0.0);
+        if superseded {
+            if let Some(left) = self.crash_left.get_mut(op) {
+                *left = dur;
+            }
+            if let Some(total) = self.crash_total.get_mut(op) {
+                *total = dur;
+            }
+            if let Some(sev) = self.crash_severity.get_mut(op) {
+                *sev = severity.clamp(0.0, 1.0);
+            }
         }
         self.events.push(FaultEvent {
             slot: t,

@@ -353,7 +353,7 @@ impl FluidSim {
         let buffers_at_start = self.buffers.clone();
 
         let active_secs = slot_secs - pause;
-        let n_ticks = (active_secs / tick).round().max(1.0) as usize;
+        let n_ticks = crate::convert::f64_to_usize_saturating((active_secs / tick).round()).max(1);
         let dt = active_secs / n_ticks as f64;
 
         let mut true_caps = self.app.true_capacities(&self.deployment.tasks);

@@ -110,7 +110,7 @@ impl Trace {
 
     /// Mean measured throughput over a slot range.
     pub fn mean_throughput(&self, range: std::ops::Range<usize>) -> f64 {
-        let xs = &self.slots[range];
+        let xs = self.slots.get(range).unwrap_or_default();
         if xs.is_empty() {
             return 0.0;
         }
@@ -128,14 +128,17 @@ impl Trace {
         window: std::ops::Range<usize>,
     ) -> Option<usize> {
         assert_eq!(opt.len(), self.ideal_throughput.len());
-        let near = |t: usize| self.ideal_throughput[t] >= (1.0 - tol) * opt[t] - 1e-9;
+        let near = |t: usize| match (self.ideal_throughput.get(t), opt.get(t)) {
+            (Some(&ideal), Some(&o)) => ideal >= (1.0 - tol) * o - 1e-9,
+            _ => false,
+        };
         let end = window.end.min(self.ideal_throughput.len());
         (window.start..end).find(|&s| (s..end).all(near))
     }
 
     /// Mean pods over a slot range (resource footprint).
     pub fn mean_pods(&self, range: std::ops::Range<usize>) -> f64 {
-        let xs = &self.slots[range];
+        let xs = self.slots.get(range).unwrap_or_default();
         if xs.is_empty() {
             return 0.0;
         }
@@ -154,14 +157,17 @@ impl Trace {
         }
         let mut xs: Vec<f64> = self.slots.iter().map(|s| s.throughput).collect();
         xs.sort_by(f64::total_cmp);
-        let idx = ((p / 100.0) * (xs.len() - 1) as f64).round() as usize;
-        xs[idx.min(xs.len() - 1)]
+        let idx =
+            crate::convert::f64_to_usize_saturating(((p / 100.0) * (xs.len() - 1) as f64).round());
+        xs.get(idx.min(xs.len() - 1)).copied().unwrap_or(0.0)
     }
 
     /// Worst end-to-end Little's-law latency estimate across slots in a
     /// range (seconds).
     pub fn max_latency_estimate(&self, range: std::ops::Range<usize>) -> f64 {
-        self.slots[range]
+        self.slots
+            .get(range)
+            .unwrap_or_default()
             .iter()
             .map(|s| s.latency_estimate_secs())
             .fold(0.0, f64::max)
@@ -309,7 +315,12 @@ pub fn project_to_budget(mut d: Deployment, budget: Option<usize>) -> Deployment
         let Some((imax, _)) = d.tasks.iter().enumerate().max_by_key(|(_, &t)| t) else {
             return d;
         };
-        d.tasks[imax] -= 1;
+        // The budget floor (`b >= d.len()`) guarantees the largest
+        // allocation is ≥ 2 here; the guard keeps the loop total anyway.
+        match d.tasks.get_mut(imax) {
+            Some(t) if *t > 1 => *t -= 1,
+            _ => return d,
+        }
     }
     d
 }

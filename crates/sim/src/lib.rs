@@ -35,6 +35,7 @@
 
 pub mod capacity;
 pub mod cluster;
+pub mod convert;
 pub mod des;
 pub mod error;
 pub mod faults;
@@ -46,6 +47,7 @@ pub mod sanitize;
 
 pub use capacity::{Application, CapacityModel};
 pub use cluster::{ClusterConfig, CostMeter, Deployment};
+pub use convert::{f64_to_usize_saturating, usize_to_f64};
 pub use des::DesSim;
 pub use error::SimError;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates, FaultState, ScriptedFault};

@@ -65,7 +65,7 @@ impl Rng {
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
-        (self.uniform() * n as f64) as usize % n.max(1)
+        crate::convert::f64_to_usize_saturating(self.uniform() * n as f64) % n.max(1)
     }
 
     /// Standard normal via Box–Muller (with spare caching).

@@ -108,7 +108,7 @@ impl MetricSanitizer {
                 || om.input_rates.iter().any(|r| !r.is_finite() || *r < 0.0);
             if unusable {
                 // Impute every bad field from the last valid reading.
-                let prev = self.last_valid[i].clone();
+                let prev = self.last_valid.get(i).cloned().flatten();
                 let fb = |f: fn(&OperatorMetrics) -> f64| prev.as_ref().map_or(0.0, f);
                 om.cpu_util = repair(om.cpu_util, fb(|p| p.cpu_util));
                 om.capacity_sample = repair(om.capacity_sample, fb(|p| p.capacity_sample));
@@ -130,22 +130,30 @@ impl MetricSanitizer {
             // Spike clamp: silent corruption produces finite but absurd
             // capacity samples. Per-task normalization keeps legitimate
             // scale-ups (1 task → 10 tasks) from tripping the detector.
-            let tasks = om.tasks.max(1) as f64;
+            let tasks = crate::convert::usize_to_f64(om.tasks.max(1));
             let per_task = om.capacity_sample / tasks;
-            if self.accepted[i] >= self.cfg.min_history
-                && self.per_task_max[i] > 0.0
-                && per_task > self.cfg.spike_factor * self.per_task_max[i]
+            let accepted_i = self.accepted.get(i).copied().unwrap_or(0);
+            let per_task_max_i = self.per_task_max.get(i).copied().unwrap_or(0.0);
+            if accepted_i >= self.cfg.min_history
+                && per_task_max_i > 0.0
+                && per_task > self.cfg.spike_factor * per_task_max_i
             {
-                om.capacity_sample = self.per_task_max[i] * tasks;
+                om.capacity_sample = per_task_max_i * tasks;
                 om.degraded = true;
             }
             // Clean readings extend the history; degraded ones never do.
             if !om.degraded {
-                if per_task > self.per_task_max[i] {
-                    self.per_task_max[i] = per_task;
+                if let Some(ptm) = self.per_task_max.get_mut(i) {
+                    if per_task > *ptm {
+                        *ptm = per_task;
+                    }
                 }
-                self.accepted[i] += 1;
-                self.last_valid[i] = Some(om.clone());
+                if let Some(a) = self.accepted.get_mut(i) {
+                    *a += 1;
+                }
+                if let Some(lv) = self.last_valid.get_mut(i) {
+                    *lv = Some(om.clone());
+                }
             }
         }
         m

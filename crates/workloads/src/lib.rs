@@ -61,10 +61,9 @@ pub fn figure5_suite() -> Result<Vec<(Workload, Vec<f64>, String)>, SimError> {
     for w in [group()?, async_io()?, join()?, window()?, word_count()?] {
         let hi = w.high_rate.clone();
         let lo = w.low_rate.clone();
+        let hi_label = format!("{}-high", w.name);
         out.push((w.clone(), lo, format!("{}-low", w.name)));
-        out.push((w, hi.clone(), String::new()));
-        let last = out.len() - 1;
-        out[last].2 = format!("{}-high", out[last].0.name);
+        out.push((w, hi, hi_label));
     }
     let y = yahoo_benchmark()?;
     let hi = y.high_rate.clone();
