@@ -10,7 +10,8 @@ fn observe_n(n: usize) -> GpRegressor<SquaredExp> {
     let mut gp = GpRegressor::new(SquaredExp::new(3.0), 0.01);
     for t in 0..n {
         let x = (t % 10 + 1) as f64;
-        gp.observe(&[x], x * 0.08 + (t as f64 * 0.37).sin() * 0.01);
+        gp.observe(&[x], x * 0.08 + (t as f64 * 0.37).sin() * 0.01)
+            .expect("bench setup observation is well-formed");
     }
     gp
 }
@@ -23,7 +24,8 @@ fn bench_incremental_observe(c: &mut Criterion) {
             b.iter_batched(
                 || observe_n(n),
                 |mut gp| {
-                    gp.observe(black_box(&[5.0]), black_box(0.42));
+                    gp.observe(black_box(&[5.0]), black_box(0.42))
+                        .expect("bench observation is well-formed");
                     gp
                 },
                 criterion::BatchSize::SmallInput,

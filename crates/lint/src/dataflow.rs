@@ -1,0 +1,652 @@
+//! Interprocedural taint and dataflow passes (L9–L12) over the
+//! token-stream workspace model.
+//!
+//! The engine is a forward taint propagation over [`crate::model::Model`]:
+//! per-function summaries ("does this function return a tainted value,
+//! and through which call chain?") are computed to a fixpoint, then a
+//! final intraprocedural pass reports every sink call whose argument (or
+//! receiver) carries unsanitized taint, with the full source→sink chain.
+//!
+//! Approximations, stated once:
+//!
+//! * Call resolution is name-based and over-approximate (inherited from
+//!   [`crate::model::Model::resolve`]); a taint edge may exist that the
+//!   real program lacks. Over-taint is accepted — it surfaces as an
+//!   allowlistable finding, never as a missed violation on the paths the
+//!   model does see.
+//! * A sanitizer call anywhere in a binding's right-hand side (or in a
+//!   sink's argument list) clears taint for that expression — wrapping is
+//!   not distinguished from adjacency.
+//! * Function parameters start untainted: taint is proven at the call
+//!   boundary (the harness must sanitize before passing data down), so a
+//!   callee may trust its inputs. This is exactly the §7 clean-gating
+//!   contract: the seam between raw simulation output and the learning
+//!   stack is the *only* place sanitization may happen, and it must.
+//! * Dynamic dispatch through fn pointers/closures is invisible, as in
+//!   the L5 pass.
+
+use std::collections::BTreeMap;
+
+use crate::model::{CallRef, Model, Tok};
+use crate::taint::{FlowConfig, Pattern, TaintSpec};
+use crate::{Finding, SEEDISH};
+
+/// Runs every flow pass (L9 metric taint, L10 seed provenance, L11
+/// projection discipline, L12 discarded fallibility) over a built model.
+pub fn flow_analysis(model: &Model, cfg: &FlowConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(taint_pass(model, &cfg.metric));
+    findings.extend(taint_pass(model, &cfg.decision));
+    findings.extend(provenance_pass(model, &cfg.rng_ctors));
+    findings.extend(discard_pass(model));
+    findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.code).cmp(&(b.file.clone(), b.line, b.code)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Shared call-site helpers.
+// ---------------------------------------------------------------------------
+
+/// Reads a call site at token `j` (mirrors `Model::calls_of`): an ident
+/// followed by `(`, classified as method / qualified / free by the tokens
+/// before it. `low` bounds the lookback (start of the enclosing range).
+fn call_at(toks: &[Tok], j: usize, low: usize) -> Option<CallRef> {
+    let w = &toks[j].text;
+    if !w
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+    {
+        return None;
+    }
+    if crate::model::is_reserved_word(w) {
+        return None;
+    }
+    if toks.get(j + 1).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let prev = if j > low {
+        Some(toks[j - 1].text.as_str())
+    } else {
+        None
+    };
+    if prev == Some(".") {
+        return Some(CallRef {
+            name: w.clone(),
+            qualifier: None,
+            is_method: true,
+        });
+    }
+    if prev == Some(":") && j >= low + 3 && toks[j - 2].text == ":" {
+        let q = &toks[j - 3].text;
+        let qualifier = if q
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            Some(q.clone())
+        } else {
+            None
+        };
+        return Some(CallRef {
+            name: w.clone(),
+            qualifier,
+            is_method: false,
+        });
+    }
+    Some(CallRef {
+        name: w.clone(),
+        qualifier: None,
+        is_method: false,
+    })
+}
+
+/// Whether a call site matches any pattern. Qualified calls
+/// (`Owner::fn(..)`) match textually — the written qualifier is
+/// authoritative, and name-based resolution's all-candidates fallback
+/// would conflate `Vec::new` with `Rng::new`. Method and free calls use
+/// resolution (suffix match on each candidate's qualified path), falling
+/// back to a textual match when the name resolves to nothing.
+fn call_matches(model: &Model, call: &CallRef, pats: &[Pattern]) -> bool {
+    if call.qualifier.is_some() {
+        return pats.iter().any(|p| p.matches_call(call));
+    }
+    let resolved = model.resolve(call);
+    if resolved.is_empty() {
+        return pats.iter().any(|p| p.matches_call(call));
+    }
+    resolved.iter().any(|&i| {
+        let q = model.items[i].qualified();
+        pats.iter().any(|p| p.matches_qualified(&q))
+    })
+}
+
+/// Display name for a matched source call: the qualified path of the
+/// first resolved item that matches, else the textual call name.
+fn source_display(model: &Model, call: &CallRef, pats: &[Pattern]) -> String {
+    for &i in &model.resolve(call) {
+        let q = model.items[i].qualified();
+        if pats.iter().any(|p| p.matches_qualified(&q)) {
+            return q;
+        }
+    }
+    call.name.clone()
+}
+
+/// Scans forward from `from` to the first `;` at relative bracket depth 0
+/// (parens/brackets/braces all tracked), returning its index (or `to`).
+fn stmt_end(toks: &[Tok], from: usize, to: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < to {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    to
+}
+
+/// Index of the `)` matching the `(` at `open` (or `to`).
+fn close_paren(toks: &[Tok], open: usize, to: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < to {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    to
+}
+
+// ---------------------------------------------------------------------------
+// L9 / L11 — source → sanitizer → sink taint.
+// ---------------------------------------------------------------------------
+
+/// Taint carried by a local or a function summary: the call chain from
+/// the originating source (qualified names, source first).
+type Chain = Vec<String>;
+
+/// Taint of a token slice under the current local map: `None` when a
+/// sanitizer call appears anywhere in the slice; otherwise the chain of
+/// the first source call, summary-tainted callee, or tainted local.
+fn slice_taint(
+    model: &Model,
+    spec: &TaintSpec,
+    summaries: &[Option<Chain>],
+    tainted: &BTreeMap<String, Chain>,
+    toks: &[Tok],
+    from: usize,
+    to: usize,
+) -> Option<Chain> {
+    let mut found: Option<Chain> = None;
+    for j in from..to {
+        if let Some(call) = call_at(toks, j, from) {
+            if call_matches(model, &call, &spec.sanitizers) {
+                return None;
+            }
+            if found.is_none() {
+                if call_matches(model, &call, &spec.sources) {
+                    found = Some(vec![source_display(model, &call, &spec.sources)]);
+                } else {
+                    for &c in &model.resolve(&call) {
+                        if let Some(ch) = &summaries[c] {
+                            found = Some(ch.clone());
+                            break;
+                        }
+                    }
+                }
+            }
+        } else if found.is_none() {
+            let w = &toks[j].text;
+            // Skip field names (`x.field`): the receiver ident carries
+            // the taint, the field name may collide with a local.
+            let is_field = j > from && toks[j - 1].text == ".";
+            if !is_field {
+                if let Some(ch) = tainted.get(w) {
+                    found = Some(ch.clone());
+                }
+            }
+        }
+    }
+    found
+}
+
+/// One intraprocedural pass over an item's body: tracks tainted locals
+/// through `let` bindings and reassignments, checks every sink call, and
+/// returns the taint of the returned value (for the summary fixpoint).
+/// When `findings` is `Some`, sink violations are appended to it.
+fn analyze_body(
+    model: &Model,
+    idx: usize,
+    spec: &TaintSpec,
+    summaries: &[Option<Chain>],
+    mut findings: Option<&mut Vec<Finding>>,
+) -> Option<Chain> {
+    let item = &model.items[idx];
+    let (start, end) = item.body?;
+    let toks = &model.files[item.file_idx].tokens;
+    let end = end.min(toks.len());
+    let mut tainted: BTreeMap<String, Chain> = BTreeMap::new();
+    let mut ret_taint: Option<Chain> = None;
+    let mut brace = 0i32;
+    let mut last_stmt = start;
+    let mut j = start;
+    while j < end {
+        let t = toks[j].text.as_str();
+        match t {
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            ";" if brace == 0 => last_stmt = j + 1,
+            "let" => {
+                let (names, rhs) = parse_let(toks, j, end);
+                if let Some((rf, rt)) = rhs {
+                    let taint = slice_taint(model, spec, summaries, &tainted, toks, rf, rt);
+                    for n in names {
+                        match &taint {
+                            Some(ch) => {
+                                tainted.insert(n, ch.clone());
+                            }
+                            None => {
+                                tainted.remove(&n);
+                            }
+                        }
+                    }
+                }
+            }
+            "return" => {
+                let s_end = stmt_end(toks, j + 1, end);
+                if let Some(ch) = slice_taint(model, spec, summaries, &tainted, toks, j + 1, s_end)
+                {
+                    ret_taint = Some(ch);
+                }
+            }
+            _ => {
+                // Plain reassignment `name = expr;` recomputes the taint
+                // of `name` (compound ops and `==`/`=>` excluded).
+                if is_plain_assignment(toks, j, start) {
+                    let s_end = stmt_end(toks, j + 2, end);
+                    let taint = slice_taint(model, spec, summaries, &tainted, toks, j + 2, s_end);
+                    match taint {
+                        Some(ch) => {
+                            tainted.insert(t.to_string(), ch);
+                        }
+                        None => {
+                            tainted.remove(t);
+                        }
+                    }
+                }
+            }
+        }
+        // Sink check at every call site, independent of statement kind.
+        if let Some(f) = findings.as_deref_mut() {
+            if let Some(call) = call_at(toks, j, start) {
+                if call_matches(model, &call, &spec.sinks) {
+                    let args_to = close_paren(toks, j + 1, end);
+                    let mut arg_taint =
+                        slice_taint(model, spec, summaries, &tainted, toks, j + 2, args_to);
+                    if arg_taint.is_none() && call.is_method && j >= start + 2 {
+                        // `receiver.sink(..)` with a tainted receiver.
+                        arg_taint = tainted.get(&toks[j - 2].text).cloned();
+                    }
+                    if let Some(origin) = arg_taint {
+                        let sink = sink_display(model, &call, &spec.sinks);
+                        let mut chain = origin.clone();
+                        chain.push(item.qualified());
+                        chain.push(sink.clone());
+                        let via = chain.join(" -> ");
+                        f.push(Finding {
+                            file: model.files[item.file_idx].label.clone(),
+                            line: toks[j].line,
+                            code: spec.code,
+                            token: call.name.clone(),
+                            message: format!(
+                                "{} reaches sink `{sink}` without passing through {} (flow: {via})",
+                                spec.what, spec.fix
+                            ),
+                            chain,
+                        });
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    // Tail expression (tokens after the last top-level `;`).
+    if last_stmt < end {
+        if let Some(ch) = slice_taint(model, spec, summaries, &tainted, toks, last_stmt, end) {
+            ret_taint = Some(ch);
+        }
+    }
+    ret_taint
+}
+
+/// Display name for a matched sink call (same policy as sources).
+fn sink_display(model: &Model, call: &CallRef, pats: &[Pattern]) -> String {
+    source_display(model, call, pats)
+}
+
+/// Parses a `let` statement at `j`: returns the bound lowercase ident
+/// names and the `[from, to)` token range of the initializer, if any.
+fn parse_let(toks: &[Tok], j: usize, end: usize) -> (Vec<String>, Option<(usize, usize)>) {
+    let mut names = Vec::new();
+    let mut k = j + 1;
+    let mut depth = 0i32;
+    // Pattern part: collect binder idents until `=` / `:` / `;` at depth 0.
+    while k < end {
+        let t = toks[k].text.as_str();
+        match t {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "=" | ":" | ";" if depth <= 0 => break,
+            "mut" | "ref" | "_" => {}
+            w if w
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                && !crate::model::is_reserved_word(w) =>
+            {
+                names.push(w.to_string());
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // Skip a type annotation to the `=` (or give up at `;`).
+    if k < end && toks[k].text == ":" {
+        let mut angle = 0i32;
+        while k < end {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "=" if angle <= 0 => break,
+                ";" if angle <= 0 => return (names, None),
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    if k >= end || toks[k].text != "=" {
+        return (names, None);
+    }
+    let rhs_from = k + 1;
+    let rhs_to = stmt_end(toks, rhs_from, end);
+    (names, Some((rhs_from, rhs_to)))
+}
+
+/// Whether token `j` is the left-hand side of a plain `=` assignment:
+/// `name = expr` with `name` a local ident (not a field, not a `let`
+/// binder — that path is handled separately) and the `=` not part of
+/// `==`, `=>`, `<=`, `>=`, `!=`, or a compound assignment.
+fn is_plain_assignment(toks: &[Tok], j: usize, low: usize) -> bool {
+    let w = &toks[j].text;
+    if !w
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        || crate::model::is_reserved_word(w)
+    {
+        return false;
+    }
+    if toks.get(j + 1).map(|t| t.text.as_str()) != Some("=") {
+        return false;
+    }
+    match toks.get(j + 2).map(|t| t.text.as_str()) {
+        Some("=") | Some(">") => return false,
+        _ => {}
+    }
+    if j > low {
+        let prev = toks[j - 1].text.as_str();
+        if matches!(
+            prev,
+            "." | "let" | "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+        ) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The full L9/L11 pass for one spec: summary fixpoint, then a reporting
+/// sweep over every body.
+fn taint_pass(model: &Model, spec: &TaintSpec) -> Vec<Finding> {
+    let n = model.items.len();
+    let mut is_source = vec![false; n];
+    let mut is_sanitizer = vec![false; n];
+    for (i, item) in model.items.iter().enumerate() {
+        let q = item.qualified();
+        is_source[i] = spec.sources.iter().any(|p| p.matches_qualified(&q));
+        is_sanitizer[i] = spec.sanitizers.iter().any(|p| p.matches_qualified(&q));
+    }
+    let mut summaries: Vec<Option<Chain>> = vec![None; n];
+    for i in 0..n {
+        if is_source[i] && !is_sanitizer[i] {
+            summaries[i] = Some(vec![model.items[i].qualified()]);
+        }
+    }
+    // Taint only grows, so the fixpoint is reached in at most `n` rounds;
+    // in practice two or three.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if is_source[i] || is_sanitizer[i] || summaries[i].is_some() {
+                continue;
+            }
+            if let Some(origin) = analyze_body(model, i, spec, &summaries, None) {
+                let mut chain = origin;
+                chain.push(model.items[i].qualified());
+                summaries[i] = Some(chain);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut findings = Vec::new();
+    for (i, sanitizer) in is_sanitizer.iter().enumerate() {
+        // Sanitizers are trusted: their internals may touch raw values.
+        if *sanitizer {
+            continue;
+        }
+        analyze_body(model, i, spec, &summaries, Some(&mut findings));
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// L10 — seed provenance for RNG construction.
+// ---------------------------------------------------------------------------
+
+fn is_seedish(word: &str) -> bool {
+    let lower = word.to_ascii_lowercase();
+    SEEDISH.iter().any(|s| lower.contains(s))
+}
+
+fn is_const_name(word: &str) -> bool {
+    word.len() >= 2
+        && word
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && word.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Whether a token slice contains a seed-derived value: a numeric
+/// literal, an ALL_CAPS const, a local previously bound from a derived
+/// value, or a seed-ish ident that has *not* been laundered (rebound from
+/// a non-derived value). Dirty idents found are pushed to `laundered`.
+fn slice_has_derived(
+    toks: &[Tok],
+    from: usize,
+    to: usize,
+    derived: &BTreeMap<String, ()>,
+    dirty: &BTreeMap<String, ()>,
+    laundered: &mut Vec<String>,
+) -> bool {
+    let mut ok = false;
+    for tok in toks.iter().take(to).skip(from) {
+        let w = tok.text.as_str();
+        if w.chars().next().is_some_and(|c| c.is_ascii_digit())
+            || is_const_name(w)
+            || derived.contains_key(w)
+        {
+            ok = true;
+        } else if is_seedish(w) {
+            if dirty.contains_key(w) {
+                laundered.push(w.to_string());
+            } else {
+                ok = true;
+            }
+        }
+    }
+    ok
+}
+
+/// L10: every RNG constructor argument must be data-derivable from a
+/// seed. This strengthens the name-based L6 check into dataflow: a local
+/// *named* `seed` that was bound from a non-derived value (clock,
+/// entropy, unrelated computation) no longer counts.
+fn provenance_pass(model: &Model, ctors: &[Pattern]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for item in &model.items {
+        let Some((start, end)) = item.body else {
+            continue;
+        };
+        let toks = &model.files[item.file_idx].tokens;
+        let end = end.min(toks.len());
+        let mut derived: BTreeMap<String, ()> = BTreeMap::new();
+        let mut dirty: BTreeMap<String, ()> = BTreeMap::new();
+        for j in start..end {
+            if toks[j].text == "let" {
+                let (names, rhs) = parse_let(toks, j, end);
+                let Some((rf, rt)) = rhs else { continue };
+                let mut scratch = Vec::new();
+                let rhs_derived = slice_has_derived(toks, rf, rt, &derived, &dirty, &mut scratch);
+                for n in names {
+                    if rhs_derived {
+                        dirty.remove(&n);
+                        derived.insert(n, ());
+                    } else {
+                        derived.remove(&n);
+                        if is_seedish(&n) {
+                            dirty.insert(n, ());
+                        }
+                    }
+                }
+                continue;
+            }
+            let Some(call) = call_at(toks, j, start) else {
+                continue;
+            };
+            if !call_matches(model, &call, ctors) {
+                continue;
+            }
+            let args_to = close_paren(toks, j + 1, end);
+            let mut laundered = Vec::new();
+            if !slice_has_derived(toks, j + 2, args_to, &derived, &dirty, &mut laundered) {
+                let detail = if laundered.is_empty() {
+                    "no argument is a literal, const, or seed-derived value".to_string()
+                } else {
+                    format!(
+                        "`{}` is seed-named but was bound from a non-derived value (laundering)",
+                        laundered.join("`, `")
+                    )
+                };
+                findings.push(Finding {
+                    file: model.files[item.file_idx].label.clone(),
+                    line: toks[j].line,
+                    code: "L10",
+                    token: call.name.clone(),
+                    message: format!(
+                        "RNG constructed in `{}` without seed provenance: {detail}; derive the \
+                         stream from the master seed (e.g. `seed ^ STREAM_CONST`)",
+                        item.qualified()
+                    ),
+                    chain: vec![item.qualified()],
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// L12 — discarded fallibility.
+// ---------------------------------------------------------------------------
+
+/// L12: `let _ = call(..)` where the call resolves to a workspace item
+/// returning `Result` silently swallows the error contract. Test code is
+/// already stripped by `prep`, so every hit is library/harness code.
+fn discard_pass(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for item in &model.items {
+        let Some((start, end)) = item.body else {
+            continue;
+        };
+        let toks = &model.files[item.file_idx].tokens;
+        let end = end.min(toks.len());
+        for j in start..end {
+            if toks[j].text != "let"
+                || toks.get(j + 1).map(|t| t.text.as_str()) != Some("_")
+                || toks.get(j + 2).map(|t| t.text.as_str()) != Some("=")
+            {
+                continue;
+            }
+            let rhs_from = j + 3;
+            let rhs_to = stmt_end(toks, rhs_from, end);
+            // The discarded value is the outermost expression: take the
+            // last call at relative paren depth 0 (method chains bind
+            // left-to-right, so the last depth-0 call produced the value).
+            let mut depth = 0i32;
+            let mut culprit: Option<(CallRef, usize, String)> = None;
+            for k in rhs_from..rhs_to {
+                match toks[k].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    _ => {
+                        if depth > 0 {
+                            continue;
+                        }
+                        let Some(call) = call_at(toks, k, rhs_from) else {
+                            continue;
+                        };
+                        let fallible = model.resolve(&call).iter().find_map(|&c| {
+                            let it = &model.items[c];
+                            it.returns_result.then(|| it.qualified())
+                        });
+                        if let Some(q) = fallible {
+                            culprit = Some((call, toks[k].line, q));
+                        }
+                    }
+                }
+            }
+            if let Some((call, line, callee)) = culprit {
+                findings.push(Finding {
+                    file: model.files[item.file_idx].label.clone(),
+                    line,
+                    code: "L12",
+                    token: call.name.clone(),
+                    message: format!(
+                        "`Result` from `{callee}` discarded with `let _ =` in `{}`; handle or \
+                         propagate the error — the API is fallible by contract",
+                        item.qualified()
+                    ),
+                    chain: vec![item.qualified(), callee],
+                });
+            }
+        }
+    }
+    findings
+}

@@ -39,6 +39,24 @@
 //! * **L8 — unchecked indexing.** `expr[..]` indexing/slicing outside
 //!   tests is flagged; use `.get()`/`.get_mut()`/`.first()`/`.last()`
 //!   with an explicit fallback.
+//! * **L9 — clean-gating taint.** An interprocedural forward taint pass
+//!   (see [`dataflow`]): raw simulator/fault metric snapshots must flow
+//!   through `MetricSanitizer::sanitize` before reaching any
+//!   GP/estimator/dual-update sink. Findings carry the source→sink call
+//!   chain. Sources/sanitizers/sinks come from the `[flow]` table in
+//!   `lint.toml` (defaults compiled in, see [`taint`]).
+//! * **L10 — seed provenance.** RNG constructor arguments must be
+//!   data-derivable from the master seed (literals, stream-salt
+//!   constants, seed-ish locals with derived definitions); a seed-ish
+//!   name bound to non-derived data is reported as laundering. Closes
+//!   the gap in L6's purely name-based check.
+//! * **L11 — projection discipline.** Decision vectors from `*::decide`
+//!   must pass a projection (`project_to_budget`, ...) before actuation
+//!   (`FluidSim::reconfigure`) or cost metering — the OCO analysis
+//!   assumes iterates stay in the feasible set.
+//! * **L12 — discarded fallibility.** `let _ = f(..)` on a call whose
+//!   return type mentions `Result` is banned outside tests; propagate
+//!   or handle the error instead of swallowing it.
 //!
 //! The scanner strips comments, string/char literals, and `#[cfg(test)]`
 //! items before matching, so rule tokens inside those never fire.
@@ -52,10 +70,12 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod dataflow;
 pub mod model;
 pub mod prep;
 pub mod reach;
 pub mod report;
+pub mod taint;
 
 pub use prep::{prepare, strip_cfg_test_items, strip_comments_and_literals};
 
@@ -92,6 +112,10 @@ pub struct RuleSet {
     pub units: bool,
     /// L8: unchecked indexing/slicing.
     pub indexing: bool,
+    /// L9–L12: interprocedural taint/dataflow passes (workspace/model
+    /// pass, like L5): metric sanitization gating, seed provenance,
+    /// projection discipline, discarded fallibility.
+    pub dataflow: bool,
 }
 
 impl RuleSet {
@@ -106,6 +130,7 @@ impl RuleSet {
             rng_streams: true,
             units: true,
             indexing: true,
+            dataflow: true,
         }
     }
 
@@ -120,6 +145,7 @@ impl RuleSet {
             rng_streams: false,
             units: false,
             indexing: false,
+            dataflow: false,
         }
     }
 
@@ -849,13 +875,21 @@ pub fn lint_files_semantic(sources: &[(String, String)], rules: RuleSet) -> Vec<
         findings.extend(scan(label, &prepared, rules, &units));
         prepared_set.push((label.clone(), "fixture".to_string(), prepared));
     }
-    if rules.reachability {
+    if rules.reachability || rules.dataflow {
         let model = model::Model::build(prepared_set);
-        let filter = reach::SiteFilter {
-            macros_and_unwrap: !rules.panic_paths,
-            indexing: !rules.indexing,
-        };
-        findings.extend(reach::panic_reachability(&model, &filter));
+        if rules.reachability {
+            let filter = reach::SiteFilter {
+                macros_and_unwrap: !rules.panic_paths,
+                indexing: !rules.indexing,
+            };
+            findings.extend(reach::panic_reachability(&model, &filter));
+        }
+        if rules.dataflow {
+            findings.extend(dataflow::flow_analysis(
+                &model,
+                &taint::FlowConfig::default(),
+            ));
+        }
     }
     findings
         .sort_by(|a, b| (a.file.clone(), a.line, a.code).cmp(&(b.file.clone(), b.line, b.code)));
@@ -899,29 +933,58 @@ impl AllowEntry {
     }
 }
 
-/// Parsed `lint.toml`: the allowlist plus the `[units]` table.
+/// Parsed `lint.toml`: the allowlist, the `[units]` table, and the
+/// `[flow]` source/sanitizer/sink patterns for L9–L12.
 #[derive(Clone, Debug, Default)]
 pub struct LintConfig {
     pub allow: Vec<AllowEntry>,
     pub units: UnitsTable,
+    pub flow: taint::FlowConfig,
+}
+
+/// Splits one fragment of a `["a", "b"]` array body into its elements.
+fn array_elements(fragment: &str, out: &mut Vec<String>) {
+    for part in fragment.split(',') {
+        let v = part.trim().trim_matches('"');
+        if !v.is_empty() {
+            out.push(v.to_string());
+        }
+    }
 }
 
 /// Parses the minimal TOML dialect used by `lint.toml`: `[[allow]]`
-/// tables and a `[units]` section of `key = "value"` pairs, `#` comments,
-/// blank lines. Returns the config or a validation error message.
+/// tables, a `[units]` section of `key = "value"` pairs, and a `[flow]`
+/// section of `key = ["pattern", ...]` arrays (single- or multi-line),
+/// with `#` comments and blank lines. Returns the config or a validation
+/// error message.
 pub fn parse_config(text: &str) -> Result<LintConfig, String> {
     enum Section {
         None,
         Allow,
         Units,
+        Flow,
     }
     let mut entries: Vec<AllowEntry> = Vec::new();
     let mut units = UnitsTable::default();
+    let mut flow = taint::FlowConfig::default();
     let mut current: Option<AllowEntry> = None;
     let mut section = Section::None;
+    // A `[flow]` array opened with `[` but not yet closed with `]`.
+    let mut open_array: Option<(String, Vec<String>)> = None;
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, mut vals)) = open_array.take() {
+            let closes = line.contains(']');
+            array_elements(line.trim_end_matches(']'), &mut vals);
+            if closes {
+                flow.set_key(&key, &vals)
+                    .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
+            } else {
+                open_array = Some((key, vals));
+            }
             continue;
         }
         if line == "[[allow]]" {
@@ -939,12 +1002,37 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
             section = Section::Units;
             continue;
         }
+        if line == "[flow]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Flow;
+            continue;
+        }
         let Some((key, value)) = line.split_once('=') else {
             return Err(format!("lint.toml:{}: expected `key = \"value\"`", ln + 1));
         };
         let key = key.trim();
-        let value = value.trim().trim_matches('"').to_string();
+        let raw_value = value.trim();
+        let value = raw_value.trim_matches('"').to_string();
         match section {
+            Section::Flow => {
+                let Some(body) = raw_value.strip_prefix('[') else {
+                    return Err(format!(
+                        "lint.toml:{}: [flow] values must be string arrays, got `{raw_value}`",
+                        ln + 1
+                    ));
+                };
+                let mut vals = Vec::new();
+                if body.contains(']') {
+                    array_elements(body.trim_end_matches(']'), &mut vals);
+                    flow.set_key(key, &vals)
+                        .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
+                } else {
+                    array_elements(body, &mut vals);
+                    open_array = Some((key.to_string(), vals));
+                }
+            }
             Section::Units => {
                 if key.is_empty()
                     || !key
@@ -989,6 +1077,11 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
             }
         }
     }
+    if let Some((key, _)) = open_array {
+        return Err(format!(
+            "lint.toml: [flow] array `{key}` is never closed with `]`"
+        ));
+    }
     if let Some(e) = current.take() {
         entries.push(e);
     }
@@ -998,10 +1091,10 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
         }
         if !matches!(
             e.lint.as_str(),
-            "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8"
+            "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "L9" | "L10" | "L11" | "L12"
         ) {
             return Err(format!(
-                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L8",
+                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L12",
                 k + 1,
                 e.path
             ));
@@ -1024,6 +1117,7 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
     Ok(LintConfig {
         allow: entries,
         units,
+        flow,
     })
 }
 
@@ -1079,6 +1173,9 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, 
     let mut raw: Vec<Finding> = Vec::new();
     // Prepared sources of library crates, for the L5 model.
     let mut model_sources: Vec<(String, String, String)> = Vec::new();
+    // Library *and* harness sources: the L9–L12 flow passes also prove
+    // that bench drivers respect the sanitize/project gates.
+    let mut flow_sources: Vec<(String, String, String)> = Vec::new();
 
     for krate in LIBRARY_CRATES.iter().chain(HARNESS_CRATES) {
         let src = root.join("crates").join(krate).join("src");
@@ -1101,8 +1198,9 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, 
             let prepared = prep::prepare(&source);
             raw.extend(scan(&label, &prepared, rules, &cfg.units));
             if LIBRARY_CRATES.contains(krate) {
-                model_sources.push((label, (*krate).to_string(), prepared));
+                model_sources.push((label.clone(), (*krate).to_string(), prepared.clone()));
             }
+            flow_sources.push((label, (*krate).to_string(), prepared));
         }
     }
 
@@ -1115,6 +1213,10 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, 
         indexing: false,
     };
     raw.extend(reach::panic_reachability(&model, &filter));
+
+    // L9–L12: interprocedural taint/dataflow over library + harness code.
+    let flow_model = model::Model::build(flow_sources);
+    raw.extend(dataflow::flow_analysis(&flow_model, &cfg.flow));
 
     for f in raw {
         let mut suppressed = false;
@@ -1176,6 +1278,40 @@ mod tests {
         let s = strip_comments_and_literals("let s = r#\"has \"quotes\" and panic!\"#; done");
         assert!(!s.contains("panic"));
         assert!(s.contains("done"));
+    }
+
+    #[test]
+    fn strips_multi_hash_raw_strings() {
+        // The body contains a `"#` that would close a single-hash raw
+        // string; only `"##` may terminate it.
+        let s = strip_comments_and_literals("let s = r##\"inner \"# still panic!\"##; done");
+        assert!(!s.contains("panic") && !s.contains("still"));
+        assert!(s.contains("done"));
+    }
+
+    #[test]
+    fn strips_byte_and_raw_byte_strings() {
+        let s =
+            strip_comments_and_literals("let a = b\"panic!\"; let b2 = br#\"x.unwrap()\"#; tail");
+        assert!(!s.contains("panic") && !s.contains("unwrap"));
+        assert!(s.contains("tail"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        // `var"..."` must be treated as an identifier followed by an
+        // ordinary string, not swallowed as a raw literal.
+        let s = strip_comments_and_literals("for vbr in xs { vr(\"q\") } done");
+        assert!(s.contains("vbr") && s.contains("vr") && s.contains("done"));
+        assert!(!s.contains('q'));
+    }
+
+    #[test]
+    fn nested_block_comments_preserve_line_numbers() {
+        let src = "top\n/* outer /* inner\n*/ tail of outer\n*/\nlet x = y.unwrap();\n";
+        let f = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(f.len(), 1, "only the real unwrap fires: {f:#?}");
+        assert_eq!(f[0].line, 5);
     }
 
     #[test]
@@ -1335,6 +1471,34 @@ mod tests {
         let cfg = parse_config(toml).expect("parses");
         assert_eq!(cfg.units.dimension_of("heap_gb"), Some("memory"));
         assert_eq!(cfg.allow.len(), 1);
+    }
+
+    #[test]
+    fn config_parses_flow_section_with_multiline_arrays() {
+        let toml = "[flow]\nmetric_sources = [\n    \"FluidSim::run_slot\",\n    # comment\n    \
+                    \"DesSim::run\",\n]\nrng_constructors = [\"Rng::new\"]\n";
+        let cfg = parse_config(toml).expect("parses");
+        let srcs: Vec<String> = cfg
+            .flow
+            .metric
+            .sources
+            .iter()
+            .map(|p| p.display())
+            .collect();
+        assert_eq!(srcs, vec!["FluidSim::run_slot", "DesSim::run"]);
+        // Keys not present keep their compiled-in defaults.
+        assert!(!cfg.flow.decision.sinks.is_empty());
+    }
+
+    #[test]
+    fn config_rejects_unknown_flow_key() {
+        let err = parse_config("[flow]\nbogus = [\"x\"]\n").expect_err("must reject");
+        assert!(err.contains("bogus"), "error names the key: {err}");
+    }
+
+    #[test]
+    fn config_rejects_unterminated_flow_array() {
+        assert!(parse_config("[flow]\nmetric_sources = [\n\"a\",\n").is_err());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * `-- --format sarif` — emit SARIF 2.1.0 on stdout instead of the
 //!   human format (diagnostics still go to stderr).
 //! * `-- --baseline PATH` — use PATH instead of `lint-baseline.json`.
+//! * `-- --explain RULE` — print what a rule enforces, why it exists,
+//!   and how to fix a finding (e.g. `-- --explain L9`), then exit.
 //! * `cargo run -p dragster-lint -- <file.rs>...` — lint specific files
 //!   with every rule enabled (including L5 across the given set, with
 //!   call chains for all panic-site kinds) and no allowlist; used by the
@@ -22,7 +24,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dragster_lint::report::{ratchet, to_sarif, Baseline};
+use dragster_lint::report::{explain, ratchet, to_sarif, Baseline};
 use dragster_lint::{lint_files_semantic, lint_workspace, parse_config, LintConfig, RuleSet};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -36,6 +38,7 @@ struct Options {
     ratchet: bool,
     write_baseline: bool,
     baseline_path: Option<String>,
+    explain: Option<String>,
     files: Vec<String>,
 }
 
@@ -45,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         ratchet: false,
         write_baseline: false,
         baseline_path: None,
+        explain: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -64,6 +68,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--baseline needs a path")?;
                 opts.baseline_path = Some(v.clone());
             }
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a rule code (L1..L12)")?;
+                opts.explain = Some(v.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -72,6 +80,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.ratchet && opts.write_baseline {
         return Err("--ratchet and --write-baseline are mutually exclusive".to_string());
+    }
+    if opts.explain.is_some() && (opts.ratchet || opts.write_baseline || !opts.files.is_empty()) {
+        return Err("--explain stands alone (no other modes or file args)".to_string());
     }
     if (opts.ratchet || opts.write_baseline) && !opts.files.is_empty() {
         return Err("baseline modes only apply to workspace runs (no file args)".to_string());
@@ -259,6 +270,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(code) = &opts.explain {
+        return match explain(code) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("dragster-lint: unknown rule `{code}` (try L1..L12)");
+                ExitCode::from(2)
+            }
+        };
+    }
     if opts.files.is_empty() {
         lint_tree(&opts)
     } else {

@@ -80,6 +80,9 @@ pub struct Item {
     /// Token range `[start, end)` of the body (inside braces); `None` for
     /// bodiless trait-method declarations.
     pub body: Option<(usize, usize)>,
+    /// Whether the return type mentions `Result` (drives L12: a caller may
+    /// not discard such a value with `let _ =`).
+    pub returns_result: bool,
 }
 
 impl Item {
@@ -134,6 +137,12 @@ const RESERVED: &[&str] = &[
 
 fn is_reserved(word: &str) -> bool {
     RESERVED.contains(&word)
+}
+
+/// Crate-visible keyword check for passes that read token streams
+/// directly (the dataflow engine mirrors `calls_of`'s call detection).
+pub(crate) fn is_reserved_word(word: &str) -> bool {
+    is_reserved(word)
 }
 
 impl Model {
@@ -354,6 +363,7 @@ fn extract_items(
                 let mut k = sig_end + 1;
                 let mut paren = 0i32;
                 let mut body = None;
+                let mut returns_result = false;
                 while k < toks.len() {
                     match toks[k].text.as_str() {
                         "(" => paren += 1,
@@ -368,6 +378,7 @@ fn extract_items(
                             k = close + 1;
                             break;
                         }
+                        "Result" => returns_result = true,
                         _ => {}
                     }
                     k += 1;
@@ -391,6 +402,7 @@ fn extract_items(
                     line: name_tok.line,
                     sig: (sig_start, sig_end),
                     body,
+                    returns_result,
                 });
                 i = k;
             }
@@ -505,4 +517,67 @@ fn skip_group(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> usize {
         j += 1;
     }
     toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(src: &str) -> Model {
+        Model::build(vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "x".to_string(),
+            crate::prep::prepare(src),
+        )])
+    }
+
+    #[test]
+    fn method_call_chains_yield_one_edge_per_link() {
+        let src = "pub struct A {}\npub struct B {}\n\
+                   impl A { pub fn step(&self) -> B { B {} } }\n\
+                   impl B { pub fn leaf(&self) -> f64 { 1.0 } }\n\
+                   pub fn drive(a: &A) -> f64 { a.step().leaf() }\n";
+        let m = model_of(src);
+        let drive = m
+            .items
+            .iter()
+            .find(|i| i.name == "drive")
+            .expect("drive is indexed");
+        let calls = m.calls_of(drive);
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["step", "leaf"], "each chain link is an edge");
+        for c in &calls {
+            assert!(c.is_method, "`.name(` sites are method calls");
+            let cands = m.resolve(c);
+            assert_eq!(cands.len(), 1, "`{}` resolves uniquely", c.name);
+            assert_eq!(m.items[cands[0]].name, c.name);
+        }
+    }
+
+    #[test]
+    fn qualified_call_keeps_its_written_qualifier() {
+        let src = "pub struct Rng {}\nimpl Rng { pub fn new(s: u64) -> Rng { Rng {} } }\n\
+                   pub fn f(s: u64) -> Rng { Rng::new(s) }\n\
+                   pub fn g() -> Vec<u64> { Vec::new() }\n";
+        let m = model_of(src);
+        let f = m.items.iter().find(|i| i.name == "f").expect("f indexed");
+        let calls = m.calls_of(f);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].qualifier.as_deref(), Some("Rng"));
+        // `Vec::new` shares the bare name but not the qualifier — the
+        // flow passes rely on the written qualifier to tell them apart.
+        let g = m.items.iter().find(|i| i.name == "g").expect("g indexed");
+        let vec_new = &m.calls_of(g)[0];
+        assert_eq!(vec_new.qualifier.as_deref(), Some("Vec"));
+    }
+
+    #[test]
+    fn result_returning_items_are_marked() {
+        let src = "pub fn fallible() -> Result<(), String> { Ok(()) }\n\
+                   pub fn infallible() -> usize { 0 }\n";
+        let m = model_of(src);
+        let by = |n: &str| m.items.iter().find(|i| i.name == n).expect("indexed");
+        assert!(by("fallible").returns_result);
+        assert!(!by("infallible").returns_result);
+    }
 }

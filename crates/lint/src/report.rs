@@ -241,7 +241,139 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("L6", "RNG-stream discipline violation"),
     ("L7", "unit-dimension mismatch"),
     ("L8", "unchecked indexing/slicing"),
+    ("L9", "raw metric reaches a learning sink unsanitized"),
+    ("L10", "RNG constructed without seed provenance"),
+    ("L11", "decision vector actuated without projection"),
+    ("L12", "fallible Result discarded with `let _ =`"),
 ];
+
+/// Long-form rationale, a minimal violating example, and the fix pattern
+/// for each rule — rendered by `dragster-lint --explain <RULE>`.
+const RULE_EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "L1",
+        "Why: a panic in the controller loop or GP update aborts the run and\n\
+         invalidates every downstream figure; library errors must travel as\n\
+         `Result`s so the harness can retry or degrade.\n\
+         Violates:  let v = samples.last().unwrap();\n\
+         Fix:       let v = samples.last().ok_or(Error::Empty)?;",
+    ),
+    (
+        "L2",
+        "Why: a fixed seed must reproduce a run bit-for-bit. Thread RNGs,\n\
+         wall clocks, and HashMap iteration order all break replay.\n\
+         Violates:  let mut m = std::collections::HashMap::new();\n\
+         Fix:       let mut m = std::collections::BTreeMap::new();",
+    ),
+    (
+        "L3",
+        "Why: one NaN in a GP posterior turns `.partial_cmp(..).unwrap()`\n\
+         into a panic mid-experiment.\n\
+         Violates:  xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());\n\
+         Fix:       xs.iter().max_by(|a, b| a.total_cmp(b));",
+    ),
+    (
+        "L4",
+        "Why: `as` float->int silently truncates, corrupting budgets and\n\
+         indices in the numeric crates.\n\
+         Violates:  let slots = target as usize;\n\
+         Fix:       let slots = checked_floor_to_usize(target)?;",
+    ),
+    (
+        "L5",
+        "Why: panic sites behind `pub` entry points are latent aborts; the\n\
+         call-graph pass reports the full chain so the callee can be made\n\
+         total or the bound proven and allowlisted.\n\
+         Violates:  pub fn f(n: u64) -> u64 { g(n) }  fn g(n: u64) -> u64 { 1 / n }\n\
+         Fix:       make g total (checked_div) or allowlist with a proof sketch.",
+    ),
+    (
+        "L6",
+        "Why: every RNG stream must be named and seeded so experiments are\n\
+         replayable; entropy and clock seeding are banned.\n\
+         Violates:  let rng = SmallRng::from_entropy();\n\
+         Fix:       let rng = Rng::new(master_seed ^ STREAM_SALT);",
+    ),
+    (
+        "L7",
+        "Why: adding a rate to a duration (or comparing dollars to slots) is\n\
+         a silent unit bug; the `[units]` table maps ident suffixes to\n\
+         dimensions and flags mixed +,-,<,= operands.\n\
+         Violates:  let x = rate_tps + window_secs;\n\
+         Fix:       let tuples = rate_tps * window_secs;  // annotated conversion",
+    ),
+    (
+        "L8",
+        "Why: `v[i]` panics on a bad index; controller state must degrade,\n\
+         not abort.\n\
+         Violates:  let first = rates[0];\n\
+         Fix:       let first = rates.first().copied().unwrap_or(0.0);",
+    ),
+    (
+        "L9",
+        "Why: fault injection produces NaN/dropout/spike readings; feeding\n\
+         them to the GP, estimator, or dual update poisons the learned\n\
+         model. The taint pass proves every raw snapshot passes through\n\
+         `MetricSanitizer::sanitize` before any learning sink (the paper's\n\
+         clean-gating contract), reporting the source->sink call chain.\n\
+         Violates:  let m = sim.run_slot(&rates); gp.observe(m)?;\n\
+         Fix:       let m = sanitizer.sanitize(sim.run_slot(&rates)); gp.observe(m)?;",
+    ),
+    (
+        "L10",
+        "Why: L6 checks that a constructor argument *names* a seed; L10\n\
+         checks it *is* one — a local named `seed` bound from entropy or a\n\
+         clock is laundering, not provenance. Every RNG value must be\n\
+         data-derivable from a master-seed parameter, literal, or const.\n\
+         Violates:  let seed = entropy(); Rng::new(seed)\n\
+         Fix:       let seed = master_seed ^ STREAM_SALT; Rng::new(seed)",
+    ),
+    (
+        "L11",
+        "Why: scaler decisions are unconstrained proposals; actuating or\n\
+         cost-metering them without projecting onto the box/budget\n\
+         constraint set breaks the regret analysis (and can over-spend the\n\
+         cluster). Every decision vector must flow through a projection\n\
+         before `reconfigure`/`charge`.\n\
+         Violates:  let p = scaler.decide(&m)?; sim.reconfigure(p)?;\n\
+         Fix:       let p = project_to_budget(scaler.decide(&m)?.clamped(lo, hi), b); sim.reconfigure(p)?;",
+    ),
+    (
+        "L12",
+        "Why: `let _ = fallible()` silently swallows an error the API\n\
+         contract requires handling — a failed reconfigure means the slot's\n\
+         cost accounting is wrong.\n\
+         Violates:  let _ = sim.reconfigure(deployment);\n\
+         Fix:       sim.reconfigure(deployment)?;  // or match on the error",
+    ),
+];
+
+/// The `--explain` text for a rule code (case-insensitive), if known.
+pub fn explain(code: &str) -> Option<String> {
+    let upper = code.to_ascii_uppercase();
+    let long = RULE_EXPLANATIONS
+        .iter()
+        .find(|(id, _)| *id == upper)
+        .map(|(_, text)| *text)?;
+    let short = RULE_DESCRIPTIONS
+        .iter()
+        .find(|(id, _)| *id == upper)
+        .map(|(_, d)| *d)
+        .unwrap_or("");
+    Some(format!("{upper} — {short}\n\n{long}\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints.
+// ---------------------------------------------------------------------------
+
+/// Stable identity of a finding: 64-bit FNV-1a over rule, workspace-
+/// relative path, and the offending token. Line numbers (and call
+/// chains) are excluded so edits that move or re-route a known finding
+/// do not churn the baseline; emitted as SARIF `partialFingerprints`.
+pub fn partial_fingerprint(f: &Finding) -> String {
+    fingerprint_of(f.code, &f.file, &f.token)
+}
 
 /// Renders findings as a SARIF 2.1.0 document (the subset GitHub's code
 /// scanning upload understands).
@@ -275,11 +407,13 @@ pub fn to_sarif(findings: &[Finding]) -> String {
         out.push_str(&format!(
             "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
              \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
-             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}], \
+             \"partialFingerprints\": {{\"dragsterLint/v1\": \"{}\"}}}}{}\n",
             f.code,
             esc(&format!("{}: {}", f.token, msg)),
             esc(&f.file),
             f.line.max(1),
+            partial_fingerprint(f),
             if k + 1 < findings.len() { "," } else { "" }
         ));
     }
@@ -291,43 +425,62 @@ pub fn to_sarif(findings: &[Finding]) -> String {
 // Baseline + ratchet.
 // ---------------------------------------------------------------------------
 
+/// One baseline entry's descriptive identity (the fingerprint is the
+/// key; these fields exist for humans reading the committed file).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub file: String,
+    pub code: String,
+    pub token: String,
+    pub count: usize,
+}
+
 /// The committed debt ledger: a multiset of findings keyed by
-/// `(file, code, token)`. Line numbers are excluded on purpose — moving a
-/// known finding within its file must not count as a new one.
+/// [`partial_fingerprint`] (rule + path + token; line numbers excluded on
+/// purpose — moving a known finding within its file must not count as a
+/// new one). Version 1 files keyed by `(file, code, token)` are migrated
+/// on read: the fingerprint is derived from the same three fields.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
-    pub entries: BTreeMap<(String, String, String), usize>,
+    pub entries: BTreeMap<String, BaselineEntry>,
 }
 
 impl Baseline {
     pub fn total(&self) -> usize {
-        self.entries.values().sum()
+        self.entries.values().map(|e| e.count).sum()
     }
 
     pub fn from_findings(findings: &[Finding]) -> Baseline {
-        let mut entries: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        let mut entries: BTreeMap<String, BaselineEntry> = BTreeMap::new();
         for f in findings {
-            *entries
-                .entry((f.file.clone(), f.code.to_string(), f.token.clone()))
-                .or_insert(0) += 1;
+            let fp = partial_fingerprint(f);
+            let e = entries.entry(fp).or_insert_with(|| BaselineEntry {
+                file: f.file.clone(),
+                code: f.code.to_string(),
+                token: f.token.clone(),
+                count: 0,
+            });
+            e.count += 1;
         }
         Baseline { entries }
     }
 
-    /// Serializes to the committed `lint-baseline.json` format.
+    /// Serializes to the committed `lint-baseline.json` format (v2).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"version\": 1,\n  \"total\": ");
+        out.push_str("{\n  \"version\": 2,\n  \"total\": ");
         out.push_str(&self.total().to_string());
         out.push_str(",\n  \"findings\": [\n");
         let n = self.entries.len();
-        for (k, ((file, code, token), count)) in self.entries.iter().enumerate() {
+        for (k, (fp, e)) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"file\": \"{}\", \"code\": \"{}\", \"token\": \"{}\", \"count\": {}}}{}\n",
-                esc(file),
-                esc(code),
-                esc(token),
-                count,
+                "    {{\"fingerprint\": \"{}\", \"file\": \"{}\", \"code\": \"{}\", \
+                 \"token\": \"{}\", \"count\": {}}}{}\n",
+                esc(fp),
+                esc(&e.file),
+                esc(&e.code),
+                esc(&e.token),
+                e.count,
                 if k + 1 < n { "," } else { "" }
             ));
         }
@@ -335,17 +488,18 @@ impl Baseline {
         out
     }
 
-    /// Parses `lint-baseline.json`.
+    /// Parses `lint-baseline.json` (v2 fingerprint-keyed, or v1 migrated
+    /// by recomputing fingerprints from the descriptive fields).
     pub fn from_json(text: &str) -> Result<Baseline, String> {
         let doc = parse_json(text).map_err(|e| format!("lint-baseline.json: {e}"))?;
         let version = doc
             .get("version")
             .and_then(Json::as_usize)
             .ok_or("lint-baseline.json: missing version")?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(format!("lint-baseline.json: unsupported version {version}"));
         }
-        let mut entries = BTreeMap::new();
+        let mut entries: BTreeMap<String, BaselineEntry> = BTreeMap::new();
         for item in doc
             .get("findings")
             .and_then(Json::as_arr)
@@ -367,12 +521,37 @@ impl Baseline {
                 .get("count")
                 .and_then(Json::as_usize)
                 .ok_or("baseline entry missing count")?;
-            *entries
-                .entry((file.to_string(), code.to_string(), token.to_string()))
-                .or_insert(0) += count;
+            let fp = match item.get("fingerprint").and_then(Json::as_str) {
+                Some(fp) if version == 2 => fp.to_string(),
+                // v1 (or a hand-edited v2 entry without a fingerprint):
+                // derive it from the descriptive fields.
+                _ => fingerprint_of(code, file, token),
+            };
+            let e = entries.entry(fp).or_insert_with(|| BaselineEntry {
+                file: file.to_string(),
+                code: code.to_string(),
+                token: token.to_string(),
+                count: 0,
+            });
+            e.count += count;
         }
         Ok(Baseline { entries })
     }
+}
+
+/// 64-bit FNV-1a over the raw identity fields; also the v1-baseline
+/// migration path, where no `Finding` exists.
+fn fingerprint_of(code: &str, file: &str, token: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [code, file, token] {
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 /// Outcome of comparing a run against the committed baseline.
@@ -409,16 +588,22 @@ pub fn ratchet(baseline: &Baseline, findings: &[Finding]) -> RatchetOutcome {
         current_total: current.total(),
         ..RatchetOutcome::default()
     };
-    for (key, &count) in &current.entries {
-        let base = baseline.entries.get(key).copied().unwrap_or(0);
-        if count > base {
-            out.new
-                .push((key.0.clone(), key.1.clone(), key.2.clone(), base, count));
+    for (fp, e) in &current.entries {
+        let base = baseline.entries.get(fp).map(|b| b.count).unwrap_or(0);
+        if e.count > base {
+            out.new.push((
+                e.file.clone(),
+                e.code.clone(),
+                e.token.clone(),
+                base,
+                e.count,
+            ));
         }
     }
-    for key in baseline.entries.keys() {
-        if !current.entries.contains_key(key) {
-            out.fixed.push(key.clone());
+    for (fp, e) in &baseline.entries {
+        if !current.entries.contains_key(fp) {
+            out.fixed
+                .push((e.file.clone(), e.code.clone(), e.token.clone()));
         }
     }
     out

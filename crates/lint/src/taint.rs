@@ -1,0 +1,249 @@
+//! Flow-rule configuration: source/sanitizer/sink patterns for the
+//! interprocedural dataflow passes (L9–L12).
+//!
+//! Patterns are `::`-separated path suffixes matched against an item's
+//! qualified name (`crate::module::Owner::fn`); a `*` segment matches any
+//! single segment. `MetricSanitizer::sanitize` therefore matches
+//! `sim::sanitize::MetricSanitizer::sanitize`, and `*::decide` matches
+//! every `decide` method regardless of the implementing type. A pattern
+//! with one segment matches by bare function name.
+//!
+//! The built-in defaults below mirror the `[flow]` table shipped in
+//! `lint.toml`; the file may override any list per key. Fixture runs (no
+//! config file) use the defaults, which is why fixtures declare types
+//! with the production names (`MetricSanitizer`, `Rng`, …).
+
+use crate::model::CallRef;
+
+/// One parsed flow pattern (`A::b`, `*::decide`, `project_to_budget`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    segs: Vec<String>,
+}
+
+impl Pattern {
+    /// Parses and validates a pattern string.
+    pub fn parse(text: &str) -> Result<Pattern, String> {
+        let segs: Vec<String> = text.split("::").map(str::to_string).collect();
+        if segs.iter().any(String::is_empty) {
+            return Err(format!("flow pattern `{text}` has an empty segment"));
+        }
+        for s in &segs {
+            if s != "*" && !s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(format!(
+                    "flow pattern `{text}`: segment `{s}` must be an identifier or `*`"
+                ));
+            }
+        }
+        Ok(Pattern { segs })
+    }
+
+    /// Human-readable form (for messages).
+    pub fn display(&self) -> String {
+        self.segs.join("::")
+    }
+
+    /// Suffix match against a qualified item path such as
+    /// `sim::sanitize::MetricSanitizer::sanitize`.
+    pub fn matches_qualified(&self, qualified: &str) -> bool {
+        let path: Vec<&str> = qualified.split("::").collect();
+        if self.segs.len() > path.len() {
+            return false;
+        }
+        let tail = &path[path.len() - self.segs.len()..];
+        self.segs
+            .iter()
+            .zip(tail.iter())
+            .all(|(p, s)| p == "*" || p == s)
+    }
+
+    /// Textual match against an unresolved call site: the last segment
+    /// must equal the call name, and for qualified calls the second-to-
+    /// last segment must cover the qualifier. Method calls match on name
+    /// alone (the receiver's type is unknown at token level).
+    pub fn matches_call(&self, call: &CallRef) -> bool {
+        let Some(last) = self.segs.last() else {
+            return false;
+        };
+        if last != "*" && *last != call.name {
+            return false;
+        }
+        if call.is_method || self.segs.len() == 1 {
+            return true;
+        }
+        let owner = &self.segs[self.segs.len() - 2];
+        match &call.qualifier {
+            Some(q) => owner == "*" || owner == q,
+            // Free call against an `Owner::fn` pattern: name match only.
+            None => true,
+        }
+    }
+}
+
+/// Parses a list of pattern strings.
+pub fn parse_patterns(texts: &[String]) -> Result<Vec<Pattern>, String> {
+    texts.iter().map(|t| Pattern::parse(t)).collect()
+}
+
+/// One taint rule: values produced by `sources` must pass through a
+/// `sanitizers` call before reaching a `sinks` call.
+#[derive(Clone, Debug)]
+pub struct TaintSpec {
+    /// Lint code (`"L9"` / `"L11"`).
+    pub code: &'static str,
+    /// What the tainted value is, for messages ("raw metric snapshot").
+    pub what: &'static str,
+    /// The fix, for messages ("MetricSanitizer::sanitize").
+    pub fix: &'static str,
+    pub sources: Vec<Pattern>,
+    pub sanitizers: Vec<Pattern>,
+    pub sinks: Vec<Pattern>,
+}
+
+/// The full flow configuration: the two taint rules plus the L10 RNG
+/// provenance constructor list. (L12 needs no patterns — it keys off
+/// `Result` return types in the item index.)
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// L9 — degraded-metric taint.
+    pub metric: TaintSpec,
+    /// L11 — projection discipline.
+    pub decision: TaintSpec,
+    /// L10 — RNG constructors whose seed argument must be seed-derived.
+    pub rng_ctors: Vec<Pattern>,
+}
+
+fn pats(texts: &[&str]) -> Vec<Pattern> {
+    texts
+        .iter()
+        .map(|t| Pattern::parse(t).unwrap_or(Pattern { segs: Vec::new() }))
+        .collect()
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            metric: TaintSpec {
+                code: "L9",
+                what: "raw metric snapshot",
+                fix: "MetricSanitizer::sanitize",
+                sources: pats(&[
+                    "FluidSim::run_slot",
+                    "DesSim::run",
+                    "FaultState::begin_slot",
+                ]),
+                sanitizers: pats(&["MetricSanitizer::sanitize"]),
+                sinks: pats(&[
+                    "GpRegressor::observe",
+                    "OperatorGp::observe",
+                    "SelectivityEstimator::ingest",
+                    "SaddleState::dual_update",
+                    "OgdState::step",
+                ]),
+            },
+            decision: TaintSpec {
+                code: "L11",
+                what: "unprojected decision vector",
+                fix: "core::projection / project_to_budget",
+                sources: pats(&["*::decide"]),
+                sanitizers: pats(&[
+                    "project_to_budget",
+                    "project_acquisition",
+                    "Deployment::clamped",
+                ]),
+                sinks: pats(&["FluidSim::reconfigure", "CostMeter::charge"]),
+            },
+            rng_ctors: pats(&["Rng::new"]),
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Applies one `[flow]` key from `lint.toml`, replacing the matching
+    /// pattern list. Unknown keys are an error (they are usually typos).
+    pub fn set_key(&mut self, key: &str, values: &[String]) -> Result<(), String> {
+        let parsed = parse_patterns(values)?;
+        match key {
+            "metric_sources" => self.metric.sources = parsed,
+            "metric_sanitizers" => self.metric.sanitizers = parsed,
+            "metric_sinks" => self.metric.sinks = parsed,
+            "decision_sources" => self.decision.sources = parsed,
+            "decision_projections" => self.decision.sanitizers = parsed,
+            "actuation_sinks" => self.decision.sinks = parsed,
+            "rng_constructors" => self.rng_ctors = parsed,
+            other => {
+                return Err(format!(
+                    "[flow] key `{other}` is not one of metric_sources / \
+                     metric_sanitizers / metric_sinks / decision_sources / \
+                     decision_projections / actuation_sinks / rng_constructors"
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_suffix_matches_qualified_paths() {
+        let p = Pattern::parse("MetricSanitizer::sanitize").expect("parses");
+        assert!(p.matches_qualified("sim::sanitize::MetricSanitizer::sanitize"));
+        assert!(!p.matches_qualified("sim::sanitize::MetricSanitizer::new"));
+        assert!(!p.matches_qualified("sanitize"));
+    }
+
+    #[test]
+    fn wildcard_segment_matches_any_owner() {
+        let p = Pattern::parse("*::decide").expect("parses");
+        assert!(p.matches_qualified("core::controller::Dragster::decide"));
+        assert!(p.matches_qualified("baselines::ds2::Ds2::decide"));
+        assert!(!p.matches_qualified("core::controller::Dragster::decode"));
+    }
+
+    #[test]
+    fn single_segment_matches_free_functions() {
+        let p = Pattern::parse("project_to_budget").expect("parses");
+        assert!(p.matches_qualified("sim::harness::project_to_budget"));
+        let call = CallRef {
+            name: "project_to_budget".to_string(),
+            qualifier: None,
+            is_method: false,
+        };
+        assert!(p.matches_call(&call));
+    }
+
+    #[test]
+    fn qualified_call_matching_respects_owner() {
+        let p = Pattern::parse("Rng::new").expect("parses");
+        let hit = CallRef {
+            name: "new".to_string(),
+            qualifier: Some("Rng".to_string()),
+            is_method: false,
+        };
+        let miss = CallRef {
+            name: "new".to_string(),
+            qualifier: Some("GpRegressor".to_string()),
+            is_method: false,
+        };
+        assert!(p.matches_call(&hit));
+        assert!(!p.matches_call(&miss));
+    }
+
+    #[test]
+    fn bad_patterns_are_rejected() {
+        assert!(Pattern::parse("a::::b").is_err());
+        assert!(Pattern::parse("a b::c").is_err());
+        assert!(Pattern::parse("").is_err());
+    }
+
+    #[test]
+    fn flow_config_rejects_unknown_keys() {
+        let mut cfg = FlowConfig::default();
+        assert!(cfg.set_key("metric_sinks", &["X::y".to_string()]).is_ok());
+        assert_eq!(cfg.metric.sinks.len(), 1);
+        assert!(cfg.set_key("metric_snks", &["X::y".to_string()]).is_err());
+    }
+}

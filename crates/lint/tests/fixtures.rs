@@ -185,6 +185,101 @@ fn l8_get_with_fallback_passes() {
     );
 }
 
+/// Last path segment of each chain entry, for readable assertions.
+fn chain_tails(f: &Finding) -> Vec<&str> {
+    f.chain
+        .iter()
+        .map(|q| q.rsplit("::").next().unwrap_or(q))
+        .collect()
+}
+
+#[test]
+fn l9_unsanitized_metric_reaching_gp_carries_source_to_sink_chain() {
+    let findings = semantic_fixture("l9_taint_pos.rs");
+    assert_findings("l9_taint_pos.rs", &findings, "L9", 1);
+    let f = &findings[0];
+    assert_eq!(
+        chain_tails(f),
+        vec!["run_slot", "fetch", "drive", "observe"],
+        "chain must walk source -> helper -> caller -> sink: {f:#?}"
+    );
+    assert!(
+        f.message.contains("run_slot") && f.message.contains("observe"),
+        "message must spell out the flow: {}",
+        f.message
+    );
+}
+
+#[test]
+fn l9_sanitized_metric_stays_silent() {
+    let findings = semantic_fixture("l9_taint_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l9_taint_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l10_laundered_seed_triggers_exactly_l10() {
+    let findings = semantic_fixture("l10_seed_pos.rs");
+    assert_findings("l10_seed_pos.rs", &findings, "L10", 1);
+    assert!(
+        findings[0].message.contains("laundering"),
+        "the finding must name the laundered binding: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn l10_derived_and_literal_seeds_pass() {
+    let findings = semantic_fixture("l10_seed_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l10_seed_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l11_unprojected_decision_carries_decide_to_actuation_chain() {
+    let findings = semantic_fixture("l11_projection_pos.rs");
+    assert_findings("l11_projection_pos.rs", &findings, "L11", 1);
+    assert_eq!(
+        chain_tails(&findings[0]),
+        vec!["decide", "act", "reconfigure"],
+        "chain must walk decide -> act -> reconfigure: {:#?}",
+        findings[0]
+    );
+}
+
+#[test]
+fn l11_projected_decision_stays_silent() {
+    let findings = semantic_fixture("l11_projection_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l11_projection_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l12_discarded_result_triggers_exactly_l12() {
+    let findings = semantic_fixture("l12_discard_pos.rs");
+    assert_findings("l12_discard_pos.rs", &findings, "L12", 1);
+    assert!(
+        findings[0].message.contains("reconfigure_cluster"),
+        "the finding must name the fallible callee: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn l12_propagated_and_infallible_discards_pass() {
+    let findings = semantic_fixture("l12_discard_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l12_discard_neg.rs flagged: {findings:#?}"
+    );
+}
+
 #[test]
 fn clean_fixture_has_no_findings() {
     let findings = fixture("clean.rs");
@@ -209,6 +304,12 @@ fn every_fixture_is_covered_by_a_test() {
         names,
         vec![
             "clean.rs",
+            "l10_seed_neg.rs",
+            "l10_seed_pos.rs",
+            "l11_projection_neg.rs",
+            "l11_projection_pos.rs",
+            "l12_discard_neg.rs",
+            "l12_discard_pos.rs",
             "l1_expect.rs",
             "l1_panic.rs",
             "l1_unwrap.rs",
@@ -225,6 +326,8 @@ fn every_fixture_is_covered_by_a_test() {
             "l7_units_pos.rs",
             "l8_index_neg.rs",
             "l8_index_pos.rs",
+            "l9_taint_neg.rs",
+            "l9_taint_pos.rs",
         ],
         "fixture set changed — update the tests to match"
     );

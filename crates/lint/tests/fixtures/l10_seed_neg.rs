@@ -1,0 +1,24 @@
+//! L10 negative: every RNG construction is data-derivable from the
+//! master seed — a literal, a const, or an xor-derived stream. Must
+//! produce no L10 finding.
+
+pub struct Rng {
+    pub state: u64,
+}
+
+impl Rng {
+    pub fn new(x: u64) -> Rng {
+        Rng { state: x }
+    }
+}
+
+const STREAM_SALT: u64 = 0x9E37_79B9;
+
+pub fn derived_stream(master_seed: u64) -> Rng {
+    let stream = master_seed ^ STREAM_SALT;
+    Rng::new(stream)
+}
+
+pub fn literal_seed() -> Rng {
+    Rng::new(0x5EED)
+}

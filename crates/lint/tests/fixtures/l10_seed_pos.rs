@@ -1,0 +1,22 @@
+//! L10 positive: seed laundering. A local *named* `seed` is bound from a
+//! value with no seed provenance, then fed to the RNG constructor. The
+//! name-based L6 check is satisfied; the dataflow L10 check is not.
+
+pub struct Rng {
+    pub state: u64,
+}
+
+impl Rng {
+    pub fn new(x: u64) -> Rng {
+        Rng { state: x }
+    }
+}
+
+fn wall_clock_entropy() -> u64 {
+    4
+}
+
+pub fn laundered() -> Rng {
+    let seed = wall_clock_entropy();
+    Rng::new(seed)
+}

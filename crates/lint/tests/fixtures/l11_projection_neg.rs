@@ -1,0 +1,33 @@
+//! L11 negative: the decision vector passes through `project_to_budget`
+//! before actuation. Must produce no L11 finding.
+
+pub struct Scaler {
+    pub gain: f64,
+}
+
+impl Scaler {
+    pub fn decide(&mut self, pressure: f64) -> f64 {
+        pressure * self.gain
+    }
+}
+
+pub struct FluidSim {
+    pub level: f64,
+}
+
+impl FluidSim {
+    pub fn reconfigure(&mut self, target: f64) -> Result<(), String> {
+        self.level = target;
+        Ok(())
+    }
+}
+
+fn project_to_budget(x: f64, budget: f64) -> f64 {
+    x.clamp(0.0, budget)
+}
+
+pub fn act(scaler: &mut Scaler, sim: &mut FluidSim) -> Result<(), String> {
+    let proposal = scaler.decide(0.5);
+    let feasible = project_to_budget(proposal, 10.0);
+    sim.reconfigure(feasible)
+}

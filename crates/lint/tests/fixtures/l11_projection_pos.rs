@@ -1,0 +1,29 @@
+//! L11 positive: a scaler's decision vector is actuated directly —
+//! `decide -> reconfigure` with no projection onto the box/budget
+//! constraint set in between.
+
+pub struct Scaler {
+    pub gain: f64,
+}
+
+impl Scaler {
+    pub fn decide(&mut self, pressure: f64) -> f64 {
+        pressure * self.gain
+    }
+}
+
+pub struct FluidSim {
+    pub level: f64,
+}
+
+impl FluidSim {
+    pub fn reconfigure(&mut self, target: f64) -> Result<(), String> {
+        self.level = target;
+        Ok(())
+    }
+}
+
+pub fn act(scaler: &mut Scaler, sim: &mut FluidSim) -> Result<(), String> {
+    let proposal = scaler.decide(0.5);
+    sim.reconfigure(proposal)
+}

@@ -1,0 +1,22 @@
+//! L12 negative: fallible results are propagated, and `let _ =` is only
+//! used on an infallible call. Must produce no L12 finding.
+
+pub fn reconfigure_cluster(delta: i64) -> Result<(), String> {
+    if delta >= 0 {
+        Ok(())
+    } else {
+        Err("shrink refused".to_string())
+    }
+}
+
+pub fn current_len(v: &[f64]) -> usize {
+    v.len()
+}
+
+pub fn handled(delta: i64) -> Result<(), String> {
+    reconfigure_cluster(delta)
+}
+
+pub fn discard_infallible(v: &[f64]) {
+    let _ = current_len(v);
+}

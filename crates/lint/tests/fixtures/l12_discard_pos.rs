@@ -1,0 +1,14 @@
+//! L12 positive: a fallible reconfiguration's `Result` is dropped with
+//! `let _ =` in non-test code, silently swallowing the error contract.
+
+pub fn reconfigure_cluster(delta: i64) -> Result<(), String> {
+    if delta >= 0 {
+        Ok(())
+    } else {
+        Err("shrink refused".to_string())
+    }
+}
+
+pub fn fire_and_forget(delta: i64) {
+    let _ = reconfigure_cluster(delta);
+}

@@ -1,0 +1,45 @@
+//! L9 negative: the same source→sink shape as `l9_taint_pos.rs`, but the
+//! snapshot is gated through `MetricSanitizer::sanitize` before reaching
+//! the GP. Must produce no L9 finding.
+
+pub struct FluidSim {
+    pub backlog: f64,
+}
+
+impl FluidSim {
+    pub fn run_slot(&mut self, rate_tps: f64) -> f64 {
+        self.backlog = self.backlog + rate_tps;
+        self.backlog
+    }
+}
+
+pub struct MetricSanitizer {
+    pub ceiling: f64,
+}
+
+impl MetricSanitizer {
+    pub fn sanitize(&mut self, m: f64) -> f64 {
+        m.clamp(0.0, self.ceiling)
+    }
+}
+
+pub struct GpRegressor {
+    pub sum: f64,
+}
+
+impl GpRegressor {
+    pub fn observe(&mut self, y: f64) -> Result<(), String> {
+        self.sum = self.sum + y;
+        Ok(())
+    }
+}
+
+pub fn drive(
+    sim: &mut FluidSim,
+    san: &mut MetricSanitizer,
+    gp: &mut GpRegressor,
+) -> Result<(), String> {
+    let raw = sim.run_slot(9.0);
+    let clean = san.sanitize(raw);
+    gp.observe(clean)
+}

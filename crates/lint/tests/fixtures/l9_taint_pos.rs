@@ -1,0 +1,34 @@
+//! L9 positive: a raw slot snapshot flows through a helper into the GP
+//! without ever passing the sanitizer. The finding must carry the full
+//! source→sink chain `run_slot -> fetch -> drive -> observe`.
+
+pub struct FluidSim {
+    pub backlog: f64,
+}
+
+impl FluidSim {
+    pub fn run_slot(&mut self, rate_tps: f64) -> f64 {
+        self.backlog = self.backlog + rate_tps;
+        self.backlog
+    }
+}
+
+pub struct GpRegressor {
+    pub sum: f64,
+}
+
+impl GpRegressor {
+    pub fn observe(&mut self, y: f64) -> Result<(), String> {
+        self.sum = self.sum + y;
+        Ok(())
+    }
+}
+
+fn fetch(sim: &mut FluidSim) -> f64 {
+    sim.run_slot(9.0)
+}
+
+pub fn drive(sim: &mut FluidSim, gp: &mut GpRegressor) -> Result<(), String> {
+    let raw = fetch(sim);
+    gp.observe(raw)
+}

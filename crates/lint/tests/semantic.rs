@@ -4,7 +4,7 @@
 use std::fs;
 use std::path::Path;
 
-use dragster_lint::report::{parse_json, ratchet, to_sarif, Baseline, Json};
+use dragster_lint::report::{parse_json, partial_fingerprint, ratchet, to_sarif, Baseline, Json};
 use dragster_lint::{lint_files_semantic, Finding, RuleSet};
 
 fn fixture_findings(names: &[&str]) -> Vec<Finding> {
@@ -91,4 +91,62 @@ fn sarif_output_is_valid_json_with_rule_ids() {
         sarif.contains("entry") && sarif.contains("leaf"),
         "reachability chain missing from SARIF message"
     );
+}
+
+#[test]
+fn sarif_results_carry_stable_partial_fingerprints() {
+    let findings = fixture_findings(&["l8_index_pos.rs", "l9_taint_pos.rs"]);
+    assert!(findings.len() >= 2, "need L8 + L9 findings");
+    let sarif = to_sarif(&findings);
+    assert!(
+        sarif.contains("partialFingerprints") && sarif.contains("dragsterLint/v1"),
+        "every result must carry the fingerprint key"
+    );
+    for f in &findings {
+        let fp = partial_fingerprint(f);
+        assert_eq!(fp.len(), 16, "fingerprint is a 64-bit hex string: {fp}");
+        assert!(sarif.contains(&fp), "SARIF must embed {fp} for {f}");
+    }
+    // Line-number drift must not change the fingerprint: rerunning the
+    // same fixtures yields identical fingerprints.
+    let again = fixture_findings(&["l8_index_pos.rs", "l9_taint_pos.rs"]);
+    let a: Vec<String> = findings.iter().map(partial_fingerprint).collect();
+    let b: Vec<String> = again.iter().map(partial_fingerprint).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ratchet_rejects_a_new_flow_violation() {
+    // A clean tree (empty baseline) confronted with a fresh L9 taint
+    // finding: the ratchet must fail and name the new debt.
+    let clean = Baseline::from_findings(&[]);
+    let tainted = fixture_findings(&["l9_taint_pos.rs"]);
+    assert_eq!(tainted.len(), 1, "fixture produces exactly one L9");
+    let outcome = ratchet(&clean, &tainted);
+    assert!(!outcome.ok(), "new flow debt must fail: {outcome:?}");
+    assert!(
+        outcome.new.iter().any(|(file, code, _, was, now)| {
+            file == "l9_taint_pos.rs" && code == "L9" && *was == 0 && *now == 1
+        }),
+        "the L9 finding must surface as new debt: {outcome:?}"
+    );
+}
+
+#[test]
+fn baseline_v1_files_migrate_on_read() {
+    // A version-1 baseline (no fingerprint field) must parse, derive
+    // fingerprints from the descriptive fields, and ratchet cleanly
+    // against the same findings.
+    let findings = fixture_findings(&["l8_index_pos.rs"]);
+    assert_eq!(findings.len(), 1);
+    let f = &findings[0];
+    let v1 = format!(
+        "{{\n  \"version\": 1,\n  \"total\": 1,\n  \"findings\": [\n    \
+         {{\"file\": \"{}\", \"code\": \"{}\", \"token\": \"{}\", \"count\": 1}}\n  ]\n}}\n",
+        f.file, f.code, f.token
+    );
+    let migrated = Baseline::from_json(&v1).expect("v1 parses");
+    assert_eq!(migrated.total(), findings.len());
+    let outcome = ratchet(&migrated, &findings);
+    assert!(outcome.ok(), "migrated v1 must match v2 runs: {outcome:?}");
 }
