@@ -41,7 +41,7 @@ pub fn project_acquisition(tables: &[Vec<f64>], budget: usize) -> Vec<usize> {
             if dp[i][u] == NEG {
                 continue;
             }
-            for x in 1..=k.min(b - u) {
+            for x in 1..=k.min(b.saturating_sub(u)) {
                 let v = dp[i][u] + tables[i][x - 1];
                 if v > dp[i + 1][u + x] {
                     dp[i + 1][u + x] = v;

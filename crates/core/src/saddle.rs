@@ -210,7 +210,7 @@ impl SaddleState {
     pub fn dual_update(&mut self, l_values: &[f64]) {
         assert_eq!(l_values.len(), self.lambda.len());
         self.t += 1;
-        let gamma = self.gamma0 / (self.t as f64).sqrt();
+        let gamma = self.gamma0 / (self.t as f64).sqrt().max(1.0);
         let scale = l_values.iter().map(|l| l.abs()).fold(1e-9_f64, f64::max);
         for (lam, &l) in self.lambda.iter_mut().zip(l_values.iter()) {
             *lam = (*lam + gamma * l / scale).max(0.0);

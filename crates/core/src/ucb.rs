@@ -121,7 +121,7 @@ impl OperatorGp {
     /// construction (`scale ≈ per-task rate × K × 1.25`), an ideally
     /// linear operator sits exactly on `x / (K · 1.25)`.
     fn prior(&self, tasks: usize) -> f64 {
-        tasks as f64 / (self.cfg.max_tasks as f64 * 1.25)
+        tasks as f64 / (self.cfg.max_tasks.max(1) as f64 * 1.25)
     }
 
     /// Number of observations so far.
@@ -151,7 +151,7 @@ impl OperatorGp {
         if !capacity_sample.is_finite() || capacity_sample <= 0.0 {
             return Ok(());
         }
-        let tasks = tasks.clamp(1, self.cfg.max_tasks);
+        let tasks = tasks.clamp(1, self.cfg.max_tasks.max(1));
         self.history.push((tasks, capacity_sample));
         // Scale estimate: assume roughly linear scaling from the largest
         // per-task rate seen so far to the full task range, with headroom.

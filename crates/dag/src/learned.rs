@@ -120,7 +120,7 @@ impl SelectivityEstimator {
         let d = self.weights[obs.operator].len();
         assert_eq!(d, obs.inputs.len(), "observation arity");
         let norm2: f64 = obs.inputs.iter().map(|x| x * x).sum();
-        if norm2 < 1e-12 || !obs.output.is_finite() || obs.output < 0.0 {
+        if !norm2.is_finite() || norm2 < 1e-12 || !obs.output.is_finite() || obs.output < 0.0 {
             return;
         }
         self.n_obs[obs.operator] += 1;

@@ -442,7 +442,7 @@ impl TopologyBuilder {
         // receives).
         for w in &wires {
             let n_succ = components[w.from].succs.len();
-            let alpha = w.alpha.unwrap_or(1.0 / n_succ as f64);
+            let alpha = w.alpha.unwrap_or(1.0 / n_succ.max(1) as f64);
             components[w.from].alpha.push(alpha);
             if components[w.from].kind == ComponentKind::Operator {
                 let n_preds = components[w.from].preds.len();

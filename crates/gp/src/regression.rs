@@ -141,7 +141,7 @@ impl<K: Kernel> GpRegressor<K> {
         if self.xs.is_empty() {
             return GpPosterior {
                 mean: self.prior_mean,
-                var: self.kernel.diag(x),
+                var: self.kernel.diag(x).max(0.0),
             };
         }
         let kx = self.kernel.cross(&self.xs, x);

@@ -317,6 +317,7 @@ fn analyze_body(
                                 spec.what, spec.fix
                             ),
                             chain,
+                            fix: None,
                         });
                     }
                 }
@@ -575,6 +576,7 @@ fn provenance_pass(model: &Model, ctors: &[Pattern]) -> Vec<Finding> {
                         item.qualified()
                     ),
                     chain: vec![item.qualified()],
+                    fix: None,
                 });
             }
         }
@@ -585,6 +587,23 @@ fn provenance_pass(model: &Model, ctors: &[Pattern]) -> Vec<Finding> {
 // ---------------------------------------------------------------------------
 // L12 — discarded fallibility.
 // ---------------------------------------------------------------------------
+
+/// Re-renders a token slice as source-ish text for suggested fixes.
+/// Spacing is approximate (tokens don't retain the original whitespace),
+/// so fixes built from this are advisory patches, never applied blindly.
+fn render_toks(toks: &[crate::model::Tok]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        let s = t.text.as_str();
+        let no_space_before = matches!(s, ")" | "]" | "}" | "," | ";" | "." | "?" | "::" | "(");
+        let no_space_after = out.ends_with(['(', '[', '.', '&', '!']) || out.ends_with("::");
+        if !out.is_empty() && !no_space_before && !no_space_after {
+            out.push(' ');
+        }
+        out.push_str(s);
+    }
+    out
+}
 
 /// L12: `let _ = call(..)` where the call resolves to a workspace item
 /// returning `Result` silently swallows the error contract. Test code is
@@ -633,6 +652,14 @@ fn discard_pass(model: &Model) -> Vec<Finding> {
                 }
             }
             if let Some((call, line, callee)) = culprit {
+                let rhs = render_toks(&toks[rhs_from..rhs_to]);
+                let fix = item.returns_result.then(|| crate::FixIt {
+                    description: "propagate the error with `?` (enclosing fn \
+                                  returns Result)"
+                        .to_string(),
+                    original: format!("let _ = {rhs};"),
+                    replacement: format!("{rhs}?;"),
+                });
                 findings.push(Finding {
                     file: model.files[item.file_idx].label.clone(),
                     line,
@@ -644,6 +671,7 @@ fn discard_pass(model: &Model) -> Vec<Finding> {
                         item.qualified()
                     ),
                     chain: vec![item.qualified(), callee],
+                    fix,
                 });
             }
         }

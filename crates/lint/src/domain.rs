@@ -1,0 +1,899 @@
+//! The interval-and-sign abstract domain used by `absint.rs` (L13–L15).
+//!
+//! An [`Interval`] over-approximates the set of `f64` values a program
+//! variable can hold: every concrete execution stays inside `[lo, hi]`,
+//! and `nan` records whether `NaN` is possible. `int` records that the
+//! value is provably integer-valued, which lets branch refinement use
+//! unit steps (`x > 0` on an integer means `x ≥ 1`) and keeps integer
+//! division sound under truncation.
+//!
+//! **Soundness discipline.** Every transfer function rounds its bounds
+//! *outward* by one ulp (two for the transcendentals, whose libm
+//! implementations are not guaranteed correctly rounded), so a concrete
+//! evaluation with the same `f64` operations can never escape the
+//! abstract bounds. The property test in `tests/interval_prop.rs` checks
+//! exactly this: random straight-line programs, evaluated concretely,
+//! must land inside the interval the interpreter computes.
+//!
+//! The lattice is the usual interval lattice with a `TOP` of
+//! `([-∞, +∞], may-NaN)`; `BOTTOM` (unreachable / NaN-only) is encoded
+//! as an empty range `lo > hi`. Widening jumps unstable bounds to the
+//! nearest *threshold* (just `0.0` — the sign barrier the controller
+//! proofs care about) before giving up to ±∞, so nonnegativity survives
+//! loop fixpoints; narrowing then claws back finite bounds where a
+//! post-pass can justify them.
+
+/// One ulp towards −∞. `f64::next_down` is not available at our MSRV,
+/// so this is the textbook bit-twiddling version.
+pub(crate) fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits - 1)
+    } else {
+        f64::from_bits(bits + 1)
+    }
+}
+
+/// One ulp towards +∞.
+pub(crate) fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// 2^53 — below this magnitude every integer is exact in f64, so proven-
+/// integer arithmetic needs no outward rounding.
+const EXACT_INT: f64 = 9007199254740992.0;
+
+/// Outward-round a lower bound; NaN from inf−inf cancellation maps to −∞.
+fn down(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        next_down(x)
+    }
+}
+
+/// Outward-round an upper bound; NaN maps to +∞.
+fn up(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::INFINITY
+    } else {
+        next_up(x)
+    }
+}
+
+/// An abstract value: the closed range `[lo, hi]` plus a may-NaN flag and
+/// a proven-integer flag. `lo > hi` encodes BOTTOM (no finite value; the
+/// value may still be NaN if `nan` is set — e.g. `sqrt` of a negative
+/// range).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Least possible value (inclusive; may be −∞).
+    pub lo: f64,
+    /// Greatest possible value (inclusive; may be +∞).
+    pub hi: f64,
+    /// Whether the value may be NaN.
+    pub nan: bool,
+    /// Whether the value is provably integer-valued.
+    pub int: bool,
+}
+
+impl Interval {
+    /// The unknown value: anything, including NaN.
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+        nan: true,
+        int: false,
+    };
+
+    /// No finite value at all (empty range, no NaN).
+    pub const BOTTOM: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+        nan: false,
+        int: false,
+    };
+
+    /// A single concrete constant.
+    pub fn constant(v: f64) -> Interval {
+        if v.is_nan() {
+            return Interval {
+                nan: true,
+                ..Interval::BOTTOM
+            };
+        }
+        Interval {
+            lo: v,
+            hi: v,
+            nan: false,
+            int: v.fract() == 0.0 && v.is_finite(),
+        }
+    }
+
+    /// A finite declared domain `[lo, hi]` (no NaN by assumption).
+    pub fn range(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            nan: false,
+            int: false,
+        }
+    }
+
+    /// Anything finite or infinite but never NaN (e.g. an integer cast).
+    pub fn not_nan() -> Interval {
+        Interval {
+            nan: false,
+            ..Interval::TOP
+        }
+    }
+
+    /// The empty range (no representable float).
+    pub fn is_bottom(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True when the range carries no information at all.
+    pub fn is_top(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY && self.nan
+    }
+
+    /// Whether at least one bound is informative. Checks only fire on
+    /// intervals with knowledge — a TOP operand stays with the syntactic
+    /// rules (L4/L5/L8) instead of producing an alarm storm.
+    pub fn has_knowledge(&self) -> bool {
+        !self.is_bottom() && (self.lo.is_finite() || self.hi.is_finite())
+    }
+
+    /// Whether `v` is a possible value.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether zero is a possible value.
+    pub fn contains_zero(&self) -> bool {
+        self.contains(0.0)
+    }
+
+    /// Whether the range provably excludes zero (and NaN).
+    pub fn excludes_zero(&self) -> bool {
+        !self.is_bottom() && !self.nan && !self.contains_zero()
+    }
+
+    /// Range containment: every value of `self` lies in `other`
+    /// (NaN is tracked separately by L14 and deliberately ignored here —
+    /// contracts constrain magnitudes; NaN ingress is L3/L9's job).
+    pub fn within(&self, other: &Interval) -> bool {
+        self.is_bottom() || (self.lo >= other.lo && self.hi <= other.hi)
+    }
+
+    /// Least upper bound (set union, rounded to an interval).
+    pub fn join(&self, other: &Interval) -> Interval {
+        if self.is_bottom() {
+            return Interval {
+                nan: self.nan || other.nan,
+                ..*other
+            };
+        }
+        if other.is_bottom() {
+            return Interval {
+                nan: self.nan || other.nan,
+                ..*self
+            };
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            nan: self.nan || other.nan,
+            int: self.int && other.int,
+        }
+    }
+
+    /// Greatest lower bound (set intersection). Used by refinement:
+    /// knowledge from both sides combines.
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+            nan: self.nan && other.nan,
+            int: self.int || other.int,
+        }
+    }
+
+    /// Widening with a single threshold at the sign barrier: an unstable
+    /// bound first snaps to `0.0` (if it still brackets the new value)
+    /// and only then to ±∞. Guarantees loop fixpoints terminate while
+    /// keeping nonnegativity proofs alive.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        if self.is_bottom() {
+            return *next;
+        }
+        if next.is_bottom() {
+            return Interval {
+                nan: self.nan || next.nan,
+                ..*self
+            };
+        }
+        let lo = if next.lo >= self.lo {
+            self.lo
+        } else if next.lo >= 0.0 {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
+        let hi = if next.hi <= self.hi {
+            self.hi
+        } else if next.hi <= 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        Interval {
+            lo,
+            hi,
+            nan: self.nan || next.nan,
+            int: self.int && next.int,
+        }
+    }
+
+    /// Narrowing: recover a finite bound where the widened value gave up
+    /// to ±∞ but a descending re-evaluation found one.
+    pub fn narrow(&self, refined: &Interval) -> Interval {
+        if self.is_bottom() || refined.is_bottom() {
+            return *self;
+        }
+        Interval {
+            lo: if self.lo == f64::NEG_INFINITY {
+                refined.lo
+            } else {
+                self.lo
+            },
+            hi: if self.hi == f64::INFINITY {
+                refined.hi
+            } else {
+                self.hi
+            },
+            nan: self.nan && refined.nan,
+            int: self.int,
+        }
+    }
+
+    // ---- arithmetic transfer functions ----
+
+    /// May this range take the value +∞?
+    fn may_pos_inf(&self) -> bool {
+        self.hi == f64::INFINITY
+    }
+
+    /// May this range take the value −∞?
+    fn may_neg_inf(&self) -> bool {
+        self.lo == f64::NEG_INFINITY
+    }
+
+    /// `self + other`. NaN can appear from `∞ + (−∞)`.
+    pub fn add(&self, other: &Interval) -> Interval {
+        if self.is_bottom() || other.is_bottom() {
+            return Interval {
+                nan: self.nan || other.nan,
+                ..Interval::BOTTOM
+            };
+        }
+        let nan = self.nan
+            || other.nan
+            || (self.may_pos_inf() && other.may_neg_inf())
+            || (self.may_neg_inf() && other.may_pos_inf());
+        let int = self.int && other.int;
+        // Integer sums below 2^53 are exact in f64 — no outward rounding,
+        // so `x - 1` on `x: [1, n]` stays provably nonnegative.
+        let exact = |v: f64| int && v.abs() <= EXACT_INT;
+        let rlo = self.lo + other.lo;
+        let rhi = self.hi + other.hi;
+        Interval {
+            lo: if exact(rlo) { rlo } else { down(rlo) },
+            hi: if exact(rhi) { rhi } else { up(rhi) },
+            nan,
+            int,
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Interval {
+        if self.is_bottom() {
+            return *self;
+        }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+            nan: self.nan,
+            int: self.int,
+        }
+    }
+
+    /// `self * other`. NaN can appear from `0 · ±∞`.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        if self.is_bottom() || other.is_bottom() {
+            return Interval {
+                nan: self.nan || other.nan,
+                ..Interval::BOTTOM
+            };
+        }
+        let a_inf = self.may_pos_inf() || self.may_neg_inf();
+        let b_inf = other.may_pos_inf() || other.may_neg_inf();
+        let nan = self.nan
+            || other.nan
+            || (self.contains_zero() && b_inf)
+            || (other.contains_zero() && a_inf);
+        let int = self.int && other.int;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &[self.lo, self.hi] {
+            for &y in &[other.lo, other.hi] {
+                let p = x * y;
+                if p.is_nan() {
+                    // 0 · ∞ at an endpoint: the nearby products cover
+                    // every finite limit, and the NaN flag is already set.
+                    continue;
+                }
+                if (int && p.abs() <= EXACT_INT) || x == 0.0 || y == 0.0 {
+                    // Exact: integer products below 2^53, and products
+                    // with a zero endpoint (0 · finite is exact 0 in
+                    // IEEE; 0 · ∞ was skipped as NaN above).
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                } else {
+                    lo = lo.min(down(p));
+                    hi = hi.max(up(p));
+                }
+            }
+        }
+        if lo > hi {
+            // all endpoint products were NaN (e.g. [0,0] · [∞,∞])
+            return Interval {
+                nan: true,
+                ..Interval::BOTTOM
+            };
+        }
+        Interval {
+            lo,
+            hi,
+            nan,
+            int: self.int && other.int,
+        }
+    }
+
+    /// `self / other`. Division by a range containing zero produces
+    /// infinities (and NaN when the numerator also reaches zero) — L13
+    /// exists to flag exactly those divisors.
+    pub fn div(&self, other: &Interval) -> Interval {
+        if self.is_bottom() || other.is_bottom() {
+            return Interval {
+                nan: self.nan || other.nan,
+                ..Interval::BOTTOM
+            };
+        }
+        let a_inf = self.may_pos_inf() || self.may_neg_inf();
+        let b_inf = other.may_pos_inf() || other.may_neg_inf();
+        let mut nan = self.nan
+            || other.nan
+            || (a_inf && b_inf)
+            || (self.contains_zero() && other.contains_zero());
+        if other.lo == 0.0 && other.hi == 0.0 {
+            // dividing by exactly zero: ±∞ by the sign of the numerator
+            return Interval {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+                nan: true,
+                int: false,
+            };
+        }
+        if other.lo < 0.0 && other.hi > 0.0 {
+            // divisor straddles zero: quotient reaches both infinities
+            nan = nan || self.contains_zero();
+            return Interval {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+                nan,
+                int: self.int && other.int,
+            };
+        }
+        // one-signed divisor (possibly touching zero at one endpoint).
+        // Canonicalise a signed zero at the touching endpoint: the divisor
+        // approaches zero from inside the interval, so the zero's IEEE sign
+        // must match that side — otherwise x / -0.0 flips the infinity's
+        // sign and e.g. [-0.0, +inf] / [-0.0, +inf] loses every positive
+        // quotient.
+        let ylo = if other.lo == 0.0 { 0.0 } else { other.lo };
+        let yhi = if other.hi == 0.0 { -0.0 } else { other.hi };
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &[self.lo, self.hi] {
+            for &y in &[ylo, yhi] {
+                let q = x / y;
+                if q.is_nan() {
+                    continue; // 0/0 or ∞/∞ endpoint; nan already tracked
+                }
+                lo = lo.min(down(q));
+                hi = hi.max(up(q));
+            }
+        }
+        if lo > hi {
+            return Interval {
+                nan: true,
+                ..Interval::BOTTOM
+            };
+        }
+        let int = self.int && other.int;
+        if int {
+            // integer division truncates toward zero; floor/ceil of the
+            // real-quotient hull always brackets the truncated result
+            lo = lo.floor();
+            hi = hi.ceil();
+        }
+        Interval { lo, hi, nan, int }
+    }
+
+    /// `self % other`: magnitude below `|other|`, sign follows `self`.
+    pub fn rem(&self, other: &Interval) -> Interval {
+        if self.is_bottom() || other.is_bottom() {
+            return Interval {
+                nan: self.nan || other.nan,
+                ..Interval::BOTTOM
+            };
+        }
+        let nan = self.nan
+            || other.nan
+            || other.contains_zero()
+            || self.may_pos_inf()
+            || self.may_neg_inf();
+        let m = other.lo.abs().max(other.hi.abs());
+        let mut lo = -m;
+        let mut hi = m;
+        if self.lo >= 0.0 {
+            lo = 0.0;
+            hi = hi.min(up(self.hi));
+        }
+        if self.hi <= 0.0 {
+            hi = 0.0;
+            lo = lo.max(down(self.lo));
+        }
+        Interval {
+            lo,
+            hi,
+            nan,
+            int: self.int && other.int,
+        }
+    }
+
+    /// `self.abs()`.
+    pub fn abs(&self) -> Interval {
+        if self.is_bottom() {
+            return *self;
+        }
+        let (lo, hi) = if self.lo >= 0.0 {
+            (self.lo, self.hi)
+        } else if self.hi <= 0.0 {
+            (-self.hi, -self.lo)
+        } else {
+            (0.0, self.hi.max(-self.lo))
+        };
+        Interval {
+            lo,
+            hi,
+            nan: self.nan,
+            int: self.int,
+        }
+    }
+
+    /// `self.sqrt()`. Negative inputs yield NaN.
+    pub fn sqrt(&self) -> Interval {
+        if self.is_bottom() {
+            return *self;
+        }
+        if self.hi < 0.0 {
+            return Interval {
+                nan: true,
+                ..Interval::BOTTOM
+            };
+        }
+        let nan = self.nan || self.lo < 0.0;
+        // sqrt is correctly rounded, but round out twice for headroom
+        Interval {
+            lo: down(down(self.lo.max(0.0).sqrt())).max(0.0),
+            hi: up(up(self.hi.sqrt())),
+            nan,
+            int: false,
+        }
+    }
+
+    /// `self.ln()` (also used for log2/log10 hazard checks). Inputs ≤ 0
+    /// are the hazard: negative → NaN, zero → −∞.
+    pub fn ln(&self) -> Interval {
+        if self.is_bottom() {
+            return *self;
+        }
+        if self.hi < 0.0 {
+            return Interval {
+                nan: true,
+                ..Interval::BOTTOM
+            };
+        }
+        let nan = self.nan || self.lo < 0.0;
+        let lo = if self.lo <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            down(down(self.lo.ln()))
+        };
+        let hi = if self.hi == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            up(up(self.hi.ln()))
+        };
+        Interval {
+            lo,
+            hi,
+            nan,
+            int: false,
+        }
+    }
+
+    /// `self.exp()`.
+    pub fn exp(&self) -> Interval {
+        if self.is_bottom() {
+            return *self;
+        }
+        Interval {
+            lo: down(down(self.lo.exp())).max(0.0),
+            hi: up(up(self.hi.exp())),
+            nan: self.nan,
+            int: false,
+        }
+    }
+
+    /// `f64::max` semantics: NaN survives only if *both* sides may be NaN
+    /// — `x.max(0.0)` is therefore a NaN sanitizer, which is exactly why
+    /// the controller's clamps make postconditions provable.
+    pub fn max_of(&self, other: &Interval) -> Interval {
+        if self.is_bottom() {
+            return Interval {
+                nan: self.nan && other.nan,
+                ..*other
+            };
+        }
+        if other.is_bottom() {
+            return Interval {
+                nan: self.nan && other.nan,
+                ..*self
+            };
+        }
+        let mut lo = self.lo.max(other.lo);
+        let hi = self.hi.max(other.hi);
+        // The sanitizing arm: f64::max(NaN, y) = y, so a may-NaN side can
+        // hand the result straight to the *other* operand — its full range
+        // joins in (only the lower bound can actually move; hi is already
+        // the max of both).
+        if self.nan {
+            lo = lo.min(other.lo);
+        }
+        if other.nan {
+            lo = lo.min(self.lo);
+        }
+        Interval {
+            lo,
+            hi,
+            nan: self.nan && other.nan,
+            int: self.int && other.int,
+        }
+    }
+
+    /// `f64::min` semantics (NaN handling mirrors [`Interval::max_of`]).
+    pub fn min_of(&self, other: &Interval) -> Interval {
+        self.neg().max_of(&other.neg()).neg()
+    }
+
+    /// `f64::clamp(lo, hi)` semantics: bounds are clipped into the clamp
+    /// window, but NaN *propagates* (clamp is not a sanitizer).
+    pub fn clamp_to(&self, lo_b: &Interval, hi_b: &Interval) -> Interval {
+        let clamped = self.max_of(lo_b).min_of(hi_b);
+        Interval {
+            nan: self.nan,
+            ..clamped
+        }
+    }
+
+    /// An `as` cast to a float type: value-preserving for our purposes.
+    /// Bounds only widen outward where rounding can actually occur
+    /// (|x| > 2^53, where int→f64 and f32 narrowing lose integers);
+    /// exactly-representable bounds stay put so sign proofs survive.
+    pub fn cast_to_float(&self) -> Interval {
+        if self.is_bottom() {
+            return *self;
+        }
+        let lo = if self.lo.abs() > EXACT_INT {
+            down(self.lo)
+        } else {
+            self.lo
+        };
+        let hi = if self.hi.abs() > EXACT_INT {
+            up(self.hi)
+        } else {
+            self.hi
+        };
+        Interval {
+            lo,
+            hi,
+            nan: self.nan,
+            int: false,
+        }
+    }
+
+    /// An `as` cast to an integer type with range `[t_lo, t_hi]`.
+    /// Float→int casts saturate (and NaN maps to 0); int→int casts wrap,
+    /// so an out-of-range int source degrades to the full target range.
+    pub fn cast_to_int(&self, t_lo: f64, t_hi: f64) -> Interval {
+        if self.is_bottom() && !self.nan {
+            return *self;
+        }
+        if self.int {
+            // int → int: wrapping semantics
+            if self.is_bottom() || self.lo < t_lo || self.hi > t_hi {
+                return Interval {
+                    lo: t_lo,
+                    hi: t_hi,
+                    nan: false,
+                    int: true,
+                };
+            }
+            return Interval {
+                nan: false,
+                ..*self
+            };
+        }
+        // float → int: truncate then saturate; NaN → 0
+        let mut lo = if self.is_bottom() {
+            t_hi
+        } else {
+            self.lo.trunc().max(t_lo).min(t_hi)
+        };
+        let mut hi = if self.is_bottom() {
+            t_lo
+        } else {
+            self.hi.trunc().max(t_lo).min(t_hi)
+        };
+        if self.nan {
+            lo = lo.min(0.0);
+            hi = hi.max(0.0);
+        }
+        Interval {
+            lo,
+            hi,
+            nan: false,
+            int: true,
+        }
+    }
+
+    /// Compact human-readable form for messages and chains.
+    pub fn render(&self) -> String {
+        if self.is_bottom() {
+            return if self.nan {
+                "NaN-only".to_string()
+            } else {
+                "unreachable".to_string()
+            };
+        }
+        let b = |v: f64| {
+            if v == f64::NEG_INFINITY {
+                "-inf".to_string()
+            } else if v == f64::INFINITY {
+                "+inf".to_string()
+            } else if v == v.trunc() && v.abs() < 1e15 {
+                format!("{v}")
+            } else {
+                format!("{v:.6e}")
+            }
+        };
+        let mut s = format!("[{}, {}]", b(self.lo), b(self.hi));
+        if self.nan {
+            s.push_str(" may-NaN");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::range(lo, hi)
+    }
+
+    #[test]
+    fn constants_and_lattice_basics() {
+        let c = Interval::constant(2.5);
+        assert!(c.contains(2.5) && !c.contains(2.4) && !c.nan && !c.int);
+        assert!(Interval::constant(3.0).int);
+        assert!(Interval::TOP.is_top());
+        assert!(Interval::BOTTOM.is_bottom());
+        let j = iv(0.0, 1.0).join(&iv(5.0, 6.0));
+        assert_eq!((j.lo, j.hi), (0.0, 6.0));
+        let m = iv(0.0, 10.0).meet(&iv(5.0, 20.0));
+        assert_eq!((m.lo, m.hi), (5.0, 10.0));
+        assert!(iv(5.0, 3.0).is_bottom());
+    }
+
+    #[test]
+    fn arithmetic_brackets_concrete_results() {
+        let a = iv(1.0, 2.0);
+        let b = iv(3.0, 4.0);
+        let s = a.add(&b);
+        assert!(s.contains(1.0 + 3.0) && s.contains(2.0 + 4.0) && s.contains(5.5));
+        let p = a.mul(&b);
+        assert!(p.contains(3.0) && p.contains(8.0));
+        let d = a.div(&b);
+        assert!(d.contains(0.25) && d.contains(2.0 / 3.0));
+        let n = a.sub(&b);
+        assert!(n.contains(-3.0) && n.contains(-1.0));
+    }
+
+    #[test]
+    fn signed_multiplication_covers_all_corners() {
+        let a = iv(-2.0, 3.0);
+        let b = iv(-5.0, 4.0);
+        let p = a.mul(&b);
+        for x in [-2.0, 0.0, 3.0] {
+            for y in [-5.0, 0.0, 4.0] {
+                assert!(p.contains(x * y), "{x} * {y} escaped {}", p.render());
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_straddle_is_top_range_with_nan() {
+        let d = iv(1.0, 2.0).div(&iv(-1.0, 1.0));
+        assert_eq!(d.lo, f64::NEG_INFINITY);
+        assert_eq!(d.hi, f64::INFINITY);
+        let z = iv(0.0, 1.0).div(&iv(0.0, 1.0));
+        assert!(z.nan, "0/0 must be flagged may-NaN");
+    }
+
+    #[test]
+    fn division_by_semi_open_positive_divisor_keeps_sign() {
+        // divisor [0, 2]: quotient of a positive numerator is ≥ its
+        // smallest finite value and reaches +inf
+        let d = iv(1.0, 4.0).div(&iv(0.0, 2.0));
+        assert!(d.lo <= 0.5 && d.lo >= 0.0, "lo = {}", d.lo);
+        assert_eq!(d.hi, f64::INFINITY);
+        assert!(!d.nan, "numerator excludes zero; no 0/0");
+    }
+
+    #[test]
+    fn integer_division_truncation_is_bracketed() {
+        let a = Interval {
+            int: true,
+            ..iv(7.0, 7.0)
+        };
+        let b = Interval {
+            int: true,
+            ..iv(2.0, 2.0)
+        };
+        let q = a.div(&b);
+        assert!(q.contains(3.0), "7/2 == 3 escaped {}", q.render());
+        let n = Interval {
+            int: true,
+            ..iv(-7.0, -7.0)
+        };
+        let qn = n.div(&b);
+        assert!(qn.contains(-3.0), "-7/2 == -3 escaped {}", qn.render());
+    }
+
+    #[test]
+    fn rem_is_bounded_by_divisor_magnitude() {
+        let r = iv(0.0, 100.0).rem(&iv(1.0, 7.0));
+        assert!(r.lo >= 0.0 && r.hi <= 7.0, "{}", r.render());
+        assert!(r.contains(100.0_f64 % 7.0));
+        let signed = iv(-10.0, 10.0).rem(&iv(3.0, 3.0));
+        assert!(signed.contains(-1.0) && signed.contains(1.0));
+    }
+
+    #[test]
+    fn max_kills_nan_min_and_clamp_do_not() {
+        let top = Interval::TOP;
+        let m = top.max_of(&Interval::constant(0.0));
+        assert_eq!(m.lo, 0.0);
+        assert!(!m.nan, ".max(0.0) sanitizes NaN like f64::max does");
+        let c = top.clamp_to(&Interval::constant(0.0), &Interval::constant(1.0));
+        assert_eq!((c.lo, c.hi), (0.0, 1.0));
+        assert!(c.nan, "clamp propagates NaN");
+        let mn = top.min_of(&Interval::constant(5.0));
+        assert!(mn.hi <= 5.0 && !mn.nan);
+    }
+
+    #[test]
+    fn sqrt_and_ln_flag_bad_inputs() {
+        assert!(iv(-1.0, 4.0).sqrt().nan);
+        assert!(!iv(0.0, 4.0).sqrt().nan);
+        let s = iv(0.0, 4.0).sqrt();
+        assert!(s.contains(2.0) && s.lo <= 0.0);
+        assert!(iv(-1.0, 1.0).ln().nan);
+        let l = iv(0.0, 1.0).ln();
+        assert_eq!(l.lo, f64::NEG_INFINITY, "ln(0) = -inf must be covered");
+        assert!(iv(4.0, 4.0).sqrt().contains(2.0));
+    }
+
+    #[test]
+    fn widening_respects_the_sign_threshold() {
+        let w = iv(0.0, 1.0).widen(&iv(0.0, 2.0));
+        assert_eq!(w.lo, 0.0, "stable nonneg lower bound survives");
+        assert_eq!(w.hi, f64::INFINITY, "growing upper bound widens");
+        let w2 = iv(1.0, 5.0).widen(&iv(0.5, 5.0));
+        assert_eq!(w2.lo, 0.0, "shrinking-but-nonneg lower bound snaps to 0");
+        let w3 = iv(0.0, 5.0).widen(&iv(-1.0, 5.0));
+        assert_eq!(w3.lo, f64::NEG_INFINITY);
+        let n = w.narrow(&iv(0.0, 2.0));
+        assert_eq!(n.hi, 2.0, "narrowing recovers the finite bound");
+    }
+
+    #[test]
+    fn casts_follow_rust_semantics() {
+        // float → usize saturates, NaN → 0
+        let c = iv(-5.0, 1e30).cast_to_int(0.0, 1.8446744073709552e19);
+        assert_eq!(c.lo, 0.0);
+        assert!(c.hi <= 1.9e19);
+        let nan_in = Interval::TOP.cast_to_int(0.0, 4294967295.0);
+        assert!(nan_in.contains(0.0) && !nan_in.nan);
+        // int → int out of range wraps to the full target range
+        let w = Interval {
+            int: true,
+            ..iv(0.0, 1e12)
+        }
+        .cast_to_int(0.0, 4294967295.0);
+        assert_eq!((w.lo, w.hi), (0.0, 4294967295.0));
+        // int → float is value-preserving
+        let f = Interval {
+            int: true,
+            ..iv(0.0, 100.0)
+        }
+        .cast_to_float();
+        assert!(f.contains(50.0) && !f.nan && !f.int);
+    }
+
+    #[test]
+    fn outward_rounding_never_loses_the_exact_result() {
+        // adversarial: numbers whose sums/products round
+        let a = iv(0.1, 0.1);
+        let b = iv(0.2, 0.2);
+        assert!(a.add(&b).contains(0.1 + 0.2));
+        assert!(a.mul(&b).contains(0.1 * 0.2));
+        assert!(a.div(&b).contains(0.1 / 0.2));
+        let t = iv(1e300, 1e300);
+        assert!(t.mul(&t).contains(f64::INFINITY) || t.mul(&t).hi == f64::INFINITY);
+    }
+
+    #[test]
+    fn render_is_compact() {
+        assert_eq!(iv(0.0, 4096.0).render(), "[0, 4096]");
+        assert_eq!(Interval::TOP.render(), "[-inf, +inf] may-NaN");
+    }
+}

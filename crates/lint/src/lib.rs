@@ -57,6 +57,21 @@
 //! * **L12 — discarded fallibility.** `let _ = f(..)` on a call whose
 //!   return type mentions `Result` is banned outside tests; propagate
 //!   or handle the error instead of swallowing it.
+//! * **L13 — proven numeric preconditions.** A forward interval
+//!   abstract interpreter (see [`absint`], [`domain`]) computes value
+//!   ranges; division/modulo/`sqrt`/`ln` operands *proven* able to hit
+//!   zero/negative values are reported, and divisors proven nonzero
+//!   suppress L5's syntactic div/rem finding at that site.
+//! * **L14 — proven-in-range casts and counters.** Values flowing into
+//!   `as <int>` casts and `f64_to_usize_saturating` must be proven
+//!   finite, NaN-free, and inside the target range; integer arithmetic
+//!   on domain-bounded counters must be proven overflow-free.
+//! * **L15 — controller contracts.** A `[contracts]` table declares
+//!   required output intervals (`project_to_budget -> [0, budget]`,
+//!   dual update `lam -> [0, +inf]`, GP posterior `var -> [0, +inf]`);
+//!   computed summaries/bindings that violate them are reported with
+//!   the full derivation chain. Input assumptions come from the
+//!   `[domains]` table (identifier-suffix → range, L7's binding rule).
 //!
 //! The scanner strips comments, string/char literals, and `#[cfg(test)]`
 //! items before matching, so rule tokens inside those never fire.
@@ -70,7 +85,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod absint;
 pub mod dataflow;
+pub mod domain;
 pub mod model;
 pub mod prep;
 pub mod reach;
@@ -116,6 +133,9 @@ pub struct RuleSet {
     /// pass, like L5): metric sanitization gating, seed provenance,
     /// projection discipline, discarded fallibility.
     pub dataflow: bool,
+    /// L13–L15: interval abstract interpretation (workspace/model pass):
+    /// proven div/sqrt/ln preconditions, in-range casts, contracts.
+    pub intervals: bool,
 }
 
 impl RuleSet {
@@ -131,6 +151,7 @@ impl RuleSet {
             units: true,
             indexing: true,
             dataflow: true,
+            intervals: true,
         }
     }
 
@@ -146,6 +167,7 @@ impl RuleSet {
             units: false,
             indexing: false,
             dataflow: false,
+            intervals: false,
         }
     }
 
@@ -184,6 +206,23 @@ pub struct Finding {
     /// L5 only: the call chain from a public root to the panic site
     /// (qualified item names, root first). Empty for per-site lints.
     pub chain: Vec<String>,
+    /// Mechanical-rule findings (L8, L12) carry a suggested replacement,
+    /// surfaced as a SARIF `fix` and by `--fix-dry-run`.
+    pub fix: Option<FixIt>,
+}
+
+/// A suggested textual replacement attached to a finding. Suggestions are
+/// advisory — `.get(i)` returns an `Option` the caller must handle, and
+/// `?` needs a `Result`-returning scope — so they are emitted for humans
+/// (and SARIF viewers), never auto-applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixIt {
+    /// What the change does, one line.
+    pub description: String,
+    /// The source fragment being replaced, as scanned.
+    pub original: String,
+    /// The replacement fragment.
+    pub replacement: String,
 }
 
 impl fmt::Display for Finding {
@@ -326,6 +365,27 @@ fn ident_ending_at(text: &[char], idx: usize) -> (usize, String) {
     (j, text[j..=idx].iter().collect())
 }
 
+/// Index of the `]` matching the `[` at `open`, if it closes before the
+/// end of the statement (no newline crossing — keeps suggested fixes to
+/// single-line subscripts only).
+fn bracket_close(text: &[char], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, &c) in text.iter().enumerate().skip(open) {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            '\n' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Skips a balanced `(...)` starting at the `(` at `i`; returns the index
 /// past the closing paren.
 fn skip_parens(text: &[char], i: usize) -> usize {
@@ -414,6 +474,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                                                   use f64::total_cmp or core::num::{argmax, argmin}"
                                                 .to_string(),
                                         chain: Vec::new(),
+                                        fix: None,
                                     });
                                 }
                             }
@@ -448,6 +509,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                                   (DragsterError / SimError / DagError / GpError)"
                             .to_string(),
                         chain: Vec::new(),
+                        fix: None,
                     });
                 }
             }
@@ -460,6 +522,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                         token: format!("{word}!"),
                         message: "panic path in library code; return a Result instead".to_string(),
                         chain: Vec::new(),
+                        fix: None,
                     });
                 }
             }
@@ -485,6 +548,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                     token: word,
                     message: msg.to_string(),
                     chain: Vec::new(),
+                    fix: None,
                 });
             }
             "from_entropy" | "from_os_rng" | "OsRng" | "getrandom" if rules.rng_streams => {
@@ -497,6 +561,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                               seed_from_u64 of a named stream"
                         .to_string(),
                     chain: Vec::new(),
+                    fix: None,
                 });
             }
             "HashMap" | "HashSet" if rules.determinism => {
@@ -509,6 +574,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                               use BTreeMap/BTreeSet or a Vec"
                         .to_string(),
                     chain: Vec::new(),
+                    fix: None,
                 });
             }
             "SystemTime" | "Instant" if rules.determinism || rules.rng_streams => {
@@ -539,6 +605,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                                     token: format!("{word}::now"),
                                     message: msg.to_string(),
                                     chain: Vec::new(),
+                                    fix: None,
                                 });
                             }
                         }
@@ -568,6 +635,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                                                           stream salt"
                                                     .to_string(),
                                                 chain: Vec::new(),
+                                                fix: None,
                                             });
                                         }
                                     }
@@ -592,6 +660,7 @@ pub fn scan(file: &str, prepared: &str, rules: RuleSet, units: &UnitsTable) -> V
                                           use a named checked conversion helper"
                                     .to_string(),
                                 chain: Vec::new(),
+                                fix: None,
                             });
                         }
                     }
@@ -637,16 +706,33 @@ fn scan_indexing(file: &str, text: &[char]) -> Vec<Finding> {
             continue;
         }
         let token;
+        let mut fix = None;
         if pc == ')' || pc == ']' || pc == '?' {
             token = "[".to_string();
         } else if is_ident_char(pc) {
-            let (_, word) = ident_ending_at(text, p);
+            let (start, word) = ident_ending_at(text, p);
             if NON_INDEX_KEYWORDS.contains(&word.as_str())
                 || word.chars().next().is_some_and(|c| c.is_ascii_digit())
             {
                 continue;
             }
             token = format!("{word}[");
+            // Mechanical rewrite `xs[i]` -> `xs.get(i)` when the subscript
+            // closes on the same statement. Advisory: the caller still has
+            // to handle the resulting Option.
+            if let Some(close) = bracket_close(text, i) {
+                let inner: String = text[i + 1..close].iter().collect();
+                if !inner.trim().is_empty() && !inner.contains("..") {
+                    let original: String = text[start..=close].iter().collect();
+                    fix = Some(FixIt {
+                        description: "replace unchecked indexing with .get(); \
+                                      handle the returned Option explicitly"
+                            .to_string(),
+                        original,
+                        replacement: format!("{word}.get({})", inner.trim()),
+                    });
+                }
+            }
         } else {
             continue;
         }
@@ -659,6 +745,7 @@ fn scan_indexing(file: &str, text: &[char]) -> Vec<Finding> {
                       .get()/.get_mut() with an explicit fallback"
                 .to_string(),
             chain: Vec::new(),
+            fix,
         });
     }
     findings
@@ -771,6 +858,7 @@ fn scan_units(file: &str, text: &[char], units: &UnitsTable) -> Vec<Finding> {
                              explicitly (multiply/divide by a conversion factor) or rename"
                         ),
                         chain: Vec::new(),
+                        fix: None,
                     });
                 }
             }
@@ -875,7 +963,7 @@ pub fn lint_files_semantic(sources: &[(String, String)], rules: RuleSet) -> Vec<
         findings.extend(scan(label, &prepared, rules, &units));
         prepared_set.push((label.clone(), "fixture".to_string(), prepared));
     }
-    if rules.reachability || rules.dataflow {
+    if rules.reachability || rules.dataflow || rules.intervals {
         let model = model::Model::build(prepared_set);
         if rules.reachability {
             let filter = reach::SiteFilter {
@@ -890,10 +978,39 @@ pub fn lint_files_semantic(sources: &[(String, String)], rules: RuleSet) -> Vec<
                 &taint::FlowConfig::default(),
             ));
         }
+        if rules.intervals {
+            let outcome = absint::interval_analysis(&model, &absint::AbsintConfig::default());
+            suppress_resolved_divisors(&mut findings, &outcome.resolved_divs);
+            findings.extend(outcome.findings);
+        }
     }
     findings
         .sort_by(|a, b| (a.file.clone(), a.line, a.code).cmp(&(b.file.clone(), b.line, b.code)));
     findings
+}
+
+/// Drops L5 div/rem findings whose divisor the interval analysis proved
+/// nonzero on every path (`resolved` holds `(file, line, divisor)`).
+fn suppress_resolved_divisors(
+    findings: &mut Vec<Finding>,
+    resolved: &std::collections::BTreeSet<(String, usize, String)>,
+) {
+    if resolved.is_empty() {
+        return;
+    }
+    findings.retain(|f| {
+        if f.code != "L5" {
+            return true;
+        }
+        let Some(div) = f
+            .token
+            .strip_prefix("/ ")
+            .or_else(|| f.token.strip_prefix("% "))
+        else {
+            return true;
+        };
+        !resolved.contains(&(f.file.clone(), f.line, div.to_string()))
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -933,13 +1050,15 @@ impl AllowEntry {
     }
 }
 
-/// Parsed `lint.toml`: the allowlist, the `[units]` table, and the
-/// `[flow]` source/sanitizer/sink patterns for L9–L12.
+/// Parsed `lint.toml`: the allowlist, the `[units]` table, the `[flow]`
+/// source/sanitizer/sink patterns for L9–L12, and the `[domains]` /
+/// `[contracts]` tables for the L13–L15 interval passes.
 #[derive(Clone, Debug, Default)]
 pub struct LintConfig {
     pub allow: Vec<AllowEntry>,
     pub units: UnitsTable,
     pub flow: taint::FlowConfig,
+    pub absint: absint::AbsintConfig,
 }
 
 /// Splits one fragment of a `["a", "b"]` array body into its elements.
@@ -963,10 +1082,16 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
         Allow,
         Units,
         Flow,
+        Domains,
+        Contracts,
     }
     let mut entries: Vec<AllowEntry> = Vec::new();
     let mut units = UnitsTable::default();
     let mut flow = taint::FlowConfig::default();
+    let mut domains = absint::DomainsTable::defaults();
+    // Contract bounds may name `[domains]` keys, so they resolve after
+    // the whole file is read: (key, lo_raw, hi_raw, line).
+    let mut contract_raw: Vec<(String, String, String, usize)> = Vec::new();
     let mut current: Option<AllowEntry> = None;
     let mut section = Section::None;
     // A `[flow]` array opened with `[` but not yet closed with `]`.
@@ -1009,13 +1134,58 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
             section = Section::Flow;
             continue;
         }
+        if line == "[domains]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Domains;
+            continue;
+        }
+        if line == "[contracts]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Contracts;
+            continue;
+        }
         let Some((key, value)) = line.split_once('=') else {
             return Err(format!("lint.toml:{}: expected `key = \"value\"`", ln + 1));
         };
-        let key = key.trim();
+        let key = key.trim().trim_matches('"');
         let raw_value = value.trim();
         let value = raw_value.trim_matches('"').to_string();
         match section {
+            Section::Domains => {
+                let (lo_s, hi_s) = split_pair(raw_value).ok_or_else(|| {
+                    format!(
+                        "lint.toml:{}: [domains] values must be `[lo, hi]` pairs",
+                        ln + 1
+                    )
+                })?;
+                let lo =
+                    parse_numeric_bound(&lo_s).map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
+                let hi =
+                    parse_numeric_bound(&hi_s).map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
+                if lo > hi || lo.is_nan() || hi.is_nan() {
+                    return Err(format!(
+                        "lint.toml:{}: [domains] `{key}` has lo > hi",
+                        ln + 1
+                    ));
+                }
+                domains.set(key, lo, hi);
+            }
+            Section::Contracts => {
+                let (lo_s, hi_s) = split_pair(raw_value).ok_or_else(|| {
+                    format!(
+                        "lint.toml:{}: [contracts] values must be `[lo, hi]` pairs",
+                        ln + 1
+                    )
+                })?;
+                if !key.contains("::") && key.trim().is_empty() {
+                    return Err(format!("lint.toml:{}: empty contract key", ln + 1));
+                }
+                contract_raw.push((key.to_string(), lo_s, hi_s, ln + 1));
+            }
             Section::Flow => {
                 let Some(body) = raw_value.strip_prefix('[') else {
                     return Err(format!(
@@ -1091,10 +1261,23 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
         }
         if !matches!(
             e.lint.as_str(),
-            "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "L9" | "L10" | "L11" | "L12"
+            "L1" | "L2"
+                | "L3"
+                | "L4"
+                | "L5"
+                | "L6"
+                | "L7"
+                | "L8"
+                | "L9"
+                | "L10"
+                | "L11"
+                | "L12"
+                | "L13"
+                | "L14"
+                | "L15"
         ) {
             return Err(format!(
-                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L12",
+                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L15",
                 k + 1,
                 e.path
             ));
@@ -1114,11 +1297,73 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
             MAX_ALLOW_ENTRIES
         ));
     }
+    // Contracts: compiled-in defaults (re-derived against the possibly
+    // overridden domains), then file entries override by key or extend.
+    let mut contracts = absint::default_contracts(&domains);
+    for (key, lo_s, hi_s, ln) in contract_raw {
+        let lo = parse_contract_bound(&lo_s, &domains, false)
+            .map_err(|e| format!("lint.toml:{ln}: {e}"))?;
+        let hi = parse_contract_bound(&hi_s, &domains, true)
+            .map_err(|e| format!("lint.toml:{ln}: {e}"))?;
+        if lo > hi || lo.is_nan() || hi.is_nan() {
+            return Err(format!("lint.toml:{ln}: contract `{key}` has lo > hi"));
+        }
+        let c = absint::Contract::new(&key, domain::Interval::range(lo, hi))
+            .map_err(|e| format!("lint.toml:{ln}: {e}"))?;
+        if let Some(slot) = contracts.iter_mut().find(|c2| c2.key == key) {
+            *slot = c;
+        } else {
+            contracts.push(c);
+        }
+    }
     Ok(LintConfig {
         allow: entries,
         units,
         flow,
+        absint: absint::AbsintConfig { domains, contracts },
     })
+}
+
+/// Splits a `[a, b]` pair value into its two raw elements.
+fn split_pair(raw: &str) -> Option<(String, String)> {
+    let body = raw.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let (a, b) = body.split_once(',')?;
+    if b.contains(',') {
+        return None;
+    }
+    Some((a.trim().to_string(), b.trim().to_string()))
+}
+
+/// A `[domains]` bound: a number, `inf`, or `-inf`.
+fn parse_numeric_bound(s: &str) -> Result<f64, String> {
+    let unq = s.trim().trim_matches('"');
+    match unq {
+        "inf" | "+inf" => return Ok(f64::INFINITY),
+        "-inf" => return Ok(f64::NEG_INFINITY),
+        _ => {}
+    }
+    unq.parse::<f64>()
+        .map_err(|_| format!("bound `{s}` is not a number or inf/-inf"))
+}
+
+/// A `[contracts]` bound: a number, `inf`/`-inf`, or the *name* of a
+/// `[domains]` entry (resolves to that domain's lo or hi depending on
+/// which position the bound occupies).
+fn parse_contract_bound(
+    s: &str,
+    domains: &absint::DomainsTable,
+    hi_position: bool,
+) -> Result<f64, String> {
+    if let Ok(v) = parse_numeric_bound(s) {
+        return Ok(v);
+    }
+    let unq = s.trim().trim_matches('"');
+    if let Some(iv) = domains.exact(unq) {
+        return Ok(if hi_position { iv.hi } else { iv.lo });
+    }
+    Err(format!(
+        "bound `{s}` is not a number, inf, or a [domains] key"
+    ))
 }
 
 /// Back-compat shim: parses `lint.toml` and returns only the allowlist.
@@ -1217,6 +1462,13 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, 
     // L9–L12: interprocedural taint/dataflow over library + harness code.
     let flow_model = model::Model::build(flow_sources);
     raw.extend(dataflow::flow_analysis(&flow_model, &cfg.flow));
+
+    // L13–L15: interval abstract interpretation over the library model.
+    // Divisors the intervals *prove* nonzero retract the corresponding
+    // L5 findings (the syntactic guard check is subsumed by the proof).
+    let outcome = absint::interval_analysis(&model, &cfg.absint);
+    suppress_resolved_divisors(&mut raw, &outcome.resolved_divs);
+    raw.extend(outcome.findings);
 
     for f in raw {
         let mut suppressed = false;
@@ -1514,6 +1766,7 @@ mod tests {
             token: "HashMap".into(),
             message: String::new(),
             chain: Vec::new(),
+            fix: None,
         }));
     }
 

@@ -14,6 +14,8 @@
 //! * `-- --baseline PATH` — use PATH instead of `lint-baseline.json`.
 //! * `-- --explain RULE` — print what a rule enforces, why it exists,
 //!   and how to fix a finding (e.g. `-- --explain L9`), then exit.
+//! * `-- --fix-dry-run` — additionally print the suggested patches that
+//!   mechanical findings (L8, L12) carry; nothing is written to disk.
 //! * `cargo run -p dragster-lint -- <file.rs>...` — lint specific files
 //!   with every rule enabled (including L5 across the given set, with
 //!   call chains for all panic-site kinds) and no allowlist; used by the
@@ -39,6 +41,7 @@ struct Options {
     write_baseline: bool,
     baseline_path: Option<String>,
     explain: Option<String>,
+    fix_dry_run: bool,
     files: Vec<String>,
 }
 
@@ -49,6 +52,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         write_baseline: false,
         baseline_path: None,
         explain: None,
+        fix_dry_run: false,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -69,9 +73,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.baseline_path = Some(v.clone());
             }
             "--explain" => {
-                let v = it.next().ok_or("--explain needs a rule code (L1..L12)")?;
+                let v = it.next().ok_or("--explain needs a rule code (L1..L15)")?;
                 opts.explain = Some(v.clone());
             }
+            "--fix-dry-run" => opts.fix_dry_run = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -104,7 +109,30 @@ fn workspace_root() -> PathBuf {
     env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
 }
 
-fn lint_files(paths: &[String], format: Format) -> ExitCode {
+/// `--fix-dry-run`: prints the suggested patches attached to findings
+/// (L8/L12 carry them) in a unified-diff-ish format. Nothing is written —
+/// the replacements are advisory and need a human to wire up the
+/// resulting `Option`/`?` handling.
+fn print_fix_patches(findings: &[dragster_lint::Finding]) {
+    let with_fix: Vec<_> = findings.iter().filter(|f| f.fix.is_some()).collect();
+    if with_fix.is_empty() {
+        eprintln!("dragster-lint: no findings carry a suggested fix");
+        return;
+    }
+    for f in &with_fix {
+        let Some(fix) = &f.fix else { continue };
+        println!("--- {}:{} [{}]", f.file, f.line, f.code);
+        println!("  # {}", fix.description);
+        println!("  - {}", fix.original);
+        println!("  + {}", fix.replacement);
+    }
+    eprintln!(
+        "dragster-lint: {} suggested patch(es) printed (dry run — nothing applied)",
+        with_fix.len()
+    );
+}
+
+fn lint_files(paths: &[String], format: Format, fix_dry_run: bool) -> ExitCode {
     let mut sources = Vec::new();
     for p in paths {
         match fs::read_to_string(p) {
@@ -122,6 +150,9 @@ fn lint_files(paths: &[String], format: Format) -> ExitCode {
         for f in &findings {
             eprintln!("{f}");
         }
+    }
+    if fix_dry_run {
+        print_fix_patches(&findings);
     }
     if findings.is_empty() {
         if format == Format::Human {
@@ -159,6 +190,9 @@ fn lint_tree(opts: &Options) -> ExitCode {
         for f in &report.findings {
             eprintln!("{f}");
         }
+    }
+    if opts.fix_dry_run {
+        print_fix_patches(&report.findings);
     }
     for e in &report.unused_entries {
         eprintln!(
@@ -277,7 +311,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("dragster-lint: unknown rule `{code}` (try L1..L12)");
+                eprintln!("dragster-lint: unknown rule `{code}` (try L1..L15)");
                 ExitCode::from(2)
             }
         };
@@ -285,6 +319,6 @@ fn main() -> ExitCode {
     if opts.files.is_empty() {
         lint_tree(&opts)
     } else {
-        lint_files(&opts.files, opts.format)
+        lint_files(&opts.files, opts.format, opts.fix_dry_run)
     }
 }

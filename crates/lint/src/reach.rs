@@ -291,6 +291,7 @@ pub fn panic_reachability(model: &Model, filter: &SiteFilter) -> Vec<Finding> {
                     site.token
                 ),
                 chain,
+                fix: None,
             });
         }
     }

@@ -245,6 +245,12 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("L10", "RNG constructed without seed provenance"),
     ("L11", "decision vector actuated without projection"),
     ("L12", "fallible Result discarded with `let _ =`"),
+    (
+        "L13",
+        "divisor/ln/sqrt operand not proven safe by intervals",
+    ),
+    ("L14", "cast or counter arithmetic not proven in-range"),
+    ("L15", "controller contract violated by computed interval"),
 ];
 
 /// Long-form rationale, a minimal violating example, and the fix pattern
@@ -346,6 +352,43 @@ const RULE_EXPLANATIONS: &[(&str, &str)] = &[
          Violates:  let _ = sim.reconfigure(deployment);\n\
          Fix:       sim.reconfigure(deployment)?;  // or match on the error",
     ),
+    (
+        "L13",
+        "Why: the interval abstract interpreter (absint.rs) computes a sound\n\
+         range for every divisor and for every `ln`/`log2`/`log10`/`sqrt`\n\
+         operand. If the range still contains zero (or dips negative for\n\
+         sqrt, or non-positive for ln) on some path, the guard is missing —\n\
+         or tests the wrong variable. Divisors *proven* nonzero retract the\n\
+         corresponding syntactic L5 finding, so fixing the math pays down\n\
+         both rules at once. The finding carries the derivation chain that\n\
+         produced the offending interval.\n\
+         Violates:  let d = eps.abs(); x / d            // abs() keeps 0\n\
+         Fix:       let d = eps.abs().max(MIN_DIV); x / d",
+    ),
+    (
+        "L14",
+        "Why: saturating casts paper over range bugs instead of fixing them.\n\
+         The intervals must prove a value is NaN-free and inside the target\n\
+         range before it enters `as <int>` or `f64_to_usize_saturating`;\n\
+         integer +,-,* on slot/budget/task counters with declared `[domains]`\n\
+         bounds must be proven overflow-free within those bounds. Values\n\
+         whose only bound is the type range are exempt — the rule proves\n\
+         domain math, it does not re-lint every unannotated `x + 1`.\n\
+         Violates:  let y = x.clamp(-5.0, 10.0); y as usize   // -5 saturates to 0\n\
+         Fix:       let y = x.clamp(0.0, 10.0); y as usize",
+    ),
+    (
+        "L15",
+        "Why: Theorem 1's regret bound assumes the controller's numeric\n\
+         postconditions — projections land in [0, budget], dual variables\n\
+         stay nonnegative, GP variances stay nonnegative. The `[contracts]`\n\
+         table in lint.toml declares required output intervals per function\n\
+         (or per named binding inside one); the computed summaries must lie\n\
+         inside them. A violation reports the full derivation chain from\n\
+         the offending expression back through its definitions.\n\
+         Violates:  fn dual_update(..) { *lam = *lam + g * grad; }  // can go negative\n\
+         Fix:       *lam = (*lam + g * grad).max(0.0);",
+    ),
 ];
 
 /// The `--explain` text for a rule code (case-insensitive), if known.
@@ -404,16 +447,37 @@ pub fn to_sarif(findings: &[Finding]) -> String {
             msg.push_str(&f.chain.join(" -> "));
             msg.push(']');
         }
+        // Suggested fixes carry the replacement as an `insertedContent`
+        // on the finding's line; viewers render it as a proposed patch.
+        // The original text travels in the fix description (token spans
+        // are approximate, so we never claim byte-exact delete regions).
+        let fixes = match &f.fix {
+            None => String::new(),
+            Some(fix) => format!(
+                ", \"fixes\": [{{\"description\": {{\"text\": \"{}\"}}, \
+                 \"artifactChanges\": [{{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"replacements\": [{{\"deletedRegion\": {{\"startLine\": {}}}, \
+                 \"insertedContent\": {{\"text\": \"{}\"}}}}]}}]}}]",
+                esc(&format!(
+                    "{} (replaces `{}`)",
+                    fix.description, fix.original
+                )),
+                esc(&f.file),
+                f.line.max(1),
+                esc(&fix.replacement),
+            ),
+        };
         out.push_str(&format!(
             "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
              \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
              {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}], \
-             \"partialFingerprints\": {{\"dragsterLint/v1\": \"{}\"}}}}{}\n",
+             \"partialFingerprints\": {{\"dragsterLint/v1\": \"{}\"}}{}}}{}\n",
             f.code,
             esc(&format!("{}: {}", f.token, msg)),
             esc(&f.file),
             f.line.max(1),
             partial_fingerprint(f),
+            fixes,
             if k + 1 < findings.len() { "," } else { "" }
         ));
     }
@@ -621,6 +685,7 @@ mod tests {
             token: token.to_string(),
             message: "m".to_string(),
             chain: Vec::new(),
+            fix: None,
         }
     }
 

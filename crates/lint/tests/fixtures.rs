@@ -281,6 +281,82 @@ fn l12_propagated_and_infallible_discards_pass() {
 }
 
 #[test]
+fn l13_wrong_variable_guard_triggers_exactly_l13() {
+    let findings = semantic_fixture("l13_div_pos.rs");
+    assert_findings("l13_div_pos.rs", &findings, "L13", 1);
+    let f = &findings[0];
+    assert!(
+        f.message.contains("contains zero"),
+        "the finding must state the proven hazard: {}",
+        f.message
+    );
+    assert!(
+        f.chain.first().is_some_and(|c| c.starts_with("fn ")),
+        "chain must open with the enclosing fn: {f:#?}"
+    );
+    assert!(
+        f.chain.iter().any(|c| c.contains("n_slots")),
+        "derivation chain must name the divisor's seed: {f:#?}"
+    );
+}
+
+#[test]
+fn l13_right_variable_guard_stays_silent() {
+    let findings = semantic_fixture("l13_div_neg.rs");
+    assert!(findings.is_empty(), "l13_div_neg.rs flagged: {findings:#?}");
+}
+
+#[test]
+fn l14_saturating_cast_in_reach_triggers_exactly_l14() {
+    let findings = semantic_fixture("l14_cast_pos.rs");
+    assert_findings("l14_cast_pos.rs", &findings, "L14", 1);
+    let f = &findings[0];
+    assert!(
+        f.message.contains("2^53"),
+        "the finding must state which bound is violated: {}",
+        f.message
+    );
+    assert!(
+        f.chain.iter().any(|c| c.contains("scaled")),
+        "derivation chain must walk through the intermediate binding: {f:#?}"
+    );
+}
+
+#[test]
+fn l14_clamped_cast_stays_silent() {
+    let findings = semantic_fixture("l14_cast_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l14_cast_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l15_violated_posterior_contract_triggers_exactly_l15() {
+    let findings = semantic_fixture("l15_contract_pos.rs");
+    assert_findings("l15_contract_pos.rs", &findings, "L15", 1);
+    let f = &findings[0];
+    assert!(
+        f.message.contains("GpRegressor::posterior::var"),
+        "the finding must name the violated contract: {}",
+        f.message
+    );
+    assert!(
+        f.chain.iter().any(|c| c.contains("k_xx")),
+        "derivation chain must reach the contract's inputs: {f:#?}"
+    );
+}
+
+#[test]
+fn l15_clamped_posterior_satisfies_contract() {
+    let findings = semantic_fixture("l15_contract_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l15_contract_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     let findings = fixture("clean.rs");
     assert!(findings.is_empty(), "clean.rs flagged: {findings:#?}");
@@ -310,6 +386,12 @@ fn every_fixture_is_covered_by_a_test() {
             "l11_projection_pos.rs",
             "l12_discard_neg.rs",
             "l12_discard_pos.rs",
+            "l13_div_neg.rs",
+            "l13_div_pos.rs",
+            "l14_cast_neg.rs",
+            "l14_cast_pos.rs",
+            "l15_contract_neg.rs",
+            "l15_contract_pos.rs",
             "l1_expect.rs",
             "l1_panic.rs",
             "l1_unwrap.rs",

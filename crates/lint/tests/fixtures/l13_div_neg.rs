@@ -1,0 +1,11 @@
+//! L13 negative: the guard tests the divisor itself, so the fall-through
+//! interval excludes zero and the division is statically safe — the
+//! intervals *prove* it, retracting what L5 would otherwise report.
+
+pub fn per_slot(total_tuples: f64, n_slots: f64) -> f64 {
+    if n_slots > 0.0 {
+        total_tuples / n_slots
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,11 @@
+//! L13 positive: the guard tests the *wrong variable* — the divisor's
+//! declared domain (`_slots` → [0, 4096]) still contains zero, and the
+//! intervals prove the guard buys nothing.
+
+pub fn per_slot(total_tuples: f64, n_slots: f64, n_ticks: f64) -> f64 {
+    if n_ticks > 0.0 {
+        total_tuples / n_slots
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,8 @@
+//! L14 negative: the helper's input is clamped into the exactly-
+//! representable nonnegative range first, so saturation is unreachable
+//! and the intervals prove the cast lossless.
+
+pub fn scaled_ticks(window_secs: f64) -> usize {
+    let scaled = (window_secs * 16.0).min(9.0e6);
+    crate::convert::f64_to_usize_saturating(scaled)
+}

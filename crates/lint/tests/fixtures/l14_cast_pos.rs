@@ -1,0 +1,8 @@
+//! L14 positive: the saturating-cast helper receives a value the
+//! intervals prove can exceed 2^53 (`_secs` → [0, 1e7], scaled by 1e12)
+//! — the saturation the helper papers over is reachable.
+
+pub fn scaled_ticks(window_secs: f64) -> usize {
+    let scaled = window_secs * 1.0e12;
+    crate::convert::f64_to_usize_saturating(scaled)
+}

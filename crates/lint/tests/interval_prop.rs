@@ -1,0 +1,187 @@
+//! Soundness property test for the interval domain: for randomly
+//! generated straight-line programs, every concrete execution result must
+//! land inside the abstract return summary computed by the interpreter
+//! (or be NaN with the summary's NaN flag set).
+//!
+//! The generator is a hand-rolled xorshift64* with a fixed seed — the
+//! lint crate is dependency-free by design, and the repo's own L2/L6
+//! rules demand deterministic tests.
+
+use dragster_lint::absint::summaries_for_source;
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Literals whose `{:?}` rendering is plain decimal (no scientific
+/// notation — the token-level number parser does not read exponents).
+const LITS: &[f64] = &[0.0, 0.5, 1.0, 2.0, 3.5, 10.0, 100.0, 1000000.0];
+
+/// One straight-line statement: how variable `i` is computed from
+/// variables with smaller indices (0 = param `a`, 1 = param `b`).
+#[derive(Clone, Copy)]
+enum Expr {
+    Lit(f64),
+    Bin(char, usize, usize),
+    Max(usize, f64),
+    Min(usize, f64),
+    Clamp(usize, f64, f64),
+    Abs(usize),
+    Sqrt(usize),
+}
+
+fn var_name(i: usize) -> String {
+    match i {
+        0 => "a".to_string(),
+        1 => "b".to_string(),
+        _ => format!("x{i}"),
+    }
+}
+
+fn gen_expr(rng: &mut Rng, n_defined: usize) -> Expr {
+    let v = |rng: &mut Rng| rng.below(n_defined);
+    let lit = |rng: &mut Rng| {
+        let l = LITS[rng.below(LITS.len())];
+        if rng.below(2) == 0 {
+            -l
+        } else {
+            l
+        }
+    };
+    match rng.below(8) {
+        0 => Expr::Lit(lit(rng)),
+        1 => Expr::Bin('+', v(rng), v(rng)),
+        2 => Expr::Bin('-', v(rng), v(rng)),
+        3 => Expr::Bin('*', v(rng), v(rng)),
+        4 => Expr::Bin('/', v(rng), v(rng)),
+        5 => Expr::Max(v(rng), lit(rng)),
+        6 => Expr::Min(v(rng), lit(rng)),
+        7 => {
+            let (x, y) = (lit(rng), lit(rng));
+            if rng.below(3) == 0 {
+                Expr::Abs(v(rng))
+            } else if rng.below(2) == 0 {
+                Expr::Sqrt(v(rng))
+            } else {
+                Expr::Clamp(v(rng), x.min(y), x.max(y))
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn expr_src(e: &Expr) -> String {
+    match *e {
+        Expr::Lit(l) => format!("{l:?}"),
+        Expr::Bin(op, i, j) => format!("{} {op} {}", var_name(i), var_name(j)),
+        Expr::Max(i, l) => format!("{}.max({l:?})", var_name(i)),
+        Expr::Min(i, l) => format!("{}.min({l:?})", var_name(i)),
+        Expr::Clamp(i, lo, hi) => format!("{}.clamp({lo:?}, {hi:?})", var_name(i)),
+        Expr::Abs(i) => format!("{}.abs()", var_name(i)),
+        Expr::Sqrt(i) => format!("{}.sqrt()", var_name(i)),
+    }
+}
+
+fn render(prog: &[Expr]) -> String {
+    let mut s = String::from("pub fn f(a: f64, b: f64) -> f64 {\n");
+    for (i, e) in prog.iter().enumerate().skip(2) {
+        s.push_str(&format!("    let x{i} = {};\n", expr_src(e)));
+    }
+    s.push_str(&format!("    x{}\n}}\n", prog.len() - 1));
+    s
+}
+
+/// Concrete f64 semantics, mirroring what rustc would execute.
+fn eval(prog: &[Expr], a: f64, b: f64) -> f64 {
+    let mut vals = vec![a, b];
+    for e in &prog[2..] {
+        let v = match *e {
+            Expr::Lit(l) => l,
+            Expr::Bin('+', i, j) => vals[i] + vals[j],
+            Expr::Bin('-', i, j) => vals[i] - vals[j],
+            Expr::Bin('*', i, j) => vals[i] * vals[j],
+            Expr::Bin('/', i, j) => vals[i] / vals[j],
+            Expr::Bin(..) => unreachable!(),
+            Expr::Max(i, l) => vals[i].max(l),
+            Expr::Min(i, l) => vals[i].min(l),
+            Expr::Clamp(i, lo, hi) => vals[i].clamp(lo, hi),
+            Expr::Abs(i) => vals[i].abs(),
+            Expr::Sqrt(i) => vals[i].sqrt(),
+        };
+        vals.push(v);
+    }
+    *vals.last().expect("program has at least the two params")
+}
+
+/// Concrete inputs: zeros, signs, magnitudes, infinities, and NaN — the
+/// summary must absorb all of them (params are seeded TOP).
+const INPUTS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.5,
+    -2.5,
+    1.0e8,
+    -1.0e8,
+    f64::MAX,
+    -f64::MAX,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::NAN,
+];
+
+#[test]
+fn concrete_runs_land_inside_abstract_summaries() {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let mut checked = 0usize;
+    for round in 0..300 {
+        let n_lets = 3 + rng.below(6);
+        let mut prog: Vec<Expr> = vec![Expr::Lit(0.0), Expr::Lit(0.0)]; // param slots
+        for _ in 0..n_lets {
+            let n = prog.len();
+            prog.push(gen_expr(&mut rng, n));
+        }
+        let src = render(&prog);
+        let summaries = summaries_for_source("prop.rs", &src);
+        let (_, iv) = summaries
+            .iter()
+            .find(|(k, _)| k.ends_with("::f") || k.as_str() == "f")
+            .unwrap_or_else(|| panic!("round {round}: no summary for `f` in:\n{src}"));
+        for (ai, &a) in INPUTS.iter().enumerate() {
+            // Pair each input with a rotating partner to cover the grid
+            // without quadratic blowup.
+            let b = INPUTS[(ai + round) % INPUTS.len()];
+            let r = eval(&prog, a, b);
+            if r.is_nan() {
+                assert!(
+                    iv.nan,
+                    "round {round}: f({a:?}, {b:?}) = NaN but summary {} claims NaN-free for:\n{src}",
+                    iv.render()
+                );
+            } else {
+                assert!(
+                    iv.contains(r),
+                    "round {round}: f({a:?}, {b:?}) = {r:?} escapes summary {} for:\n{src}",
+                    iv.render()
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3000, "generator under-delivered: {checked}");
+}

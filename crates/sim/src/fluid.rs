@@ -312,6 +312,10 @@ impl FluidSim {
         );
         let slot_secs = self.sim.slot_secs;
         let tick = self.sim.tick_secs;
+        assert!(
+            slot_secs > 0.0 && tick > 0.0,
+            "SimParams: slot_secs and tick_secs must be positive (got {slot_secs}, {tick})"
+        );
         let pods = self.deployment.total_pods();
 
         // Chaos layer: this slot's fault realization, drawn on the
@@ -352,8 +356,15 @@ impl FluidSim {
         let mut dropped = 0.0;
         let buffers_at_start = self.buffers.clone();
 
-        let active_secs = slot_secs - pause;
-        let n_ticks = crate::convert::f64_to_usize_saturating((active_secs / tick).round()).max(1);
+        // A full-slot checkpoint pause would leave 0 active seconds and turn
+        // the per-second metrics below into 0/0 = NaN; floor it instead (the
+        // accumulators are all 0 in that case, so the rates read 0).
+        let active_secs = (slot_secs - pause).max(1e-9);
+        // Capped: a degenerate tick_secs (say 1e-300) would otherwise ask
+        // for ~usize::MAX ticks — a hang, not a simulation. 1e7 ticks per
+        // slot is far beyond any sane tick/slot ratio.
+        let n_ticks =
+            crate::convert::f64_to_usize_saturating((active_secs / tick).round().min(1e7)).max(1);
         let dt = active_secs / n_ticks as f64;
 
         let mut true_caps = self.app.true_capacities(&self.deployment.tasks);

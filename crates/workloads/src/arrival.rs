@@ -33,7 +33,7 @@ pub struct SquareWave {
 
 impl ArrivalProcess for SquareWave {
     fn rates(&mut self, t: usize) -> Vec<f64> {
-        if (t / self.half_period_slots).is_multiple_of(2) {
+        if (t / self.half_period_slots.max(1)).is_multiple_of(2) {
             self.high.clone()
         } else {
             self.low.clone()
@@ -71,7 +71,7 @@ pub struct SineWave {
 
 impl ArrivalProcess for SineWave {
     fn rates(&mut self, t: usize) -> Vec<f64> {
-        let phase = 2.0 * std::f64::consts::PI * (t as f64) / self.period_slots as f64;
+        let phase = 2.0 * std::f64::consts::PI * (t as f64) / self.period_slots.max(1) as f64;
         let s = 1.0 + self.amplitude * phase.sin();
         self.mean.iter().map(|r| r * s).collect()
     }
@@ -133,7 +133,7 @@ impl DiurnalBursty {
 
 impl ArrivalProcess for DiurnalBursty {
     fn rates(&mut self, t: usize) -> Vec<f64> {
-        let phase = 2.0 * std::f64::consts::PI * (t as f64) / self.day_slots as f64;
+        let phase = 2.0 * std::f64::consts::PI * (t as f64) / self.day_slots.max(1) as f64;
         let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
         let noise = (1.0 + self.rng.normal(0.0, self.noise_std)).max(0.05);
         let burst = if self.rng.uniform() < self.burst_prob {
