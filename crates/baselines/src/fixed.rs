@@ -2,6 +2,7 @@
 //! They anchor the regret experiments — random incurs linear regret,
 //! static incurs linear regret whenever the load moves.
 
+use dragster_sim::json::{self, Json};
 use dragster_sim::{Autoscaler, Deployment, Rng, SimError, SlotMetrics};
 
 /// Never changes the deployment.
@@ -57,6 +58,40 @@ impl Autoscaler for RandomScaler {
             Deployment { tasks },
             self.budget_pods,
         ))
+    }
+
+    /// The random policy's entire state is its RNG position; checkpoint
+    /// it so a restored run continues the identical decision stream.
+    fn export_state(&self) -> Option<Json> {
+        let (s, spare) = self.rng.save_state();
+        Some(Json::Obj(vec![
+            (
+                "s".to_string(),
+                Json::Arr(s.iter().map(|&w| Json::Str(json::u64_to_hex(w))).collect()),
+            ),
+            ("spare".to_string(), spare.map_or(Json::Null, json::bits)),
+        ]))
+    }
+
+    fn import_state(&mut self, state: &Json) -> Result<(), SimError> {
+        let fail = || SimError::Policy {
+            scheme: self.name(),
+            reason: "checkpoint state: missing/invalid RNG words".to_string(),
+        };
+        let words = state.get("s").and_then(Json::as_arr).ok_or_else(fail)?;
+        if words.len() != 4 {
+            return Err(fail());
+        }
+        let mut s = [0u64; 4];
+        for (slot, w) in s.iter_mut().zip(words.iter()) {
+            *slot = w.as_str().and_then(json::u64_from_hex).ok_or_else(fail)?;
+        }
+        let spare = match state.get("spare") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(Json::as_f64_bits(v).ok_or_else(fail)?),
+        };
+        self.rng = Rng::restore_state(s, spare);
+        Ok(())
     }
 }
 

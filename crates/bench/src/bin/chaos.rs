@@ -15,12 +15,24 @@
 //! `--smoke` shrinks the horizon for CI while still exercising every fault
 //! class and the identity check. Results land in `results/chaos.json`.
 
-use dragster_bench::chaos::{fault_classes, run_chaos_case, verify_zero_fault_identity};
+use dragster_bench::chaos::{
+    controller_crash_rows, fault_classes, run_chaos_case, verify_zero_fault_identity,
+    ControllerCrashRow, RecoveryMetrics,
+};
 use dragster_bench::runner::{write_json, Scheme, ALL_SCHEMES};
 use dragster_bench::Table;
 use dragster_workloads::word_count;
 use rayon::prelude::*;
+use serde::Serialize;
 use std::process::ExitCode;
+
+/// Combined payload for `results/chaos.json`: the per-fault-class recovery
+/// table plus the controller-crash regret-overhead sweep.
+#[derive(Serialize)]
+struct ChaosData<'a> {
+    fault_recovery: &'a [RecoveryMetrics],
+    controller_crash: &'a [ControllerCrashRow],
+}
 
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -101,12 +113,65 @@ fn main() -> ExitCode {
     }
     println!("{}", table.render());
 
+    // Controller-crash sweep: periodic crashes through the crash-safe
+    // runtime, regret overhead measured against a clean recoverable run.
+    let periods: &[Option<usize>] = if smoke {
+        &[None, Some(7), Some(4)]
+    } else {
+        &[None, Some(20), Some(10), Some(5)]
+    };
+    let crash_results: Result<Vec<_>, _> = ALL_SCHEMES
+        .par_iter()
+        .map(|&scheme| controller_crash_rows(scheme, &w.app, &w.high_rate, periods, slots, seed))
+        .collect();
+    let crash_rows: Vec<ControllerCrashRow> = match crash_results {
+        Ok(r) => r.into_iter().flatten().collect(),
+        Err(e) => {
+            eprintln!("error: controller-crash case failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut crash_table = Table::new(&[
+        "scheme",
+        "crash period",
+        "crashes",
+        "restores",
+        "degraded",
+        "fallback slots",
+        "regret",
+        "overhead vs clean",
+    ]);
+    for r in &crash_rows {
+        crash_table.row(vec![
+            r.scheme.clone(),
+            r.crash_period
+                .map_or_else(|| "none".into(), |p| p.to_string()),
+            r.crashes.to_string(),
+            r.restores.to_string(),
+            r.degraded.to_string(),
+            r.fallback_slots.to_string(),
+            format!("{:.0}", r.regret),
+            format!("{:+.0}", r.regret_overhead_vs_clean),
+        ]);
+    }
+    println!("\ncontroller-crash recovery (checkpoint restore + journal replay):");
+    println!("{}", crash_table.render());
+
     write_json(
         "chaos",
         "Recovery under scripted faults (dip depth, slots to recover, regret) \
-         per scheme and fault class; zero-fault identity verified first",
-        &rows,
+         per scheme and fault class, plus controller-crash regret overhead at \
+         varying crash frequency; zero-fault identity verified first",
+        &ChaosData {
+            fault_recovery: &rows,
+            controller_crash: &crash_rows,
+        },
     );
-    println!("\nwrote results/chaos.json ({} rows)", rows.len());
+    println!(
+        "\nwrote results/chaos.json ({} fault rows, {} crash rows)",
+        rows.len(),
+        crash_rows.len()
+    );
     ExitCode::SUCCESS
 }

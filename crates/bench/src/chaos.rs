@@ -27,8 +27,9 @@ use dragster_core::greedy_optimal;
 use dragster_sim::faults::{FaultKind, FaultPlan, FaultRates, ScriptedFault};
 use dragster_sim::fluid::SimConfig;
 use dragster_sim::{
-    run_experiment_with, Application, ClusterConfig, ConstantArrival, Deployment,
-    ExperimentOptions, FluidSim, NoiseConfig, SimError, Trace,
+    run_experiment_recoverable, run_experiment_with, Application, ClusterConfig, ConstantArrival,
+    Deployment, ExperimentOptions, FluidSim, NoiseConfig, RecoveryAction, RecoveryOptions,
+    SimError, Trace,
 };
 use serde::Serialize;
 
@@ -271,6 +272,132 @@ pub fn verify_zero_fault_identity(
     }
 }
 
+/// Regret accounting for one `(scheme, crash period)` controller-crash run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ControllerCrashRow {
+    pub scheme: String,
+    /// Crash period in slots; `None` is the clean recoverable baseline.
+    pub crash_period: Option<usize>,
+    pub crashes: usize,
+    /// Crashes recovered by checkpoint restore + journal replay.
+    pub restores: usize,
+    /// Crashes that fell back to degraded hold-last-deployment mode.
+    pub degraded: usize,
+    pub fallback_slots: usize,
+    pub regret: f64,
+    /// `regret − regret(clean run)` — the regret the crashes alone cost.
+    pub regret_overhead_vs_clean: f64,
+}
+
+/// A fault plan that crashes the controller every `period` slots.
+pub fn periodic_crash_plan(period: usize, slots: usize) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    let mut t = period;
+    while t < slots {
+        plan = plan.with(ScriptedFault {
+            slot: t,
+            kind: FaultKind::ControllerCrash,
+            operator: None,
+            severity: 1.0,
+            duration_slots: 1,
+        });
+        t += period;
+    }
+    plan
+}
+
+/// Run one scheme through the crash-safe runtime under a fault plan.
+///
+/// # Errors
+/// Any non-fault [`SimError`] from the simulator or the scheme's policy.
+pub fn run_recoverable(
+    scheme: Scheme,
+    app: &Application,
+    rates: &[f64],
+    plan: FaultPlan,
+    slots: usize,
+    seed: u64,
+    rec: RecoveryOptions,
+) -> Result<Trace, SimError> {
+    let mut sim = FluidSim::new(
+        app.clone(),
+        ClusterConfig::default(),
+        SimConfig::default(),
+        NoiseConfig::default(),
+        seed,
+        Deployment::uniform(app.n_operators(), 1),
+    )?
+    .with_faults(plan);
+    let mut scaler = make_scaler(scheme, app, None, seed);
+    let mut arrival = ConstantArrival(rates.to_vec());
+    run_experiment_recoverable(
+        &mut sim,
+        scaler.as_mut(),
+        &mut arrival,
+        slots,
+        ExperimentOptions::default(),
+        rec,
+    )
+}
+
+/// Sweep crash periods for one scheme: the first entry of `periods` should
+/// be `None` (the clean recoverable baseline every other row's overhead is
+/// measured against).
+///
+/// # Errors
+/// Any non-fault [`SimError`] from the simulator, the policy, or the
+/// oracle.
+pub fn controller_crash_rows(
+    scheme: Scheme,
+    app: &Application,
+    rates: &[f64],
+    periods: &[Option<usize>],
+    slots: usize,
+    seed: u64,
+) -> Result<Vec<ControllerCrashRow>, SimError> {
+    let (_, opt) = greedy_optimal(app, rates, 10, None).map_err(SimError::from)?;
+    let rec = RecoveryOptions::default();
+    let mut rows: Vec<ControllerCrashRow> = Vec::with_capacity(periods.len());
+    let mut clean_regret = 0.0;
+    for &period in periods {
+        let plan = period.map_or_else(FaultPlan::none, |p| periodic_crash_plan(p, slots));
+        let trace = run_recoverable(scheme, app, rates, plan, slots, seed, rec)?;
+        let regret: f64 = trace
+            .ideal_throughput
+            .iter()
+            .map(|&i| (opt - i).max(0.0))
+            .sum();
+        let restores = trace
+            .recovery_events
+            .iter()
+            .filter(|e| matches!(e.action, RecoveryAction::Restored { .. }))
+            .count();
+        let degraded = trace
+            .recovery_events
+            .iter()
+            .filter(|e| matches!(e.action, RecoveryAction::Degraded { .. }))
+            .count();
+        if period.is_none() {
+            clean_regret = regret;
+        }
+        rows.push(ControllerCrashRow {
+            scheme: scheme.label().into(),
+            crash_period: period,
+            crashes: trace.controller_crashes,
+            restores,
+            degraded,
+            fallback_slots: trace.fallback_slots,
+            regret,
+            regret_overhead_vs_clean: if period.is_none() {
+                0.0
+            } else {
+                regret - clean_regret
+            },
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +430,31 @@ mod tests {
             assert!((0.0..=1.0).contains(&m.dip_depth), "{}", m.dip_depth);
             assert!(m.regret.is_finite() && m.regret >= 0.0);
         }
+    }
+
+    #[test]
+    fn controller_crash_rows_count_crashes_and_baseline_has_none() {
+        let w = word_count().unwrap();
+        let rows = controller_crash_rows(
+            Scheme::DragsterSaddle,
+            &w.app,
+            &w.high_rate,
+            &[None, Some(5)],
+            12,
+            42,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].crash_period, None);
+        assert_eq!(rows[0].crashes, 0);
+        assert_eq!(rows[0].regret_overhead_vs_clean, 0.0);
+        // period 5 over 12 slots ⇒ crashes at slots 5 and 10
+        assert_eq!(rows[1].crashes, 2);
+        assert_eq!(rows[1].restores, 2, "per-slot checkpoints always restore");
+        assert_eq!(rows[1].degraded, 0);
+        assert!(rows[1].regret.is_finite() && rows[1].regret >= 0.0);
+        // restore + replay is bit-identical ⇒ crash recovery is regret-free
+        assert_eq!(rows[1].regret_overhead_vs_clean, 0.0);
     }
 
     #[test]

@@ -17,9 +17,13 @@ use crate::ogd::OgdState;
 use crate::saddle::{SaddleState, TargetSolver};
 use crate::ucb::{AcquisitionKind, OperatorGp, UcbConfig};
 use crate::DragsterError;
-use dragster_dag::learned::{HObservation, SelectivityEstimator};
+use dragster_dag::learned::{EstimatorSnapshot, HObservation, SelectivityEstimator};
 use dragster_dag::{analysis, Topology};
+use dragster_sim::json::{self, Json};
 use dragster_sim::{Autoscaler, Deployment, SimError, SlotMetrics};
+
+/// Version tag of the exported learner-state layout (bump on change).
+const STATE_VERSION: usize = 1;
 
 /// Which level-1 algorithm computes the capacity targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -437,6 +441,241 @@ impl Autoscaler for Dragster {
         }
         Ok(Deployment { tasks })
     }
+
+    /// Checkpoint every piece of learner state: GP observation histories
+    /// (posteriors are rebuilt by deterministic replay), dual variables,
+    /// OGD iterate, Theorem-2 estimator, the Thompson RNG position, and
+    /// the diagnostics the next decision reads (`last_targets`,
+    /// `last_l`). Floats travel as bit-exact hex so a restored controller
+    /// is *bit-identical*, not approximately equal.
+    fn export_state(&self) -> Option<Json> {
+        let (s, spare) = self.rng.save_state();
+        let rng = Json::Obj(vec![
+            (
+                "s".to_string(),
+                Json::Arr(s.iter().map(|&w| Json::Str(json::u64_to_hex(w))).collect()),
+            ),
+            ("spare".to_string(), spare.map_or(Json::Null, json::bits)),
+        ]);
+        let saddle = Json::Obj(vec![
+            ("lambda".to_string(), json::bits_arr(&self.saddle.lambda)),
+            ("gamma0".to_string(), json::bits(self.saddle.gamma0)),
+            ("t".to_string(), json::num(self.saddle.t())),
+        ]);
+        let ogd = match &self.ogd {
+            Some(o) => Json::Obj(vec![
+                ("y".to_string(), json::bits_arr(&o.y)),
+                ("eta".to_string(), json::bits(o.eta)),
+                ("pull_rate".to_string(), json::bits(o.pull_rate)),
+            ]),
+            None => Json::Null,
+        };
+        let gps = Json::Arr(
+            self.gps
+                .iter()
+                .map(|gp| {
+                    Json::Arr(
+                        gp.history()
+                            .iter()
+                            .map(|&(tasks, cap)| Json::Arr(vec![json::num(tasks), json::bits(cap)]))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let estimator = match &self.estimator {
+            Some(est) => {
+                let snap = est.snapshot();
+                Json::Obj(vec![
+                    (
+                        "weights".to_string(),
+                        Json::Arr(snap.weights.iter().map(|w| json::bits_arr(w)).collect()),
+                    ),
+                    (
+                        "p_mats".to_string(),
+                        Json::Arr(snap.p_mats.iter().map(|p| json::bits_arr(p)).collect()),
+                    ),
+                    (
+                        "n_obs".to_string(),
+                        Json::Arr(snap.n_obs.iter().map(|&n| json::num(n)).collect()),
+                    ),
+                ])
+            }
+            None => Json::Null,
+        };
+        Some(Json::Obj(vec![
+            ("state_version".to_string(), json::num(STATE_VERSION)),
+            ("t".to_string(), json::num(self.t)),
+            (
+                "last_targets".to_string(),
+                json::bits_arr(&self.last_targets),
+            ),
+            ("last_l".to_string(), json::bits_arr(&self.last_l)),
+            ("saddle".to_string(), saddle),
+            ("ogd".to_string(), ogd),
+            ("rng".to_string(), rng),
+            ("gps".to_string(), gps),
+            ("estimator".to_string(), estimator),
+        ]))
+    }
+
+    /// Rebuild the full learner state from [`Dragster::export_state`]'s
+    /// layout. Everything is validated and staged in locals before any
+    /// field of `self` is touched, so a failed import leaves the
+    /// controller unchanged (the recovery harness then degrades).
+    fn import_state(&mut self, state: &Json) -> Result<(), SimError> {
+        let scheme = self.name();
+        let fail = |reason: String| SimError::Policy {
+            scheme: scheme.clone(),
+            reason,
+        };
+        let field = |k: &str| fail(format!("checkpoint state: missing/invalid `{k}`"));
+        if state.get("state_version").and_then(Json::as_usize) != Some(STATE_VERSION) {
+            return Err(fail("checkpoint state: unsupported version".to_string()));
+        }
+        let m = self.topo.n_operators();
+        let t = state
+            .get("t")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| field("t"))?;
+        let last_targets = state
+            .get("last_targets")
+            .and_then(json::bits_vec)
+            .ok_or_else(|| field("last_targets"))?;
+        let last_l = state
+            .get("last_l")
+            .and_then(json::bits_vec)
+            .ok_or_else(|| field("last_l"))?;
+        let saddle_j = state.get("saddle").ok_or_else(|| field("saddle"))?;
+        let lambda = saddle_j
+            .get("lambda")
+            .and_then(json::bits_vec)
+            .ok_or_else(|| field("saddle.lambda"))?;
+        let gamma0 = saddle_j
+            .get("gamma0")
+            .and_then(Json::as_f64_bits)
+            .ok_or_else(|| field("saddle.gamma0"))?;
+        let saddle_t = saddle_j
+            .get("t")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| field("saddle.t"))?;
+        if last_targets.len() != m || last_l.len() != m || lambda.len() != m {
+            return Err(fail(format!(
+                "checkpoint state: vector arity mismatch (topology has {m} operators)"
+            )));
+        }
+        let ogd = match state.get("ogd") {
+            None | Some(Json::Null) => None,
+            Some(o) => Some(OgdState {
+                y: o.get("y")
+                    .and_then(json::bits_vec)
+                    .ok_or_else(|| field("ogd.y"))?,
+                eta: o
+                    .get("eta")
+                    .and_then(Json::as_f64_bits)
+                    .ok_or_else(|| field("ogd.eta"))?,
+                pull_rate: o
+                    .get("pull_rate")
+                    .and_then(Json::as_f64_bits)
+                    .ok_or_else(|| field("ogd.pull_rate"))?,
+            }),
+        };
+        let rng_j = state.get("rng").ok_or_else(|| field("rng"))?;
+        let words = rng_j
+            .get("s")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field("rng.s"))?;
+        if words.len() != 4 {
+            return Err(field("rng.s"));
+        }
+        let mut s = [0u64; 4];
+        for (slot, w) in s.iter_mut().zip(words.iter()) {
+            *slot = w
+                .as_str()
+                .and_then(json::u64_from_hex)
+                .ok_or_else(|| field("rng.s"))?;
+        }
+        let spare = match rng_j.get("spare") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(Json::as_f64_bits(v).ok_or_else(|| field("rng.spare"))?),
+        };
+        let gps_j = state
+            .get("gps")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field("gps"))?;
+        if gps_j.len() != m {
+            return Err(fail(format!(
+                "checkpoint state: {} GP histories for {m} operators",
+                gps_j.len()
+            )));
+        }
+        let mut gps = Vec::with_capacity(m);
+        for hist in gps_j {
+            let mut gp = OperatorGp::new(self.cfg.ucb);
+            let entries = Json::as_arr(hist).ok_or_else(|| field("gps[]"))?;
+            for entry in entries {
+                let pair = Json::as_arr(entry).ok_or_else(|| field("gps[][]"))?;
+                let tasks = pair
+                    .first()
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| field("gps[][].tasks"))?;
+                let cap = pair
+                    .get(1)
+                    .and_then(Json::as_f64_bits)
+                    .ok_or_else(|| field("gps[][].capacity"))?;
+                gp.observe(tasks, cap)
+                    .map_err(|e| fail(format!("GP history replay failed: {e}")))?;
+            }
+            gps.push(gp);
+        }
+        let estimator = match (self.cfg.learn_h, state.get("estimator")) {
+            (false, None | Some(Json::Null)) => None,
+            (true, Some(e @ Json::Obj(_))) => {
+                let bits_mat = |k: &str| -> Result<Vec<Vec<f64>>, SimError> {
+                    let label = format!("estimator.{k}");
+                    e.get(k)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| field(&label))?
+                        .iter()
+                        .map(|row| json::bits_vec(row).ok_or_else(|| field(&label)))
+                        .collect()
+                };
+                let snap = EstimatorSnapshot {
+                    weights: bits_mat("weights")?,
+                    p_mats: bits_mat("p_mats")?,
+                    n_obs: e
+                        .get("n_obs")
+                        .and_then(json::usize_vec)
+                        .ok_or_else(|| field("estimator.n_obs"))?,
+                };
+                let mut est = SelectivityEstimator::new(self.topo.clone(), 1.0);
+                est.restore(snap)
+                    .map_err(|err| fail(format!("estimator restore failed: {err}")))?;
+                Some(est)
+            }
+            _ => {
+                return Err(fail(
+                    "checkpoint state: estimator presence disagrees with learn_h mode".to_string(),
+                ))
+            }
+        };
+        // Everything validated — commit atomically.
+        self.t = t;
+        self.last_targets = last_targets;
+        self.last_l = last_l;
+        self.saddle = SaddleState::restore(lambda, gamma0, saddle_t);
+        self.ogd = ogd;
+        self.rng = dragster_sim::Rng::restore_state(s, spare);
+        self.gps = gps;
+        self.estimator = estimator;
+        Ok(())
+    }
+
+    /// Cold start: identical to a freshly constructed controller with the
+    /// same topology and configuration (the degraded-fallback path).
+    fn reset_state(&mut self) {
+        *self = Dragster::new(self.topo.clone(), self.cfg);
+    }
 }
 
 #[cfg(test)]
@@ -707,6 +946,96 @@ mod tests {
         assert!(
             tail >= 0.85 * opt,
             "failed to converge under dropouts: tail {tail} vs opt {opt}"
+        );
+    }
+
+    /// Export → import into a fresh controller must reproduce the exact
+    /// decision stream: decisions depend on GP posteriors, duals, RNG
+    /// position, and diagnostics, so this exercises every exported field.
+    #[test]
+    fn exported_state_restores_bit_identical_decisions() {
+        for cfg in [
+            DragsterConfig::saddle_point(),
+            DragsterConfig::gradient_descent(),
+            DragsterConfig {
+                learn_h: true,
+                ..DragsterConfig::saddle_point()
+            },
+            DragsterConfig {
+                ucb: crate::ucb::UcbConfig {
+                    acquisition: crate::ucb::AcquisitionKind::Thompson,
+                    ..Default::default()
+                },
+                ..DragsterConfig::saddle_point()
+            },
+        ] {
+            let app = wordcount_app();
+            let mut sim = make_sim(app.clone(), None, 23);
+            let mut original = Dragster::new(app.topology.clone(), cfg);
+            let mut arr = ConstantArrival(vec![400.0]);
+            run_experiment(&mut sim, &mut original, &mut arr, 8).unwrap();
+            let state = original.export_state().expect("dragster exports state");
+
+            let mut restored = Dragster::new(app.topology.clone(), cfg);
+            restored.import_state(&state).expect("import succeeds");
+
+            // Both controllers now see the same future metric stream.
+            let metrics = sim.run_slot(&[400.0]);
+            let cur = sim.deployment().clone();
+            let a = original.decide(8, &metrics, &cur).unwrap();
+            let b = restored.decide(8, &metrics, &cur).unwrap();
+            assert_eq!(a, b, "restored decision diverged");
+            assert_eq!(original.last_targets(), restored.last_targets());
+            assert_eq!(original.lambda(), restored.lambda());
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_shapes() {
+        let app = wordcount_app();
+        let d = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let state = d.export_state().unwrap();
+        // A 3-operator chain cannot import a 2-operator checkpoint.
+        let wide = dragster_dag::TopologyBuilder::new()
+            .source("s")
+            .operator("a")
+            .operator("b")
+            .operator("c")
+            .sink("k")
+            .edge("s", "a")
+            .edge("a", "b")
+            .edge("b", "c")
+            .edge("c", "k")
+            .build()
+            .unwrap();
+        let mut other = Dragster::new(wide, DragsterConfig::saddle_point());
+        assert!(other.import_state(&state).is_err());
+        // learn_h mismatch is rejected too.
+        let mut learner = Dragster::new(
+            app.topology.clone(),
+            DragsterConfig {
+                learn_h: true,
+                ..DragsterConfig::saddle_point()
+            },
+        );
+        assert!(learner.import_state(&state).is_err());
+    }
+
+    #[test]
+    fn reset_state_matches_fresh_controller() {
+        let app = wordcount_app();
+        let mut sim = make_sim(app.clone(), None, 29);
+        let mut scaler = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        let mut arr = ConstantArrival(vec![400.0]);
+        run_experiment(&mut sim, &mut scaler, &mut arr, 6).unwrap();
+        assert!(!scaler.operator_gps()[0].is_empty());
+        scaler.reset_state();
+        assert!(scaler.operator_gps().iter().all(|gp| gp.is_empty()));
+        assert!(scaler.lambda().iter().all(|&l| l == 0.0));
+        let fresh = Dragster::new(app.topology.clone(), DragsterConfig::saddle_point());
+        assert_eq!(
+            scaler.export_state().unwrap().render(),
+            fresh.export_state().unwrap().render()
         );
     }
 

@@ -204,6 +204,12 @@ impl SaddleState {
         self.t
     }
 
+    /// Rebuild a dual state from checkpointed values (λ vector, base step
+    /// size, and the slot counter that drives the γ_t = γ₀/√t schedule).
+    pub fn restore(lambda: Vec<f64>, gamma0: f64, t: usize) -> SaddleState {
+        SaddleState { lambda, gamma0, t }
+    }
+
     /// Eq. 15: `λ_i ← max(0, λ_i + γ_t l_i)` with the observed constraint
     /// values `l_i = offered_i − capacity_i` (positive = violated). The
     /// values are normalized by the offered scale so γ is unit-free.

@@ -139,6 +139,15 @@ impl OperatorGp {
         self.scale
     }
 
+    /// The raw `(tasks, capacity_sample)` observation history. Replaying
+    /// it through [`OperatorGp::observe`] on a fresh model rebuilds the
+    /// exact posterior (scale growth and refits are deterministic in the
+    /// observation order), which is how controller checkpoints restore
+    /// GP state.
+    pub fn history(&self) -> &[(usize, f64)] {
+        &self.history
+    }
+
     /// Record a capacity sample observed while running `tasks` tasks.
     /// Non-finite or non-positive samples are ignored (an idle operator
     /// yields no information about its capacity).

@@ -51,6 +51,15 @@ pub struct SelectivityEstimator {
     n_obs: Vec<usize>,
 }
 
+/// Checkpointable copy of the estimator's learned state (everything but
+/// the DAG structure, which the restore target already carries).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatorSnapshot {
+    pub weights: Vec<Vec<f64>>,
+    pub p_mats: Vec<Vec<f64>>,
+    pub n_obs: Vec<usize>,
+}
+
 /// One per-operator observation: the received-rate vector and the
 /// (unsaturated) total output rate.
 #[derive(Clone, Debug)]
@@ -149,6 +158,56 @@ impl SelectivityEstimator {
                 p[i * d + j] -= g[i] * px[j];
             }
         }
+    }
+
+    /// Copy the learned state (weights, RLS covariances, acceptance
+    /// counts) for checkpointing. The DAG structure is *not* included —
+    /// a restore target is constructed from the same topology.
+    pub fn snapshot(&self) -> EstimatorSnapshot {
+        EstimatorSnapshot {
+            weights: self.weights.clone(),
+            p_mats: self.p_mats.clone(),
+            n_obs: self.n_obs.clone(),
+        }
+    }
+
+    /// Overwrite the learned state from a snapshot, validating that every
+    /// per-operator arity matches the current structure (a snapshot taken
+    /// against a different DAG must not silently corrupt the estimator).
+    ///
+    /// # Errors
+    /// [`DagError::InvalidMutation`] when the operator count or any
+    /// weight/covariance arity disagrees with the structure.
+    pub fn restore(&mut self, snap: EstimatorSnapshot) -> Result<(), DagError> {
+        let shape_err = |reason: String| DagError::InvalidMutation {
+            component: "selectivity estimator".into(),
+            reason,
+        };
+        let n = self.structure.n_operators();
+        if snap.weights.len() != n || snap.p_mats.len() != n || snap.n_obs.len() != n {
+            return Err(shape_err(format!(
+                "snapshot covers {} operators, structure has {n}",
+                snap.weights.len()
+            )));
+        }
+        for (i, (w, p)) in snap.weights.iter().zip(snap.p_mats.iter()).enumerate() {
+            let d = self.weights.get(i).map_or(0, Vec::len);
+            if w.len() != d || p.len() != d * d {
+                return Err(shape_err(format!(
+                    "operator {i}: snapshot arity {} vs structure arity {d}",
+                    w.len()
+                )));
+            }
+            if w.iter().chain(p.iter()).any(|v| !v.is_finite()) {
+                return Err(shape_err(format!(
+                    "operator {i}: non-finite snapshot value"
+                )));
+            }
+        }
+        self.weights = snap.weights;
+        self.p_mats = snap.p_mats;
+        self.n_obs = snap.n_obs;
+        Ok(())
     }
 
     /// Materialize a topology with the current weight estimates: every

@@ -39,7 +39,7 @@ pub mod topology;
 
 pub use error::DagError;
 pub use flow::{propagate, throughput, throughput_grad, FlowResult};
-pub use learned::{HObservation, SelectivityEstimator};
+pub use learned::{EstimatorSnapshot, HObservation, SelectivityEstimator};
 pub use thrufn::{FlowScalar, ThroughputFn};
 pub use topology::{
     Component, ComponentId, ComponentKind, Topology, TopologyBuilder, TopologyError,

@@ -1,0 +1,592 @@
+//! Controller checkpoints: durable snapshots of all learner state.
+//!
+//! Dragster's regret guarantee assumes the controller never loses its
+//! learned state, but the controller process is as mortal as the pods it
+//! manages. A [`Checkpoint`] captures everything the control plane needs
+//! to resume mid-run — the autoscaler's exported learner state (GP
+//! observation set, saddle/OGD duals, UCB statistics, RNG positions),
+//! the sanitizer history, the retry/backoff state, and the deployment in
+//! effect — serialized through the self-contained [`crate::json`] codec
+//! so offline stub builds round-trip it, and sealed with an FNV-1a
+//! checksum so torn writes are *detected*, never silently restored.
+//!
+//! The recovery policy lives in [`crate::harness`]: a checkpoint that
+//! validates (checksum + version + staleness bound) is restored and the
+//! decision journal ([`crate::journal`]) replayed on top; one that does
+//! not routes the run to the degraded hold-last-deployment fallback.
+
+use crate::json::{self, Json};
+use crate::metrics::{OperatorMetrics, SlotMetrics};
+use crate::sanitize::{SanitizeConfig, SanitizerSnapshot};
+
+/// Checkpoint format version; bump on layout changes.
+pub const CHECKPOINT_VERSION: usize = 1;
+
+/// Why a checkpoint could not be restored. Every variant routes the
+/// harness to the degraded fallback rather than aborting the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// No checkpoint has ever been written.
+    Missing,
+    /// The blob's checksum does not match (torn/corrupt write).
+    Torn { detail: String },
+    /// The blob parses but does not decode to a valid checkpoint.
+    Malformed { detail: String },
+    /// The newest valid checkpoint is older than the staleness bound.
+    Stale {
+        age_slots: usize,
+        max_age_slots: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Missing => write!(f, "no checkpoint available"),
+            CheckpointError::Torn { detail } => {
+                write!(f, "checkpoint torn/corrupt: {detail}")
+            }
+            CheckpointError::Malformed { detail } => {
+                write!(f, "checkpoint malformed: {detail}")
+            }
+            CheckpointError::Stale {
+                age_slots,
+                max_age_slots,
+            } => write!(
+                f,
+                "checkpoint stale: {age_slots} slots old (bound {max_age_slots})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Retry/backoff position of the reconfiguration loop (part of the
+/// harness state a restarted controller must not forget — otherwise a
+/// crash would silently reset an in-progress exponential backoff).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetrySnapshot {
+    pub consecutive_failures: usize,
+    /// First slot at which the next reconfiguration may be attempted.
+    pub next_attempt: usize,
+}
+
+/// A complete controller checkpoint taken at the end of `slot`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    pub version: usize,
+    /// Slot whose decision this checkpoint reflects (taken post-slot).
+    pub slot: usize,
+    /// Autoscaler scheme name, so a restore onto the wrong policy fails
+    /// loudly instead of importing foreign state.
+    pub scheme: String,
+    /// Deployment in effect when the checkpoint was taken.
+    pub deployment: Vec<usize>,
+    /// Opaque learner state from
+    /// [`Autoscaler::export_state`](crate::harness::Autoscaler::export_state);
+    /// `None` for stateless policies.
+    pub scaler: Option<Json>,
+    pub sanitizer: SanitizerSnapshot,
+    pub retry: RetrySnapshot,
+}
+
+// ---------------------------------------------------------------------------
+// Sealing: `crc-hex \n body` framing shared with the journal.
+// ---------------------------------------------------------------------------
+
+/// Frames a serialized body with its FNV-1a checksum: `<16-hex>\n<body>`.
+pub fn seal(body: &str) -> String {
+    format!(
+        "{}\n{}",
+        json::u64_to_hex(json::fnv1a64(body.as_bytes())),
+        body
+    )
+}
+
+/// Verifies and strips the checksum frame added by [`seal`].
+pub fn unseal(blob: &str) -> Result<&str, String> {
+    let Some((crc_hex, body)) = blob.split_once('\n') else {
+        return Err("missing checksum frame".to_string());
+    };
+    let Some(expected) = json::u64_from_hex(crc_hex) else {
+        return Err(format!("bad checksum field `{crc_hex}`"));
+    };
+    let actual = json::fnv1a64(body.as_bytes());
+    if actual != expected {
+        return Err(format!(
+            "checksum mismatch: stored {expected:016x}, computed {actual:016x}"
+        ));
+    }
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------------
+// Codec.
+// ---------------------------------------------------------------------------
+
+fn missing(field: &str) -> CheckpointError {
+    CheckpointError::Malformed {
+        detail: format!("missing/invalid field `{field}`"),
+    }
+}
+
+/// Encodes one operator reading bit-exactly.
+pub fn encode_operator_metrics(om: &OperatorMetrics) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(om.name.clone())),
+        ("tasks".to_string(), json::num(om.tasks)),
+        ("input_rate".to_string(), json::bits(om.input_rate)),
+        ("input_rates".to_string(), json::bits_arr(&om.input_rates)),
+        ("output_rate".to_string(), json::bits(om.output_rate)),
+        ("offered_load".to_string(), json::bits(om.offered_load)),
+        ("cpu_util".to_string(), json::bits(om.cpu_util)),
+        (
+            "capacity_sample".to_string(),
+            json::bits(om.capacity_sample),
+        ),
+        ("buffer_tuples".to_string(), json::bits(om.buffer_tuples)),
+        (
+            "latency_estimate_secs".to_string(),
+            json::bits(om.latency_estimate_secs),
+        ),
+        ("backpressure".to_string(), Json::Bool(om.backpressure)),
+        ("degraded".to_string(), Json::Bool(om.degraded)),
+    ])
+}
+
+/// Decodes one operator reading (inverse of [`encode_operator_metrics`]).
+pub fn decode_operator_metrics(j: &Json) -> Result<OperatorMetrics, CheckpointError> {
+    let f = |k: &str| {
+        j.get(k)
+            .and_then(Json::as_f64_bits)
+            .ok_or_else(|| missing(k))
+    };
+    Ok(OperatorMetrics {
+        name: j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("name"))?
+            .to_string(),
+        tasks: j
+            .get("tasks")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("tasks"))?,
+        input_rate: f("input_rate")?,
+        input_rates: j
+            .get("input_rates")
+            .and_then(json::bits_vec)
+            .ok_or_else(|| missing("input_rates"))?,
+        output_rate: f("output_rate")?,
+        offered_load: f("offered_load")?,
+        cpu_util: f("cpu_util")?,
+        capacity_sample: f("capacity_sample")?,
+        buffer_tuples: f("buffer_tuples")?,
+        latency_estimate_secs: f("latency_estimate_secs")?,
+        backpressure: j
+            .get("backpressure")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| missing("backpressure"))?,
+        degraded: j
+            .get("degraded")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| missing("degraded"))?,
+    })
+}
+
+/// Encodes one raw slot snapshot bit-exactly (used by the journal, whose
+/// records store *pre-sanitize* metrics for replay).
+pub fn encode_slot_metrics(m: &SlotMetrics) -> Json {
+    Json::Obj(vec![
+        ("t".to_string(), json::num(m.t)),
+        ("sim_time_secs".to_string(), json::bits(m.sim_time_secs)),
+        ("throughput".to_string(), json::bits(m.throughput)),
+        (
+            "processed_tuples".to_string(),
+            json::bits(m.processed_tuples),
+        ),
+        ("dropped_tuples".to_string(), json::bits(m.dropped_tuples)),
+        ("cost_dollars".to_string(), json::bits(m.cost_dollars)),
+        ("pods".to_string(), json::num(m.pods)),
+        ("source_rates".to_string(), json::bits_arr(&m.source_rates)),
+        ("reconfigured".to_string(), Json::Bool(m.reconfigured)),
+        ("pause_secs".to_string(), json::bits(m.pause_secs)),
+        (
+            "operators".to_string(),
+            Json::Arr(m.operators.iter().map(encode_operator_metrics).collect()),
+        ),
+    ])
+}
+
+/// Decodes one slot snapshot (inverse of [`encode_slot_metrics`]).
+pub fn decode_slot_metrics(j: &Json) -> Result<SlotMetrics, CheckpointError> {
+    let f = |k: &str| {
+        j.get(k)
+            .and_then(Json::as_f64_bits)
+            .ok_or_else(|| missing(k))
+    };
+    let operators = j
+        .get("operators")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| missing("operators"))?
+        .iter()
+        .map(decode_operator_metrics)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SlotMetrics {
+        t: j.get("t")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("t"))?,
+        sim_time_secs: f("sim_time_secs")?,
+        throughput: f("throughput")?,
+        processed_tuples: f("processed_tuples")?,
+        dropped_tuples: f("dropped_tuples")?,
+        cost_dollars: f("cost_dollars")?,
+        pods: j
+            .get("pods")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("pods"))?,
+        source_rates: j
+            .get("source_rates")
+            .and_then(json::bits_vec)
+            .ok_or_else(|| missing("source_rates"))?,
+        reconfigured: j
+            .get("reconfigured")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| missing("reconfigured"))?,
+        pause_secs: f("pause_secs")?,
+        operators,
+    })
+}
+
+fn encode_sanitizer(s: &SanitizerSnapshot) -> Json {
+    Json::Obj(vec![
+        ("spike_factor".to_string(), json::bits(s.cfg.spike_factor)),
+        ("min_history".to_string(), json::num(s.cfg.min_history)),
+        (
+            "last_valid".to_string(),
+            Json::Arr(
+                s.last_valid
+                    .iter()
+                    .map(|lv| match lv {
+                        Some(om) => encode_operator_metrics(om),
+                        None => Json::Null,
+                    })
+                    .collect(),
+            ),
+        ),
+        ("per_task_max".to_string(), json::bits_arr(&s.per_task_max)),
+        (
+            "accepted".to_string(),
+            Json::Arr(s.accepted.iter().map(|&a| json::num(a)).collect()),
+        ),
+    ])
+}
+
+fn decode_sanitizer(j: &Json) -> Result<SanitizerSnapshot, CheckpointError> {
+    let last_valid = j
+        .get("last_valid")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| missing("last_valid"))?
+        .iter()
+        .map(|lv| match lv {
+            Json::Null => Ok(None),
+            other => decode_operator_metrics(other).map(Some),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SanitizerSnapshot {
+        cfg: SanitizeConfig {
+            spike_factor: j
+                .get("spike_factor")
+                .and_then(Json::as_f64_bits)
+                .ok_or_else(|| missing("spike_factor"))?,
+            min_history: j
+                .get("min_history")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("min_history"))?,
+        },
+        last_valid,
+        per_task_max: j
+            .get("per_task_max")
+            .and_then(json::bits_vec)
+            .ok_or_else(|| missing("per_task_max"))?,
+        accepted: j
+            .get("accepted")
+            .and_then(json::usize_vec)
+            .ok_or_else(|| missing("accepted"))?,
+    })
+}
+
+impl Checkpoint {
+    /// Serializes to a sealed blob (`crc\n{json}`).
+    pub fn encode(&self) -> String {
+        let body = Json::Obj(vec![
+            ("version".to_string(), json::num(self.version)),
+            ("slot".to_string(), json::num(self.slot)),
+            ("scheme".to_string(), Json::Str(self.scheme.clone())),
+            (
+                "deployment".to_string(),
+                Json::Arr(self.deployment.iter().map(|&t| json::num(t)).collect()),
+            ),
+            (
+                "scaler".to_string(),
+                self.scaler.clone().unwrap_or(Json::Null),
+            ),
+            ("sanitizer".to_string(), encode_sanitizer(&self.sanitizer)),
+            (
+                "retry_consecutive_failures".to_string(),
+                json::num(self.retry.consecutive_failures),
+            ),
+            (
+                "retry_next_attempt".to_string(),
+                json::num(self.retry.next_attempt),
+            ),
+        ]);
+        seal(&body.render())
+    }
+
+    /// Deserializes and validates a sealed blob. Checksum failures come
+    /// back as [`CheckpointError::Torn`]; structural problems as
+    /// [`CheckpointError::Malformed`].
+    pub fn decode(blob: &str) -> Result<Checkpoint, CheckpointError> {
+        let body = unseal(blob).map_err(|detail| CheckpointError::Torn { detail })?;
+        let j = json::parse_json(body).map_err(|detail| CheckpointError::Malformed { detail })?;
+        let version = j
+            .get("version")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("version"))?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Malformed {
+                detail: format!("unsupported version {version}"),
+            });
+        }
+        Ok(Checkpoint {
+            version,
+            slot: j
+                .get("slot")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("slot"))?,
+            scheme: j
+                .get("scheme")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("scheme"))?
+                .to_string(),
+            deployment: j
+                .get("deployment")
+                .and_then(json::usize_vec)
+                .ok_or_else(|| missing("deployment"))?,
+            scaler: match j.get("scaler") {
+                None | Some(Json::Null) => None,
+                Some(other) => Some(other.clone()),
+            },
+            sanitizer: decode_sanitizer(j.get("sanitizer").ok_or_else(|| missing("sanitizer"))?)?,
+            retry: RetrySnapshot {
+                consecutive_failures: j
+                    .get("retry_consecutive_failures")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| missing("retry_consecutive_failures"))?,
+                next_attempt: j
+                    .get("retry_next_attempt")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| missing("retry_next_attempt"))?,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store.
+// ---------------------------------------------------------------------------
+
+/// The controller's stable storage for checkpoints: keeps the newest
+/// sealed blob. In-memory here (the simulator's "durable" store), but the
+/// interface — write sealed blobs, validate on load, tolerate torn data —
+/// is exactly what a file- or object-store-backed implementation needs.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointStore {
+    latest: Option<String>,
+}
+
+impl CheckpointStore {
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Persists a checkpoint (atomically replaces the previous one).
+    pub fn write(&mut self, ckpt: &Checkpoint) {
+        self.latest = Some(ckpt.encode());
+    }
+
+    /// True once at least one write happened (even a later-corrupted one).
+    pub fn has_checkpoint(&self) -> bool {
+        self.latest.is_some()
+    }
+
+    /// Chaos hook: tear the newest blob, as a crash mid-write would.
+    /// Truncation (rather than bit-flipping) models the torn tail of an
+    /// interrupted append; the checksum catches both. No-op when nothing
+    /// has been written.
+    pub fn corrupt_latest(&mut self) {
+        if let Some(blob) = self.latest.as_mut() {
+            let keep = blob.len() / 2;
+            blob.truncate(keep);
+        }
+    }
+
+    /// Loads, validates, and age-checks the newest checkpoint as of
+    /// `now_slot`. Any failure means the caller must degrade, not abort.
+    pub fn load_validated(
+        &self,
+        now_slot: usize,
+        max_age_slots: usize,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let blob = self.latest.as_ref().ok_or(CheckpointError::Missing)?;
+        let ckpt = Checkpoint::decode(blob)?;
+        let age_slots = now_slot.saturating_sub(ckpt.slot);
+        if age_slots > max_age_slots {
+            return Err(CheckpointError::Stale {
+                age_slots,
+                max_age_slots,
+            });
+        }
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::{MetricSanitizer, SanitizeConfig};
+
+    fn sample_op(name: &str) -> OperatorMetrics {
+        OperatorMetrics {
+            name: name.to_string(),
+            tasks: 3,
+            input_rate: 120.5,
+            input_rates: vec![100.0, 20.5],
+            output_rate: 118.25,
+            offered_load: 121.0,
+            cpu_util: 0.73,
+            capacity_sample: 161.071_823,
+            buffer_tuples: 12.0,
+            latency_estimate_secs: 0.031,
+            backpressure: true,
+            degraded: false,
+        }
+    }
+
+    fn sample_slot() -> SlotMetrics {
+        SlotMetrics {
+            t: 7,
+            sim_time_secs: 4800.0,
+            throughput: 118.25,
+            processed_tuples: 70_950.0,
+            dropped_tuples: 1.5,
+            cost_dollars: 0.082_5,
+            pods: 6,
+            source_rates: vec![120.5],
+            reconfigured: true,
+            pause_secs: 4.2,
+            operators: vec![sample_op("src"), sample_op("agg")],
+        }
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut san = MetricSanitizer::new(SanitizeConfig::default());
+        let _ = san.sanitize(sample_slot());
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            slot: 7,
+            scheme: "dragster-saddle".to_string(),
+            deployment: vec![3, 3],
+            scaler: Some(Json::Obj(vec![
+                ("t".to_string(), json::num(8)),
+                ("lambda".to_string(), json::bits_arr(&[0.25, -0.0])),
+            ])),
+            sanitizer: san.snapshot(),
+            retry: RetrySnapshot {
+                consecutive_failures: 2,
+                next_attempt: 11,
+            },
+        }
+    }
+
+    #[test]
+    fn slot_metrics_roundtrip_is_bit_exact() {
+        let mut m = sample_slot();
+        // include hostile float values
+        m.operators[0].capacity_sample = f64::MIN_POSITIVE;
+        m.operators[1].latency_estimate_secs = 1.0e-300;
+        let j = encode_slot_metrics(&m);
+        let text = j.render();
+        let back = decode_slot_metrics(&json::parse_json(&text).expect("parse")).expect("decode");
+        assert_eq!(back, m);
+        assert_eq!(
+            back.operators[0].capacity_sample.to_bits(),
+            m.operators[0].capacity_sample.to_bits()
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ckpt = sample_checkpoint();
+        let blob = ckpt.encode();
+        let back = Checkpoint::decode(&blob).expect("decode");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn torn_blob_is_detected() {
+        let ckpt = sample_checkpoint();
+        let mut store = CheckpointStore::new();
+        store.write(&ckpt);
+        store.corrupt_latest();
+        match store.load_validated(8, 100) {
+            Err(CheckpointError::Torn { .. }) => {}
+            other => panic!("expected Torn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_checkpoint_is_rejected_by_age() {
+        let ckpt = sample_checkpoint(); // slot 7
+        let mut store = CheckpointStore::new();
+        store.write(&ckpt);
+        assert!(store.load_validated(10, 8).is_ok()); // age 3 ≤ 8
+        match store.load_validated(20, 8) {
+            Err(CheckpointError::Stale {
+                age_slots: 13,
+                max_age_slots: 8,
+            }) => {}
+            other => panic!("expected Stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_store_reports_missing() {
+        let store = CheckpointStore::new();
+        assert_eq!(store.load_validated(0, 10), Err(CheckpointError::Missing));
+    }
+
+    #[test]
+    fn version_mismatch_is_malformed() {
+        let mut ckpt = sample_checkpoint();
+        ckpt.version = 99;
+        let blob = ckpt.encode();
+        match Checkpoint::decode(&blob) {
+            Err(CheckpointError::Malformed { detail }) => {
+                assert!(detail.contains("version"), "detail: {detail}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_tamper_detection() {
+        let body = "{\"a\":1}";
+        let blob = seal(body);
+        assert_eq!(unseal(&blob).expect("unseal"), body);
+        let tampered = blob.replace("1", "2");
+        assert!(unseal(&tampered).is_err());
+        assert!(unseal("nonsense-without-frame").is_err());
+    }
+}

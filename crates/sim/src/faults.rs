@@ -54,6 +54,18 @@ pub enum FaultKind {
     MetricStale,
     /// The capacity sample is corrupted (wild multiple, or NaN).
     MetricCorrupt,
+    /// The *controller process* dies at the top of the slot, losing all
+    /// in-memory learner state (GP dataset, duals, UCB statistics, RNG
+    /// positions). Interpreted by the recovery harness
+    /// ([`ControllerFaultDriver`]), not by the engines — the data plane
+    /// keeps running while the control plane restarts.
+    ControllerCrash,
+    /// The latest checkpoint blob is torn/corrupted on stable storage;
+    /// its checksum will fail validation at the next restore.
+    CheckpointCorrupt,
+    /// Checkpoint writes are suppressed for the window, so the newest
+    /// surviving checkpoint ages past the staleness bound.
+    CheckpointStale,
 }
 
 /// A fault scheduled at an exact slot — the reproducible half of a plan.
@@ -104,6 +116,11 @@ pub struct FaultRates {
     pub metric_corrupt_prob: f64,
     /// Capacity-sample multiplier for corrupted readings (`0.0` = NaN).
     pub metric_corrupt_factor: f64,
+    /// Per-slot probability the controller process crashes at the top of
+    /// the slot. Drawn on the *controller* fault stream
+    /// ([`ControllerFaultDriver`]), never on the engine stream, so
+    /// enabling it cannot shift the data-plane fault realization.
+    pub controller_crash_prob: f64,
 }
 
 impl Default for FaultRates {
@@ -121,6 +138,7 @@ impl Default for FaultRates {
             metric_stale_prob: 0.0,
             metric_corrupt_prob: 0.0,
             metric_corrupt_factor: 0.0,
+            controller_crash_prob: 0.0,
         }
     }
 }
@@ -150,6 +168,7 @@ impl FaultPlan {
             && r.metric_dropout_prob == 0.0
             && r.metric_stale_prob == 0.0
             && r.metric_corrupt_prob == 0.0
+            && r.controller_crash_prob == 0.0
     }
 
     /// Add a scripted fault (builder style).
@@ -425,6 +444,15 @@ impl FaultState {
                         }
                     }
                 }
+                // Control-plane faults: invisible to the engines. The
+                // recovery harness interprets them via its own
+                // [`ControllerFaultDriver`] over the same plan; keeping
+                // them out of this match (and off this RNG stream) is
+                // what lets controller chaos layer onto data-plane chaos
+                // without shifting its realization.
+                FaultKind::ControllerCrash
+                | FaultKind::CheckpointCorrupt
+                | FaultKind::CheckpointStale => {}
             }
         }
 
@@ -499,6 +527,77 @@ impl FaultState {
             operator: None,
             severity: severity.clamp(0.0, 1.0),
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane faults.
+// ---------------------------------------------------------------------------
+
+/// XOR salt deriving the *controller* fault stream from the experiment
+/// seed. Distinct from [`FAULT_STREAM_SALT`] so controller chaos and
+/// data-plane chaos never share draws: layering controller crashes onto a
+/// pod-crash + metric-corruption plan leaves the data-plane realization
+/// bit-identical.
+const CONTROLLER_FAULT_SALT: u64 = 0xC047_011E_5EED_FA17;
+
+/// Control-plane fate of one decision slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControllerFault {
+    /// The controller process dies at the top of this slot (scripted and
+    /// stochastic triggers are merged, so a slot crashes at most once —
+    /// the two can never double-fire).
+    pub crash: bool,
+    /// The newest checkpoint blob is torn on stable storage this slot.
+    pub corrupt_checkpoint: bool,
+    /// Checkpoint writes are suppressed this slot (staleness window).
+    pub suppress_checkpoint: bool,
+}
+
+/// Fault driver for the control plane, run by the recovery harness
+/// alongside the engines' [`FaultState`]. It interprets the
+/// controller-kind entries of the *same* [`FaultPlan`] on a dedicated
+/// salted RNG stream; like `begin_slot`, it must be called exactly once
+/// per slot in slot order, and it draws only when
+/// [`FaultRates::controller_crash_prob`] is positive, so an inert plan
+/// leaves every stream untouched.
+#[derive(Clone, Debug)]
+pub struct ControllerFaultDriver {
+    plan: FaultPlan,
+    rng: Rng,
+}
+
+impl ControllerFaultDriver {
+    /// Build the driver for an experiment `seed` (the same master seed
+    /// the engine was built with; the stream is salted internally).
+    pub fn new(plan: FaultPlan, seed: u64) -> ControllerFaultDriver {
+        ControllerFaultDriver {
+            plan,
+            rng: Rng::new(seed ^ CONTROLLER_FAULT_SALT),
+        }
+    }
+
+    /// Compute this slot's control-plane faults.
+    pub fn begin_slot(&mut self, t: usize) -> ControllerFault {
+        let mut out = ControllerFault::default();
+        let r = self.plan.rates;
+        if r.controller_crash_prob > 0.0 && self.rng.uniform() < r.controller_crash_prob {
+            out.crash = true;
+        }
+        for f in &self.plan.scripted {
+            let dur = f.duration_slots.max(1);
+            let active_now = t >= f.slot && t < f.slot + dur;
+            if !active_now {
+                continue;
+            }
+            match f.kind {
+                FaultKind::ControllerCrash => out.crash = true,
+                FaultKind::CheckpointCorrupt => out.corrupt_checkpoint = true,
+                FaultKind::CheckpointStale => out.suppress_checkpoint = true,
+                _ => {}
+            }
+        }
+        out
     }
 }
 
@@ -648,5 +747,92 @@ mod tests {
             fs.begin_slot(0, 1).metric[0],
             MetricFault::Corrupt { factor: 0.0 }
         );
+    }
+
+    #[test]
+    fn controller_driver_interprets_scripted_control_plane_kinds() {
+        let plan = FaultPlan::none()
+            .with(ScriptedFault {
+                slot: 2,
+                kind: FaultKind::ControllerCrash,
+                operator: None,
+                severity: 0.0,
+                duration_slots: 1,
+            })
+            .with(ScriptedFault {
+                slot: 3,
+                kind: FaultKind::CheckpointCorrupt,
+                operator: None,
+                severity: 0.0,
+                duration_slots: 1,
+            })
+            .with(ScriptedFault {
+                slot: 4,
+                kind: FaultKind::CheckpointStale,
+                operator: None,
+                severity: 0.0,
+                duration_slots: 2,
+            });
+        let mut d = ControllerFaultDriver::new(plan, 9);
+        assert_eq!(d.begin_slot(0), ControllerFault::default());
+        assert_eq!(d.begin_slot(1), ControllerFault::default());
+        assert!(d.begin_slot(2).crash);
+        assert!(d.begin_slot(3).corrupt_checkpoint);
+        assert!(d.begin_slot(4).suppress_checkpoint);
+        assert!(d.begin_slot(5).suppress_checkpoint);
+        assert_eq!(d.begin_slot(6), ControllerFault::default());
+    }
+
+    #[test]
+    fn scripted_and_stochastic_crash_never_double_fire() {
+        // Stochastic crash with probability 1 fires every slot; layering a
+        // scripted crash on the same slot must still yield a single crash
+        // flag, not two events.
+        let plan = FaultPlan {
+            scripted: vec![ScriptedFault {
+                slot: 3,
+                kind: FaultKind::ControllerCrash,
+                operator: None,
+                severity: 0.0,
+                duration_slots: 1,
+            }],
+            rates: FaultRates {
+                controller_crash_prob: 1.0,
+                ..Default::default()
+            },
+        };
+        let mut d = ControllerFaultDriver::new(plan, 11);
+        for t in 0..6 {
+            let f = d.begin_slot(t);
+            assert!(f.crash, "slot {t} should crash");
+        }
+    }
+
+    #[test]
+    fn controller_kinds_are_invisible_to_the_engines() {
+        // A plan made only of control-plane kinds must leave the engine
+        // driver's output at identity for every slot.
+        let plan = FaultPlan {
+            scripted: vec![ScriptedFault {
+                slot: 1,
+                kind: FaultKind::ControllerCrash,
+                operator: None,
+                severity: 1.0,
+                duration_slots: 4,
+            }],
+            rates: FaultRates {
+                controller_crash_prob: 0.7,
+                ..Default::default()
+            },
+        };
+        assert!(!plan.is_inert());
+        let mut fs = FaultState::new(plan, None, 21);
+        for t in 0..8 {
+            let sf = fs.begin_slot(t, 3);
+            assert_eq!(sf.capacity_multiplier, vec![1.0; 3]);
+            assert!(sf.metric.iter().all(|m| *m == MetricFault::None));
+            assert_eq!(sf.reconfig, ReconfigFault::None);
+        }
+        assert!(fs.drain_events().is_empty());
     }
 }

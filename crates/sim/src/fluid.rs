@@ -193,6 +193,20 @@ impl FluidSim {
         self.faults.drain_events()
     }
 
+    /// The master experiment seed this engine was built with. The recovery
+    /// harness derives the controller fault stream from it (salted), so
+    /// control-plane chaos shares the experiment's single seed without
+    /// sharing any of its streams.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The active fault plan (inert by default; set via
+    /// [`FluidSim::with_faults`]).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
     /// The application (ground truth).
     pub fn app(&self) -> &Application {
         &self.app

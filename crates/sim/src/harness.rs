@@ -2,10 +2,13 @@
 //! Dragster and every baseline, arrival processes, and the slot loop of
 //! Algorithm 1 (launch → observe → decide → deploy → repeat).
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointStore, RetrySnapshot};
 use crate::cluster::Deployment;
 use crate::error::SimError;
-use crate::faults::FaultEvent;
+use crate::faults::{ControllerFaultDriver, FaultEvent, FaultKind};
 use crate::fluid::FluidSim;
+use crate::journal::{DecisionJournal, JournalError, JournalRecord, ReconfigOutcome};
+use crate::json::Json;
 use crate::metrics::SlotMetrics;
 use crate::sanitize::{MetricSanitizer, SanitizeConfig};
 use serde::{Deserialize, Serialize};
@@ -50,6 +53,37 @@ pub trait Autoscaler {
         metrics: &SlotMetrics,
         current: &Deployment,
     ) -> Result<Deployment, SimError>;
+
+    /// Export all learner state for a controller checkpoint
+    /// ([`crate::checkpoint::Checkpoint::scaler`]). `None` (the default)
+    /// declares the policy stateless: a crash loses nothing, and recovery
+    /// restores it via [`Autoscaler::reset_state`] plus journal replay.
+    /// Stateful policies must export *everything* their `decide` depends
+    /// on (learned models, duals, RNG positions) bit-exactly.
+    fn export_state(&self) -> Option<Json> {
+        None
+    }
+
+    /// Rebuild learner state from a checkpoint previously produced by
+    /// [`Autoscaler::export_state`] on the same scheme.
+    ///
+    /// # Errors
+    /// [`SimError::Policy`] when the state is malformed or the policy is
+    /// stateless (the default) — the recovery harness then routes to the
+    /// degraded fallback instead of trusting a half-restored controller.
+    fn import_state(&mut self, _state: &Json) -> Result<(), SimError> {
+        Err(SimError::Policy {
+            scheme: self.name(),
+            reason: "policy does not support checkpoint state import".to_string(),
+        })
+    }
+
+    /// Forget all learned state, returning to the fresh-start condition.
+    /// The default is a no-op, which is exactly right for stateless
+    /// policies; stateful ones must override it — the degraded-fallback
+    /// path relies on it to guarantee a *clean* cold start rather than a
+    /// half-poisoned one.
+    fn reset_state(&mut self) {}
 }
 
 /// Full record of one experiment run.
@@ -76,6 +110,18 @@ pub struct Trace {
     /// because the retry backoff had not yet elapsed.
     #[serde(default)]
     pub held_slots: usize,
+    /// Every control-plane recovery transition, in slot order (crash →
+    /// restored/degraded → resumed). Empty for runs without controller
+    /// faults, so legacy traces deserialize and compare unchanged.
+    #[serde(default)]
+    pub recovery_events: Vec<RecoveryEvent>,
+    /// Controller crashes absorbed by the recovery harness.
+    #[serde(default)]
+    pub controller_crashes: usize,
+    /// Slots spent in the degraded hold-last-deployment fallback (the
+    /// GP-rewarm window after an unrecoverable crash).
+    #[serde(default)]
+    pub fallback_slots: usize,
 }
 
 impl Trace {
@@ -209,10 +255,17 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff (in slots) after `consecutive_failures ≥ 1` failures.
+    ///
+    /// The doubling saturates instead of shifting bits off the word, and
+    /// the result is capped *strictly* at `max_backoff_slots` — a zero
+    /// cap genuinely means "retry next slot", and a huge base can no
+    /// longer wrap around to a tiny backoff.
     pub fn backoff_slots(&self, consecutive_failures: usize) -> usize {
         let k = consecutive_failures.max(1);
-        let shifted = self.base_backoff_slots << (k - 1).min(10);
-        shifted.min(self.max_backoff_slots).max(1)
+        let base = self.base_backoff_slots.max(1);
+        let exp = u32::try_from((k - 1).min(63)).unwrap_or(63);
+        let factor = 1usize.checked_shl(exp).unwrap_or(usize::MAX);
+        base.saturating_mul(factor).min(self.max_backoff_slots)
     }
 }
 
@@ -301,6 +354,367 @@ pub fn run_experiment_with(
         }
         trace.fault_events.extend(sim.drain_fault_events());
         trace.slots.push(metrics);
+    }
+    Ok(trace)
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe controller runtime.
+// ---------------------------------------------------------------------------
+
+/// Knobs for the crash-recovery harness ([`run_experiment_recoverable`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryOptions {
+    /// Checkpoint cadence in slots (a checkpoint is written after every
+    /// slot `t` with `t % checkpoint_every == 0`). Values < 1 behave as 1.
+    pub checkpoint_every: usize,
+    /// Staleness bound `m`: a checkpoint older than this many slots at
+    /// restore time is rejected ([`CheckpointError::Stale`]) and the run
+    /// degrades instead of resuming from ancient state.
+    pub max_checkpoint_age_slots: usize,
+    /// Degraded-fallback window: after an unrecoverable crash the harness
+    /// holds the current deployment for this many slots while the freshly
+    /// reset learner re-warms on live metrics, then resumes following it.
+    pub rewarm_slots: usize,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            checkpoint_every: 1,
+            max_checkpoint_age_slots: 8,
+            rewarm_slots: 6,
+        }
+    }
+}
+
+/// Why recovery routed to the degraded fallback instead of restoring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// No checkpoint had ever been written.
+    MissingCheckpoint,
+    /// The newest checkpoint blob failed its checksum (torn write).
+    TornCheckpoint,
+    /// The blob parsed but did not decode to a valid checkpoint.
+    MalformedCheckpoint,
+    /// The newest valid checkpoint exceeded the staleness bound.
+    StaleCheckpoint,
+    /// The checkpoint was written by a different autoscaler scheme.
+    SchemeMismatch,
+    /// The policy rejected the checkpointed learner state.
+    ImportFailed,
+    /// A journal record needed for replay failed its checksum.
+    JournalCorrupt,
+    /// A slot needed for replay had no journal record.
+    JournalGap,
+    /// Replay reproduced a different decision than the journal recorded —
+    /// the restored state cannot be trusted.
+    ReplayDivergence,
+}
+
+/// What the recovery harness did at one slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// The controller process crashed, losing all in-memory state.
+    Crash,
+    /// The checkpoint validated; journal replay rebuilt the exact
+    /// pre-crash state (`replayed_slots` records on top of the snapshot).
+    Restored {
+        checkpoint_slot: usize,
+        replayed_slots: usize,
+    },
+    /// Restore was impossible; the learner was reset and the deployment
+    /// held for the rewarm window.
+    Degraded { reason: DegradeReason },
+    /// The rewarm window elapsed; the harness resumed following the
+    /// learner's decisions.
+    Resumed,
+}
+
+/// One recovery transition, recorded into [`Trace::recovery_events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    pub slot: usize,
+    pub action: RecoveryAction,
+}
+
+/// Result of a restore attempt: the rebuilt harness-side state, or the
+/// reason to degrade. Hard policy errors (a `decide` failure during
+/// replay) abort the run like they would in the live loop.
+struct RestoredState {
+    sanitizer: MetricSanitizer,
+    consecutive_failures: usize,
+    next_attempt: usize,
+    checkpoint_slot: usize,
+    replayed_slots: usize,
+}
+
+fn degrade_reason_of(e: &CheckpointError) -> DegradeReason {
+    match e {
+        CheckpointError::Missing => DegradeReason::MissingCheckpoint,
+        CheckpointError::Torn { .. } => DegradeReason::TornCheckpoint,
+        CheckpointError::Malformed { .. } => DegradeReason::MalformedCheckpoint,
+        CheckpointError::Stale { .. } => DegradeReason::StaleCheckpoint,
+    }
+}
+
+/// Restore-and-replay: validate the newest checkpoint, import the learner
+/// state, and replay the journal records up to (excluding) `crash_slot`.
+/// Returns `Ok(Err(reason))` when the run must degrade, `Err(e)` only for
+/// hard policy errors.
+#[allow(clippy::too_many_arguments)]
+fn try_restore(
+    store: &CheckpointStore,
+    journal: &DecisionJournal,
+    scaler: &mut dyn Autoscaler,
+    crash_slot: usize,
+    opts: &ExperimentOptions,
+    rec: &RecoveryOptions,
+    max_tasks: usize,
+    budget: Option<usize>,
+) -> Result<Result<RestoredState, DegradeReason>, SimError> {
+    let ckpt: Checkpoint = match store.load_validated(crash_slot, rec.max_checkpoint_age_slots) {
+        Ok(c) => c,
+        Err(e) => return Ok(Err(degrade_reason_of(&e))),
+    };
+    if ckpt.scheme != scaler.name() {
+        return Ok(Err(DegradeReason::SchemeMismatch));
+    }
+    match &ckpt.scaler {
+        Some(state) => {
+            if scaler.import_state(state).is_err() {
+                return Ok(Err(DegradeReason::ImportFailed));
+            }
+        }
+        // A stateless policy's full state *is* the fresh state.
+        None => scaler.reset_state(),
+    }
+    let records = match journal.replay_range(ckpt.slot + 1, crash_slot) {
+        Ok(r) => r,
+        Err(JournalError::Corrupt { .. }) => return Ok(Err(DegradeReason::JournalCorrupt)),
+        Err(JournalError::Gap { .. }) => return Ok(Err(DegradeReason::JournalGap)),
+    };
+    let mut sanitizer = MetricSanitizer::from_snapshot(ckpt.sanitizer.clone());
+    let mut consecutive_failures = ckpt.retry.consecutive_failures;
+    let mut next_attempt = ckpt.retry.next_attempt;
+    let replayed_slots = records.len();
+    for r in &records {
+        let metrics = sanitizer.sanitize(r.raw.clone());
+        let before = Deployment {
+            tasks: r.deployment_before.clone(),
+        };
+        let proposal = scaler.decide(r.t, &metrics, &before)?;
+        let feasible = project_to_budget(proposal.clamped(max_tasks), budget);
+        if feasible.tasks != r.decided {
+            // The journal is the ground truth; a divergent replay means
+            // the restored learner state is wrong.
+            return Ok(Err(DegradeReason::ReplayDivergence));
+        }
+        match r.outcome {
+            ReconfigOutcome::Applied => consecutive_failures = 0,
+            ReconfigOutcome::Failed => {
+                consecutive_failures += 1;
+                next_attempt = r.t + opts.retry.backoff_slots(consecutive_failures);
+            }
+            ReconfigOutcome::Held => {}
+        }
+    }
+    Ok(Ok(RestoredState {
+        sanitizer,
+        consecutive_failures,
+        next_attempt,
+        checkpoint_slot: ckpt.slot,
+        replayed_slots,
+    }))
+}
+
+/// [`run_experiment_with`] under the crash-safe controller runtime.
+///
+/// In addition to the graceful-degradation policy of
+/// [`run_experiment_with`], the harness maintains the crash-tolerance
+/// machinery of DESIGN §10:
+///
+/// 1. after every slot it appends a checksummed [`JournalRecord`] (raw
+///    pre-sanitize metrics + decision + reconfiguration outcome) to the
+///    [`DecisionJournal`], and on the checkpoint cadence writes a
+///    [`Checkpoint`] of *all* controller state — the autoscaler's
+///    exported learner state, sanitizer history, and retry position;
+/// 2. control-plane faults from the plan's controller kinds
+///    ([`FaultKind::ControllerCrash`], [`FaultKind::CheckpointCorrupt`],
+///    [`FaultKind::CheckpointStale`], plus the stochastic
+///    `controller_crash_prob`) are driven on a dedicated salted RNG
+///    stream, so layering them onto data-plane chaos leaves the engine
+///    realization bit-identical;
+/// 3. on a crash the harness restores the newest checkpoint and replays
+///    the journal to the crash point — provably bit-identical to the
+///    uninterrupted run (`tests/recovery.rs`) — and when the checkpoint
+///    does not validate (torn, stale, missing, foreign, divergent) it
+///    degrades: learner reset, deployment held for
+///    [`RecoveryOptions::rewarm_slots`] slots, then resumes. Every
+///    transition lands in [`Trace::recovery_events`].
+///
+/// With an inert fault plan this runs the *exact* decision sequence of
+/// [`run_experiment_with`] (checkpointing and journaling never mutate
+/// controller state), so the two produce equal traces.
+///
+/// # Errors
+/// Any non-fault [`SimError`] raised by the oracle, the policy (live or
+/// during replay), or reconfiguration validation.
+pub fn run_experiment_recoverable(
+    sim: &mut FluidSim,
+    scaler: &mut dyn Autoscaler,
+    arrivals: &mut dyn ArrivalProcess,
+    slots: usize,
+    opts: ExperimentOptions,
+    rec: RecoveryOptions,
+) -> Result<Trace, SimError> {
+    let mut trace = Trace {
+        scheme: scaler.name(),
+        ..Default::default()
+    };
+    let mut sanitizer = MetricSanitizer::new(opts.sanitize);
+    let mut consecutive_failures = 0usize;
+    let mut next_attempt = 0usize;
+    let mut store = CheckpointStore::new();
+    let mut journal = DecisionJournal::new();
+    let mut driver = ControllerFaultDriver::new(sim.fault_plan().clone(), sim.seed());
+    let checkpoint_every = rec.checkpoint_every.max(1);
+    // End of the degraded-fallback window, when active.
+    let mut fallback_until: Option<usize> = None;
+    for t in 0..slots {
+        // -- control plane: faults fire at the top of the slot ------------
+        let cf = driver.begin_slot(t);
+        if cf.corrupt_checkpoint {
+            store.corrupt_latest();
+            trace.fault_events.push(FaultEvent {
+                slot: t,
+                kind: FaultKind::CheckpointCorrupt,
+                operator: None,
+                severity: 0.0,
+            });
+        }
+        if cf.crash {
+            trace.controller_crashes += 1;
+            trace.fault_events.push(FaultEvent {
+                slot: t,
+                kind: FaultKind::ControllerCrash,
+                operator: None,
+                severity: 0.0,
+            });
+            trace.recovery_events.push(RecoveryEvent {
+                slot: t,
+                action: RecoveryAction::Crash,
+            });
+            let max_tasks = sim.cluster().max_tasks_per_operator;
+            let budget = sim.cluster().budget_pods;
+            match try_restore(&store, &journal, scaler, t, &opts, &rec, max_tasks, budget)? {
+                Ok(restored) => {
+                    sanitizer = restored.sanitizer;
+                    consecutive_failures = restored.consecutive_failures;
+                    next_attempt = restored.next_attempt;
+                    fallback_until = None;
+                    trace.recovery_events.push(RecoveryEvent {
+                        slot: t,
+                        action: RecoveryAction::Restored {
+                            checkpoint_slot: restored.checkpoint_slot,
+                            replayed_slots: restored.replayed_slots,
+                        },
+                    });
+                }
+                Err(reason) => {
+                    // Unrecoverable: clean cold start + hold the current
+                    // deployment while the learner re-warms.
+                    scaler.reset_state();
+                    sanitizer = MetricSanitizer::new(opts.sanitize);
+                    consecutive_failures = 0;
+                    next_attempt = 0;
+                    fallback_until = Some(t + rec.rewarm_slots);
+                    trace.recovery_events.push(RecoveryEvent {
+                        slot: t,
+                        action: RecoveryAction::Degraded { reason },
+                    });
+                }
+            }
+        }
+        if let Some(until) = fallback_until {
+            if t >= until {
+                fallback_until = None;
+                trace.recovery_events.push(RecoveryEvent {
+                    slot: t,
+                    action: RecoveryAction::Resumed,
+                });
+            }
+        }
+
+        // -- data plane: identical ordering to `run_experiment_with` ------
+        let rates = arrivals.rates(t);
+        let deployment_before = sim.deployment().clone();
+        trace.deployments.push(deployment_before.clone());
+        trace.ideal_throughput.push(sim.ideal_throughput(&rates)?);
+        let raw = sim.run_slot(&rates);
+        let metrics = sanitizer.sanitize(raw.clone());
+        // `decide` runs even during fallback: the freshly reset learner
+        // re-warms on live metrics while its proposals are held back.
+        let proposal = scaler.decide(t, &metrics, sim.deployment())?;
+        let feasible = project_to_budget(
+            proposal.clamped(sim.cluster().max_tasks_per_operator),
+            sim.cluster().budget_pods,
+        );
+        let outcome = if fallback_until.is_some() {
+            trace.fallback_slots += 1;
+            ReconfigOutcome::Held
+        } else if t >= next_attempt {
+            match sim.reconfigure(feasible.clone()) {
+                Ok(()) => {
+                    consecutive_failures = 0;
+                    ReconfigOutcome::Applied
+                }
+                Err(SimError::ReconfigFailed { .. }) => {
+                    consecutive_failures += 1;
+                    trace.reconfig_failures += 1;
+                    next_attempt = t + opts.retry.backoff_slots(consecutive_failures);
+                    ReconfigOutcome::Failed
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            trace.held_slots += 1;
+            ReconfigOutcome::Held
+        };
+        trace.fault_events.extend(sim.drain_fault_events());
+        trace.slots.push(metrics);
+
+        // -- durability: journal the slot, checkpoint on cadence ----------
+        journal.append(&JournalRecord {
+            t,
+            raw,
+            deployment_before: deployment_before.tasks,
+            decided: feasible.tasks,
+            outcome,
+        });
+        if t % checkpoint_every == 0 {
+            if cf.suppress_checkpoint {
+                trace.fault_events.push(FaultEvent {
+                    slot: t,
+                    kind: FaultKind::CheckpointStale,
+                    operator: None,
+                    severity: 0.0,
+                });
+            } else {
+                store.write(&Checkpoint {
+                    version: crate::checkpoint::CHECKPOINT_VERSION,
+                    slot: t,
+                    scheme: trace.scheme.clone(),
+                    deployment: sim.deployment().tasks.clone(),
+                    scaler: scaler.export_state(),
+                    sanitizer: sanitizer.snapshot(),
+                    retry: RetrySnapshot {
+                        consecutive_failures,
+                        next_attempt,
+                    },
+                });
+            }
+        }
     }
     Ok(trace)
 }
@@ -519,6 +933,49 @@ mod tests {
             max_backoff_slots: 4,
         };
         assert_eq!(never_zero.backoff_slots(1), 1);
+    }
+
+    #[test]
+    fn backoff_cap_is_strict_even_for_degenerate_configs() {
+        // max = 0 means "retry every slot": the cap must win over the
+        // implicit base >= 1 floor.
+        let zero_cap = RetryPolicy {
+            base_backoff_slots: 3,
+            max_backoff_slots: 0,
+        };
+        for k in [1, 2, 10, 100] {
+            assert_eq!(zero_cap.backoff_slots(k), 0);
+        }
+        // base = 0 doubles from an implicit floor of 1 and still caps.
+        let zero_base = RetryPolicy {
+            base_backoff_slots: 0,
+            max_backoff_slots: 4,
+        };
+        assert_eq!(
+            (1..=4)
+                .map(|k| zero_base.backoff_slots(k))
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4, 4]
+        );
+        // Huge base: doubling must saturate, never wrap past the cap.
+        let huge_base = RetryPolicy {
+            base_backoff_slots: usize::MAX,
+            max_backoff_slots: 16,
+        };
+        assert_eq!(huge_base.backoff_slots(1), 16);
+        assert_eq!(huge_base.backoff_slots(7), 16);
+        let wrapping_base = RetryPolicy {
+            base_backoff_slots: 1 << 60,
+            max_backoff_slots: 32,
+        };
+        // Old code computed base << 10 with wrapping bits -> backoff 1.
+        assert_eq!(wrapping_base.backoff_slots(11), 32);
+        // Uncapped: saturates at usize::MAX instead of overflowing.
+        let uncapped = RetryPolicy {
+            base_backoff_slots: 2,
+            max_backoff_slots: usize::MAX,
+        };
+        assert_eq!(uncapped.backoff_slots(200), usize::MAX);
     }
 
     #[test]

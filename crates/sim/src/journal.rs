@@ -1,0 +1,323 @@
+//! The decision journal: an append-only, checksummed record of every
+//! control-plane decision, written by the harness as slots complete.
+//!
+//! A checkpoint alone can only restore the controller to the last
+//! snapshot; the journal closes the gap to the crash point. Each record
+//! stores the slot's *raw pre-sanitize* metrics, the deployment the
+//! decision saw, the post-projection decision, and the reconfiguration
+//! outcome. A restarted controller replays the records after its
+//! checkpoint slot — re-running `sanitize` and `decide` on the journaled
+//! inputs — which deterministically rebuilds the exact learner and
+//! sanitizer state at the crash point (the replay-identity guarantee
+//! validated in `tests/recovery.rs`).
+//!
+//! Records are framed with the same FNV-1a seal as checkpoints
+//! ([`crate::checkpoint::seal`]); a torn or missing record is detected at
+//! replay time and routes recovery to the degraded fallback instead of
+//! silently replaying wrong history.
+
+use crate::checkpoint::{decode_slot_metrics, encode_slot_metrics, seal, unseal, CheckpointError};
+use crate::json::{self, Json};
+use crate::metrics::SlotMetrics;
+
+/// What happened to the reconfiguration decided at a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconfigOutcome {
+    /// The decided deployment was applied.
+    Applied,
+    /// The attempt failed (injected fault); backoff advanced.
+    Failed,
+    /// No attempt was made (backoff window or degraded fallback hold).
+    Held,
+}
+
+impl ReconfigOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            ReconfigOutcome::Applied => "applied",
+            ReconfigOutcome::Failed => "failed",
+            ReconfigOutcome::Held => "held",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ReconfigOutcome> {
+        match s {
+            "applied" => Some(ReconfigOutcome::Applied),
+            "failed" => Some(ReconfigOutcome::Failed),
+            "held" => Some(ReconfigOutcome::Held),
+            _ => None,
+        }
+    }
+}
+
+/// One slot's journal entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalRecord {
+    pub t: usize,
+    /// Raw engine snapshot *before* sanitization — replay re-runs the
+    /// sanitizer so its internal history is rebuilt exactly.
+    pub raw: SlotMetrics,
+    /// Deployment in effect when the decision was made.
+    pub deployment_before: Vec<usize>,
+    /// The decided (clamped + budget-projected) target deployment.
+    pub decided: Vec<usize>,
+    pub outcome: ReconfigOutcome,
+}
+
+/// Why a journal range could not be replayed. Like checkpoint failures,
+/// these route recovery to the degraded fallback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// A record failed its checksum or did not decode.
+    Corrupt { index: usize, detail: String },
+    /// A slot in the requested range has no record.
+    Gap { slot: usize },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Corrupt { index, detail } => {
+                write!(f, "journal record {index} corrupt: {detail}")
+            }
+            JournalError::Gap { slot } => {
+                write!(f, "journal has no record for slot {slot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl JournalRecord {
+    /// Serializes to a sealed line.
+    pub fn encode(&self) -> String {
+        let body = Json::Obj(vec![
+            ("t".to_string(), json::num(self.t)),
+            ("raw".to_string(), encode_slot_metrics(&self.raw)),
+            (
+                "deployment_before".to_string(),
+                Json::Arr(
+                    self.deployment_before
+                        .iter()
+                        .map(|&x| json::num(x))
+                        .collect(),
+                ),
+            ),
+            (
+                "decided".to_string(),
+                Json::Arr(self.decided.iter().map(|&x| json::num(x)).collect()),
+            ),
+            (
+                "outcome".to_string(),
+                Json::Str(self.outcome.as_str().to_string()),
+            ),
+        ]);
+        seal(&body.render())
+    }
+
+    /// Deserializes a sealed line.
+    pub fn decode(line: &str) -> Result<JournalRecord, String> {
+        let body = unseal(line)?;
+        let j = json::parse_json(body)?;
+        let field = |k: &str| format!("missing/invalid field `{k}`");
+        Ok(JournalRecord {
+            t: j.get("t")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| field("t"))?,
+            raw: decode_slot_metrics(j.get("raw").ok_or_else(|| field("raw"))?)
+                .map_err(|e: CheckpointError| e.to_string())?,
+            deployment_before: j
+                .get("deployment_before")
+                .and_then(json::usize_vec)
+                .ok_or_else(|| field("deployment_before"))?,
+            decided: j
+                .get("decided")
+                .and_then(json::usize_vec)
+                .ok_or_else(|| field("decided"))?,
+            outcome: j
+                .get("outcome")
+                .and_then(Json::as_str)
+                .and_then(ReconfigOutcome::from_str)
+                .ok_or_else(|| field("outcome"))?,
+        })
+    }
+}
+
+/// The append-only journal. In-memory (the simulator's "durable" log) —
+/// one sealed line per slot, never rewritten.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionJournal {
+    lines: Vec<String>,
+}
+
+impl DecisionJournal {
+    pub fn new() -> DecisionJournal {
+        DecisionJournal::default()
+    }
+
+    /// Appends one slot's record.
+    pub fn append(&mut self, record: &JournalRecord) {
+        self.lines.push(record.encode());
+    }
+
+    /// Number of appended records.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Chaos hook: tear the record at `index` (truncated tail, as a crash
+    /// mid-append would leave). No-op when out of range.
+    pub fn corrupt_record(&mut self, index: usize) {
+        if let Some(line) = self.lines.get_mut(index) {
+            let keep = line.len() / 2;
+            line.truncate(keep);
+        }
+    }
+
+    /// Decodes and returns the records for slots `from_slot..to_slot`
+    /// (half-open), in slot order, verifying checksums and completeness.
+    /// Only records overlapping the range are decoded, so a torn record
+    /// *outside* the range does not block recovery.
+    pub fn replay_range(
+        &self,
+        from_slot: usize,
+        to_slot: usize,
+    ) -> Result<Vec<JournalRecord>, JournalError> {
+        let mut by_slot: Vec<Option<JournalRecord>> = vec![None; to_slot.saturating_sub(from_slot)];
+        // Sealed lines are opaque until decoded, so decode everything; a
+        // corrupt line only fails the replay if the range ends up
+        // incomplete (it may have held a slot we need).
+        let mut first_corrupt: Option<(usize, String)> = None;
+        for (index, line) in self.lines.iter().enumerate() {
+            match JournalRecord::decode(line) {
+                Ok(rec) => {
+                    if rec.t >= from_slot && rec.t < to_slot {
+                        if let Some(cell) = by_slot.get_mut(rec.t - from_slot) {
+                            *cell = Some(rec);
+                        }
+                    }
+                }
+                Err(detail) => {
+                    if first_corrupt.is_none() {
+                        first_corrupt = Some((index, detail));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(by_slot.len());
+        for (offset, cell) in by_slot.into_iter().enumerate() {
+            match cell {
+                Some(rec) => out.push(rec),
+                None => {
+                    // Corruption is the actionable cause when present —
+                    // the missing slot was likely inside the torn record.
+                    return Err(match first_corrupt {
+                        Some((index, detail)) => JournalError::Corrupt { index, detail },
+                        None => JournalError::Gap {
+                            slot: from_slot + offset,
+                        },
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::OperatorMetrics;
+
+    fn record(t: usize) -> JournalRecord {
+        JournalRecord {
+            t,
+            raw: SlotMetrics {
+                t,
+                sim_time_secs: 600.0 * crate::convert::usize_to_f64(t + 1),
+                throughput: 90.5,
+                processed_tuples: 54_300.0,
+                dropped_tuples: 0.0,
+                cost_dollars: 0.05,
+                pods: 2,
+                source_rates: vec![100.0],
+                reconfigured: false,
+                pause_secs: 0.0,
+                operators: vec![OperatorMetrics {
+                    name: "op".to_string(),
+                    tasks: 2,
+                    input_rate: 100.0,
+                    input_rates: vec![100.0],
+                    output_rate: 90.5,
+                    offered_load: 100.0,
+                    cpu_util: 0.55,
+                    capacity_sample: f64::NAN, // raw records may carry NaN
+                    buffer_tuples: 3.25,
+                    latency_estimate_secs: 0.02,
+                    backpressure: false,
+                    degraded: false,
+                }],
+            },
+            deployment_before: vec![2],
+            decided: vec![3],
+            outcome: ReconfigOutcome::Applied,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_nan_payloads() {
+        let rec = record(4);
+        let back = JournalRecord::decode(&rec.encode()).expect("decode");
+        assert_eq!(back.t, rec.t);
+        assert_eq!(back.decided, rec.decided);
+        assert_eq!(back.outcome, rec.outcome);
+        // NaN != NaN, so compare bits explicitly.
+        assert_eq!(
+            back.raw.operators[0].capacity_sample.to_bits(),
+            rec.raw.operators[0].capacity_sample.to_bits()
+        );
+    }
+
+    #[test]
+    fn replay_range_returns_slots_in_order() {
+        let mut journal = DecisionJournal::new();
+        for t in 0..10 {
+            journal.append(&record(t));
+        }
+        let recs = journal.replay_range(3, 7).expect("replay");
+        assert_eq!(
+            recs.iter().map(|r| r.t).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        assert!(journal.replay_range(5, 5).expect("empty range").is_empty());
+    }
+
+    #[test]
+    fn corrupt_record_fails_replay_loudly() {
+        let mut journal = DecisionJournal::new();
+        for t in 0..6 {
+            journal.append(&record(t));
+        }
+        journal.corrupt_record(4);
+        match journal.replay_range(2, 6) {
+            Err(JournalError::Corrupt { index: 4, .. }) => {}
+            other => panic!("expected Corrupt at 4, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_slot_is_a_gap() {
+        let mut journal = DecisionJournal::new();
+        journal.append(&record(0));
+        journal.append(&record(2)); // slot 1 never journaled
+        match journal.replay_range(0, 3) {
+            Err(JournalError::Gap { slot: 1 }) => {}
+            other => panic!("expected Gap at 1, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Minimal self-contained JSON codec for crash-safe controller state.
+//!
+//! Checkpoints ([`crate::checkpoint`]) and decision journals
+//! ([`crate::journal`]) must round-trip even in offline builds where the
+//! real `serde`/`serde_json` crates are replaced by compile-only stubs
+//! (the 13 known stub-only test failures tracked in ROADMAP.md). This
+//! module is the shared, dependency-free codec they use instead: the
+//! same minimal JSON machinery `dragster-lint` carries privately in
+//! `crates/lint/src/report.rs`, extracted and extended with a writer and
+//! bit-exact `f64` round-tripping. The lint crate keeps its own copy on
+//! purpose — it must be able to lint the workspace even when the
+//! dependency graph (including this crate) is broken.
+//!
+//! Floating-point state is serialized as the 16-hex-digit IEEE-754 bit
+//! pattern ([`f64_to_hex`]/[`f64_from_hex`]), never as decimal text:
+//! replay-identity after a crash requires *bit*-identical restored
+//! state, and decimal formatting is lossy for that purpose.
+
+// ---------------------------------------------------------------------------
+// Value type.
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integral number ≤ 2^53 (exactly representable).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                crate::convert::f64_to_usize_saturating(*x).into()
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A float stored as its hex bit pattern (the bit-exact encoding this
+    /// codec uses for all learner state).
+    pub fn as_f64_bits(&self) -> Option<f64> {
+        self.as_str().and_then(f64_from_hex)
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+                        // Integral values print without a fraction so
+                        // counts/slots re-parse via `as_usize`.
+                        out.push_str(&format!("{:.0}", x));
+                    } else {
+                        // `{:?}` is Rust's shortest round-trip formatting.
+                        out.push_str(&format!("{:?}", x));
+                    }
+                } else {
+                    // JSON has no NaN/Inf; bit-exact floats travel as hex
+                    // strings, so a non-finite Num is a caller bug — encode
+                    // as null rather than emitting invalid JSON.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&esc(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&esc(k));
+                    out.push_str("\":");
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact scalar encodings.
+// ---------------------------------------------------------------------------
+
+/// Encodes an `f64` as its 16-hex-digit IEEE-754 bit pattern. Unlike any
+/// decimal rendering, this round-trips every value (including NaN
+/// payloads, signed zeros, and subnormals) bit-for-bit.
+pub fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`f64_to_hex`]. Rejects anything but exactly 16 hex digits.
+pub fn f64_from_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Encodes a `u64` (RNG words, checksums) as 16 hex digits.
+pub fn u64_to_hex(v: u64) -> String {
+    format!("{:016x}", v)
+}
+
+/// Inverse of [`u64_to_hex`]. Rejects anything but exactly 16 hex digits.
+pub fn u64_from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// FNV-1a 64-bit hash — the checksum for checkpoint blobs and journal
+/// records (the same construction the lint baseline uses for finding
+/// fingerprints). Not cryptographic; it detects torn/corrupt records,
+/// not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document (objects, arrays, strings, numbers, literals).
+/// Strict enough for round-tripping the documents this module writes;
+/// trailing garbage is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing garbage at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], p: &mut usize) {
+    while c.get(*p).is_some_and(|ch| ch.is_whitespace()) {
+        *p += 1;
+    }
+}
+
+fn parse_value(c: &[char], p: &mut usize) -> Result<Json, String> {
+    skip_ws(c, p);
+    let Some(&ch) = c.get(*p) else {
+        return Err("unexpected end of input".to_string());
+    };
+    match ch {
+        '{' => {
+            *p += 1;
+            let mut pairs = Vec::new();
+            skip_ws(c, p);
+            if c.get(*p) == Some(&'}') {
+                *p += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(c, p);
+                let Json::Str(key) = parse_value(c, p)? else {
+                    return Err(format!("object key must be a string at offset {p}"));
+                };
+                skip_ws(c, p);
+                if c.get(*p) != Some(&':') {
+                    return Err(format!("expected ':' at offset {p}"));
+                }
+                *p += 1;
+                let val = parse_value(c, p)?;
+                pairs.push((key, val));
+                skip_ws(c, p);
+                match c.get(*p) {
+                    Some(',') => *p += 1,
+                    Some('}') => {
+                        *p += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {p}")),
+                }
+            }
+        }
+        '[' => {
+            *p += 1;
+            let mut items = Vec::new();
+            skip_ws(c, p);
+            if c.get(*p) == Some(&']') {
+                *p += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(c, p)?);
+                skip_ws(c, p);
+                match c.get(*p) {
+                    Some(',') => *p += 1,
+                    Some(']') => {
+                        *p += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {p}")),
+                }
+            }
+        }
+        '"' => {
+            *p += 1;
+            let mut s = String::new();
+            while let Some(&ch) = c.get(*p) {
+                match ch {
+                    '"' => {
+                        *p += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    '\\' => {
+                        *p += 1;
+                        let Some(&e) = c.get(*p) else {
+                            return Err("unterminated escape".to_string());
+                        };
+                        match e {
+                            '"' => s.push('"'),
+                            '\\' => s.push('\\'),
+                            '/' => s.push('/'),
+                            'n' => s.push('\n'),
+                            'r' => s.push('\r'),
+                            't' => s.push('\t'),
+                            'b' => s.push('\u{8}'),
+                            'f' => s.push('\u{c}'),
+                            'u' => {
+                                let hex: String = c
+                                    .get(*p + 1..*p + 5)
+                                    .ok_or("truncated \\u escape")?
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *p += 4;
+                            }
+                            other => return Err(format!("bad escape '\\{other}'")),
+                        }
+                        *p += 1;
+                    }
+                    _ => {
+                        s.push(ch);
+                        *p += 1;
+                    }
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        't' | 'f' | 'n' => {
+            for (lit, val) in [
+                ("true", Json::Bool(true)),
+                ("false", Json::Bool(false)),
+                ("null", Json::Null),
+            ] {
+                let end = *p + lit.len();
+                if let Some(span) = c.get(*p..end) {
+                    if span.iter().collect::<String>() == lit {
+                        *p = end;
+                        return Ok(val);
+                    }
+                }
+            }
+            Err(format!("bad literal at offset {p}"))
+        }
+        _ => {
+            let start = *p;
+            while c
+                .get(*p)
+                .is_some_and(|ch| ch.is_ascii_digit() || matches!(ch, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                *p += 1;
+            }
+            let text: String = c.get(start..*p).unwrap_or(&[]).iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convenience builders for the checkpoint/journal encoders.
+// ---------------------------------------------------------------------------
+
+/// `Json::Num` from a usize (counts, slot indices). Values above 2^53
+/// would lose precision; the simulator never produces them, and the
+/// saturating conversion keeps the encoder total.
+pub fn num(v: usize) -> Json {
+    Json::Num(crate::convert::usize_to_f64(v))
+}
+
+/// A float as its bit-exact hex string.
+pub fn bits(v: f64) -> Json {
+    Json::Str(f64_to_hex(v))
+}
+
+/// An array of floats as bit-exact hex strings.
+pub fn bits_arr(vs: &[f64]) -> Json {
+    Json::Arr(vs.iter().map(|&v| bits(v)).collect())
+}
+
+/// Decodes an array of bit-exact hex floats.
+pub fn bits_vec(j: &Json) -> Option<Vec<f64>> {
+    j.as_arr()?.iter().map(Json::as_f64_bits).collect()
+}
+
+/// Decodes an array of usizes.
+pub fn usize_vec(j: &Json) -> Option<Vec<usize>> {
+    j.as_arr()?.iter().map(Json::as_usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let doc = Json::Obj(vec![
+            ("version".to_string(), num(1)),
+            ("name".to_string(), Json::Str("op \"a\"\n\\x".to_string())),
+            (
+                "xs".to_string(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), num(42)]),
+            ),
+            ("cap".to_string(), bits(1234.5678e-3)),
+        ]);
+        let text = doc.render();
+        let back = parse_json(&text).expect("roundtrip parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn f64_hex_is_bit_exact() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -3.918_243_1e-17,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let hex = f64_to_hex(v);
+            let back = f64_from_hex(&hex).expect("parse hex");
+            assert_eq!(back.to_bits(), v.to_bits(), "bits differ for {v}");
+        }
+        // NaN payload survives too (plain equality can't see this).
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let back = f64_from_hex(&f64_to_hex(nan)).expect("parse NaN hex");
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn f64_hex_rejects_malformed() {
+        assert_eq!(f64_from_hex(""), None);
+        assert_eq!(f64_from_hex("123"), None);
+        assert_eq!(f64_from_hex("zzzzzzzzzzzzzzzz"), None);
+        assert_eq!(f64_from_hex("00000000000000000"), None);
+    }
+
+    #[test]
+    fn integral_numbers_reparse_as_usize() {
+        let text = num(7).render();
+        assert_eq!(text, "7");
+        let back = parse_json(&text).expect("parse");
+        assert_eq!(back.as_usize(), Some(7));
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_bad_docs() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,").is_err());
+        assert!(parse_json("\"open").is_err());
+        assert!(parse_json("tru").is_err());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

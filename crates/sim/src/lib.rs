@@ -34,6 +34,7 @@
 //! sanitization applied before any autoscaler sees a snapshot).
 
 pub mod capacity;
+pub mod checkpoint;
 pub mod cluster;
 pub mod convert;
 pub mod des;
@@ -41,21 +42,30 @@ pub mod error;
 pub mod faults;
 pub mod fluid;
 pub mod harness;
+pub mod journal;
+pub mod json;
 pub mod metrics;
 pub mod noise;
 pub mod sanitize;
 
 pub use capacity::{Application, CapacityModel};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, RetrySnapshot};
 pub use cluster::{ClusterConfig, CostMeter, Deployment};
 pub use convert::{f64_to_usize_saturating, usize_to_f64};
 pub use des::DesSim;
 pub use error::SimError;
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates, FaultState, ScriptedFault};
+pub use faults::{
+    ControllerFault, ControllerFaultDriver, FaultEvent, FaultKind, FaultPlan, FaultRates,
+    FaultState, ScriptedFault,
+};
 pub use fluid::FluidSim;
 pub use harness::{
-    run_experiment, run_experiment_with, ArrivalProcess, Autoscaler, ConstantArrival,
-    ExperimentOptions, RetryPolicy, Trace,
+    run_experiment, run_experiment_recoverable, run_experiment_with, ArrivalProcess, Autoscaler,
+    ConstantArrival, DegradeReason, ExperimentOptions, RecoveryAction, RecoveryEvent,
+    RecoveryOptions, RetryPolicy, Trace,
 };
+pub use journal::{DecisionJournal, JournalError, JournalRecord, ReconfigOutcome};
+pub use json::Json;
 pub use metrics::{OperatorMetrics, SlotMetrics};
 pub use noise::{FailureModel, NoiseConfig, OvercommitModel, Rng};
-pub use sanitize::{MetricSanitizer, SanitizeConfig};
+pub use sanitize::{MetricSanitizer, SanitizeConfig, SanitizerSnapshot};

@@ -86,6 +86,24 @@ impl Rng {
     pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
         mean + std * self.gaussian()
     }
+
+    /// Snapshot of the generator position: the four xoshiro state words
+    /// plus the cached Box–Muller spare. Used by controller checkpoints
+    /// ([`crate::checkpoint`]) so a restored run resumes the *same*
+    /// stream rather than reseeding — reseeding would silently break the
+    /// replay-identity guarantee.
+    pub fn save_state(&self) -> ([u64; 4], Option<f64>) {
+        (self.s, self.spare)
+    }
+
+    /// Rebuilds a generator at a saved position (inverse of
+    /// [`Rng::save_state`]). This is *not* a seeding constructor: the
+    /// words must come from a generator that was itself seeded from the
+    /// master experiment seed, preserving the L6/L10 provenance
+    /// discipline.
+    pub fn restore_state(state: [u64; 4], spare: Option<f64>) -> Rng {
+        Rng { s: state, spare }
+    }
 }
 
 /// Utilization-dependent capacity degradation modeling overcommitted

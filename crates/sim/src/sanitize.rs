@@ -107,8 +107,32 @@ impl MetricSanitizer {
                 || om.latency_estimate_secs < 0.0
                 || om.input_rates.iter().any(|r| !r.is_finite() || *r < 0.0);
             if unusable {
-                // Impute every bad field from the last valid reading.
                 let prev = self.last_valid.get(i).cloned().flatten();
+                let Some(prev) = prev else {
+                    // All-dropout window: no valid sample has *ever* been
+                    // accepted for this operator, so there is nothing to
+                    // impute from. Mixing the reading's surviving raw
+                    // fields with zero-imputed ones would fabricate a
+                    // half-real observation; return the canonical
+                    // explicitly-degraded reading instead (identity
+                    // fields kept, every measurement zeroed, flagged), so
+                    // downstream clean-gates skip it wholesale.
+                    om.input_rate = 0.0;
+                    for r in om.input_rates.iter_mut() {
+                        *r = 0.0;
+                    }
+                    om.output_rate = 0.0;
+                    om.offered_load = 0.0;
+                    om.cpu_util = 0.0;
+                    om.capacity_sample = 0.0;
+                    om.buffer_tuples = 0.0;
+                    om.latency_estimate_secs = 0.0;
+                    om.backpressure = false;
+                    om.degraded = true;
+                    continue;
+                };
+                // Impute every bad field from the last valid reading.
+                let prev = Some(prev);
                 let fb = |f: fn(&OperatorMetrics) -> f64| prev.as_ref().map_or(0.0, f);
                 om.cpu_util = repair(om.cpu_util, fb(|p| p.cpu_util));
                 om.capacity_sample = repair(om.capacity_sample, fb(|p| p.capacity_sample));
@@ -158,6 +182,44 @@ impl MetricSanitizer {
         }
         m
     }
+
+    /// Snapshot of the full sanitizer state for controller checkpoints
+    /// ([`crate::checkpoint`]). Restoring via
+    /// [`MetricSanitizer::from_snapshot`] yields a sanitizer whose future
+    /// outputs are bit-identical to the original's — required for
+    /// crash-replay identity, since the sanitizer sits between the raw
+    /// journal records and the autoscaler.
+    pub fn snapshot(&self) -> SanitizerSnapshot {
+        SanitizerSnapshot {
+            cfg: self.cfg,
+            last_valid: self.last_valid.clone(),
+            per_task_max: self.per_task_max.clone(),
+            accepted: self.accepted.clone(),
+        }
+    }
+
+    /// Rebuild a sanitizer from a checkpointed snapshot.
+    pub fn from_snapshot(s: SanitizerSnapshot) -> MetricSanitizer {
+        MetricSanitizer {
+            cfg: s.cfg,
+            last_valid: s.last_valid,
+            per_task_max: s.per_task_max,
+            accepted: s.accepted,
+        }
+    }
+}
+
+/// Exported sanitizer state (see [`MetricSanitizer::snapshot`]). Fields
+/// are public so the checkpoint codec can encode them without `serde`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SanitizerSnapshot {
+    pub cfg: SanitizeConfig,
+    /// Last clean (non-degraded) reading per operator.
+    pub last_valid: Vec<Option<OperatorMetrics>>,
+    /// Running max of accepted per-task capacity samples.
+    pub per_task_max: Vec<f64>,
+    /// Accepted-sample count per operator.
+    pub accepted: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -301,5 +363,66 @@ mod tests {
         // and it did not enter the history
         let out2 = s.sanitize(slot(vec![op(f64::NAN, 0.5)]));
         assert_eq!(out2.operators[0].capacity_sample, 0.0);
+    }
+
+    #[test]
+    fn first_slot_dropout_is_an_explicit_degraded_reading() {
+        // Regression: before the fix, an unusable first-slot reading kept
+        // its surviving raw fields (cpu_util 0.5 here) while zero-imputing
+        // the broken ones — a fabricated half-real observation. With no
+        // last-valid sample ever seen, the sanitizer must return the
+        // canonical fully-zeroed degraded reading instead.
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        let mut bad = op(f64::NAN, 0.5);
+        bad.backpressure = true;
+        let out = s.sanitize(slot(vec![bad]));
+        let o = &out.operators[0];
+        assert!(o.degraded);
+        assert_eq!(o.capacity_sample, 0.0);
+        assert_eq!(o.cpu_util, 0.0, "raw fields must not leak through");
+        assert_eq!(o.input_rate, 0.0);
+        assert_eq!(o.input_rates, vec![0.0]);
+        assert_eq!(o.output_rate, 0.0);
+        assert_eq!(o.offered_load, 0.0);
+        assert_eq!(o.buffer_tuples, 0.0);
+        assert_eq!(o.latency_estimate_secs, 0.0);
+        assert!(!o.backpressure);
+        // identity fields survive
+        assert_eq!(o.name, "op");
+        assert_eq!(o.tasks, 2);
+    }
+
+    #[test]
+    fn nan_only_window_stays_explicitly_degraded() {
+        // A window where *every* slot drops out never seeds history: each
+        // reading must come back fully zeroed and flagged, and the first
+        // clean reading afterwards must pass through untouched.
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        for _ in 0..5 {
+            let out = s.sanitize(slot(vec![op(f64::NAN, f64::NAN)]));
+            let o = &out.operators[0];
+            assert!(o.degraded);
+            assert_eq!(o.capacity_sample, 0.0);
+            assert_eq!(o.cpu_util, 0.0);
+            assert_eq!(o.output_rate, 0.0);
+        }
+        let clean = slot(vec![op(220.0, 0.4)]);
+        let out = s.sanitize(clean.clone());
+        assert_eq!(out, clean);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_behaviour() {
+        let mut s = MetricSanitizer::new(SanitizeConfig::default());
+        for _ in 0..3 {
+            let _ = s.sanitize(slot(vec![op(200.0, 0.5)]));
+        }
+        let mut restored = MetricSanitizer::from_snapshot(s.snapshot());
+        // Both must clamp the same spike identically and impute the same
+        // dropout identically.
+        let spike = slot(vec![op(200.0 * 50.0, 0.5)]);
+        assert_eq!(s.sanitize(spike.clone()), restored.sanitize(spike));
+        let dropout = slot(vec![op(f64::NAN, f64::NAN)]);
+        assert_eq!(s.sanitize(dropout.clone()), restored.sanitize(dropout));
     }
 }
