@@ -1,0 +1,181 @@
+//! Per-slot controller hot-path microbenchmark.
+//!
+//! Times the control-plane work of one decision slot — sanitize, decide
+//! (incl. clamping and budget projection), and journal append — with the
+//! simulator's own `run_slot` timed separately so engine cost never
+//! pollutes the controller numbers. This is the measurement behind
+//! DESIGN.md §11: Theorem 1's regret bound assumes the controller's
+//! decision latency is negligible against the slot length, and the L16
+//! cost ratchet exists to keep it that way.
+//!
+//! ```text
+//! cargo run --release -p dragster-bench --bin hotpath -- <label>
+//! ```
+//!
+//! Results merge into `results/hotpath.json` under `<label>` (default
+//! `current`), so a `before` run followed by an `after` run yields one
+//! file with both sides of a perf change.
+
+use std::time::Instant;
+
+use dragster_bench::runner::make_scaler;
+use dragster_bench::runner::Scheme;
+use dragster_sim::fluid::SimConfig;
+use dragster_sim::harness::project_to_budget;
+use dragster_sim::json::{self, Json};
+use dragster_sim::{
+    ArrivalProcess, ClusterConfig, ConstantArrival, DecisionJournal, Deployment, FluidSim,
+    JournalRecord, MetricSanitizer, NoiseConfig, ReconfigOutcome, SanitizeConfig,
+};
+use dragster_workloads::word_count;
+
+const SLOTS: usize = 60;
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Nanosecond samples for one timed section.
+#[derive(Default)]
+struct Section {
+    samples: Vec<u128>,
+}
+
+impl Section {
+    fn push(&mut self, ns: u128) {
+        self.samples.push(ns);
+    }
+
+    fn mean_ns(&self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.iter().sum::<u128>() / self.samples.len() as u128
+    }
+
+    fn p95_ns(&self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 95 / 100]
+    }
+}
+
+fn ns(v: u128) -> Json {
+    json::num(usize::try_from(v).unwrap_or(usize::MAX))
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    let w = word_count().expect("workload builds");
+
+    let mut sim_s = Section::default();
+    let mut sanitize_s = Section::default();
+    let mut decide_s = Section::default();
+    let mut journal_s = Section::default();
+    let mut controller_s = Section::default();
+
+    for &seed in &SEEDS {
+        let mut sim = FluidSim::new(
+            w.app.clone(),
+            ClusterConfig::default(),
+            SimConfig::default(),
+            NoiseConfig::default(),
+            seed,
+            Deployment::uniform(2, 1),
+        )
+        .expect("simulator accepts the application");
+        let mut scaler = make_scaler(Scheme::DragsterSaddle, &w.app, Some(200), seed);
+        let mut arr = ConstantArrival(w.high_rate.clone());
+        let mut sanitizer = MetricSanitizer::new(SanitizeConfig::default());
+        let mut journal = DecisionJournal::new();
+        let max_tasks = sim.cluster().max_tasks_per_operator;
+        let budget = sim.cluster().budget_pods;
+
+        for t in 0..SLOTS {
+            let rates = arr.rates(t);
+            let deployment_before = sim.deployment().tasks.clone();
+
+            let t0 = Instant::now();
+            let raw = sim.run_slot(&rates);
+            sim_s.push(t0.elapsed().as_nanos());
+
+            // Controller section mirrors `run_experiment_recoverable`'s
+            // data plane: the raw clone is journal prep, charged there.
+            let t1 = Instant::now();
+            let for_journal = raw.clone();
+            let metrics = sanitizer.sanitize(raw);
+            let sanitize_ns = t1.elapsed().as_nanos();
+
+            let t2 = Instant::now();
+            let proposal = scaler
+                .decide(t, &metrics, sim.deployment())
+                .expect("decide succeeds");
+            let feasible = project_to_budget(proposal.clamped(max_tasks), budget);
+            let decide_ns = t2.elapsed().as_nanos();
+
+            let t3 = Instant::now();
+            journal.append(&JournalRecord {
+                t,
+                raw: for_journal,
+                deployment_before,
+                decided: feasible.tasks.clone(),
+                outcome: ReconfigOutcome::Applied,
+            });
+            let journal_ns = t3.elapsed().as_nanos();
+
+            sanitize_s.push(sanitize_ns);
+            decide_s.push(decide_ns);
+            journal_s.push(journal_ns);
+            controller_s.push(sanitize_ns + decide_ns + journal_ns);
+
+            sim.reconfigure(feasible).expect("reconfigure succeeds");
+        }
+    }
+
+    let stats = Json::Obj(vec![
+        ("slots".to_string(), json::num(SLOTS)),
+        ("seeds".to_string(), json::num(SEEDS.len())),
+        (
+            "controller_mean_ns_per_slot".to_string(),
+            ns(controller_s.mean_ns()),
+        ),
+        (
+            "controller_p95_ns_per_slot".to_string(),
+            ns(controller_s.p95_ns()),
+        ),
+        ("sanitize_mean_ns".to_string(), ns(sanitize_s.mean_ns())),
+        ("decide_mean_ns".to_string(), ns(decide_s.mean_ns())),
+        ("journal_mean_ns".to_string(), ns(journal_s.mean_ns())),
+        ("sim_mean_ns_per_slot".to_string(), ns(sim_s.mean_ns())),
+    ]);
+
+    // Merge under `label`, preserving other labels already in the file.
+    let path = std::path::Path::new("results/hotpath.json");
+    let mut pairs: Vec<(String, Json)> = match std::fs::read_to_string(path) {
+        Ok(text) => match json::parse_json(&text) {
+            Ok(Json::Obj(pairs)) => pairs,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    if let Some(slot) = pairs.iter_mut().find(|(k, _)| *k == label) {
+        slot.1 = stats;
+    } else {
+        pairs.push((label.clone(), stats));
+    }
+    std::fs::create_dir_all("results").expect("results dir");
+    let mut out = Json::Obj(pairs).render();
+    out.push('\n');
+    std::fs::write(path, out).expect("write results/hotpath.json");
+
+    println!(
+        "hotpath[{label}]: controller mean {} us, p95 {} us (sanitize {} us, decide {} us, \
+         journal {} us); sim {} us per slot",
+        controller_s.mean_ns() / 1_000,
+        controller_s.p95_ns() / 1_000,
+        sanitize_s.mean_ns() / 1_000,
+        decide_s.mean_ns() / 1_000,
+        journal_s.mean_ns() / 1_000,
+        sim_s.mean_ns() / 1_000,
+    );
+}

@@ -119,6 +119,30 @@ pub struct Dragster {
     /// deterministic given the same observation stream).
     rng: dragster_sim::Rng,
     t: usize,
+    /// Reusable per-decide scratch buffers. Derived state rebuilt from
+    /// scratch every slot — deliberately absent from checkpoints (L18
+    /// coverage applies to learner state, not working memory), and reused
+    /// via `mem::take` so the decide hot path allocates nothing for them
+    /// after the first slot (L16).
+    scratch: DecideScratch,
+}
+
+/// Working memory for [`Dragster::decide`] (see the `scratch` field).
+#[derive(Default)]
+struct DecideScratch {
+    /// Constraint values `l_i` for the dual step.
+    l_values: Vec<f64>,
+    /// Offered loads in capacity-index order.
+    loads: Vec<f64>,
+    /// Warm-start vector for the inner solver.
+    warm: Vec<f64>,
+    /// Per-operator acquisition tables (outer vec only; the tables
+    /// themselves come from the GP layer).
+    tables: Vec<Vec<f64>>,
+    /// (operator, gap) ranking for sequential-bottleneck mode.
+    gaps: Vec<(usize, f64)>,
+    /// Dense adjustable-operator mask for sequential-bottleneck mode.
+    adjustable: Vec<bool>,
 }
 
 impl Dragster {
@@ -145,6 +169,7 @@ impl Dragster {
             topo,
             cfg,
             t: 0,
+            scratch: DecideScratch::default(),
         }
     }
 
@@ -283,7 +308,9 @@ impl Autoscaler for Dragster {
         let rates = &metrics.source_rates;
 
         // ---- line 3: observe; line 5: GP posterior update (Eq. 17). ----
-        let mut l_values = vec![0.0; m];
+        let mut l_values = std::mem::take(&mut self.scratch.l_values);
+        l_values.clear();
+        l_values.resize(m, 0.0);
         for (i, om) in metrics.operators.iter().enumerate() {
             // A degraded reading (dropped/stale/imputed scrape) or a
             // non-finite field must never reach the GP posterior or the
@@ -326,69 +353,86 @@ impl Autoscaler for Dragster {
                 {
                     est.ingest(&HObservation {
                         operator: i,
-                        inputs: om.input_rates.clone(),
+                        inputs: &om.input_rates,
                         output: om.output_rate,
                     });
                 }
             }
         }
         self.last_l.clone_from(&l_values);
-        let working = self.working_topology()?;
+        // Borrow the exact topology (Theorem-1 mode) instead of cloning it
+        // every slot; only Theorem-2 mode materializes a fresh view.
+        let materialized;
+        let working: &Topology = match &self.estimator {
+            Some(est) => {
+                materialized = est.materialize().map_err(DragsterError::from)?;
+                &materialized
+            }
+            None => &self.topo,
+        };
 
         // ---- line 4: dual update (Eq. 15) + target capacities. ----
         self.saddle.dual_update(&l_values);
-        let h_bound = analysis::throughput_upper_bound(&working, rates)?;
+        self.scratch.l_values = l_values;
+        let h_bound = analysis::throughput_upper_bound(working, rates)?;
         let y_max = (1.5 * h_bound).max(1e-6);
         // Warm-start vectors come straight from observations; scrub any
         // non-finite entries (unsanitized fault injection) so the solvers
         // never iterate from NaN.
-        let finite_samples = || -> Vec<f64> {
-            metrics
-                .capacity_samples()
-                .into_iter()
-                .map(|c| if c.is_finite() && c >= 0.0 { c } else { 0.0 })
-                .collect()
+        let finite_sample = |om: &dragster_sim::OperatorMetrics| {
+            let c = om.capacity_sample;
+            if c.is_finite() && c >= 0.0 {
+                c
+            } else {
+                0.0
+            }
         };
+        let mut loads = std::mem::take(&mut self.scratch.loads);
+        loads.clear();
+        loads.extend(metrics.operators.iter().map(|o| o.offered_load));
         let mut targets = match self.cfg.inner {
             InnerAlgo::SaddlePoint => {
-                let warm: Vec<f64> = if self.last_targets.iter().all(|&y| y == 0.0) {
-                    finite_samples()
+                let mut warm = std::mem::take(&mut self.scratch.warm);
+                warm.clear();
+                if self.last_targets.iter().all(|&y| y == 0.0) {
+                    warm.extend(metrics.operators.iter().map(finite_sample));
                 } else {
-                    self.last_targets.clone()
-                };
-                self.solver.solve(
-                    &working,
-                    rates,
-                    &metrics.offered_loads(),
-                    &self.saddle.lambda,
-                    &warm,
-                    y_max,
-                )?
+                    warm.extend_from_slice(&self.last_targets);
+                }
+                let solved =
+                    self.solver
+                        .solve(working, rates, &loads, &self.saddle.lambda, &warm, y_max);
+                self.scratch.warm = warm;
+                solved?
             }
             InnerAlgo::GradientDescent => {
                 let eta = self.cfg.eta;
-                let ogd = self
-                    .ogd
-                    .get_or_insert_with(|| OgdState::new(finite_samples(), eta));
+                let ogd = self.ogd.get_or_insert_with(|| {
+                    // One-time cold start: the OGD iterate is owned learner
+                    // state, so this collect happens once per run.
+                    OgdState::new(metrics.operators.iter().map(finite_sample).collect(), eta)
+                });
                 ogd.step(
                     &self.solver,
-                    &working,
+                    working,
                     rates,
-                    &metrics.offered_loads(),
+                    &loads,
                     &self.saddle.lambda,
                     y_max,
                 )?
             }
         };
+        self.scratch.loads = loads;
         if let Some(b) = self.cfg.budget_pods {
-            self.cap_targets_to_budget(&working, &mut targets, rates, b.max(m))?;
+            self.cap_targets_to_budget(working, &mut targets, rates, b.max(m))?;
         }
-        self.last_targets = targets.clone();
+        self.last_targets.clone_from(&targets);
 
         // ---- line 6: extended GP-UCB selection (Eq. 18) + projection. ----
         let beta = self.cfg.ucb.beta(self.joint_space(), self.t);
         let rng = &mut self.rng;
-        let mut tables: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut tables = std::mem::take(&mut self.scratch.tables);
+        tables.clear();
         for (gp, raw_target) in self.gps.iter().zip(&targets) {
             let target = raw_target * self.cfg.target_headroom;
             tables.push(match self.cfg.ucb.acquisition {
@@ -402,26 +446,29 @@ impl Autoscaler for Dragster {
             .unwrap_or(m * self.cfg.ucb.max_tasks)
             .max(m);
         let mut tasks = crate::projection::project_acquisition(&tables, budget);
+        self.scratch.tables = tables;
         // Sequential-bottleneck mode: freeze all but the k operators whose
         // capacity targets are furthest from their current estimates.
         if let Some(k) = self.cfg.max_adjust_per_slot {
-            let mut gaps: Vec<(usize, f64)> = (0..m)
-                .map(|i| {
-                    let (cur, scale) = match self.gps.get(i) {
-                        Some(gp) => {
-                            let tasks_i = current.tasks.get(i).copied().unwrap_or(1);
-                            (gp.capacity_estimate(tasks_i), gp.scale().max(1e-9))
-                        }
-                        None => (0.0, 1.0),
-                    };
-                    let target = targets.get(i).copied().unwrap_or(cur);
-                    (i, (target - cur).abs() / scale)
-                })
-                .collect();
+            let mut gaps = std::mem::take(&mut self.scratch.gaps);
+            gaps.clear();
+            gaps.extend((0..m).map(|i| {
+                let (cur, scale) = match self.gps.get(i) {
+                    Some(gp) => {
+                        let tasks_i = current.tasks.get(i).copied().unwrap_or(1);
+                        (gp.capacity_estimate(tasks_i), gp.scale().max(1e-9))
+                    }
+                    None => (0.0, 1.0),
+                };
+                let target = targets.get(i).copied().unwrap_or(cur);
+                (i, (target - cur).abs() / scale)
+            }));
             gaps.sort_by(|a, b| b.1.total_cmp(&a.1));
             // boolean mask instead of a hash set: indices are dense in
             // 0..m, and iteration order stays deterministic
-            let mut adjustable = vec![false; m];
+            let mut adjustable = std::mem::take(&mut self.scratch.adjustable);
+            adjustable.clear();
+            adjustable.resize(m, false);
             for &(i, _) in gaps.iter().take(k) {
                 if let Some(a) = adjustable.get_mut(i) {
                     *a = true;
@@ -432,6 +479,8 @@ impl Autoscaler for Dragster {
                     *t = current.tasks.get(i).copied().unwrap_or(*t);
                 }
             }
+            self.scratch.gaps = gaps;
+            self.scratch.adjustable = adjustable;
             // freezing can re-violate the budget; project the frozen plan
             let d = Deployment { tasks };
             return Ok(dragster_sim::harness::project_to_budget(

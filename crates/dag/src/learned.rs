@@ -36,7 +36,7 @@ use crate::topology::{ComponentKind, Topology};
 /// let mut est = SelectivityEstimator::new(topo, 1.0);
 /// for i in 0..20 {
 ///     let x = 50.0 + i as f64;
-///     est.ingest(&HObservation { operator: 0, inputs: vec![x], output: 0.25 * x });
+///     est.ingest(&HObservation { operator: 0, inputs: &[x], output: 0.25 * x });
 /// }
 /// assert!((est.weights()[0][0] - 0.25).abs() < 0.01);
 /// ```
@@ -61,13 +61,14 @@ pub struct EstimatorSnapshot {
 }
 
 /// One per-operator observation: the received-rate vector and the
-/// (unsaturated) total output rate.
-#[derive(Clone, Debug)]
-pub struct HObservation {
+/// (unsaturated) total output rate. Borrows the rate slice so the
+/// per-slot ingest path never copies it.
+#[derive(Clone, Copy, Debug)]
+pub struct HObservation<'a> {
     /// Capacity index of the operator.
     pub operator: usize,
     /// Per-predecessor-edge input rates.
-    pub inputs: Vec<f64>,
+    pub inputs: &'a [f64],
     /// Total output rate, *not* capacity-truncated.
     pub output: f64,
 }
@@ -125,7 +126,7 @@ impl SelectivityEstimator {
     /// estimate is consistent, so the parameter error decays like
     /// `O(1/√n)` — exactly the Eq.-31 rate Theorem 2 needs. Degenerate
     /// inputs are ignored.
-    pub fn ingest(&mut self, obs: &HObservation) {
+    pub fn ingest(&mut self, obs: &HObservation<'_>) {
         let d = self.weights[obs.operator].len();
         assert_eq!(d, obs.inputs.len(), "observation arity");
         let norm2: f64 = obs.inputs.iter().map(|x| x * x).sum();
@@ -349,12 +350,12 @@ mod tests {
             noise = -noise;
             est.ingest(&HObservation {
                 operator: 0,
-                inputs: vec![x],
+                inputs: &[x],
                 output: 0.3 * x * (1.0 + noise),
             });
             est.ingest(&HObservation {
                 operator: 1,
-                inputs: vec![x],
+                inputs: &[x],
                 output: 1.7 * x * (1.0 - noise),
             });
         }
@@ -374,12 +375,12 @@ mod tests {
             let x = 40.0 + (k % 5) as f64 * 15.0;
             est.ingest(&HObservation {
                 operator: 0,
-                inputs: vec![x],
+                inputs: &[x],
                 output: 0.3 * x,
             });
             est.ingest(&HObservation {
                 operator: 1,
-                inputs: vec![x],
+                inputs: &[x],
                 output: 1.7 * x,
             });
         }
@@ -403,12 +404,12 @@ mod tests {
             let n = if k % 2 == 0 { 0.05 } else { -0.05 };
             est.ingest(&HObservation {
                 operator: 0,
-                inputs: vec![x],
+                inputs: &[x],
                 output: 0.3 * x * (1.0 + n),
             });
             est.ingest(&HObservation {
                 operator: 1,
-                inputs: vec![x],
+                inputs: &[x],
                 output: 1.7 * x * (1.0 - n),
             });
             if k % 100 == 99 {
@@ -425,17 +426,17 @@ mod tests {
         let mut est = SelectivityEstimator::new(t.clone(), 1.0);
         est.ingest(&HObservation {
             operator: 0,
-            inputs: vec![0.0],
+            inputs: &[0.0],
             output: 5.0,
         });
         est.ingest(&HObservation {
             operator: 0,
-            inputs: vec![10.0],
+            inputs: &[10.0],
             output: f64::NAN,
         });
         est.ingest(&HObservation {
             operator: 0,
-            inputs: vec![10.0],
+            inputs: &[10.0],
             output: -1.0,
         });
         assert_eq!(est.observations(0), 0);
@@ -449,7 +450,7 @@ mod tests {
         for _ in 0..50 {
             est.ingest(&HObservation {
                 operator: 0,
-                inputs: vec![100.0],
+                inputs: &[100.0],
                 output: 0.0,
             });
         }
@@ -483,7 +484,7 @@ mod tests {
             let b = 100.0 - (k % 7) as f64 * 11.0;
             est.ingest(&HObservation {
                 operator: 0,
-                inputs: vec![a, b],
+                inputs: &[a, b],
                 output: 0.5 * a + 2.0 * b,
             });
         }

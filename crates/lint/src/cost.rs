@@ -1,0 +1,877 @@
+//! L16/L17/L19: the static hot-path cost model.
+//!
+//! Theorem 1's regret bound silently assumes the controller's per-slot
+//! work is negligible next to the slot length. These passes make that
+//! assumption checkable: every function reachable (via the L5 call
+//! graph) from a per-slot root — `FluidSim::run_slot`, `DesSim::run`,
+//! `*::decide`, `MetricSanitizer::sanitize`, the journal append/encode
+//! path — is *hot*, and hot code must
+//!
+//! * **L16** not allocate (`Vec::new`/`with_capacity`, `vec!`, `clone`,
+//!   `collect`, `format!`, `to_string`/`to_vec`/`to_owned`, `Box::new`,
+//!   growth `push` onto a fresh vector) unless allowlisted — findings
+//!   carry the full root→callee chain;
+//! * **L17** only loop with a derivable bound: `for … in` iterates a
+//!   finite collection, counter `while` loops with a monotone update are
+//!   interval-boundable (the L13 engine's for-range rule), `while let`
+//!   over `.next()`/`.pop*()` drains a finite structure. Anything else
+//!   (bare `loop`, condition-polling `while`, retry loops) needs a
+//!   declared `[bounds]` measure in `lint.toml` or is a finding;
+//! * **L19** keep syntactic loop-nesting depth within the per-function
+//!   `[complexity]` budget (default 2) — nested loops over
+//!   operator/task-sized collections are how per-slot work goes
+//!   superlinear.
+//!
+//! The same scan also produces the machine-readable per-function
+//! [`CostReport`] (`--cost-report`): raw allocation-site and loop-depth
+//! counts *before* the allowlist, FNV-fingerprinted and ratcheted
+//! against `cost-baseline.json` exactly like `lint-baseline.json` — the
+//! allowlist can justify debt, but the ratchet stops it growing.
+
+use crate::model::{Model, Tok};
+use crate::taint::Pattern;
+use crate::Finding;
+use std::collections::{BTreeMap, VecDeque};
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+/// Configuration for the cost passes: `[cost]`, `[bounds]`, and
+/// `[complexity]` in `lint.toml`.
+#[derive(Clone, Debug)]
+pub struct CostConfig {
+    /// Per-slot entry points; everything reachable from them is hot.
+    pub hot_roots: Vec<Pattern>,
+    /// Declared loop-bound measures: a function matching the pattern has
+    /// a human-proved termination measure (the string documents it) and
+    /// is exempt from L17.
+    pub bounds: Vec<(Pattern, String)>,
+    /// Loop-nesting budget for hot functions without an override.
+    pub default_budget: usize,
+    /// Per-function budget overrides (first match wins).
+    pub budgets: Vec<(Pattern, usize)>,
+}
+
+fn pats(texts: &[&str]) -> Vec<Pattern> {
+    texts
+        .iter()
+        .filter_map(|t| Pattern::parse(t).ok())
+        .collect()
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            hot_roots: pats(&[
+                "FluidSim::run_slot",
+                "DesSim::run",
+                "*::decide",
+                "MetricSanitizer::sanitize",
+                "DecisionJournal::append",
+            ]),
+            bounds: Vec::new(),
+            default_budget: 2,
+            budgets: Vec::new(),
+        }
+    }
+}
+
+impl CostConfig {
+    /// Applies one `[cost]` key from `lint.toml`.
+    pub fn set_key(&mut self, key: &str, values: &[String]) -> Result<(), String> {
+        match key {
+            "hot_roots" => {
+                self.hot_roots = crate::taint::parse_patterns(values)?;
+                Ok(())
+            }
+            other => Err(format!("[cost] key `{other}` is not `hot_roots`")),
+        }
+    }
+
+    /// Adds one `[bounds]` entry (`"Type::fn" = "measure"`).
+    pub fn add_bound(&mut self, key: &str, measure: &str) -> Result<(), String> {
+        if measure.trim().is_empty() {
+            return Err(format!("[bounds] `{key}` needs a non-empty measure"));
+        }
+        let p = Pattern::parse(key)?;
+        self.bounds.push((p, measure.to_string()));
+        Ok(())
+    }
+
+    /// Adds one `[complexity]` entry (`default = 2` or `"Type::fn" = 3`).
+    pub fn add_budget(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let n: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("[complexity] `{key}` must be a small integer"))?;
+        if n == 0 {
+            return Err(format!("[complexity] `{key}` must be >= 1"));
+        }
+        if key == "default" {
+            self.default_budget = n;
+        } else {
+            self.budgets.push((Pattern::parse(key)?, n));
+        }
+        Ok(())
+    }
+
+    fn budget_for(&self, qualified: &str) -> usize {
+        for (p, n) in &self.budgets {
+            if p.matches_qualified(qualified) {
+                return *n;
+            }
+        }
+        self.default_budget
+    }
+
+    fn bound_declared(&self, qualified: &str) -> Option<&str> {
+        self.bounds
+            .iter()
+            .find(|(p, _)| p.matches_qualified(qualified))
+            .map(|(_, m)| m.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path reachability (the L5 BFS, seeded from the per-slot roots).
+// ---------------------------------------------------------------------------
+
+struct HotSet {
+    hot: Vec<bool>,
+    parent: Vec<Option<usize>>,
+}
+
+fn hot_reachability(model: &Model, roots: &[Pattern]) -> HotSet {
+    let n = model.items.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, item) in model.items.iter().enumerate() {
+        for call in model.calls_of(item) {
+            for cand in model.resolve(&call) {
+                if cand != i && !adj[i].contains(&cand) {
+                    adj[i].push(cand);
+                }
+            }
+        }
+    }
+    let mut hot = vec![false; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for (i, item) in model.items.iter().enumerate() {
+        let q = item.qualified();
+        if roots.iter().any(|p| p.matches_qualified(&q)) {
+            hot[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if !hot[v] {
+                hot[v] = true;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    HotSet { hot, parent }
+}
+
+/// Root → … → item chain of qualified names.
+fn chain_to(model: &Model, hot: &HotSet, item_idx: usize) -> Vec<String> {
+    let mut rev = vec![item_idx];
+    let mut cur = item_idx;
+    while let Some(p) = hot.parent[cur] {
+        rev.push(p);
+        cur = p;
+    }
+    rev.iter()
+        .rev()
+        .map(|&i| model.items[i].qualified())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// L16: allocation sites in hot bodies.
+// ---------------------------------------------------------------------------
+
+/// Types whose `::new`/`::with_capacity`/`::from` construct heap storage.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "BTreeMap", "BTreeSet", "VecDeque", "HashMap", "HashSet", "Rc", "Arc",
+];
+
+/// Method calls that allocate a fresh owned value.
+const ALLOC_METHODS: &[&str] = &["clone", "collect", "to_string", "to_vec", "to_owned"];
+
+/// Allocating macros (`name !`).
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+struct AllocSite {
+    line: usize,
+    token: String,
+}
+
+fn alloc_sites(toks: &[Tok], start: usize, end: usize) -> Vec<AllocSite> {
+    let end = end.min(toks.len());
+    let mut sites = Vec::new();
+    // Vectors let-bound from a growable constructor in this body: a
+    // `push` onto them is growth (re-allocation), not a pre-sized write.
+    let mut grow_vars: Vec<String> = Vec::new();
+    for j in start..end {
+        if toks[j].text != "let" {
+            continue;
+        }
+        let mut k = j + 1;
+        if toks.get(k).map(|t| t.text.as_str()) == Some("mut") {
+            k += 1;
+        }
+        let Some(name) = toks.get(k) else { continue };
+        if toks.get(k + 1).map(|t| t.text.as_str()) != Some("=") {
+            continue;
+        }
+        let a = toks.get(k + 2).map(|t| t.text.as_str());
+        let b = toks.get(k + 3).map(|t| t.text.as_str());
+        // `let x = Vec::new()` / `let x = vec![...]`
+        let growable = (a == Some("Vec") && b == Some(":")) || (a == Some("vec") && b == Some("!"));
+        if growable {
+            grow_vars.push(name.text.clone());
+        }
+    }
+
+    for j in start..end {
+        let w = toks[j].text.as_str();
+        let next = |o: usize| toks.get(j + o).map(|t| t.text.as_str());
+        let prev = if j > start {
+            Some(toks[j - 1].text.as_str())
+        } else {
+            None
+        };
+        // `Vec::new(` / `String::with_capacity(` / `String::from(` …
+        if ALLOC_TYPES.contains(&w) && next(1) == Some(":") && next(2) == Some(":") {
+            if let Some(m) = next(3) {
+                let ctor = m == "new" || m == "with_capacity" || (m == "from" && w == "String");
+                if ctor && next(4) == Some("(") {
+                    sites.push(AllocSite {
+                        line: toks[j].line,
+                        token: format!("{w}::{m}"),
+                    });
+                }
+            }
+            continue;
+        }
+        // `vec!` / `format!`
+        if ALLOC_MACROS.contains(&w) && next(1) == Some("!") {
+            sites.push(AllocSite {
+                line: toks[j].line,
+                token: format!("{w}!"),
+            });
+            continue;
+        }
+        // `.clone()` / `.collect()` / `.to_string()` … (`clone_from`
+        // reuses the destination's storage and is the fix idiom, so it
+        // is a distinct token and never matches here.)
+        if ALLOC_METHODS.contains(&w) && prev == Some(".") && next(1) == Some("(") {
+            sites.push(AllocSite {
+                line: toks[j].line,
+                token: w.to_string(),
+            });
+            continue;
+        }
+        // Growth push: `x.push(` where `x` was bound from `Vec::new()` /
+        // `vec![]` in this body.
+        if w == "push" && prev == Some(".") && next(1) == Some("(") && j >= start + 2 {
+            let recv = toks[j - 2].text.as_str();
+            if grow_vars.iter().any(|v| v == recv) {
+                sites.push(AllocSite {
+                    line: toks[j].line,
+                    token: format!("{recv}.push"),
+                });
+            }
+        }
+    }
+    sites
+}
+
+// ---------------------------------------------------------------------------
+// L17 + L19: loop bounds and nesting depth.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct LoopInfo {
+    line: usize,
+    /// `for` / `while` / `while let` / `loop`.
+    kind: &'static str,
+    bounded: bool,
+}
+
+struct LoopScan {
+    loops: Vec<LoopInfo>,
+    max_depth: usize,
+}
+
+/// Whether a counter `while` is interval-boundable: the condition
+/// compares a variable and the body steps that variable monotonically
+/// (`i += …`, `i -= …`, `i = i + …`) — the same shape the L13 engine
+/// bounds for `for`-ranges.
+fn counter_bounded(cond: &[&str], body: &[&str]) -> bool {
+    let is_ident = |w: &str| {
+        w.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+    };
+    // Identifiers compared by `<` / `>` / `<=` / `>=` in the condition.
+    let mut compared: Vec<&str> = Vec::new();
+    for k in 0..cond.len() {
+        let t = cond[k];
+        if t != "<" && t != ">" {
+            continue;
+        }
+        // Exclude `<<` / `>>` / `->` shapes.
+        if k > 0 && matches!(cond[k - 1], "<" | ">" | "-") {
+            continue;
+        }
+        if k + 1 < cond.len() && matches!(cond[k + 1], "<" | ">") {
+            continue;
+        }
+        if k > 0 && is_ident(cond[k - 1]) {
+            compared.push(cond[k - 1]);
+        }
+        // Right-hand side, skipping the `=` of `<=`/`>=`.
+        let r = if cond.get(k + 1) == Some(&"=") {
+            k + 2
+        } else {
+            k + 1
+        };
+        if r < cond.len() && is_ident(cond[r]) {
+            compared.push(cond[r]);
+        }
+    }
+    for v in compared {
+        for k in 0..body.len() {
+            if body[k] != v {
+                continue;
+            }
+            let a = body.get(k + 1).copied();
+            let b = body.get(k + 2).copied();
+            // `v += e` / `v -= e` (tokens: v + = e) or `v = v + e`.
+            if (a == Some("+") || a == Some("-")) && b == Some("=") {
+                return true;
+            }
+            if a == Some("=") && b == Some(v) {
+                let c = body.get(k + 3).copied();
+                if c == Some("+") || c == Some("-") {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Whether a `while let` drains a finite structure: the scrutinee calls
+/// `.next()`, `.pop()`, `.pop_front()`, or `.pop_back()`.
+fn drain_bounded(cond: &[&str]) -> bool {
+    cond.windows(2)
+        .any(|w| w[0] == "." && matches!(w[1], "next" | "pop" | "pop_front" | "pop_back"))
+}
+
+fn scan_loops(toks: &[Tok], start: usize, end: usize) -> LoopScan {
+    let end = end.min(toks.len());
+    let mut loops = Vec::new();
+    let mut depth = 0usize;
+    // Brace depths at which loop bodies opened (len = current nesting).
+    let mut loop_stack: Vec<usize> = Vec::new();
+    let mut max_depth = 0usize;
+    // A loop keyword seen, waiting for its body's `{`.
+    let mut pending: Option<usize> = None; // index into `loops`
+    let mut j = start;
+    while j < end {
+        let w = toks[j].text.as_str();
+        match w {
+            "{" => {
+                depth += 1;
+                if let Some(idx) = pending.take() {
+                    loop_stack.push(depth);
+                    max_depth = max_depth.max(loop_stack.len());
+                    let _ = idx;
+                }
+            }
+            "}" => {
+                if loop_stack.last() == Some(&depth) {
+                    loop_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            "loop" => {
+                loops.push(LoopInfo {
+                    line: toks[j].line,
+                    kind: "loop",
+                    bounded: false,
+                });
+                pending = Some(loops.len() - 1);
+            }
+            "for" => {
+                // `for x in xs {` — a loop only if `in` shows up before
+                // the body brace (excludes `impl T for U` which cannot
+                // appear inside a body anyway, and `for<'a>` bounds).
+                let mut k = j + 1;
+                let mut is_loop = false;
+                while k < end && k < j + 64 {
+                    match toks[k].text.as_str() {
+                        "in" => {
+                            is_loop = true;
+                            break;
+                        }
+                        "{" | ";" => break,
+                        _ => k += 1,
+                    }
+                }
+                if is_loop {
+                    loops.push(LoopInfo {
+                        line: toks[j].line,
+                        kind: "for",
+                        bounded: true,
+                    });
+                    pending = Some(loops.len() - 1);
+                }
+            }
+            "while" => {
+                let is_let = toks.get(j + 1).map(|t| t.text.as_str()) == Some("let");
+                // Condition tokens up to the body `{` (closure braces in
+                // conditions are rare enough to ignore).
+                let mut k = j + 1;
+                let mut cond: Vec<&str> = Vec::new();
+                while k < end && toks[k].text != "{" {
+                    cond.push(toks[k].text.as_str());
+                    k += 1;
+                }
+                // Body tokens: from the `{` to its matching close.
+                let mut body: Vec<&str> = Vec::new();
+                if k < end {
+                    let mut d = 0usize;
+                    let mut b = k;
+                    while b < end {
+                        match toks[b].text.as_str() {
+                            "{" => d += 1,
+                            "}" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        body.push(toks[b].text.as_str());
+                        b += 1;
+                    }
+                }
+                let (kind, bounded) = if is_let {
+                    ("while let", drain_bounded(&cond))
+                } else {
+                    ("while", counter_bounded(&cond, &body))
+                };
+                loops.push(LoopInfo {
+                    line: toks[j].line,
+                    kind,
+                    bounded,
+                });
+                pending = Some(loops.len() - 1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    LoopScan { loops, max_depth }
+}
+
+// ---------------------------------------------------------------------------
+// The per-function cost report (+ ratchet).
+// ---------------------------------------------------------------------------
+
+/// Raw (pre-allowlist) cost facts for one hot function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnCost {
+    pub qualified: String,
+    pub file: String,
+    /// Allocation sites in the body.
+    pub allocs: usize,
+    /// Loops in the body.
+    pub loops: usize,
+    /// Maximum syntactic loop-nesting depth.
+    pub depth: usize,
+}
+
+impl FnCost {
+    /// Stable identity: FNV-1a over the qualified name and file (line
+    /// numbers drift; names don't).
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [self.qualified.as_str(), self.file.as_str()] {
+            for b in part.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+/// The machine-readable cost report: every hot function with its raw
+/// allocation and loop counts, sorted by qualified name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    pub functions: Vec<FnCost>,
+}
+
+impl CostReport {
+    pub fn total_allocs(&self) -> usize {
+        self.functions.iter().map(|f| f.allocs).sum()
+    }
+
+    /// Renders as JSON (the `cost-baseline.json` format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str(&format!(
+            "  \"total_allocs\": {},\n  \"functions\": [\n",
+            self.total_allocs()
+        ));
+        for (i, f) in self.functions.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"fingerprint\": \"{}\", \"fn\": \"{}\", \"file\": \"{}\", \
+                 \"allocs\": {}, \"loops\": {}, \"depth\": {}}}{}\n",
+                f.fingerprint(),
+                crate::report::esc(&f.qualified),
+                crate::report::esc(&f.file),
+                f.allocs,
+                f.loops,
+                f.depth,
+                if i + 1 < self.functions.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the JSON written by [`CostReport::to_json`].
+    pub fn from_json(text: &str) -> Result<CostReport, String> {
+        let j = crate::report::parse_json(text)?;
+        let arr = j
+            .get("functions")
+            .and_then(|f| f.as_arr())
+            .ok_or("cost baseline: missing `functions` array")?;
+        let mut functions = Vec::new();
+        for entry in arr {
+            let s = |k: &str| -> Result<String, String> {
+                entry
+                    .get(k)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("cost baseline: entry missing `{k}`"))
+            };
+            let n = |k: &str| -> Result<usize, String> {
+                entry
+                    .get(k)
+                    .and_then(|v| v.as_usize())
+                    .ok_or_else(|| format!("cost baseline: entry missing `{k}`"))
+            };
+            functions.push(FnCost {
+                qualified: s("fn")?,
+                file: s("file")?,
+                allocs: n("allocs")?,
+                loops: n("loops")?,
+                depth: n("depth")?,
+            });
+        }
+        Ok(CostReport { functions })
+    }
+}
+
+/// Ratchet verdict: the cost model only turns one way.
+#[derive(Clone, Debug, Default)]
+pub struct CostRatchetOutcome {
+    /// Hot functions not in the baseline that carry allocations.
+    pub new_fns: Vec<(String, usize)>,
+    /// Functions whose allocation count grew: (fn, was, now).
+    pub grew: Vec<(String, usize, usize)>,
+    /// Functions whose loop depth grew: (fn, was, now).
+    pub deeper: Vec<(String, usize, usize)>,
+    pub baseline_allocs: usize,
+    pub current_allocs: usize,
+}
+
+impl CostRatchetOutcome {
+    pub fn ok(&self) -> bool {
+        self.new_fns.is_empty()
+            && self.grew.is_empty()
+            && self.deeper.is_empty()
+            && self.current_allocs <= self.baseline_allocs
+    }
+
+    pub fn can_tighten(&self) -> bool {
+        self.ok() && self.current_allocs < self.baseline_allocs
+    }
+}
+
+/// Compares a current report against the committed baseline.
+pub fn cost_ratchet(baseline: &CostReport, current: &CostReport) -> CostRatchetOutcome {
+    let by_fp: BTreeMap<String, &FnCost> = baseline
+        .functions
+        .iter()
+        .map(|f| (f.fingerprint(), f))
+        .collect();
+    let mut out = CostRatchetOutcome {
+        baseline_allocs: baseline.total_allocs(),
+        current_allocs: current.total_allocs(),
+        ..Default::default()
+    };
+    for f in &current.functions {
+        match by_fp.get(&f.fingerprint()) {
+            None => {
+                if f.allocs > 0 {
+                    out.new_fns.push((f.qualified.clone(), f.allocs));
+                }
+            }
+            Some(b) => {
+                if f.allocs > b.allocs {
+                    out.grew.push((f.qualified.clone(), b.allocs, f.allocs));
+                }
+                if f.depth > b.depth {
+                    out.deeper.push((f.qualified.clone(), b.depth, f.depth));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The combined pass.
+// ---------------------------------------------------------------------------
+
+/// Findings plus the raw per-function cost report.
+pub struct CostOutcome {
+    pub findings: Vec<Finding>,
+    pub report: CostReport,
+}
+
+/// Runs L16/L17/L19 over every hot function in the model.
+pub fn cost_analysis(model: &Model, cfg: &CostConfig) -> CostOutcome {
+    let hot = hot_reachability(model, &cfg.hot_roots);
+    let mut findings = Vec::new();
+    let mut functions = Vec::new();
+    // Dedup sites that several items resolve onto.
+    let mut seen: BTreeMap<(usize, usize, &'static str, String), ()> = BTreeMap::new();
+
+    for (i, item) in model.items.iter().enumerate() {
+        if !hot.hot[i] {
+            continue;
+        }
+        let Some((start, end)) = item.body else {
+            continue;
+        };
+        let toks = &model.files[item.file_idx].tokens;
+        let file = model.files[item.file_idx].label.clone();
+        let qualified = item.qualified();
+        let chain = chain_to(model, &hot, i);
+        let root = chain.first().cloned().unwrap_or_default();
+        let via = chain.join(" -> ");
+
+        // L16: allocations.
+        let sites = alloc_sites(toks, start, end);
+        for site in &sites {
+            let key = (item.file_idx, site.line, "L16", site.token.clone());
+            if seen.contains_key(&key) {
+                continue;
+            }
+            seen.insert(key, ());
+            findings.push(Finding {
+                file: file.clone(),
+                line: site.line,
+                code: "L16",
+                token: site.token.clone(),
+                message: format!(
+                    "allocation `{}` in per-slot hot path: reachable from `{root}` via {via}; \
+                     hoist into a reusable scratch buffer (`clear`+`extend`, `clone_from`) or \
+                     allowlist with justification",
+                    site.token
+                ),
+                chain: chain.clone(),
+                fix: None,
+            });
+        }
+
+        // L17 + L19: loops.
+        let scan = scan_loops(toks, start, end);
+        if cfg.bound_declared(&qualified).is_none() {
+            for l in scan.loops.iter().filter(|l| !l.bounded) {
+                let key = (item.file_idx, l.line, "L17", l.kind.to_string());
+                if seen.contains_key(&key) {
+                    continue;
+                }
+                seen.insert(key, ());
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: l.line,
+                    code: "L17",
+                    token: l.kind.to_string(),
+                    message: format!(
+                        "`{}` loop in per-slot hot path has no derivable bound (reachable from \
+                         `{root}` via {via}); iterate a finite collection, use a counted loop, \
+                         or declare a `[bounds]` measure for `{qualified}` in lint.toml",
+                        l.kind
+                    ),
+                    chain: chain.clone(),
+                    fix: None,
+                });
+            }
+        }
+        let budget = cfg.budget_for(&qualified);
+        if scan.max_depth > budget {
+            findings.push(Finding {
+                file: file.clone(),
+                line: item.line,
+                code: "L19",
+                token: format!("depth {}", scan.max_depth),
+                message: format!(
+                    "`{qualified}` nests loops {} deep in the per-slot hot path (budget {budget}, \
+                     reachable from `{root}` via {via}); per-slot work this shape goes \
+                     superlinear in operators×tasks — restructure, or raise the budget in \
+                     `[complexity]` with justification",
+                    scan.max_depth
+                ),
+                chain: chain.clone(),
+                fix: None,
+            });
+        }
+
+        functions.push(FnCost {
+            qualified,
+            file,
+            allocs: sites.len(),
+            loops: scan.loops.len(),
+            depth: scan.max_depth,
+        });
+    }
+    functions.sort_by(|a, b| a.qualified.cmp(&b.qualified).then(a.file.cmp(&b.file)));
+    findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.code).cmp(&(b.file.clone(), b.line, b.code)));
+    CostOutcome {
+        findings,
+        report: CostReport { functions },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{model::Model, prep};
+
+    fn model_of(src: &str) -> Model {
+        Model::build(vec![(
+            "t.rs".to_string(),
+            "fixture".to_string(),
+            prep::prepare(src),
+        )])
+    }
+
+    fn run(src: &str) -> CostOutcome {
+        cost_analysis(&model_of(src), &CostConfig::default())
+    }
+
+    #[test]
+    fn allocation_in_hot_callee_carries_chain() {
+        let src = "pub struct C;\nimpl C {\n  pub fn decide(&self, xs: &[f64]) -> f64 { \
+                   self.expand(xs).iter().sum() }\n  fn expand(&self, xs: &[f64]) -> Vec<f64> { \
+                   xs.to_vec() }\n}\n";
+        let out = run(src);
+        let l16: Vec<_> = out.findings.iter().filter(|f| f.code == "L16").collect();
+        assert_eq!(l16.len(), 1, "{:#?}", out.findings);
+        assert_eq!(l16[0].token, "to_vec");
+        assert!(l16[0].chain.len() == 2, "{:?}", l16[0].chain);
+    }
+
+    #[test]
+    fn cold_allocation_is_ignored() {
+        let src = "pub fn setup() -> Vec<f64> { Vec::new() }\n";
+        let out = run(src);
+        assert!(out.findings.is_empty(), "{:#?}", out.findings);
+        assert!(out.report.functions.is_empty());
+    }
+
+    #[test]
+    fn unbounded_while_is_l17_but_counter_is_not() {
+        let src = "pub struct C;\nimpl C {\n  pub fn decide(&self, n: usize) -> usize {\n    \
+                   let mut i = 0;\n    let mut acc = 0;\n    while i < n { acc += i; i += 1; }\n    \
+                   while acc > 0 { }\n    acc\n  }\n}\n";
+        let out = run(src);
+        let l17: Vec<_> = out.findings.iter().filter(|f| f.code == "L17").collect();
+        assert_eq!(l17.len(), 1, "{:#?}", out.findings);
+    }
+
+    #[test]
+    fn declared_bound_discharges_l17() {
+        let src = "pub struct C;\nimpl C {\n  pub fn decide(&self) { loop { } }\n}\n";
+        let mut cfg = CostConfig::default();
+        cfg.add_bound("C::decide", "terminates on convergence check")
+            .expect("bound parses");
+        let out = cost_analysis(&model_of(src), &cfg);
+        assert!(
+            out.findings.iter().all(|f| f.code != "L17"),
+            "{:#?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn nesting_over_budget_is_l19() {
+        let src = "pub struct C;\nimpl C {\n  pub fn decide(&self, xs: &[f64]) -> f64 {\n    \
+                   let mut s = 0.0;\n    for a in xs { for b in xs { for c in xs { \
+                   s += a * b * c; } } }\n    s\n  }\n}\n";
+        let out = run(src);
+        let l19: Vec<_> = out.findings.iter().filter(|f| f.code == "L19").collect();
+        assert_eq!(l19.len(), 1, "{:#?}", out.findings);
+        assert_eq!(out.report.functions[0].depth, 3);
+    }
+
+    #[test]
+    fn ratchet_flags_growth_and_new_debt() {
+        let base = CostReport {
+            functions: vec![FnCost {
+                qualified: "fixture::C::decide".into(),
+                file: "t.rs".into(),
+                allocs: 1,
+                loops: 0,
+                depth: 0,
+            }],
+        };
+        let same = cost_ratchet(&base, &base);
+        assert!(same.ok());
+        let mut grown = base.clone();
+        grown.functions[0].allocs = 2;
+        assert!(!cost_ratchet(&base, &grown).ok());
+        let mut extra = base.clone();
+        extra.functions.push(FnCost {
+            qualified: "fixture::C::other".into(),
+            file: "t.rs".into(),
+            allocs: 1,
+            loops: 0,
+            depth: 0,
+        });
+        assert!(!cost_ratchet(&base, &extra).ok());
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let src = "pub struct C;\nimpl C {\n  pub fn decide(&self, xs: &[f64]) -> Vec<f64> { \
+                   xs.to_vec() }\n}\n";
+        let out = run(src);
+        let back = CostReport::from_json(&out.report.to_json()).expect("roundtrip");
+        assert_eq!(back, out.report);
+        assert!(cost_ratchet(&back, &out.report).ok());
+    }
+}

@@ -1,0 +1,339 @@
+//! L18: checkpoint state-coverage proofs.
+//!
+//! PR 7's crash-safe runtime created a bug class the type system cannot
+//! see: add a field to learner state, forget it in `export_state` /
+//! `import_state` / the journal codec, and recovery silently resumes
+//! from a state that is *almost* the one that crashed. This pass proves
+//! field-by-field coverage statically:
+//!
+//! 1. Items are classified by name into **encode** direction
+//!    (`encode*`, `export_state`, `snapshot`) and **decode** direction
+//!    (`decode*`, `import_state`, `from_snapshot`) — decode markers are
+//!    checked first so `from_snapshot` never misclassifies as encode.
+//! 2. A struct is **checked** when its name appears in the signature or
+//!    body of any codec item (it travels through a checkpoint), and its
+//!    definition is a named-field struct in the model.
+//! 3. Every field of a checked struct must appear as a token in at
+//!    least one encode-direction body *and* one decode-direction body.
+//!    Encoders access `s.field`, decoders construct `Struct { field }`
+//!    or bind `let field = …`, so the field identifier survives even
+//!    though string-literal JSON keys are blanked by `prep`.
+//!
+//! A missing direction is an L18 finding at the struct definition with
+//! token `Struct.field` (allowlistable, but the right fix is almost
+//! always to encode the field).
+
+use crate::model::Model;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Configuration for the coverage pass (`[coverage]` in `lint.toml`).
+#[derive(Clone, Debug)]
+pub struct CoverageConfig {
+    /// Name substrings classifying an item as encode-direction.
+    pub encode_markers: Vec<String>,
+    /// Name substrings classifying an item as decode-direction
+    /// (checked before encode markers).
+    pub decode_markers: Vec<String>,
+    /// Structs to check even if no codec item names them.
+    pub extra_structs: Vec<String>,
+}
+
+impl Default for CoverageConfig {
+    fn default() -> Self {
+        CoverageConfig {
+            encode_markers: vec![
+                "encode".to_string(),
+                "export_state".to_string(),
+                "snapshot".to_string(),
+            ],
+            decode_markers: vec![
+                "decode".to_string(),
+                "import_state".to_string(),
+                "from_snapshot".to_string(),
+            ],
+            extra_structs: Vec::new(),
+        }
+    }
+}
+
+impl CoverageConfig {
+    /// Applies one `[coverage]` key from `lint.toml`.
+    pub fn set_key(&mut self, key: &str, values: &[String]) -> Result<(), String> {
+        let vals = values.to_vec();
+        match key {
+            "encode_markers" => self.encode_markers = vals,
+            "decode_markers" => self.decode_markers = vals,
+            "extra_structs" => self.extra_structs = vals,
+            other => {
+                return Err(format!(
+                    "[coverage] key `{other}` is not one of encode_markers/decode_markers/extra_structs"
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A named-field struct definition found in the model.
+struct StructDef {
+    name: String,
+    file_idx: usize,
+    line: usize,
+    fields: Vec<String>,
+}
+
+fn is_ident(w: &str) -> bool {
+    w.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Extracts named-field struct definitions from a file's token stream.
+/// Tuple structs, unit structs, and enums are skipped — field coverage
+/// is only meaningful for named fields.
+fn structs_in_file(model: &Model, file_idx: usize, out: &mut Vec<StructDef>) {
+    let toks = &model.files[file_idx].tokens;
+    let mut j = 0usize;
+    while j < toks.len() {
+        if toks[j].text != "struct" {
+            j += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(j + 1) else {
+            break;
+        };
+        if !is_ident(&name_tok.text) {
+            j += 1;
+            continue;
+        }
+        // Scan to the body opener, skipping generics: `(` → tuple struct,
+        // `;` → unit struct (both skipped), `{` → named fields.
+        let mut k = j + 2;
+        let mut angle = 0i32;
+        let mut open = None;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" | ";" if angle <= 0 => break,
+                "{" if angle <= 0 => {
+                    open = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            j = k.max(j + 1);
+            continue;
+        };
+        // Fields: `name :` at brace depth 1 (excluding `::` paths), where
+        // the previous meaningful token ends a field boundary.
+        let mut fields = Vec::new();
+        let mut depth = 0i32;
+        let mut b = open;
+        while b < toks.len() {
+            let t = toks[b].text.as_str();
+            match t {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ if depth == 1 && is_ident(t) => {
+                    let colon = toks.get(b + 1).map(|x| x.text.as_str()) == Some(":");
+                    let double = toks.get(b + 2).map(|x| x.text.as_str()) == Some(":");
+                    let prev = toks.get(b.wrapping_sub(1)).map(|x| x.text.as_str());
+                    let boundary = matches!(
+                        prev,
+                        Some("{") | Some(",") | Some("pub") | Some(")") | Some("]")
+                    );
+                    if colon && !double && boundary && t != "pub" {
+                        fields.push(t.to_string());
+                    }
+                }
+                _ => {}
+            }
+            b += 1;
+        }
+        if !fields.is_empty() {
+            out.push(StructDef {
+                name: name_tok.text.clone(),
+                file_idx,
+                line: name_tok.line,
+                fields,
+            });
+        }
+        j = b.max(j + 1);
+    }
+}
+
+enum Direction {
+    Encode,
+    Decode,
+}
+
+fn classify(name: &str, cfg: &CoverageConfig) -> Option<Direction> {
+    // Decode first: `from_snapshot` contains `snapshot` and must not
+    // land on the encode side.
+    if cfg.decode_markers.iter().any(|m| name.contains(m.as_str())) {
+        return Some(Direction::Decode);
+    }
+    if cfg.encode_markers.iter().any(|m| name.contains(m.as_str())) {
+        return Some(Direction::Encode);
+    }
+    None
+}
+
+/// Runs the L18 coverage proof over the model.
+pub fn coverage_analysis(model: &Model, cfg: &CoverageConfig) -> Vec<Finding> {
+    // Collect struct definitions.
+    let mut defs: Vec<StructDef> = Vec::new();
+    for file_idx in 0..model.files.len() {
+        structs_in_file(model, file_idx, &mut defs);
+    }
+
+    // Classify codec items and collect the token sets of each side.
+    let mut encode_tokens: BTreeSet<String> = BTreeSet::new();
+    let mut decode_tokens: BTreeSet<String> = BTreeSet::new();
+    let mut codec_mentions: BTreeSet<String> = BTreeSet::new();
+    for item in &model.items {
+        let Some(dir) = classify(&item.name, cfg) else {
+            continue;
+        };
+        let Some((bstart, bend)) = item.body else {
+            continue;
+        };
+        let toks = &model.files[item.file_idx].tokens;
+        // Signature tokens (parameter list through the body opener, which
+        // covers the return type) count toward "mentions": a codec item
+        // returning `EstimatorSnapshot` checks that struct.
+        let (sstart, _) = item.sig;
+        for tok in toks.iter().take(bstart.min(toks.len())).skip(sstart) {
+            if is_ident(&tok.text) {
+                codec_mentions.insert(tok.text.clone());
+            }
+        }
+        let side = match dir {
+            Direction::Encode => &mut encode_tokens,
+            Direction::Decode => &mut decode_tokens,
+        };
+        for tok in toks.iter().take(bend.min(toks.len())).skip(bstart) {
+            let t = &tok.text;
+            if is_ident(t) {
+                side.insert(t.clone());
+                codec_mentions.insert(t.clone());
+            }
+        }
+    }
+
+    // Checked structs: named by a codec item or force-listed.
+    let mut findings = Vec::new();
+    for def in &defs {
+        let checked = codec_mentions.contains(def.name.as_str())
+            || cfg.extra_structs.iter().any(|s| s == &def.name);
+        if !checked {
+            continue;
+        }
+        for field in &def.fields {
+            let enc = encode_tokens.contains(field.as_str());
+            let dec = decode_tokens.contains(field.as_str());
+            if enc && dec {
+                continue;
+            }
+            let missing = match (enc, dec) {
+                (false, false) => "either direction",
+                (false, true) => "the encode direction",
+                (true, false) => "the decode direction",
+                (true, true) => unreachable!(),
+            };
+            findings.push(Finding {
+                file: model.files[def.file_idx].label.clone(),
+                line: def.line,
+                code: "L18",
+                token: format!("{}.{}", def.name, field),
+                message: format!(
+                    "checkpoint-carried struct `{}` has field `{field}` not mentioned in \
+                     {missing}: a crash/restore would silently resurrect it from defaults; \
+                     thread it through both the encode and decode paths (or allowlist with \
+                     a proof it is derived state)",
+                    def.name
+                ),
+                chain: Vec::new(),
+                fix: None,
+            });
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.clone(), a.line, a.token.clone()).cmp(&(b.file.clone(), b.line, b.token.clone()))
+    });
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{model::Model, prep};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let model = Model::build(vec![(
+            "t.rs".to_string(),
+            "fixture".to_string(),
+            prep::prepare(src),
+        )]);
+        coverage_analysis(&model, &CoverageConfig::default())
+    }
+
+    #[test]
+    fn forgotten_field_in_decode_is_caught() {
+        let src = "#[derive(Default)]\npub struct Snap { pub a: f64, pub b: f64, pub c: f64 }\n\
+                   pub fn encode_snap(s: &Snap) -> f64 { s.a + s.b + s.c }\n\
+                   pub fn decode_snap(x: f64) -> Snap { let a = x; let b = x; \
+                   Snap { a, b, ..Default::default() } }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].code, "L18");
+        assert_eq!(f[0].token, "Snap.c");
+        assert!(f[0].message.contains("decode direction"));
+    }
+
+    #[test]
+    fn fully_covered_struct_is_clean() {
+        let src = "pub struct Snap { pub a: f64, pub b: f64 }\n\
+                   pub fn encode_snap(s: &Snap) -> f64 { s.a + s.b }\n\
+                   pub fn decode_snap(x: f64) -> Snap { let a = x; let b = x; Snap { a, b } }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn structs_not_touching_codecs_are_ignored() {
+        let src = "pub struct Unrelated { pub z: f64 }\n\
+                   pub fn encode_other(x: f64) -> f64 { x }\n\
+                   pub fn decode_other(x: f64) -> f64 { x }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn tuple_structs_are_skipped() {
+        let src = "pub struct Wrap(pub f64);\n\
+                   pub fn encode_wrap(w: &Wrap) -> f64 { w.0 }\n\
+                   pub fn decode_wrap(x: f64) -> Wrap { Wrap(x) }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn from_snapshot_classifies_as_decode() {
+        // `from_snapshot` contains the `snapshot` encode marker as a
+        // substring; decode-first classification must win, so a field
+        // only mentioned there is still missing on the encode side.
+        let src = "pub struct St { pub w: f64 }\n\
+                   pub fn from_snapshot(x: f64) -> St { St { w: x } }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("encode direction"));
+    }
+}

@@ -72,6 +72,23 @@
 //!   computed summaries/bindings that violate them are reported with
 //!   the full derivation chain. Input assumptions come from the
 //!   `[domains]` table (identifier-suffix → range, L7's binding rule).
+//! * **L16 — hot-path allocation discipline.** Functions reachable from
+//!   the per-slot roots (`FluidSim::run_slot`, `DesSim::run`,
+//!   `*::decide`, `MetricSanitizer::sanitize`, the journal append path)
+//!   must not allocate; findings carry the root→callee chain (see
+//!   [`cost`]). Hot roots come from `[cost] hot_roots` in `lint.toml`.
+//! * **L17 — loop-bound proofs.** Every loop in hot-path code needs a
+//!   derivable bound: `for … in`, a counter `while` with a monotone
+//!   step, a draining `while let`, or a declared `[bounds]` measure.
+//! * **L18 — checkpoint state-coverage.** Every named-field struct that
+//!   travels through an encode/decode, `export_state`/`import_state`,
+//!   or snapshot codec must mention each field in *both* directions —
+//!   a forgotten field silently resurrects from defaults on recovery
+//!   (see [`coverage`]).
+//! * **L19 — complexity budgets.** Syntactic loop-nesting depth in hot
+//!   functions must stay within the per-function `[complexity]` budget
+//!   (default 2) — nested loops over operator/task-sized collections
+//!   are how per-slot work goes superlinear.
 //!
 //! The scanner strips comments, string/char literals, and `#[cfg(test)]`
 //! items before matching, so rule tokens inside those never fire.
@@ -86,6 +103,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub mod absint;
+pub mod cost;
+pub mod coverage;
 pub mod dataflow;
 pub mod domain;
 pub mod model;
@@ -136,6 +155,11 @@ pub struct RuleSet {
     /// L13–L15: interval abstract interpretation (workspace/model pass):
     /// proven div/sqrt/ln preconditions, in-range casts, contracts.
     pub intervals: bool,
+    /// L16/L17/L19: static hot-path cost model (workspace/model pass):
+    /// allocation discipline, loop-bound proofs, complexity budgets.
+    pub cost: bool,
+    /// L18: checkpoint state-coverage proofs (workspace/model pass).
+    pub coverage: bool,
 }
 
 impl RuleSet {
@@ -152,6 +176,8 @@ impl RuleSet {
             indexing: true,
             dataflow: true,
             intervals: true,
+            cost: true,
+            coverage: true,
         }
     }
 
@@ -168,6 +194,8 @@ impl RuleSet {
             indexing: false,
             dataflow: false,
             intervals: false,
+            cost: false,
+            coverage: false,
         }
     }
 
@@ -963,7 +991,7 @@ pub fn lint_files_semantic(sources: &[(String, String)], rules: RuleSet) -> Vec<
         findings.extend(scan(label, &prepared, rules, &units));
         prepared_set.push((label.clone(), "fixture".to_string(), prepared));
     }
-    if rules.reachability || rules.dataflow || rules.intervals {
+    if rules.reachability || rules.dataflow || rules.intervals || rules.cost || rules.coverage {
         let model = model::Model::build(prepared_set);
         if rules.reachability {
             let filter = reach::SiteFilter {
@@ -982,6 +1010,15 @@ pub fn lint_files_semantic(sources: &[(String, String)], rules: RuleSet) -> Vec<
             let outcome = absint::interval_analysis(&model, &absint::AbsintConfig::default());
             suppress_resolved_divisors(&mut findings, &outcome.resolved_divs);
             findings.extend(outcome.findings);
+        }
+        if rules.cost {
+            findings.extend(cost::cost_analysis(&model, &cost::CostConfig::default()).findings);
+        }
+        if rules.coverage {
+            findings.extend(coverage::coverage_analysis(
+                &model,
+                &coverage::CoverageConfig::default(),
+            ));
         }
     }
     findings
@@ -1059,6 +1096,8 @@ pub struct LintConfig {
     pub units: UnitsTable,
     pub flow: taint::FlowConfig,
     pub absint: absint::AbsintConfig,
+    pub cost: cost::CostConfig,
+    pub coverage: coverage::CoverageConfig,
 }
 
 /// Splits one fragment of a `["a", "b"]` array body into its elements.
@@ -1077,6 +1116,7 @@ fn array_elements(fragment: &str, out: &mut Vec<String>) {
 /// with `#` comments and blank lines. Returns the config or a validation
 /// error message.
 pub fn parse_config(text: &str) -> Result<LintConfig, String> {
+    #[derive(Clone, Copy, PartialEq)]
     enum Section {
         None,
         Allow,
@@ -1084,31 +1124,43 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
         Flow,
         Domains,
         Contracts,
+        Cost,
+        Bounds,
+        Complexity,
+        Coverage,
     }
     let mut entries: Vec<AllowEntry> = Vec::new();
     let mut units = UnitsTable::default();
     let mut flow = taint::FlowConfig::default();
     let mut domains = absint::DomainsTable::defaults();
+    let mut cost_cfg = cost::CostConfig::default();
+    let mut coverage_cfg = coverage::CoverageConfig::default();
     // Contract bounds may name `[domains]` keys, so they resolve after
     // the whole file is read: (key, lo_raw, hi_raw, line).
     let mut contract_raw: Vec<(String, String, String, usize)> = Vec::new();
     let mut current: Option<AllowEntry> = None;
     let mut section = Section::None;
-    // A `[flow]` array opened with `[` but not yet closed with `]`.
-    let mut open_array: Option<(String, Vec<String>)> = None;
+    // An array value opened with `[` but not yet closed with `]`, with the
+    // section whose `set_key` consumes it on close.
+    let mut open_array: Option<(Section, String, Vec<String>)> = None;
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if let Some((key, mut vals)) = open_array.take() {
+        if let Some((sec, key, mut vals)) = open_array.take() {
             let closes = line.contains(']');
             array_elements(line.trim_end_matches(']'), &mut vals);
             if closes {
-                flow.set_key(&key, &vals)
-                    .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
+                match sec {
+                    Section::Flow => flow.set_key(&key, &vals),
+                    Section::Cost => cost_cfg.set_key(&key, &vals),
+                    Section::Coverage => coverage_cfg.set_key(&key, &vals),
+                    _ => Err("array value outside an array section".to_string()),
+                }
+                .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
             } else {
-                open_array = Some((key, vals));
+                open_array = Some((sec, key, vals));
             }
             continue;
         }
@@ -1146,6 +1198,34 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
                 entries.push(e);
             }
             section = Section::Contracts;
+            continue;
+        }
+        if line == "[cost]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Cost;
+            continue;
+        }
+        if line == "[bounds]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Bounds;
+            continue;
+        }
+        if line == "[complexity]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Complexity;
+            continue;
+        }
+        if line == "[coverage]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            section = Section::Coverage;
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -1186,22 +1266,37 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
                 }
                 contract_raw.push((key.to_string(), lo_s, hi_s, ln + 1));
             }
-            Section::Flow => {
+            Section::Flow | Section::Cost | Section::Coverage => {
                 let Some(body) = raw_value.strip_prefix('[') else {
                     return Err(format!(
-                        "lint.toml:{}: [flow] values must be string arrays, got `{raw_value}`",
+                        "lint.toml:{}: values in this section must be string arrays, \
+                         got `{raw_value}`",
                         ln + 1
                     ));
                 };
                 let mut vals = Vec::new();
                 if body.contains(']') {
                     array_elements(body.trim_end_matches(']'), &mut vals);
-                    flow.set_key(key, &vals)
-                        .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
+                    match section {
+                        Section::Flow => flow.set_key(key, &vals),
+                        Section::Cost => cost_cfg.set_key(key, &vals),
+                        _ => coverage_cfg.set_key(key, &vals),
+                    }
+                    .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
                 } else {
                     array_elements(body, &mut vals);
-                    open_array = Some((key.to_string(), vals));
+                    open_array = Some((section, key.to_string(), vals));
                 }
+            }
+            Section::Bounds => {
+                cost_cfg
+                    .add_bound(key, &value)
+                    .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
+            }
+            Section::Complexity => {
+                cost_cfg
+                    .add_budget(key, &value)
+                    .map_err(|e| format!("lint.toml:{}: {e}", ln + 1))?;
             }
             Section::Units => {
                 if key.is_empty()
@@ -1247,10 +1342,8 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
             }
         }
     }
-    if let Some((key, _)) = open_array {
-        return Err(format!(
-            "lint.toml: [flow] array `{key}` is never closed with `]`"
-        ));
+    if let Some((_, key, _)) = open_array {
+        return Err(format!("lint.toml: array `{key}` is never closed with `]`"));
     }
     if let Some(e) = current.take() {
         entries.push(e);
@@ -1275,9 +1368,13 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
                 | "L13"
                 | "L14"
                 | "L15"
+                | "L16"
+                | "L17"
+                | "L18"
+                | "L19"
         ) {
             return Err(format!(
-                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L15",
+                "lint.toml allow entry #{} ({}): `lint` must be one of L1..L19",
                 k + 1,
                 e.path
             ));
@@ -1321,6 +1418,8 @@ pub fn parse_config(text: &str) -> Result<LintConfig, String> {
         units,
         flow,
         absint: absint::AbsintConfig { domains, contracts },
+        cost: cost_cfg,
+        coverage: coverage_cfg,
     })
 }
 
@@ -1403,6 +1502,9 @@ pub struct WorkspaceReport {
     pub unused_entries: Vec<AllowEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Raw (pre-allowlist) per-function cost report from the L16/L17/L19
+    /// pass — the `--cost-report` / cost-ratchet payload.
+    pub cost: cost::CostReport,
 }
 
 /// Lints every library and harness crate `src/` tree under `root`:
@@ -1470,6 +1572,17 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, 
     suppress_resolved_divisors(&mut raw, &outcome.resolved_divs);
     raw.extend(outcome.findings);
 
+    // L16/L17/L19: static hot-path cost model over the library call
+    // graph. The raw per-function report is kept pre-allowlist: the
+    // allowlist can justify individual sites, but the cost ratchet
+    // tracks the true totals.
+    let cost_outcome = cost::cost_analysis(&model, &cfg.cost);
+    raw.extend(cost_outcome.findings);
+    report.cost = cost_outcome.report;
+
+    // L18: checkpoint state-coverage proofs over the library model.
+    raw.extend(coverage::coverage_analysis(&model, &cfg.coverage));
+
     for f in raw {
         let mut suppressed = false;
         for (k, e) in cfg.allow.iter().enumerate() {
@@ -1494,6 +1607,73 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, 
         }
     }
     Ok(report)
+}
+
+/// Result of applying suggested fixes in place (`--fix`).
+#[derive(Clone, Debug, Default)]
+pub struct FixOutcome {
+    /// `file:line` descriptions of patches written to disk.
+    pub applied: Vec<String>,
+    /// Fixes that could not be applied (the scanned text no longer
+    /// matches, or the rendered original is approximate), with reasons.
+    pub skipped: Vec<String>,
+}
+
+/// Applies the suggested fixes carried by `findings` directly to the
+/// files under `root`. A fix is applied only when the finding's line
+/// still contains the rendered `original` exactly (first occurrence);
+/// anything else is skipped and reported rather than guessed at. The
+/// operation is idempotent: once a fix is applied, re-linting no longer
+/// produces the finding, so a second `--fix` run is a no-op.
+///
+/// # Errors
+/// Returns `Err` if a file cannot be read or written.
+pub fn apply_fixes(root: &Path, findings: &[Finding]) -> Result<FixOutcome, String> {
+    let mut out = FixOutcome::default();
+    // Group fixes by file so each file is rewritten at most once.
+    let mut by_file: std::collections::BTreeMap<&str, Vec<&Finding>> =
+        std::collections::BTreeMap::new();
+    for f in findings.iter().filter(|f| f.fix.is_some()) {
+        by_file.entry(f.file.as_str()).or_default().push(f);
+    }
+    for (file, fixes) in by_file {
+        let path = root.join(file);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("--fix: cannot read {}: {e}", path.display()))?;
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut touched = false;
+        for f in fixes {
+            let Some(fix) = &f.fix else { continue };
+            let Some(line) = f.line.checked_sub(1).and_then(|i| lines.get_mut(i)) else {
+                out.skipped
+                    .push(format!("{file}:{}: line out of range", f.line));
+                continue;
+            };
+            if let Some(at) = line.find(&fix.original) {
+                line.replace_range(at..at + fix.original.len(), &fix.replacement);
+                touched = true;
+                out.applied.push(format!(
+                    "{file}:{}: `{}` -> `{}`",
+                    f.line, fix.original, fix.replacement
+                ));
+            } else {
+                out.skipped.push(format!(
+                    "{file}:{}: `{}` not found on the line (edited since the scan, or \
+                     the rendered fix is approximate) — apply by hand",
+                    f.line, fix.original
+                ));
+            }
+        }
+        if touched {
+            let mut body = lines.join("\n");
+            if text.ends_with('\n') {
+                body.push('\n');
+            }
+            fs::write(&path, body)
+                .map_err(|e| format!("--fix: cannot write {}: {e}", path.display()))?;
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

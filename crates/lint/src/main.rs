@@ -16,6 +16,17 @@
 //!   and how to fix a finding (e.g. `-- --explain L9`), then exit.
 //! * `-- --fix-dry-run` — additionally print the suggested patches that
 //!   mechanical findings (L8, L12) carry; nothing is written to disk.
+//! * `-- --fix` — apply those suggested patches in place. Only lines
+//!   that still contain the scanned text exactly are rewritten; the
+//!   rest are reported for hand-editing. Idempotent: a second run
+//!   applies nothing.
+//! * `-- --cost-report` — print the per-function hot-path cost report
+//!   (L16/L17/L19 raw allocation/loop counts) as JSON on stdout.
+//! * `-- --write-cost-baseline` — rewrite `cost-baseline.json` from the
+//!   current run (use after paying down hot-path allocations).
+//! * `-- --cost-ratchet` — compare the cost report against
+//!   `cost-baseline.json`: fail if any hot function gained allocations
+//!   or loop depth, or new allocating hot functions appeared.
 //! * `cargo run -p dragster-lint -- <file.rs>...` — lint specific files
 //!   with every rule enabled (including L5 across the given set, with
 //!   call chains for all panic-site kinds) and no allowlist; used by the
@@ -26,8 +37,11 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use dragster_lint::cost::{cost_ratchet, CostReport};
 use dragster_lint::report::{explain, ratchet, to_sarif, Baseline};
-use dragster_lint::{lint_files_semantic, lint_workspace, parse_config, LintConfig, RuleSet};
+use dragster_lint::{
+    apply_fixes, lint_files_semantic, lint_workspace, parse_config, LintConfig, RuleSet,
+};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -42,6 +56,10 @@ struct Options {
     baseline_path: Option<String>,
     explain: Option<String>,
     fix_dry_run: bool,
+    fix: bool,
+    cost_report: bool,
+    cost_ratchet: bool,
+    write_cost_baseline: bool,
     files: Vec<String>,
 }
 
@@ -53,6 +71,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline_path: None,
         explain: None,
         fix_dry_run: false,
+        fix: false,
+        cost_report: false,
+        cost_ratchet: false,
+        write_cost_baseline: false,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -73,10 +95,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.baseline_path = Some(v.clone());
             }
             "--explain" => {
-                let v = it.next().ok_or("--explain needs a rule code (L1..L15)")?;
+                let v = it.next().ok_or("--explain needs a rule code (L1..L19)")?;
                 opts.explain = Some(v.clone());
             }
             "--fix-dry-run" => opts.fix_dry_run = true,
+            "--fix" => opts.fix = true,
+            "--cost-report" => opts.cost_report = true,
+            "--cost-ratchet" => opts.cost_ratchet = true,
+            "--write-cost-baseline" => opts.write_cost_baseline = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -91,6 +117,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if (opts.ratchet || opts.write_baseline) && !opts.files.is_empty() {
         return Err("baseline modes only apply to workspace runs (no file args)".to_string());
+    }
+    if opts.fix && opts.fix_dry_run {
+        return Err("--fix and --fix-dry-run are mutually exclusive".to_string());
+    }
+    if opts.cost_ratchet && opts.write_cost_baseline {
+        return Err("--cost-ratchet and --write-cost-baseline are mutually exclusive".to_string());
+    }
+    if (opts.cost_report || opts.cost_ratchet || opts.write_cost_baseline) && !opts.files.is_empty()
+    {
+        return Err("cost modes only apply to workspace runs (no file args)".to_string());
     }
     Ok(opts)
 }
@@ -132,7 +168,28 @@ fn print_fix_patches(findings: &[dragster_lint::Finding]) {
     );
 }
 
-fn lint_files(paths: &[String], format: Format, fix_dry_run: bool) -> ExitCode {
+/// `--fix`: applies the suggested patches in place and reports what was
+/// written and what needs a human.
+fn report_applied_fixes(
+    root: &std::path::Path,
+    findings: &[dragster_lint::Finding],
+) -> Result<(), String> {
+    let out = apply_fixes(root, findings)?;
+    for a in &out.applied {
+        println!("fixed {a}");
+    }
+    for s in &out.skipped {
+        eprintln!("dragster-lint: skipped {s}");
+    }
+    eprintln!(
+        "dragster-lint: --fix applied {} patch(es), skipped {}",
+        out.applied.len(),
+        out.skipped.len()
+    );
+    Ok(())
+}
+
+fn lint_files(paths: &[String], format: Format, fix_dry_run: bool, fix: bool) -> ExitCode {
     let mut sources = Vec::new();
     for p in paths {
         match fs::read_to_string(p) {
@@ -153,6 +210,14 @@ fn lint_files(paths: &[String], format: Format, fix_dry_run: bool) -> ExitCode {
     }
     if fix_dry_run {
         print_fix_patches(&findings);
+    }
+    if fix {
+        // File labels are the paths as given, so apply relative to cwd.
+        let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        if let Err(e) = report_applied_fixes(&cwd, &findings) {
+            eprintln!("dragster-lint: {e}");
+            return ExitCode::from(2);
+        }
     }
     if findings.is_empty() {
         if format == Format::Human {
@@ -194,6 +259,12 @@ fn lint_tree(opts: &Options) -> ExitCode {
     if opts.fix_dry_run {
         print_fix_patches(&report.findings);
     }
+    if opts.fix {
+        if let Err(e) = report_applied_fixes(&root, &report.findings) {
+            eprintln!("dragster-lint: {e}");
+            return ExitCode::from(2);
+        }
+    }
     for e in &report.unused_entries {
         eprintln!(
             "dragster-lint: stale allowlist entry (matched nothing): {} [{}] — remove it",
@@ -206,6 +277,89 @@ fn lint_tree(opts: &Options) -> ExitCode {
         .clone()
         .map(PathBuf::from)
         .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    if opts.cost_report {
+        print!("{}", report.cost.to_json());
+    }
+
+    let cost_baseline_path = root.join("cost-baseline.json");
+    if opts.write_cost_baseline {
+        if let Err(e) = fs::write(&cost_baseline_path, report.cost.to_json()) {
+            eprintln!(
+                "dragster-lint: cannot write {}: {e}",
+                cost_baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "dragster-lint: wrote cost baseline ({} hot function(s), {} allocation(s)) to {}",
+            report.cost.functions.len(),
+            report.cost.total_allocs(),
+            cost_baseline_path.display()
+        );
+    }
+
+    if opts.cost_ratchet {
+        let base = match fs::read_to_string(&cost_baseline_path) {
+            Ok(text) => match CostReport::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("dragster-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "dragster-lint: cannot read {}: {e} (run --write-cost-baseline first)",
+                    cost_baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let out = cost_ratchet(&base, &report.cost);
+        for (name, n) in &out.new_fns {
+            eprintln!(
+                "dragster-lint: NEW hot function `{name}` carries {n} allocation(s) \
+                 (see --explain L16)"
+            );
+        }
+        for (name, was, now) in &out.grew {
+            eprintln!(
+                "dragster-lint: hot function `{name}` allocations grew {was} -> {now} \
+                 (see --explain L16)"
+            );
+        }
+        for (name, was, now) in &out.deeper {
+            eprintln!(
+                "dragster-lint: hot function `{name}` loop depth grew {was} -> {now} \
+                 (see --explain L19)"
+            );
+        }
+        if out.current_allocs > out.baseline_allocs {
+            eprintln!(
+                "dragster-lint: hot-path allocations grew {} -> {} — the cost ratchet \
+                 only turns one way",
+                out.baseline_allocs, out.current_allocs
+            );
+        }
+        if out.can_tighten() {
+            eprintln!(
+                "dragster-lint: hot-path cost paid down ({} -> {} allocation(s)); rewrite \
+                 the baseline with --write-cost-baseline to lock it in",
+                out.baseline_allocs, out.current_allocs
+            );
+        }
+        return if out.ok() {
+            eprintln!(
+                "dragster-lint: cost ratchet holds ({} hot function(s), {} allocation(s))",
+                report.cost.functions.len(),
+                out.current_allocs
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     if opts.write_baseline {
         let base = Baseline::from_findings(&report.findings);
@@ -311,7 +465,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("dragster-lint: unknown rule `{code}` (try L1..L15)");
+                eprintln!("dragster-lint: unknown rule `{code}` (try L1..L19)");
                 ExitCode::from(2)
             }
         };
@@ -319,6 +473,6 @@ fn main() -> ExitCode {
     if opts.files.is_empty() {
         lint_tree(&opts)
     } else {
-        lint_files(&opts.files, opts.format, opts.fix_dry_run)
+        lint_files(&opts.files, opts.format, opts.fix_dry_run, opts.fix)
     }
 }

@@ -255,7 +255,12 @@ impl Model {
         }
         if let Some(q) = &call.qualifier {
             let crate_q = q.strip_prefix("dragster_").unwrap_or(q.as_str());
-            let matched: Vec<usize> = cands
+            // A qualifier that matches no owner/module/crate names an
+            // external type (`BinaryHeap::new`, `u64::from`, …): the call
+            // targets code outside the workspace, not every same-named
+            // item in it. Returning all candidates here used to drag every
+            // constructor into L16's hot set via any `X::new` call.
+            return cands
                 .iter()
                 .copied()
                 .filter(|&i| {
@@ -266,10 +271,6 @@ impl Model {
                         || it.crate_name == crate_q
                 })
                 .collect();
-            if !matched.is_empty() {
-                return matched;
-            }
-            return cands.clone();
         }
         // Free call: plain functions only.
         cands

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 // when the dependency graph is broken).
 // ---------------------------------------------------------------------------
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -251,6 +251,13 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ),
     ("L14", "cast or counter arithmetic not proven in-range"),
     ("L15", "controller contract violated by computed interval"),
+    ("L16", "allocation in the per-slot hot path"),
+    ("L17", "hot-path loop without a derivable bound"),
+    (
+        "L18",
+        "checkpoint-carried field missing from a codec direction",
+    ),
+    ("L19", "hot-path loop nesting exceeds its complexity budget"),
 ];
 
 /// Long-form rationale, a minimal violating example, and the fix pattern
@@ -388,6 +395,48 @@ const RULE_EXPLANATIONS: &[(&str, &str)] = &[
          the offending expression back through its definitions.\n\
          Violates:  fn dual_update(..) { *lam = *lam + g * grad; }  // can go negative\n\
          Fix:       *lam = (*lam + g * grad).max(0.0);",
+    ),
+    (
+        "L16",
+        "Why: Theorem 1's regret bound assumes per-slot controller work is\n\
+         negligible next to the slot length; allocations in the decide/\n\
+         sanitize/journal path are the first thing that breaks that at\n\
+         scale. Everything reachable from the per-slot roots ([cost]\n\
+         hot_roots) must reuse storage. Findings carry the root->callee\n\
+         chain; the raw counts feed the cost-baseline ratchet.\n\
+         Violates:  let caps: Vec<f64> = tasks.iter().map(cap).collect();  // per tick\n\
+         Fix:       self.scratch.caps.clear(); self.scratch.caps.extend(tasks.iter().map(cap));",
+    ),
+    (
+        "L17",
+        "Why: an unbounded retry/polling loop in the per-slot path turns a\n\
+         transient fault into a wedged controller. Every hot loop needs a\n\
+         derivable bound: `for .. in` over a finite collection, a counter\n\
+         `while` with a monotone step, a draining `while let` (.next/.pop),\n\
+         or a declared [bounds] measure naming the termination argument.\n\
+         Violates:  while !converged { step(); }\n\
+         Fix:       for _ in 0..MAX_ITERS { step(); if converged { break; } }\n\
+         or:        [bounds] \"Solver::run\" = \"event horizon bounds the heap\"",
+    ),
+    (
+        "L18",
+        "Why: a field added to learner state but forgotten in export_state/\n\
+         import_state or the journal codec corrupts recovery silently — the\n\
+         restored controller is *almost* the one that crashed. Every named-\n\
+         field struct that travels through a codec item must mention each\n\
+         field on both the encode and decode sides.\n\
+         Violates:  Snap { a, b, ..Default::default() }   // decode forgot `c`\n\
+         Fix:       Snap { a, b, c: f(\"c\")? }           // or prove it derived + allowlist",
+    ),
+    (
+        "L19",
+        "Why: nested loops over operator/task-sized collections make per-slot\n\
+         work superlinear in topology size — exactly the controller-overhead\n\
+         wall Demeter/Daedalus report at scale. Hot functions get a loop-\n\
+         nesting budget (default 2); deliberate dense kernels raise it\n\
+         per-function in [complexity] with justification.\n\
+         Violates:  for i in ops { for j in ops { for k in tasks { .. } } }\n\
+         Fix:       restructure, or [complexity] \"Gp::refit\" = 3  # dense kernel",
     ),
 ];
 

@@ -357,6 +357,117 @@ fn l15_clamped_posterior_satisfies_contract() {
 }
 
 #[test]
+fn l16_allocating_hot_callee_carries_root_to_callee_chain() {
+    let findings = semantic_fixture("l16_alloc_pos.rs");
+    assert_findings("l16_alloc_pos.rs", &findings, "L16", 1);
+    let f = &findings[0];
+    assert_eq!(f.token, "to_vec", "wrong allocation site: {f:#?}");
+    assert_eq!(
+        chain_tails(f),
+        vec!["decide", "expand"],
+        "chain must walk hot root -> allocating callee: {f:#?}"
+    );
+    assert!(
+        f.message.contains("scratch buffer"),
+        "the finding must point at the fix idiom: {}",
+        f.message
+    );
+}
+
+#[test]
+fn l16_scratch_buffer_idiom_stays_silent() {
+    let findings = semantic_fixture("l16_alloc_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l16_alloc_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l16_allocation_inside_hot_closure_is_still_hot() {
+    let findings = semantic_fixture("l16_closure_pos.rs");
+    assert_findings("l16_closure_pos.rs", &findings, "L16", 1);
+    assert_eq!(
+        findings[0].token, "vec!",
+        "the closure-body allocation must be the site: {:#?}",
+        findings[0]
+    );
+}
+
+#[test]
+fn l16_impl_trait_and_generic_calls_stay_silent() {
+    let findings = semantic_fixture("l16_generic_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l16_generic_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l17_polling_while_without_measure_triggers_exactly_l17() {
+    let findings = semantic_fixture("l17_loop_pos.rs");
+    assert_findings("l17_loop_pos.rs", &findings, "L17", 1);
+    assert!(
+        findings[0].message.contains("[bounds]"),
+        "the finding must point at the measure escape hatch: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn l17_derivably_bounded_loops_stay_silent() {
+    let findings = semantic_fixture("l17_loop_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l17_loop_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l18_field_forgotten_by_decoder_triggers_exactly_l18() {
+    let findings = semantic_fixture("l18_coverage_pos.rs");
+    assert_findings("l18_coverage_pos.rs", &findings, "L18", 1);
+    let f = &findings[0];
+    assert_eq!(f.token, "LearnerState.bias", "wrong field: {f:#?}");
+    assert!(
+        f.message.contains("decode direction"),
+        "the finding must name the missing direction: {}",
+        f.message
+    );
+}
+
+#[test]
+fn l18_fully_covered_codec_stays_silent() {
+    let findings = semantic_fixture("l18_coverage_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l18_coverage_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn l19_triple_nesting_over_budget_triggers_exactly_l19() {
+    let findings = semantic_fixture("l19_nesting_pos.rs");
+    assert_findings("l19_nesting_pos.rs", &findings, "L19", 1);
+    let f = &findings[0];
+    assert_eq!(f.token, "depth 3", "wrong depth: {f:#?}");
+    assert!(
+        f.message.contains("[complexity]"),
+        "the finding must point at the budget escape hatch: {}",
+        f.message
+    );
+}
+
+#[test]
+fn l19_nesting_at_budget_stays_silent() {
+    let findings = semantic_fixture("l19_nesting_neg.rs");
+    assert!(
+        findings.is_empty(),
+        "l19_nesting_neg.rs flagged: {findings:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     let findings = fixture("clean.rs");
     assert!(findings.is_empty(), "clean.rs flagged: {findings:#?}");
@@ -392,6 +503,16 @@ fn every_fixture_is_covered_by_a_test() {
             "l14_cast_pos.rs",
             "l15_contract_neg.rs",
             "l15_contract_pos.rs",
+            "l16_alloc_neg.rs",
+            "l16_alloc_pos.rs",
+            "l16_closure_pos.rs",
+            "l16_generic_neg.rs",
+            "l17_loop_neg.rs",
+            "l17_loop_pos.rs",
+            "l18_coverage_neg.rs",
+            "l18_coverage_pos.rs",
+            "l19_nesting_neg.rs",
+            "l19_nesting_pos.rs",
             "l1_expect.rs",
             "l1_panic.rs",
             "l1_unwrap.rs",

@@ -1,0 +1,21 @@
+//! L16 negative: the scratch-buffer idiom — `mem::take`, `clear` +
+//! `extend`, `clone_from` — reuses storage across slots and must stay
+//! silent.
+
+pub struct Scaler {
+    pub gain: f64,
+    scratch: Vec<f64>,
+    last: Vec<f64>,
+}
+
+impl Scaler {
+    pub fn decide(&mut self, loads: &[f64]) -> f64 {
+        let mut work = std::mem::take(&mut self.scratch);
+        work.clear();
+        work.extend(loads.iter().map(|l| l * self.gain));
+        let total = work.iter().sum::<f64>();
+        self.last.clone_from(&work);
+        self.scratch = work;
+        total
+    }
+}

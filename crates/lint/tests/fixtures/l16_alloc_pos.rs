@@ -1,0 +1,17 @@
+//! L16 positive: a `decide` hot root reaches an allocating helper — the
+//! finding must carry the root → callee chain.
+
+pub struct Scaler {
+    pub gain: f64,
+}
+
+impl Scaler {
+    pub fn decide(&mut self, loads: &[f64]) -> f64 {
+        let doubled = self.expand(loads);
+        doubled.iter().sum::<f64>() * self.gain
+    }
+
+    fn expand(&self, loads: &[f64]) -> Vec<f64> {
+        loads.to_vec()
+    }
+}

@@ -1,0 +1,21 @@
+//! L16 edge case: an allocation inside a closure defined in a hot body
+//! is still hot — the closure captures hot-path locals and runs once per
+//! element, every slot.
+
+pub struct Mapper {
+    pub gain: f64,
+}
+
+impl Mapper {
+    pub fn decide(&self, loads: &[f64]) -> f64 {
+        let gain = self.gain;
+        let expand = |l: &f64| vec![l * gain, l + gain];
+        let mut total = 0.0;
+        for l in loads {
+            for part in expand(l) {
+                total += part;
+            }
+        }
+        total
+    }
+}

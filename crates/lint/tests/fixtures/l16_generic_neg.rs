@@ -1,0 +1,22 @@
+//! L16 edge case: `impl Trait` returns and generic method calls stay in
+//! the call graph without dragging external constructors into the hot
+//! set — iterator adapters borrow, they do not allocate.
+
+pub struct Folder {
+    pub bias: f64,
+}
+
+impl Folder {
+    pub fn decide(&self, xs: &[f64]) -> f64 {
+        let raw = self.shifted(xs).fold(0.0, |acc, v| acc + v);
+        self.apply(raw, |v| v * 0.5)
+    }
+
+    fn shifted<'a>(&'a self, xs: &'a [f64]) -> impl Iterator<Item = f64> + 'a {
+        xs.iter().map(move |x| x + self.bias)
+    }
+
+    fn apply<F: Fn(f64) -> f64>(&self, x: f64, f: F) -> f64 {
+        f(x)
+    }
+}

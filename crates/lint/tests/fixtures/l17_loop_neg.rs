@@ -1,0 +1,25 @@
+//! L17 negative: every hot loop has a derivable bound — `for` over a
+//! finite collection, a counted `while` with a monotone step, a
+//! `while let` draining a queue.
+
+pub struct Drainer {
+    pub queue: Vec<f64>,
+}
+
+impl Drainer {
+    pub fn decide(&mut self, xs: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for x in xs {
+            total += x;
+        }
+        let mut i = 0;
+        while i < xs.len() {
+            total += 1.0;
+            i += 1;
+        }
+        while let Some(v) = self.queue.pop() {
+            total += v;
+        }
+        total
+    }
+}

@@ -1,0 +1,21 @@
+//! L17 positive: a condition-polling `while` in a hot root has no
+//! derivable bound — it needs a declared `[bounds]` measure.
+
+pub struct Poller {
+    pub target: u64,
+}
+
+impl Poller {
+    pub fn decide(&mut self, mut signal: u64) -> u64 {
+        let mut spins = 0;
+        while signal != self.target {
+            signal = next_signal(signal);
+            spins += 1;
+        }
+        spins
+    }
+}
+
+fn next_signal(s: u64) -> u64 {
+    s.wrapping_mul(31).wrapping_add(7)
+}

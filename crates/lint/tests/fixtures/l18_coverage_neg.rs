@@ -1,0 +1,17 @@
+//! L18 negative: every field of the checkpoint-carried struct is
+//! mentioned in both the encode and decode directions.
+
+pub struct LearnerState {
+    pub weights: f64,
+    pub bias: f64,
+}
+
+pub fn encode_state(s: &LearnerState) -> (f64, f64) {
+    (s.weights, s.bias)
+}
+
+pub fn decode_state(raw: (f64, f64)) -> LearnerState {
+    let weights = raw.0;
+    let bias = raw.1;
+    LearnerState { weights, bias }
+}

@@ -1,0 +1,21 @@
+//! L18 positive: `LearnerState.bias` is written by the encoder but
+//! forgotten by the decoder — a crash/restore would silently resurrect
+//! it from `Default`.
+
+#[derive(Default)]
+pub struct LearnerState {
+    pub weights: f64,
+    pub bias: f64,
+}
+
+pub fn encode_state(s: &LearnerState) -> (f64, f64) {
+    (s.weights, s.bias)
+}
+
+pub fn decode_state(raw: (f64, f64)) -> LearnerState {
+    let weights = raw.0;
+    LearnerState {
+        weights,
+        ..Default::default()
+    }
+}

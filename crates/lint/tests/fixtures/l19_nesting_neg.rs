@@ -1,0 +1,21 @@
+//! L19 negative: two nested loops sit exactly at the default budget and
+//! must stay silent.
+
+pub struct Planner {
+    pub floor: f64,
+}
+
+impl Planner {
+    pub fn decide(&self, ops: &[f64], tasks: &[f64]) -> f64 {
+        let mut best = self.floor;
+        for a in ops {
+            for b in tasks {
+                let score = a + b;
+                if score > best {
+                    best = score;
+                }
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,24 @@
+//! L19 positive: a triple-nested loop in a hot root exceeds the default
+//! nesting budget of 2 — per-slot work shaped like this goes superlinear
+//! in operators × tasks.
+
+pub struct Planner {
+    pub floor: f64,
+}
+
+impl Planner {
+    pub fn decide(&self, ops: &[f64], tasks: &[f64]) -> f64 {
+        let mut best = self.floor;
+        for a in ops {
+            for b in tasks {
+                for c in tasks {
+                    let score = a + b + c;
+                    if score > best {
+                        best = score;
+                    }
+                }
+            }
+        }
+        best
+    }
+}

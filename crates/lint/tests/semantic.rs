@@ -5,7 +5,7 @@ use std::fs;
 use std::path::Path;
 
 use dragster_lint::report::{parse_json, partial_fingerprint, ratchet, to_sarif, Baseline, Json};
-use dragster_lint::{lint_files_semantic, Finding, RuleSet};
+use dragster_lint::{apply_fixes, lint_files_semantic, Finding, RuleSet};
 
 fn fixture_findings(names: &[&str]) -> Vec<Finding> {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
@@ -149,4 +149,40 @@ fn baseline_v1_files_migrate_on_read() {
     assert_eq!(migrated.total(), findings.len());
     let outcome = ratchet(&migrated, &findings);
     assert!(outcome.ok(), "migrated v1 must match v2 runs: {outcome:?}");
+}
+
+#[test]
+fn fix_applied_twice_is_a_no_op() {
+    // `--fix` must be idempotent: the first pass rewrites `xs[i]` into
+    // `xs.get(i)`, the rescan of the patched file carries no mechanical
+    // fix for that site, and the bytes stop changing.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let tmp = std::env::temp_dir().join("dragster-lint-fix-idempotence");
+    fs::create_dir_all(&tmp).expect("temp dir creatable");
+    let name = "l8_index_pos.rs";
+    let src = fs::read_to_string(dir.join(name)).expect("fixture readable");
+    fs::write(tmp.join(name), &src).expect("temp copy writable");
+
+    let scan = |root: &Path| -> Vec<Finding> {
+        let text = fs::read_to_string(root.join(name)).expect("copy readable");
+        lint_files_semantic(&[(name.to_string(), text)], RuleSet::all())
+    };
+
+    let first = apply_fixes(&tmp, &scan(&tmp)).expect("first --fix pass");
+    assert!(
+        !first.applied.is_empty(),
+        "the L8 fixture must yield a mechanical fix: {first:?}"
+    );
+    let after_first = fs::read_to_string(tmp.join(name)).expect("patched copy readable");
+    assert_ne!(after_first, src, "the first pass must rewrite the file");
+
+    let second = apply_fixes(&tmp, &scan(&tmp)).expect("second --fix pass");
+    assert!(
+        second.applied.is_empty(),
+        "the second pass must apply nothing: {:?}",
+        second.applied
+    );
+    let after_second = fs::read_to_string(tmp.join(name)).expect("patched copy readable");
+    assert_eq!(after_first, after_second, "--fix must be idempotent");
+    let _ = fs::remove_dir_all(&tmp);
 }

@@ -123,12 +123,23 @@ impl Application {
 
     /// True (noise-free) capacity vector for a deployment.
     pub fn true_capacities(&self, tasks: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(tasks.len());
+        self.true_capacities_into(tasks, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Application::true_capacities`]: clears
+    /// `out` and fills it in place (the fluid engine calls this every
+    /// slot with a reused scratch vector).
+    pub fn true_capacities_into(&self, tasks: &[usize], out: &mut Vec<f64>) {
         assert_eq!(tasks.len(), self.capacity_models.len());
-        self.capacity_models
-            .iter()
-            .zip(tasks.iter())
-            .map(|(m, &n)| m.capacity(n))
-            .collect()
+        out.clear();
+        out.extend(
+            self.capacity_models
+                .iter()
+                .zip(tasks.iter())
+                .map(|(m, &n)| m.capacity(n)),
+        );
     }
 
     /// Noise-free steady-state application throughput for a deployment —

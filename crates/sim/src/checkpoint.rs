@@ -155,6 +155,49 @@ pub fn encode_operator_metrics(om: &OperatorMetrics) -> Json {
     ])
 }
 
+/// Writes one operator reading directly into `out`, byte-identical to
+/// `encode_operator_metrics(om).render()` but without building the
+/// intermediate [`Json`] tree. The journal appends one record per slot,
+/// which put the tree construction (a dozen `String` key allocations per
+/// operator) on the controller hot path; the writer pair keeps the wire
+/// format while allocating nothing. Byte-equality with the tree encoder
+/// is pinned by tests, so [`decode_operator_metrics`] is the inverse of
+/// both.
+pub fn write_operator_metrics(om: &OperatorMetrics, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    json::escape_into(&om.name, out);
+    out.push_str("\",\"tasks\":");
+    json::push_usize(om.tasks, out);
+    out.push_str(",\"input_rate\":\"");
+    json::push_f64_hex(om.input_rate, out);
+    out.push_str("\",\"input_rates\":[");
+    for (i, &r) in om.input_rates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json::push_f64_hex(r, out);
+        out.push('"');
+    }
+    out.push_str("],\"output_rate\":\"");
+    json::push_f64_hex(om.output_rate, out);
+    out.push_str("\",\"offered_load\":\"");
+    json::push_f64_hex(om.offered_load, out);
+    out.push_str("\",\"cpu_util\":\"");
+    json::push_f64_hex(om.cpu_util, out);
+    out.push_str("\",\"capacity_sample\":\"");
+    json::push_f64_hex(om.capacity_sample, out);
+    out.push_str("\",\"buffer_tuples\":\"");
+    json::push_f64_hex(om.buffer_tuples, out);
+    out.push_str("\",\"latency_estimate_secs\":\"");
+    json::push_f64_hex(om.latency_estimate_secs, out);
+    out.push_str("\",\"backpressure\":");
+    out.push_str(if om.backpressure { "true" } else { "false" });
+    out.push_str(",\"degraded\":");
+    out.push_str(if om.degraded { "true" } else { "false" });
+    out.push('}');
+}
+
 /// Decodes one operator reading (inverse of [`encode_operator_metrics`]).
 pub fn decode_operator_metrics(j: &Json) -> Result<OperatorMetrics, CheckpointError> {
     let f = |k: &str| {
@@ -216,6 +259,47 @@ pub fn encode_slot_metrics(m: &SlotMetrics) -> Json {
             Json::Arr(m.operators.iter().map(encode_operator_metrics).collect()),
         ),
     ])
+}
+
+/// Writes one raw slot snapshot directly into `out`, byte-identical to
+/// `encode_slot_metrics(m).render()` (see [`write_operator_metrics`] for
+/// why the allocation-free form exists).
+pub fn write_slot_metrics(m: &SlotMetrics, out: &mut String) {
+    out.push_str("{\"t\":");
+    json::push_usize(m.t, out);
+    out.push_str(",\"sim_time_secs\":\"");
+    json::push_f64_hex(m.sim_time_secs, out);
+    out.push_str("\",\"throughput\":\"");
+    json::push_f64_hex(m.throughput, out);
+    out.push_str("\",\"processed_tuples\":\"");
+    json::push_f64_hex(m.processed_tuples, out);
+    out.push_str("\",\"dropped_tuples\":\"");
+    json::push_f64_hex(m.dropped_tuples, out);
+    out.push_str("\",\"cost_dollars\":\"");
+    json::push_f64_hex(m.cost_dollars, out);
+    out.push_str("\",\"pods\":");
+    json::push_usize(m.pods, out);
+    out.push_str(",\"source_rates\":[");
+    for (i, &r) in m.source_rates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json::push_f64_hex(r, out);
+        out.push('"');
+    }
+    out.push_str("],\"reconfigured\":");
+    out.push_str(if m.reconfigured { "true" } else { "false" });
+    out.push_str(",\"pause_secs\":\"");
+    json::push_f64_hex(m.pause_secs, out);
+    out.push_str("\",\"operators\":[");
+    for (i, om) in m.operators.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_operator_metrics(om, out);
+    }
+    out.push_str("]}");
 }
 
 /// Decodes one slot snapshot (inverse of [`encode_slot_metrics`]).
@@ -524,6 +608,32 @@ mod tests {
             back.operators[0].capacity_sample.to_bits(),
             m.operators[0].capacity_sample.to_bits()
         );
+    }
+
+    #[test]
+    fn textual_writers_match_tree_encoders_byte_for_byte() {
+        // Hostile values: NaN payloads, signed zero, subnormals, control
+        // characters and escapes in names, empty rate vectors.
+        let mut m = sample_slot();
+        m.operators[0].name = "weird \"name\"\n\t\\ \u{1} end".to_string();
+        m.operators[0].capacity_sample = f64::from_bits(0x7ff8_0000_dead_beef);
+        m.operators[0].input_rates = Vec::new();
+        m.operators[1].latency_estimate_secs = -0.0;
+        m.operators[1].buffer_tuples = f64::MIN_POSITIVE / 2.0; // subnormal
+        m.source_rates = vec![f64::INFINITY, f64::NEG_INFINITY, 0.1 + 0.2];
+        m.t = 0;
+        // Largest exactly-representable integer: beyond 2^53 the tree
+        // codec itself falls back to float notation, and pod counts are
+        // bounded far below it.
+        m.pods = (1usize << 53) - 1;
+
+        let mut streamed = String::new();
+        write_operator_metrics(&m.operators[0], &mut streamed);
+        assert_eq!(streamed, encode_operator_metrics(&m.operators[0]).render());
+
+        streamed.clear();
+        write_slot_metrics(&m, &mut streamed);
+        assert_eq!(streamed, encode_slot_metrics(&m).render());
     }
 
     #[test]

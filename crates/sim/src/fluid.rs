@@ -100,6 +100,104 @@ pub struct FluidSim {
     cap_of: Vec<usize>,
     total_processed: f64,
     total_dropped: f64,
+    /// Reusable per-slot/per-tick working memory, sized once at
+    /// construction (the topology shape is fixed): the slot and tick
+    /// loops allocate nothing (L16).
+    scratch: FluidScratch,
+}
+
+/// Working memory for [`FluidSim::run_slot`] / `tick_flows` (see the
+/// `scratch` field). All vectors are shaped at construction and zeroed in
+/// place at each reuse boundary.
+struct FluidScratch {
+    /// Per-component received-flow rates, edge-indexed (`tick_flows`).
+    recv: Vec<Vec<f64>>,
+    /// The current tick's flow outputs.
+    flows: TickFlows,
+    /// Effective (noise-multiplied) capacities for the current tick.
+    eff_caps: Vec<f64>,
+    /// Per-edge fresh desired output for the operator being propagated.
+    fresh: Vec<f64>,
+    /// True capacities of the current deployment for this slot.
+    true_caps: Vec<f64>,
+    /// Slot accumulators (tuples / integrated rates, per operator).
+    acc_input: Vec<f64>,
+    acc_input_edges: Vec<Vec<f64>>,
+    acc_output: Vec<f64>,
+    acc_offered: Vec<f64>,
+    acc_util: Vec<f64>,
+    saturated_ticks: Vec<usize>,
+    dropped_by_op: Vec<f64>,
+    /// Buffer levels at the start of the slot (backpressure baseline).
+    buffers_at_start: Vec<f64>,
+}
+
+impl FluidScratch {
+    fn for_app(app: &Application) -> FluidScratch {
+        let topo = &app.topology;
+        let m = topo.n_operators();
+        let per_op_edges = || -> Vec<Vec<f64>> {
+            topo.operator_ids()
+                .iter()
+                .map(|id| vec![0.0; topo.component(*id).preds.len()])
+                .collect()
+        };
+        FluidScratch {
+            recv: topo
+                .components()
+                .iter()
+                .map(|c| vec![0.0; c.preds.len()])
+                .collect(),
+            flows: TickFlows {
+                input: vec![0.0; m],
+                input_edges: per_op_edges(),
+                output: vec![0.0; m],
+                offered: vec![0.0; m],
+                util: vec![0.0; m],
+                dropped_by_op: vec![0.0; m],
+                sink_rate: 0.0,
+                dropped: 0.0,
+            },
+            eff_caps: Vec::with_capacity(m),
+            fresh: Vec::new(),
+            true_caps: Vec::with_capacity(m),
+            acc_input: vec![0.0; m],
+            acc_input_edges: per_op_edges(),
+            acc_output: vec![0.0; m],
+            acc_offered: vec![0.0; m],
+            acc_util: vec![0.0; m],
+            saturated_ticks: vec![0; m],
+            dropped_by_op: vec![0.0; m],
+            buffers_at_start: vec![0.0; m],
+        }
+    }
+
+    /// Zero the slot accumulators in place.
+    fn begin_slot(&mut self) {
+        for v in self.acc_input.iter_mut() {
+            *v = 0.0;
+        }
+        for edges in self.acc_input_edges.iter_mut() {
+            for v in edges.iter_mut() {
+                *v = 0.0;
+            }
+        }
+        for v in self.acc_output.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.acc_offered.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.acc_util.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.saturated_ticks.iter_mut() {
+            *v = 0;
+        }
+        for v in self.dropped_by_op.iter_mut() {
+            *v = 0.0;
+        }
+    }
 }
 
 impl FluidSim {
@@ -153,6 +251,7 @@ impl FluidSim {
             }
         }
         let faults = FaultState::new(FaultPlan::none(), noise.failures, seed);
+        let scratch = FluidScratch::for_app(&app);
         Ok(FluidSim {
             app,
             cluster,
@@ -174,6 +273,7 @@ impl FluidSim {
             cap_of,
             total_processed: 0.0,
             total_dropped: 0.0,
+            scratch,
         })
     }
 
@@ -353,22 +453,10 @@ impl FluidSim {
         }
 
         let m = self.app.n_operators();
-        let mut acc_input = vec![0.0; m];
-        let mut acc_input_edges: Vec<Vec<f64>> = self
-            .app
-            .topology
-            .operator_ids()
-            .iter()
-            .map(|id| vec![0.0; self.app.topology.component(*id).preds.len()])
-            .collect();
-        let mut acc_output = vec![0.0; m];
-        let mut acc_offered = vec![0.0; m];
-        let mut acc_util = vec![0.0; m];
-        let mut saturated_ticks = vec![0usize; m];
-        let mut dropped_by_op = vec![0.0; m];
+        self.scratch.begin_slot();
         let mut sink_tuples = 0.0;
         let mut dropped = 0.0;
-        let buffers_at_start = self.buffers.clone();
+        self.scratch.buffers_at_start.clone_from(&self.buffers);
 
         // A full-slot checkpoint pause would leave 0 active seconds and turn
         // the per-second metrics below into 0/0 = NaN; floor it instead (the
@@ -381,12 +469,15 @@ impl FluidSim {
             crate::convert::f64_to_usize_saturating((active_secs / tick).round().min(1e7)).max(1);
         let dt = active_secs / n_ticks as f64;
 
-        let mut true_caps = self.app.true_capacities(&self.deployment.tasks);
+        self.app
+            .true_capacities_into(&self.deployment.tasks, &mut self.scratch.true_caps);
         // Faults strike for the whole slot (pod restart time ≈ slot
         // scale); the controller only sees the degraded metrics. Legacy
         // `NoiseConfig::failures` and plan-driven crashes/stragglers both
         // arrive through the same multiplier vector.
-        for (c, mult) in true_caps
+        for (c, mult) in self
+            .scratch
+            .true_caps
             .iter_mut()
             .zip(slot_faults.capacity_multiplier.iter())
         {
@@ -398,31 +489,32 @@ impl FluidSim {
             // chicken-and-egg; we use the offered-vs-capacity ratio of the
             // *true* capacities as a cheap proxy for overcommit purposes.
             let cluster_util_proxy = 0.8;
-            let eff_caps: Vec<f64> = true_caps
-                .iter()
-                .map(|&c| {
-                    c * self
-                        .noise
-                        .capacity_multiplier(&mut self.rng, cluster_util_proxy)
-                })
-                .collect();
-
-            let tick_out = self.tick_flows(source_rates, &eff_caps, dt);
-            for i in 0..m {
-                acc_input[i] += tick_out.input[i] * dt;
-                for (k, v) in tick_out.input_edges[i].iter().enumerate() {
-                    acc_input_edges[i][k] += v * dt;
-                }
-                acc_output[i] += tick_out.output[i] * dt;
-                acc_offered[i] += tick_out.offered[i] * dt;
-                acc_util[i] += tick_out.util[i] * dt;
-                if tick_out.util[i] > 0.999 {
-                    saturated_ticks[i] += 1;
-                }
-                dropped_by_op[i] += tick_out.dropped_by_op[i];
+            self.scratch.eff_caps.clear();
+            for i in 0..self.scratch.true_caps.len() {
+                let mult = self
+                    .noise
+                    .capacity_multiplier(&mut self.rng, cluster_util_proxy);
+                let c = self.scratch.true_caps[i] * mult;
+                self.scratch.eff_caps.push(c);
             }
-            sink_tuples += tick_out.sink_rate * dt;
-            dropped += tick_out.dropped;
+
+            self.tick_flows(source_rates, dt);
+            let s = &mut self.scratch;
+            for i in 0..m {
+                s.acc_input[i] += s.flows.input[i] * dt;
+                for (k, v) in s.flows.input_edges[i].iter().enumerate() {
+                    s.acc_input_edges[i][k] += v * dt;
+                }
+                s.acc_output[i] += s.flows.output[i] * dt;
+                s.acc_offered[i] += s.flows.offered[i] * dt;
+                s.acc_util[i] += s.flows.util[i] * dt;
+                if s.flows.util[i] > 0.999 {
+                    s.saturated_ticks[i] += 1;
+                }
+                s.dropped_by_op[i] += s.flows.dropped_by_op[i];
+            }
+            sink_tuples += self.scratch.flows.sink_rate * dt;
+            dropped += self.scratch.flows.dropped;
         }
 
         self.cost.charge(pods, active_secs);
@@ -430,10 +522,11 @@ impl FluidSim {
         self.total_processed += sink_tuples;
         self.total_dropped += dropped;
 
+        let scratch = &self.scratch;
         let mut operators: Vec<OperatorMetrics> = (0..m)
             .map(|i| {
-                let out_rate = acc_output[i] / active_secs;
-                let true_util = (acc_util[i] / active_secs).clamp(0.0, 1.0);
+                let out_rate = scratch.acc_output[i] / active_secs;
+                let true_util = (scratch.acc_util[i] / active_secs).clamp(0.0, 1.0);
                 let observed_util = self.noise.observe_cpu(&mut self.rng, true_util);
                 // Eq. 8: c_i = Σ_j e_j^i / cpu_i — noisy capacity sample.
                 let capacity_sample = if observed_util > 0.0 {
@@ -446,8 +539,8 @@ impl FluidSim {
                 // overflowed). An operator draining old backlog at full
                 // utilization is catching up, not backpressured — this is
                 // what Flink's backpressure monitor reports.
-                let buffer_grew = self.buffers[i] > buffers_at_start[i] + 1.0;
-                let overflowed = dropped_by_op[i] > 0.0;
+                let buffer_grew = self.buffers[i] > scratch.buffers_at_start[i] + 1.0;
+                let overflowed = scratch.dropped_by_op[i] > 0.0;
                 let reported_buffer = if self.source_fed[i] {
                     self.buffers[i]
                 } else {
@@ -456,10 +549,13 @@ impl FluidSim {
                 OperatorMetrics {
                     name: self.app.topology.operator_name(i).to_string(),
                     tasks: self.deployment.tasks[i],
-                    input_rate: acc_input[i] / active_secs,
-                    input_rates: acc_input_edges[i].iter().map(|v| v / active_secs).collect(),
+                    input_rate: scratch.acc_input[i] / active_secs,
+                    input_rates: scratch.acc_input_edges[i]
+                        .iter()
+                        .map(|v| v / active_secs)
+                        .collect(),
                     output_rate: out_rate,
-                    offered_load: acc_offered[i] / active_secs,
+                    offered_load: scratch.acc_offered[i] / active_secs,
                     cpu_util: observed_util,
                     capacity_sample,
                     buffer_tuples: reported_buffer,
@@ -551,31 +647,26 @@ impl FluidSim {
         }
     }
 
-    /// One tick of buffered flow propagation. Rates are tuples/second;
-    /// `dt` converts them to tuples for buffer updates.
-    fn tick_flows(&mut self, source_rates: &[f64], eff_caps: &[f64], dt: f64) -> TickFlows {
+    /// One tick of buffered flow propagation, written into
+    /// `self.scratch.flows` (reused across ticks — this is the innermost
+    /// hot loop and allocates nothing). Rates are tuples/second; `dt`
+    /// converts them to tuples for buffer updates. Effective capacities
+    /// are read from `self.scratch.eff_caps`.
+    fn tick_flows(&mut self, source_rates: &[f64], dt: f64) {
         let topo = &self.app.topology;
-        let n = topo.components().len();
-        let m = topo.n_operators();
-        let mut recv: Vec<Vec<f64>> = topo
-            .components()
-            .iter()
-            .map(|c| vec![0.0; c.preds.len()])
-            .collect();
-        let mut out = TickFlows {
-            input: vec![0.0; m],
-            input_edges: topo
-                .operator_ids()
-                .iter()
-                .map(|id| vec![0.0; topo.component(*id).preds.len()])
-                .collect(),
-            output: vec![0.0; m],
-            offered: vec![0.0; m],
-            util: vec![0.0; m],
-            dropped_by_op: vec![0.0; m],
-            sink_rate: 0.0,
-            dropped: 0.0,
-        };
+        let FluidScratch {
+            recv,
+            flows: out,
+            eff_caps,
+            fresh,
+            ..
+        } = &mut self.scratch;
+        for r in recv.iter_mut() {
+            for v in r.iter_mut() {
+                *v = 0.0;
+            }
+        }
+        out.reset();
 
         for id in topo.topo_order() {
             let c = topo.component(id);
@@ -591,11 +682,16 @@ impl FluidSim {
                 }
                 ComponentKind::Operator => {
                     let ci = self.cap_of[id.0];
-                    let inputs = recv[id.0].clone();
-                    let input_total: f64 = inputs.iter().sum();
-                    out.input_edges[ci].clone_from(&inputs);
+                    // Reads of `recv[id.0]` complete before the emission
+                    // loop writes `recv[succ.0]` (a DAG has no self-edges,
+                    // so the slots are distinct).
+                    let input_total: f64 = recv[id.0].iter().sum();
+                    out.input_edges[ci].clone_from(&recv[id.0]);
                     // Fresh desired output per edge (h applied to fresh input).
-                    let fresh: Vec<f64> = c.h.iter().map(|h| h.eval(&inputs)).collect();
+                    fresh.clear();
+                    for h in c.h.iter() {
+                        fresh.push(h.eval(&recv[id.0]));
+                    }
                     let fresh_total: f64 = fresh.iter().sum();
                     // Backlog drains at whatever capacity is left.
                     let backlog_rate = self.buffers[ci] / dt;
@@ -649,8 +745,6 @@ impl FluidSim {
                 }
             }
         }
-        debug_assert_eq!(n, topo.components().len());
-        out
     }
 }
 
@@ -663,6 +757,34 @@ struct TickFlows {
     dropped_by_op: Vec<f64>,
     sink_rate: f64,
     dropped: f64,
+}
+
+impl TickFlows {
+    /// Zero every field in place for the next tick.
+    fn reset(&mut self) {
+        for v in self.input.iter_mut() {
+            *v = 0.0;
+        }
+        for edges in self.input_edges.iter_mut() {
+            for v in edges.iter_mut() {
+                *v = 0.0;
+            }
+        }
+        for v in self.output.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.offered.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.util.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.dropped_by_op.iter_mut() {
+            *v = 0.0;
+        }
+        self.sink_rate = 0.0;
+        self.dropped = 0.0;
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! replay time and routes recovery to the degraded fallback instead of
 //! silently replaying wrong history.
 
-use crate::checkpoint::{decode_slot_metrics, encode_slot_metrics, seal, unseal, CheckpointError};
+use crate::checkpoint::{decode_slot_metrics, unseal, write_slot_metrics, CheckpointError};
 use crate::json::{self, Json};
 use crate::metrics::SlotMetrics;
 
@@ -90,30 +90,43 @@ impl std::fmt::Display for JournalError {
 impl std::error::Error for JournalError {}
 
 impl JournalRecord {
+    /// Writes the record's JSON body into `out` without allocating —
+    /// byte-identical to the [`Json`] tree this codec originally built
+    /// (the journal appends every slot, so the tree construction was on
+    /// the controller hot path).
+    fn write_body(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        json::push_usize(self.t, out);
+        out.push_str(",\"raw\":");
+        write_slot_metrics(&self.raw, out);
+        out.push_str(",\"deployment_before\":[");
+        for (i, &x) in self.deployment_before.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_usize(x, out);
+        }
+        out.push_str("],\"decided\":[");
+        for (i, &x) in self.decided.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_usize(x, out);
+        }
+        out.push_str("],\"outcome\":\"");
+        json::escape_into(self.outcome.as_str(), out);
+        out.push_str("\"}");
+    }
+
     /// Serializes to a sealed line.
     pub fn encode(&self) -> String {
-        let body = Json::Obj(vec![
-            ("t".to_string(), json::num(self.t)),
-            ("raw".to_string(), encode_slot_metrics(&self.raw)),
-            (
-                "deployment_before".to_string(),
-                Json::Arr(
-                    self.deployment_before
-                        .iter()
-                        .map(|&x| json::num(x))
-                        .collect(),
-                ),
-            ),
-            (
-                "decided".to_string(),
-                Json::Arr(self.decided.iter().map(|&x| json::num(x)).collect()),
-            ),
-            (
-                "outcome".to_string(),
-                Json::Str(self.outcome.as_str().to_string()),
-            ),
-        ]);
-        seal(&body.render())
+        let mut body = String::new();
+        self.write_body(&mut body);
+        let mut line = String::with_capacity(body.len() + 17);
+        json::push_u64_hex(json::fnv1a64(body.as_bytes()), &mut line);
+        line.push('\n');
+        line.push_str(&body);
+        line
     }
 
     /// Deserializes a sealed line.
@@ -149,6 +162,9 @@ impl JournalRecord {
 #[derive(Clone, Debug, Default)]
 pub struct DecisionJournal {
     lines: Vec<String>,
+    /// Reusable body buffer for [`DecisionJournal::append`]; never part
+    /// of the log itself.
+    scratch: String,
 }
 
 impl DecisionJournal {
@@ -156,9 +172,17 @@ impl DecisionJournal {
         DecisionJournal::default()
     }
 
-    /// Appends one slot's record.
+    /// Appends one slot's record. The only allocation is the sealed line
+    /// itself (the durable log entry); the body is staged in a reused
+    /// scratch buffer.
     pub fn append(&mut self, record: &JournalRecord) {
-        self.lines.push(record.encode());
+        self.scratch.clear();
+        record.write_body(&mut self.scratch);
+        let mut line = String::with_capacity(self.scratch.len() + 17);
+        json::push_u64_hex(json::fnv1a64(self.scratch.as_bytes()), &mut line);
+        line.push('\n');
+        line.push_str(&self.scratch);
+        self.lines.push(line);
     }
 
     /// Number of appended records.
@@ -281,6 +305,25 @@ mod tests {
             back.raw.operators[0].capacity_sample.to_bits(),
             rec.raw.operators[0].capacity_sample.to_bits()
         );
+    }
+
+    #[test]
+    fn append_line_is_byte_identical_to_encode() {
+        // `append` stages the body in a reused scratch buffer and seals
+        // by hand; the stored line must stay byte-identical to the
+        // allocating `encode()` path (and to the tree-based codec both
+        // were derived from — see `checkpoint::tests`).
+        let mut journal = DecisionJournal::new();
+        for t in 0..4 {
+            journal.append(&record(t));
+        }
+        for t in 0..4 {
+            assert_eq!(journal.lines[t], record(t).encode(), "slot {t}");
+        }
+        // And the wire form still carries the seal frame.
+        let tree_body =
+            crate::json::parse_json(crate::checkpoint::unseal(&journal.lines[2]).expect("sealed"));
+        assert!(tree_body.is_ok());
     }
 
     #[test]

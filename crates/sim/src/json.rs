@@ -140,6 +140,13 @@ impl Json {
 
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+/// Escapes `s` directly into `out` — the allocation-free form of the
+/// string escaper behind [`Json::render`]. Byte-identical to it.
+pub fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -147,11 +154,58 @@ fn esc(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c if u32::from(c) < 0x20 => {
+                // `\u{:04x}` by hand: control chars are < 0x20, so the two
+                // high digits are always zero.
+                let v = u32::from(c);
+                out.push_str("\\u00");
+                out.push(char::from_digit((v >> 4) & 0xf, 16).unwrap_or('0'));
+                out.push(char::from_digit(v & 0xf, 16).unwrap_or('0'));
+            }
             c => out.push(c),
         }
     }
-    out
+}
+
+/// Writes a `usize` as plain decimal digits into `out` without
+/// allocating — byte-identical to how [`num`] values render.
+pub fn push_usize(v: usize, out: &mut String) {
+    if v == 0 {
+        out.push('0');
+        return;
+    }
+    // Collect digits least-significant first, then emit in reverse; a
+    // 64-bit usize has at most 20 decimal digits, so the buffer never
+    // fills before `n` reaches zero.
+    let mut digits = [0u32; 20];
+    let mut used = 0;
+    let mut n = v;
+    for slot in digits.iter_mut() {
+        if n == 0 {
+            break;
+        }
+        *slot = u32::try_from(n % 10).unwrap_or(0);
+        n /= 10;
+        used += 1;
+    }
+    for &d in digits.iter().take(used).rev() {
+        out.push(char::from_digit(d, 10).unwrap_or('0'));
+    }
+}
+
+/// Writes a `u64` as 16 lowercase hex digits into `out` without
+/// allocating — byte-identical to [`u64_to_hex`].
+pub fn push_u64_hex(v: u64, out: &mut String) {
+    for shift in (0..16).rev() {
+        let d = u32::try_from((v >> (shift * 4)) & 0xf).unwrap_or(0);
+        out.push(char::from_digit(d, 16).unwrap_or('0'));
+    }
+}
+
+/// Writes an `f64`'s IEEE-754 bit pattern as 16 hex digits into `out`
+/// without allocating — byte-identical to [`f64_to_hex`].
+pub fn push_f64_hex(v: f64, out: &mut String) {
+    push_u64_hex(v.to_bits(), out);
 }
 
 // ---------------------------------------------------------------------------

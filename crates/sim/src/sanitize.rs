@@ -67,6 +67,25 @@ fn repair(v: f64, fallback: f64) -> f64 {
     }
 }
 
+/// Copy `src` into `dst`, reusing `dst`'s `name` and `input_rates`
+/// allocations. The derived `Clone` would reallocate both on every
+/// accepted slot (the sanitizer sits on the per-slot hot path), while a
+/// field-wise copy is free once capacities match.
+fn copy_operator_metrics(dst: &mut OperatorMetrics, src: &OperatorMetrics) {
+    dst.name.clone_from(&src.name);
+    dst.tasks = src.tasks;
+    dst.input_rate = src.input_rate;
+    dst.input_rates.clone_from(&src.input_rates);
+    dst.output_rate = src.output_rate;
+    dst.offered_load = src.offered_load;
+    dst.cpu_util = src.cpu_util;
+    dst.capacity_sample = src.capacity_sample;
+    dst.buffer_tuples = src.buffer_tuples;
+    dst.latency_estimate_secs = src.latency_estimate_secs;
+    dst.backpressure = src.backpressure;
+    dst.degraded = src.degraded;
+}
+
 impl MetricSanitizer {
     pub fn new(cfg: SanitizeConfig) -> MetricSanitizer {
         MetricSanitizer {
@@ -107,7 +126,7 @@ impl MetricSanitizer {
                 || om.latency_estimate_secs < 0.0
                 || om.input_rates.iter().any(|r| !r.is_finite() || *r < 0.0);
             if unusable {
-                let prev = self.last_valid.get(i).cloned().flatten();
+                let prev = self.last_valid.get(i).and_then(|o| o.as_ref());
                 let Some(prev) = prev else {
                     // All-dropout window: no valid sample has *ever* been
                     // accepted for this operator, so there is nothing to
@@ -132,21 +151,16 @@ impl MetricSanitizer {
                     continue;
                 };
                 // Impute every bad field from the last valid reading.
-                let prev = Some(prev);
-                let fb = |f: fn(&OperatorMetrics) -> f64| prev.as_ref().map_or(0.0, f);
-                om.cpu_util = repair(om.cpu_util, fb(|p| p.cpu_util));
-                om.capacity_sample = repair(om.capacity_sample, fb(|p| p.capacity_sample));
-                om.input_rate = repair(om.input_rate, fb(|p| p.input_rate));
-                om.output_rate = repair(om.output_rate, fb(|p| p.output_rate));
-                om.offered_load = repair(om.offered_load, fb(|p| p.offered_load));
-                om.buffer_tuples = repair(om.buffer_tuples, fb(|p| p.buffer_tuples));
+                om.cpu_util = repair(om.cpu_util, prev.cpu_util);
+                om.capacity_sample = repair(om.capacity_sample, prev.capacity_sample);
+                om.input_rate = repair(om.input_rate, prev.input_rate);
+                om.output_rate = repair(om.output_rate, prev.output_rate);
+                om.offered_load = repair(om.offered_load, prev.offered_load);
+                om.buffer_tuples = repair(om.buffer_tuples, prev.buffer_tuples);
                 om.latency_estimate_secs =
-                    repair(om.latency_estimate_secs, fb(|p| p.latency_estimate_secs));
+                    repair(om.latency_estimate_secs, prev.latency_estimate_secs);
                 for (k, r) in om.input_rates.iter_mut().enumerate() {
-                    let prev_r = prev
-                        .as_ref()
-                        .and_then(|p| p.input_rates.get(k).copied())
-                        .unwrap_or(0.0);
+                    let prev_r = prev.input_rates.get(k).copied().unwrap_or(0.0);
                     *r = repair(*r, prev_r);
                 }
                 om.degraded = true;
@@ -176,7 +190,13 @@ impl MetricSanitizer {
                     *a += 1;
                 }
                 if let Some(lv) = self.last_valid.get_mut(i) {
-                    *lv = Some(om.clone());
+                    match lv {
+                        // Steady state: overwrite in place, zero allocs.
+                        Some(prev) => copy_operator_metrics(prev, om),
+                        // First accepted sample: one allocation per
+                        // operator per run (allowlisted).
+                        None => *lv = Some(om.clone()),
+                    }
                 }
             }
         }
