@@ -136,8 +136,9 @@ struct DecideScratch {
     loads: Vec<f64>,
     /// Warm-start vector for the inner solver.
     warm: Vec<f64>,
-    /// Per-operator acquisition tables (outer vec only; the tables
-    /// themselves come from the GP layer).
+    /// Per-operator acquisition tables; inner buffers are refilled in
+    /// place each slot via `OperatorGp::acquisition_table_into`, so the
+    /// extended-UCB path reuses both the outer and inner allocations.
     tables: Vec<Vec<f64>>,
     /// (operator, gap) ranking for sequential-bottleneck mode.
     gaps: Vec<(usize, f64)>,
@@ -432,13 +433,20 @@ impl Autoscaler for Dragster {
         let beta = self.cfg.ucb.beta(self.joint_space(), self.t);
         let rng = &mut self.rng;
         let mut tables = std::mem::take(&mut self.scratch.tables);
-        tables.clear();
-        for (gp, raw_target) in self.gps.iter().zip(&targets) {
+        if tables.len() < m {
+            tables.resize_with(m, Vec::new);
+        }
+        if tables.len() > m {
+            tables.truncate(m);
+        }
+        for ((gp, raw_target), table) in self.gps.iter().zip(&targets).zip(tables.iter_mut()) {
             let target = raw_target * self.cfg.target_headroom;
-            tables.push(match self.cfg.ucb.acquisition {
-                AcquisitionKind::ExtendedUcb => gp.acquisition_table(target, beta),
-                AcquisitionKind::Thompson => gp.thompson_table(target, || rng.gaussian())?,
-            });
+            match self.cfg.ucb.acquisition {
+                AcquisitionKind::ExtendedUcb => gp.acquisition_table_into(target, beta, table),
+                AcquisitionKind::Thompson => {
+                    *table = gp.thompson_table(target, || rng.gaussian())?
+                }
+            }
         }
         let budget = self
             .cfg

@@ -69,6 +69,11 @@ pub struct UcbConfig {
     /// every N observations (sklearn's restart-based fitting, batched);
     /// `None` keeps the configured length scale.
     pub hyper_refit_every: Option<usize>,
+    /// Serve grid posteriors from the incremental [`dragster_gp::GridCache`]
+    /// (O(t) per query) instead of a fresh triangular solve (O(t²)).
+    /// Results are bit-identical either way; disabling exists for the
+    /// hotpath bench's naive-vs-cached A/B comparison.
+    pub grid_cache: bool,
 }
 
 impl Default for UcbConfig {
@@ -82,6 +87,7 @@ impl Default for UcbConfig {
             deficit_weight: 3.0,
             acquisition: AcquisitionKind::ExtendedUcb,
             hyper_refit_every: Some(12),
+            grid_cache: true,
         }
     }
 }
@@ -93,6 +99,13 @@ impl UcbConfig {
         beta_t(n_joint_configs.max(1), t.max(1), self.delta) * self.beta_scale
     }
 }
+
+/// Observations entering the hyper-parameter grid search: the most recent
+/// window of residual history. Large enough that every existing fit
+/// (refits trigger every ~12 observations) sees all the data it used to;
+/// small enough that the O(W³) candidate factorizations stay constant-cost
+/// over long horizons.
+const HYPER_FIT_WINDOW: usize = 48;
 
 /// The per-operator capacity model: a 1-D GP over the task count.
 pub struct OperatorGp {
@@ -107,8 +120,11 @@ pub struct OperatorGp {
 
 impl OperatorGp {
     pub fn new(cfg: UcbConfig) -> OperatorGp {
-        let gp =
+        let mut gp =
             GpRegressor::new(SquaredExp::new(cfg.length_scale), cfg.noise_var).with_prior_mean(0.0);
+        if cfg.grid_cache {
+            gp.set_grid((1..=cfg.max_tasks.max(1)).map(|x| vec![x as f64]).collect());
+        }
         OperatorGp {
             cfg,
             gp,
@@ -195,10 +211,20 @@ impl OperatorGp {
         if self.history.len() < 4 {
             return Ok(());
         }
-        let xs: Vec<Vec<f64>> = self.history.iter().map(|&(t, _)| vec![t as f64]).collect();
+        // The grid search factors a fresh Gram matrix per candidate, so it
+        // is fit on a sliding window of recent residuals to keep the
+        // periodic refit O(W³) instead of growing cubically with history.
+        let start = self.history.len().saturating_sub(HYPER_FIT_WINDOW);
+        let xs: Vec<Vec<f64>> = self
+            .history
+            .iter()
+            .skip(start)
+            .map(|&(t, _)| vec![t as f64])
+            .collect();
         let cs: Vec<f64> = self
             .history
             .iter()
+            .skip(start)
             .map(|&(t, c)| c / self.scale - self.prior(t))
             .collect();
         let fit = GpHyperFit {
@@ -206,10 +232,22 @@ impl OperatorGp {
             signal_vars: vec![0.05, 0.25, 1.0],
         };
         let (l, s2, _) = fit.fit_se(&xs, &cs, self.cfg.noise_var)?;
+        // The candidate grids are discrete, so an unchanged winner means an
+        // exactly unchanged kernel — skip the full-history rebuild.
+        #[allow(clippy::float_cmp)]
+        let unchanged = l == self.gp.kernel().length_scale && s2 == self.gp.kernel().signal_var;
+        if unchanged {
+            return Ok(());
+        }
+        let grid = self.gp.take_grid();
         self.gp = GpRegressor::new(SquaredExp::with_signal(l, s2), self.cfg.noise_var)
             .with_prior_mean(0.0);
-        for (x, c) in xs.iter().zip(cs.iter()) {
-            self.gp.observe(x, *c)?;
+        if let Some(g) = grid {
+            self.gp.install_grid(g);
+        }
+        for &(t, c) in &self.history {
+            let resid = c / self.scale - self.prior(t);
+            self.gp.observe(&[t as f64], resid)?;
         }
         Ok(())
     }
@@ -223,10 +261,22 @@ impl OperatorGp {
         Ok(())
     }
 
+    /// Residual posterior at a task count, served from the grid cache when
+    /// one is attached (O(t) per query instead of an O(t²) solve) and
+    /// bit-identical either way.
+    fn raw_posterior(&self, tasks: usize) -> GpPosterior {
+        if tasks >= 1 {
+            if let Some(p) = self.gp.posterior_grid(tasks - 1) {
+                return p;
+            }
+        }
+        self.gp.posterior(&[tasks as f64])
+    }
+
     /// Posterior over the *normalized* capacity at a task count (the
     /// linear prior mean is added back to the residual posterior).
     pub fn posterior(&self, tasks: usize) -> GpPosterior {
-        let p = self.gp.posterior(&[tasks as f64]);
+        let p = self.raw_posterior(tasks);
         GpPosterior {
             mean: p.mean + self.prior(tasks),
             var: p.var,
@@ -256,9 +306,31 @@ impl OperatorGp {
 
     /// The acquisition over the whole configuration range; index 0 → 1 task.
     pub fn acquisition_table(&self, target_capacity: f64, beta: f64) -> Vec<f64> {
-        (1..=self.cfg.max_tasks)
-            .map(|x| self.acquisition(x, target_capacity, beta))
-            .collect()
+        let mut out = Vec::with_capacity(self.cfg.max_tasks);
+        self.acquisition_table_into(target_capacity, beta, &mut out);
+        out
+    }
+
+    /// Fill `out` with the acquisition over the whole configuration range
+    /// (index 0 → 1 task), reusing the buffer's allocation. The
+    /// per-candidate invariants — the normalized target `yt` and the
+    /// linear-prior slope — are hoisted out of the grid loop, so each
+    /// candidate costs one cached posterior lookup and a few flops.
+    pub fn acquisition_table_into(&self, target_capacity: f64, beta: f64, out: &mut Vec<f64>) {
+        let yt = target_capacity / self.scale;
+        let prior_step = 1.0 / (self.cfg.max_tasks.max(1) as f64 * 1.25);
+        out.clear();
+        out.extend((1..=self.cfg.max_tasks).map(|x| {
+            let p = self.raw_posterior(x);
+            let mean = p.mean + x as f64 * prior_step;
+            let diff = mean - yt;
+            let penalty = if diff >= 0.0 {
+                diff
+            } else {
+                -diff * self.cfg.deficit_weight
+            };
+            -penalty + beta * p.var
+        }));
     }
 
     /// Thompson-sampling table: one coherent draw from the joint posterior
@@ -458,6 +530,51 @@ mod tests {
         // survives the refits and still predicts linearly
         let est = g.capacity_estimate(5);
         assert!((est - 500.0).abs() / 500.0 < 0.2, "{est}");
+    }
+
+    #[test]
+    fn cached_and_naive_modes_are_bit_identical() {
+        // Same observation stream through a cached and an uncached
+        // operator model — including scale growth (first sample implies a
+        // tiny scale, a later one 50× larger) and periodic hyper refits —
+        // must yield bitwise-equal acquisition tables and estimates.
+        let mk = |grid_cache| {
+            OperatorGp::new(UcbConfig {
+                noise_var: 1e-3,
+                hyper_refit_every: Some(5),
+                grid_cache,
+                ..Default::default()
+            })
+        };
+        let mut cached = mk(true);
+        let mut naive = mk(false);
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for i in 0..40usize {
+            let tasks = (next() % 10 + 1) as usize;
+            let boost = if i < 3 { 1.0 } else { 50.0 };
+            let cap = boost * tasks as f64 * (80.0 + (next() % 40) as f64);
+            cached.observe(tasks, cap).unwrap();
+            naive.observe(tasks, cap).unwrap();
+            assert_eq!(cached.scale().to_bits(), naive.scale().to_bits());
+            let tc = cached.acquisition_table(cap * 1.1, 0.7);
+            let tn = naive.acquisition_table(cap * 1.1, 0.7);
+            for (a, b) in tc.iter().zip(tn.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "slot {i}: {a} vs {b}");
+            }
+            for t in 1..=10usize {
+                assert_eq!(
+                    cached.capacity_estimate(t).to_bits(),
+                    naive.capacity_estimate(t).to_bits(),
+                    "slot {i} tasks {t}"
+                );
+            }
+        }
     }
 
     #[test]

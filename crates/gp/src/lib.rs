@@ -39,4 +39,4 @@ pub use kernel::{
     SumKernel, WhiteKernel,
 };
 pub use linalg::{Cholesky, Matrix};
-pub use regression::{GpHyperFit, GpPosterior, GpRegressor};
+pub use regression::{GpHyperFit, GpPosterior, GpRegressor, GridCache};

@@ -3,10 +3,12 @@
 //! The GP posterior (Eq. 17) needs only one non-trivial primitive: solving
 //! linear systems against the symmetric positive-definite Gram matrix
 //! `K_t + σ² I`. We therefore implement exactly that — a row-major dense
-//! [`Matrix`], a lower-triangular [`Cholesky`] factorization with
+//! [`Matrix`], a packed lower-triangular [`Cholesky`] factorization with
 //! forward/backward substitution, and an *incremental* factor extension so
 //! the online setting (one new observation per decision slot) costs O(t²)
-//! per update rather than O(t³).
+//! per update rather than O(t³) — or O(t), via
+//! [`Cholesky::extend_with_solved`], when the caller already holds the
+//! solved new column (the grid cache in the regression layer does).
 //!
 //! No external linear-algebra crate is used; the sizes involved (t ≤ a few
 //! thousand observations, d ≤ 3 input dimensions) make a cache-friendly
@@ -151,10 +153,17 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 }
 
 /// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
-/// matrix `A = L Lᵀ`, stored densely (upper triangle zero).
-#[derive(Clone, Debug)]
+/// matrix `A = L Lᵀ`, stored *packed* row-major: row `i` holds exactly the
+/// `i + 1` entries `L[i][0..=i]`. Packed storage makes the incremental
+/// [`Cholesky::extend`] an append — the new row is pushed onto the end of
+/// the buffer — so the online setting pays no O(n²) copy and no fresh
+/// allocation per observation (the backing `Vec` grows geometrically).
+#[derive(Clone, Debug, Default)]
 pub struct Cholesky {
-    l: Matrix,
+    /// Packed rows: row `i` occupies `data[i(i+1)/2 .. i(i+1)/2 + i + 1]`.
+    data: Vec<f64>,
+    /// Order of the factored matrix.
+    n: usize,
 }
 
 /// Error returned when a matrix is not (numerically) positive definite.
@@ -172,103 +181,150 @@ impl std::fmt::Display for NotPositiveDefinite {
 
 impl std::error::Error for NotPositiveDefinite {}
 
+/// Start offset of packed row `i`.
+#[inline]
+fn row_start(i: usize) -> usize {
+    i * (i + 1) / 2
+}
+
 impl Cholesky {
     /// Factorize a symmetric positive-definite matrix.
     pub fn factor(a: &Matrix) -> Result<Cholesky, NotPositiveDefinite> {
         assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        let mut data = vec![0.0; row_start(n)];
         for i in 0..n {
+            let ri = row_start(i);
             for j in 0..=i {
+                let rj = row_start(j);
                 let mut s = a[(i, j)];
                 for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
+                    s -= data[ri + k] * data[rj + k];
                 }
                 if i == j {
                     if s <= 0.0 {
                         return Err(NotPositiveDefinite { pivot: i });
                     }
-                    l[(i, j)] = s.sqrt();
+                    data[ri + i] = s.sqrt();
                 } else {
-                    l[(i, j)] = s / l[(j, j)];
+                    data[ri + j] = s / data[rj + j];
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(Cholesky { data, n })
     }
 
     /// An empty (0×0) factor — the starting point for incremental builds.
     pub fn empty() -> Cholesky {
-        Cholesky {
-            l: Matrix::zeros(0, 0),
-        }
+        Cholesky::default()
+    }
+
+    /// Drop back to a 0×0 factor, keeping the backing allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.n = 0;
     }
 
     /// Order of the factored matrix.
     pub fn order(&self) -> usize {
-        self.l.rows()
+        self.n
     }
 
-    /// Borrow the lower-triangular factor.
-    pub fn factor_matrix(&self) -> &Matrix {
-        &self.l
+    /// Borrow packed row `i` of the factor: the entries `L[i][0..=i]`.
+    /// Row `t` after an [`Cholesky::extend`] is exactly the data an
+    /// incremental forward-substitution needs to append one entry to a
+    /// previously solved system (see `GridCache` in the regression layer).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.n);
+        &self.data[row_start(i)..row_start(i) + i + 1]
+    }
+
+    /// Entry `L[i][j]` for `j <= i`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(j <= i && i < self.n);
+        self.data[row_start(i) + j]
+    }
+
+    /// Materialize the factor as a dense lower-triangular [`Matrix`]
+    /// (upper triangle zero) — for tests, diagnostics, and cold paths.
+    pub fn factor_matrix(&self) -> Matrix {
+        let mut l = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                l[(i, j)] = v;
+            }
+        }
+        l
     }
 
     /// Extend the factorization of `A` to that of
-    /// `[[A, b], [bᵀ, c]]` in O(n²): one triangular solve plus a scalar
-    /// pivot. `b` is the new column (length = current order), `c` the new
+    /// `[[A, b], [bᵀ, c]]`: one triangular solve plus a scalar pivot.
+    /// `b` is the new column (length = current order), `c` the new
     /// diagonal entry.
     pub fn extend(&mut self, b: &[f64], c: f64) -> Result<(), NotPositiveDefinite> {
-        let n = self.order();
-        assert_eq!(b.len(), n, "new column has wrong length");
-        // Solve L w = b.
+        assert_eq!(b.len(), self.n, "new column has wrong length");
         let w = self.solve_lower(b);
+        self.extend_with_solved(&w, c)
+    }
+
+    /// Extend with the triangular solve already done: `w = L⁻¹ b` for the
+    /// new column `b`. This is the fast path for callers that maintain
+    /// solved columns incrementally (the grid cache): appending the new
+    /// factor row then costs O(n) instead of the O(n²) re-solve.
+    ///
+    /// The pivot is computed with the exact expression [`Cholesky::extend`]
+    /// uses, so the two entry points produce bit-identical factors given
+    /// bit-identical `w`.
+    pub fn extend_with_solved(&mut self, w: &[f64], c: f64) -> Result<(), NotPositiveDefinite> {
+        let n = self.n;
+        assert_eq!(w.len(), n, "solved column has wrong length");
         let pivot2 = c - w.iter().map(|x| x * x).sum::<f64>();
         if pivot2 <= 0.0 {
             return Err(NotPositiveDefinite { pivot: n });
         }
-        let mut grown = Matrix::zeros(n + 1, n + 1);
-        for i in 0..n {
-            for j in 0..=i {
-                grown[(i, j)] = self.l[(i, j)];
-            }
-        }
-        for (j, wj) in w.iter().enumerate() {
-            grown[(n, j)] = *wj;
-        }
-        grown[(n, n)] = pivot2.sqrt();
-        self.l = grown;
+        self.data.extend_from_slice(w);
+        self.data.push(pivot2.sqrt());
+        self.n = n + 1;
         Ok(())
     }
 
     /// Solve `L x = b` (forward substitution).
-    #[allow(clippy::needless_range_loop)] // triangular indexing is clearer explicit
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.order();
-        assert_eq!(b.len(), n);
-        let mut x = vec![0.0; n];
-        for i in 0..n {
-            let mut s = b[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * x[k];
-            }
-            x[i] = s / self.l[(i, i)];
-        }
+        let mut x = Vec::with_capacity(self.n);
+        self.solve_lower_into(b, &mut x);
         x
+    }
+
+    /// Forward substitution into a caller-provided buffer (cleared first),
+    /// so batched queries can reuse one workspace across solves.
+    pub fn solve_lower_into(&self, b: &[f64], x: &mut Vec<f64>) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        x.clear();
+        for i in 0..n {
+            let row = self.row(i);
+            let mut s = b[i];
+            for (lk, xk) in row.iter().zip(x.iter()) {
+                s -= lk * xk;
+            }
+            x.push(s / row[i]);
+        }
     }
 
     /// Solve `Lᵀ x = b` (backward substitution).
     #[allow(clippy::needless_range_loop)] // triangular indexing is clearer explicit
     pub fn solve_lower_t(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.order();
+        let n = self.n;
         assert_eq!(b.len(), n);
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = b[i];
             for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+                s -= self.at(k, i) * x[k];
             }
-            x[i] = s / self.l[(i, i)];
+            x[i] = s / self.at(i, i);
         }
         x
     }
@@ -280,12 +336,13 @@ impl Cholesky {
 
     /// `log det A = 2 Σ log L_ii`.
     pub fn log_det(&self) -> f64 {
-        (0..self.order()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+        (0..self.n).map(|i| self.at(i, i).ln()).sum::<f64>() * 2.0
     }
 
     /// Reconstruct `A = L Lᵀ` (for tests and diagnostics).
     pub fn reconstruct(&self) -> Matrix {
-        self.l.matmul(&self.l.transpose())
+        let l = self.factor_matrix();
+        l.matmul(&l.transpose())
     }
 }
 
@@ -372,7 +429,64 @@ mod tests {
         inc.extend(&[a[(1, 0)]], a[(1, 1)]).unwrap();
         inc.extend(&[a[(2, 0)], a[(2, 1)]], a[(2, 2)]).unwrap();
         let batch = Cholesky::factor(&a).unwrap();
-        assert!(inc.factor_matrix().max_abs_diff(batch.factor_matrix()) < 1e-12);
+        assert!(inc.factor_matrix().max_abs_diff(&batch.factor_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn extend_with_solved_matches_extend_bitwise() {
+        let a = spd3();
+        let mut plain = Cholesky::empty();
+        let mut fast = Cholesky::empty();
+        for i in 0..3 {
+            let b: Vec<f64> = (0..i).map(|j| a[(i, j)]).collect();
+            plain.extend(&b, a[(i, i)]).unwrap();
+            let w = fast.solve_lower(&b);
+            fast.extend_with_solved(&w, a[(i, i)]).unwrap();
+        }
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(plain.at(i, j).to_bits(), fast.at(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_rows_and_entries() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        let l = ch.factor_matrix();
+        for i in 0..3 {
+            assert_eq!(ch.row(i).len(), i + 1);
+            for j in 0..=i {
+                assert_eq!(ch.at(i, j), l[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_returns_to_empty() {
+        let mut ch = Cholesky::factor(&spd3()).unwrap();
+        assert_eq!(ch.order(), 3);
+        ch.clear();
+        assert_eq!(ch.order(), 0);
+        ch.extend(&[], 4.0).unwrap();
+        assert_eq!(ch.at(0, 0), 2.0);
+    }
+
+    #[test]
+    fn solve_lower_into_reuses_buffer() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        let b = vec![3.0, 1.0, 2.0];
+        let mut buf = vec![9.0; 7]; // stale junk: must be cleared
+        ch.solve_lower_into(&b, &mut buf);
+        assert_eq!(buf, ch.solve_lower(&b));
+    }
+
+    #[test]
+    fn extend_with_solved_rejects_bad_pivot() {
+        let mut ch = Cholesky::factor(&spd3()).unwrap();
+        let w = vec![10.0, 10.0, 10.0];
+        assert!(ch.extend_with_solved(&w, 1.0).is_err());
+        assert_eq!(ch.order(), 3); // untouched on error
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! ([`crate::linalg::Cholesky::extend`]), which is what makes the online
 //! setting (one observation per 10-minute decision slot, hundreds of slots)
 //! cheap.
+//!
+//! Both posterior moments are computed from the *same* triangular solve
+//! `v = L⁻¹ k_x`: with `w = L⁻¹ (y − m)` maintained incrementally,
+//! `μ = m + vᵀw` and `σ² = k(x,x) − vᵀv`. Queries on a **fixed grid** (the
+//! acquisition grid of the UCB layer is always `1..=K`) can skip the solve
+//! entirely: a [`GridCache`] keeps the solved column `L⁻¹ K(X, g)` per grid
+//! point and extends it by one entry per observation — the
+//! forward-substitution prefix property guarantees existing entries never
+//! change — so a full-grid posterior costs O(t·G) per slot instead of
+//! O(t²·G), and is bit-identical to the uncached path.
 
 use crate::error::GpError;
 use crate::kernel::Kernel;
@@ -57,8 +67,48 @@ pub struct GpRegressor<K: Kernel> {
     /// Centered targets `c_t − prior_mean`.
     ys_centered: Vec<f64>,
     chol: Cholesky,
-    /// `α = (K + σ²I)⁻¹ (y − m)`; refreshed after every observation.
-    alpha: Vec<f64>,
+    /// `w = L⁻¹ (y − m)` for the current factor. Append-only: extending
+    /// the factor appends one entry and never changes existing ones
+    /// (forward-substitution prefix property), so maintaining it costs
+    /// O(t) per observation.
+    wy: Vec<f64>,
+    /// Fixed-grid posterior cache (attached via
+    /// [`GpRegressor::set_grid`]), serving O(t) grid queries.
+    grid: Option<GridCache>,
+}
+
+/// Incrementally maintained posterior cache for a *fixed* query grid.
+///
+/// Per grid point `g` it holds the cross-covariance column
+/// `kg[g][i] = k(x_i, g)` and the solved column `vg[g] = L⁻¹ kg[g]`
+/// against the regressor's incremental Cholesky factor, plus the prior
+/// diagonal `k(g, g)`. Each [`GpRegressor::observe`] appends exactly one
+/// entry to every column in O(t·G); no entry is ever rewritten, so cached
+/// grid posteriors are bit-identical to [`GpRegressor::posterior`] at the
+/// same point. The cache is an opaque token outside the regression layer —
+/// move it between regressors with [`GpRegressor::take_grid`] /
+/// [`GpRegressor::install_grid`] to reuse its allocations across refits.
+pub struct GridCache {
+    /// The fixed query points.
+    pts: Vec<Vec<f64>>,
+    /// `k(g, g)` per grid point, under the owning regressor's kernel.
+    diag: Vec<f64>,
+    /// Cross-covariance columns `K(X, g)`.
+    kg: Vec<Vec<f64>>,
+    /// Solved columns `L⁻¹ K(X, g)`.
+    vg: Vec<Vec<f64>>,
+}
+
+impl GridCache {
+    /// Index of the grid point bit-identical to `x`, if any.
+    fn find(&self, x: &[f64]) -> Option<usize> {
+        self.pts.iter().position(|p| {
+            p.len() == x.len()
+                && p.iter()
+                    .zip(x.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        })
+    }
 }
 
 impl<K: Kernel> GpRegressor<K> {
@@ -76,7 +126,8 @@ impl<K: Kernel> GpRegressor<K> {
             xs: Vec::new(),
             ys_centered: Vec::new(),
             chol: Cholesky::empty(),
-            alpha: Vec::new(),
+            wy: Vec::new(),
+            grid: None,
         }
     }
 
@@ -118,7 +169,9 @@ impl<K: Kernel> GpRegressor<K> {
     }
 
     /// Add one observation `(x, c)` where `c = y(x) + ε` and refresh the
-    /// factorization incrementally (O(t²)).
+    /// factorization incrementally — O(t²) in general, O(t·G) when `x`
+    /// bit-equals a cached grid point (the solved column the extension
+    /// needs is then already in the cache).
     ///
     /// # Errors
     /// [`GpError::NotPositiveDefinite`] if extending the factor of
@@ -126,17 +179,49 @@ impl<K: Kernel> GpRegressor<K> {
     /// whose diagonal plus noise is not strictly positive. The regressor is
     /// left unchanged on error.
     pub fn observe(&mut self, x: &[f64], c: f64) -> Result<(), GpError> {
-        let b: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let t = self.xs.len();
         let diag = self.kernel.diag(x) + self.noise_var;
-        self.chol.extend(&b, diag)?;
+        // Fast path: if `x` bit-equals a grid point, the cached solved
+        // column *is* `L⁻¹ b` for the new Gram column `b` (same kernel
+        // evaluations, same forward substitution), so the factor extends
+        // in O(t) with no re-solve and a bit-identical result.
+        let hit = self.grid.as_ref().and_then(|g| g.find(x));
+        if let (Some(gi), Some(g)) = (hit, self.grid.as_ref()) {
+            self.chol.extend_with_solved(&g.vg[gi], diag)?;
+        } else {
+            let b: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+            self.chol.extend(&b, diag)?;
+        }
         self.xs.push(x.to_vec());
         self.ys_centered.push(c - self.prior_mean);
-        self.alpha = self.chol.solve(&self.ys_centered);
+        // `w = L⁻¹(y − m)` and every cached grid column gain one entry
+        // from the new factor row; existing entries are untouched
+        // (forward-substitution prefix property), so each append is O(t).
+        let row = self.chol.row(t);
+        let mut s = c - self.prior_mean;
+        for (lk, wk) in row.iter().zip(self.wy.iter()) {
+            s -= lk * wk;
+        }
+        self.wy.push(s / row[t]);
+        if let Some(g) = self.grid.as_mut() {
+            for ((pt, kcol), vcol) in g.pts.iter().zip(g.kg.iter_mut()).zip(g.vg.iter_mut()) {
+                let kxg = self.kernel.eval(x, pt);
+                let mut s = kxg;
+                for (lk, vk) in row.iter().zip(vcol.iter()) {
+                    s -= lk * vk;
+                }
+                kcol.push(kxg);
+                vcol.push(s / row[t]);
+            }
+        }
         Ok(())
     }
 
     /// Posterior mean and latent variance at `x` (Eq. 17). With no
     /// observations this is the prior: `(prior_mean, k(x,x))`.
+    ///
+    /// Both moments come from the single triangular solve `v = L⁻¹ k_x`:
+    /// `μ = m + vᵀ L⁻¹(y−m)` and `σ² = k(x,x) − vᵀv`.
     pub fn posterior(&self, x: &[f64]) -> GpPosterior {
         if self.xs.is_empty() {
             return GpPosterior {
@@ -145,16 +230,57 @@ impl<K: Kernel> GpRegressor<K> {
             };
         }
         let kx = self.kernel.cross(&self.xs, x);
-        let mean = self.prior_mean + dot(&kx, &self.alpha);
-        // σ² = k(x,x) − k_xᵀ (K+σ²I)⁻¹ k_x, computed via v = L⁻¹ k_x.
         let v = self.chol.solve_lower(&kx);
+        let mean = self.prior_mean + dot(&v, &self.wy);
         let var = (self.kernel.diag(x) - dot(&v, &v)).max(0.0);
         GpPosterior { mean, var }
     }
 
-    /// Posterior at many points.
+    /// Posterior at grid point `gi` of the attached grid, served from the
+    /// cached solved column in O(t) — bit-identical to
+    /// [`GpRegressor::posterior`] at the same point (the final dot
+    /// products run over cached columns whose entries match the uncached
+    /// solve exactly). `None` when no grid is attached or `gi` is out of
+    /// range.
+    pub fn posterior_grid(&self, gi: usize) -> Option<GpPosterior> {
+        let g = self.grid.as_ref()?;
+        let diag = *g.diag.get(gi)?;
+        if self.xs.is_empty() {
+            return Some(GpPosterior {
+                mean: self.prior_mean,
+                var: diag.max(0.0),
+            });
+        }
+        let v = g.vg.get(gi)?;
+        let mean = self.prior_mean + dot(v, &self.wy);
+        let var = (diag - dot(v, v)).max(0.0);
+        Some(GpPosterior { mean, var })
+    }
+
+    /// Posterior at many points, sharing one `(k_x, v)` workspace across
+    /// the whole batch instead of allocating per query point.
     pub fn posterior_batch(&self, xs: &[Vec<f64>]) -> Vec<GpPosterior> {
-        xs.iter().map(|x| self.posterior(x)).collect()
+        let mut kx = Vec::new();
+        let mut v = Vec::new();
+        xs.iter()
+            .map(|x| self.posterior_into(x, &mut kx, &mut v))
+            .collect()
+    }
+
+    /// One posterior query through caller-provided scratch buffers.
+    fn posterior_into(&self, x: &[f64], kx: &mut Vec<f64>, v: &mut Vec<f64>) -> GpPosterior {
+        if self.xs.is_empty() {
+            return GpPosterior {
+                mean: self.prior_mean,
+                var: self.kernel.diag(x).max(0.0),
+            };
+        }
+        kx.clear();
+        kx.extend(self.xs.iter().map(|xi| self.kernel.eval(xi, x)));
+        self.chol.solve_lower_into(kx, v);
+        let mean = self.prior_mean + dot(v, &self.wy);
+        let var = (self.kernel.diag(x) - dot(v, v)).max(0.0);
+        GpPosterior { mean, var }
     }
 
     /// Posterior covariance between two points,
@@ -176,7 +302,11 @@ impl<K: Kernel> GpRegressor<K> {
     /// for sampling.
     pub fn posterior_joint(&self, xs: &[Vec<f64>]) -> (Vec<f64>, crate::linalg::Matrix) {
         let n = xs.len();
-        let mean: Vec<f64> = xs.iter().map(|x| self.posterior(x).mean).collect();
+        let mean: Vec<f64> = self
+            .posterior_batch(xs)
+            .into_iter()
+            .map(|p| p.mean)
+            .collect();
         let mut cov = crate::linalg::Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
@@ -208,12 +338,11 @@ impl<K: Kernel> GpRegressor<K> {
         let (mean, cov) = self.posterior_joint(xs);
         let chol = crate::linalg::Cholesky::factor(&cov)?;
         let z: Vec<f64> = (0..n).map(|_| normals()).collect();
-        let l = chol.factor_matrix();
         Ok((0..n)
             .map(|i| {
                 let mut v = mean[i];
-                for k in 0..=i {
-                    v += l[(i, k)] * z[k];
+                for (lik, zk) in chol.row(i).iter().zip(z.iter()) {
+                    v += lik * zk;
                 }
                 v
             })
@@ -221,24 +350,85 @@ impl<K: Kernel> GpRegressor<K> {
     }
 
     /// Log marginal likelihood of the observed data:
-    /// `−½ yᵀ α − ½ log det(K + σ²I) − n/2 · log 2π`.
+    /// `−½ yᵀ K⁻¹ y − ½ log det(K + σ²I) − n/2 · log 2π`, where the fit
+    /// term is `−½ wᵀw` for the maintained `w = L⁻¹(y − m)`.
     pub fn log_marginal_likelihood(&self) -> f64 {
         let n = self.xs.len();
         if n == 0 {
             return 0.0;
         }
-        let fit = -0.5 * dot(&self.ys_centered, &self.alpha);
+        let fit = -0.5 * dot(&self.wy, &self.wy);
         let complexity = -0.5 * self.chol.log_det();
         let norm = -(n as f64) * 0.5 * (2.0 * std::f64::consts::PI).ln();
         fit + complexity + norm
     }
 
-    /// Drop all observations, keeping kernel and noise settings.
+    /// Drop all observations, keeping kernel, noise settings, and the
+    /// attached grid (its columns are truncated back to empty but the
+    /// allocations and prior diagonal survive).
     pub fn reset(&mut self) {
         self.xs.clear();
         self.ys_centered.clear();
-        self.alpha.clear();
-        self.chol = Cholesky::empty();
+        self.wy.clear();
+        self.chol.clear();
+        if let Some(g) = self.grid.as_mut() {
+            for col in g.kg.iter_mut() {
+                col.clear();
+            }
+            for col in g.vg.iter_mut() {
+                col.clear();
+            }
+        }
+    }
+
+    /// Attach a fixed query grid, replacing any existing cache. The cache
+    /// is populated from the current history (O(t²·G) once; every later
+    /// [`GpRegressor::observe`] maintains it in O(t·G)).
+    pub fn set_grid(&mut self, pts: Vec<Vec<f64>>) {
+        let n = pts.len();
+        self.grid = Some(GridCache {
+            diag: pts.iter().map(|p| self.kernel.diag(p)).collect(),
+            kg: vec![Vec::new(); n],
+            vg: vec![Vec::new(); n],
+            pts,
+        });
+        self.rebuild_grid();
+    }
+
+    /// Detach the grid cache, e.g. to carry it to a replacement regressor
+    /// across a hyper-parameter refit without reallocating.
+    pub fn take_grid(&mut self) -> Option<GridCache> {
+        self.grid.take()
+    }
+
+    /// Re-attach a cache detached with [`GpRegressor::take_grid`],
+    /// refreshing its prior diagonal under this regressor's kernel and
+    /// rebuilding its columns against this regressor's history.
+    pub fn install_grid(&mut self, mut cache: GridCache) {
+        cache.diag.clear();
+        cache
+            .diag
+            .extend(cache.pts.iter().map(|p| self.kernel.diag(p)));
+        self.grid = Some(cache);
+        self.rebuild_grid();
+    }
+
+    /// The attached grid's query points, if any.
+    pub fn grid_points(&self) -> Option<&[Vec<f64>]> {
+        self.grid.as_ref().map(|g| g.pts.as_slice())
+    }
+
+    /// Recompute every cached column against the current kernel, history,
+    /// and factor. Columns are rebuilt in place, reusing their buffers.
+    fn rebuild_grid(&mut self) {
+        let Some(g) = self.grid.as_mut() else {
+            return;
+        };
+        for ((pt, kcol), vcol) in g.pts.iter().zip(g.kg.iter_mut()).zip(g.vg.iter_mut()) {
+            kcol.clear();
+            kcol.extend(self.xs.iter().map(|xi| self.kernel.eval(xi, pt)));
+            self.chol.solve_lower_into(kcol, vcol);
+        }
     }
 }
 

@@ -1,0 +1,216 @@
+//! Bit-identity property tests for the fixed-grid posterior cache.
+//!
+//! The cache's contract is exact: a grid posterior served from the
+//! incrementally maintained solved columns must match the naive path —
+//! fresh kernel cross + triangular solve on a regressor that never had a
+//! grid attached — **bitwise**, not approximately. The histories are
+//! random (xorshift64*, fixed seeds), mix on-grid and off-grid inputs,
+//! and exercise every invalidation path: `reset` + replay (the scale-
+//! growth refit pattern), `take_grid`/`install_grid` under a changed
+//! kernel (the hyper-refit pattern), and a fresh-regressor replay of the
+//! same history (the checkpoint export→import→replay pattern).
+
+// Integration tests may panic freely; the workspace deny only guards
+// library code paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dragster_gp::{GpPosterior, GpRegressor, SquaredExp};
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const GRID: usize = 10;
+
+fn grid_points() -> Vec<Vec<f64>> {
+    (1..=GRID).map(|x| vec![x as f64]).collect()
+}
+
+/// A random observation: mostly on-grid task counts (the production
+/// pattern — `OperatorGp` clamps to `1..=max_tasks`), occasionally an
+/// off-grid point to prove the slow path coexists with the cache.
+fn random_history(rng: &mut Rng, len: usize) -> Vec<(Vec<f64>, f64)> {
+    (0..len)
+        .map(|_| {
+            let x = if rng.below(8) == 0 {
+                vec![1.0 + rng.unit() * (GRID - 1) as f64]
+            } else {
+                vec![(rng.below(GRID) + 1) as f64]
+            };
+            let y = rng.unit() * 4.0 - 2.0;
+            (x, y)
+        })
+        .collect()
+}
+
+fn replay(gp: &mut GpRegressor<SquaredExp>, history: &[(Vec<f64>, f64)]) {
+    for (x, y) in history {
+        gp.observe(x, *y).unwrap();
+    }
+}
+
+fn assert_bit_identical(a: GpPosterior, b: GpPosterior, what: &str) {
+    assert_eq!(
+        a.mean.to_bits(),
+        b.mean.to_bits(),
+        "{what}: mean {} vs {}",
+        a.mean,
+        b.mean
+    );
+    assert_eq!(
+        a.var.to_bits(),
+        b.var.to_bits(),
+        "{what}: var {} vs {}",
+        a.var,
+        b.var
+    );
+}
+
+/// Cached grid posteriors vs a grid-free regressor over the same history,
+/// checked after *every* observation (the cache must never lag or lead).
+fn check_against_naive(cached: &GpRegressor<SquaredExp>, naive: &GpRegressor<SquaredExp>) {
+    let pts = grid_points();
+    for (gi, pt) in pts.iter().enumerate() {
+        let c = cached.posterior_grid(gi).expect("grid attached");
+        assert_bit_identical(c, naive.posterior(pt), "cached vs naive at grid point");
+        // The cached regressor's own uncached path must agree too: the
+        // fast-path factor extension is bit-identical to the full solve.
+        assert_bit_identical(c, cached.posterior(pt), "cached grid vs own solve");
+    }
+}
+
+#[test]
+fn cached_grid_posterior_is_bit_identical_to_naive() {
+    let trials = if cfg!(miri) { 2 } else { 24 };
+    let steps = if cfg!(miri) { 8 } else { 40 };
+    for trial in 0..trials {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (trial as u64 + 1));
+        let history = random_history(&mut rng, steps);
+        let mut cached = GpRegressor::new(SquaredExp::new(3.0), 1e-2);
+        cached.set_grid(grid_points());
+        let mut naive = GpRegressor::new(SquaredExp::new(3.0), 1e-2);
+        for (x, y) in &history {
+            cached.observe(x, *y).unwrap();
+            naive.observe(x, *y).unwrap();
+            check_against_naive(&cached, &naive);
+            // off-grid queries take the solve path on both and must agree
+            let q = vec![0.5 + (x[0] * 0.37) % (GRID as f64)];
+            assert_bit_identical(cached.posterior(&q), naive.posterior(&q), "off-grid query");
+        }
+        assert_eq!(
+            cached.log_marginal_likelihood().to_bits(),
+            naive.log_marginal_likelihood().to_bits(),
+            "log marginal likelihood"
+        );
+    }
+}
+
+#[test]
+fn reset_and_replay_matches_fresh_fit() {
+    // The scale-growth refit pattern: `reset` keeps the grid attached and
+    // a full replay must land bit-identical to a fresh cached regressor.
+    let trials = if cfg!(miri) { 1 } else { 12 };
+    let steps = if cfg!(miri) { 6 } else { 30 };
+    for trial in 0..trials {
+        let mut rng = Rng(0xDEAD_BEEF_CAFE_F00D ^ (trial as u64 + 1));
+        let history = random_history(&mut rng, steps);
+        let mut recycled = GpRegressor::new(SquaredExp::new(3.0), 1e-2);
+        recycled.set_grid(grid_points());
+        replay(&mut recycled, &history);
+        recycled.reset();
+        assert!(recycled.is_empty());
+        replay(&mut recycled, &history);
+        let mut naive = GpRegressor::new(SquaredExp::new(3.0), 1e-2);
+        replay(&mut naive, &history);
+        check_against_naive(&recycled, &naive);
+    }
+}
+
+#[test]
+fn grid_survives_kernel_swap_via_take_install() {
+    // The hyper-refit pattern: move the cache to a regressor with new
+    // hyper-parameters, replay the raw history, and the rebuilt columns
+    // must serve posteriors bit-identical to a grid-free regressor that
+    // only ever knew the new kernel.
+    let trials = if cfg!(miri) { 1 } else { 12 };
+    let steps = if cfg!(miri) { 6 } else { 30 };
+    for trial in 0..trials {
+        let mut rng = Rng(0x1234_5678_9ABC_DEF0 ^ (trial as u64 + 1));
+        let history = random_history(&mut rng, steps);
+        let mut old = GpRegressor::new(SquaredExp::new(3.0), 1e-2);
+        old.set_grid(grid_points());
+        replay(&mut old, &history);
+        let cache = old.take_grid().expect("grid was attached");
+        let mut refit = GpRegressor::new(SquaredExp::with_signal(1.5, 0.25), 1e-2);
+        refit.install_grid(cache);
+        assert_eq!(refit.grid_points().map(|p| p.len()), Some(GRID));
+        replay(&mut refit, &history);
+        let mut naive = GpRegressor::new(SquaredExp::with_signal(1.5, 0.25), 1e-2);
+        replay(&mut naive, &history);
+        check_against_naive(&refit, &naive);
+    }
+}
+
+#[test]
+fn fresh_replay_matches_checkpointed_history() {
+    // The checkpoint export→import→replay pattern: controller restores
+    // rebuild GP state by replaying raw history through a fresh model, so
+    // a fresh cached regressor fed the same history must be bit-identical
+    // to the long-lived one — posteriors and marginal likelihood alike.
+    let trials = if cfg!(miri) { 1 } else { 12 };
+    let steps = if cfg!(miri) { 6 } else { 30 };
+    for trial in 0..trials {
+        let mut rng = Rng(0x0F1E_2D3C_4B5A_6978 ^ (trial as u64 + 1));
+        let history = random_history(&mut rng, steps);
+        let mut live = GpRegressor::new(SquaredExp::new(3.0), 1e-2);
+        live.set_grid(grid_points());
+        replay(&mut live, &history);
+        let mut restored = GpRegressor::new(SquaredExp::new(3.0), 1e-2);
+        restored.set_grid(grid_points());
+        replay(&mut restored, &history);
+        for gi in 0..GRID {
+            assert_bit_identical(
+                live.posterior_grid(gi).unwrap(),
+                restored.posterior_grid(gi).unwrap(),
+                "live vs restored",
+            );
+        }
+        assert_eq!(
+            live.log_marginal_likelihood().to_bits(),
+            restored.log_marginal_likelihood().to_bits()
+        );
+    }
+}
+
+#[test]
+fn batch_shares_workspace_and_matches_single() {
+    // `posterior_batch` reuses one scratch pair across the batch; results
+    // must still be exactly the single-query ones.
+    let mut rng = Rng(0xA5A5_5A5A_F0F0_0F0F);
+    let history = random_history(&mut rng, if cfg!(miri) { 6 } else { 25 });
+    let mut gp = GpRegressor::new(SquaredExp::new(2.0), 1e-2);
+    replay(&mut gp, &history);
+    let queries: Vec<Vec<f64>> = (0..15).map(|_| vec![rng.unit() * 12.0]).collect();
+    let batch = gp.posterior_batch(&queries);
+    for (p, q) in batch.iter().zip(queries.iter()) {
+        assert_bit_identical(*p, gp.posterior(q), "batch vs single");
+    }
+}
