@@ -1,0 +1,1 @@
+//! Offline build stub: declared but unused by the workspace.

@@ -1,0 +1,106 @@
+//! Offline build stub for `criterion`: the bench binaries compile and
+//! each routine runs exactly once (a smoke execution, no measurement).
+
+use std::fmt::Display;
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, _name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup {
+        BenchmarkGroup
+    }
+}
+
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    pub fn from_parameter<D: Display>(_parameter: D) -> BenchmarkId {
+        BenchmarkId
+    }
+
+    pub fn new<D: Display>(_name: &str, _parameter: D) -> BenchmarkId {
+        BenchmarkId
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

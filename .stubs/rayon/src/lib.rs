@@ -1,0 +1,27 @@
+//! Offline build stub: sequential `par_iter` so bench binaries compile
+//! and run without the real rayon. Parallelism is an optimization here,
+//! not a semantic requirement — results are identical.
+
+pub mod prelude {
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline build stub for `serde`: marker traits with blanket impls so
+//! `T: Serialize` / `T: Deserialize` bounds compile. No actual
+//! (de)serialization happens — `serde_json` stub functions return `Err`.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait Serializer {}
+pub trait Deserializer<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use crate::{Deserialize, Deserializer};
+}
+
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}

@@ -1,0 +1,15 @@
+//! Offline build stub for `serde_derive`: no-op derives that accept the
+//! `#[serde(...)]` helper attribute and emit nothing (the `serde` stub's
+//! blanket impls already satisfy every bound).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
